@@ -1,0 +1,103 @@
+// Ablation — collective algorithm choice: linear vs binomial rooted
+// scatter/gather, measured through MPI sections on a distribution
+// microworkload (the convolution benchmark itself uses scatterv, whose
+// per-rank counts are root-only — which is exactly why real MPI libraries
+// implement scatterv linearly; the equal-chunk scatter/gather get the
+// algorithm switch).
+//
+// Expectation: the root serializes p-1 sends in the linear algorithm while
+// the binomial tree spreads forwarding over intermediates (log p depth);
+// total bytes from the root are identical (a scatter lower bound), so the
+// gains are latency/pipelining, not bandwidth.
+#include <cstdio>
+
+#include "core/sections/api.hpp"
+#include "common.hpp"
+#include "core/sections/runtime.hpp"
+#include "profiler/section_profiler.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace mpisect;
+
+struct Point {
+  double scatter = 0.0;
+  double gather = 0.0;
+  double walltime = 0.0;
+};
+
+Point run_with(mpisim::CollAlgo algo, int p, int rounds) {
+  mpisim::WorldOptions opts;
+  opts.machine = mpisim::MachineModel::nehalem_cluster();
+  opts.scatter_algo = algo;
+  opts.gather_algo = algo;
+  mpisim::World world(p, opts);
+  sections::SectionRuntime::install(world);
+  profiler::SectionProfiler prof(world);
+  // Equal chunks matching the paper image split: 5616*3744*3*8 bytes / p.
+  const std::size_t chunk =
+      (5616ull * 3744ull * 3ull * sizeof(double)) / static_cast<std::size_t>(p);
+  world.run([&](mpisim::Ctx& ctx) {
+    mpisim::Comm comm = ctx.world_comm();
+    for (int r = 0; r < rounds; ++r) {
+      sections::MPIX_Section_enter(comm, "SCATTER");
+      comm.scatter(nullptr, chunk, nullptr, 0);
+      sections::MPIX_Section_exit(comm, "SCATTER");
+      sections::MPIX_Section_enter(comm, "GATHER");
+      comm.gather(nullptr, chunk, nullptr, 0);
+      sections::MPIX_Section_exit(comm, "GATHER");
+    }
+  });
+  Point pt;
+  pt.scatter = prof.totals_for("SCATTER").mean_per_process;
+  pt.gather = prof.totals_for("GATHER").mean_per_process;
+  pt.walltime = world.elapsed();
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args("bench_ablation_collalgo",
+                          "Linear vs binomial rooted collectives");
+  args.add_int("rounds", 20, "scatter+gather rounds averaged");
+  args.add_flag("quick", "reduced sweep");
+  if (!args.parse(argc, argv)) return 1;
+  const bool quick = args.get_flag("quick");
+  const int rounds = quick ? 5 : static_cast<int>(args.get_int("rounds"));
+  const std::vector<int> ps =
+      quick ? std::vector<int>{16, 64} : std::vector<int>{16, 64, 144, 256};
+
+  bench::print_banner(
+      "Ablation — rooted collective algorithms (linear vs binomial)",
+      "DESIGN.md: MiniMPI collective algorithms",
+      "paper-image-sized chunks, " + std::to_string(rounds) +
+          " rounds, Nehalem model");
+
+  support::TextTable table;
+  table.set_header({"#procs", "SCATTER linear (s)", "SCATTER binomial (s)",
+                    "GATHER linear (s)", "GATHER binomial (s)"});
+  for (const int p : ps) {
+    const Point lin = run_with(mpisim::CollAlgo::Linear, p, rounds);
+    const Point bin = run_with(mpisim::CollAlgo::Binomial, p, rounds);
+    table.add_row({std::to_string(p), support::fmt_double(lin.scatter, 4),
+                   support::fmt_double(bin.scatter, 4),
+                   support::fmt_double(lin.gather, 4),
+                   support::fmt_double(bin.gather, 4)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nreading: the tree is not uniformly better — with rendezvous-size\n"
+      "chunks, binomial GATHER lets leaves hand off to nearby parents and\n"
+      "leave early (large per-process win over the root-serialized linear\n"
+      "gather), while binomial SCATTER makes intermediates receive and\n"
+      "forward whole subtree blocks (more bytes per rank than the linear\n"
+      "root-streams-everything plan). Algorithm choice is a runtime option;\n"
+      "the section outline is what makes the trade-off measurable without\n"
+      "touching application code.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation — eager/rendezvous threshold: the convolution halo rows
+// (~132 KiB at paper size) sit above the default 16 KiB threshold, so the
+// exchange uses the rendezvous protocol (sender completion tied to the
+// receiver). Sweeping the threshold shows how protocol choice shifts time
+// between the HALO section and its neighbours — a transport-level knob the
+// section-level measurement cleanly exposes.
+#include <cstdio>
+#include <map>
+
+#include "common.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpisect;
+  using namespace mpisect::bench;
+  support::ArgParser args("bench_ablation_eager",
+                          "Eager/rendezvous threshold vs section times");
+  args.add_int("ranks", 64, "MPI processes");
+  args.add_int("steps", 500, "convolution steps");
+  args.add_flag("quick", "reduced run");
+  if (!args.parse(argc, argv)) return 1;
+  const bool quick = args.get_flag("quick");
+  const int p = quick ? 16 : static_cast<int>(args.get_int("ranks"));
+  const int steps = quick ? 50 : static_cast<int>(args.get_int("steps"));
+
+  print_banner("Ablation — eager threshold sweep",
+               "DESIGN.md: MiniMPI transport protocols",
+               "convolution, p=" + std::to_string(p) + ", " +
+                   std::to_string(steps) + " steps, Nehalem model");
+
+  support::TextTable table;
+  table.set_header({"eager threshold", "protocol for 132 KiB halo",
+                    "HALO/proc (s)", "SCATTER/proc (s)", "walltime (s)"});
+  for (const std::size_t threshold :
+       {std::size_t{0}, std::size_t{16} * 1024, std::size_t{256} * 1024,
+        std::size_t{16} * 1024 * 1024}) {
+    ConvolutionSweepOptions o;
+    o.steps = steps;
+    o.reps = 1;
+    o.machine = mpisim::MachineModel::nehalem_cluster();
+    o.machine.net.eager_threshold = threshold;
+    const auto pt = run_convolution_point(p, o);
+    const std::size_t halo_bytes = 5616u * 3u * sizeof(double);
+    table.add_row({support::fmt_bytes(static_cast<double>(threshold)),
+                   halo_bytes > threshold ? "rendezvous" : "eager",
+                   support::fmt_double(pt.per_process.at("HALO"), 3),
+                   support::fmt_double(pt.per_process.at("SCATTER"), 3),
+                   support::fmt_double(pt.walltime, 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nreading: eager transfer decouples sender and receiver, so skew is\n"
+      "absorbed where the *receive* happens; rendezvous couples both ranks\n"
+      "and surfaces the skew as HALO time on the sender too. Either way the\n"
+      "section outline localizes the cost — the tool-side view is protocol-\n"
+      "agnostic, which is the point of phase-level instrumentation.\n");
+  return 0;
+}

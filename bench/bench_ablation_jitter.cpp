@@ -1,0 +1,65 @@
+// Ablation — network jitter (DESIGN.md decision 1/2): rerun the Fig. 5/6
+// convolution points with the Nehalem model's noise switched off, showing
+// that the paper's observations (HALO growth with p, noisy non-monotone
+// bounds, speedup saturation) are *produced by propagated jitter*, not by
+// the deterministic latency/bandwidth terms.
+#include <cstdio>
+#include <map>
+
+#include "common.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpisect;
+  using namespace mpisect::bench;
+  support::ArgParser args("bench_ablation_jitter",
+                          "Effect of the jitter model on Fig. 5/6 shapes");
+  args.add_int("steps", 1000, "convolution steps");
+  args.add_flag("quick", "reduced sweep");
+  if (!args.parse(argc, argv)) return 1;
+  const bool quick = args.get_flag("quick");
+  const int steps = quick ? 100 : static_cast<int>(args.get_int("steps"));
+  const std::vector<int> ps = quick ? std::vector<int>{1, 16, 64}
+                                    : std::vector<int>{1, 16, 64, 128, 256};
+
+  print_banner("Ablation — propagated network jitter on/off",
+               "DESIGN.md decision: jitter as the source of Fig. 5/6 noise",
+               std::to_string(steps) + " steps, Nehalem model");
+
+  for (const bool jitter_on : {true, false}) {
+    ConvolutionSweepOptions o;
+    o.steps = steps;
+    o.reps = 1;
+    o.machine = mpisim::MachineModel::nehalem_cluster();
+    if (!jitter_on) {
+      o.machine.net.jitter = mpisim::JitterModel{};
+      o.machine.compute_noise_sigma = 0.0;
+    }
+    std::map<int, RunPoint> sweep;
+    for (const int p : ps) sweep[p] = run_convolution_point(p, o);
+    const double t_seq = sweep[1].walltime;
+
+    std::printf("\njitter %s:\n", jitter_on ? "ON (calibrated)" : "OFF");
+    support::TextTable table;
+    table.set_header({"#procs", "HALO total (s)", "HALO/proc (s)",
+                      "walltime (s)", "speedup"});
+    for (const int p : ps) {
+      table.add_row({std::to_string(p),
+                     support::fmt_double(sweep[p].total.at("HALO"), 2),
+                     support::fmt_double(sweep[p].per_process.at("HALO"), 3),
+                     support::fmt_double(sweep[p].walltime, 2),
+                     support::fmt_double(t_seq / sweep[p].walltime, 1)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
+
+  std::printf(
+      "\nreading: with jitter OFF the HALO cost is the pure wire time\n"
+      "(microseconds/step — 1D halos have constant size, as the paper\n"
+      "notes), and speedup keeps climbing; with jitter ON the HALO section\n"
+      "absorbs propagated noise, grows with p and caps the speedup — the\n"
+      "effect the paper measures on its cluster.\n");
+  return 0;
+}

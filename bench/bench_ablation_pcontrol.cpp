@@ -1,0 +1,82 @@
+// Ablation / related-work baseline (paper Sec. 6): MPI_Section vs the
+// IPM-style MPI_Pcontrol phase outlining, on the same convolution run.
+//
+// Both tools attach to one execution. The comparison shows what the
+// standardized, collective section semantics buy:
+//   * identical phase *durations* (Pcontrol can time local intervals too),
+//   * but sections add cross-rank instance identity -> Fig. 3 imbalance
+//     metrics, nesting enforcement, and tool-agnostic callbacks,
+//   * while Pcontrol mis-measures silently on protocol misuse.
+#include <cstdio>
+
+#include "apps/convolution/convolution.hpp"
+#include "common.hpp"
+#include "core/sections/runtime.hpp"
+#include "profiler/pcontrol.hpp"
+#include "profiler/section_profiler.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpisect;
+  support::ArgParser args(
+      "bench_ablation_pcontrol",
+      "Sections vs IPM-style MPI_Pcontrol phases (paper Sec. 6)");
+  args.add_int("ranks", 16, "MPI processes");
+  args.add_int("steps", 200, "convolution steps");
+  args.add_flag("quick", "reduced run");
+  if (!args.parse(argc, argv)) return 1;
+  const int p = static_cast<int>(args.get_int("ranks"));
+  const int steps =
+      args.get_flag("quick") ? 30 : static_cast<int>(args.get_int("steps"));
+
+  bench::print_banner("Ablation — MPI_Section vs MPI_Pcontrol phases",
+                      "Besnard et al., ICPPW'17, Sec. 6 (IPM comparison)",
+                      "one convolution run, both tools attached, p=" +
+                          std::to_string(p));
+
+  mpisim::WorldOptions opts;
+  opts.machine = mpisim::MachineModel::nehalem_cluster();
+  mpisim::World world(p, opts);
+  sections::SectionRuntime::install(world);
+  profiler::SectionProfiler prof(world, {.keep_instances = true});
+  profiler::PcontrolPhases phases(world);
+
+  apps::conv::ConvolutionConfig cfg;
+  cfg.width = 1024;
+  cfg.height = 768;
+  cfg.steps = steps;
+  cfg.full_fidelity = false;
+  cfg.emit_pcontrol = true;  // the app marks phases through BOTH interfaces
+  apps::conv::ConvolutionApp app(cfg);
+  world.run(std::ref(app));
+
+  support::TextTable table;
+  table.set_header({"phase", "sections: mean/proc (s)",
+                    "pcontrol: mean/proc (s)", "sections extra data"});
+  table.set_align({support::TextTable::Align::Left,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Left});
+  for (const char* label : {"LOAD", "SCATTER", "CONVOLVE", "HALO", "GATHER",
+                            "STORE"}) {
+    const auto st = prof.totals_for(label);
+    const auto pc = phases.total_phase(label);
+    const auto agg = prof.aggregated_metrics(st.comm_context, label);
+    table.add_row(
+        {label, support::fmt_double(st.mean_per_process, 3),
+         support::fmt_double(pc.count > 0 ? pc.total / p : 0.0, 3),
+         "imb=" + support::fmt_double(agg.total_imbalance, 3) + "s, max entry skew=" +
+             support::fmt_double(agg.max_entry_imb, 3) + "s"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nDurations agree (both read the same clock); only sections provide\n"
+      "the right-hand column — cross-rank imbalance needs the collective\n"
+      "instance identity that Pcontrol's tool-defined encoding lacks.\n");
+  std::printf("pcontrol protocol errors silently absorbed: %ld\n",
+              phases.protocol_errors());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation — MiniOMP worksharing schedules: static vs dynamic vs guided on
+// the mini-Lulesh kernels (KNL, p=1). Dynamic trades residual imbalance for
+// per-chunk dispatch cost; near the inflexion point the difference is
+// visible in the Lagrange sections without any OpenMP-side instrumentation,
+// reinforcing the paper's claim that MPI-level sections characterize the
+// intra-node runtime.
+#include <cstdio>
+#include <map>
+
+#include "apps/lulesh/lulesh.hpp"
+#include "common.hpp"
+#include "core/speedup/inflexion.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpisect;
+  using namespace mpisect::bench;
+  support::ArgParser args("bench_ablation_schedule",
+                          "MiniOMP schedule ablation on mini-Lulesh (KNL)");
+  args.add_int("steps", 300, "timesteps");
+  args.add_int("s", 32, "per-rank edge");
+  args.add_flag("quick", "reduced sweep");
+  if (!args.parse(argc, argv)) return 1;
+  const bool quick = args.get_flag("quick");
+  const int steps = quick ? 50 : static_cast<int>(args.get_int("steps"));
+  const int s = quick ? 16 : static_cast<int>(args.get_int("s"));
+  const std::vector<int> threads =
+      quick ? std::vector<int>{1, 16, 64} : std::vector<int>{1, 4, 16, 32, 64};
+
+  print_banner("Ablation — worksharing schedule (static/dynamic/guided)",
+               "DESIGN.md: MiniOMP schedule model",
+               "mini-Lulesh, KNL, p=1, s=" + std::to_string(s) + ", " +
+                   std::to_string(steps) + " steps");
+
+  using minomp::Schedule;
+  for (const Schedule sched :
+       {Schedule::Static, Schedule::Dynamic, Schedule::Guided}) {
+    std::map<int, RunPoint> sweep;
+    for (const int t : threads) {
+      LuleshRunOptions o;
+      o.s = s;
+      o.steps = steps;
+      o.omp_threads = t;
+      o.schedule = sched;
+      o.machine = mpisim::MachineModel::knl();
+      sweep[t] = run_lulesh_point(1, o);
+    }
+    std::printf("\nschedule(%s):\n", minomp::schedule_name(sched));
+    support::TextTable table;
+    table.set_header({"threads", "walltime (s)", "LagrangeElements (s)"});
+    for (const int t : threads) {
+      table.add_row(
+          {std::to_string(t), support::fmt_double(sweep[t].walltime, 3),
+           support::fmt_double(sweep[t].per_process.at("LagrangeElements"),
+                               3)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    const auto wall = walltime_series(sweep);
+    if (const auto best = wall.best()) {
+      std::printf("  best: %.3f s at %d threads\n", best->time, best->p);
+    }
+  }
+  std::printf(
+      "\nreading: static has no dispatch cost but keeps its residual\n"
+      "imbalance; dynamic pays per-chunk dispatch (visible at high thread\n"
+      "counts) for lower imbalance; guided sits between. All read purely\n"
+      "from MPI sections.\n");
+  return 0;
+}

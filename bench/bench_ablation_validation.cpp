@@ -1,0 +1,89 @@
+// Ablation — section validation mode (paper Sec. 4: "the invariants
+// relatively to section entry have to be verified using non-intrusive
+// synchronization primitives which could for example be selectively
+// enabled"). Measures:
+//   (1) virtual-time cost: zero — validation runs outside the performance
+//       model, so enabling it cannot distort the measurements it protects;
+//   (2) real (host) time cost of the checking rendezvous;
+//   (3) that it actually catches a rank diverging on section labels.
+#include <chrono>
+#include <cstdio>
+
+#include "apps/lulesh/lulesh.hpp"
+#include "common.hpp"
+#include "core/sections/api.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpisect;
+  using Clock = std::chrono::steady_clock;
+  support::ArgParser args("bench_ablation_validation",
+                          "Cost and value of section validation mode");
+  args.add_int("ranks", 8, "MPI processes");
+  args.add_int("steps", 100, "lulesh timesteps");
+  args.add_flag("quick", "reduced run");
+  if (!args.parse(argc, argv)) return 1;
+  const int p = static_cast<int>(args.get_int("ranks"));
+  const int steps =
+      args.get_flag("quick") ? 20 : static_cast<int>(args.get_int("steps"));
+
+  bench::print_banner("Ablation — section validation on/off",
+                      "Besnard et al., ICPPW'17, Sec. 4",
+                      "mini-Lulesh (21 sections/step), p=" +
+                          std::to_string(p) + ", " + std::to_string(steps) +
+                          " steps");
+
+  support::TextTable table;
+  table.set_header({"validation", "virtual walltime (s)", "host time (s)",
+                    "rendezvous rounds", "errors"});
+  for (const bool validate : {false, true}) {
+    mpisim::WorldOptions opts;
+    opts.machine = mpisim::MachineModel::ideal(p, 1);
+    opts.validate_sections = validate;
+    mpisim::World world(p, opts);
+    auto rt = sections::SectionRuntime::install(world);
+    apps::lulesh::LuleshConfig cfg;
+    cfg.s = 6;
+    cfg.steps = steps;
+    cfg.full_fidelity = false;
+    apps::lulesh::LuleshApp app(cfg);
+    const auto t0 = Clock::now();
+    world.run(std::ref(app));
+    const double host =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    table.add_row({validate ? "on" : "off",
+                   support::fmt_double(world.elapsed(), 4),
+                   support::fmt_double(host, 3),
+                   std::to_string(rt->counters().validation_rounds),
+                   std::to_string(rt->counters().errors)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Demonstrate detection: one rank enters a differently-labelled section.
+  {
+    mpisim::WorldOptions opts;
+    opts.machine = mpisim::MachineModel::ideal(4, 1);
+    opts.validate_sections = true;
+    mpisim::World world(4, opts);
+    auto rt = sections::SectionRuntime::install(world);
+    world.run([](mpisim::Ctx& ctx) {
+      mpisim::Comm comm = ctx.world_comm();
+      const char* label = ctx.rank() == 2 ? "phase-B" : "phase-A";
+      sections::MPIX_Section_enter(comm, label);
+      sections::MPIX_Section_exit(comm, label);
+    });
+    std::printf(
+        "\ndivergence drill: rank 2 entered 'phase-B' while others entered\n"
+        "'phase-A' -> validation flagged %llu mismatches (one per rank per\n"
+        "enter/exit), which silent phase markers would have mismeasured.\n",
+        static_cast<unsigned long long>(rt->counters().errors));
+  }
+
+  std::printf(
+      "\nreading: identical virtual walltime in both rows — the check is\n"
+      "non-intrusive by construction; the host-time column is the price of\n"
+      "the checking rendezvous, paid only when selectively enabled.\n");
+  return 0;
+}

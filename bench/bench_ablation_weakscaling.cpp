@@ -1,0 +1,127 @@
+// Extension — the strong/weak scaling spectrum of the paper's Section 2:
+// "In practice, simulation applications are between these two
+// configurations ... posing problems of interpretation of the Speedup
+// metric which dramatically varies, particularly in function of problem
+// size."
+//
+// Runs the convolution benchmark both ways on the Nehalem model:
+//   strong: fixed image, p grows (Amdahl regime — Fig. 5's setup)
+//   weak:   image rows grow with p, constant work per rank
+//            (Gustafson-Barsis regime)
+// and prints the classic metrics side by side: speedup, efficiency,
+// Karp-Flatt fraction, and the Gustafson scaled speedup the weak run
+// actually achieves.
+#include <cstdio>
+#include <map>
+
+#include "apps/lulesh/lulesh.hpp"
+#include "common.hpp"
+#include "core/speedup/laws.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpisect;
+  using namespace mpisect::bench;
+  support::ArgParser args("bench_ablation_weakscaling",
+                          "Strong vs weak scaling interpretation (Sec. 2)");
+  args.add_int("steps", 400, "convolution steps");
+  args.add_flag("quick", "reduced sweep");
+  if (!args.parse(argc, argv)) return 1;
+  const bool quick = args.get_flag("quick");
+  const int steps = quick ? 60 : static_cast<int>(args.get_int("steps"));
+  const std::vector<int> ps =
+      quick ? std::vector<int>{1, 4, 16} : std::vector<int>{1, 4, 16, 64, 256};
+  const int base_rows = 512;
+  const int width = 1024;
+
+  print_banner("Extension — strong vs weak scaling on one workload",
+               "Besnard et al., ICPPW'17, Sec. 2 (speedup interpretation)",
+               "convolution, Nehalem model, " + std::to_string(steps) +
+                   " steps, base image " + std::to_string(width) + "x" +
+                   std::to_string(base_rows));
+
+  std::map<int, RunPoint> strong;
+  std::map<int, RunPoint> weak;
+  for (const int p : ps) {
+    ConvolutionSweepOptions o;
+    o.width = width;
+    o.height = base_rows;
+    o.steps = steps;
+    o.reps = 1;
+    strong[p] = run_convolution_point(p, o);
+    o.height = base_rows * p;  // constant rows per rank
+    weak[p] = run_convolution_point(p, o);
+  }
+
+  const double t_strong_seq = strong[1].walltime;
+  const double t_weak_seq = weak[1].walltime;
+
+  support::TextTable table;
+  table.set_header({"p", "strong wall (s)", "S_strong", "E_strong",
+                    "Karp-Flatt", "weak wall (s)", "scaled speedup",
+                    "Gustafson @KF"});
+  for (const int p : ps) {
+    const double s_strong = t_strong_seq / strong[p].walltime;
+    const double kf = speedup::karp_flatt(s_strong, p);
+    // Weak scaling: scaled speedup = p * (T_seq / T_weak(p)) since the
+    // problem is p times larger.
+    const double scaled = p * t_weak_seq / weak[p].walltime;
+    table.add_row({std::to_string(p),
+                   support::fmt_double(strong[p].walltime, 2),
+                   support::fmt_double(s_strong, 2),
+                   support::fmt_double(s_strong / p, 2),
+                   support::fmt_double(kf, 4),
+                   support::fmt_double(weak[p].walltime, 2),
+                   support::fmt_double(scaled, 2),
+                   support::fmt_double(speedup::gustafson_scaled(kf, p), 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // --- Lulesh: the paper notes its DEFAULT behaviour "scales problem size
+  // with the number of MPI processes" (weak scaling), unlike the fixed
+  // 110 592-element strong-scaling protocol of Table 7. Show both.
+  std::printf("\nmini-Lulesh on KNL (s = per-rank edge):\n");
+  support::TextTable lt;
+  lt.set_header({"p", "strong: s(p)", "strong wall (s)", "S_strong",
+                 "weak: s=16", "weak wall (s)", "weak efficiency"});
+  const int lulesh_steps = quick ? 20 : 100;
+  double strong_seq = 0.0;
+  double weak_seq = 0.0;
+  for (const int p : {1, 8, 27, 64}) {
+    const int s_strong =
+        apps::lulesh::edge_for_total_elements(110592, p);
+    LuleshRunOptions strong_o;
+    strong_o.s = s_strong;
+    strong_o.steps = lulesh_steps;
+    strong_o.machine = mpisim::MachineModel::knl();
+    const auto strong_pt = run_lulesh_point(p, strong_o);
+    LuleshRunOptions weak_o = strong_o;
+    weak_o.s = 16;  // constant per-rank work
+    const auto weak_pt = run_lulesh_point(p, weak_o);
+    if (p == 1) {
+      strong_seq = strong_pt.walltime;
+      weak_seq = weak_pt.walltime;
+    }
+    lt.add_row({std::to_string(p), std::to_string(s_strong),
+                support::fmt_double(strong_pt.walltime, 2),
+                support::fmt_double(strong_seq / strong_pt.walltime, 2),
+                "16",
+                support::fmt_double(weak_pt.walltime, 2),
+                support::fmt_double(weak_seq / weak_pt.walltime, 2)});
+  }
+  std::fputs(lt.render().c_str(), stdout);
+  std::printf(
+      "(weak efficiency = T(1)/T(p) at constant work per rank; close to 1\n"
+      "means the communication layer absorbs the growing rank count.)\n");
+
+  std::printf(
+      "\nreading: the SAME code and machine report wildly different\n"
+      "\"speedups\" depending on the scaling protocol — the strong run\n"
+      "saturates (Amdahl regime, Karp-Flatt fraction grows with p as the\n"
+      "HALO overhead bites) while the weak run tracks the Gustafson line.\n"
+      "This interpretation gap is the paper's motivation for measuring\n"
+      "per-section behaviour instead of one global number.\n");
+  return 0;
+}

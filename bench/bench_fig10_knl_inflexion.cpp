@@ -1,0 +1,132 @@
+// Figure 10 — "Lulesh Walltime and Speedup for pure OpenMP scalability on a
+// KNL (s=48)": the single-process thread sweep in which the Lagrangian
+// sections first shrink, reach their minimum at the *inflexion point*
+// (paper: 24 threads), then grow — and the partial speedup bound computed
+// from the two Lagrange sections at that point nearly equals the measured
+// best speedup (paper: bound 8.16x vs measured 8.08x; LagrangeElements
+// alone bounds at 13.72x).
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "apps/lulesh/lulesh.hpp"
+#include "common.hpp"
+#include "core/speedup/inflexion.hpp"
+#include "core/speedup/laws.hpp"
+#include "core/speedup/partial_bound.hpp"
+#include "support/chart.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpisect;
+  using namespace mpisect::bench;
+  support::ArgParser args(
+      "bench_fig10_knl_inflexion",
+      "Reproduce paper Fig. 10 (OpenMP inflexion point on KNL, s=48)");
+  args.add_int("steps", 1000, "timesteps");
+  args.add_int("s", 48, "per-rank edge (paper: 48)");
+  args.add_flag("quick", "reduced sweep for smoke testing");
+  if (!args.parse(argc, argv)) return 1;
+  int steps = static_cast<int>(args.get_int("steps"));
+  int s = static_cast<int>(args.get_int("s"));
+  std::vector<int> threads{1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192,
+                           256};
+  if (args.get_flag("quick")) {
+    steps = 100;
+    s = 24;
+    threads = {1, 4, 16, 32, 64, 256};
+  }
+
+  print_banner("Fig. 10 — pure OpenMP scalability and inflexion on KNL",
+               "Besnard et al., ICPPW'17, Figure 10 + Sec. 5.2 analysis",
+               "p=1, s=" + std::to_string(s) + ", " + std::to_string(steps) +
+                   " steps, threads swept to 256");
+
+  std::map<int, RunPoint> sweep;
+  for (const int t : threads) {
+    LuleshRunOptions o;
+    o.s = s;
+    o.steps = steps;
+    o.omp_threads = t;
+    o.machine = mpisim::MachineModel::knl();
+    sweep[t] = run_lulesh_point(1, o);
+  }
+
+  const auto nodal = section_series(sweep, "LagrangeNodal");
+  const auto elems = section_series(sweep, "LagrangeElements");
+  const auto wall = walltime_series(sweep);
+  const double t_seq = *wall.sequential();
+  const auto measured = wall.to_speedup();
+
+  support::TextTable table;
+  table.set_header({"OMP threads", "walltime (s)", "LagrangeNodal (s)",
+                    "LagrangeElements (s)", "speedup"});
+  for (const int t : threads) {
+    table.add_row({std::to_string(t),
+                   support::fmt_double(sweep[t].walltime, 2),
+                   support::fmt_double(*nodal.at(t), 2),
+                   support::fmt_double(*elems.at(t), 2),
+                   support::fmt_double(*measured.at(t), 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  {
+    support::ChartOptions copt;
+    copt.title = "Fig. 10 sketch: times vs threads (note the minimum)";
+    copt.log_x = true;
+    copt.log_y = true;
+    copt.x_label = "OpenMP threads";
+    copt.y_label = "seconds";
+    std::vector<support::Series> series{
+        {"walltime", wall.xs(), wall.ys()},
+        {"LagrangeNodal", nodal.xs(), nodal.ys()},
+        {"LagrangeElements", elems.xs(), elems.ys()},
+    };
+    std::fputs(support::line_chart(series, copt).c_str(), stdout);
+  }
+
+  // ---- inflexion analysis (paper Sec. 5.2 worked example) ------------------
+  std::printf("\ninflexion analysis:\n");
+  bool found_any = false;
+  for (const auto* series : {&nodal, &elems, &wall}) {
+    const auto ip = speedup::find_inflexion(*series);
+    if (!ip) {
+      std::printf("  %-18s still scaling at the largest sweep point\n",
+                  series->name().c_str());
+      continue;
+    }
+    found_any = true;
+    std::printf("  %-18s inflexion at %3d threads (%.2f s, rises %.0f%% after)\n",
+                series->name().c_str(), ip->p, ip->time, ip->rise * 100.0);
+  }
+  if (!found_any) {
+    std::printf("  WARNING: no inflexion found — model drifted from paper\n");
+  }
+
+  const auto ip = speedup::find_inflexion(wall);
+  if (ip) {
+    const double nodal_t = *nodal.at(ip->p);
+    const double elems_t = *elems.at(ip->p);
+    const double bound_both = speedup::partial_bound(t_seq, nodal_t + elems_t);
+    const double bound_elems = speedup::partial_bound(t_seq, elems_t);
+    const double speedup_at = *measured.at(ip->p);
+    std::printf(
+        "\npartial speedup bounding at the inflexion (%d threads):\n"
+        "  S <= T_seq / (T_nodal + T_elems) = %.2f / (%.2f + %.2f) = %.2fx\n"
+        "  measured speedup there:            %.2fx\n"
+        "  LagrangeElements alone bounds at:  %.2fx\n"
+        "  (paper: bound 8.16x vs measured 8.08x; Elements alone 13.72x)\n",
+        ip->p, t_seq, nodal_t, elems_t, bound_both, speedup_at, bound_elems);
+    const double ratio = bound_both / std::max(speedup_at, 1e-9);
+    std::printf("  bound/measured ratio: %.3f (paper: 1.010) — %s\n", ratio,
+                ratio >= 0.99 && ratio < 1.5 ? "tight, as in the paper"
+                                             : "check calibration");
+  }
+  std::printf(
+      "\npaper conclusion reproduced: a section whose duration stops\n"
+      "decreasing immediately upper-bounds the speedup; configurations\n"
+      "beyond the inflexion waste resources.\n");
+  return 0;
+}

@@ -1,0 +1,198 @@
+// Figure 5 — "Execution scattering for our convolution benchmark outlined
+// with MPI Sections" on the Nehalem-cluster model:
+//   (a) percentage of execution time per MPI Section vs process count
+//   (b) total time per MPI Section
+//   (c) average time per process for each MPI Section
+//   (d) average Speedup and predicted partial speedup boundaries (B) for
+//       the HALO section.
+//
+// Protocol mirrors the paper (Sec. 5.1): 5616x3744 RGB image, 1000
+// convolution steps, up to 456 cores (8-core nodes), repetitions averaged.
+#include <cstdio>
+#include <map>
+
+#include "common.hpp"
+#include "core/speedup/laws.hpp"
+#include "core/speedup/partial_bound.hpp"
+#include "core/speedup/report.hpp"
+#include "support/chart.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace mpisect;
+using namespace mpisect::bench;
+
+const std::vector<std::string> kSections{"LOAD",     "SCATTER", "CONVOLVE",
+                                         "HALO",     "GATHER",  "STORE"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args("bench_fig5_convolution",
+                          "Reproduce paper Fig. 5 (a-d)");
+  args.add_int("steps", 1000, "convolution time-steps");
+  args.add_int("reps", 3, "averaged repetitions (paper: 20)");
+  args.add_int("max-procs", 456, "largest process count");
+  args.add_flag("csv", "emit CSV blocks after the tables");
+  args.add_flag("quick", "reduced sweep for smoke testing");
+  if (!args.parse(argc, argv)) return 1;
+
+  ConvolutionSweepOptions o;
+  o.steps = static_cast<int>(args.get_int("steps"));
+  o.reps = static_cast<int>(args.get_int("reps"));
+  const bool quick = args.get_flag("quick");
+  if (quick) {
+    o.steps = 50;
+    o.reps = 1;
+  }
+
+  std::vector<int> ps{1, 2, 4, 8, 16, 32, 64, 128, 256};
+  const int maxp = static_cast<int>(args.get_int("max-procs"));
+  if (!quick && maxp >= 456) ps.push_back(456);
+  while (!ps.empty() && ps.back() > maxp) ps.pop_back();
+  if (quick) ps = {1, 2, 4, 8, 16, 32, 64};
+
+  print_banner("Fig. 5 — convolution benchmark section scattering",
+               "Besnard et al., ICPPW'17, Figure 5(a-d)",
+               "image 5616x3744, " + std::to_string(o.steps) +
+                   " steps, Nehalem-cluster model, " +
+                   std::to_string(o.reps) + " reps averaged");
+
+  std::map<int, RunPoint> sweep;
+  for (const int p : ps) {
+    std::printf("  running p=%d ...\n", p);
+    std::fflush(stdout);
+    sweep[p] = run_convolution_point(p, o);
+  }
+
+  // ---- (a) percentage of execution per section ---------------------------
+  std::printf("\nFig. 5(a): %% of execution time per MPI Section\n");
+  support::TextTable pct;
+  {
+    std::vector<std::string> header{"#procs"};
+    for (const auto& s : kSections) header.push_back(s);
+    pct.set_header(header);
+  }
+  for (const int p : ps) {
+    const double wall = sweep[p].walltime;
+    std::vector<std::string> row{std::to_string(p)};
+    for (const auto& s : kSections) {
+      const auto it = sweep[p].per_process.find(s);
+      const double share =
+          (it != sweep[p].per_process.end() && wall > 0.0)
+              ? it->second / wall * 100.0
+              : 0.0;
+      row.push_back(support::fmt_double(share, 1));
+    }
+    pct.add_row(row);
+  }
+  std::fputs(pct.render().c_str(), stdout);
+
+  // ---- (b) total time per section ----------------------------------------
+  std::printf("\nFig. 5(b): total time per MPI Section (sum over ranks, s)\n");
+  support::TextTable tot;
+  {
+    std::vector<std::string> header{"#procs"};
+    for (const auto& s : kSections) header.push_back(s);
+    tot.set_header(header);
+  }
+  for (const int p : ps) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (const auto& s : kSections) {
+      const auto it = sweep[p].total.find(s);
+      row.push_back(support::fmt_double(
+          it != sweep[p].total.end() ? it->second : 0.0, 2));
+    }
+    tot.add_row(row);
+  }
+  std::fputs(tot.render().c_str(), stdout);
+
+  // ---- (c) average time per process ---------------------------------------
+  std::printf("\nFig. 5(c): average time per process per MPI Section (s)\n");
+  support::TextTable avg;
+  {
+    std::vector<std::string> header{"#procs"};
+    for (const auto& s : kSections) header.push_back(s);
+    avg.set_header(header);
+  }
+  for (const int p : ps) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (const auto& s : kSections) {
+      const auto it = sweep[p].per_process.find(s);
+      row.push_back(support::fmt_double(
+          it != sweep[p].per_process.end() ? it->second : 0.0, 3));
+    }
+    avg.add_row(row);
+  }
+  std::fputs(avg.render().c_str(), stdout);
+
+  {
+    support::ChartOptions copt;
+    copt.title = "Fig. 5(c) sketch: per-process section time vs p";
+    copt.log_x = true;
+    copt.log_y = true;
+    copt.x_label = "#processes";
+    copt.y_label = "seconds";
+    std::vector<support::Series> series;
+    for (const auto& label : {"CONVOLVE", "HALO"}) {
+      support::Series s{label, {}, {}};
+      const auto sect = section_series(sweep, label);
+      for (const auto& pt : sect.points()) {
+        if (pt.time > 0.0) {  // p=1 has no halo exchange
+          s.x.push_back(pt.p);
+          s.y.push_back(pt.time);
+        }
+      }
+      series.push_back(std::move(s));
+    }
+    std::fputs(support::line_chart(series, copt).c_str(), stdout);
+  }
+
+  // ---- (d) speedup + HALO partial bounds ----------------------------------
+  std::printf("\nFig. 5(d): speedup and HALO partial speedup bounds B(p)\n");
+  const auto walltime = walltime_series(sweep);
+  const auto measured = walltime.to_speedup();
+  const auto analysis = make_bound_analysis(sweep, {"HALO", "CONVOLVE"});
+  const auto halo_bounds = analysis.bound_series("HALO");
+  support::TextTable sd;
+  sd.set_header({"#procs", "walltime (s)", "speedup", "B_HALO(p)",
+                 "bound holds later?"});
+  for (const int p : ps) {
+    const auto s = measured.at(p);
+    const auto b = halo_bounds.at(p);
+    std::string holds = "-";
+    if (b) {
+      const auto trans = analysis.transpose_bound("HALO", p, measured, 1.10);
+      holds = trans.holds ? "yes" : "NO";
+    }
+    sd.add_row({std::to_string(p),
+                support::fmt_double(sweep[p].walltime, 2),
+                s ? support::fmt_double(*s, 2) : "-",
+                b ? support::fmt_double(*b, 2) : "-", holds});
+  }
+  std::fputs(sd.render().c_str(), stdout);
+  std::fputs(speedup::summarize_speedup(walltime).c_str(), stdout);
+
+  {
+    support::ChartOptions copt;
+    copt.title = "Fig. 5(d) sketch: measured speedup vs p";
+    copt.log_x = true;
+    copt.x_label = "#processes";
+    copt.y_label = "speedup";
+    std::vector<support::Series> series;
+    series.push_back({"speedup", measured.xs(), measured.ys()});
+    std::fputs(support::line_chart(series, copt).c_str(), stdout);
+  }
+
+  if (args.get_flag("csv")) {
+    std::printf("\nCSV (per-process section times):\n");
+    std::vector<speedup::ScalingSeries> all;
+    for (const auto& s : kSections) all.push_back(section_series(sweep, s));
+    all.push_back(walltime);
+    std::fputs(speedup::series_csv(all).c_str(), stdout);
+  }
+  return 0;
+}

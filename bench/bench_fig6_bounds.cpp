@@ -1,0 +1,94 @@
+// Figure 6 — "Inferred partial Speedup boundaries from ghost-cell exchange
+// time (HALO section) on the convolution benchmark": the table of
+// (#Processes, Tot. HALO Time, Speedup Bound B) at p in {64, 80, 112, 128,
+// 144}, where B(p) = T_seq / (HALO_total(p) / p) per Equation 6.
+//
+// The paper's own numbers wobble non-monotonically (3025 s at 64 procs,
+// 14135 s at 128) because the HALO section is dominated by propagated noise
+// — the same wobble emerges here from the seeded heavy-tail jitter.
+#include <cstdio>
+#include <map>
+
+#include "common.hpp"
+#include "core/speedup/report.hpp"
+#include "support/cli.hpp"
+#include "support/histogram.hpp"
+#include "support/strings.hpp"
+
+namespace {
+using namespace mpisect;
+using namespace mpisect::bench;
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args("bench_fig6_bounds",
+                          "Reproduce paper Fig. 6 HALO bound table");
+  args.add_int("steps", 1000, "convolution time-steps");
+  args.add_int("reps", 3, "averaged repetitions");
+  args.add_flag("quick", "reduced sweep for smoke testing");
+  args.add_flag("spread", "also show per-seed spread of B at one scale");
+  if (!args.parse(argc, argv)) return 1;
+
+  ConvolutionSweepOptions o;
+  o.steps = static_cast<int>(args.get_int("steps"));
+  o.reps = static_cast<int>(args.get_int("reps"));
+  std::vector<int> ps{64, 80, 112, 128, 144};
+  if (args.get_flag("quick")) {
+    o.steps = 50;
+    o.reps = 1;
+    ps = {8, 16, 24};
+  }
+
+  print_banner("Fig. 6 — partial speedup bounds from the HALO section",
+               "Besnard et al., ICPPW'17, Figure 6",
+               "B(p) = T_seq / (HALO_total(p)/p), Eq. 6; " +
+                   std::to_string(o.steps) + " steps, " +
+                   std::to_string(o.reps) + " reps");
+
+  std::map<int, RunPoint> sweep;
+  std::printf("  running sequential reference ...\n");
+  std::fflush(stdout);
+  sweep[1] = run_convolution_point(1, o);
+  for (const int p : ps) {
+    std::printf("  running p=%d ...\n", p);
+    std::fflush(stdout);
+    sweep[p] = run_convolution_point(p, o);
+  }
+  std::printf("  T_seq (total sequential section time) = %.2f s\n\n",
+              sweep[1].walltime);
+
+  auto analysis = make_bound_analysis(sweep, {"HALO"});
+  std::fputs(
+      speedup::render_bound_table(analysis, "HALO", ps).c_str(), stdout);
+
+  if (args.get_flag("spread")) {
+    // Per-seed spread of the bound at p = 112 (or the middle quick point):
+    // the analogue of the paper's wild non-monotone Fig. 6 wobble.
+    const int p_spread = args.get_flag("quick") ? ps[ps.size() / 2] : 112;
+    std::printf("\nper-seed spread of B(%d) over 12 seeds:\n", p_spread);
+    std::vector<double> bounds;
+    for (int seed = 0; seed < 12; ++seed) {
+      ConvolutionSweepOptions so = o;
+      so.reps = 1;
+      so.seed = 0xF16u + static_cast<std::uint64_t>(seed) * 7919u;
+      const auto pt = run_convolution_point(p_spread, so);
+      const auto it = pt.per_process.find("HALO");
+      if (it != pt.per_process.end() && it->second > 0.0) {
+        bounds.push_back(sweep[1].walltime / it->second);
+      }
+    }
+    std::fputs(support::Histogram::from_samples(bounds, 6).render().c_str(),
+               stdout);
+  }
+
+  std::printf(
+      "\npaper reference values (their cluster):\n"
+      "  64 -> 3025.44 s total, B = 118.25;  112 -> 1822.38, B = 343.54;\n"
+      "  128 -> 14135.56, B = 50.61 (their single-config values wobble\n"
+      "  wildly; averaging over reps smooths ours — rerun with --reps 1 to\n"
+      "  see per-seed spread).\n"
+      "Shape criteria: total HALO time grows with p while per-process\n"
+      "compute shrinks; B values are O(10^1..10^2) and each bound exceeds\n"
+      "the measured speedup at its own scale (cross-checked in Fig. 5(d)).\n");
+  return 0;
+}

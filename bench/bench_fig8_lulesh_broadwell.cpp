@@ -1,0 +1,50 @@
+// Figure 8 — "Lulesh MPI Sections on a dual Broadwell machine in various
+// MPI+OpenMP configurations": average per-process time of the
+// LagrangeNodal / LagrangeElements sections and the walltime, for
+// p in {1, 8, 27} MPI processes crossed with OpenMP team sizes, at the
+// constant 110 592-element strong-scaling problem of Table 7.
+//
+// Shape criteria from the paper: MPI provides more acceleration than
+// OpenMP in this strong-scaling setup; OpenMP still helps when the
+// per-rank problem is large (p = 1); LagrangeElements scales better under
+// OpenMP than LagrangeNodal.
+#include <cstdio>
+
+#include "common.hpp"
+#include "lulesh_grid.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpisect;
+  using namespace mpisect::bench;
+  support::ArgParser args("bench_fig8_lulesh_broadwell",
+                          "Reproduce paper Fig. 8 (Lulesh on dual Broadwell)");
+  args.add_int("steps", 300, "timesteps per configuration");
+  args.add_int("elements", 110592, "total element count (Table 7)");
+  args.add_flag("quick", "reduced sweep for smoke testing");
+  if (!args.parse(argc, argv)) return 1;
+  int steps = static_cast<int>(args.get_int("steps"));
+  std::vector<int> ps{1, 8, 27};
+  std::vector<int> threads{1, 2, 4, 8, 16, 32, 64};
+  if (args.get_flag("quick")) {
+    steps = 50;
+    ps = {1, 8};
+    threads = {1, 4, 16};
+  }
+
+  print_banner(
+      "Fig. 8 — Lulesh MPI Sections, dual Broadwell (2 x 18 cores, 2 HT)",
+      "Besnard et al., ICPPW'17, Figure 8",
+      "strong scaling at " + std::to_string(args.get_int("elements")) +
+          " elements, " + std::to_string(steps) + " steps");
+
+  run_lulesh_grid(mpisim::MachineModel::broadwell_2s(), ps, threads, steps,
+                  args.get_int("elements"));
+
+  std::printf(
+      "\nshape criteria (paper Sec. 5.2): (1) p=8,t=1 beats p=1,t=8 — MPI\n"
+      "accelerates more than OpenMP in strong scaling; (2) OpenMP keeps\n"
+      "helping at p=1 (large per-rank problem); (3) LagrangeElements\n"
+      "benefits more from threads than LagrangeNodal.\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Microbenchmarks (google-benchmark) of the section primitives and the
+// MiniMPI fast paths — quantifying the paper's implicit claim that
+// MPIX_Section_enter/exit is cheap enough to leave in production codes
+// ("minimal code addition", "non-blocking collective").
+//
+// Measured in *host* time: these are the real CPU costs of the runtime
+// machinery, not modelled virtual durations.
+#include <benchmark/benchmark.h>
+
+#include "core/sections/api.hpp"
+#include "core/sections/metrics.hpp"
+#include "mpisim/runtime.hpp"
+#include "profiler/section_profiler.hpp"
+
+namespace {
+
+using namespace mpisect;
+using mpisim::Comm;
+using mpisim::Ctx;
+using mpisim::MachineModel;
+using mpisim::World;
+using mpisim::WorldOptions;
+
+WorldOptions ideal_options() {
+  WorldOptions opts;
+  opts.machine = MachineModel::ideal();
+  return opts;
+}
+
+/// Single-rank world kept alive across iterations; the benchmark body runs
+/// inside one World::run invocation.
+template <typename Body>
+void run_on_world(benchmark::State& state, int nranks, bool with_tool,
+                  Body&& body) {
+  World world(nranks, ideal_options());
+  sections::SectionRuntime::install(world);
+  std::unique_ptr<profiler::SectionProfiler> prof;
+  if (with_tool) {
+    prof = std::make_unique<profiler::SectionProfiler>(world);
+  }
+  world.run([&](Ctx& ctx) {
+    if (ctx.rank() != 0) return;  // time only rank 0's loop
+    Comm comm = ctx.world_comm();
+    for (auto _ : state) {
+      body(ctx, comm);
+    }
+  });
+}
+
+void BM_SectionEnterExit(benchmark::State& state) {
+  run_on_world(state, 1, /*with_tool=*/false, [](Ctx&, Comm& comm) {
+    sections::MPIX_Section_enter(comm, "bench");
+    sections::MPIX_Section_exit(comm, "bench");
+  });
+}
+BENCHMARK(BM_SectionEnterExit);
+
+void BM_SectionEnterExitWithProfiler(benchmark::State& state) {
+  run_on_world(state, 1, /*with_tool=*/true, [](Ctx&, Comm& comm) {
+    sections::MPIX_Section_enter(comm, "bench");
+    sections::MPIX_Section_exit(comm, "bench");
+  });
+}
+BENCHMARK(BM_SectionEnterExitWithProfiler);
+
+void BM_SectionNested4Deep(benchmark::State& state) {
+  run_on_world(state, 1, false, [](Ctx&, Comm& comm) {
+    sections::MPIX_Section_enter(comm, "a");
+    sections::MPIX_Section_enter(comm, "b");
+    sections::MPIX_Section_enter(comm, "c");
+    sections::MPIX_Section_enter(comm, "d");
+    sections::MPIX_Section_exit(comm, "d");
+    sections::MPIX_Section_exit(comm, "c");
+    sections::MPIX_Section_exit(comm, "b");
+    sections::MPIX_Section_exit(comm, "a");
+  });
+}
+BENCHMARK(BM_SectionNested4Deep);
+
+void BM_ScopedSection(benchmark::State& state) {
+  run_on_world(state, 1, false, [](Ctx&, Comm& comm) {
+    const sections::ScopedSection s(comm, "scoped");
+    benchmark::DoNotOptimize(&s);
+  });
+}
+BENCHMARK(BM_ScopedSection);
+
+void BM_EagerSendRecvSelfWorld(benchmark::State& state) {
+  // Two-rank world: rank 0 ping-pongs with rank 1; we time rank 0's loop
+  // (each iteration is one round trip of `bytes`).
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  World world(2, ideal_options());
+  std::vector<std::byte> buf(std::max<std::size_t>(bytes, 1));
+  world.run([&](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    if (ctx.rank() == 0) {
+      for (auto _ : state) {
+        comm.send(buf.data(), bytes, 1, 0);
+        comm.recv(buf.data(), bytes, 1, 0);
+      }
+      comm.send(nullptr, 0, 1, 1);  // stop marker
+    } else {
+      for (;;) {
+        const mpisim::Status st = comm.probe(0, mpisim::kAnyTag);
+        if (st.tag == 1) {
+          comm.recv(nullptr, 0, 0, 1);
+          break;
+        }
+        comm.recv(buf.data(), bytes, 0, 0);
+        comm.send(buf.data(), bytes, 0, 0);
+      }
+    }
+  });
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes) * 2);
+}
+BENCHMARK(BM_EagerSendRecvSelfWorld)->Arg(8)->Arg(1024)->Arg(8192);
+
+void BM_Barrier8Ranks(benchmark::State& state) {
+  // All ranks iterate the same number of times; we time rank 0.
+  // Fixed iteration budget so the non-timed ranks can mirror rank 0's
+  // barrier count exactly.
+  constexpr int kIters = 1 << 12;
+  World world(8, ideal_options());
+  world.run([&](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    if (ctx.rank() == 0) {
+      for (auto _ : state) {
+        comm.barrier();
+      }
+    } else {
+      for (int i = 0; i < kIters; ++i) comm.barrier();
+    }
+  });
+}
+BENCHMARK(BM_Barrier8Ranks)->Iterations(1 << 12);
+
+void BM_MetricsCompute(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  std::vector<sections::RankSpan> spans;
+  for (int r = 0; r < nranks; ++r) {
+    spans.push_back({r, 0.001 * r, 1.0 + 0.002 * r});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sections::compute_metrics(spans));
+  }
+}
+BENCHMARK(BM_MetricsCompute)->Arg(8)->Arg(64)->Arg(456);
+
+void BM_LabelIntern(benchmark::State& state) {
+  sections::LabelRegistry reg;
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.intern(i % 2 == 0 ? "HALO" : "CONVOLVE"));
+    ++i;
+  }
+}
+BENCHMARK(BM_LabelIntern);
+
+}  // namespace

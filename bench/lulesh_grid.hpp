@@ -1,0 +1,72 @@
+// Shared MPI x OpenMP grid driver for the Fig. 8 / Fig. 9 benches.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "apps/lulesh/lulesh.hpp"
+#include "common.hpp"
+#include "support/chart.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace mpisect::bench {
+
+/// Run the Table 7 strong-scaling grid on one machine and print, per MPI
+/// process count, the paper's (section time vs threads) table and chart.
+inline void run_lulesh_grid(const mpisim::MachineModel& machine,
+                            const std::vector<int>& ps,
+                            const std::vector<int>& threads, int steps,
+                            long elements) {
+  for (const int p : ps) {
+    const int s = apps::lulesh::edge_for_total_elements(elements, p);
+    if (s < 0) {
+      std::printf("  (skipping p=%d: no integer edge)\n", p);
+      continue;
+    }
+    std::map<int, RunPoint> sweep;  // threads -> point
+    for (const int t : threads) {
+      LuleshRunOptions o;
+      o.s = s;
+      o.steps = steps;
+      o.omp_threads = t;
+      o.machine = machine;
+      sweep[t] = run_lulesh_point(p, o);
+    }
+    std::printf("\np = %d MPI processes (s = %d):\n", p, s);
+    support::TextTable table;
+    table.set_header({"OMP threads", "LagrangeNodal (s)",
+                      "LagrangeElements (s)", "walltime (s)"});
+    for (const int t : threads) {
+      const auto& pt = sweep.at(t);
+      auto get = [&](const char* label) {
+        const auto it = pt.per_process.find(label);
+        return it == pt.per_process.end() ? 0.0 : it->second;
+      };
+      table.add_row({std::to_string(t),
+                     support::fmt_double(get("LagrangeNodal"), 3),
+                     support::fmt_double(get("LagrangeElements"), 3),
+                     support::fmt_double(pt.walltime, 3)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    support::ChartOptions copt;
+    copt.title = "p=" + std::to_string(p) + ": section time vs OMP threads";
+    copt.log_x = true;
+    copt.log_y = true;
+    copt.x_label = "OpenMP threads";
+    copt.y_label = "seconds";
+    std::vector<support::Series> series;
+    for (const auto& label :
+         {std::string("LagrangeNodal"), std::string("LagrangeElements")}) {
+      const auto sries = section_series(sweep, label);
+      series.push_back({label, sries.xs(), sries.ys()});
+    }
+    const auto wt = walltime_series(sweep);
+    series.push_back({"walltime", wt.xs(), wt.ys()});
+    std::fputs(support::line_chart(series, copt).c_str(), stdout);
+  }
+}
+
+}  // namespace mpisect::bench

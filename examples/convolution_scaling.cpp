@@ -1,0 +1,98 @@
+// Domain-specific example 1: scalability triage of a stencil application.
+//
+// Runs the convolution benchmark (the paper's Sec. 5.1 workload) at a few
+// scales in FULL fidelity on small data — real pixels move, the result is
+// written as a PPM you can open — then performs the partial-speedup-bound
+// analysis and tells you which section will cap the application first.
+//
+//   build/examples/convolution_scaling [--width N --height N --steps N]
+#include <cstdio>
+#include <map>
+
+#include "apps/convolution/convolution.hpp"
+#include "core/speedup/partial_bound.hpp"
+#include "core/speedup/report.hpp"
+#include "mpisim/runtime.hpp"
+#include "profiler/section_profiler.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+
+using namespace mpisect;
+
+namespace {
+
+struct Point {
+  double walltime = 0.0;
+  std::map<std::string, std::pair<double, double>> sections;  // mean, total
+};
+
+Point run_at(int p, const apps::conv::ConvolutionConfig& base) {
+  mpisim::WorldOptions options;
+  options.machine = mpisim::MachineModel::nehalem_cluster();
+  mpisim::World world(p, options);
+  sections::SectionRuntime::install(world);
+  profiler::SectionProfiler prof(world);
+  apps::conv::ConvolutionConfig cfg = base;
+  if (p > 1) cfg.store_path.clear();  // write the image once, from the p=1 run
+  apps::conv::ConvolutionApp app(cfg);
+  world.run(std::ref(app));
+  Point pt;
+  pt.walltime = world.elapsed();
+  for (const auto& t : prof.totals()) {
+    pt.sections[t.label] = {t.mean_per_process, t.total_time};
+  }
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args("convolution_scaling",
+                          "Partial-speedup-bound triage of a stencil app");
+  args.add_int("width", 192, "image width (full fidelity: keep it small)");
+  args.add_int("height", 144, "image height");
+  args.add_int("steps", 30, "convolution steps");
+  if (!args.parse(argc, argv)) return 1;
+
+  apps::conv::ConvolutionConfig cfg;
+  cfg.width = static_cast<int>(args.get_int("width"));
+  cfg.height = static_cast<int>(args.get_int("height"));
+  cfg.steps = static_cast<int>(args.get_int("steps"));
+  cfg.full_fidelity = true;  // real pixels, verifiable output
+  cfg.store_path = "convolution_result.ppm";
+
+  const std::vector<int> ps{1, 2, 4, 8, 16};
+  std::map<int, Point> sweep;
+  for (const int p : ps) {
+    sweep[p] = run_at(p, cfg);
+    std::printf("p=%2d: virtual walltime %.4f s\n", p, sweep[p].walltime);
+  }
+  std::printf("(result image written to %s by the sequential run)\n\n",
+              cfg.store_path.c_str());
+
+  // Assemble the Eq. 6 analysis from the profiler numbers.
+  speedup::BoundAnalysis analysis(sweep[1].walltime);
+  for (const char* label : {"CONVOLVE", "HALO", "SCATTER", "GATHER"}) {
+    speedup::SectionScaling s;
+    s.label = label;
+    for (const int p : ps) {
+      const auto it = sweep[p].sections.find(label);
+      if (it == sweep[p].sections.end() || it->second.first <= 0.0) continue;
+      s.per_process.add(p, it->second.first);
+      s.total.add(p, it->second.second);
+    }
+    analysis.add_section(std::move(s));
+  }
+
+  std::printf("which section caps the speedup at each scale (Eq. 6):\n");
+  std::fputs(speedup::render_binding_table(analysis).c_str(), stdout);
+
+  speedup::ScalingSeries wall("walltime");
+  for (const int p : ps) wall.add(p, sweep[p].walltime);
+  std::fputs(speedup::summarize_speedup(wall).c_str(), stdout);
+  std::printf(
+      "\ntriage recipe: the 'binding section' column is where optimization\n"
+      "effort pays off — any other section, by Eq. 6, cannot lift the\n"
+      "application past the binding section's bound.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// The paper's interface, verbatim: a stencil-ish MPI program written
+// against the C-style facade (mpix::MPI_*), instrumented exactly as the
+// paper's Figure 1 proposes, and inspected through the section tree —
+// the closest this repository gets to "what adopting MPI_Section in an
+// existing MPI code looks like".
+//
+//   build/examples/paper_interface
+#include <cstdio>
+#include <vector>
+
+#include "core/compat/mpi_compat.hpp"
+#include "core/sections/runtime.hpp"
+#include "profiler/section_profiler.hpp"
+#include "profiler/tree.hpp"
+
+using namespace mpisect;
+using namespace mpisect::mpix;
+
+namespace {
+
+/// The "application": textbook MPI code, two added lines per phase.
+void app_main(mpisim::Ctx& ctx) {
+  MPI_Comm comm = ctx.world_comm();
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(comm, &rank);
+  MPI_Comm_size(comm, &size);
+
+  /* Enter an MPI Section */
+  MPIX_Section_enter(comm, "init");
+  std::vector<double> field(1024, rank * 1.0);
+  double config[16] = {};  // run parameters shipped from rank 0
+  MPI_Bcast(config, 16, MPI_DOUBLE, 0, comm);
+  MPIX_Section_exit(comm, "init");
+
+  MPIX_Section_enter(comm, "solve");
+  const int right = (rank + 1) % size;
+  const int left = (rank - 1 + size) % size;
+  for (int step = 0; step < 25; ++step) {
+    MPIX_Section_enter(comm, "exchange");
+    double ghost = 0.0;
+    MPI_Status status;
+    MPI_Sendrecv(field.data(), 1, MPI_DOUBLE, right, 0, &ghost, 1,
+                 MPI_DOUBLE, left, 0, comm, &status);
+    MPIX_Section_exit(comm, "exchange");
+
+    MPIX_Section_enter(comm, "compute");
+    ctx.compute_flops(2e7);
+    field[0] = 0.5 * (field[0] + ghost);
+    MPIX_Section_exit(comm, "compute");
+  }
+  MPIX_Section_exit(comm, "solve");
+
+  MPIX_Section_enter(comm, "checkpoint");
+  double norm = 0.0;
+  MPI_Allreduce(&field[0], &norm, 1, MPI_DOUBLE, MPI_SUM, comm);
+  if (rank == 0) std::printf("field norm after solve: %.6f\n", norm);
+  MPIX_Section_exit(comm, "checkpoint");
+}
+
+}  // namespace
+
+int main() {
+  mpisim::WorldOptions options;
+  options.machine = mpisim::MachineModel::nehalem_cluster();
+  mpisim::World world(8, options);
+  sections::SectionRuntime::install(world);
+  profiler::SectionProfiler prof(world, {.keep_instances = true});
+
+  world.run(app_main);
+
+  std::printf("\nsection tree (phase 'call-tree', averaged over ranks):\n");
+  std::fputs(profiler::render_tree(profiler::build_section_tree(prof)).c_str(),
+             stdout);
+  std::printf(
+      "\ntwo function calls per phase bought: nesting-checked phase\n"
+      "outlines, per-phase MPI-time attribution, and cross-rank imbalance\n"
+      "metrics — all through a tool the application never linked against.\n");
+  return 0;
+}

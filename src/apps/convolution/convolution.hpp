@@ -1,0 +1,90 @@
+// The paper's convolution benchmark (Section 5.1, Figure 4).
+//
+// Phase pipeline, each outlined with an MPI_Section:
+//   LOAD     — rank 0 loads+decodes the image (others wait)
+//   SCATTER  — 1D row split scattered to all ranks (MPI_Scatterv)
+//   per time-step (default 1000):
+//     HALO     — ghost-row exchange with up/down neighbors
+//     CONVOLVE — 3x3 stencil on the local band
+//   GATHER   — image collected back on rank 0 (MPI_Gatherv)
+//   STORE    — rank 0 encodes+stores the result (others wait)
+//
+// Two fidelities share this exact control flow (same sections, same MPI
+// calls, same byte counts):
+//   Full    — real pixels move and the stencil executes; results verified
+//             against the serial reference (tests, examples).
+//   Modeled — payloads are byte-counted only and compute is charged to the
+//             virtual clock analytically (bench sweeps at paper scale:
+//             5616x3744, 1000 steps, up to 456 ranks).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "apps/convolution/decomp.hpp"
+#include "apps/convolution/image.hpp"
+#include "apps/convolution/stencil.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace mpisect::apps::conv {
+
+struct ConvolutionConfig {
+  int width = 5616;
+  int height = 3744;
+  int steps = 1000;
+  /// Domain decomposition dimensionality: 1 = the paper's row split,
+  /// 2 = square-ish tiles (Sec. 3's "higher dimension" alternative with
+  /// smaller halos but more neighbours — 4 faces + 4 corners).
+  int decomp_dims = 1;
+  /// Full fidelity: move real pixels and execute the stencil.
+  bool full_fidelity = false;
+  std::uint64_t image_seed = 42;
+  /// Modelled sequential I/O bandwidth for LOAD/STORE (bytes/s).
+  double io_bandwidth = 2.5e8;
+  double decode_flops_per_pixel = 25.0;
+  double encode_flops_per_pixel = 12.0;
+  double flops_per_pixel = kFlopsPerPixel;
+  Kernel3x3 kernel = Kernel3x3::mean_filter();
+  /// Full mode: write the result PPM here ("" = keep in memory only).
+  std::string store_path;
+  /// Emit MPI_Pcontrol phase markers alongside sections (for the
+  /// IPM-baseline ablation).
+  bool emit_pcontrol = false;
+};
+
+/// Section labels used by the benchmark (paper Sec. 5.1 list).
+namespace labels {
+inline constexpr const char* kLoad = "LOAD";
+inline constexpr const char* kScatter = "SCATTER";
+inline constexpr const char* kConvolve = "CONVOLVE";
+inline constexpr const char* kHalo = "HALO";
+inline constexpr const char* kGather = "GATHER";
+inline constexpr const char* kStore = "STORE";
+}  // namespace labels
+
+class ConvolutionApp {
+ public:
+  explicit ConvolutionApp(ConvolutionConfig config);
+
+  /// SPMD body — pass to World::run. Requires p <= height.
+  void operator()(mpisim::Ctx& ctx);
+
+  [[nodiscard]] const ConvolutionConfig& config() const noexcept {
+    return config_;
+  }
+  /// Full mode, after run(): the gathered result on rank 0.
+  [[nodiscard]] const Image& result() const noexcept { return *result_; }
+  [[nodiscard]] bool has_result() const noexcept {
+    return result_ != nullptr && result_->width() > 0;
+  }
+
+ private:
+  void run_rank0_io(mpisim::Ctx& ctx, bool load, Image* io_image);
+  void run_1d(mpisim::Ctx& ctx);
+  void run_2d(mpisim::Ctx& ctx);
+  ConvolutionConfig config_;
+  std::shared_ptr<Image> result_ = std::make_shared<Image>();
+};
+
+}  // namespace mpisect::apps::conv

@@ -1,0 +1,119 @@
+#include "apps/convolution/decomp.hpp"
+
+#include <algorithm>
+
+#include "mpisim/error.hpp"
+
+namespace mpisect::apps::conv {
+
+RowDecomposition::RowDecomposition(int height, int nranks)
+    : height_(height), nranks_(nranks) {
+  mpisim::require(nranks > 0, mpisim::Err::Arg,
+                  "decomposition needs at least one rank");
+  mpisim::require(nranks <= height, mpisim::Err::Arg,
+                  "more ranks than rows");
+  base_ = height / nranks;
+  extra_ = height % nranks;
+}
+
+int RowDecomposition::rows_of(int rank) const noexcept {
+  return base_ + (rank < extra_ ? 1 : 0);
+}
+
+int RowDecomposition::row_start(int rank) const noexcept {
+  const int full = rank < extra_ ? rank : extra_;
+  return rank * base_ + full;
+}
+
+int RowDecomposition::owner_of(int row) const noexcept {
+  // Rows [0, extra_*(base_+1)) belong to the ranks with an extra row.
+  const int boundary = extra_ * (base_ + 1);
+  if (row < boundary) return row / (base_ + 1);
+  if (base_ == 0) return nranks_ - 1;
+  return extra_ + (row - boundary) / base_;
+}
+
+std::vector<std::size_t> RowDecomposition::byte_counts(
+    std::size_t row_bytes) const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    counts[static_cast<std::size_t>(r)] =
+        static_cast<std::size_t>(rows_of(r)) * row_bytes;
+  }
+  return counts;
+}
+
+std::vector<std::size_t> RowDecomposition::byte_displs(
+    std::size_t row_bytes) const {
+  std::vector<std::size_t> displs(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    displs[static_cast<std::size_t>(r)] =
+        static_cast<std::size_t>(row_start(r)) * row_bytes;
+  }
+  return displs;
+}
+
+// ---------------------------------------------------------------------------
+// GridDecomposition
+// ---------------------------------------------------------------------------
+
+void GridDecomposition::squarest_grid(int nranks, int& px, int& py) noexcept {
+  px = 1;
+  for (int d = 1; d * d <= nranks; ++d) {
+    if (nranks % d == 0) px = d;
+  }
+  py = nranks / px;
+}
+
+GridDecomposition::GridDecomposition(int width, int height, int nranks)
+    : width_(width), height_(height) {
+  mpisim::require(nranks > 0, mpisim::Err::Arg,
+                  "grid decomposition needs at least one rank");
+  squarest_grid(nranks, px_, py_);
+  mpisim::require(px_ <= width && py_ <= height, mpisim::Err::Arg,
+                  "more ranks than pixels along an axis");
+}
+
+GridDecomposition::Tile GridDecomposition::tile_of(int rank) const {
+  mpisim::require(rank >= 0 && rank < nranks(), mpisim::Err::Rank,
+                  "tile rank out of range");
+  const int gx = grid_x(rank);
+  const int gy = grid_y(rank);
+  const int base_w = width_ / px_;
+  const int extra_w = width_ % px_;
+  const int base_h = height_ / py_;
+  const int extra_h = height_ % py_;
+  Tile t;
+  t.width = base_w + (gx < extra_w ? 1 : 0);
+  t.height = base_h + (gy < extra_h ? 1 : 0);
+  t.x0 = gx * base_w + std::min(gx, extra_w);
+  t.y0 = gy * base_h + std::min(gy, extra_h);
+  return t;
+}
+
+int GridDecomposition::neighbor(int rank, int dx, int dy) const noexcept {
+  const int gx = grid_x(rank) + dx;
+  const int gy = grid_y(rank) + dy;
+  if (gx < 0 || gx >= px_ || gy < 0 || gy >= py_) return -1;
+  return gy * px_ + gx;
+}
+
+std::size_t GridDecomposition::halo_bytes(int rank,
+                                          std::size_t pixel_bytes) const {
+  const Tile t = tile_of(rank);
+  std::size_t pixels = 0;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      if (neighbor(rank, dx, dy) < 0) continue;
+      const std::size_t w =
+          dx == 0 ? static_cast<std::size_t>(t.width) : 1u;
+      const std::size_t h =
+          dy == 0 ? static_cast<std::size_t>(t.height) : 1u;
+      pixels += w * h;
+    }
+  }
+  return pixels * pixel_bytes;
+}
+
+}  // namespace mpisect::apps::conv

@@ -1,0 +1,89 @@
+// 1D row-block domain decomposition (paper Sec. 5.1: "scattered through a
+// 1D splitting among the MPI processes"). With a 1D split, halo size per
+// process is constant in p — the property that makes the paper's growing
+// HALO times "surprising" and motivates section-level measurement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mpisect::apps::conv {
+
+class RowDecomposition {
+ public:
+  /// Split `height` rows over `nranks` block-wise; earlier ranks take the
+  /// remainder. Requires 0 < nranks <= height.
+  RowDecomposition(int height, int nranks);
+
+  [[nodiscard]] int nranks() const noexcept { return nranks_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] int rows_of(int rank) const noexcept;
+  [[nodiscard]] int row_start(int rank) const noexcept;
+  /// Rank owning a global row.
+  [[nodiscard]] int owner_of(int row) const noexcept;
+
+  /// Neighbors for halo exchange (-1 at domain boundaries).
+  [[nodiscard]] int up_neighbor(int rank) const noexcept {
+    return rank > 0 ? rank - 1 : -1;
+  }
+  [[nodiscard]] int down_neighbor(int rank) const noexcept {
+    return rank < nranks_ - 1 ? rank + 1 : -1;
+  }
+
+  /// Byte counts/displacements for scatterv/gatherv of row-major data with
+  /// `row_bytes` bytes per row.
+  [[nodiscard]] std::vector<std::size_t> byte_counts(
+      std::size_t row_bytes) const;
+  [[nodiscard]] std::vector<std::size_t> byte_displs(
+      std::size_t row_bytes) const;
+
+ private:
+  int height_;
+  int nranks_;
+  int base_;
+  int extra_;
+};
+
+/// 2D block (tile) decomposition of an image over a px x py rank grid —
+/// the higher-dimensional alternative the paper's Sec. 3 discusses: halo
+/// bytes per rank shrink as the perimeter/area ratio, at the price of more
+/// neighbours (4 faces + 4 corners for a 3x3 stencil).
+class GridDecomposition {
+ public:
+  /// Split width x height pixels over nranks arranged in the most square
+  /// px x py grid with px * py == nranks. Requires px <= width and
+  /// py <= height.
+  GridDecomposition(int width, int height, int nranks);
+
+  [[nodiscard]] int nranks() const noexcept { return px_ * py_; }
+  [[nodiscard]] int px() const noexcept { return px_; }
+  [[nodiscard]] int py() const noexcept { return py_; }
+
+  struct Tile {
+    int x0 = 0;
+    int y0 = 0;
+    int width = 0;
+    int height = 0;
+  };
+  [[nodiscard]] Tile tile_of(int rank) const;
+  [[nodiscard]] int grid_x(int rank) const noexcept { return rank % px_; }
+  [[nodiscard]] int grid_y(int rank) const noexcept { return rank / px_; }
+  /// Neighbour at grid offset (dx, dy), or -1 outside the grid.
+  [[nodiscard]] int neighbor(int rank, int dx, int dy) const noexcept;
+
+  /// Bytes exchanged per halo step by `rank` (faces + corners, 1-pixel
+  /// halo, `pixel_bytes` per pixel).
+  [[nodiscard]] std::size_t halo_bytes(int rank,
+                                       std::size_t pixel_bytes) const;
+
+  /// The most square factorization px * py = nranks with px <= py.
+  static void squarest_grid(int nranks, int& px, int& py) noexcept;
+
+ private:
+  int width_;
+  int height_;
+  int px_;
+  int py_;
+};
+
+}  // namespace mpisect::apps::conv

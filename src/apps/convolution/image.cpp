@@ -1,0 +1,124 @@
+#include "apps/convolution/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace mpisect::apps::conv {
+
+Image::Image(int width, int height)
+    : width_(width), height_(height), data_(value_count(), 0.0) {}
+
+double Image::mean_abs_diff(const Image& other) const noexcept {
+  if (width_ != other.width_ || height_ != other.height_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (data_.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    sum += std::fabs(data_[i] - other.data_[i]);
+  }
+  return sum / static_cast<double>(data_.size());
+}
+
+double Image::checksum() const noexcept {
+  double sum = 0.0;
+  for (const double v : data_) sum += v;
+  return sum;
+}
+
+Image make_test_image(int width, int height, std::uint64_t seed) {
+  Image img(width, height);
+  const support::CounterRng rng(seed);
+  const double fx = 12.0 / std::max(width, 1);
+  const double fy = 9.0 / std::max(height, 1);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double gx = static_cast<double>(x) / std::max(width - 1, 1);
+      const double gy = static_cast<double>(y) / std::max(height - 1, 1);
+      const double wave =
+          0.25 * std::sin(fx * x) * std::cos(fy * y);
+      const std::uint64_t counter =
+          static_cast<std::uint64_t>(y) * static_cast<std::uint64_t>(width) +
+          static_cast<std::uint64_t>(x);
+      const double noise = 0.1 * rng.uniform(0xDE7A11, counter);
+      img.at(x, y, 0) = std::clamp(0.5 * gx + wave + noise, 0.0, 1.0);
+      img.at(x, y, 1) = std::clamp(0.5 * gy + wave + noise, 0.0, 1.0);
+      img.at(x, y, 2) = std::clamp(0.5 * (1.0 - gx) + wave + noise, 0.0, 1.0);
+    }
+  }
+  return img;
+}
+
+std::vector<std::uint8_t> encode_ppm(const Image& img) {
+  char header[64];
+  const int n = std::snprintf(header, sizeof header, "P6\n%d %d\n255\n",
+                              img.width(), img.height());
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(n) + img.value_count());
+  out.insert(out.end(), header, header + n);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      for (int c = 0; c < kChannels; ++c) {
+        const double v = std::clamp(img.at(x, y, c), 0.0, 1.0);
+        out.push_back(static_cast<std::uint8_t>(std::lround(v * 255.0)));
+      }
+    }
+  }
+  return out;
+}
+
+Image decode_ppm(const std::vector<std::uint8_t>& bytes) {
+  // Parse "P6\n<w> <h>\n<max>\n" tolerating arbitrary whitespace.
+  std::size_t pos = 0;
+  auto skip_space = [&] {
+    while (pos < bytes.size() &&
+           std::isspace(static_cast<int>(bytes[pos])) != 0) {
+      ++pos;
+    }
+  };
+  auto read_int = [&]() -> int {
+    skip_space();
+    int v = 0;
+    bool any = false;
+    while (pos < bytes.size() && bytes[pos] >= '0' && bytes[pos] <= '9') {
+      v = v * 10 + (bytes[pos] - '0');
+      ++pos;
+      any = true;
+    }
+    if (!any) throw std::runtime_error("ppm: malformed integer");
+    return v;
+  };
+
+  if (bytes.size() < 2 || bytes[0] != 'P' || bytes[1] != '6') {
+    throw std::runtime_error("ppm: not a P6 file");
+  }
+  pos = 2;
+  const int w = read_int();
+  const int h = read_int();
+  const int maxval = read_int();
+  if (w <= 0 || h <= 0 || maxval != 255) {
+    throw std::runtime_error("ppm: unsupported dimensions or depth");
+  }
+  ++pos;  // single whitespace after maxval
+  const std::size_t need =
+      static_cast<std::size_t>(w) * static_cast<std::size_t>(h) * kChannels;
+  if (bytes.size() < pos + need) {
+    throw std::runtime_error("ppm: truncated pixel data");
+  }
+  Image img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int c = 0; c < kChannels; ++c) {
+        img.at(x, y, c) = static_cast<double>(bytes[pos++]) / 255.0;
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace mpisect::apps::conv

@@ -1,0 +1,86 @@
+// RGB image container, procedural test-image generation, and a PPM codec.
+//
+// The paper convolves a 5616x3744 three-channel photograph stored in double
+// precision. We have no photograph, so make_test_image() synthesizes a
+// deterministic image of the same dimensions (smooth gradients + seeded
+// detail) — the convolution kernel is content-agnostic, so only the pixel
+// count matters for timing while real content keeps the numerics honest
+// for correctness tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpisect::apps::conv {
+
+inline constexpr int kChannels = 3;
+
+/// Row-major, interleaved-channel image of doubles in [0, 1].
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t pixel_count() const noexcept {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+  [[nodiscard]] std::size_t value_count() const noexcept {
+    return pixel_count() * kChannels;
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return value_count() * sizeof(double);
+  }
+
+  [[nodiscard]] double& at(int x, int y, int c) noexcept {
+    return data_[index(x, y, c)];
+  }
+  [[nodiscard]] double at(int x, int y, int c) const noexcept {
+    return data_[index(x, y, c)];
+  }
+  [[nodiscard]] double* row(int y) noexcept {
+    return data_.data() + static_cast<std::size_t>(y) *
+                              static_cast<std::size_t>(width_) * kChannels;
+  }
+  [[nodiscard]] const double* row(int y) const noexcept {
+    return data_.data() + static_cast<std::size_t>(y) *
+                              static_cast<std::size_t>(width_) * kChannels;
+  }
+  [[nodiscard]] std::size_t row_bytes() const noexcept {
+    return static_cast<std::size_t>(width_) * kChannels * sizeof(double);
+  }
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+  /// Mean absolute per-value difference against another image (same dims
+  /// required; returns +inf otherwise). Used by correctness tests.
+  [[nodiscard]] double mean_abs_diff(const Image& other) const noexcept;
+  /// Order-independent checksum (sum of all values).
+  [[nodiscard]] double checksum() const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t index(int x, int y, int c) const noexcept {
+    return (static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+            static_cast<std::size_t>(x)) *
+               kChannels +
+           static_cast<std::size_t>(c);
+  }
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<double> data_;
+};
+
+/// Deterministic procedural test image (gradients + interference pattern +
+/// seeded noise) — the stand-in for the paper's photograph.
+[[nodiscard]] Image make_test_image(int width, int height,
+                                    std::uint64_t seed = 42);
+
+/// Encode to binary PPM (P6, 8-bit). Values are clamped to [0,1].
+[[nodiscard]] std::vector<std::uint8_t> encode_ppm(const Image& img);
+/// Decode a binary PPM (P6, 8-bit). Throws std::runtime_error on a
+/// malformed header.
+[[nodiscard]] Image decode_ppm(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace mpisect::apps::conv

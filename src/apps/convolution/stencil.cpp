@@ -1,0 +1,63 @@
+#include "apps/convolution/stencil.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mpisect::apps::conv {
+
+Kernel3x3 Kernel3x3::mean_filter() noexcept {
+  Kernel3x3 k;
+  k.w.fill(1.0 / 9.0);
+  return k;
+}
+
+Kernel3x3 Kernel3x3::gaussian() noexcept {
+  Kernel3x3 k;
+  constexpr double kWeights[9] = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+  for (std::size_t i = 0; i < 9; ++i) k.w[i] = kWeights[i] / 16.0;
+  return k;
+}
+
+Kernel3x3 Kernel3x3::identity() noexcept {
+  Kernel3x3 k;
+  k.w.fill(0.0);
+  k.w[4] = 1.0;
+  return k;
+}
+
+void apply_stencil_rows(const Image& src, Image& dst, int y0, int y1,
+                        const Kernel3x3& kernel) noexcept {
+  apply_stencil_region(src, dst, 0, src.width(), y0, y1, kernel);
+}
+
+void apply_stencil_region(const Image& src, Image& dst, int x0, int x1,
+                          int y0, int y1, const Kernel3x3& kernel) noexcept {
+  const int w = src.width();
+  const int h = src.height();
+  for (int y = std::max(y0, 0); y < std::min(y1, h); ++y) {
+    for (int x = std::max(x0, 0); x < std::min(x1, w); ++x) {
+      for (int c = 0; c < kChannels; ++c) {
+        double acc = 0.0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          const int yy = std::clamp(y + dy, 0, h - 1);
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int xx = std::clamp(x + dx, 0, w - 1);
+            acc += kernel.at(dx, dy) * src.at(xx, yy, c);
+          }
+        }
+        dst.at(x, y, c) = acc;
+      }
+    }
+  }
+}
+
+Image convolve_reference(Image img, int steps, const Kernel3x3& kernel) {
+  Image back(img.width(), img.height());
+  for (int s = 0; s < steps; ++s) {
+    apply_stencil_rows(img, back, 0, img.height(), kernel);
+    std::swap(img, back);
+  }
+  return img;
+}
+
+}  // namespace mpisect::apps::conv

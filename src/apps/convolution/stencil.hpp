@@ -1,0 +1,53 @@
+// Stencil kernels for the convolution benchmark.
+//
+// The paper applies a 3x3 mean filter repeatedly ("its proximity with other
+// algorithms (e.g., Lattice-Boltzmann) where spatial values are propagated
+// using similar stencils"). apply_stencil_rows() convolves a row band of an
+// image given the band plus one halo row on each side, which is exactly the
+// unit of work a 1D-decomposed rank performs per time-step.
+#pragma once
+
+#include <array>
+
+#include "apps/convolution/image.hpp"
+
+namespace mpisect::apps::conv {
+
+/// A normalized 3x3 convolution kernel.
+struct Kernel3x3 {
+  std::array<double, 9> w{};
+
+  [[nodiscard]] static Kernel3x3 mean_filter() noexcept;
+  [[nodiscard]] static Kernel3x3 gaussian() noexcept;   ///< binomial 1-2-1
+  [[nodiscard]] static Kernel3x3 identity() noexcept;
+
+  [[nodiscard]] double at(int dx, int dy) const noexcept {
+    return w[static_cast<std::size_t>((dy + 1) * 3 + (dx + 1))];
+  }
+};
+
+/// Convolve rows [y0, y1) of `src` into the same rows of `dst` (same
+/// dimensions). Out-of-bounds accesses clamp to the image edge, so the
+/// global border is handled by the same code on every rank. The caller
+/// guarantees rows y0-1 and y1 of `src` hold valid data (interior ranks:
+/// freshly exchanged halo rows; boundary ranks: clamped automatically).
+void apply_stencil_rows(const Image& src, Image& dst, int y0, int y1,
+                        const Kernel3x3& kernel) noexcept;
+
+/// Convolve the rectangle [x0, x1) x [y0, y1) (clamping out-of-bounds
+/// reads to the image edge). apply_stencil_rows is the full-width case;
+/// the 2D-decomposed benchmark convolves only its tile interior.
+void apply_stencil_region(const Image& src, Image& dst, int x0, int x1,
+                          int y0, int y1, const Kernel3x3& kernel) noexcept;
+
+/// Serial reference: convolve the whole image `steps` times with the given
+/// kernel (double-buffered). Used to verify distributed results.
+[[nodiscard]] Image convolve_reference(Image img, int steps,
+                                       const Kernel3x3& kernel);
+
+/// Nominal flop count per pixel per step for the 3x3 kernel (used by the
+/// charge model; calibrated so the paper-size image costs ~5.2 s/step on
+/// the Nehalem preset, matching the paper's ~5590 s sequential total).
+inline constexpr double kFlopsPerPixel = 580.0;
+
+}  // namespace mpisect::apps::conv

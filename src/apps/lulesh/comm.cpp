@@ -1,0 +1,271 @@
+#include "apps/lulesh/comm.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "mpisim/error.hpp"
+
+namespace mpisect::apps::lulesh {
+namespace {
+
+/// Direction index in [0, 27): (dx+1) + 3*(dy+1) + 9*(dz+1). 13 = self.
+int dir_index(int dx, int dy, int dz) noexcept {
+  return (dx + 1) + 3 * (dy + 1) + 9 * (dz + 1);
+}
+
+/// Node-range [lo, hi) of one axis for a boundary set in direction d.
+void axis_range(int d, int n, int& lo, int& hi) noexcept {
+  if (d < 0) {
+    lo = 0;
+    hi = 1;
+  } else if (d > 0) {
+    lo = n - 1;
+    hi = n;
+  } else {
+    lo = 0;
+    hi = n;
+  }
+}
+
+std::size_t node_idx(int n, int i, int j, int k) noexcept {
+  return (static_cast<std::size_t>(k) * static_cast<std::size_t>(n) +
+          static_cast<std::size_t>(j)) *
+             static_cast<std::size_t>(n) +
+         static_cast<std::size_t>(i);
+}
+
+}  // namespace
+
+CubeDecomposition::CubeDecomposition(int nranks) {
+  mpisim::require(is_cube(nranks), mpisim::Err::Arg,
+                  "lulesh requires a perfect-cube rank count");
+  pgrid_ = static_cast<int>(std::lround(std::cbrt(nranks)));
+}
+
+bool CubeDecomposition::is_cube(int nranks) noexcept {
+  if (nranks <= 0) return false;
+  const int r = static_cast<int>(std::lround(std::cbrt(nranks)));
+  return r * r * r == nranks;
+}
+
+CubeDecomposition::Coords CubeDecomposition::coords_of(
+    int rank) const noexcept {
+  Coords c;
+  c.rx = rank % pgrid_;
+  c.ry = (rank / pgrid_) % pgrid_;
+  c.rz = rank / (pgrid_ * pgrid_);
+  return c;
+}
+
+int CubeDecomposition::rank_of(int rx, int ry, int rz) const noexcept {
+  return rx + pgrid_ * (ry + pgrid_ * rz);
+}
+
+int CubeDecomposition::neighbor(int rank, int dx, int dy,
+                                int dz) const noexcept {
+  const Coords c = coords_of(rank);
+  const int nx = c.rx + dx;
+  const int ny = c.ry + dy;
+  const int nz = c.rz + dz;
+  if (nx < 0 || nx >= pgrid_ || ny < 0 || ny >= pgrid_ || nz < 0 ||
+      nz >= pgrid_) {
+    return -1;
+  }
+  return rank_of(nx, ny, nz);
+}
+
+int CubeDecomposition::neighbor_count(int rank) const noexcept {
+  int n = 0;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        if (neighbor(rank, dx, dy, dz) >= 0) ++n;
+      }
+    }
+  }
+  return n;
+}
+
+ExchangeStats exchange_sum_nodal(mpisim::Comm& comm,
+                                 const CubeDecomposition& cube,
+                                 int nnode_edge, std::vector<double>* field0,
+                                 std::vector<double>* field1,
+                                 std::vector<double>* field2, int tag_base) {
+  ExchangeStats stats;
+  const int rank = comm.rank();
+  const int n = nnode_edge;
+  std::array<std::vector<double>*, 3> fields{field0, field1, field2};
+  int nfields = 0;
+  for (auto* f : fields) {
+    if (f != nullptr) ++nfields;
+  }
+  const bool full = nfields > 0;
+
+  struct Pending {
+    int dx, dy, dz;
+    int peer;
+    std::size_t count;  ///< doubles per message
+    std::vector<double> send_buf;
+    std::vector<double> recv_buf;
+    mpisim::Comm::Request send_req;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(26);
+
+  // Snapshot + isend every boundary set (snapshots first so the sums we
+  // ship are the *local* contributions, untouched by incoming adds).
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int peer = cube.neighbor(rank, dx, dy, dz);
+        if (peer < 0) continue;
+        int ilo, ihi, jlo, jhi, klo, khi;
+        axis_range(dx, n, ilo, ihi);
+        axis_range(dy, n, jlo, jhi);
+        axis_range(dz, n, klo, khi);
+        Pending p;
+        p.dx = dx;
+        p.dy = dy;
+        p.dz = dz;
+        p.peer = peer;
+        p.count = static_cast<std::size_t>(ihi - ilo) *
+                  static_cast<std::size_t>(jhi - jlo) *
+                  static_cast<std::size_t>(khi - klo) *
+                  static_cast<std::size_t>(full ? nfields : 3);
+        if (full) {
+          p.send_buf.reserve(p.count);
+          for (int k = klo; k < khi; ++k) {
+            for (int j = jlo; j < jhi; ++j) {
+              for (int i = ilo; i < ihi; ++i) {
+                const std::size_t idx = node_idx(n, i, j, k);
+                for (auto* f : fields) {
+                  if (f != nullptr) p.send_buf.push_back((*f)[idx]);
+                }
+              }
+            }
+          }
+        }
+        pending.push_back(std::move(p));
+      }
+    }
+  }
+  for (auto& p : pending) {
+    const std::size_t bytes = p.count * sizeof(double);
+    p.send_req =
+        comm.isend(p.send_buf.empty() ? nullptr : p.send_buf.data(), bytes,
+                   p.peer, tag_base + dir_index(p.dx, p.dy, p.dz));
+    ++stats.messages;
+    stats.bytes += bytes;
+  }
+
+  // Receive and accumulate. The message from the neighbour at my direction
+  // d carries THEIR boundary set for -d — the same global nodes as MY set
+  // for d — and was tagged with the sender's direction, i.e. -d.
+  for (auto& p : pending) {
+    const std::size_t bytes = p.count * sizeof(double);
+    if (full) p.recv_buf.resize(p.count);
+    comm.recv(full ? p.recv_buf.data() : nullptr, bytes, p.peer,
+              tag_base + dir_index(-p.dx, -p.dy, -p.dz));
+    if (full) {
+      int ilo, ihi, jlo, jhi, klo, khi;
+      axis_range(p.dx, n, ilo, ihi);
+      axis_range(p.dy, n, jlo, jhi);
+      axis_range(p.dz, n, klo, khi);
+      std::size_t cursor = 0;
+      for (int k = klo; k < khi; ++k) {
+        for (int j = jlo; j < jhi; ++j) {
+          for (int i = ilo; i < ihi; ++i) {
+            const std::size_t idx = node_idx(n, i, j, k);
+            for (auto* f : fields) {
+              if (f != nullptr) (*f)[idx] += p.recv_buf[cursor++];
+            }
+          }
+        }
+      }
+    }
+  }
+  for (auto& p : pending) p.send_req.wait();
+  return stats;
+}
+
+ExchangeStats exchange_elem_faces(mpisim::Comm& comm,
+                                  const CubeDecomposition& cube, int s,
+                                  const std::vector<double>* field,
+                                  int tag_base) {
+  ExchangeStats stats;
+  const int rank = comm.rank();
+  const bool full = field != nullptr;
+  const std::size_t layer =
+      static_cast<std::size_t>(s) * static_cast<std::size_t>(s);
+  const std::size_t bytes = layer * sizeof(double);
+
+  constexpr int kFaces[6][3] = {{-1, 0, 0}, {1, 0, 0},  {0, -1, 0},
+                                {0, 1, 0},  {0, 0, -1}, {0, 0, 1}};
+  struct Pending {
+    int peer;
+    int dir;
+    std::vector<double> send_buf;
+    std::vector<double> recv_buf;
+    mpisim::Comm::Request send_req;
+  };
+  std::vector<Pending> pending;
+  for (int f = 0; f < 6; ++f) {
+    const int peer =
+        cube.neighbor(rank, kFaces[f][0], kFaces[f][1], kFaces[f][2]);
+    if (peer < 0) continue;
+    Pending p;
+    p.peer = peer;
+    p.dir = f;
+    if (full) {
+      // Pack the touching element layer (plane index 0 or s-1 on the
+      // face's axis).
+      p.send_buf.reserve(layer);
+      const int axis = f / 2;
+      const int plane = (f % 2 == 0) ? 0 : s - 1;
+      for (int b = 0; b < s; ++b) {
+        for (int a = 0; a < s; ++a) {
+          int i = 0, j = 0, k = 0;
+          if (axis == 0) {
+            i = plane;
+            j = a;
+            k = b;
+          } else if (axis == 1) {
+            i = a;
+            j = plane;
+            k = b;
+          } else {
+            i = a;
+            j = b;
+            k = plane;
+          }
+          const std::size_t idx =
+              (static_cast<std::size_t>(k) * static_cast<std::size_t>(s) +
+               static_cast<std::size_t>(j)) *
+                  static_cast<std::size_t>(s) +
+              static_cast<std::size_t>(i);
+          p.send_buf.push_back((*field)[idx]);
+        }
+      }
+    }
+    pending.push_back(std::move(p));
+  }
+  for (auto& p : pending) {
+    p.send_req = comm.isend(p.send_buf.empty() ? nullptr : p.send_buf.data(),
+                            bytes, p.peer, tag_base + p.dir);
+    ++stats.messages;
+    stats.bytes += bytes;
+  }
+  for (auto& p : pending) {
+    if (full) p.recv_buf.resize(layer);
+    // The opposite face index on the sender: pairs (0,1), (2,3), (4,5).
+    const int opposite = p.dir ^ 1;
+    comm.recv(full ? p.recv_buf.data() : nullptr, bytes, p.peer,
+              tag_base + opposite);
+  }
+  for (auto& p : pending) p.send_req.wait();
+  return stats;
+}
+
+}  // namespace mpisect::apps::lulesh

@@ -1,0 +1,73 @@
+// Cube decomposition and halo exchanges for the mini-Lulesh proxy.
+//
+// LULESH constrains the MPI process count to a perfect cube (paper Table 7)
+// and exchanges boundary nodal quantities with up to 26 neighbours (faces,
+// edges, corners). exchange_sum_nodal() implements the sum-combine pattern:
+// every rank snapshots its *own* contribution on each shared boundary set,
+// ships it to the neighbour, and accumulates everything it receives — a
+// node shared by 2/4/8 ranks ends up with the full global sum on each of
+// them, with no double counting.
+//
+// All exchange functions work in both fidelities: passing null field
+// pointers sends modelled byte counts only (bench mode).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mpisim/comm.hpp"
+
+namespace mpisect::apps::lulesh {
+
+class CubeDecomposition {
+ public:
+  /// Requires nranks to be a perfect cube (1, 8, 27, 64, ...).
+  explicit CubeDecomposition(int nranks);
+
+  [[nodiscard]] static bool is_cube(int nranks) noexcept;
+
+  [[nodiscard]] int pgrid() const noexcept { return pgrid_; }
+  [[nodiscard]] int nranks() const noexcept { return pgrid_ * pgrid_ * pgrid_; }
+
+  struct Coords {
+    int rx = 0;
+    int ry = 0;
+    int rz = 0;
+  };
+  [[nodiscard]] Coords coords_of(int rank) const noexcept;
+  [[nodiscard]] int rank_of(int rx, int ry, int rz) const noexcept;
+  /// Neighbour rank at offset (dx, dy, dz) in {-1,0,1}^3, or -1 outside
+  /// the cube.
+  [[nodiscard]] int neighbor(int rank, int dx, int dy, int dz) const noexcept;
+  /// Number of existing neighbours (up to 26).
+  [[nodiscard]] int neighbor_count(int rank) const noexcept;
+
+ private:
+  int pgrid_;
+};
+
+struct ExchangeStats {
+  int messages = 0;
+  std::size_t bytes = 0;
+};
+
+/// Sum-combine nodal halo exchange over all existing neighbours of the
+/// calling rank. fields: up to three same-sized nodal arrays (e.g. fx, fy,
+/// fz), laid out on an nnode_edge^3 grid; null pointers switch to
+/// modelled-bytes-only mode. tag_base reserves 27 consecutive user tags.
+ExchangeStats exchange_sum_nodal(mpisim::Comm& comm,
+                                 const CubeDecomposition& cube,
+                                 int nnode_edge,
+                                 std::vector<double>* field0,
+                                 std::vector<double>* field1,
+                                 std::vector<double>* field2, int tag_base);
+
+/// Face-neighbour element-layer exchange (the proxy for LULESH's monotonic-Q
+/// gradient communication): ships one element layer per touching face. The
+/// received layers land in caller-provided scratch (or are modelled only).
+ExchangeStats exchange_elem_faces(mpisim::Comm& comm,
+                                  const CubeDecomposition& cube, int s,
+                                  const std::vector<double>* field,
+                                  int tag_base);
+
+}  // namespace mpisect::apps::lulesh

@@ -1,0 +1,98 @@
+// Per-rank simulation domain for the mini-Lulesh proxy.
+//
+// A structured block of s x s x s hexahedral elements with (s+1)^3 nodes,
+// positioned inside the global unit cube by the rank's coordinates in the
+// cube decomposition. Field layout follows LULESH: nodal position/velocity/
+// force/mass, element energy/pressure/artificial-viscosity/volume/mass.
+//
+// The problem is the Sedov point-blast of the CORAL benchmark: energy is
+// deposited in the element at the global origin, symmetry (mirror) boundary
+// conditions hold on the three low faces of the global cube, and the shock
+// expands through the octant.
+#pragma once
+
+#include <vector>
+
+#include "apps/lulesh/mesh.hpp"
+
+namespace mpisect::apps::lulesh {
+
+struct DomainConfig {
+  int s = 8;       ///< elements per edge on this rank (LULESH -s)
+  int rx = 0;      ///< rank coordinates in the cube grid
+  int ry = 0;
+  int rz = 0;
+  int pgrid = 1;   ///< ranks per axis (p = pgrid^3)
+  double rho0 = 1.0;        ///< initial density
+  double e0 = 0.1;          ///< blast energy deposited at the origin element
+  double gamma_gas = 1.4;   ///< ideal-gas EOS exponent
+};
+
+class Domain {
+ public:
+  explicit Domain(const DomainConfig& config);
+
+  [[nodiscard]] const DomainConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] int s() const noexcept { return cfg_.s; }
+  [[nodiscard]] int nnode_edge() const noexcept { return cfg_.s + 1; }
+  [[nodiscard]] std::size_t elem_count() const noexcept {
+    const auto n = static_cast<std::size_t>(cfg_.s);
+    return n * n * n;
+  }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    const auto n = static_cast<std::size_t>(cfg_.s + 1);
+    return n * n * n;
+  }
+
+  [[nodiscard]] std::size_t node_index(int i, int j, int k) const noexcept {
+    const auto n = static_cast<std::size_t>(nnode_edge());
+    return (static_cast<std::size_t>(k) * n + static_cast<std::size_t>(j)) *
+               n +
+           static_cast<std::size_t>(i);
+  }
+  [[nodiscard]] std::size_t elem_index(int i, int j, int k) const noexcept {
+    const auto n = static_cast<std::size_t>(s());
+    return (static_cast<std::size_t>(k) * n + static_cast<std::size_t>(j)) *
+               n +
+           static_cast<std::size_t>(i);
+  }
+
+  /// Node ids of element (i, j, k)'s corners in mesh.hpp bit order.
+  [[nodiscard]] std::array<std::size_t, 8> elem_nodes(int i, int j,
+                                                      int k) const noexcept;
+  /// Current corner positions of element (i, j, k).
+  [[nodiscard]] HexCorners corners_of(int i, int j, int k) const noexcept;
+
+  /// True if this rank touches the global low face of the given axis
+  /// (0 = x, 1 = y, 2 = z) — where the Sedov symmetry BCs apply.
+  [[nodiscard]] bool on_symmetry_face(int axis) const noexcept;
+
+  // --- nodal fields (size node_count) --------------------------------------
+  std::vector<double> x, y, z;        ///< positions
+  std::vector<double> xd, yd, zd;     ///< velocities
+  std::vector<double> xdd, ydd, zdd;  ///< accelerations
+  std::vector<double> fx, fy, fz;     ///< force accumulators
+  std::vector<double> nmass;          ///< nodal mass
+
+  // --- element fields (size elem_count) ------------------------------------
+  std::vector<double> e;      ///< internal energy (total per element)
+  std::vector<double> press;  ///< pressure
+  std::vector<double> q;      ///< artificial viscosity
+  std::vector<double> vol;    ///< current volume
+  std::vector<double> vol0;   ///< reference volume
+  std::vector<double> delv;   ///< volume change this step (vnew - vold)
+  std::vector<double> elen;   ///< characteristic length
+  std::vector<double> emass;  ///< element mass
+
+  // --- diagnostics ----------------------------------------------------------
+  [[nodiscard]] double total_internal_energy() const noexcept;
+  [[nodiscard]] double total_kinetic_energy() const noexcept;
+  [[nodiscard]] double min_volume() const noexcept;
+  [[nodiscard]] double max_abs_velocity() const noexcept;
+
+ private:
+  void initialize();
+  DomainConfig cfg_;
+};
+
+}  // namespace mpisect::apps::lulesh

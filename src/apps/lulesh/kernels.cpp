@@ -1,0 +1,263 @@
+#include "apps/lulesh/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpisect::apps::lulesh {
+namespace {
+
+/// Nodes on this rank's grid lying on a global symmetry face.
+bool on_face(const Domain& d, int axis, int i, int j, int k) noexcept {
+  switch (axis) {
+    case 0: return d.on_symmetry_face(0) && i == 0;
+    case 1: return d.on_symmetry_face(1) && j == 0;
+    case 2: return d.on_symmetry_face(2) && k == 0;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+void charge_kernel(minomp::Team& team, const KernelCost& cost,
+                   std::int64_t items) {
+  team.charge_loop(items, cost.flops_per_item, cost.profile);
+}
+
+void kernel_integrate_stress(Domain* d, minomp::Team& team,
+                             std::int64_t elems) {
+  if (d != nullptr) {
+    std::fill(d->fx.begin(), d->fx.end(), 0.0);
+    std::fill(d->fy.begin(), d->fy.end(), 0.0);
+    std::fill(d->fz.begin(), d->fz.end(), 0.0);
+    const int s = d->s();
+    for (int k = 0; k < s; ++k) {
+      for (int j = 0; j < s; ++j) {
+        for (int i = 0; i < s; ++i) {
+          const std::size_t ei = d->elem_index(i, j, k);
+          const double sigma = d->press[ei] + d->q[ei];
+          if (sigma == 0.0) continue;
+          const HexCorners c = d->corners_of(i, j, k);
+          const auto grad = hex_volume_gradient(c);
+          const auto nodes = d->elem_nodes(i, j, k);
+          // Internal pressure pushes the cell to expand: F_n = sigma dV/dx_n.
+          for (std::size_t n = 0; n < 8; ++n) {
+            d->fx[nodes[n]] += sigma * grad[n].x;
+            d->fy[nodes[n]] += sigma * grad[n].y;
+            d->fz[nodes[n]] += sigma * grad[n].z;
+          }
+        }
+      }
+    }
+  }
+  charge_kernel(team, costs::kIntegrateStress, elems);
+}
+
+namespace {
+
+/// The four hourglass base vectors of the trilinear hex in bit order
+/// (i + 2j + 4k): the shape-function products xi*eta, eta*zeta, xi*zeta,
+/// xi*eta*zeta evaluated at the corners (xi = 2i-1, ...). They are
+/// orthogonal to every constant and linear nodal field on the reference
+/// element, so filtering along them damps only the spurious zero-energy
+/// modes the single-point volume integration cannot see.
+constexpr double kHgMode[4][8] = {
+    // xi*eta
+    {+1, -1, -1, +1, +1, -1, -1, +1},
+    // eta*zeta
+    {+1, +1, -1, -1, -1, -1, +1, +1},
+    // xi*zeta
+    {+1, -1, +1, -1, -1, +1, -1, +1},
+    // xi*eta*zeta
+    {-1, +1, +1, -1, +1, -1, -1, +1},
+};
+
+}  // namespace
+
+void kernel_hourglass(Domain* d, minomp::Team& team, std::int64_t elems,
+                      const HydroParams& hp) {
+  if (d != nullptr) {
+    // Flanagan-Belytschko-style viscous hourglass control: project nodal
+    // velocities onto the hourglass modes and apply a resisting force
+    // proportional to the modal rates. Rigid-body and linear velocity
+    // fields are untouched (the modes sum to zero and are odd under the
+    // reference coordinates); net momentum is exactly conserved.
+    const int s = d->s();
+    for (int k = 0; k < s; ++k) {
+      for (int j = 0; j < s; ++j) {
+        for (int i = 0; i < s; ++i) {
+          const std::size_t ei = d->elem_index(i, j, k);
+          const double v = std::max(d->vol[ei], 1e-300);
+          const double rho = d->emass[ei] / v;
+          const double c =
+              std::sqrt(hp.gamma_gas * std::max(d->press[ei], 0.0) / rho);
+          const double area = std::cbrt(v);
+          const double coef = hp.hourglass * rho * (c + area) * area * area;
+          const auto nodes = d->elem_nodes(i, j, k);
+          double qx[4] = {};
+          double qy[4] = {};
+          double qz[4] = {};
+          for (int m = 0; m < 4; ++m) {
+            for (int n = 0; n < 8; ++n) {
+              qx[m] += kHgMode[m][n] * d->xd[nodes[static_cast<std::size_t>(n)]];
+              qy[m] += kHgMode[m][n] * d->yd[nodes[static_cast<std::size_t>(n)]];
+              qz[m] += kHgMode[m][n] * d->zd[nodes[static_cast<std::size_t>(n)]];
+            }
+          }
+          for (int n = 0; n < 8; ++n) {
+            double fx = 0.0;
+            double fy = 0.0;
+            double fz = 0.0;
+            for (int m = 0; m < 4; ++m) {
+              fx += kHgMode[m][n] * qx[m];
+              fy += kHgMode[m][n] * qy[m];
+              fz += kHgMode[m][n] * qz[m];
+            }
+            const std::size_t ni = nodes[static_cast<std::size_t>(n)];
+            d->fx[ni] -= coef * fx / 8.0;
+            d->fy[ni] -= coef * fy / 8.0;
+            d->fz[ni] -= coef * fz / 8.0;
+          }
+        }
+      }
+    }
+  }
+  charge_kernel(team, costs::kHourglass, elems);
+}
+
+void kernel_acceleration(Domain* d, minomp::Team& team, std::int64_t nodes) {
+  if (d != nullptr) {
+    for (std::size_t n = 0; n < d->nmass.size(); ++n) {
+      const double inv_m = d->nmass[n] > 0.0 ? 1.0 / d->nmass[n] : 0.0;
+      d->xdd[n] = d->fx[n] * inv_m;
+      d->ydd[n] = d->fy[n] * inv_m;
+      d->zdd[n] = d->fz[n] * inv_m;
+    }
+  }
+  charge_kernel(team, costs::kAcceleration, nodes);
+}
+
+void kernel_acceleration_bc(Domain* d, minomp::Team& team,
+                            std::int64_t nodes) {
+  if (d != nullptr) {
+    const int n = d->nnode_edge();
+    for (int k = 0; k < n; ++k) {
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < n; ++i) {
+          const std::size_t idx = d->node_index(i, j, k);
+          if (on_face(*d, 0, i, j, k)) d->xdd[idx] = 0.0;
+          if (on_face(*d, 1, i, j, k)) d->ydd[idx] = 0.0;
+          if (on_face(*d, 2, i, j, k)) d->zdd[idx] = 0.0;
+        }
+      }
+    }
+  }
+  charge_kernel(team, costs::kAccelerationBC, nodes);
+}
+
+void kernel_velocity(Domain* d, minomp::Team& team, std::int64_t nodes,
+                     double dt) {
+  if (d != nullptr) {
+    for (std::size_t n = 0; n < d->xd.size(); ++n) {
+      d->xd[n] += d->xdd[n] * dt;
+      d->yd[n] += d->ydd[n] * dt;
+      d->zd[n] += d->zdd[n] * dt;
+    }
+  }
+  charge_kernel(team, costs::kVelocity, nodes);
+}
+
+void kernel_position(Domain* d, minomp::Team& team, std::int64_t nodes,
+                     double dt) {
+  if (d != nullptr) {
+    for (std::size_t n = 0; n < d->x.size(); ++n) {
+      d->x[n] += d->xd[n] * dt;
+      d->y[n] += d->yd[n] * dt;
+      d->z[n] += d->zd[n] * dt;
+    }
+  }
+  charge_kernel(team, costs::kPosition, nodes);
+}
+
+void kernel_kinematics(Domain* d, minomp::Team& team, std::int64_t elems,
+                       std::vector<double>* vnew) {
+  if (d != nullptr && vnew != nullptr) {
+    const int s = d->s();
+    vnew->resize(d->elem_count());
+    for (int k = 0; k < s; ++k) {
+      for (int j = 0; j < s; ++j) {
+        for (int i = 0; i < s; ++i) {
+          const std::size_t ei = d->elem_index(i, j, k);
+          const double v = hex_volume(d->corners_of(i, j, k));
+          (*vnew)[ei] = v;
+          d->delv[ei] = v - d->vol[ei];
+          d->elen[ei] = characteristic_length(v);
+        }
+      }
+    }
+  }
+  charge_kernel(team, costs::kKinematics, elems);
+}
+
+void kernel_calc_q(Domain* d, minomp::Team& team, std::int64_t elems,
+                   const std::vector<double>* vnew, double dt,
+                   const HydroParams& hp) {
+  if (d != nullptr && vnew != nullptr && dt > 0.0) {
+    for (std::size_t ei = 0; ei < d->elem_count(); ++ei) {
+      const double v = std::max((*vnew)[ei], 1e-300);
+      const double dvdot = d->delv[ei] / (v * dt);  // volumetric strain rate
+      if (dvdot < 0.0) {  // compression: viscosity resists the shock
+        const double rho = d->emass[ei] / v;
+        const double len = d->elen[ei];
+        const double c = std::sqrt(hp.gamma_gas *
+                                   std::max(d->press[ei], 0.0) / rho);
+        const double dl = -dvdot * len;
+        d->q[ei] = rho * (hp.q1 * hp.q1 * dl * dl + hp.q2 * c * dl);
+      } else {
+        d->q[ei] = 0.0;
+      }
+    }
+  }
+  charge_kernel(team, costs::kCalcQ, elems);
+}
+
+void kernel_eos(Domain* d, minomp::Team& team, std::int64_t elems,
+                const std::vector<double>* vnew, const HydroParams& hp) {
+  if (d != nullptr && vnew != nullptr) {
+    for (std::size_t ei = 0; ei < d->elem_count(); ++ei) {
+      // Explicit work term: de = -(p + q) dV, then ideal-gas closure.
+      d->e[ei] -= (d->press[ei] + d->q[ei]) * d->delv[ei];
+      d->e[ei] = std::max(d->e[ei], hp.e_min);
+      const double v = std::max((*vnew)[ei], 1e-300);
+      d->press[ei] =
+          std::max((hp.gamma_gas - 1.0) * d->e[ei] / v, hp.p_min);
+    }
+  }
+  charge_kernel(team, costs::kEOS, elems);
+}
+
+void kernel_update_volumes(Domain* d, minomp::Team& team, std::int64_t elems,
+                           const std::vector<double>* vnew) {
+  if (d != nullptr && vnew != nullptr) {
+    std::copy(vnew->begin(), vnew->end(), d->vol.begin());
+  }
+  charge_kernel(team, costs::kUpdateVolumes, elems);
+}
+
+double kernel_time_constraints(Domain* d, minomp::Team& team,
+                               std::int64_t elems, const HydroParams& hp) {
+  double dt = hp.dt_max;
+  if (d != nullptr) {
+    for (std::size_t ei = 0; ei < d->elem_count(); ++ei) {
+      const double v = std::max(d->vol[ei], 1e-300);
+      const double rho = d->emass[ei] / v;
+      const double c =
+          std::sqrt(hp.gamma_gas * std::max(d->press[ei], 0.0) / rho +
+                    1e-30);
+      dt = std::min(dt, hp.cfl * d->elen[ei] / (c + 1e-30));
+    }
+  }
+  charge_kernel(team, costs::kTimeConstraints, elems);
+  return dt;
+}
+
+}  // namespace mpisect::apps::lulesh

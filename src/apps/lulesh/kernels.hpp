@@ -1,0 +1,114 @@
+// Physics kernels of the mini-Lulesh proxy, with their charge model.
+//
+// Every kernel has two halves, consistent with the project-wide
+// charge/execute decoupling:
+//   * a real numerical body operating on a Domain (Full fidelity), and
+//   * a virtual-clock charge through a MiniOMP Team, parameterized by the
+//     kernel's cost (flops per element/node) and scaling character
+//     (parallel fraction, memory intensity).
+// Passing a null Domain runs the charge only (bench mode).
+//
+// The cost table is calibrated so that s=48 (110 592 elements) runs
+// sequentially in the high-800s-of-seconds range on the KNL preset — the
+// paper's Fig. 10 reports 882.48 s — with LagrangeElements costing ~1.45x
+// LagrangeNodal, matching the paper's ratio at the inflexion point. The
+// differing memory intensities are what make LagrangeElements scale better
+// under OpenMP than LagrangeNodal (paper Fig. 8/9).
+#pragma once
+
+#include "apps/lulesh/domain.hpp"
+#include "minomp/team.hpp"
+
+namespace mpisect::apps::lulesh {
+
+struct KernelCost {
+  double flops_per_item = 0.0;  ///< per element (or node, as documented)
+  minomp::KernelProfile profile;
+};
+
+namespace costs {
+// LagrangeNodal side (per element unless noted).
+inline constexpr KernelCost kIntegrateStress{1100.0, {0.985, 0.55}};
+inline constexpr KernelCost kHourglass{1500.0, {0.985, 0.50}};
+inline constexpr KernelCost kAcceleration{90.0, {0.99, 0.75}};  // per node
+inline constexpr KernelCost kAccelerationBC{6.0, {0.95, 0.85}}; // per node
+inline constexpr KernelCost kVelocity{30.0, {0.99, 0.85}};      // per node
+inline constexpr KernelCost kPosition{24.0, {0.99, 0.85}};      // per node
+// LagrangeElements side (per element).
+inline constexpr KernelCost kKinematics{1300.0, {0.99, 0.35}};
+inline constexpr KernelCost kCalcQ{900.0, {0.99, 0.40}};
+inline constexpr KernelCost kEOS{1600.0, {0.995, 0.15}};
+inline constexpr KernelCost kUpdateVolumes{100.0, {0.99, 0.90}};
+inline constexpr KernelCost kTimeConstraints{120.0, {0.99, 0.30}};
+}  // namespace costs
+
+/// Charge one kernel's modelled time for `items` work items.
+void charge_kernel(minomp::Team& team, const KernelCost& cost,
+                   std::int64_t items);
+
+/// Hydro coefficients shared by the kernels.
+struct HydroParams {
+  double gamma_gas = 1.4;
+  double cfl = 0.15;
+  double dt_max = 1e-2;
+  double dt_growth = 1.05;
+  double q1 = 1.5;   ///< quadratic (von Neumann) viscosity coefficient
+  double q2 = 0.06;  ///< linear viscosity coefficient
+  double hourglass = 0.02;  ///< velocity-damping stabilizer coefficient
+  double e_min = 0.0;
+  double p_min = 0.0;
+};
+
+// Each kernel: executes on `d` when non-null, always charges via `team`.
+
+/// Zero force accumulators, then accumulate pressure+viscosity forces:
+/// F_n += (p + q) * dV/dx_n over each element's corners.
+void kernel_integrate_stress(Domain* d, minomp::Team& team,
+                             std::int64_t elems);
+
+/// Stabilizing velocity damping standing in for LULESH's hourglass force:
+/// F_n -= hourglass * m_n * v_n / dt_ref.
+void kernel_hourglass(Domain* d, minomp::Team& team, std::int64_t elems,
+                      const HydroParams& hp);
+
+/// a = F / m into the xdd/ydd/zdd accumulators.
+void kernel_acceleration(Domain* d, minomp::Team& team, std::int64_t nodes);
+
+/// Sedov symmetry planes: zero normal acceleration on global low faces.
+void kernel_acceleration_bc(Domain* d, minomp::Team& team,
+                            std::int64_t nodes);
+
+/// v += a * dt.
+void kernel_velocity(Domain* d, minomp::Team& team, std::int64_t nodes,
+                     double dt);
+
+/// x += v * dt.
+void kernel_position(Domain* d, minomp::Team& team, std::int64_t nodes,
+                     double dt);
+
+/// New volumes from current positions; delv and characteristic length.
+/// Stores the new volume in `vnew` (caller scratch, size elem_count).
+void kernel_kinematics(Domain* d, minomp::Team& team, std::int64_t elems,
+                       std::vector<double>* vnew);
+
+/// von Neumann-Richtmyer artificial viscosity from the volumetric strain
+/// rate (compression only).
+void kernel_calc_q(Domain* d, minomp::Team& team, std::int64_t elems,
+                   const std::vector<double>* vnew, double dt,
+                   const HydroParams& hp);
+
+/// Energy update de = -(p + q) dV, then ideal-gas EOS p = (gamma-1) e / v.
+void kernel_eos(Domain* d, minomp::Team& team, std::int64_t elems,
+                const std::vector<double>* vnew, const HydroParams& hp);
+
+/// Commit vnew into vol.
+void kernel_update_volumes(Domain* d, minomp::Team& team, std::int64_t elems,
+                           const std::vector<double>* vnew);
+
+/// Courant timestep over local elements: cfl * min(elen / soundspeed).
+/// Returns a large sentinel when d is null (bench mode).
+[[nodiscard]] double kernel_time_constraints(Domain* d, minomp::Team& team,
+                                             std::int64_t elems,
+                                             const HydroParams& hp);
+
+}  // namespace mpisect::apps::lulesh

@@ -1,0 +1,253 @@
+#include "apps/lulesh/lulesh.hpp"
+
+#include <cmath>
+
+#include "core/sections/api.hpp"
+#include "mpisim/error.hpp"
+
+namespace mpisect::apps::lulesh {
+namespace {
+
+using mpisim::Comm;
+using mpisim::Ctx;
+
+/// Reserved user-tag blocks for the exchanges.
+constexpr int kTagMass = 100;    ///< 27 tags
+constexpr int kTagForce = 140;   ///< 27 tags
+constexpr int kTagMonoQ = 180;   ///< 6 tags
+
+class Phase {
+ public:
+  Phase(Comm& comm, const char* label, bool pcontrol)
+      : comm_(comm), label_(label), pcontrol_(pcontrol) {
+    sections::MPIX_Section_enter(comm_, label_);
+    if (pcontrol_) comm_.ctx().pcontrol(1, label_);
+  }
+  ~Phase() {
+    if (pcontrol_) comm_.ctx().pcontrol(-1, label_);
+    sections::MPIX_Section_exit(comm_, label_);
+  }
+  Phase(const Phase&) = delete;
+  Phase& operator=(const Phase&) = delete;
+
+ private:
+  Comm& comm_;
+  const char* label_;
+  bool pcontrol_;
+};
+
+/// Kinetic energy with every shared node counted exactly once: each node's
+/// weight is 1 / (number of ranks touching it), determined by which of this
+/// rank's faces have neighbours.
+double owned_kinetic_energy(const Domain& d, const CubeDecomposition& cube,
+                            int rank) {
+  const int n = d.nnode_edge();
+  const bool lo_x = cube.neighbor(rank, -1, 0, 0) >= 0;
+  const bool hi_x = cube.neighbor(rank, 1, 0, 0) >= 0;
+  const bool lo_y = cube.neighbor(rank, 0, -1, 0) >= 0;
+  const bool hi_y = cube.neighbor(rank, 0, 1, 0) >= 0;
+  const bool lo_z = cube.neighbor(rank, 0, 0, -1) >= 0;
+  const bool hi_z = cube.neighbor(rank, 0, 0, 1) >= 0;
+  double sum = 0.0;
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        int share = 1;
+        if ((i == 0 && lo_x) || (i == n - 1 && hi_x)) share *= 2;
+        if ((j == 0 && lo_y) || (j == n - 1 && hi_y)) share *= 2;
+        if ((k == 0 && lo_z) || (k == n - 1 && hi_z)) share *= 2;
+        const std::size_t idx = d.node_index(i, j, k);
+        const double v2 = d.xd[idx] * d.xd[idx] + d.yd[idx] * d.yd[idx] +
+                          d.zd[idx] * d.zd[idx];
+        sum += 0.5 * d.nmass[idx] * v2 / static_cast<double>(share);
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+int edge_for_total_elements(long total_elements, int nranks) {
+  if (!CubeDecomposition::is_cube(nranks)) return -1;
+  const long per_rank = total_elements / nranks;
+  if (per_rank * nranks != total_elements) return -1;
+  const int s = static_cast<int>(std::lround(std::cbrt(per_rank)));
+  return static_cast<long>(s) * s * s == per_rank ? s : -1;
+}
+
+LuleshApp::LuleshApp(LuleshConfig config) : config_(config) {
+  config_.hydro.e_min = std::min(config_.hydro.e_min, 0.0);
+}
+
+void LuleshApp::operator()(mpisim::Ctx& ctx) {
+  Comm comm = ctx.world_comm();
+  const int rank = comm.rank();
+  const int p = comm.size();
+  const bool full = config_.full_fidelity;
+  const bool pc = config_.emit_pcontrol;
+  const CubeDecomposition cube(p);
+  const auto coords = cube.coords_of(rank);
+
+  std::unique_ptr<Domain> dom;
+  if (full) {
+    DomainConfig dc;
+    dc.s = config_.s;
+    dc.rx = coords.rx;
+    dc.ry = coords.ry;
+    dc.rz = coords.rz;
+    dc.pgrid = cube.pgrid();
+    dc.e0 = config_.e0;
+    dc.gamma_gas = config_.hydro.gamma_gas;
+    dom = std::make_unique<Domain>(dc);
+  }
+  Domain* d = dom.get();
+  const auto elems = static_cast<std::int64_t>(config_.s) * config_.s *
+                     config_.s;
+  const auto n_edge = config_.s + 1;
+  const auto nodes =
+      static_cast<std::int64_t>(n_edge) * n_edge * n_edge;
+
+  minomp::Team team(ctx, config_.omp_threads);
+  team.set_schedule(config_.schedule);
+  // Per-phase restraint (Sec. 8): distinct teams for the two Lagrange
+  // phases when the caller caps them individually.
+  minomp::Team nodal_team(ctx, config_.nodal_threads > 0
+                                   ? config_.nodal_threads
+                                   : config_.omp_threads);
+  nodal_team.set_schedule(config_.schedule);
+  minomp::Team elem_team(ctx, config_.element_threads > 0
+                                  ? config_.element_threads
+                                  : config_.omp_threads);
+  elem_team.set_schedule(config_.schedule);
+
+  // Complete nodal masses on rank boundaries (setup, inside MPI_MAIN).
+  exchange_sum_nodal(comm, cube, n_edge, full ? &d->nmass : nullptr, nullptr,
+                     nullptr, kTagMass);
+
+  std::vector<double> vnew;
+  double dt = 0.0;
+  double next_dt_local = config_.hydro.dt_max * 1e-3;  // conservative start
+  if (full) {
+    // Seed the first timestep from the initial state's Courant limit.
+    next_dt_local =
+        kernel_time_constraints(d, team, 0, config_.hydro);
+  }
+  double sim_time = 0.0;
+
+  {
+    const Phase timeloop(comm, "timeloop", pc);
+    for (int step = 0; step < config_.steps; ++step) {
+      {
+        const Phase ph(comm, "TimeIncrement", pc);
+        double new_dt = 0.0;
+        comm.allreduce(&next_dt_local, &new_dt, 1, mpisim::Datatype::Double,
+                       mpisim::ReduceOp::Min);
+        if (dt > 0.0) {
+          new_dt = std::min(new_dt, dt * config_.hydro.dt_growth);
+        }
+        dt = std::min(new_dt, config_.hydro.dt_max);
+        sim_time += dt;
+      }
+      const Phase leapfrog(comm, "LagrangeLeapFrog", pc);
+      {
+        const Phase nodal(comm, "LagrangeNodal", pc);
+        {
+          const Phase ph(comm, "CalcForceForNodes", pc);
+          {
+            const Phase ph2(comm, "IntegrateStressForElems", pc);
+            kernel_integrate_stress(d, nodal_team, elems);
+          }
+          {
+            const Phase ph2(comm, "CalcHourglassControlForElems", pc);
+            kernel_hourglass(d, nodal_team, elems, config_.hydro);
+          }
+          {
+            const Phase ph2(comm, "CommForce", pc);
+            exchange_sum_nodal(comm, cube, n_edge, full ? &d->fx : nullptr,
+                               full ? &d->fy : nullptr,
+                               full ? &d->fz : nullptr, kTagForce);
+          }
+        }
+        {
+          const Phase ph(comm, "CalcAccelerationForNodes", pc);
+          kernel_acceleration(d, nodal_team, nodes);
+        }
+        {
+          const Phase ph(comm, "ApplyAccelerationBC", pc);
+          kernel_acceleration_bc(d, nodal_team, nodes);
+        }
+        {
+          const Phase ph(comm, "CalcVelocityForNodes", pc);
+          kernel_velocity(d, nodal_team, nodes, dt);
+        }
+        {
+          const Phase ph(comm, "CalcPositionForNodes", pc);
+          kernel_position(d, nodal_team, nodes, dt);
+        }
+      }
+      {
+        const Phase elements(comm, "LagrangeElements", pc);
+        {
+          const Phase ph(comm, "CalcLagrangeElements", pc);
+          {
+            const Phase ph2(comm, "CalcKinematicsForElems", pc);
+            kernel_kinematics(d, elem_team, elems, full ? &vnew : nullptr);
+          }
+        }
+        {
+          const Phase ph(comm, "CalcQForElems", pc);
+          {
+            const Phase ph2(comm, "CommMonoQ", pc);
+            exchange_elem_faces(comm, cube, config_.s,
+                                full ? &d->delv : nullptr, kTagMonoQ);
+          }
+          kernel_calc_q(d, elem_team, elems, full ? &vnew : nullptr, dt,
+                        config_.hydro);
+        }
+        {
+          const Phase ph(comm, "ApplyMaterialPropertiesForElems", pc);
+          const Phase ph2(comm, "EvalEOSForElems", pc);
+          kernel_eos(d, elem_team, elems, full ? &vnew : nullptr, config_.hydro);
+        }
+        {
+          const Phase ph(comm, "UpdateVolumesForElems", pc);
+          kernel_update_volumes(d, elem_team, elems, full ? &vnew : nullptr);
+        }
+      }
+      {
+        const Phase ph(comm, "CalcTimeConstraints", pc);
+        next_dt_local =
+            kernel_time_constraints(d, team, elems, config_.hydro);
+      }
+    }
+  }
+
+  // Global diagnostics (Full mode).
+  if (full) {
+    double locals[4] = {d->total_internal_energy(),
+                        owned_kinetic_energy(*d, cube, rank),
+                        -d->min_volume(), d->max_abs_velocity()};
+    double sums[2] = {0.0, 0.0};
+    comm.allreduce(locals, sums, 2, mpisim::Datatype::Double,
+                   mpisim::ReduceOp::Sum);
+    double maxs[2] = {0.0, 0.0};
+    comm.allreduce(locals + 2, maxs, 2, mpisim::Datatype::Double,
+                   mpisim::ReduceOp::Max);
+    if (rank == 0) {
+      result_->steps_run = config_.steps;
+      result_->sim_time = sim_time;
+      result_->final_dt = dt;
+      result_->internal_energy = sums[0];
+      result_->kinetic_energy = sums[1];
+      result_->min_volume = -maxs[0];
+      result_->max_velocity = maxs[1];
+    }
+  } else if (rank == 0) {
+    result_->steps_run = config_.steps;
+    result_->sim_time = sim_time;
+    result_->final_dt = dt;
+  }
+}
+
+}  // namespace mpisect::apps::lulesh

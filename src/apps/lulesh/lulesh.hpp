@@ -1,0 +1,100 @@
+// mini-Lulesh: an MPI+MiniOMP Lagrangian shock-hydro proxy with the
+// CORAL benchmark's phase structure (paper Section 5.2).
+//
+// The paper instruments Lulesh with 21 MPI_Sections "in the main source
+// file in order to outline main computation steps"; this proxy reproduces
+// that instrumentation exactly — a nested hierarchy of 21 sections inside
+// the timestep loop:
+//
+//   timeloop
+//     TimeIncrement
+//     LagrangeLeapFrog
+//       LagrangeNodal
+//         CalcForceForNodes
+//           IntegrateStressForElems
+//           CalcHourglassControlForElems
+//           CommForce
+//         CalcAccelerationForNodes
+//         ApplyAccelerationBC
+//         CalcVelocityForNodes
+//         CalcPositionForNodes
+//       LagrangeElements
+//         CalcLagrangeElements
+//           CalcKinematicsForElems
+//         CalcQForElems
+//           CommMonoQ
+//         ApplyMaterialPropertiesForElems
+//           EvalEOSForElems
+//         UpdateVolumesForElems
+//       CalcTimeConstraints
+//
+// Strong-scaling protocol per the paper's Table 7: the rank count must be
+// a perfect cube and `s` is the per-rank edge so that s^3 * p stays at
+// 110 592 elements for (s=48,p=1), (24,8), (16,27), (12,64). OpenMP-side
+// parallelism comes from a MiniOMP team of `omp_threads` per rank; the
+// sections see its effect purely through timing — the paper's headline
+// demonstration ("measure OpenMP scaling solely from MPI instrumentation").
+#pragma once
+
+#include <memory>
+
+#include "apps/lulesh/comm.hpp"
+#include "apps/lulesh/domain.hpp"
+#include "apps/lulesh/kernels.hpp"
+#include "minomp/schedule.hpp"
+
+namespace mpisect::apps::lulesh {
+
+struct LuleshConfig {
+  int s = 8;             ///< elements per edge per rank (LULESH -s)
+  int steps = 20;        ///< timestep count
+  int omp_threads = 1;   ///< MiniOMP team size per rank
+  /// Per-phase parallelism restraint (paper Sec. 8 future work): when > 0,
+  /// the LagrangeNodal / LagrangeElements kernels run on teams of this
+  /// size instead of omp_threads — "dynamically restraining parallelism
+  /// for non-scalable sections".
+  int nodal_threads = 0;
+  int element_threads = 0;
+  bool full_fidelity = true;  ///< run the real physics
+  minomp::Schedule schedule = minomp::Schedule::Static;
+  HydroParams hydro;
+  double e0 = 0.1;       ///< Sedov blast energy
+  bool emit_pcontrol = false;
+};
+
+/// Global diagnostics, written by rank 0 after the run (Full mode).
+struct LuleshResult {
+  int steps_run = 0;
+  double sim_time = 0.0;
+  double final_dt = 0.0;
+  double internal_energy = 0.0;  ///< global sum
+  double kinetic_energy = 0.0;   ///< global sum (shared nodes counted once)
+  double min_volume = 0.0;       ///< global min
+  double max_velocity = 0.0;     ///< global max
+  [[nodiscard]] double total_energy() const noexcept {
+    return internal_energy + kinetic_energy;
+  }
+};
+
+/// Table 7 helper: per-rank edge size keeping s^3 * p = elements, or -1 if
+/// no integer s exists.
+[[nodiscard]] int edge_for_total_elements(long total_elements, int nranks);
+
+class LuleshApp {
+ public:
+  explicit LuleshApp(LuleshConfig config);
+
+  /// SPMD body — pass to World::run. Rank count must be a perfect cube.
+  void operator()(mpisim::Ctx& ctx);
+
+  [[nodiscard]] const LuleshConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const LuleshResult& result() const noexcept {
+    return *result_;
+  }
+
+ private:
+  LuleshConfig config_;
+  std::shared_ptr<LuleshResult> result_ = std::make_shared<LuleshResult>();
+};
+
+}  // namespace mpisect::apps::lulesh

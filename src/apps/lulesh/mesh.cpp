@@ -1,0 +1,57 @@
+#include "apps/lulesh/mesh.hpp"
+
+#include <cmath>
+
+namespace mpisect::apps::lulesh {
+namespace {
+
+// Six tetrahedra fanning around the main diagonal c000 -> c111. The middle
+// pair of each row walks the hexagonal cycle of vertices adjacent to both
+// diagonal endpoints (consecutive pairs share a hex edge), which yields a
+// consistent positive orientation for right-handed cells.
+constexpr int kTets[6][4] = {
+    {0, 1, 3, 7}, {0, 3, 2, 7}, {0, 2, 6, 7},
+    {0, 6, 4, 7}, {0, 4, 5, 7}, {0, 5, 1, 7},
+};
+
+double tet_volume(const Vec3& p0, const Vec3& p1, const Vec3& p2,
+                  const Vec3& p3) noexcept {
+  return dot(p1 - p0, cross(p2 - p0, p3 - p0)) / 6.0;
+}
+
+}  // namespace
+
+double hex_volume(const HexCorners& c) noexcept {
+  double v = 0.0;
+  for (const auto& t : kTets) {
+    v += tet_volume(c[static_cast<std::size_t>(t[0])],
+                    c[static_cast<std::size_t>(t[1])],
+                    c[static_cast<std::size_t>(t[2])],
+                    c[static_cast<std::size_t>(t[3])]);
+  }
+  return v;
+}
+
+std::array<Vec3, 8> hex_volume_gradient(const HexCorners& c) noexcept {
+  std::array<Vec3, 8> grad{};
+  for (const auto& t : kTets) {
+    const Vec3& p0 = c[static_cast<std::size_t>(t[0])];
+    const Vec3& p1 = c[static_cast<std::size_t>(t[1])];
+    const Vec3& p2 = c[static_cast<std::size_t>(t[2])];
+    const Vec3& p3 = c[static_cast<std::size_t>(t[3])];
+    const Vec3 g1 = cross(p2 - p0, p3 - p0) * (1.0 / 6.0);
+    const Vec3 g2 = cross(p3 - p0, p1 - p0) * (1.0 / 6.0);
+    const Vec3 g3 = cross(p1 - p0, p2 - p0) * (1.0 / 6.0);
+    grad[static_cast<std::size_t>(t[1])] += g1;
+    grad[static_cast<std::size_t>(t[2])] += g2;
+    grad[static_cast<std::size_t>(t[3])] += g3;
+    grad[static_cast<std::size_t>(t[0])] -= g1 + g2 + g3;
+  }
+  return grad;
+}
+
+double characteristic_length(double volume) noexcept {
+  return std::cbrt(std::fabs(volume));
+}
+
+}  // namespace mpisect::apps::lulesh

@@ -1,0 +1,70 @@
+// Geometry primitives for the mini-Lulesh proxy: hexahedral volumes and
+// their exact gradients with respect to corner positions.
+//
+// A hex cell is decomposed into six tetrahedra fanning around the main
+// diagonal (c000 -> c111); the signed tet volumes sum to the exact hex
+// volume for planar-faced hexes and a consistent approximation otherwise.
+// The volume gradient dV/dx_corner is assembled from the analytic tet
+// gradients and drives the pressure force in IntegrateStress — exactly the
+// role CalcElemVolumeDerivative plays in LULESH proper.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace mpisect::apps::lulesh {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) noexcept {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  friend Vec3 operator+(Vec3 a, const Vec3& b) noexcept { return a += b; }
+  friend Vec3 operator-(Vec3 a, const Vec3& b) noexcept { return a -= b; }
+  friend Vec3 operator*(Vec3 a, double s) noexcept { return a *= s; }
+  friend Vec3 operator*(double s, Vec3 a) noexcept { return a *= s; }
+};
+
+[[nodiscard]] inline double dot(const Vec3& a, const Vec3& b) noexcept {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+[[nodiscard]] inline Vec3 cross(const Vec3& a, const Vec3& b) noexcept {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+/// Hex corners in (i, j, k) bit order: index = i + 2*j + 4*k,
+/// i.e. c[0]=c000, c[1]=c100, c[2]=c010, c[3]=c110, c[4]=c001, ...
+using HexCorners = std::array<Vec3, 8>;
+
+/// Signed volume of the hex (positive for a right-handed, non-inverted
+/// cell such as an axis-aligned box).
+[[nodiscard]] double hex_volume(const HexCorners& c) noexcept;
+
+/// Exact gradient of hex_volume with respect to each corner position.
+[[nodiscard]] std::array<Vec3, 8> hex_volume_gradient(
+    const HexCorners& c) noexcept;
+
+/// Characteristic length of a hex with volume v (cube-root metric, the
+/// proxy for LULESH's CalcElemCharacteristicLength).
+[[nodiscard]] double characteristic_length(double volume) noexcept;
+
+}  // namespace mpisect::apps::lulesh

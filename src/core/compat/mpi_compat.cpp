@@ -1,0 +1,229 @@
+#include "core/compat/mpi_compat.hpp"
+
+#include <algorithm>
+
+#include "mpisim/error.hpp"
+
+namespace mpisect::mpix {
+namespace {
+
+using mpisim::Err;
+using mpisim::MpiError;
+
+/// MPI_ERRORS_RETURN at the facade boundary: translate exceptions to codes.
+template <typename Fn>
+int guarded(Fn&& fn) {
+  try {
+    fn();
+    return MPI_SUCCESS;
+  } catch (const MpiError& e) {
+    return static_cast<int>(e.code());
+  } catch (...) {
+    return static_cast<int>(Err::Internal);
+  }
+}
+
+std::size_t bytes_of(int count, MPI_Datatype datatype) {
+  return static_cast<std::size_t>(std::max(count, 0)) *
+         mpisim::datatype_size(datatype);
+}
+
+void fill_status(MPI_Status* status, const mpisim::Status& st) {
+  if (status == MPI_STATUS_IGNORE) return;
+  status->MPI_SOURCE = st.source;
+  status->MPI_TAG = st.tag;
+  status->MPI_ERROR = MPI_SUCCESS;
+  status->bytes = st.bytes;
+}
+
+}  // namespace
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank) {
+  return guarded([&] {
+    mpisim::require(rank != nullptr, Err::Arg, "null rank pointer");
+    *rank = comm.rank();
+  });
+}
+
+int MPI_Comm_size(MPI_Comm comm, int* size) {
+  return guarded([&] {
+    mpisim::require(size != nullptr, Err::Arg, "null size pointer");
+    *size = comm.size();
+  });
+}
+
+double MPI_Wtime(MPI_Comm comm) { return comm.wtime(); }
+
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype datatype,
+                  int* count) {
+  return guarded([&] {
+    mpisim::require(status != nullptr && count != nullptr, Err::Arg,
+                    "null status/count");
+    const std::size_t elem = mpisim::datatype_size(datatype);
+    mpisim::require(elem > 0 && status->bytes % elem == 0, Err::Type,
+                    "byte count not a multiple of the datatype size");
+    *count = static_cast<int>(status->bytes / elem);
+  });
+}
+
+int MPI_Pcontrol(MPI_Comm comm, int level, const char* label) {
+  return guarded([&] { comm.ctx().pcontrol(level, label); });
+}
+
+int MPI_Send(const void* buf, int count, MPI_Datatype datatype, int dest,
+             int tag, MPI_Comm comm) {
+  if (dest == MPI_PROC_NULL) return MPI_SUCCESS;
+  return guarded(
+      [&] { comm.send(buf, bytes_of(count, datatype), dest, tag); });
+}
+
+int MPI_Recv(void* buf, int count, MPI_Datatype datatype, int source, int tag,
+             MPI_Comm comm, MPI_Status* status) {
+  if (source == MPI_PROC_NULL) {
+    fill_status(status, mpisim::Status{MPI_PROC_NULL, tag, 0, 0.0});
+    return MPI_SUCCESS;
+  }
+  return guarded([&] {
+    fill_status(status,
+                comm.recv(buf, bytes_of(count, datatype), source, tag));
+  });
+}
+
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                 int dest, int sendtag, void* recvbuf, int recvcount,
+                 MPI_Datatype recvtype, int source, int recvtag,
+                 MPI_Comm comm, MPI_Status* status) {
+  return guarded([&] {
+    fill_status(status, comm.sendrecv(sendbuf, bytes_of(sendcount, sendtype),
+                                      dest, sendtag, recvbuf,
+                                      bytes_of(recvcount, recvtype), source,
+                                      recvtag));
+  });
+}
+
+int MPI_Isend(const void* buf, int count, MPI_Datatype datatype, int dest,
+              int tag, MPI_Comm comm, MPI_Request* request) {
+  return guarded([&] {
+    mpisim::require(request != nullptr, Err::Arg, "null request");
+    *request = comm.isend(buf, bytes_of(count, datatype), dest, tag);
+  });
+}
+
+int MPI_Irecv(void* buf, int count, MPI_Datatype datatype, int source,
+              int tag, MPI_Comm comm, MPI_Request* request) {
+  return guarded([&] {
+    mpisim::require(request != nullptr, Err::Arg, "null request");
+    *request = comm.irecv(buf, bytes_of(count, datatype), source, tag);
+  });
+}
+
+int MPI_Wait(MPI_Request* request, MPI_Status* status) {
+  return guarded([&] {
+    mpisim::require(request != nullptr, Err::Arg, "null request");
+    fill_status(status, request->wait());
+  });
+}
+
+int MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses) {
+  return guarded([&] {
+    mpisim::require(count >= 0 && (count == 0 || requests != nullptr),
+                    Err::Arg, "bad request array");
+    for (int i = 0; i < count; ++i) {
+      const mpisim::Status st = requests[i].wait();
+      if (statuses != nullptr) fill_status(&statuses[i], st);
+    }
+  });
+}
+
+int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status) {
+  return guarded([&] { fill_status(status, comm.probe(source, tag)); });
+}
+
+int MPI_Barrier(MPI_Comm comm) {
+  return guarded([&] { comm.barrier(); });
+}
+
+int MPI_Bcast(void* buffer, int count, MPI_Datatype datatype, int root,
+              MPI_Comm comm) {
+  return guarded([&] { comm.bcast(buffer, bytes_of(count, datatype), root); });
+}
+
+int MPI_Reduce(const void* sendbuf, void* recvbuf, int count,
+               MPI_Datatype datatype, MPI_Op op, int root, MPI_Comm comm) {
+  return guarded(
+      [&] { comm.reduce(sendbuf, recvbuf, count, datatype, op, root); });
+}
+
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count,
+                  MPI_Datatype datatype, MPI_Op op, MPI_Comm comm) {
+  return guarded(
+      [&] { comm.allreduce(sendbuf, recvbuf, count, datatype, op); });
+}
+
+int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                void* recvbuf, int recvcount, MPI_Datatype recvtype, int root,
+                MPI_Comm comm) {
+  return guarded([&] {
+    mpisim::require(bytes_of(sendcount, sendtype) ==
+                        bytes_of(recvcount, recvtype),
+                    Err::Count, "scatter: send/recv extents differ");
+    comm.scatter(sendbuf, bytes_of(sendcount, sendtype), recvbuf, root);
+  });
+}
+
+int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+               void* recvbuf, int recvcount, MPI_Datatype recvtype, int root,
+               MPI_Comm comm) {
+  return guarded([&] {
+    mpisim::require(bytes_of(sendcount, sendtype) ==
+                        bytes_of(recvcount, recvtype),
+                    Err::Count, "gather: send/recv extents differ");
+    comm.gather(sendbuf, bytes_of(sendcount, sendtype), recvbuf, root);
+  });
+}
+
+int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                  void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                  MPI_Comm comm) {
+  return guarded([&] {
+    mpisim::require(bytes_of(sendcount, sendtype) ==
+                        bytes_of(recvcount, recvtype),
+                    Err::Count, "allgather: send/recv extents differ");
+    comm.allgather(sendbuf, bytes_of(sendcount, sendtype), recvbuf);
+  });
+}
+
+int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                 void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                 MPI_Comm comm) {
+  return guarded([&] {
+    mpisim::require(bytes_of(sendcount, sendtype) ==
+                        bytes_of(recvcount, recvtype),
+                    Err::Count, "alltoall: send/recv extents differ");
+    comm.alltoall(sendbuf, bytes_of(sendcount, sendtype), recvbuf);
+  });
+}
+
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm) {
+  return guarded([&] {
+    mpisim::require(newcomm != nullptr, Err::Arg, "null newcomm");
+    *newcomm = comm.split(color, key);
+  });
+}
+
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm) {
+  return guarded([&] {
+    mpisim::require(newcomm != nullptr, Err::Arg, "null newcomm");
+    *newcomm = comm.dup();
+  });
+}
+
+int MPIX_Section_enter(MPI_Comm comm, const char* label) {
+  return sections::MPIX_Section_enter(comm, label);
+}
+
+int MPIX_Section_exit(MPI_Comm comm, const char* label) {
+  return sections::MPIX_Section_exit(comm, label);
+}
+
+}  // namespace mpisect::mpix

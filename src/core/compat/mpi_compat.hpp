@@ -1,0 +1,121 @@
+// C-style MPI compatibility facade.
+//
+// MiniMPI's native interface is C++ (methods on Comm, exceptions, spans).
+// This header exposes the same operations with textbook MPI signatures and
+// integer return codes, so that application code — and the paper's own
+// Figure 1/2 listings — can be transcribed almost verbatim:
+//
+//   using namespace mpisect::mpix;
+//   MPI_Comm comm = ctx.world_comm();
+//   int rank;
+//   MPI_Comm_rank(comm, &rank);
+//   MPI_Send(buf, n, MPI_DOUBLE, dst, tag, comm);
+//   MPIX_Section_enter(comm, "HALO");
+//
+// Counts are element counts against an MPI_Datatype, statuses are written
+// through MPI_Status*, and every call returns MPI_SUCCESS or the error
+// class an MPI implementation would raise (errors are caught at this
+// boundary — MPI_ERRORS_RETURN semantics).
+#pragma once
+
+#include "core/sections/api.hpp"
+#include "mpisim/comm.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace mpisect::mpix {
+
+using MPI_Comm = mpisim::Comm;
+using MPI_Datatype = mpisim::Datatype;
+using MPI_Op = mpisim::ReduceOp;
+using MPI_Request = mpisim::Comm::Request;
+
+inline constexpr MPI_Datatype MPI_BYTE = mpisim::Datatype::Byte;
+inline constexpr MPI_Datatype MPI_CHAR = mpisim::Datatype::Char;
+inline constexpr MPI_Datatype MPI_INT = mpisim::Datatype::Int;
+inline constexpr MPI_Datatype MPI_LONG = mpisim::Datatype::Long;
+inline constexpr MPI_Datatype MPI_UNSIGNED_LONG =
+    mpisim::Datatype::UnsignedLong;
+inline constexpr MPI_Datatype MPI_FLOAT = mpisim::Datatype::Float;
+inline constexpr MPI_Datatype MPI_DOUBLE = mpisim::Datatype::Double;
+inline constexpr MPI_Datatype MPI_DOUBLE_INT = mpisim::Datatype::DoubleInt;
+
+inline constexpr MPI_Op MPI_SUM = mpisim::ReduceOp::Sum;
+inline constexpr MPI_Op MPI_PROD = mpisim::ReduceOp::Prod;
+inline constexpr MPI_Op MPI_MAX = mpisim::ReduceOp::Max;
+inline constexpr MPI_Op MPI_MIN = mpisim::ReduceOp::Min;
+inline constexpr MPI_Op MPI_LAND = mpisim::ReduceOp::LAnd;
+inline constexpr MPI_Op MPI_LOR = mpisim::ReduceOp::LOr;
+inline constexpr MPI_Op MPI_BAND = mpisim::ReduceOp::BAnd;
+inline constexpr MPI_Op MPI_BOR = mpisim::ReduceOp::BOr;
+inline constexpr MPI_Op MPI_MAXLOC = mpisim::ReduceOp::MaxLoc;
+inline constexpr MPI_Op MPI_MINLOC = mpisim::ReduceOp::MinLoc;
+
+inline constexpr int MPI_SUCCESS = 0;
+inline constexpr int MPI_ANY_SOURCE = mpisim::kAnySource;
+inline constexpr int MPI_ANY_TAG = mpisim::kAnyTag;
+inline constexpr int MPI_PROC_NULL = -2;
+
+struct MPI_Status {
+  int MPI_SOURCE = MPI_ANY_SOURCE;
+  int MPI_TAG = MPI_ANY_TAG;
+  int MPI_ERROR = MPI_SUCCESS;
+  std::size_t bytes = 0;  ///< implementation field backing MPI_Get_count
+};
+/// Pass where the status is not needed.
+inline MPI_Status* const MPI_STATUS_IGNORE = nullptr;
+
+// --- environment ------------------------------------------------------------
+int MPI_Comm_rank(MPI_Comm comm, int* rank);
+int MPI_Comm_size(MPI_Comm comm, int* size);
+double MPI_Wtime(MPI_Comm comm);
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype datatype,
+                  int* count);
+int MPI_Pcontrol(MPI_Comm comm, int level, const char* label = nullptr);
+
+// --- point-to-point -----------------------------------------------------------
+int MPI_Send(const void* buf, int count, MPI_Datatype datatype, int dest,
+             int tag, MPI_Comm comm);
+int MPI_Recv(void* buf, int count, MPI_Datatype datatype, int source, int tag,
+             MPI_Comm comm, MPI_Status* status);
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                 int dest, int sendtag, void* recvbuf, int recvcount,
+                 MPI_Datatype recvtype, int source, int recvtag,
+                 MPI_Comm comm, MPI_Status* status);
+int MPI_Isend(const void* buf, int count, MPI_Datatype datatype, int dest,
+              int tag, MPI_Comm comm, MPI_Request* request);
+int MPI_Irecv(void* buf, int count, MPI_Datatype datatype, int source,
+              int tag, MPI_Comm comm, MPI_Request* request);
+int MPI_Wait(MPI_Request* request, MPI_Status* status);
+int MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses);
+int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status);
+
+// --- collectives --------------------------------------------------------------
+int MPI_Barrier(MPI_Comm comm);
+int MPI_Bcast(void* buffer, int count, MPI_Datatype datatype, int root,
+              MPI_Comm comm);
+int MPI_Reduce(const void* sendbuf, void* recvbuf, int count,
+               MPI_Datatype datatype, MPI_Op op, int root, MPI_Comm comm);
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count,
+                  MPI_Datatype datatype, MPI_Op op, MPI_Comm comm);
+int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                void* recvbuf, int recvcount, MPI_Datatype recvtype, int root,
+                MPI_Comm comm);
+int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+               void* recvbuf, int recvcount, MPI_Datatype recvtype, int root,
+               MPI_Comm comm);
+int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                  void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                  MPI_Comm comm);
+int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                 void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                 MPI_Comm comm);
+
+// --- communicator management ----------------------------------------------------
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm);
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm);
+
+// --- MPI Sections (paper Fig. 1) -------------------------------------------------
+int MPIX_Section_enter(MPI_Comm comm, const char* label);
+int MPIX_Section_exit(MPI_Comm comm, const char* label);
+
+}  // namespace mpisect::mpix

@@ -1,0 +1,60 @@
+// Paper-faithful MPI_Section interface (Figures 1 and 2 of the paper).
+//
+//   /* Enter an MPI Section */
+//   int MPIX_Section_enter(MPI_Comm comm, const char *label);
+//   /* Leave an MPI Section */
+//   int MPIX_Section_exit(MPI_Comm comm, const char *label);
+//
+// plus the tool-side callbacks
+//
+//   int MPIX_Section_enter_cb(MPI_Comm comm, const char *label, char data[32]);
+//   int MPIX_Section_leave_cb(MPI_Comm comm, const char *label, char data[32]);
+//
+// which tools override through the world's HookTable (the PMPI analogue in
+// this runtime). A ScopedSection RAII helper is provided for C++ call
+// sites; the paper's point that "application programmers are only required
+// to manipulate two function calls" is preserved — the free functions are
+// the canonical interface.
+#pragma once
+
+#include "core/sections/runtime.hpp"
+#include "mpisim/comm.hpp"
+
+namespace mpisect::sections {
+
+/// Enter an MPI Section — non-blocking collective on `comm`.
+/// Returns kSectionOk (0) or a SectionResult error code.
+int MPIX_Section_enter(mpisim::Comm& comm, const char* label);
+
+/// Leave an MPI Section — non-blocking collective on `comm`.
+int MPIX_Section_exit(mpisim::Comm& comm, const char* label);
+
+/// Install the default (empty) PMPI-level callbacks. A tool "redefines"
+/// the callbacks by assigning world.hooks().section_enter_cb/leave_cb;
+/// this helper resets them to the runtime's empty PMPI versions
+/// ("their PMPI version being possibly empty if the runtime ignores such
+/// events" — paper Sec. 4).
+void reset_section_callbacks(mpisim::World& world);
+
+/// RAII wrapper: enters on construction, exits on destruction.
+class ScopedSection {
+ public:
+  ScopedSection(mpisim::Comm& comm, const char* label)
+      : comm_(&comm), label_(label) {
+    rc_ = MPIX_Section_enter(comm, label);
+  }
+  ~ScopedSection() {
+    if (rc_ == kSectionOk) MPIX_Section_exit(*comm_, label_);
+  }
+  ScopedSection(const ScopedSection&) = delete;
+  ScopedSection& operator=(const ScopedSection&) = delete;
+
+  [[nodiscard]] int enter_result() const noexcept { return rc_; }
+
+ private:
+  mpisim::Comm* comm_;
+  const char* label_;
+  int rc_;
+};
+
+}  // namespace mpisect::sections

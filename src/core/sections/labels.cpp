@@ -1,0 +1,50 @@
+#include "core/sections/labels.hpp"
+
+#include "support/rng.hpp"
+
+namespace mpisect::sections {
+
+LabelId LabelRegistry::intern(std::string_view label) {
+  const std::lock_guard lock(mu_);
+  const std::string key(label);
+  auto it = ids_.find(key);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<LabelId>(names_.size());
+  names_.push_back(key);
+  ids_.emplace(key, id);
+  return id;
+}
+
+std::string LabelRegistry::name(LabelId id) const {
+  const std::lock_guard lock(mu_);
+  if (id >= names_.size()) return "?";
+  return names_[id];
+}
+
+LabelId LabelRegistry::lookup(std::string_view label) const {
+  const std::lock_guard lock(mu_);
+  const auto it = ids_.find(std::string(label));
+  return it == ids_.end() ? kInvalidLabel : it->second;
+}
+
+std::size_t LabelRegistry::size() const {
+  const std::lock_guard lock(mu_);
+  return names_.size();
+}
+
+std::vector<std::string> LabelRegistry::all() const {
+  const std::lock_guard lock(mu_);
+  return names_;
+}
+
+std::uint64_t label_hash(std::string_view label) noexcept {
+  // FNV-1a, then a SplitMix finalizer for avalanche.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return support::splitmix64(h);
+}
+
+}  // namespace mpisect::sections

@@ -1,0 +1,49 @@
+// Label interning for MPI sections.
+//
+// Section labels are user strings ("HALO", "LagrangeNodal", ...). Tools
+// compare and aggregate them constantly, so the runtime interns each label
+// once and hands out dense 32-bit ids. Interning is mutex-protected (it
+// happens at most once per distinct label); lookups by id are lock-free
+// reads of an append-only table snapshot guarded by the same mutex.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mpisect::sections {
+
+using LabelId = std::uint32_t;
+inline constexpr LabelId kInvalidLabel = ~LabelId{0};
+
+class LabelRegistry {
+ public:
+  /// Intern a label, returning its dense id (stable for the registry's
+  /// lifetime). Thread-safe.
+  LabelId intern(std::string_view label);
+
+  /// Name of an interned id ("?" for unknown ids). Thread-safe.
+  [[nodiscard]] std::string name(LabelId id) const;
+
+  /// Id of an already-interned label, or kInvalidLabel.
+  [[nodiscard]] LabelId lookup(std::string_view label) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Snapshot of all interned names, indexed by id.
+  [[nodiscard]] std::vector<std::string> all() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, LabelId> ids_;
+  std::vector<std::string> names_;
+};
+
+/// 64-bit stable hash of a label string — used by the validation pass to
+/// compare labels across ranks without shipping strings.
+[[nodiscard]] std::uint64_t label_hash(std::string_view label) noexcept;
+
+}  // namespace mpisect::sections

@@ -1,0 +1,55 @@
+#include "core/sections/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mpisect::sections {
+
+InstanceMetrics compute_metrics(std::span<const RankSpan> spans) {
+  InstanceMetrics m;
+  if (spans.empty()) return m;
+  m.nranks = static_cast<int>(spans.size());
+
+  m.t_min = std::numeric_limits<double>::infinity();
+  m.t_max = -std::numeric_limits<double>::infinity();
+  for (const auto& s : spans) {
+    m.t_min = std::min(m.t_min, s.t_in);
+    m.t_max = std::max(m.t_max, s.t_out);
+  }
+
+  m.section_min = std::numeric_limits<double>::infinity();
+  m.section_max = -std::numeric_limits<double>::infinity();
+  double section_sum = 0.0;
+  double imb_sum = 0.0;
+  double imb_sq = 0.0;
+  for (const auto& s : spans) {
+    const double tsection = s.t_out - m.t_min;
+    section_sum += tsection;
+    m.section_min = std::min(m.section_min, tsection);
+    m.section_max = std::max(m.section_max, tsection);
+    const double imb_in = s.t_in - m.t_min;
+    imb_sum += imb_in;
+    imb_sq += imb_in * imb_in;
+    m.entry_imb_max = std::max(m.entry_imb_max, imb_in);
+  }
+  const auto n = static_cast<double>(m.nranks);
+  m.section_mean = section_sum / n;
+  m.entry_imb_mean = imb_sum / n;
+  m.entry_imb_var =
+      std::max(0.0, imb_sq / n - m.entry_imb_mean * m.entry_imb_mean);
+  m.imbalance = (m.t_max - m.t_min) - m.section_mean;
+  return m;
+}
+
+void AggregatedMetrics::add(const InstanceMetrics& m) noexcept {
+  const double prev = static_cast<double>(instances);
+  ++instances;
+  total_span += m.span();
+  total_section_mean += m.section_mean;
+  total_imbalance += m.imbalance;
+  max_entry_imb = std::max(max_entry_imb, m.entry_imb_max);
+  mean_entry_imb =
+      (mean_entry_imb * prev + m.entry_imb_mean) / static_cast<double>(instances);
+}
+
+}  // namespace mpisect::sections

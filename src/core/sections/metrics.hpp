@@ -1,0 +1,66 @@
+// Derived section metrics (paper Figure 3).
+//
+// Given each rank's entry/exit timestamps for one section instance:
+//   Tmin       time the *first* process enters the section
+//   Tin        per-rank entry timestamp
+//   Tout       per-rank exit timestamp
+//   Tsection   per-rank time in the section, defined as Tout - Tmin
+//   Tmax       time the *last* process leaves
+//   imb_in     per-rank entry imbalance, Tin - Tmin
+//   imb        section imbalance, (Tmax - Tmin) - mean(Tsection)
+//
+// The paper's argument: these capture *distributed* phase behaviour —
+// variability and imbalance — that per-function exclusive-time profiles
+// cannot express, because a section is a parallel time slice rather than a
+// local duration.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mpisect::sections {
+
+/// One rank's view of one section instance.
+struct RankSpan {
+  int rank = 0;
+  double t_in = 0.0;
+  double t_out = 0.0;
+};
+
+struct InstanceMetrics {
+  int nranks = 0;
+  double t_min = 0.0;  ///< first entry across ranks
+  double t_max = 0.0;  ///< last exit across ranks
+  /// Tsection statistics (Tsection_r = t_out_r - t_min).
+  double section_mean = 0.0;
+  double section_min = 0.0;
+  double section_max = 0.0;
+  /// Entry imbalance statistics (imb_in_r = t_in_r - t_min).
+  double entry_imb_mean = 0.0;
+  double entry_imb_var = 0.0;
+  double entry_imb_max = 0.0;
+  /// Section imbalance: (t_max - t_min) - section_mean.
+  double imbalance = 0.0;
+
+  [[nodiscard]] double span() const noexcept { return t_max - t_min; }
+};
+
+/// Compute Fig. 3 metrics from per-rank spans. Returns a default-initialized
+/// result for an empty input.
+[[nodiscard]] InstanceMetrics compute_metrics(std::span<const RankSpan> spans);
+
+/// Merge instance metrics over repeated instances of the same section
+/// (e.g. 1000 HALO exchanges): sums spans and section times, averages
+/// imbalance statistics, keeps global extrema.
+struct AggregatedMetrics {
+  long instances = 0;
+  double total_span = 0.0;          ///< sum over instances of (t_max - t_min)
+  double total_section_mean = 0.0;  ///< sum over instances of section_mean
+  double total_imbalance = 0.0;
+  double max_entry_imb = 0.0;
+  double mean_entry_imb = 0.0;  ///< averaged over instances
+
+  void add(const InstanceMetrics& m) noexcept;
+};
+
+}  // namespace mpisect::sections

@@ -1,0 +1,72 @@
+#include "core/speedup/adaptive.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace mpisect::speedup {
+
+void AdaptiveAdvisor::add_section(ScalingSeries series) {
+  sections_.push_back(std::move(series));
+}
+
+std::optional<double> AdaptiveAdvisor::predicted_uniform(int threads) const {
+  if (sections_.empty()) return std::nullopt;
+  double total = 0.0;
+  for (const auto& s : sections_) {
+    const auto t = s.at(threads);
+    if (!t) return std::nullopt;
+    total += *t;
+  }
+  return total;
+}
+
+std::optional<int> AdaptiveAdvisor::best_uniform() const {
+  std::set<int> candidates;
+  for (const auto& s : sections_) {
+    for (const auto& pt : s.points()) candidates.insert(pt.p);
+  }
+  std::optional<int> best;
+  double best_time = 0.0;
+  for (const int t : candidates) {
+    const auto predicted = predicted_uniform(t);
+    if (!predicted) continue;
+    if (!best || *predicted < best_time) {
+      best = t;
+      best_time = *predicted;
+    }
+  }
+  return best;
+}
+
+std::vector<SectionRecommendation> AdaptiveAdvisor::recommend() const {
+  std::vector<SectionRecommendation> out;
+  const auto uniform = best_uniform();
+  for (const auto& s : sections_) {
+    SectionRecommendation rec;
+    rec.label = s.name();
+    if (const auto best = s.best()) {
+      rec.threads = best->p;
+      rec.time = best->time;
+      rec.restrained = uniform.has_value() && best->p < *uniform;
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+double AdaptiveAdvisor::predicted_adaptive() const {
+  double total = 0.0;
+  for (const auto& rec : recommend()) total += rec.time;
+  return total;
+}
+
+double AdaptiveAdvisor::improvement() const {
+  const auto uniform = best_uniform();
+  if (!uniform) return 1.0;
+  const auto uniform_time = predicted_uniform(*uniform);
+  const double adaptive_time = predicted_adaptive();
+  if (!uniform_time || adaptive_time <= 0.0) return 1.0;
+  return *uniform_time / adaptive_time;
+}
+
+}  // namespace mpisect::speedup

@@ -1,0 +1,63 @@
+// Adaptive parallelism restraint — the paper's Section 8 future work:
+// "If we now consider a large application with multiple sections featuring
+// various inter-dependent algorithms, we would like to explore the
+// possibility of dynamically restraining parallelism for non-scalable
+// sections — investigating potential improvements for the overall
+// computation."
+//
+// Given per-section scaling series over thread counts (exactly what the
+// SectionProfiler produces from a sweep), AdaptiveAdvisor picks, per
+// section, the thread count at that section's own optimum instead of one
+// global team size. Because the sections execute sequentially within a
+// timestep, the predicted walltime is the sum of per-section times — so
+// per-section restraint is never worse than the best uniform team in the
+// model, and strictly better when sections peak at different scales.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/speedup/series.hpp"
+
+namespace mpisect::speedup {
+
+struct SectionRecommendation {
+  std::string label;
+  int threads = 1;        ///< per-section recommended team size
+  double time = 0.0;      ///< the section's time at that team size
+  bool restrained = false;  ///< true if below the globally best team size
+};
+
+class AdaptiveAdvisor {
+ public:
+  /// Register one section's (threads -> time) series. Every series should
+  /// sample the same thread counts.
+  void add_section(ScalingSeries series);
+
+  [[nodiscard]] const std::vector<ScalingSeries>& sections() const noexcept {
+    return sections_;
+  }
+
+  /// Predicted walltime with one uniform team of `threads` (sum of section
+  /// times at that size). Empty optional if a section lacks the sample.
+  [[nodiscard]] std::optional<double> predicted_uniform(int threads) const;
+
+  /// The best uniform team size among the sampled counts.
+  [[nodiscard]] std::optional<int> best_uniform() const;
+
+  /// Per-section restraint: each section at its own argmin.
+  [[nodiscard]] std::vector<SectionRecommendation> recommend() const;
+
+  /// Predicted walltime under the per-section recommendation.
+  [[nodiscard]] double predicted_adaptive() const;
+
+  /// Improvement factor of adaptive over the best uniform team
+  /// (>= 1.0 by construction within the model). 1.0 when no data.
+  [[nodiscard]] double improvement() const;
+
+ private:
+  std::vector<ScalingSeries> sections_;
+};
+
+}  // namespace mpisect::speedup

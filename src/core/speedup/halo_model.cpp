@@ -1,0 +1,70 @@
+#include "core/speedup/halo_model.hpp"
+
+#include <cmath>
+
+namespace mpisect::speedup {
+
+HaloStats halo_stats(std::int64_t n, int total_dims, int decomp_dims,
+                     int halo) {
+  HaloStats st;
+  if (n <= 0 || total_dims <= 0 || decomp_dims < 0 ||
+      decomp_dims > total_dims || halo < 0) {
+    return st;
+  }
+  const auto nd = static_cast<double>(n);
+  const auto h = static_cast<double>(halo);
+  // Interior: n^total_dims. Padded block: (n + 2h) along decomposed axes,
+  // n along the others (interior ranks; boundary ranks have fewer halos,
+  // so this is the worst case the memory budget must absorb).
+  st.interior_cells = std::pow(nd, total_dims);
+  const double padded = std::pow(nd + 2.0 * h, decomp_dims) *
+                        std::pow(nd, total_dims - decomp_dims);
+  st.halo_cells = padded - st.interior_cells;
+  st.ratio = st.interior_cells > 0.0 ? st.halo_cells / st.interior_cells : 0.0;
+  // Sent per step: one halo-wide layer per face, two faces per decomposed
+  // axis: 2 * decomp_dims * h * n^(total_dims - 1).
+  st.surface_cells =
+      2.0 * decomp_dims * h * std::pow(nd, total_dims - 1);
+  return st;
+}
+
+double local_edge(double global_cells, int total_dims, int decomp_dims,
+                  int ranks) {
+  if (global_cells <= 0.0 || total_dims <= 0 || decomp_dims <= 0 ||
+      decomp_dims > total_dims || ranks <= 0) {
+    return -1.0;
+  }
+  // Ranks arranged in a decomp_dims-cube: require an integral root.
+  const double root =
+      std::round(std::pow(static_cast<double>(ranks), 1.0 / decomp_dims));
+  double check = 1.0;
+  for (int i = 0; i < decomp_dims; ++i) check *= root;
+  if (std::llround(check) != ranks) return -1.0;
+  const double global_edge =
+      std::pow(global_cells, 1.0 / total_dims);
+  return global_edge / root;
+}
+
+std::int64_t min_edge_for_budget(int total_dims, int decomp_dims,
+                                 double budget, int halo) {
+  if (budget <= 0.0) return -1;
+  for (std::int64_t n = 1; n <= (1LL << 30); n *= 2) {
+    if (halo_stats(n, total_dims, decomp_dims, halo).ratio <= budget) {
+      // Binary refine between n/2 and n.
+      std::int64_t lo = n / 2 + 1;
+      std::int64_t hi = n;
+      while (lo < hi) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        if (halo_stats(mid, total_dims, decomp_dims, halo).ratio <= budget) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      return hi;
+    }
+  }
+  return -1;
+}
+
+}  // namespace mpisect::speedup

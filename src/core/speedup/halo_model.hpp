@@ -1,0 +1,56 @@
+// Halo-cell ratio model — the quantitative core of the paper's Section 3
+// ("Distributed-Memory Constraints").
+//
+// For stencil codes, the communicated/stored data ratio per rank is the
+// surface-to-volume ratio of its subdomain. The paper's argument:
+//   * "the halo-cells ratio directly linked with communication size is
+//     smaller for large memory areas";
+//   * "higher dimension domain decompositions require larger local domains
+//     to minimize this memory overhead";
+//   * therefore shrinking memory per rank on many-core machines forces
+//     MPI+X: fewer, fatter ranks with threads inside.
+//
+// This header computes those ratios exactly for d-dimensional block
+// decompositions of cubic domains with a 1-cell halo, and the derived
+// quantities the Sec. 3 discussion turns on (memory overhead per rank,
+// the rank count at which overhead crosses a budget).
+#pragma once
+
+#include <cstdint>
+
+namespace mpisect::speedup {
+
+/// A rank's local block: `cells_per_dim` interior cells per decomposed
+/// dimension (the block is cubic in the decomposed dimensions).
+struct HaloStats {
+  double interior_cells = 0.0;  ///< owned cells
+  double halo_cells = 0.0;      ///< ghost copies stored for neighbours
+  /// halo / interior — the memory *and* communication overhead ratio.
+  double ratio = 0.0;
+  /// Cells sent per step (boundary layer of the interior).
+  double surface_cells = 0.0;
+};
+
+/// Halo statistics for a cubic local block of `n` cells per edge (edge
+/// length in every one of the `total_dims` dimensions), decomposed across
+/// `decomp_dims` of them with halo width `halo`. Example: the paper's
+/// convolution uses total_dims = 2, decomp_dims = 1.
+[[nodiscard]] HaloStats halo_stats(std::int64_t n, int total_dims,
+                                   int decomp_dims, int halo = 1);
+
+/// Per-rank interior edge length when a cubic global domain of
+/// `global_cells` total cells is split evenly over `ranks` ranks in
+/// `decomp_dims` dimensions (requires ranks to have an integral
+/// decomp_dims-th root; returns -1 otherwise).
+[[nodiscard]] double local_edge(double global_cells, int total_dims,
+                                int decomp_dims, int ranks);
+
+/// The smallest local edge n such that the halo ratio stays below
+/// `budget` (e.g. 0.1 = at most 10% memory overhead). This is the paper's
+/// "higher dimension decompositions require larger local domains" made
+/// concrete.
+[[nodiscard]] std::int64_t min_edge_for_budget(int total_dims,
+                                               int decomp_dims, double budget,
+                                               int halo = 1);
+
+}  // namespace mpisect::speedup

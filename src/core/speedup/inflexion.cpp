@@ -1,0 +1,51 @@
+#include "core/speedup/inflexion.hpp"
+
+#include <algorithm>
+
+namespace mpisect::speedup {
+
+std::optional<InflexionPoint> find_inflexion(const ScalingSeries& series,
+                                             double tolerance) {
+  const auto& pts = series.points();
+  if (pts.size() < 3) return std::nullopt;
+
+  std::size_t min_idx = 0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i].time < pts[min_idx].time) min_idx = i;
+  }
+  if (min_idx + 1 >= pts.size()) return std::nullopt;  // still decreasing
+
+  // Require a significant rise after the minimum, not just noise.
+  double max_after = 0.0;
+  for (std::size_t i = min_idx + 1; i < pts.size(); ++i) {
+    max_after = std::max(max_after, pts[i].time);
+  }
+  const double floor = pts[min_idx].time;
+  if (floor <= 0.0) return std::nullopt;
+  const double rise = max_after / floor - 1.0;
+  if (rise <= tolerance) return std::nullopt;
+
+  InflexionPoint ip;
+  ip.p = pts[min_idx].p;
+  ip.time = floor;
+  ip.rise = rise;
+  ip.index = min_idx;
+  return ip;
+}
+
+std::optional<double> inflexion_bound(const ScalingSeries& series,
+                                      double total_sequential_time,
+                                      double tolerance) {
+  const auto ip = find_inflexion(series, tolerance);
+  if (!ip || ip->time <= 0.0) return std::nullopt;
+  return total_sequential_time / ip->time;
+}
+
+std::optional<int> max_useful_scale(const ScalingSeries& series,
+                                    double tolerance) {
+  if (const auto ip = find_inflexion(series, tolerance)) return ip->p;
+  if (const auto best = series.best()) return best->p;
+  return std::nullopt;
+}
+
+}  // namespace mpisect::speedup

@@ -1,0 +1,47 @@
+// Inflexion-point detection (paper Section 5.2, Fig. 10).
+//
+// "Any section which duration stops decreasing with the number of threads
+// immediately defines an upper bound on the speedup." The inflexion point
+// of a section's scaling series is the scale at which its time reaches its
+// minimum before rising again — the point where the section's "parallelism
+// budget" is exhausted. Beyond it, adding processing units is counter-
+// productive, and the partial bound computed there transposes to every
+// larger scale.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/speedup/series.hpp"
+
+namespace mpisect::speedup {
+
+struct InflexionPoint {
+  int p = 0;             ///< scale at which the minimum time is reached
+  double time = 0.0;     ///< the section time at that scale
+  double rise = 0.0;     ///< relative rise observed after the minimum
+  std::size_t index = 0; ///< index into the series
+};
+
+/// Detect the inflexion point of a (time vs p) series: the global-minimum
+/// sample, provided a later sample exceeds it by more than `tolerance`
+/// (relative, e.g. 0.02 = 2%). Returns nullopt for monotonically
+/// non-increasing series (still scaling) or series shorter than 3 points.
+[[nodiscard]] std::optional<InflexionPoint> find_inflexion(
+    const ScalingSeries& series, double tolerance = 0.02);
+
+/// The speedup bound a section imposes at its inflexion point:
+/// B = total_sequential_time / time_at_inflexion (Eq. 6 evaluated there).
+/// Returns nullopt if the series has no inflexion.
+[[nodiscard]] std::optional<double> inflexion_bound(
+    const ScalingSeries& series, double total_sequential_time,
+    double tolerance = 0.02);
+
+/// Recommendation derived from the paper's discussion: the largest scale
+/// worth running, i.e. the inflexion p if one exists, else the best p
+/// sampled ("a configuration beyond its inflexion point should never be
+/// ran").
+[[nodiscard]] std::optional<int> max_useful_scale(const ScalingSeries& series,
+                                                  double tolerance = 0.02);
+
+}  // namespace mpisect::speedup

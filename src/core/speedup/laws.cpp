@@ -1,0 +1,50 @@
+#include "core/speedup/laws.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mpisect::speedup {
+
+double speedup(double t_seq, double t_par) noexcept {
+  if (t_par <= 0.0) return 0.0;
+  return t_seq / t_par;
+}
+
+double efficiency(double t_seq, double t_par, int p) noexcept {
+  if (p <= 0) return 0.0;
+  return speedup(t_seq, t_par) / static_cast<double>(p);
+}
+
+double amdahl_bound(double serial_fraction, int p) noexcept {
+  if (p <= 0) return 0.0;
+  const double fs = std::clamp(serial_fraction, 0.0, 1.0);
+  const double fp = 1.0 - fs;
+  const double denom = fs + fp / static_cast<double>(p);
+  if (denom <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / denom;
+}
+
+double amdahl_limit(double serial_fraction) noexcept {
+  const double fs = std::clamp(serial_fraction, 0.0, 1.0);
+  if (fs <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / fs;
+}
+
+double gustafson_scaled(double serial_fraction, int p) noexcept {
+  if (p <= 0) return 0.0;
+  const double fs = std::clamp(serial_fraction, 0.0, 1.0);
+  return static_cast<double>(p) - fs * (static_cast<double>(p) - 1.0);
+}
+
+double karp_flatt(double measured_speedup, int p) noexcept {
+  if (p <= 1 || measured_speedup <= 0.0) return 0.0;
+  const double inv_s = 1.0 / measured_speedup;
+  const double inv_p = 1.0 / static_cast<double>(p);
+  return (inv_s - inv_p) / (1.0 - inv_p);
+}
+
+double implied_serial_fraction(double measured_speedup, int p) noexcept {
+  return karp_flatt(measured_speedup, p);
+}
+
+}  // namespace mpisect::speedup

@@ -1,0 +1,37 @@
+// Classical scaling laws (paper Section 2 background).
+//
+// All of these derive from the canonical Speedup equation
+//   S(n, p) = seq(n) / par(n, p)
+// and are provided both for analysis and as reference baselines against
+// which the paper's *partial speedup bounding* is compared.
+#pragma once
+
+namespace mpisect::speedup {
+
+/// S = T_seq / T_par. Returns 0 when T_par <= 0.
+[[nodiscard]] double speedup(double t_seq, double t_par) noexcept;
+
+/// E = S / p.
+[[nodiscard]] double efficiency(double t_seq, double t_par, int p) noexcept;
+
+/// Amdahl's law: S(p) <= 1 / (fs + fp/p) with fs + fp = 1.
+/// serial_fraction in [0,1].
+[[nodiscard]] double amdahl_bound(double serial_fraction, int p) noexcept;
+
+/// Amdahl's asymptotic limit: S <= 1/fs (infinity for fs = 0).
+[[nodiscard]] double amdahl_limit(double serial_fraction) noexcept;
+
+/// Gustafson-Barsis scaled speedup: S(p) = p - fs*(p - 1).
+[[nodiscard]] double gustafson_scaled(double serial_fraction, int p) noexcept;
+
+/// Karp-Flatt experimentally determined serial fraction:
+///   e = (1/S - 1/p) / (1 - 1/p)
+/// Undefined (returns 0) for p <= 1 or S <= 0.
+[[nodiscard]] double karp_flatt(double measured_speedup, int p) noexcept;
+
+/// Invert Amdahl: serial fraction implied by a measured speedup at p.
+/// Identical to karp_flatt; provided under the law's own name for clarity.
+[[nodiscard]] double implied_serial_fraction(double measured_speedup,
+                                             int p) noexcept;
+
+}  // namespace mpisect::speedup

@@ -1,0 +1,95 @@
+#include "core/speedup/partial_bound.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mpisect::speedup {
+
+double partial_bound(double total_sequential_time,
+                     double section_time_per_process) noexcept {
+  if (section_time_per_process <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return total_sequential_time / section_time_per_process;
+}
+
+void BoundAnalysis::add_section(SectionScaling section) {
+  sections_.push_back(std::move(section));
+}
+
+ScalingSeries BoundAnalysis::bound_series(const std::string& label) const {
+  ScalingSeries out("B(" + label + ")");
+  for (const auto& s : sections_) {
+    if (s.label != label) continue;
+    for (const auto& pt : s.per_process.points()) {
+      out.add(pt.p, partial_bound(t_seq_, pt.time));
+    }
+  }
+  return out;
+}
+
+std::vector<BoundRow> BoundAnalysis::rows() const {
+  std::vector<BoundRow> out;
+  for (const auto& s : sections_) {
+    for (const auto& pt : s.per_process.points()) {
+      BoundRow row;
+      row.label = s.label;
+      row.p = pt.p;
+      row.per_process_time = pt.time;
+      row.total_time = s.total.at(pt.p).value_or(
+          pt.time * static_cast<double>(pt.p));
+      row.bound = partial_bound(t_seq_, pt.time);
+      out.push_back(row);
+    }
+  }
+  return out;
+}
+
+std::vector<BoundAnalysis::BindingBound> BoundAnalysis::binding_bounds()
+    const {
+  std::vector<BindingBound> out;
+  // Collect the set of sampled p values from the first section (all
+  // sections of one run share the sweep).
+  if (sections_.empty()) return out;
+  for (const auto& pt : sections_.front().per_process.points()) {
+    BindingBound bb;
+    bb.p = pt.p;
+    bb.bound = std::numeric_limits<double>::infinity();
+    for (const auto& s : sections_) {
+      const auto t = s.per_process.at(pt.p);
+      if (!t) continue;
+      const double b = partial_bound(t_seq_, *t);
+      if (b < bb.bound) {
+        bb.bound = b;
+        bb.label = s.label;
+      }
+    }
+    out.push_back(bb);
+  }
+  return out;
+}
+
+BoundAnalysis::Transposition BoundAnalysis::transpose_bound(
+    const std::string& label, int p_low, const ScalingSeries& measured,
+    double slack) const {
+  Transposition t;
+  t.p_low = p_low;
+  const ScalingSeries bounds = bound_series(label);
+  const auto b = bounds.at(p_low);
+  if (!b) {
+    t.holds = false;
+    return t;
+  }
+  t.bound = *b;
+  for (const auto& pt : measured.points()) {
+    if (pt.p < p_low) continue;
+    if (pt.time > t.bound * slack) {
+      t.holds = false;
+      t.first_violation_p = pt.p;
+      return t;
+    }
+  }
+  return t;
+}
+
+}  // namespace mpisect::speedup

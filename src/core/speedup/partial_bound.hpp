@@ -1,0 +1,105 @@
+// Partial speedup bounding — the paper's Equation 6 and Section 2.
+//
+// Model the application as a sum of per-section times,
+//   T(n, p) = sum_i f_i(n, p).
+// In strong scaling (fixed n0) the Speedup obeys, for EVERY section i,
+//
+//   S(n0, p) <= sum_j f_j(n0, 1) / f_i(n0, p)            (Eq. 6)
+//
+// i.e. any section that stops accelerating immediately caps the whole
+// application's speedup — at finite p, unlike Amdahl's asymptotic bound.
+// The denominator uses the section's *mean time per process* at scale p
+// (the paper's Fig. 6 divides the summed-over-ranks HALO time by p).
+//
+// This header provides:
+//   * partial_bound()        — one bound B_i(p) from one section sample
+//   * SectionScaling         — a section's full p-sweep + its bound series
+//   * BoundAnalysis          — the per-section bound table for a run,
+//                              the binding (minimum) bound at each p, and
+//                              transposition of low-scale bounds to high
+//                              scales (the paper's Fig. 5(d) experiment).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/speedup/series.hpp"
+
+namespace mpisect::speedup {
+
+/// B(p) = T_seq_total / t_section_per_process(p). Returns +inf when the
+/// section time is 0 (a section with no cost bounds nothing).
+[[nodiscard]] double partial_bound(double total_sequential_time,
+                                   double section_time_per_process) noexcept;
+
+/// One section's contribution across the p-sweep.
+struct SectionScaling {
+  std::string label;
+  /// Mean per-process time in the section at each p.
+  ScalingSeries per_process;
+  /// Sum over processes (the paper's "Tot. HALO Time" column).
+  ScalingSeries total;
+};
+
+/// A single row of the paper's Fig. 6 table.
+struct BoundRow {
+  std::string label;
+  int p = 0;
+  double total_time = 0.0;        ///< summed over ranks
+  double per_process_time = 0.0;  ///< total_time / p
+  double bound = 0.0;             ///< B(p) per Eq. 6
+};
+
+class BoundAnalysis {
+ public:
+  /// total_sequential_time: sum of all section times at p = 1 (the
+  /// "parallel budget" numerator of Eq. 6).
+  explicit BoundAnalysis(double total_sequential_time) noexcept
+      : t_seq_(total_sequential_time) {}
+
+  void add_section(SectionScaling section);
+
+  [[nodiscard]] double total_sequential_time() const noexcept {
+    return t_seq_;
+  }
+  [[nodiscard]] const std::vector<SectionScaling>& sections() const noexcept {
+    return sections_;
+  }
+
+  /// Bound series B_i(p) for one section.
+  [[nodiscard]] ScalingSeries bound_series(const std::string& label) const;
+
+  /// All (section, p) bound rows, Fig. 6 style.
+  [[nodiscard]] std::vector<BoundRow> rows() const;
+
+  /// The binding bound at each p: min over sections of B_i(p), with the
+  /// section that imposes it.
+  struct BindingBound {
+    int p = 0;
+    double bound = 0.0;
+    std::string label;
+  };
+  [[nodiscard]] std::vector<BindingBound> binding_bounds() const;
+
+  /// The paper's transposition check: does the bound inferred from section
+  /// data at `p_low` still hold (within `slack`, e.g. 1.1 = 10%) for the
+  /// measured speedup at every p >= p_low? Measured speedups taken from
+  /// `measured` (a speedup series, not a time series).
+  struct Transposition {
+    int p_low = 0;
+    double bound = 0.0;
+    bool holds = true;
+    int first_violation_p = -1;
+  };
+  [[nodiscard]] Transposition transpose_bound(const std::string& label,
+                                              int p_low,
+                                              const ScalingSeries& measured,
+                                              double slack = 1.05) const;
+
+ private:
+  double t_seq_;
+  std::vector<SectionScaling> sections_;
+};
+
+}  // namespace mpisect::speedup

@@ -1,0 +1,81 @@
+#include "core/speedup/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/speedup/laws.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace mpisect::speedup {
+
+std::string render_bound_table(const BoundAnalysis& analysis,
+                               const std::string& label,
+                               const std::vector<int>& ps) {
+  support::TextTable table;
+  table.set_header({"#Processes", "Tot. " + label + " Time",
+                    "Speedup Bound (B)"});
+  const ScalingSeries bounds = analysis.bound_series(label);
+  for (const auto& s : analysis.sections()) {
+    if (s.label != label) continue;
+    for (const int p : ps) {
+      const auto total = s.total.at(p);
+      const auto bound = bounds.at(p);
+      if (!total || !bound) continue;
+      table.add_row({std::to_string(p), support::fmt_double(*total, 2),
+                     support::fmt_double(*bound, 2)});
+    }
+  }
+  return table.render();
+}
+
+std::string render_binding_table(const BoundAnalysis& analysis) {
+  support::TextTable table;
+  table.set_header({"#Processes", "Binding section", "Bound B(p)"});
+  for (const auto& bb : analysis.binding_bounds()) {
+    table.add_row({std::to_string(bb.p), bb.label,
+                   std::isfinite(bb.bound)
+                       ? support::fmt_double(bb.bound, 2)
+                       : std::string("inf")});
+  }
+  return table.render();
+}
+
+std::string series_csv(const std::vector<ScalingSeries>& series) {
+  std::set<int> ps;
+  for (const auto& s : series) {
+    for (const auto& pt : s.points()) ps.insert(pt.p);
+  }
+  std::string out = "p";
+  for (const auto& s : series) out += "," + s.name();
+  out += "\n";
+  for (const int p : ps) {
+    out += std::to_string(p);
+    for (const auto& s : series) {
+      const auto t = s.at(p);
+      out += ",";
+      if (t) out += support::fmt_auto(*t);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string summarize_speedup(const ScalingSeries& times) {
+  const auto seq = times.sequential();
+  if (!seq || times.size() < 2) return "(insufficient data)\n";
+  const ScalingSeries s = times.to_speedup();
+  const auto& last = s.points().back();
+  const double kf = karp_flatt(last.time, last.p);
+  std::string out;
+  out += "speedup at p=" + std::to_string(last.p) + ": " +
+         support::fmt_double(last.time, 2) + "x";
+  out += "  (efficiency " +
+         support::fmt_double(last.time / last.p * 100.0, 1) + "%,";
+  out += " Karp-Flatt serial fraction " + support::fmt_double(kf, 4) + ",";
+  out += " Amdahl limit " + support::fmt_double(amdahl_limit(kf), 1) + "x)\n";
+  return out;
+}
+
+}  // namespace mpisect::speedup

@@ -1,0 +1,28 @@
+// Rendering helpers turning speedup analyses into the paper's table and
+// figure formats (used by the bench harnesses and examples).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/speedup/partial_bound.hpp"
+#include "core/speedup/series.hpp"
+
+namespace mpisect::speedup {
+
+/// Fig. 6-style table: "#Processes | Tot. <label> Time | Speedup Bound (B)".
+[[nodiscard]] std::string render_bound_table(const BoundAnalysis& analysis,
+                                             const std::string& label,
+                                             const std::vector<int>& ps);
+
+/// Per-p binding-bound table: which section caps the speedup at each scale.
+[[nodiscard]] std::string render_binding_table(const BoundAnalysis& analysis);
+
+/// Multi-series CSV (columns: p, one column per series). Series may sample
+/// different p sets; missing cells are empty.
+[[nodiscard]] std::string series_csv(const std::vector<ScalingSeries>& series);
+
+/// A classic speedup summary line: measured vs Amdahl-implied fraction.
+[[nodiscard]] std::string summarize_speedup(const ScalingSeries& times);
+
+}  // namespace mpisect::speedup

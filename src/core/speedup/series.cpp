@@ -1,0 +1,70 @@
+#include "core/speedup/series.hpp"
+
+#include <algorithm>
+
+namespace mpisect::speedup {
+
+void ScalingSeries::add(int p, double time) {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), p,
+      [](const ScalingPoint& pt, int key) { return pt.p < key; });
+  if (it != points_.end() && it->p == p) {
+    it->time = time;  // resample overwrites
+    return;
+  }
+  points_.insert(it, ScalingPoint{p, time});
+}
+
+std::optional<double> ScalingSeries::at(int p) const noexcept {
+  for (const auto& pt : points_) {
+    if (pt.p == p) return pt.time;
+  }
+  return std::nullopt;
+}
+
+std::optional<ScalingPoint> ScalingSeries::best() const noexcept {
+  if (points_.empty()) return std::nullopt;
+  return *std::min_element(points_.begin(), points_.end(),
+                           [](const ScalingPoint& a, const ScalingPoint& b) {
+                             return a.time < b.time;
+                           });
+}
+
+ScalingSeries ScalingSeries::to_speedup(double t_ref) const {
+  ScalingSeries out(name_ + " speedup");
+  double ref = t_ref;
+  if (ref <= 0.0) {
+    const auto seq = sequential();
+    if (!seq) return out;
+    ref = *seq;
+  }
+  for (const auto& pt : points_) {
+    if (pt.time > 0.0) out.add(pt.p, ref / pt.time);
+  }
+  return out;
+}
+
+ScalingSeries ScalingSeries::to_efficiency(double t_ref) const {
+  ScalingSeries out(name_ + " efficiency");
+  const ScalingSeries s = to_speedup(t_ref);
+  for (const auto& pt : s.points()) {
+    out.add(pt.p, pt.p > 0 ? pt.time / pt.p : 0.0);
+  }
+  return out;
+}
+
+std::vector<double> ScalingSeries::xs() const {
+  std::vector<double> v;
+  v.reserve(points_.size());
+  for (const auto& pt : points_) v.push_back(static_cast<double>(pt.p));
+  return v;
+}
+
+std::vector<double> ScalingSeries::ys() const {
+  std::vector<double> v;
+  v.reserve(points_.size());
+  for (const auto& pt : points_) v.push_back(pt.time);
+  return v;
+}
+
+}  // namespace mpisect::speedup

@@ -1,0 +1,57 @@
+// Scaling series: a named mapping p -> time, the unit of data every
+// speedup analysis in this project consumes (p may be MPI processes or
+// OpenMP threads — the math is identical).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mpisect::speedup {
+
+struct ScalingPoint {
+  int p = 1;          ///< processing units
+  double time = 0.0;  ///< seconds at this scale
+};
+
+class ScalingSeries {
+ public:
+  ScalingSeries() = default;
+  explicit ScalingSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(int p, double time);
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] const std::vector<ScalingPoint>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] const ScalingPoint& operator[](std::size_t i) const {
+    return points_[i];
+  }
+
+  /// Time at exactly p, if sampled.
+  [[nodiscard]] std::optional<double> at(int p) const noexcept;
+  /// Time of the p == 1 sample (the sequential reference), if present.
+  [[nodiscard]] std::optional<double> sequential() const noexcept {
+    return at(1);
+  }
+  /// Smallest time in the series and the p achieving it.
+  [[nodiscard]] std::optional<ScalingPoint> best() const noexcept;
+
+  /// Derived speedup series S(p) = t_ref / t(p). Uses the p==1 sample as
+  /// reference unless `t_ref` is supplied.
+  [[nodiscard]] ScalingSeries to_speedup(double t_ref = 0.0) const;
+  /// Derived efficiency series E(p) = S(p)/p.
+  [[nodiscard]] ScalingSeries to_efficiency(double t_ref = 0.0) const;
+
+  /// x/y vectors for charting.
+  [[nodiscard]] std::vector<double> xs() const;
+  [[nodiscard]] std::vector<double> ys() const;
+
+ private:
+  std::string name_;
+  std::vector<ScalingPoint> points_;  ///< kept sorted by p
+};
+
+}  // namespace mpisect::speedup

@@ -1,0 +1,88 @@
+#include "minomp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpisect::minomp {
+
+MemoryModel memory_model_for(const mpisim::MachineModel& m) {
+  MemoryModel mm;
+  if (m.name == "knl") {
+    // DDR-resident working set: bandwidth saturates well below the core
+    // count, which is what pins the paper's inflexion near 24 threads.
+    mm.saturation_capacity = 14.0;
+    mm.contention = 0.55;
+  } else if (m.name == "broadwell-2s") {
+    mm.saturation_capacity = 26.0;
+    mm.contention = 0.18;
+  } else if (m.name == "nehalem-cluster") {
+    mm.saturation_capacity = 6.0;
+    mm.contention = 0.25;
+  }
+  return mm;
+}
+
+RegionCharge region_time(const mpisim::MachineModel& machine,
+                         const MemoryModel& mem, const KernelProfile& kernel,
+                         double serial_seconds, int threads,
+                         double cores_avail, int ranks_on_node,
+                         Schedule schedule, std::int64_t chunks) {
+  RegionCharge charge;
+  threads = std::max(threads, 1);
+  const double w = std::max(serial_seconds, 0.0);
+  const double f = std::clamp(kernel.parallel_fraction, 0.0, 1.0);
+  const double m = std::clamp(kernel.mem_intensity, 0.0, 1.0);
+
+  const double cap_cpu = machine.thread_capacity(threads, cores_avail);
+
+  // Memory-bound share: the node's bandwidth budget is split between the
+  // co-located ranks, so the per-rank saturation point shrinks with
+  // ranks_on_node. The term is normalized to its one-thread value so the
+  // baseline (t = 1) is independent of sharing — only the *thread scaling*
+  // of the memory share saturates, which is what makes extra OpenMP threads
+  // useless (KNL p=27) or harmful (p=64) in the paper's Fig. 9.
+  const double sat = std::max(
+      mem.saturation_capacity / std::max(ranks_on_node, 1), 1e-9);
+  auto eff_mem = [&](double cap) {
+    const double over = std::max(0.0, cap / sat - 1.0);
+    return std::min(cap, sat) / (1.0 + mem.contention * over);
+  };
+  const double cap1 = machine.thread_capacity(1, cores_avail);
+  const double mem_speedup =
+      eff_mem(cap_cpu) / std::max(eff_mem(cap1), 1e-300);
+
+  double parallel_span =
+      w * f * (m / std::max(mem_speedup, 1e-9) + (1.0 - m) / cap_cpu);
+
+  // Oversubscription: when co-located ranks' teams exceed the node's
+  // hardware threads, the OS time-slices and everything stretches.
+  const double hw = static_cast<double>(machine.cores_per_node) *
+                    static_cast<double>(machine.hw_threads_per_core);
+  const double demand =
+      static_cast<double>(ranks_on_node) * static_cast<double>(threads);
+  if (demand > hw && hw > 0.0) {
+    parallel_span *= (demand / hw) * machine.omp.oversubscription_penalty;
+  }
+
+  charge.compute = w * (1.0 - f) + parallel_span;
+
+  if (threads > 1) {
+    const double imb = imbalance_factor(schedule, machine.omp.static_imbalance);
+    charge.imbalance =
+        parallel_span * imb * (1.0 - 1.0 / static_cast<double>(threads));
+
+    double log2t = 0.0;
+    for (int k = 1; k < threads; k <<= 1) log2t += 1.0;
+    charge.overhead = machine.omp.fork_join_base +
+                      machine.omp.fork_join_per_thread * threads +
+                      machine.omp.barrier_log_cost * log2t;
+    if (schedule != Schedule::Static && chunks > 0) {
+      charge.overhead += machine.omp.dynamic_chunk_cost *
+                         static_cast<double>(chunks) /
+                         static_cast<double>(threads);
+    }
+  }
+  return charge;
+}
+
+}  // namespace mpisect::minomp

@@ -1,0 +1,68 @@
+// MiniOMP region-time model.
+//
+// Charges the virtual clock for a worksharing region the way a real OpenMP
+// runtime spends wall time:
+//
+//   T(t) = W*(1-f)                                  serial part (Amdahl)
+//        + W*f * [ m/C_mem(t) * contention(t)       memory-bound share
+//                + (1-m)/C_cpu(t) ]                 compute-bound share
+//        * oversubscription(t)
+//        + imbalance(schedule) * parallel span
+//        + fork/join + barrier + chunk dispatch overheads
+//
+// where C_cpu is the machine's SMT-aware thread capacity and C_mem saturates
+// at the machine's memory-saturation level. The *increase* of region time
+// past the saturation point — the paper's "inflexion point" on KNL (Fig. 10)
+// — comes from the contention term plus the linear fork/join growth; it is a
+// property of the model inputs, not scripted per benchmark.
+#pragma once
+
+#include "minomp/schedule.hpp"
+#include "mpisim/machine.hpp"
+
+namespace mpisect::minomp {
+
+/// Scaling character of one kernel (how the *code region* behaves, as
+/// opposed to the machine's OmpModel which is hardware).
+struct KernelProfile {
+  /// Fraction of the region's serial time that parallelizes (Amdahl f).
+  double parallel_fraction = 1.0;
+  /// Share of the parallel part bound by memory bandwidth (0 = pure
+  /// compute, 1 = pure streaming).
+  double mem_intensity = 0.0;
+};
+
+/// Hardware memory-saturation extension to the machine OmpModel: capacity
+/// (in core-equivalents) at which the memory system saturates, and how
+/// harshly extra threads degrade it. These live here (not in OmpModel) so
+/// the mpisim layer stays independent of MiniOMP.
+struct MemoryModel {
+  double saturation_capacity = 1e9;  ///< core-equivalents; huge = no limit
+  double contention = 0.0;           ///< slowdown slope past saturation
+};
+
+/// Per-machine default memory models, calibrated with the machine presets.
+[[nodiscard]] MemoryModel memory_model_for(const mpisim::MachineModel& m);
+
+struct RegionCharge {
+  double compute = 0.0;    ///< parallel+serial execution span
+  double imbalance = 0.0;  ///< schedule residual imbalance
+  double overhead = 0.0;   ///< fork/join + barrier + dispatch
+  [[nodiscard]] double total() const noexcept {
+    return compute + imbalance + overhead;
+  }
+};
+
+/// Compute the modelled duration of a worksharing region.
+/// serial_seconds: time of the region on one thread of this machine.
+/// threads: team size; cores_avail: physical cores available to this rank;
+/// ranks_on_node: co-located MPI ranks (for the oversubscription term);
+/// chunks: dispatch count from chunk_count().
+[[nodiscard]] RegionCharge region_time(const mpisim::MachineModel& machine,
+                                       const MemoryModel& mem,
+                                       const KernelProfile& kernel,
+                                       double serial_seconds, int threads,
+                                       double cores_avail, int ranks_on_node,
+                                       Schedule schedule, std::int64_t chunks);
+
+}  // namespace mpisect::minomp

@@ -1,0 +1,58 @@
+#include "minomp/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpisect::minomp {
+
+const char* schedule_name(Schedule s) noexcept {
+  switch (s) {
+    case Schedule::Static: return "static";
+    case Schedule::Dynamic: return "dynamic";
+    case Schedule::Guided: return "guided";
+  }
+  return "?";
+}
+
+std::int64_t chunk_count(Schedule s, std::int64_t n, int threads,
+                         std::int64_t chunk_size) noexcept {
+  if (n <= 0 || threads <= 0) return 0;
+  switch (s) {
+    case Schedule::Static: {
+      const std::int64_t chunk =
+          chunk_size > 0 ? chunk_size : (n + threads - 1) / threads;
+      return (n + chunk - 1) / chunk;
+    }
+    case Schedule::Dynamic: {
+      const std::int64_t chunk = chunk_size > 0 ? chunk_size : 1;
+      return (n + chunk - 1) / chunk;
+    }
+    case Schedule::Guided: {
+      // Chunk k has size max(remaining/threads, chunk_size); count the
+      // dispatches analytically: remaining shrinks geometrically by
+      // (1 - 1/threads) until it reaches the minimum chunk.
+      const std::int64_t min_chunk = std::max<std::int64_t>(chunk_size, 1);
+      std::int64_t remaining = n;
+      std::int64_t chunks = 0;
+      while (remaining > 0) {
+        const std::int64_t c =
+            std::max<std::int64_t>(remaining / threads, min_chunk);
+        remaining -= std::min(c, remaining);
+        ++chunks;
+      }
+      return chunks;
+    }
+  }
+  return 0;
+}
+
+double imbalance_factor(Schedule s, double static_imbalance) noexcept {
+  switch (s) {
+    case Schedule::Static: return static_imbalance;
+    case Schedule::Dynamic: return static_imbalance * 0.25;
+    case Schedule::Guided: return static_imbalance * 0.5;
+  }
+  return static_imbalance;
+}
+
+}  // namespace mpisect::minomp

@@ -1,0 +1,29 @@
+// Worksharing schedules for MiniOMP, mirroring OpenMP's static/dynamic/
+// guided loop schedules. The schedule affects the *modelled* time (imbalance
+// and dispatch overhead) while execution order stays deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace mpisect::minomp {
+
+enum class Schedule {
+  Static,   ///< contiguous blocks, no dispatch cost, full static imbalance
+  Dynamic,  ///< chunk queue: dispatch cost per chunk, reduced imbalance
+  Guided,   ///< decaying chunks: intermediate cost and imbalance
+};
+
+[[nodiscard]] const char* schedule_name(Schedule s) noexcept;
+
+/// Number of chunks a schedule dispatches for n iterations on t threads.
+/// chunk_size == 0 selects the OpenMP-like default (static: one block per
+/// thread; dynamic: 1 iteration; guided: remaining/t decay).
+[[nodiscard]] std::int64_t chunk_count(Schedule s, std::int64_t n, int threads,
+                                       std::int64_t chunk_size) noexcept;
+
+/// Relative residual imbalance of a schedule (fraction of the parallel
+/// span), given the machine's static imbalance parameter.
+[[nodiscard]] double imbalance_factor(Schedule s,
+                                      double static_imbalance) noexcept;
+
+}  // namespace mpisect::minomp

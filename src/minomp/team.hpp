@@ -1,0 +1,96 @@
+// MiniOMP thread team.
+//
+// A Team binds an MPI rank (its Ctx/virtual clock) to a shared-memory
+// thread count and executes worksharing loops with the charge/execute
+// decoupling used throughout this project: loop bodies run for real (on the
+// calling thread, deterministically, in iteration order) while the clock is
+// charged the *modelled* parallel duration from minomp/model.hpp.
+//
+//   minomp::Team team(ctx, /*threads=*/16);
+//   team.parallel_for(0, n, flops_per_iter, kernel_profile,
+//                     [&](std::int64_t i) { x[i] = ...; });
+//
+// Benches that never need the data call charge_region()/parallel_for with
+// a null body to skip execution entirely.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "minomp/model.hpp"
+#include "minomp/schedule.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace mpisect::minomp {
+
+class Team {
+ public:
+  /// Create a team of `num_threads` for the calling rank. Thread counts are
+  /// clamped to [1, 1024]. The memory model defaults to the machine's
+  /// calibrated preset (memory_model_for).
+  Team(mpisim::Ctx& ctx, int num_threads);
+  Team(mpisim::Ctx& ctx, int num_threads, MemoryModel mem);
+
+  [[nodiscard]] int num_threads() const noexcept { return threads_; }
+  [[nodiscard]] double cores_available() const noexcept { return cores_avail_; }
+  [[nodiscard]] int ranks_on_node() const noexcept { return ranks_on_node_; }
+  [[nodiscard]] const MemoryModel& memory_model() const noexcept {
+    return mem_;
+  }
+
+  void set_schedule(Schedule s, std::int64_t chunk_size = 0) noexcept {
+    schedule_ = s;
+    chunk_size_ = chunk_size;
+  }
+  [[nodiscard]] Schedule schedule() const noexcept { return schedule_; }
+
+  /// Worksharing loop over [begin, end): executes body(i) for every i and
+  /// charges the modelled parallel time for n iterations costing
+  /// `flops_per_iter` each.
+  template <typename Body>
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    double flops_per_iter, const KernelProfile& kernel,
+                    Body&& body) {
+    const std::int64_t n = end > begin ? end - begin : 0;
+    for (std::int64_t i = begin; i < end; ++i) body(i);
+    charge_loop(n, flops_per_iter, kernel);
+  }
+
+  /// Worksharing reduction: result = reduce(init, body(i) for i in range).
+  template <typename T, typename Body, typename Combine>
+  T parallel_reduce(std::int64_t begin, std::int64_t end,
+                    double flops_per_iter, const KernelProfile& kernel,
+                    T init, Combine&& combine, Body&& body) {
+    T acc = init;
+    for (std::int64_t i = begin; i < end; ++i) acc = combine(acc, body(i));
+    charge_loop(end > begin ? end - begin : 0, flops_per_iter, kernel);
+    return acc;
+  }
+
+  /// Charge a loop's modelled time without executing anything (bench mode).
+  void charge_loop(std::int64_t n, double flops_per_iter,
+                   const KernelProfile& kernel);
+
+  /// Charge an arbitrary region given its serial duration in seconds.
+  /// Returns the charge breakdown (compute/imbalance/overhead) for
+  /// model-introspection benches.
+  RegionCharge charge_region(double serial_seconds,
+                             const KernelProfile& kernel,
+                             std::int64_t chunks_hint = 0);
+
+  /// Pure query: what would a region cost at `threads` without charging?
+  [[nodiscard]] RegionCharge preview_region(double serial_seconds,
+                                            const KernelProfile& kernel,
+                                            int threads) const;
+
+ private:
+  mpisim::Ctx& ctx_;
+  int threads_;
+  MemoryModel mem_;
+  Schedule schedule_ = Schedule::Static;
+  std::int64_t chunk_size_ = 0;
+  double cores_avail_ = 1.0;
+  int ranks_on_node_ = 1;
+};
+
+}  // namespace mpisect::minomp

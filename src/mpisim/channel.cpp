@@ -1,0 +1,142 @@
+#include "mpisim/channel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "mpisim/error.hpp"
+
+namespace mpisect::mpisim {
+namespace {
+
+using namespace std::chrono_literals;
+// Abort-poll interval for blocked waits. Normal completion is signalled via
+// the condition variable; this bound only limits how long a rank can sleep
+// after a *different* rank has failed.
+constexpr auto kAbortPoll = 50ms;
+
+}  // namespace
+
+bool Channel::compatible(const PostedRecv& r, const Message& m) noexcept {
+  const bool src_ok = r.src == kAnySource || r.src == m.src;
+  const bool tag_ok = r.tag == kAnyTag || r.tag == m.tag;
+  return src_ok && tag_ok;
+}
+
+void Channel::complete_match(const MessagePtr& msg, const PostedRecvPtr& recv) {
+  double t_deliver = 0.0;
+  if (msg->rendezvous) {
+    t_deliver = std::max(msg->t_send_start, recv->t_post) + msg->wire_cost;
+  } else {
+    t_deliver = std::max(recv->t_post, msg->t_avail);
+  }
+
+  recv->truncated = msg->bytes > recv->max_bytes;
+  if (recv->buf != nullptr && !msg->payload.empty()) {
+    const std::size_t n = std::min(msg->payload.size(), recv->max_bytes);
+    std::memcpy(recv->buf, msg->payload.data(), n);
+  }
+  recv->status.source = msg->src;
+  recv->status.tag = msg->tag;
+  recv->status.bytes = msg->bytes;
+  recv->status.t_complete = t_deliver;
+  recv->completed = true;
+
+  msg->t_deliver = t_deliver;
+  msg->delivered = true;
+}
+
+void Channel::check_abort() const {
+  if (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) {
+    throw MpiError(Err::Aborted, "world aborted while waiting in channel");
+  }
+}
+
+void Channel::deposit(const MessagePtr& msg) {
+  {
+    const std::lock_guard lock(mu_);
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      if (compatible(**it, *msg)) {
+        complete_match(msg, *it);
+        posted_.erase(it);
+        cv_.notify_all();
+        return;
+      }
+    }
+    unexpected_.push_back(msg);
+  }
+  // Wake probers waiting for a matching envelope.
+  cv_.notify_all();
+}
+
+void Channel::post(const PostedRecvPtr& recv) {
+  const std::lock_guard lock(mu_);
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (compatible(*recv, **it)) {
+      complete_match(*it, recv);
+      unexpected_.erase(it);
+      cv_.notify_all();
+      return;
+    }
+  }
+  posted_.push_back(recv);
+}
+
+Status Channel::wait_recv(const PostedRecvPtr& recv) {
+  std::unique_lock lock(mu_);
+  while (!recv->completed) {
+    check_abort();
+    cv_.wait_for(lock, kAbortPoll);
+  }
+  if (recv->truncated) {
+    throw MpiError(Err::Truncate, "message longer than receive buffer");
+  }
+  return recv->status;
+}
+
+bool Channel::test_recv(const PostedRecvPtr& recv) {
+  const std::lock_guard lock(mu_);
+  return recv->completed;
+}
+
+double Channel::wait_delivered(const MessagePtr& msg) {
+  std::unique_lock lock(mu_);
+  while (!msg->delivered) {
+    check_abort();
+    cv_.wait_for(lock, kAbortPoll);
+  }
+  return msg->t_deliver;
+}
+
+Status Channel::probe(int src, int tag, double t_probe) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    for (const auto& msg : unexpected_) {
+      const PostedRecv pattern{src, tag, t_probe, nullptr, 0, false, false, {}};
+      if (compatible(pattern, *msg)) {
+        Status st;
+        st.source = msg->src;
+        st.tag = msg->tag;
+        st.bytes = msg->bytes;
+        st.t_complete =
+            msg->rendezvous ? std::max(msg->t_send_start, t_probe)
+                            : std::max(t_probe, msg->t_avail);
+        return st;
+      }
+    }
+    check_abort();
+    cv_.wait_for(lock, kAbortPoll);
+  }
+}
+
+std::size_t Channel::pending_messages() {
+  const std::lock_guard lock(mu_);
+  return unexpected_.size();
+}
+
+std::size_t Channel::pending_recvs() {
+  const std::lock_guard lock(mu_);
+  return posted_.size();
+}
+
+}  // namespace mpisect::mpisim

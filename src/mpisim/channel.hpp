@@ -1,0 +1,80 @@
+// Per-destination matching engine.
+//
+// Each communicator owns one Channel per member rank; senders deposit into
+// the destination's channel, receivers post into their own. Matching follows
+// MPI's rules: a posted receive matches the earliest queued message whose
+// (source, tag) is compatible, and messages from one source never overtake
+// each other because a sender deposits in program order.
+//
+// Matching is where virtual time crosses rank boundaries:
+//   eager:       t_deliver = max(t_post, t_avail)
+//   rendezvous:  t_deliver = max(t_send_start, t_post) + wire_cost
+// The second party to arrive performs the match under the channel mutex and
+// wakes any thread blocked on it; waits poll an abort flag so one rank's
+// failure cannot deadlock the world.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "mpisim/message.hpp"
+
+namespace mpisect::mpisim {
+
+class Channel {
+ public:
+  explicit Channel(const std::atomic<bool>* abort_flag) noexcept
+      : abort_(abort_flag) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Sender side: enqueue a message, matching an already-posted receive if
+  /// one is compatible.
+  void deposit(const MessagePtr& msg);
+
+  /// Receiver side: register a receive; matches immediately against queued
+  /// messages when possible.
+  void post(const PostedRecvPtr& recv);
+
+  /// Block until the posted receive completes. Throws Err::Aborted if the
+  /// world aborts and Err::Truncate if the matched message was larger than
+  /// the receive buffer's declared size.
+  Status wait_recv(const PostedRecvPtr& recv);
+
+  /// Non-blocking completion test (finalizes nothing; pair with
+  /// wait_recv once true to collect the status).
+  [[nodiscard]] bool test_recv(const PostedRecvPtr& recv);
+
+  /// Block until a rendezvous message has been delivered (sender side).
+  /// Returns the delivery time to sync the sender clock to.
+  double wait_delivered(const MessagePtr& msg);
+
+  /// Blocking probe: wait until a message matching (src, tag) is queued and
+  /// return its envelope without consuming it. t_probe is the prober's
+  /// current virtual time; the returned status carries
+  /// max(t_probe, message availability) as t_complete.
+  Status probe(int src, int tag, double t_probe);
+
+  /// Number of queued (unmatched) messages — diagnostic for tests.
+  [[nodiscard]] std::size_t pending_messages();
+  /// Number of unmatched posted receives — diagnostic for tests.
+  [[nodiscard]] std::size_t pending_recvs();
+
+ private:
+  static bool compatible(const PostedRecv& r, const Message& m) noexcept;
+  /// Pair up msg and recv: compute times, copy payload, flag completion.
+  /// Caller holds the mutex.
+  static void complete_match(const MessagePtr& msg, const PostedRecvPtr& recv);
+  void check_abort() const;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<MessagePtr> unexpected_;
+  std::deque<PostedRecvPtr> posted_;
+  const std::atomic<bool>* abort_;
+};
+
+}  // namespace mpisect::mpisim

@@ -1,0 +1,79 @@
+// Generation-counted all-to-all rendezvous for metadata collectives.
+//
+// Comm split/dup (and the sections layer's optional validation pass) need
+// to exchange small values among all members of a communicator outside the
+// modelled data path. CollSync provides that: every member deposits a value
+// and blocks until the round is complete, then reads the full vector. The
+// round also computes max(entry virtual times), which callers use to model
+// the synchronizing cost.
+//
+// Rounds are identified by a per-caller generation number that each rank
+// tracks in its own communicator state, so back-to-back rounds on the same
+// communicator cannot be confused even though ranks proceed asynchronously.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "mpisim/error.hpp"
+
+namespace mpisect::mpisim {
+
+template <typename T>
+class CollSync {
+ public:
+  CollSync(int nranks, const std::atomic<bool>* abort_flag)
+      : nranks_(nranks), abort_(abort_flag) {}
+
+  struct Round {
+    std::vector<T> values;
+    std::vector<double> t_entry;
+    int arrived = 0;
+    int departed = 0;
+    [[nodiscard]] double max_entry() const {
+      double m = 0.0;
+      for (double t : t_entry) m = std::max(m, t);
+      return m;
+    }
+  };
+
+  /// Deposit `value` for round `generation` and block until all nranks have
+  /// arrived. Returns the completed round's values and max entry time.
+  std::pair<std::vector<T>, double> exchange(std::uint64_t generation,
+                                             int rank, double t_entry,
+                                             T value) {
+    using namespace std::chrono_literals;
+    std::unique_lock lock(mu_);
+    Round& round = rounds_[generation];
+    if (round.values.empty()) {
+      round.values.resize(static_cast<std::size_t>(nranks_));
+      round.t_entry.assign(static_cast<std::size_t>(nranks_), 0.0);
+    }
+    round.values[static_cast<std::size_t>(rank)] = std::move(value);
+    round.t_entry[static_cast<std::size_t>(rank)] = t_entry;
+    ++round.arrived;
+    cv_.notify_all();
+    while (round.arrived < nranks_) {
+      if (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) {
+        throw MpiError(Err::Aborted, "world aborted in collective rendezvous");
+      }
+      cv_.wait_for(lock, 50ms);
+    }
+    auto result = std::make_pair(round.values, round.max_entry());
+    if (++round.departed == nranks_) rounds_.erase(generation);
+    return result;
+  }
+
+ private:
+  int nranks_;
+  const std::atomic<bool>* abort_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, Round> rounds_;
+};
+
+}  // namespace mpisect::mpisim

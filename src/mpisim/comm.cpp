@@ -1,0 +1,927 @@
+#include "mpisim/comm.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <map>
+
+#include "mpisim/error.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace mpisect::mpisim {
+
+// ---------------------------------------------------------------------------
+// Group
+// ---------------------------------------------------------------------------
+
+Group::Group(std::vector<int> world_ranks)
+    : world_ranks_(std::move(world_ranks)) {}
+
+int Group::world_rank(int group_rank) const {
+  require(group_rank >= 0 && group_rank < size(), Err::Rank,
+          "group rank out of range");
+  return world_ranks_[static_cast<std::size_t>(group_rank)];
+}
+
+int Group::rank_of_world(int world_rank) const noexcept {
+  for (std::size_t i = 0; i < world_ranks_.size(); ++i) {
+    if (world_ranks_[i] == world_rank) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// CommImpl
+// ---------------------------------------------------------------------------
+
+CommImpl::CommImpl(World& world, Group group, int context_id)
+    : world_(world),
+      group_(std::move(group)),
+      context_id_(context_id),
+      split_sync_(group_.size(), world.abort_flag()),
+      publish_sync_(group_.size(), world.abort_flag()),
+      u64_sync_(group_.size(), world.abort_flag()) {
+  const auto n = static_cast<std::size_t>(group_.size());
+  channels_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    channels_.push_back(std::make_unique<Channel>(world.abort_flag()));
+  }
+  rank_states_.resize(n);
+  for (auto& rs : rank_states_) rs.send_seq.assign(n, 0);
+}
+
+Channel& CommImpl::channel(int comm_rank) {
+  require(comm_rank >= 0 && comm_rank < size(), Err::Rank,
+          "channel rank out of range");
+  return *channels_[static_cast<std::size_t>(comm_rank)];
+}
+
+CommImpl::RankState& CommImpl::rank_state(int comm_rank) {
+  require(comm_rank >= 0 && comm_rank < size(), Err::Rank,
+          "rank state out of range");
+  return rank_states_[static_cast<std::size_t>(comm_rank)];
+}
+
+// ---------------------------------------------------------------------------
+// Raw (hook-free) point-to-point helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Begin a send: charge sender CPU overhead, stamp virtual times, deposit
+/// into the destination channel. Returns the message for completion.
+MessagePtr raw_start_send(Ctx& ctx, CommImpl& impl, int my_rank,
+                          const void* buf, std::size_t bytes, int dst,
+                          int tag) {
+  require(dst >= 0 && dst < impl.size(), Err::Rank, "send: bad destination");
+  const NetworkModel& net = ctx.machine().net;
+  auto& rs = impl.rank_state(my_rank);
+  const int gsrc = impl.group().world_rank(my_rank);
+  const int gdst = impl.group().world_rank(dst);
+  const std::uint64_t seq = rs.send_seq[static_cast<std::size_t>(dst)]++;
+
+  ctx.clock().advance(
+      net.cpu_overhead(gsrc, net.send_overhead, ctx.next_op_id(), 0));
+
+  auto msg = std::make_shared<Message>();
+  msg->src = my_rank;
+  msg->tag = tag;
+  msg->seq = seq;
+  msg->bytes = bytes;
+  if (buf != nullptr && bytes != 0) {
+    const auto* p = static_cast<const std::byte*>(buf);
+    msg->payload.assign(p, p + bytes);
+  }
+  msg->t_send_start = ctx.now();
+  msg->wire_cost = net.transfer_cost(gsrc, gdst, bytes, seq);
+  msg->rendezvous = bytes > net.eager_threshold;
+  msg->t_avail = msg->t_send_start + msg->wire_cost;
+  impl.channel(dst).deposit(msg);
+  return msg;
+}
+
+/// Complete a send: a rendezvous sender blocks until the transfer finishes.
+void raw_finish_send(Ctx& ctx, CommImpl& impl, int dst,
+                     const MessagePtr& msg) {
+  if (msg->rendezvous) {
+    const double t = impl.channel(dst).wait_delivered(msg);
+    ctx.clock().sync_to(t);
+  }
+}
+
+PostedRecvPtr raw_post_recv(Ctx& ctx, CommImpl& impl, int my_rank, void* buf,
+                            std::size_t max_bytes, int src, int tag) {
+  require(src == kAnySource || (src >= 0 && src < impl.size()), Err::Rank,
+          "recv: bad source");
+  auto pr = std::make_shared<PostedRecv>();
+  pr->src = src;
+  pr->tag = tag;
+  pr->t_post = ctx.now();
+  pr->buf = buf;
+  pr->max_bytes = max_bytes;
+  impl.channel(my_rank).post(pr);
+  return pr;
+}
+
+Status raw_finish_recv(Ctx& ctx, CommImpl& impl, int my_rank,
+                       const PostedRecvPtr& pr) {
+  Status st = impl.channel(my_rank).wait_recv(pr);
+  ctx.clock().sync_to(st.t_complete);
+  const NetworkModel& net = ctx.machine().net;
+  const int grank = impl.group().world_rank(my_rank);
+  ctx.clock().advance(
+      net.cpu_overhead(grank, net.recv_overhead, ctx.next_op_id(), 1));
+  st.t_complete = ctx.now();
+  return st;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Hook plumbing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+CallInfo make_info(const Comm& comm, MpiCall call, int peer, std::size_t bytes,
+                   int tag) {
+  CallInfo ci;
+  ci.call = call;
+  ci.comm_context = comm.context_id();
+  ci.rank = comm.rank();
+  ci.comm_size = comm.size();
+  ci.peer = peer;
+  ci.tag = tag;
+  ci.bytes = bytes;
+  ci.t_virtual = comm.ctx().now();
+  return ci;
+}
+
+void fire_begin(Ctx& ctx, CallInfo& ci) {
+  auto& hook = ctx.world().hooks().on_call_begin;
+  if (hook) {
+    ci.t_virtual = ctx.now();
+    hook(ctx, ci);
+  }
+}
+
+void fire_end(Ctx& ctx, CallInfo& ci) {
+  auto& hook = ctx.world().hooks().on_call_end;
+  if (hook) {
+    ci.t_virtual = ctx.now();
+    hook(ctx, ci);
+  }
+}
+
+/// RAII begin/end bracket for one intercepted call.
+class HookScope {
+ public:
+  HookScope(Ctx& ctx, CallInfo ci) : ctx_(ctx), ci_(ci) {
+    fire_begin(ctx_, ci_);
+  }
+  ~HookScope() { fire_end(ctx_, ci_); }
+  HookScope(const HookScope&) = delete;
+  HookScope& operator=(const HookScope&) = delete;
+
+ private:
+  Ctx& ctx_;
+  CallInfo ci_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Comm: basics
+// ---------------------------------------------------------------------------
+
+int Comm::size() const noexcept { return impl_ ? impl_->size() : 0; }
+
+int Comm::context_id() const noexcept {
+  return impl_ ? impl_->context_id() : -1;
+}
+
+int Comm::world_rank_of(int comm_rank) const {
+  require(valid(), Err::Comm, "null communicator");
+  return impl_->group().world_rank(comm_rank);
+}
+
+double Comm::wtime() const noexcept { return ctx_->now(); }
+
+void Comm::charge_collective_entry() {
+  const NetworkModel& net = ctx_->machine().net;
+  const int grank = impl_->group().world_rank(rank_);
+  ctx_->clock().advance(
+      net.cpu_overhead(grank, net.send_overhead, ctx_->next_op_id(), 2));
+}
+
+int Comm::next_internal_tag() {
+  auto& rs = impl_->rank_state(rank_);
+  return kInternalTagBase + static_cast<int>(rs.coll_seq++ % 1024);
+}
+
+// ---------------------------------------------------------------------------
+// Comm: point-to-point
+// ---------------------------------------------------------------------------
+
+void Comm::send(const void* buf, std::size_t bytes, int dst, int tag) {
+  require(valid(), Err::Comm, "null communicator");
+  require(tag >= 0 && tag < kTagUb, Err::Tag, "user tag out of range");
+  const HookScope hook(*ctx_, make_info(*this, MpiCall::Send, dst, bytes, tag));
+  const MessagePtr msg = raw_start_send(*ctx_, *impl_, rank_, buf, bytes, dst, tag);
+  raw_finish_send(*ctx_, *impl_, dst, msg);
+}
+
+Status Comm::recv(void* buf, std::size_t max_bytes, int src, int tag) {
+  require(valid(), Err::Comm, "null communicator");
+  require(tag == kAnyTag || (tag >= 0 && tag < kTagUb), Err::Tag,
+          "user tag out of range");
+  const HookScope hook(*ctx_, make_info(*this, MpiCall::Recv, src, max_bytes, tag));
+  const PostedRecvPtr pr =
+      raw_post_recv(*ctx_, *impl_, rank_, buf, max_bytes, src, tag);
+  return raw_finish_recv(*ctx_, *impl_, rank_, pr);
+}
+
+void Comm::send_internal(const void* buf, std::size_t bytes, int dst,
+                         int tag) {
+  const MessagePtr msg = raw_start_send(*ctx_, *impl_, rank_, buf, bytes, dst, tag);
+  raw_finish_send(*ctx_, *impl_, dst, msg);
+}
+
+Status Comm::recv_internal(void* buf, std::size_t max_bytes, int src,
+                           int tag) {
+  const PostedRecvPtr pr =
+      raw_post_recv(*ctx_, *impl_, rank_, buf, max_bytes, src, tag);
+  return raw_finish_recv(*ctx_, *impl_, rank_, pr);
+}
+
+void Comm::sendrecv_internal(const void* sendbuf, std::size_t send_bytes,
+                             int dst, void* recvbuf, std::size_t recv_bytes,
+                             int src, int tag) {
+  const MessagePtr msg =
+      raw_start_send(*ctx_, *impl_, rank_, sendbuf, send_bytes, dst, tag);
+  const PostedRecvPtr pr =
+      raw_post_recv(*ctx_, *impl_, rank_, recvbuf, recv_bytes, src, tag);
+  raw_finish_recv(*ctx_, *impl_, rank_, pr);
+  raw_finish_send(*ctx_, *impl_, dst, msg);
+}
+
+Status Comm::sendrecv(const void* sendbuf, std::size_t send_bytes, int dst,
+                      int send_tag, void* recvbuf, std::size_t recv_bytes,
+                      int src, int recv_tag) {
+  require(valid(), Err::Comm, "null communicator");
+  const HookScope hook(
+      *ctx_, make_info(*this, MpiCall::Sendrecv, dst, send_bytes, send_tag));
+  const MessagePtr msg =
+      raw_start_send(*ctx_, *impl_, rank_, sendbuf, send_bytes, dst, send_tag);
+  const PostedRecvPtr pr =
+      raw_post_recv(*ctx_, *impl_, rank_, recvbuf, recv_bytes, src, recv_tag);
+  const Status st = raw_finish_recv(*ctx_, *impl_, rank_, pr);
+  raw_finish_send(*ctx_, *impl_, dst, msg);
+  return st;
+}
+
+Status Comm::probe(int src, int tag) {
+  require(valid(), Err::Comm, "null communicator");
+  const HookScope hook(*ctx_, make_info(*this, MpiCall::Probe, src, 0, tag));
+  const Status st = impl_->channel(rank_).probe(src, tag, ctx_->now());
+  ctx_->clock().sync_to(st.t_complete);
+  return st;
+}
+
+Comm::Request Comm::isend(const void* buf, std::size_t bytes, int dst,
+                          int tag) {
+  require(valid(), Err::Comm, "null communicator");
+  require(tag >= 0 && tag < kTagUb, Err::Tag, "user tag out of range");
+  {
+    CallInfo ci = make_info(*this, MpiCall::Isend, dst, bytes, tag);
+    fire_begin(*ctx_, ci);
+    fire_end(*ctx_, ci);
+  }
+  auto st = std::make_shared<Request::State>();
+  st->kind = Request::Kind::Send;
+  st->msg = raw_start_send(*ctx_, *impl_, rank_, buf, bytes, dst, tag);
+  st->channel = &impl_->channel(dst);
+  st->ctx = ctx_;
+  st->peer = dst;
+  return Request(std::move(st));
+}
+
+Comm::Request Comm::irecv(void* buf, std::size_t max_bytes, int src, int tag) {
+  require(valid(), Err::Comm, "null communicator");
+  {
+    CallInfo ci = make_info(*this, MpiCall::Irecv, src, max_bytes, tag);
+    fire_begin(*ctx_, ci);
+    fire_end(*ctx_, ci);
+  }
+  auto st = std::make_shared<Request::State>();
+  st->kind = Request::Kind::Recv;
+  st->recv = raw_post_recv(*ctx_, *impl_, rank_, buf, max_bytes, src, tag);
+  st->channel = &impl_->channel(rank_);
+  st->ctx = ctx_;
+  st->peer = src;
+  return Request(std::move(st));
+}
+
+Status Comm::Request::wait() {
+  require(s_ != nullptr, Err::Arg, "wait on null request");
+  if (s_->done) return s_->status;
+  Ctx& ctx = *s_->ctx;
+  {
+    CallInfo ci;
+    ci.call = MpiCall::Wait;
+    ci.rank = ctx.rank();
+    ci.peer = s_->peer;
+    ci.t_virtual = ctx.now();
+    auto& begin = ctx.world().hooks().on_call_begin;
+    if (begin) begin(ctx, ci);
+  }
+  if (s_->kind == Kind::Recv) {
+    Status st = s_->channel->wait_recv(s_->recv);
+    ctx.clock().sync_to(st.t_complete);
+    const NetworkModel& net = ctx.machine().net;
+    ctx.clock().advance(
+        net.cpu_overhead(ctx.rank(), net.recv_overhead, ctx.next_op_id(), 1));
+    st.t_complete = ctx.now();
+    s_->status = st;
+  } else {
+    if (s_->msg->rendezvous) {
+      const double t = s_->channel->wait_delivered(s_->msg);
+      ctx.clock().sync_to(t);
+    }
+    s_->status =
+        Status{kAnySource, s_->msg->tag, s_->msg->bytes, ctx.now()};
+  }
+  s_->done = true;
+  {
+    CallInfo ci;
+    ci.call = MpiCall::Wait;
+    ci.rank = ctx.rank();
+    ci.peer = s_->peer;
+    ci.t_virtual = ctx.now();
+    auto& end = ctx.world().hooks().on_call_end;
+    if (end) end(ctx, ci);
+  }
+  return s_->status;
+}
+
+bool Comm::Request::test() {
+  require(s_ != nullptr, Err::Arg, "test on null request");
+  if (s_->done) return true;
+  if (s_->kind == Kind::Recv) return s_->channel->test_recv(s_->recv);
+  return !s_->msg->rendezvous || s_->msg->delivered;
+}
+
+void waitall(std::span<Comm::Request> requests) {
+  for (auto& r : requests) {
+    if (r.valid()) r.wait();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Comm: collectives
+// ---------------------------------------------------------------------------
+
+void Comm::barrier() {
+  require(valid(), Err::Comm, "null communicator");
+  const HookScope hook(*ctx_, make_info(*this, MpiCall::Barrier, -1, 0, -1));
+  charge_collective_entry();
+  const int tag = next_internal_tag();
+  const int p = size();
+  // Dissemination barrier: ceil(log2 p) rounds of pairwise exchanges.
+  for (int k = 1; k < p; k <<= 1) {
+    const int dst = (rank_ + k) % p;
+    const int src = (rank_ - k % p + p) % p;
+    sendrecv_internal(nullptr, 0, dst, nullptr, 0, src, tag);
+  }
+}
+
+void Comm::bcast_binomial(void* buf, std::size_t bytes, int root, int tag) {
+  const int p = size();
+  const int vr = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if ((vr & mask) != 0) {
+      const int src = ((vr - mask) + root) % p;
+      recv_internal(buf, bytes, src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < p) {
+      const int dst = ((vr + mask) + root) % p;
+      send_internal(buf, bytes, dst, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::bcast(void* buf, std::size_t bytes, int root) {
+  require(valid(), Err::Comm, "null communicator");
+  require(root >= 0 && root < size(), Err::Rank, "bcast: bad root");
+  const HookScope hook(*ctx_, make_info(*this, MpiCall::Bcast, root, bytes, -1));
+  charge_collective_entry();
+  bcast_binomial(buf, bytes, root, next_internal_tag());
+}
+
+void Comm::reduce_binomial(const void* sendbuf, void* recvbuf, int count,
+                           Datatype type, ReduceOp op, int root, int tag) {
+  const int p = size();
+  const std::size_t bytes =
+      static_cast<std::size_t>(count) * datatype_size(type);
+  const bool modeled = sendbuf == nullptr;
+
+  std::vector<std::byte> acc;
+  std::vector<std::byte> scratch;
+  if (!modeled) {
+    const auto* src = static_cast<const std::byte*>(sendbuf);
+    acc.assign(src, src + bytes);
+    scratch.resize(bytes);
+  }
+
+  const int vr = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if ((vr & mask) == 0) {
+      const int peer_vr = vr | mask;
+      if (peer_vr < p) {
+        const int peer = (peer_vr + root) % p;
+        recv_internal(modeled ? nullptr : scratch.data(), bytes, peer, tag);
+        if (!modeled) apply_op(op, type, scratch.data(), acc.data(), count);
+      }
+    } else {
+      const int peer = ((vr & ~mask) + root) % p;
+      send_internal(modeled ? nullptr : acc.data(), bytes, peer, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  if (rank_ == root && !modeled && recvbuf != nullptr) {
+    std::memcpy(recvbuf, acc.data(), bytes);
+  }
+}
+
+void Comm::reduce(const void* sendbuf, void* recvbuf, int count, Datatype type,
+                  ReduceOp op, int root) {
+  require(valid(), Err::Comm, "null communicator");
+  require(root >= 0 && root < size(), Err::Rank, "reduce: bad root");
+  require(count >= 0, Err::Count, "reduce: negative count");
+  const std::size_t bytes =
+      static_cast<std::size_t>(count) * datatype_size(type);
+  const HookScope hook(*ctx_, make_info(*this, MpiCall::Reduce, root, bytes, -1));
+  charge_collective_entry();
+  reduce_binomial(sendbuf, recvbuf, count, type, op, root, next_internal_tag());
+}
+
+void Comm::allreduce(const void* sendbuf, void* recvbuf, int count,
+                     Datatype type, ReduceOp op) {
+  require(valid(), Err::Comm, "null communicator");
+  require(count >= 0, Err::Count, "allreduce: negative count");
+  const std::size_t bytes =
+      static_cast<std::size_t>(count) * datatype_size(type);
+  const HookScope hook(*ctx_,
+                       make_info(*this, MpiCall::Allreduce, -1, bytes, -1));
+  charge_collective_entry();
+  const int tag_reduce = next_internal_tag();
+  const int tag_bcast = next_internal_tag();
+  const bool modeled = sendbuf == nullptr;
+  reduce_binomial(sendbuf, recvbuf, count, type, op, 0, tag_reduce);
+  bcast_binomial(modeled ? nullptr : recvbuf, bytes, 0, tag_bcast);
+}
+
+void Comm::scatter_linear(const void* sendbuf, std::size_t bytes_per_rank,
+                          void* recvbuf, int root, int tag) {
+  const int p = size();
+  if (rank_ == root) {
+    const auto* base = static_cast<const std::byte*>(sendbuf);
+    for (int r = 0; r < p; ++r) {
+      const void* chunk =
+          base == nullptr
+              ? nullptr
+              : base + static_cast<std::size_t>(r) * bytes_per_rank;
+      if (r == root) {
+        if (chunk != nullptr && recvbuf != nullptr) {
+          std::memcpy(recvbuf, chunk, bytes_per_rank);
+        }
+        continue;
+      }
+      send_internal(chunk, bytes_per_rank, r, tag);
+    }
+  } else {
+    recv_internal(recvbuf, bytes_per_rank, root, tag);
+  }
+}
+
+namespace {
+
+/// The recursive-halving split sequence for a relative rank vr in [0, p):
+/// at each level the range [lo, hi) held by `lo` splits at mid and the
+/// upper part moves to mid. Shared by binomial scatter and gather.
+std::vector<std::array<int, 3>> halving_splits(int vr, int p) {
+  std::vector<std::array<int, 3>> splits;
+  int lo = 0;
+  int hi = p;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    splits.push_back({lo, mid, hi});
+    if (vr < mid) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return splits;
+}
+
+}  // namespace
+
+void Comm::scatter_binomial(const void* sendbuf, std::size_t bytes_per_rank,
+                            void* recvbuf, int root, int tag) {
+  const int p = size();
+  const int vr = (rank_ - root + p) % p;
+  const bool modeled = recvbuf == nullptr;
+
+  // Root repacks into relative-rank order once so subtree ranges are
+  // contiguous even when root != 0.
+  std::vector<std::byte> stage;
+  if (vr == 0 && !modeled && sendbuf != nullptr) {
+    stage.resize(static_cast<std::size_t>(p) * bytes_per_rank);
+    const auto* base = static_cast<const std::byte*>(sendbuf);
+    for (int j = 0; j < p; ++j) {
+      const int abs_rank = (j + root) % p;
+      std::memcpy(stage.data() + static_cast<std::size_t>(j) * bytes_per_rank,
+                  base + static_cast<std::size_t>(abs_rank) * bytes_per_rank,
+                  bytes_per_rank);
+    }
+  }
+
+  int coverage_lo = vr == 0 ? 0 : -1;  // stage currently holds [coverage_lo, ...)
+  for (const auto& [lo, mid, hi] : halving_splits(vr, p)) {
+    const std::size_t bytes =
+        static_cast<std::size_t>(hi - mid) * bytes_per_rank;
+    if (vr == lo) {
+      const void* src =
+          modeled || stage.empty()
+              ? nullptr
+              : stage.data() +
+                    static_cast<std::size_t>(mid - coverage_lo) *
+                        bytes_per_rank;
+      send_internal(src, bytes, (mid + root) % p, tag);
+    } else if (vr == mid) {
+      if (!modeled) stage.resize(bytes);
+      coverage_lo = mid;
+      recv_internal(modeled ? nullptr : stage.data(), bytes, (lo + root) % p,
+                    tag);
+    }
+  }
+  if (!modeled && !stage.empty()) {
+    std::memcpy(recvbuf,
+                stage.data() +
+                    static_cast<std::size_t>(vr - coverage_lo) *
+                        bytes_per_rank,
+                bytes_per_rank);
+  }
+}
+
+void Comm::scatter(const void* sendbuf, std::size_t bytes_per_rank,
+                   void* recvbuf, int root) {
+  require(valid(), Err::Comm, "null communicator");
+  require(root >= 0 && root < size(), Err::Rank, "scatter: bad root");
+  const HookScope hook(
+      *ctx_, make_info(*this, MpiCall::Scatter, root, bytes_per_rank, -1));
+  charge_collective_entry();
+  const int tag = next_internal_tag();
+  if (ctx_->world().options().scatter_algo == CollAlgo::Binomial) {
+    scatter_binomial(sendbuf, bytes_per_rank, recvbuf, root, tag);
+  } else {
+    scatter_linear(sendbuf, bytes_per_rank, recvbuf, root, tag);
+  }
+}
+
+void Comm::scatterv(const void* sendbuf, std::span<const std::size_t> counts,
+                    std::span<const std::size_t> displs, void* recvbuf,
+                    std::size_t recv_bytes, int root) {
+  require(valid(), Err::Comm, "null communicator");
+  require(root >= 0 && root < size(), Err::Rank, "scatterv: bad root");
+  const HookScope hook(
+      *ctx_, make_info(*this, MpiCall::Scatterv, root, recv_bytes, -1));
+  charge_collective_entry();
+  const int tag = next_internal_tag();
+  const int p = size();
+  if (rank_ == root) {
+    require(counts.size() >= static_cast<std::size_t>(p) &&
+                displs.size() >= static_cast<std::size_t>(p),
+            Err::Arg, "scatterv: counts/displs too short");
+    const auto* base = static_cast<const std::byte*>(sendbuf);
+    for (int r = 0; r < p; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      const void* chunk = base == nullptr ? nullptr : base + displs[ri];
+      if (r == root) {
+        if (chunk != nullptr && recvbuf != nullptr) {
+          std::memcpy(recvbuf, chunk, std::min(counts[ri], recv_bytes));
+        }
+        continue;
+      }
+      send_internal(chunk, counts[ri], r, tag);
+    }
+  } else {
+    recv_internal(recvbuf, recv_bytes, root, tag);
+  }
+}
+
+void Comm::gather_linear(const void* sendbuf, std::size_t bytes_per_rank,
+                         void* recvbuf, int root, int tag) {
+  const int p = size();
+  if (rank_ == root) {
+    auto* base = static_cast<std::byte*>(recvbuf);
+    for (int r = 0; r < p; ++r) {
+      void* slot = base == nullptr
+                       ? nullptr
+                       : base + static_cast<std::size_t>(r) * bytes_per_rank;
+      if (r == root) {
+        if (slot != nullptr && sendbuf != nullptr) {
+          std::memcpy(slot, sendbuf, bytes_per_rank);
+        }
+        continue;
+      }
+      recv_internal(slot, bytes_per_rank, r, tag);
+    }
+  } else {
+    send_internal(sendbuf, bytes_per_rank, root, tag);
+  }
+}
+
+void Comm::gather_binomial(const void* sendbuf, std::size_t bytes_per_rank,
+                           void* recvbuf, int root, int tag) {
+  const int p = size();
+  const int vr = (rank_ - root + p) % p;
+  const bool modeled = sendbuf == nullptr && recvbuf == nullptr;
+  const auto splits = halving_splits(vr, p);
+
+  // My eventual coverage: the largest [vr, hi) I will assemble — the hi of
+  // the earliest split in which I act as `lo` (splits narrow over time, so
+  // scanning forward finds the widest one).
+  int coverage_hi = vr + 1;
+  for (const auto& [lo, mid, hi] : splits) {
+    (void)mid;
+    if (vr == lo) {
+      coverage_hi = hi;
+      break;
+    }
+  }
+
+  std::vector<std::byte> stage;
+  if (!modeled) {
+    stage.resize(static_cast<std::size_t>(coverage_hi - vr) * bytes_per_rank);
+    if (sendbuf != nullptr) {
+      std::memcpy(stage.data(), sendbuf, bytes_per_rank);
+    }
+  }
+
+  // Replay the scatter splits in reverse: subtrees merge bottom-up.
+  for (auto it = splits.rbegin(); it != splits.rend(); ++it) {
+    const auto [lo, mid, hi] = *it;
+    const std::size_t bytes =
+        static_cast<std::size_t>(hi - mid) * bytes_per_rank;
+    if (vr == mid) {
+      send_internal(modeled ? nullptr : stage.data(), bytes,
+                    (lo + root) % p, tag);
+    } else if (vr == lo) {
+      void* dst = modeled ? nullptr
+                          : stage.data() +
+                                static_cast<std::size_t>(mid - vr) *
+                                    bytes_per_rank;
+      recv_internal(dst, bytes, (mid + root) % p, tag);
+    }
+  }
+
+  // Root unpacks relative order back to absolute rank slots.
+  if (vr == 0 && !modeled && recvbuf != nullptr) {
+    auto* base = static_cast<std::byte*>(recvbuf);
+    for (int j = 0; j < p; ++j) {
+      const int abs_rank = (j + root) % p;
+      std::memcpy(base + static_cast<std::size_t>(abs_rank) * bytes_per_rank,
+                  stage.data() + static_cast<std::size_t>(j) * bytes_per_rank,
+                  bytes_per_rank);
+    }
+  }
+}
+
+void Comm::gather(const void* sendbuf, std::size_t bytes_per_rank,
+                  void* recvbuf, int root) {
+  require(valid(), Err::Comm, "null communicator");
+  require(root >= 0 && root < size(), Err::Rank, "gather: bad root");
+  const HookScope hook(
+      *ctx_, make_info(*this, MpiCall::Gather, root, bytes_per_rank, -1));
+  charge_collective_entry();
+  const int tag = next_internal_tag();
+  if (ctx_->world().options().gather_algo == CollAlgo::Binomial) {
+    gather_binomial(sendbuf, bytes_per_rank, recvbuf, root, tag);
+  } else {
+    gather_linear(sendbuf, bytes_per_rank, recvbuf, root, tag);
+  }
+}
+
+void Comm::gatherv(const void* sendbuf, std::size_t send_bytes, void* recvbuf,
+                   std::span<const std::size_t> counts,
+                   std::span<const std::size_t> displs, int root) {
+  require(valid(), Err::Comm, "null communicator");
+  require(root >= 0 && root < size(), Err::Rank, "gatherv: bad root");
+  const HookScope hook(
+      *ctx_, make_info(*this, MpiCall::Gatherv, root, send_bytes, -1));
+  charge_collective_entry();
+  const int tag = next_internal_tag();
+  const int p = size();
+  if (rank_ == root) {
+    require(counts.size() >= static_cast<std::size_t>(p) &&
+                displs.size() >= static_cast<std::size_t>(p),
+            Err::Arg, "gatherv: counts/displs too short");
+    auto* base = static_cast<std::byte*>(recvbuf);
+    for (int r = 0; r < p; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      void* slot = base == nullptr ? nullptr : base + displs[ri];
+      if (r == root) {
+        if (slot != nullptr && sendbuf != nullptr) {
+          std::memcpy(slot, sendbuf, std::min(send_bytes, counts[ri]));
+        }
+        continue;
+      }
+      recv_internal(slot, counts[ri], r, tag);
+    }
+  } else {
+    send_internal(sendbuf, send_bytes, root, tag);
+  }
+}
+
+void Comm::allgather(const void* sendbuf, std::size_t bytes_per_rank,
+                     void* recvbuf) {
+  require(valid(), Err::Comm, "null communicator");
+  const HookScope hook(
+      *ctx_, make_info(*this, MpiCall::Allgather, -1, bytes_per_rank, -1));
+  charge_collective_entry();
+  const int tag = next_internal_tag();
+  const int p = size();
+  auto* base = static_cast<std::byte*>(recvbuf);
+  auto block = [&](int origin) -> std::byte* {
+    return base == nullptr
+               ? nullptr
+               : base + static_cast<std::size_t>(origin) * bytes_per_rank;
+  };
+  if (base != nullptr && sendbuf != nullptr) {
+    std::memcpy(block(rank_), sendbuf, bytes_per_rank);
+  }
+  // Ring: at step s, forward the block that originated at (rank - s).
+  const int right = (rank_ + 1) % p;
+  const int left = (rank_ - 1 + p) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_origin = (rank_ - s + p) % p;
+    const int recv_origin = (rank_ - s - 1 + p) % p;
+    sendrecv_internal(block(send_origin), bytes_per_rank, right,
+                      block(recv_origin), bytes_per_rank, left, tag);
+  }
+}
+
+void Comm::alltoall(const void* sendbuf, std::size_t bytes_per_rank,
+                    void* recvbuf) {
+  require(valid(), Err::Comm, "null communicator");
+  const HookScope hook(
+      *ctx_, make_info(*this, MpiCall::Alltoall, -1, bytes_per_rank, -1));
+  charge_collective_entry();
+  const int tag = next_internal_tag();
+  const int p = size();
+  const auto* sbase = static_cast<const std::byte*>(sendbuf);
+  auto* rbase = static_cast<std::byte*>(recvbuf);
+  if (sbase != nullptr && rbase != nullptr) {
+    std::memcpy(rbase + static_cast<std::size_t>(rank_) * bytes_per_rank,
+                sbase + static_cast<std::size_t>(rank_) * bytes_per_rank,
+                bytes_per_rank);
+  }
+  for (int s = 1; s < p; ++s) {
+    const int dst = (rank_ + s) % p;
+    const int src = (rank_ - s + p) % p;
+    const void* out =
+        sbase == nullptr
+            ? nullptr
+            : sbase + static_cast<std::size_t>(dst) * bytes_per_rank;
+    void* in = rbase == nullptr
+                   ? nullptr
+                   : rbase + static_cast<std::size_t>(src) * bytes_per_rank;
+    sendrecv_internal(out, bytes_per_rank, dst, in, bytes_per_rank, src, tag);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Comm: management
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Deterministic split bookkeeping shared by every member: ordered distinct
+/// colors, and per color the member list sorted by (key, parent rank).
+struct SplitPlan {
+  std::vector<int> colors;  // ascending, non-negative only
+  std::map<int, std::vector<std::pair<int, int>>> members;  // color -> (key, parent rank)
+};
+
+SplitPlan plan_split(const std::vector<CommImpl::SplitItem>& items) {
+  SplitPlan plan;
+  for (int r = 0; r < static_cast<int>(items.size()); ++r) {
+    const auto& it = items[static_cast<std::size_t>(r)];
+    if (it.color < 0) continue;
+    plan.members[it.color].emplace_back(it.key, r);
+  }
+  for (auto& [color, mem] : plan.members) {
+    std::sort(mem.begin(), mem.end());
+    plan.colors.push_back(color);
+  }
+  return plan;
+}
+
+}  // namespace
+
+Comm Comm::split(int color, int key) {
+  require(valid(), Err::Comm, "null communicator");
+  const HookScope hook(*ctx_, make_info(*this, MpiCall::CommSplit, -1, 0, -1));
+  auto& rs = impl_->rank_state(rank_);
+  const std::uint64_t gen = rs.sync_gen++;
+
+  auto [items, t_entry_max] = impl_->split_sync().exchange(
+      gen, rank_, ctx_->now(), CommImpl::SplitItem{color, key});
+  const SplitPlan plan = plan_split(items);
+
+  // Rank 0 of the parent creates the child impls (one per color, in color
+  // order); everyone else receives them through the publish rendezvous.
+  CommImpl::CommMap impls;
+  if (rank_ == 0) {
+    impls = std::make_shared<std::vector<std::shared_ptr<CommImpl>>>();
+    for (const int c : plan.colors) {
+      std::vector<int> wranks;
+      for (const auto& [k, parent_rank] : plan.members.at(c)) {
+        (void)k;
+        wranks.push_back(impl_->group().world_rank(parent_rank));
+      }
+      impls->push_back(std::make_shared<CommImpl>(
+          ctx_->world(), Group(std::move(wranks)),
+          ctx_->world().next_context_id()));
+    }
+  }
+  auto [published, t_publish_max] =
+      impl_->publish_sync().exchange(gen, rank_, ctx_->now(), impls);
+  impls = published[0];
+
+  // Model the synchronizing cost: everyone leaves after the last entrant
+  // plus a logarithmic metadata exchange.
+  const double lat = ctx_->machine().net.inter_node.latency;
+  double rounds = 1.0;
+  for (int k = 1; k < size(); k <<= 1) rounds += 1.0;
+  ctx_->clock().sync_to(std::max(t_entry_max, t_publish_max) + rounds * lat);
+
+  if (color < 0) return Comm{};
+  // Locate my color and my rank within it.
+  const auto cit = std::find(plan.colors.begin(), plan.colors.end(), color);
+  const auto color_index =
+      static_cast<std::size_t>(std::distance(plan.colors.begin(), cit));
+  const auto& mem = plan.members.at(color);
+  int new_rank = -1;
+  for (int i = 0; i < static_cast<int>(mem.size()); ++i) {
+    if (mem[static_cast<std::size_t>(i)].second == rank_) {
+      new_rank = i;
+      break;
+    }
+  }
+  require(new_rank >= 0, Err::Internal, "split: self not found in plan");
+  return Comm(ctx_, impls->at(color_index), new_rank);
+}
+
+Comm Comm::dup() {
+  require(valid(), Err::Comm, "null communicator");
+  const HookScope hook(*ctx_, make_info(*this, MpiCall::CommDup, -1, 0, -1));
+  auto& rs = impl_->rank_state(rank_);
+  const std::uint64_t gen = rs.sync_gen++;
+  auto [items, t_entry_max] = impl_->split_sync().exchange(
+      gen, rank_, ctx_->now(), CommImpl::SplitItem{0, rank_});
+  (void)items;
+
+  CommImpl::CommMap impls;
+  if (rank_ == 0) {
+    impls = std::make_shared<std::vector<std::shared_ptr<CommImpl>>>();
+    impls->push_back(std::make_shared<CommImpl>(
+        ctx_->world(), impl_->group(), ctx_->world().next_context_id()));
+  }
+  auto [published, t_publish_max] =
+      impl_->publish_sync().exchange(gen, rank_, ctx_->now(), impls);
+  const double lat = ctx_->machine().net.inter_node.latency;
+  ctx_->clock().sync_to(std::max(t_entry_max, t_publish_max) + lat);
+  return Comm(ctx_, published[0]->at(0), rank_);
+}
+
+std::pair<std::vector<std::uint64_t>, double> Comm::collsync_u64(
+    std::uint64_t value) {
+  require(valid(), Err::Comm, "null communicator");
+  auto& rs = impl_->rank_state(rank_);
+  const std::uint64_t gen = rs.sync_gen++;
+  return impl_->u64_sync().exchange(gen, rank_, ctx_->now(), value);
+}
+
+}  // namespace mpisect::mpisim

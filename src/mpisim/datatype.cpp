@@ -1,0 +1,33 @@
+#include "mpisim/datatype.hpp"
+
+namespace mpisect::mpisim {
+
+std::size_t datatype_size(Datatype t) noexcept {
+  switch (t) {
+    case Datatype::Byte: return sizeof(std::byte);
+    case Datatype::Char: return sizeof(char);
+    case Datatype::Int: return sizeof(int);
+    case Datatype::Long: return sizeof(long);
+    case Datatype::UnsignedLong: return sizeof(unsigned long);
+    case Datatype::Float: return sizeof(float);
+    case Datatype::Double: return sizeof(double);
+    case Datatype::DoubleInt: return sizeof(DoubleInt);
+  }
+  return 0;
+}
+
+const char* datatype_name(Datatype t) noexcept {
+  switch (t) {
+    case Datatype::Byte: return "MPI_BYTE";
+    case Datatype::Char: return "MPI_CHAR";
+    case Datatype::Int: return "MPI_INT";
+    case Datatype::Long: return "MPI_LONG";
+    case Datatype::UnsignedLong: return "MPI_UNSIGNED_LONG";
+    case Datatype::Float: return "MPI_FLOAT";
+    case Datatype::Double: return "MPI_DOUBLE";
+    case Datatype::DoubleInt: return "MPI_DOUBLE_INT";
+  }
+  return "MPI_DATATYPE_NULL";
+}
+
+}  // namespace mpisect::mpisim

@@ -1,0 +1,65 @@
+// Basic datatypes for typed MiniMPI operations (reductions need element
+// semantics; untyped byte transfers go through the raw p2p interface).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mpisect::mpisim {
+
+enum class Datatype {
+  Byte,
+  Char,
+  Int,
+  Long,
+  UnsignedLong,
+  Float,
+  Double,
+  DoubleInt,  ///< {double value; int index} pair for MaxLoc/MinLoc
+};
+
+/// {value, index} pair used by MaxLoc / MinLoc reductions.
+struct DoubleInt {
+  double value;
+  int index;
+};
+
+/// Size in bytes of one element of the datatype.
+[[nodiscard]] std::size_t datatype_size(Datatype t) noexcept;
+
+[[nodiscard]] const char* datatype_name(Datatype t) noexcept;
+
+/// Map C++ element types to Datatype tags (for the templated convenience
+/// wrappers on Comm).
+template <typename T>
+struct DatatypeOf;
+
+template <> struct DatatypeOf<std::byte> {
+  static constexpr Datatype value = Datatype::Byte;
+};
+template <> struct DatatypeOf<char> {
+  static constexpr Datatype value = Datatype::Char;
+};
+template <> struct DatatypeOf<int> {
+  static constexpr Datatype value = Datatype::Int;
+};
+template <> struct DatatypeOf<long> {
+  static constexpr Datatype value = Datatype::Long;
+};
+template <> struct DatatypeOf<unsigned long> {
+  static constexpr Datatype value = Datatype::UnsignedLong;
+};
+template <> struct DatatypeOf<float> {
+  static constexpr Datatype value = Datatype::Float;
+};
+template <> struct DatatypeOf<double> {
+  static constexpr Datatype value = Datatype::Double;
+};
+template <> struct DatatypeOf<DoubleInt> {
+  static constexpr Datatype value = Datatype::DoubleInt;
+};
+
+template <typename T>
+inline constexpr Datatype datatype_of = DatatypeOf<T>::value;
+
+}  // namespace mpisect::mpisim

@@ -1,0 +1,29 @@
+#include "mpisim/error.hpp"
+
+namespace mpisect::mpisim {
+
+const char* err_name(Err e) noexcept {
+  switch (e) {
+    case Err::Success: return "MPI_SUCCESS";
+    case Err::Comm: return "MPI_ERR_COMM";
+    case Err::Count: return "MPI_ERR_COUNT";
+    case Err::Rank: return "MPI_ERR_RANK";
+    case Err::Tag: return "MPI_ERR_TAG";
+    case Err::Type: return "MPI_ERR_TYPE";
+    case Err::Op: return "MPI_ERR_OP";
+    case Err::Truncate: return "MPI_ERR_TRUNCATE";
+    case Err::Buffer: return "MPI_ERR_BUFFER";
+    case Err::Arg: return "MPI_ERR_ARG";
+    case Err::Pending: return "MPI_ERR_PENDING";
+    case Err::Section: return "MPIX_ERR_SECTION";
+    case Err::Aborted: return "MPIX_ERR_ABORTED";
+    case Err::Internal: return "MPIX_ERR_INTERNAL";
+  }
+  return "MPI_ERR_UNKNOWN";
+}
+
+void require(bool cond, Err code, const char* what) {
+  if (!cond) throw MpiError(code, what);
+}
+
+}  // namespace mpisect::mpisim

@@ -1,0 +1,48 @@
+// Error codes and exception type for the MiniMPI runtime.
+//
+// MiniMPI follows the MPI convention of integer error classes but, being a
+// C++ library, reports hard errors by throwing MpiError (MPI_ERRORS_ARE_FATAL
+// semantics). Query-style calls that can fail benignly return codes instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mpisect::mpisim {
+
+enum class Err {
+  Success = 0,
+  Comm,       ///< invalid communicator
+  Count,      ///< invalid count
+  Rank,       ///< invalid rank
+  Tag,        ///< invalid tag
+  Type,       ///< invalid datatype
+  Op,         ///< invalid reduction operation
+  Truncate,   ///< message truncated on receive
+  Buffer,     ///< invalid buffer
+  Arg,        ///< other invalid argument
+  Pending,    ///< request not complete
+  Section,    ///< MPI_Section misuse (nesting/label violation)
+  Aborted,    ///< world aborted (peer rank raised)
+  Internal,   ///< runtime invariant violation
+};
+
+[[nodiscard]] const char* err_name(Err e) noexcept;
+
+/// Fatal runtime error carrying an MPI-style error class.
+class MpiError : public std::runtime_error {
+ public:
+  MpiError(Err code, const std::string& what)
+      : std::runtime_error(std::string(err_name(code)) + ": " + what),
+        code_(code) {}
+
+  [[nodiscard]] Err code() const noexcept { return code_; }
+
+ private:
+  Err code_;
+};
+
+/// Throw MpiError(code, what) if cond is false.
+void require(bool cond, Err code, const char* what);
+
+}  // namespace mpisect::mpisim

@@ -1,0 +1,91 @@
+// PMPI-style interposition.
+//
+// Real MPI tools interpose at link time: the tool defines MPI_Send, the
+// runtime provides PMPI_Send. MiniMPI reproduces that contract with an
+// explicit per-World HookTable: every public entry point dispatches through
+// the table, whose default slots are the runtime's own implementations.
+// A tool installs wrappers and the *application never names the tool* —
+// exactly the decoupling the paper's MPI_Section proposal relies on
+// ("A profiling tool redefining those functions is able to intercept
+// Section events in a straightforward manner").
+//
+// Two hook families:
+//   * generic call begin/end notifications carrying a CallInfo descriptor
+//     (what a PMPI wrapper library sees), and
+//   * the paper's Figure 2 section callbacks,
+//     MPIX_Section_enter_cb / MPIX_Section_leave_cb(comm, label, data[32]),
+//     with the 32-byte tool payload preserved between enter and leave.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mpisect::mpisim {
+
+class Ctx;
+class Comm;
+
+/// Which MPI entry point a CallInfo describes.
+enum class MpiCall {
+  Send,
+  Recv,
+  Isend,
+  Irecv,
+  Wait,
+  Sendrecv,
+  Probe,
+  Barrier,
+  Bcast,
+  Reduce,
+  Allreduce,
+  Scatter,
+  Scatterv,
+  Gather,
+  Gatherv,
+  Allgather,
+  Alltoall,
+  CommSplit,
+  CommDup,
+  Init,
+  Finalize,
+  Pcontrol,
+};
+
+[[nodiscard]] const char* mpi_call_name(MpiCall c) noexcept;
+[[nodiscard]] bool is_collective(MpiCall c) noexcept;
+[[nodiscard]] bool is_point_to_point(MpiCall c) noexcept;
+
+/// Descriptor passed to the generic begin/end hooks.
+struct CallInfo {
+  MpiCall call = MpiCall::Init;
+  int comm_context = 0;   ///< communicator context id
+  int rank = 0;           ///< caller's rank in that communicator
+  int comm_size = 1;
+  int peer = -1;          ///< destination/source/root; -1 if n/a
+  int tag = -1;
+  std::size_t bytes = 0;  ///< payload size this rank sends/receives
+  double t_virtual = 0.0; ///< caller's virtual clock at hook time
+};
+
+/// Size of the tool payload carried across a section's lifetime (Fig. 2).
+inline constexpr std::size_t kSectionDataBytes = 32;
+
+struct HookTable {
+  /// Fired on entry to / exit from every intercepted MPI call.
+  std::function<void(Ctx&, const CallInfo&)> on_call_begin;
+  std::function<void(Ctx&, const CallInfo&)> on_call_end;
+
+  /// MPIX_Section_enter_cb(comm, label, data[32]) — the runtime invokes
+  /// this when a section is entered; `data` points to 32 bytes of mutable
+  /// tool storage preserved until the matching leave callback.
+  std::function<void(Ctx&, Comm&, const char* label, char* data)>
+      section_enter_cb;
+  /// MPIX_Section_leave_cb(comm, label, data[32]).
+  std::function<void(Ctx&, Comm&, const char* label, char* data)>
+      section_leave_cb;
+
+  /// MPI_Pcontrol(level, label) — the IPM-style phase baseline (Sec. 6).
+  std::function<void(Ctx&, int level, const char* label)> on_pcontrol;
+};
+
+}  // namespace mpisect::mpisim

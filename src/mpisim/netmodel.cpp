@@ -1,0 +1,65 @@
+#include "mpisim/netmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpisect::mpisim {
+namespace {
+
+// Salt constants separating draw streams.
+constexpr std::uint64_t kSaltTransferMul = 0x11;
+constexpr std::uint64_t kSaltTransferAdd = 0x22;
+constexpr std::uint64_t kSaltTransferSpike = 0x33;
+constexpr std::uint64_t kSaltCpu = 0x44;
+
+}  // namespace
+
+double NetworkModel::jitter_factor(std::uint64_t stream,
+                                   std::uint64_t seq) const noexcept {
+  if (jitter.kind == JitterModel::Kind::None || jitter.rel_sigma <= 0.0) {
+    return 1.0;
+  }
+  const support::CounterRng rng(seed);
+  const auto s = support::stream_id(stream, kSaltTransferMul);
+  if (jitter.kind == JitterModel::Kind::Gaussian) {
+    return std::max(0.0, 1.0 + jitter.rel_sigma * rng.gaussian(s, seq));
+  }
+  // Lognormal with unit median; sigma expressed on the underlying normal.
+  return rng.lognormal(s, seq, 0.0, jitter.rel_sigma);
+}
+
+double NetworkModel::jitter_additive(std::uint64_t stream,
+                                     std::uint64_t seq) const noexcept {
+  if (jitter.kind == JitterModel::Kind::None) return 0.0;
+  const support::CounterRng rng(seed);
+  double extra = 0.0;
+  if (jitter.add_sigma > 0.0) {
+    const auto s = support::stream_id(stream, kSaltTransferAdd);
+    extra += std::fabs(jitter.add_sigma * rng.gaussian(s, seq));
+  }
+  if (jitter.spike_prob > 0.0 && jitter.spike_mean > 0.0) {
+    const auto s = support::stream_id(stream, kSaltTransferSpike);
+    if (rng.uniform(s, seq) < jitter.spike_prob) {
+      extra += rng.exponential(s, seq + (1ULL << 40), jitter.spike_mean);
+    }
+  }
+  return extra;
+}
+
+double NetworkModel::transfer_cost(int src, int dst, std::size_t bytes,
+                                   std::uint64_t seq) const noexcept {
+  const LinkParams& link = same_node(src, dst) ? intra_node : inter_node;
+  const auto edge = support::stream_id(static_cast<std::uint64_t>(src) + 1,
+                                       static_cast<std::uint64_t>(dst) + 1);
+  const double base = link.cost(bytes);
+  return base * jitter_factor(edge, seq) + jitter_additive(edge, seq);
+}
+
+double NetworkModel::cpu_overhead(int rank, double base, std::uint64_t seq,
+                                  std::uint64_t kind_salt) const noexcept {
+  const auto stream = support::stream_id(static_cast<std::uint64_t>(rank) + 1,
+                                         kSaltCpu, kind_salt);
+  return base * jitter_factor(stream, seq);
+}
+
+}  // namespace mpisect::mpisim

@@ -1,0 +1,87 @@
+// Network performance model (LogGP-flavoured) with deterministic jitter.
+//
+// A transfer between two ranks costs
+//     latency + bytes / bandwidth
+// with link parameters chosen by locality (same node vs. different nodes)
+// and an optional multiplicative lognormal jitter drawn from a counter-based
+// RNG keyed on (edge, sequence-number). Sender/receiver CPU overheads (the
+// "o" of LogP) are charged on the local clocks.
+//
+// The jitter keying is the load-bearing design decision: because the draw
+// depends only on logical identifiers, a run's virtual timeline is fully
+// reproducible, yet over a 1000-step halo-exchange loop the skew performs a
+// random walk that propagates through message dependencies — the
+// "accumulation of variability" the paper observes on its Nehalem cluster.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace mpisect::mpisim {
+
+/// Jitter applied multiplicatively to transfer costs and additively to
+/// latency. All draws are deterministic given (seed, edge, seq).
+struct JitterModel {
+  enum class Kind { None, Gaussian, Lognormal };
+  Kind kind = Kind::None;
+  /// Relative sigma of the multiplicative term (e.g. 0.15 = 15%).
+  double rel_sigma = 0.0;
+  /// Absolute sigma (seconds) of an additive latency term; models OS noise
+  /// spikes independent of message size.
+  double add_sigma = 0.0;
+  /// Probability of a "noise spike" (heavy tail); each spike adds an
+  /// exponential extra delay with mean spike_mean seconds.
+  double spike_prob = 0.0;
+  double spike_mean = 0.0;
+};
+
+/// One link class: base latency plus streaming bandwidth.
+struct LinkParams {
+  double latency = 1e-6;       ///< seconds
+  double bandwidth = 1e9;      ///< bytes/second
+  [[nodiscard]] double cost(std::size_t bytes) const noexcept {
+    return latency + static_cast<double>(bytes) / bandwidth;
+  }
+};
+
+class NetworkModel {
+ public:
+  LinkParams intra_node;        ///< shared-memory transport
+  LinkParams inter_node;        ///< fabric transport
+  double send_overhead = 3e-7;  ///< CPU seconds charged on the sender
+  double recv_overhead = 3e-7;  ///< CPU seconds charged on the receiver
+  std::size_t eager_threshold = 16 * 1024;  ///< rendezvous above this
+  int cores_per_node = 1;       ///< block rank placement: node = rank / cpn
+  JitterModel jitter;
+
+  /// Deterministic RNG seed for all draws from this model.
+  std::uint64_t seed = 0x5EC710975EEDULL;
+
+  [[nodiscard]] int node_of(int world_rank) const noexcept {
+    return world_rank / (cores_per_node > 0 ? cores_per_node : 1);
+  }
+  [[nodiscard]] bool same_node(int a, int b) const noexcept {
+    return node_of(a) == node_of(b);
+  }
+
+  /// End-to-end wire cost of one message (no CPU overheads, which the
+  /// caller charges locally). `seq` is the per-edge message sequence number
+  /// used to key the jitter draw.
+  [[nodiscard]] double transfer_cost(int src, int dst, std::size_t bytes,
+                                     std::uint64_t seq) const noexcept;
+
+  /// Jittered CPU overhead for one send/recv call. `kind_salt`
+  /// disambiguates the draw stream (0 = send, 1 = recv).
+  [[nodiscard]] double cpu_overhead(int rank, double base, std::uint64_t seq,
+                                    std::uint64_t kind_salt) const noexcept;
+
+ private:
+  [[nodiscard]] double jitter_factor(std::uint64_t stream,
+                                     std::uint64_t seq) const noexcept;
+  [[nodiscard]] double jitter_additive(std::uint64_t stream,
+                                       std::uint64_t seq) const noexcept;
+};
+
+}  // namespace mpisect::mpisim

@@ -1,0 +1,146 @@
+#include "mpisim/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "mpisim/error.hpp"
+#include "support/log.hpp"
+
+namespace mpisect::mpisim {
+
+World::World(int nranks, WorldOptions options)
+    : nranks_(nranks), options_(std::move(options)), rng_(options_.seed) {
+  require(nranks_ > 0, Err::Arg, "world size must be positive");
+  clocks_.resize(static_cast<std::size_t>(nranks_));
+  final_times_.assign(static_cast<std::size_t>(nranks_), 0.0);
+  // Keep the network model's placement and seed coherent with the world.
+  options_.machine.net.seed = options_.seed;
+  std::vector<int> all(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) all[static_cast<std::size_t>(r)] = r;
+  world_comm_ =
+      std::make_shared<CommImpl>(*this, Group(std::move(all)),
+                                 next_context_id());
+}
+
+World::~World() = default;
+
+void World::attach_extension(std::shared_ptr<Extension> ext) {
+  extensions_.push_back(std::move(ext));
+}
+
+double World::elapsed() const noexcept {
+  double m = 0.0;
+  for (double t : final_times_) m = std::max(m, t);
+  return m;
+}
+
+void World::run(const RankMain& rank_main) {
+  require(!aborted_.load(), Err::Aborted, "world previously aborted");
+  // Fresh clocks (and a fresh world communicator, so sequence counters and
+  // stale messages from a previous run cannot leak into this one).
+  std::vector<int> all(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) all[static_cast<std::size_t>(r)] = r;
+  world_comm_ =
+      std::make_shared<CommImpl>(*this, Group(std::move(all)),
+                                 next_context_id());
+  for (int r = 0; r < nranks_; ++r) {
+    double skew = 0.0;
+    if (options_.start_skew_sigma > 0.0) {
+      skew = std::abs(options_.start_skew_sigma *
+                      rng_.gaussian(support::stream_id(
+                                        static_cast<std::uint64_t>(r) + 1,
+                                        0xA110C),
+                                    0));
+    }
+    clocks_[static_cast<std::size_t>(r)].reset(skew);
+  }
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  auto rank_body = [&](int r) {
+    Ctx ctx(*this, r, clocks_[static_cast<std::size_t>(r)]);
+    try {
+      {
+        CallInfo ci;
+        ci.call = MpiCall::Init;
+        ci.rank = r;
+        ci.comm_size = nranks_;
+        ci.t_virtual = ctx.now();
+        if (hooks_.on_call_begin) hooks_.on_call_begin(ctx, ci);
+        if (hooks_.on_call_end) hooks_.on_call_end(ctx, ci);
+      }
+      for (auto& ext : extensions_) ext->on_rank_init(ctx);
+      rank_main(ctx);
+      for (auto it = extensions_.rbegin(); it != extensions_.rend(); ++it) {
+        (*it)->on_rank_finalize(ctx);
+      }
+      {
+        CallInfo ci;
+        ci.call = MpiCall::Finalize;
+        ci.rank = r;
+        ci.comm_size = nranks_;
+        ci.t_virtual = ctx.now();
+        if (hooks_.on_call_begin) hooks_.on_call_begin(ctx, ci);
+        if (hooks_.on_call_end) hooks_.on_call_end(ctx, ci);
+      }
+      final_times_[static_cast<std::size_t>(r)] = ctx.now();
+    } catch (...) {
+      {
+        const std::lock_guard lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      MPISECT_LOG_ERROR("rank %d raised; aborting world", r);
+      abort();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back(rank_body, r);
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+  if (aborted_.load()) {
+    throw MpiError(Err::Aborted, "world aborted without recorded cause");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ctx
+// ---------------------------------------------------------------------------
+
+Ctx::Ctx(World& world, int world_rank, VirtualClock& clock) noexcept
+    : world_(world), rank_(world_rank), clock_(clock) {}
+
+Comm Ctx::world_comm() noexcept {
+  return Comm(this, world_.world_comm_, rank_);
+}
+
+void Ctx::compute(double seconds) noexcept {
+  const double sigma = machine().compute_noise_sigma;
+  if (sigma > 0.0) {
+    const double g = world_.rng().gaussian(
+        support::stream_id(static_cast<std::uint64_t>(rank_) + 1, 0xC0117),
+        next_op_id());
+    seconds *= std::max(0.0, 1.0 + sigma * g);
+  }
+  clock_.advance(seconds);
+}
+
+void Ctx::compute_flops(double flops) noexcept {
+  compute(machine().compute_seconds(flops));
+}
+
+void Ctx::pcontrol(int level, const char* label) {
+  auto& hook = world_.hooks().on_pcontrol;
+  if (hook) hook(*this, level, label);
+}
+
+}  // namespace mpisect::mpisim

@@ -1,0 +1,169 @@
+// World launcher and per-rank execution context.
+//
+// World::run(fn) executes an SPMD function on every rank, one OS thread per
+// rank, against a shared MachineModel. Rank-side code receives a Ctx — its
+// rank identity, virtual clock and compute-charging interface. Extensions
+// (the sections layer, profiling tools) attach to the World and get
+// per-rank init/finalize callbacks, mirroring how PMPI tools wrap
+// MPI_Init/MPI_Finalize.
+//
+//   World world(16, {.machine = MachineModel::nehalem_cluster()});
+//   world.run([](Ctx& ctx) {
+//     Comm comm = ctx.world_comm();
+//     ctx.compute_flops(1e9);               // charge virtual compute time
+//     comm.barrier();
+//     double t = ctx.now();                 // virtual seconds
+//   });
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpisim/clock.hpp"
+#include "mpisim/comm.hpp"
+#include "mpisim/hooks.hpp"
+#include "mpisim/machine.hpp"
+#include "support/rng.hpp"
+
+namespace mpisect::mpisim {
+
+/// Algorithm selection for the rooted block collectives. Linear is the
+/// naive root-loops implementation; Binomial halves the problem per round
+/// (log p latency terms, intermediates forward subtree blocks).
+enum class CollAlgo { Linear, Binomial };
+
+struct WorldOptions {
+  MachineModel machine = MachineModel::ideal();
+  std::uint64_t seed = 0x5EED;
+  CollAlgo scatter_algo = CollAlgo::Linear;
+  CollAlgo gather_algo = CollAlgo::Linear;
+  /// Standard deviation (seconds) of the random per-rank start skew,
+  /// modelling loosely synchronized job launch (paper Fig. 3 discussion).
+  double start_skew_sigma = 0.0;
+  /// Enable the sections layer's collective consistency checking
+  /// ("non-intrusive synchronization primitives which could be selectively
+  /// enabled", paper Sec. 4).
+  bool validate_sections = false;
+};
+
+/// Attachment point for layers that need per-rank lifecycle callbacks.
+class Extension {
+ public:
+  virtual ~Extension() = default;
+  /// Runs on each rank thread after Init hooks, before the app main.
+  virtual void on_rank_init(Ctx& ctx) { (void)ctx; }
+  /// Runs on each rank thread after the app main, before Finalize hooks.
+  virtual void on_rank_finalize(Ctx& ctx) { (void)ctx; }
+};
+
+class World {
+ public:
+  World(int nranks, WorldOptions options);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return nranks_; }
+  [[nodiscard]] const MachineModel& machine() const noexcept {
+    return options_.machine;
+  }
+  [[nodiscard]] const WorldOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] HookTable& hooks() noexcept { return hooks_; }
+  [[nodiscard]] const support::CounterRng& rng() const noexcept {
+    return rng_;
+  }
+  [[nodiscard]] const std::atomic<bool>* abort_flag() const noexcept {
+    return &aborted_;
+  }
+  [[nodiscard]] bool aborted() const noexcept { return aborted_.load(); }
+  /// Flag the world as failed; wakes every blocked rank with Err::Aborted.
+  void abort() noexcept { aborted_.store(true); }
+
+  void attach_extension(std::shared_ptr<Extension> ext);
+
+  /// Find an attached extension by concrete type (nullptr if absent).
+  /// Attach extensions before run(); lookup from rank threads is read-only.
+  template <typename T>
+  [[nodiscard]] std::shared_ptr<T> find_extension() const {
+    for (const auto& e : extensions_) {
+      if (auto p = std::dynamic_pointer_cast<T>(e)) return p;
+    }
+    return nullptr;
+  }
+
+  using RankMain = std::function<void(Ctx&)>;
+  /// Run the SPMD main on all ranks and block until every rank finishes.
+  /// Rethrows the first rank exception after all threads have joined.
+  /// May be called repeatedly; clocks and sequence state reset per run.
+  void run(const RankMain& rank_main);
+
+  /// Virtual time at which each rank finished the last run.
+  [[nodiscard]] const std::vector<double>& final_times() const noexcept {
+    return final_times_;
+  }
+  /// max over ranks of final_times() — the run's virtual makespan.
+  [[nodiscard]] double elapsed() const noexcept;
+
+  /// Fresh context id for a new communicator.
+  int next_context_id() noexcept { return next_context_++; }
+
+ private:
+  friend class Ctx;
+  int nranks_;
+  WorldOptions options_;
+  HookTable hooks_;
+  support::CounterRng rng_;
+  std::atomic<bool> aborted_{false};
+  std::atomic<int> next_context_{0};
+  std::vector<VirtualClock> clocks_;
+  std::vector<double> final_times_;
+  std::shared_ptr<CommImpl> world_comm_;
+  std::vector<std::shared_ptr<Extension>> extensions_;
+};
+
+/// Per-rank execution context; lives on the rank thread's stack for the
+/// duration of one World::run.
+class Ctx {
+ public:
+  Ctx(World& world, int world_rank, VirtualClock& clock) noexcept;
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return world_.size(); }
+  [[nodiscard]] World& world() noexcept { return world_; }
+  [[nodiscard]] const MachineModel& machine() const noexcept {
+    return world_.machine();
+  }
+  [[nodiscard]] VirtualClock& clock() noexcept { return clock_; }
+  [[nodiscard]] double now() const noexcept { return clock_.now(); }
+
+  /// Handle to the world communicator for this rank.
+  [[nodiscard]] Comm world_comm() noexcept;
+
+  /// Charge `seconds` of computation (plus the machine's multiplicative
+  /// compute noise, drawn deterministically per rank/op).
+  void compute(double seconds) noexcept;
+  /// Charge `flops` of computation through the machine model.
+  void compute_flops(double flops) noexcept;
+  /// Charge an exact duration with no noise (fixtures/tests).
+  void compute_exact(double seconds) noexcept { clock_.advance(seconds); }
+
+  /// Per-rank monotonically increasing operation id — the RNG counter for
+  /// everything this rank draws.
+  [[nodiscard]] std::uint64_t next_op_id() noexcept { return op_counter_++; }
+
+  /// MPI_Pcontrol: dispatches to the tool hook (IPM-style phase baseline).
+  void pcontrol(int level, const char* label = nullptr);
+
+ private:
+  World& world_;
+  int rank_;
+  VirtualClock& clock_;
+  std::uint64_t op_counter_ = 0;
+};
+
+}  // namespace mpisect::mpisim

@@ -1,0 +1,109 @@
+#include "profiler/balance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace mpisect::profiler {
+namespace {
+
+/// Gini coefficient of non-negative values (0 for uniform, -> 1 for fully
+/// concentrated). Uses the sorted-rank formula.
+double gini_coefficient(std::vector<double> xs) {
+  if (xs.size() < 2) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  double sum = 0.0;
+  double weighted = 0.0;
+  const auto n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum += xs[i];
+    weighted += (2.0 * (static_cast<double>(i) + 1.0) - n - 1.0) * xs[i];
+  }
+  if (sum <= 0.0) return 0.0;
+  return weighted / (n * sum);
+}
+
+SectionBalance balance_of(const SectionProfiler& prof, int comm_context,
+                          const std::string& label) {
+  SectionBalance b;
+  b.label = label;
+  b.comm_context = comm_context;
+  std::vector<double> times;
+  for (int r = 0; r < prof.nranks(); ++r) {
+    const LabelStats* st = prof.rank_stats(r, comm_context, label);
+    if (st == nullptr) continue;
+    const double t = st->inclusive;
+    times.push_back(t);
+    if (b.ranks == 0 || t > b.max_time) {
+      b.max_time = t;
+      b.heaviest_rank = r;
+    }
+    if (b.ranks == 0 || t < b.min_time) {
+      b.min_time = t;
+      b.lightest_rank = r;
+    }
+    b.mean_time += t;
+    ++b.ranks;
+  }
+  if (b.ranks == 0) return b;
+  b.mean_time /= b.ranks;
+  if (b.mean_time > 0.0) {
+    b.imbalance_pct = (b.max_time / b.mean_time - 1.0) * 100.0;
+  }
+  b.imbalance_cost = (b.max_time - b.mean_time) * b.ranks;
+  b.gini = gini_coefficient(std::move(times));
+  return b;
+}
+
+}  // namespace
+
+SectionBalance section_balance(const SectionProfiler& prof,
+                               std::string_view label) {
+  for (const auto& t : prof.totals()) {
+    if (t.label == label) {
+      return balance_of(prof, t.comm_context, t.label);
+    }
+  }
+  return SectionBalance{std::string(label)};
+}
+
+std::vector<SectionBalance> balance_report(const SectionProfiler& prof) {
+  std::vector<SectionBalance> out;
+  for (const auto& t : prof.totals()) {
+    out.push_back(balance_of(prof, t.comm_context, t.label));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SectionBalance& a, const SectionBalance& b) {
+              return a.imbalance_cost > b.imbalance_cost;
+            });
+  return out;
+}
+
+std::string render_balance(const std::vector<SectionBalance>& report) {
+  support::TextTable table;
+  table.set_header({"section", "ranks", "mean (s)", "max (s)", "imb %",
+                    "cost (proc-s)", "gini", "heaviest"});
+  table.set_align({support::TextTable::Align::Left,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right});
+  for (const auto& b : report) {
+    if (b.ranks == 0) continue;
+    table.add_row({b.label, std::to_string(b.ranks),
+                   support::fmt_double(b.mean_time, 4),
+                   support::fmt_double(b.max_time, 4),
+                   support::fmt_double(b.imbalance_pct, 1),
+                   support::fmt_double(b.imbalance_cost, 4),
+                   support::fmt_double(b.gini, 3),
+                   "rank " + std::to_string(b.heaviest_rank)});
+  }
+  return table.render();
+}
+
+}  // namespace mpisect::profiler

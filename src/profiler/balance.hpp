@@ -1,0 +1,56 @@
+// Load-balancing analysis of MPI Sections — the analysis interface the
+// paper announces as future work (Sec. 8: "We are in the process of
+// developing an MPI Section analysis interface describing the
+// load-balancing of Sections as shown in Figure 3").
+//
+// For every section observed by a SectionProfiler this computes, across
+// ranks:
+//   * time spread (min/mean/max) and the classic imbalance percentage
+//     max/mean - 1 (the share of the slowest rank's time that other ranks
+//     spend waiting);
+//   * the imbalance *cost*: (max - mean) * ranks — processor-seconds lost
+//     at the section's implicit convergence point;
+//   * a Gini coefficient of the per-rank time distribution (0 = perfectly
+//     balanced, -> 1 = one rank does everything), robust when the mean is
+//     dominated by one rank (e.g. the LOAD phase);
+//   * the heaviest/lightest ranks, to name the culprit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "profiler/section_profiler.hpp"
+
+namespace mpisect::profiler {
+
+struct SectionBalance {
+  std::string label;
+  int comm_context = 0;
+  int ranks = 0;
+  double mean_time = 0.0;
+  double min_time = 0.0;
+  double max_time = 0.0;
+  /// max/mean - 1; 0 for a perfectly balanced section.
+  double imbalance_pct = 0.0;
+  /// (max - mean) * ranks: processor-seconds wasted waiting on the slowest.
+  double imbalance_cost = 0.0;
+  /// Gini coefficient of per-rank inclusive times in [0, 1).
+  double gini = 0.0;
+  int heaviest_rank = -1;
+  int lightest_rank = -1;
+};
+
+/// Compute the balance record of one section (by label, on the context the
+/// profiler observed it). Returns ranks == 0 if never observed.
+[[nodiscard]] SectionBalance section_balance(const SectionProfiler& prof,
+                                             std::string_view label);
+
+/// All sections, sorted by descending imbalance cost (the triage order).
+[[nodiscard]] std::vector<SectionBalance> balance_report(
+    const SectionProfiler& prof);
+
+/// Render as an aligned table.
+[[nodiscard]] std::string render_balance(
+    const std::vector<SectionBalance>& report);
+
+}  // namespace mpisect::profiler

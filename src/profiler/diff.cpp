@@ -1,0 +1,126 @@
+#include "profiler/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace mpisect::profiler {
+
+ProfileSnapshot ProfileSnapshot::capture(const SectionProfiler& prof,
+                                         std::string name) {
+  ProfileSnapshot snap;
+  snap.name_ = std::move(name);
+  for (const auto& t : prof.totals()) {
+    SnapshotEntry e;
+    e.label = t.label;
+    e.instances = t.instances;
+    e.ranks = t.ranks_seen;
+    e.mean_per_process = t.mean_per_process;
+    e.mpi_time = t.ranks_seen > 0 ? t.mpi_time / t.ranks_seen : 0.0;
+    snap.entries_.push_back(std::move(e));
+  }
+  return snap;
+}
+
+const SnapshotEntry* ProfileSnapshot::find(std::string_view label) const {
+  for (const auto& e : entries_) {
+    if (e.label == label) return &e;
+  }
+  return nullptr;
+}
+
+std::string ProfileSnapshot::to_csv() const {
+  std::string out = "section,instances,ranks,mean_per_process,mpi_time\n";
+  for (const auto& e : entries_) {
+    out += e.label + "," + std::to_string(e.instances) + "," +
+           std::to_string(e.ranks) + "," +
+           support::fmt_double(e.mean_per_process, 9) + "," +
+           support::fmt_double(e.mpi_time, 9) + "\n";
+  }
+  return out;
+}
+
+std::optional<ProfileSnapshot> ProfileSnapshot::from_csv(std::string_view csv,
+                                                         std::string name) {
+  ProfileSnapshot snap;
+  snap.name_ = std::move(name);
+  bool header = true;
+  for (const auto& line : support::split(csv, '\n')) {
+    if (support::trim(line).empty()) continue;
+    if (header) {
+      if (!support::starts_with(line, "section,")) return std::nullopt;
+      header = false;
+      continue;
+    }
+    const auto cells = support::split(line, ',');
+    if (cells.size() != 5) return std::nullopt;
+    SnapshotEntry e;
+    e.label = cells[0];
+    e.instances = std::strtol(cells[1].c_str(), nullptr, 10);
+    e.ranks = static_cast<int>(std::strtol(cells[2].c_str(), nullptr, 10));
+    e.mean_per_process = std::strtod(cells[3].c_str(), nullptr);
+    e.mpi_time = std::strtod(cells[4].c_str(), nullptr);
+    snap.entries_.push_back(std::move(e));
+  }
+  if (header) return std::nullopt;  // empty input
+  return snap;
+}
+
+std::vector<SectionDelta> diff_profiles(const ProfileSnapshot& before,
+                                        const ProfileSnapshot& after) {
+  std::map<std::string, SectionDelta> by_label;
+  for (const auto& e : before.entries()) {
+    auto& d = by_label[e.label];
+    d.label = e.label;
+    d.before = e.mean_per_process;
+    d.only_in_before = true;
+  }
+  for (const auto& e : after.entries()) {
+    auto& d = by_label[e.label];
+    d.label = e.label;
+    d.after = e.mean_per_process;
+    d.only_in_after = !d.only_in_before;
+    d.only_in_before = false;
+  }
+  std::vector<SectionDelta> out;
+  out.reserve(by_label.size());
+  for (auto& [label, d] : by_label) {
+    (void)label;
+    d.abs_delta = d.after - d.before;
+    d.speedup = d.after > 0.0 ? d.before / d.after : 0.0;
+    out.push_back(std::move(d));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SectionDelta& a, const SectionDelta& b) {
+              return std::fabs(a.abs_delta) > std::fabs(b.abs_delta);
+            });
+  return out;
+}
+
+std::string render_diff(const std::vector<SectionDelta>& deltas,
+                        const std::string& before_name,
+                        const std::string& after_name) {
+  support::TextTable table;
+  table.set_header({"section", before_name + " (s)", after_name + " (s)",
+                    "delta (s)", "speedup"});
+  table.set_align({support::TextTable::Align::Left,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right});
+  for (const auto& d : deltas) {
+    std::string speedup = d.only_in_before   ? "(removed)"
+                          : d.only_in_after  ? "(new)"
+                          : support::fmt_double(d.speedup, 2) + "x";
+    table.add_row({d.label, support::fmt_double(d.before, 4),
+                   support::fmt_double(d.after, 4),
+                   support::fmt_double(d.abs_delta, 4), speedup});
+  }
+  return table.render();
+}
+
+}  // namespace mpisect::profiler

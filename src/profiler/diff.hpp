@@ -1,0 +1,74 @@
+// Profile snapshots and section-wise diffing.
+//
+// The workflow the paper's analysis implies — run a configuration, change
+// something (ranks, threads, algorithm, machine), run again, and ask *which
+// phase* got faster or slower — needs profiles that outlive the profiler.
+// A ProfileSnapshot is the persistent form of SectionProfiler totals
+// (round-trips through CSV), and diff_profiles() aligns two snapshots by
+// section label and reports per-section speedups, the biggest movers first.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "profiler/section_profiler.hpp"
+
+namespace mpisect::profiler {
+
+struct SnapshotEntry {
+  std::string label;
+  long instances = 0;
+  int ranks = 0;
+  double mean_per_process = 0.0;
+  double mpi_time = 0.0;
+};
+
+class ProfileSnapshot {
+ public:
+  ProfileSnapshot() = default;
+  explicit ProfileSnapshot(std::string name) : name_(std::move(name)) {}
+  /// Capture the totals of a finished run.
+  static ProfileSnapshot capture(const SectionProfiler& prof,
+                                 std::string name = {});
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<SnapshotEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] const SnapshotEntry* find(std::string_view label) const;
+
+  /// CSV persistence (header + one row per section).
+  [[nodiscard]] std::string to_csv() const;
+  /// Parse a snapshot written by to_csv(); nullopt on malformed input.
+  static std::optional<ProfileSnapshot> from_csv(std::string_view csv,
+                                                 std::string name = {});
+
+  void add(SnapshotEntry entry) { entries_.push_back(std::move(entry)); }
+
+ private:
+  std::string name_;
+  std::vector<SnapshotEntry> entries_;
+};
+
+/// One aligned section across the two snapshots.
+struct SectionDelta {
+  std::string label;
+  double before = 0.0;      ///< mean/process in the baseline
+  double after = 0.0;       ///< mean/process in the candidate
+  double speedup = 0.0;     ///< before / after (0 when after == 0)
+  double abs_delta = 0.0;   ///< after - before (negative = improvement)
+  bool only_in_before = false;
+  bool only_in_after = false;
+};
+
+/// Align by label and sort by |abs_delta| descending — the triage order.
+[[nodiscard]] std::vector<SectionDelta> diff_profiles(
+    const ProfileSnapshot& before, const ProfileSnapshot& after);
+
+/// Render the diff as an aligned table.
+[[nodiscard]] std::string render_diff(const std::vector<SectionDelta>& deltas,
+                                      const std::string& before_name,
+                                      const std::string& after_name);
+
+}  // namespace mpisect::profiler

@@ -1,0 +1,137 @@
+#include "profiler/report.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace mpisect::profiler {
+namespace {
+
+double safe_pct(double part, double whole) {
+  return whole > 0.0 ? part / whole * 100.0 : 0.0;
+}
+
+}  // namespace
+
+std::string render_text(const SectionProfiler& prof) {
+  support::TextTable table;
+  table.set_header({"section", "ranks", "inst", "mean/proc (s)", "% main",
+                    "exclusive (s)", "MPI (s)", "MPI calls"});
+  table.set_align({support::TextTable::Align::Left,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right});
+  const double main = prof.main_time();
+  for (const auto& t : prof.totals()) {
+    table.add_row({t.label, std::to_string(t.ranks_seen),
+                   std::to_string(t.instances),
+                   support::fmt_double(t.mean_per_process, 4),
+                   support::fmt_double(safe_pct(t.mean_per_process, main), 1),
+                   support::fmt_double(
+                       t.ranks_seen ? t.exclusive_total / t.ranks_seen : 0.0,
+                       4),
+                   support::fmt_double(
+                       t.ranks_seen ? t.mpi_time / t.ranks_seen : 0.0, 4),
+                   std::to_string(t.mpi_calls)});
+  }
+  return table.render();
+}
+
+std::string render_csv(const SectionProfiler& prof) {
+  std::string out =
+      "section,ranks,instances,mean_per_process,pct_main,exclusive,mpi_time,"
+      "mpi_calls\n";
+  const double main = prof.main_time();
+  for (const auto& t : prof.totals()) {
+    out += t.label + "," + std::to_string(t.ranks_seen) + "," +
+           std::to_string(t.instances) + "," +
+           support::fmt_auto(t.mean_per_process) + "," +
+           support::fmt_auto(safe_pct(t.mean_per_process, main)) + "," +
+           support::fmt_auto(
+               t.ranks_seen ? t.exclusive_total / t.ranks_seen : 0.0) +
+           "," +
+           support::fmt_auto(t.ranks_seen ? t.mpi_time / t.ranks_seen : 0.0) +
+           "," + std::to_string(t.mpi_calls) + "\n";
+  }
+  return out;
+}
+
+std::string render_json(const SectionProfiler& prof) {
+  std::string out = "[\n";
+  const auto totals = prof.totals();
+  const double main = prof.main_time();
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    const auto& t = totals[i];
+    out += "  {\"section\": \"" + t.label + "\"";
+    out += ", \"ranks\": " + std::to_string(t.ranks_seen);
+    out += ", \"instances\": " + std::to_string(t.instances);
+    out += ", \"mean_per_process\": " + support::fmt_auto(t.mean_per_process);
+    out += ", \"pct_main\": " +
+           support::fmt_auto(safe_pct(t.mean_per_process, main));
+    out += ", \"mpi_time\": " +
+           support::fmt_auto(t.ranks_seen ? t.mpi_time / t.ranks_seen : 0.0);
+    out += "}";
+    if (i + 1 < totals.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+std::vector<ShareEntry> execution_shares(const SectionProfiler& prof) {
+  std::vector<ShareEntry> shares;
+  const double main = prof.main_time();
+  if (main <= 0.0) return shares;
+  for (const auto& t : prof.totals()) {
+    if (t.label == sections::kMainSectionLabel) continue;
+    const double exclusive_mean =
+        t.ranks_seen ? t.exclusive_total / t.ranks_seen : 0.0;
+    shares.push_back({t.label, exclusive_mean / main});
+  }
+  std::sort(shares.begin(), shares.end(),
+            [](const ShareEntry& a, const ShareEntry& b) {
+              return a.share > b.share;
+            });
+  return shares;
+}
+
+std::string render_chrome_trace(const SectionProfiler& prof) {
+  // Complete events ("ph":"X") with microsecond timestamps; pid 0, one tid
+  // per rank. Viewers nest overlapping events automatically, so the
+  // section hierarchy renders as stacked boxes.
+  std::string out = "[\n";
+  bool first = true;
+  for (int r = 0; r < prof.nranks(); ++r) {
+    for (const auto& s : prof.trace(r)) {
+      if (!first) out += ",\n";
+      first = false;
+      out += "  {\"name\": \"" + prof.labels().name(s.label) +
+             "\", \"ph\": \"X\", \"pid\": 0, \"tid\": " + std::to_string(r) +
+             ", \"ts\": " + support::fmt_auto(s.t_in * 1e6) +
+             ", \"dur\": " + support::fmt_auto((s.t_out - s.t_in) * 1e6) +
+             ", \"args\": {\"instance\": " + std::to_string(s.instance) +
+             ", \"depth\": " + std::to_string(s.depth) + "}}";
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string render_trace(const SectionProfiler& prof, int rank) {
+  std::string out;
+  for (const auto& s : prof.trace(rank)) {
+    out += support::pad_left(support::fmt_double(s.t_in, 6), 14) + " .. " +
+           support::pad_left(support::fmt_double(s.t_out, 6), 14) + "  " +
+           std::string(static_cast<std::size_t>(s.depth) * 2, ' ') +
+           prof.labels().name(s.label) + " #" + std::to_string(s.instance) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace mpisect::profiler

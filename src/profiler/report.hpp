@@ -1,0 +1,42 @@
+// Report rendering for SectionProfiler results: profile breakdowns over
+// sections (text / CSV / JSON) plus the Vampir-style coarse trace view the
+// paper sketches in Sec. 5.3 (merging fine-grained events per section).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "profiler/section_profiler.hpp"
+
+namespace mpisect::profiler {
+
+/// Text table: one row per section, with % of MPI_MAIN, mean/process,
+/// exclusive and attributed-MPI time.
+[[nodiscard]] std::string render_text(const SectionProfiler& prof);
+
+/// CSV with the same columns.
+[[nodiscard]] std::string render_csv(const SectionProfiler& prof);
+
+/// Minimal JSON array of section objects (for downstream tooling).
+[[nodiscard]] std::string render_json(const SectionProfiler& prof);
+
+/// Percentage-of-execution breakdown (Fig. 5(a) data): label -> share of
+/// mean MPI_MAIN time, exclusive, for leaf sections only.
+struct ShareEntry {
+  std::string label;
+  double share = 0.0;  ///< [0, 1]
+};
+[[nodiscard]] std::vector<ShareEntry> execution_shares(
+    const SectionProfiler& prof);
+
+/// Coarse trace: one line per retained section instance on `rank`
+/// ("merge fine-grained trace-events per sections", Sec. 5.3).
+[[nodiscard]] std::string render_trace(const SectionProfiler& prof, int rank);
+
+/// Chrome-tracing (about://tracing, Perfetto) JSON export of the retained
+/// section instances across all ranks — the "temporal trace viewer" view
+/// of Sec. 5.3, with one timeline row per MPI rank and one complete-event
+/// box per section instance. Requires keep_instances mode.
+[[nodiscard]] std::string render_chrome_trace(const SectionProfiler& prof);
+
+}  // namespace mpisect::profiler

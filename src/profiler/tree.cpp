@@ -1,0 +1,135 @@
+#include "profiler/tree.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace mpisect::profiler {
+namespace {
+
+/// Aggregation node keyed by label within its parent.
+struct Accum {
+  long max_count = 0;
+  std::map<int, double> per_rank_inclusive;  ///< rank -> summed span
+  std::map<int, long> per_rank_count;
+  std::map<std::string, std::unique_ptr<Accum>> children;
+};
+
+std::unique_ptr<TreeNode> finalize(const std::string& label,
+                                   const Accum& acc, int depth,
+                                   double parent_inclusive) {
+  auto node = std::make_unique<TreeNode>();
+  node->label = label;
+  node->depth = depth;
+  double total = 0.0;
+  for (const auto& [rank, t] : acc.per_rank_inclusive) {
+    (void)rank;
+    total += t;
+  }
+  node->inclusive = acc.per_rank_inclusive.empty()
+                        ? 0.0
+                        : total / static_cast<double>(
+                                      acc.per_rank_inclusive.size());
+  for (const auto& [rank, n] : acc.per_rank_count) {
+    (void)rank;
+    node->instances = std::max(node->instances, n);
+  }
+  node->share_of_parent =
+      parent_inclusive > 0.0 ? node->inclusive / parent_inclusive : 1.0;
+
+  double child_sum = 0.0;
+  for (const auto& [child_label, child_acc] : acc.children) {
+    node->children.push_back(
+        finalize(child_label, *child_acc, depth + 1, node->inclusive));
+    child_sum += node->children.back()->inclusive;
+  }
+  node->exclusive = std::max(node->inclusive - child_sum, 0.0);
+  std::sort(node->children.begin(), node->children.end(),
+            [](const auto& a, const auto& b) {
+              return a->inclusive > b->inclusive;
+            });
+  return node;
+}
+
+void render_node(const TreeNode& node, std::string& out) {
+  out += std::string(static_cast<std::size_t>(node.depth) * 2, ' ');
+  out += node.label;
+  out += "  [" + support::fmt_double(node.inclusive, 4) + " s inclusive, " +
+         support::fmt_double(node.exclusive, 4) + " s exclusive, " +
+         support::fmt_double(node.share_of_parent * 100.0, 1) +
+         "% of parent, x" + std::to_string(node.instances) + "]\n";
+  for (const auto& child : node.children) render_node(*child, out);
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<TreeNode>> build_section_tree(
+    const SectionProfiler& prof) {
+  Accum root;
+  for (int rank = 0; rank < prof.nranks(); ++rank) {
+    // Replay spans in enter order (t_in ascending; at equal timestamps the
+    // outer section entered first, i.e. lower depth).
+    std::vector<InstanceSpan> spans = prof.trace(rank);
+    std::sort(spans.begin(), spans.end(),
+              [](const InstanceSpan& a, const InstanceSpan& b) {
+                if (a.t_in != b.t_in) return a.t_in < b.t_in;
+                return a.depth < b.depth;
+              });
+    std::vector<Accum*> path{&root};
+    for (const auto& span : spans) {
+      const int depth = span.depth;
+      if (depth + 1 > static_cast<int>(path.size())) {
+        // Defensive: a gap can only appear if spans were dropped.
+        continue;
+      }
+      path.resize(static_cast<std::size_t>(depth) + 1);
+      Accum* parent = path[static_cast<std::size_t>(depth)];
+      const std::string label = prof.labels().name(span.label);
+      auto& slot = parent->children[label];
+      if (!slot) slot = std::make_unique<Accum>();
+      slot->per_rank_inclusive[rank] += span.t_out - span.t_in;
+      slot->per_rank_count[rank] += 1;
+      path.push_back(slot.get());
+    }
+  }
+
+  std::vector<std::unique_ptr<TreeNode>> forest;
+  for (const auto& [label, acc] : root.children) {
+    forest.push_back(finalize(label, *acc, 0, 0.0));
+  }
+  std::sort(forest.begin(), forest.end(), [](const auto& a, const auto& b) {
+    return a->inclusive > b->inclusive;
+  });
+  return forest;
+}
+
+std::string render_tree(
+    const std::vector<std::unique_ptr<TreeNode>>& forest) {
+  std::string out;
+  for (const auto& node : forest) render_node(*node, out);
+  return out;
+}
+
+const TreeNode* find_node(
+    const std::vector<std::unique_ptr<TreeNode>>& forest,
+    const std::string& path) {
+  const auto parts = support::split(path, '/');
+  const std::vector<std::unique_ptr<TreeNode>>* level = &forest;
+  const TreeNode* current = nullptr;
+  for (const auto& raw : parts) {
+    const std::string want{support::trim(raw)};
+    current = nullptr;
+    for (const auto& node : *level) {
+      if (node->label == want) {
+        current = node.get();
+        break;
+      }
+    }
+    if (current == nullptr) return nullptr;
+    level = &current->children;
+  }
+  return current;
+}
+
+}  // namespace mpisect::profiler

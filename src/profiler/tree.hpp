@@ -1,0 +1,47 @@
+// Hierarchical section-tree report.
+//
+// Sections nest perfectly (the runtime enforces it), so the retained
+// instance spans of a keep_instances profile reconstruct into a tree — the
+// profiler analogue of a call-tree, with phases instead of functions
+// (paper Sec. 5.3: sections give tools "an execution state with more
+// semantic than the call-stack"). Inclusive time aggregates over instances
+// and averages over ranks; exclusive time subtracts direct children.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "profiler/section_profiler.hpp"
+
+namespace mpisect::profiler {
+
+struct TreeNode {
+  std::string label;
+  int depth = 0;
+  long instances = 0;       ///< per-rank instance count (max over ranks)
+  double inclusive = 0.0;   ///< mean over ranks of summed instance spans
+  double exclusive = 0.0;   ///< inclusive minus direct children
+  double share_of_parent = 1.0;  ///< inclusive / parent inclusive
+  std::vector<std::unique_ptr<TreeNode>> children;  ///< ordered by time desc
+};
+
+/// Build the section tree from a keep_instances profile. Children with the
+/// same label under the same parent merge (e.g. 1000 HALO instances are
+/// one node with instances = 1000). Returns the forest of root sections
+/// (normally just MPI_MAIN).
+[[nodiscard]] std::vector<std::unique_ptr<TreeNode>> build_section_tree(
+    const SectionProfiler& prof);
+
+/// Render the tree with indentation, inclusive/exclusive seconds and the
+/// percentage of the parent each node accounts for.
+[[nodiscard]] std::string render_tree(
+    const std::vector<std::unique_ptr<TreeNode>>& forest);
+
+/// Find a node by " / "-joined path (e.g. "MPI_MAIN / timeloop /
+/// LagrangeNodal"); nullptr if absent.
+[[nodiscard]] const TreeNode* find_node(
+    const std::vector<std::unique_ptr<TreeNode>>& forest,
+    const std::string& path);
+
+}  // namespace mpisect::profiler

@@ -1,0 +1,125 @@
+#include "support/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/strings.hpp"
+
+namespace mpisect::support {
+namespace {
+
+constexpr const char kGlyphs[] = "*o+x#@%&";
+
+double transform(double v, bool log_scale) {
+  if (!log_scale) return v;
+  return std::log2(std::max(v, 1e-300));
+}
+
+}  // namespace
+
+std::string line_chart(const std::vector<Series>& series,
+                       const ChartOptions& opts) {
+  const int w = std::max(opts.width, 10);
+  const int h = std::max(opts.height, 4);
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < std::min(s.x.size(), s.y.size()); ++i) {
+      const double tx = transform(s.x[i], opts.log_x);
+      const double ty = transform(s.y[i], opts.log_y);
+      xmin = std::min(xmin, tx);
+      xmax = std::max(xmax, tx);
+      ymin = std::min(ymin, ty);
+      ymax = std::max(ymax, ty);
+    }
+  }
+  if (!std::isfinite(xmin) || !std::isfinite(ymin)) return "(empty chart)\n";
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof kGlyphs - 1)];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < std::min(s.x.size(), s.y.size()); ++i) {
+      const double tx = transform(s.x[i], opts.log_x);
+      const double ty = transform(s.y[i], opts.log_y);
+      int col = static_cast<int>(std::lround((tx - xmin) / (xmax - xmin) *
+                                             (w - 1)));
+      int row = static_cast<int>(std::lround((ty - ymin) / (ymax - ymin) *
+                                             (h - 1)));
+      col = std::clamp(col, 0, w - 1);
+      row = std::clamp(row, 0, h - 1);
+      // Row 0 is the top of the plot.
+      grid[static_cast<std::size_t>(h - 1 - row)]
+          [static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  std::string out;
+  if (!opts.title.empty()) out += "  " + opts.title + "\n";
+  const std::string ylab_hi =
+      fmt_auto(opts.log_y ? std::exp2(ymax) : ymax);
+  const std::string ylab_lo =
+      fmt_auto(opts.log_y ? std::exp2(ymin) : ymin);
+  const std::size_t margin = std::max(ylab_hi.size(), ylab_lo.size());
+  for (int r = 0; r < h; ++r) {
+    std::string label(margin, ' ');
+    if (r == 0) label = pad_left(ylab_hi, margin);
+    if (r == h - 1) label = pad_left(ylab_lo, margin);
+    out += label + " |" + grid[static_cast<std::size_t>(r)] + "\n";
+  }
+  out += std::string(margin, ' ') + " +" + std::string(static_cast<std::size_t>(w), '-') + "\n";
+  const std::string xlab_lo = fmt_auto(opts.log_x ? std::exp2(xmin) : xmin);
+  const std::string xlab_hi = fmt_auto(opts.log_x ? std::exp2(xmax) : xmax);
+  std::string xaxis = std::string(margin, ' ') + "  " + xlab_lo;
+  const std::size_t room = margin + 2 + static_cast<std::size_t>(w);
+  if (xaxis.size() + xlab_hi.size() < room) {
+    xaxis += std::string(room - xaxis.size() - xlab_hi.size(), ' ');
+  }
+  xaxis += xlab_hi;
+  out += xaxis + "\n";
+  if (!opts.x_label.empty()) {
+    out += std::string(margin, ' ') + "  x: " + opts.x_label +
+           (opts.log_x ? " (log2)" : "") + "\n";
+  }
+  if (!opts.y_label.empty()) {
+    out += std::string(margin, ' ') + "  y: " + opts.y_label +
+           (opts.log_y ? " (log2)" : "") + "\n";
+  }
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += std::string(margin, ' ') + "  " +
+           kGlyphs[si % (sizeof kGlyphs - 1)] + " = " + series[si].name + "\n";
+  }
+  return out;
+}
+
+std::string bar_chart(const std::vector<std::string>& labels,
+                      const std::vector<double>& values, int width,
+                      const std::string& title) {
+  std::string out;
+  if (!title.empty()) out += "  " + title + "\n";
+  const std::size_t n = std::min(labels.size(), values.size());
+  double vmax = 0.0;
+  std::size_t lw = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    vmax = std::max(vmax, values[i]);
+    lw = std::max(lw, labels[i].size());
+  }
+  if (vmax <= 0.0) vmax = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int bar = static_cast<int>(
+        std::lround(values[i] / vmax * std::max(width, 1)));
+    out += "  " + pad_right(labels[i], lw) + " |" +
+           std::string(static_cast<std::size_t>(std::max(bar, 0)), '#') + " " +
+           fmt_auto(values[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace mpisect::support

@@ -1,0 +1,41 @@
+// ASCII charts so bench binaries can render figure-shaped output directly
+// in a terminal (the paper's figures are line/stacked-bar charts; we print
+// the series plus a sketch so "who wins / where the crossover is" is visible
+// without plotting tools).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpisect::support {
+
+/// A named series of (x, y) points. x values may differ between series.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct ChartOptions {
+  int width = 72;        ///< plot area columns
+  int height = 20;       ///< plot area rows
+  bool log_x = false;    ///< logarithmic x axis (base 2, for core counts)
+  bool log_y = false;    ///< logarithmic y axis
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Render one or more series as an ASCII line chart. Each series is drawn
+/// with a distinct glyph and listed in a legend below the chart.
+[[nodiscard]] std::string line_chart(const std::vector<Series>& series,
+                                     const ChartOptions& opts);
+
+/// Horizontal bar chart for a single categorical series (e.g. percentage of
+/// execution time per section).
+[[nodiscard]] std::string bar_chart(const std::vector<std::string>& labels,
+                                    const std::vector<double>& values,
+                                    int width = 50,
+                                    const std::string& title = {});
+
+}  // namespace mpisect::support

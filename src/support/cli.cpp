@@ -1,0 +1,132 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "support/strings.hpp"
+
+namespace mpisect::support {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_int(const std::string& name, long long def,
+                        const std::string& help) {
+  options_[name] = Option{Kind::Int, help, std::to_string(def)};
+  order_.push_back(name);
+}
+
+void ArgParser::add_double(const std::string& name, double def,
+                           const std::string& help) {
+  options_[name] = Option{Kind::Double, help, std::to_string(def)};
+  order_.push_back(name);
+}
+
+void ArgParser::add_string(const std::string& name, std::string def,
+                           const std::string& help) {
+  options_[name] = Option{Kind::String, help, std::move(def)};
+  order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{Kind::Flag, help, "0"};
+  order_.push_back(name);
+}
+
+bool ArgParser::set_value(const std::string& name, const std::string& value) {
+  auto it = options_.find(name);
+  if (it == options_.end()) return false;
+  it->second.value = value;
+  it->second.flag_set = true;
+  return true;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      std::fprintf(stderr, "%s: unexpected argument '%s'\n%s",
+                   program_.c_str(), arg.c_str(), usage().c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "%s: unknown option '--%s'\n%s", program_.c_str(),
+                   arg.c_str(), usage().c_str());
+      return false;
+    }
+    if (it->second.kind == Kind::Flag) {
+      it->second.value = has_value ? value : "1";
+      it->second.flag_set = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: option '--%s' requires a value\n",
+                     program_.c_str(), arg.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    set_value(arg, value);
+  }
+  return true;
+}
+
+const ArgParser::Option& ArgParser::require(const std::string& name,
+                                            Kind kind) const {
+  auto it = options_.find(name);
+  if (it == options_.end() || it->second.kind != kind) {
+    throw std::logic_error("ArgParser: undeclared option '" + name + "'");
+  }
+  return it->second;
+}
+
+long long ArgParser::get_int(const std::string& name) const {
+  return std::strtoll(require(name, Kind::Int).value.c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::strtod(require(name, Kind::Double).value.c_str(), nullptr);
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return require(name, Kind::String).value;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  return require(name, Kind::Flag).value != "0";
+}
+
+std::string ArgParser::usage() const {
+  std::string out = program_ + " — " + description_ + "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const auto& opt = options_.at(name);
+    std::string left = "  --" + name;
+    switch (opt.kind) {
+      case Kind::Int: left += " <int>"; break;
+      case Kind::Double: left += " <float>"; break;
+      case Kind::String: left += " <str>"; break;
+      case Kind::Flag: break;
+    }
+    out += pad_right(left, 28) + opt.help;
+    if (opt.kind != Kind::Flag) out += " (default: " + opt.value + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mpisect::support

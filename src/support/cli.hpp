@@ -1,0 +1,57 @@
+// Tiny declarative command-line parser for examples and bench harnesses.
+//
+//   ArgParser args("bench_fig5", "Reproduce Fig. 5");
+//   args.add_int("procs", 64, "number of MPI ranks");
+//   args.add_flag("csv", "emit CSV instead of tables");
+//   if (!args.parse(argc, argv)) return 1;   // prints usage on --help/-h
+//   int p = args.get_int("procs");
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mpisect::support {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  void add_int(const std::string& name, long long def,
+               const std::string& help);
+  void add_double(const std::string& name, double def,
+                  const std::string& help);
+  void add_string(const std::string& name, std::string def,
+                  const std::string& help);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse `--name value`, `--name=value` and `--flag` forms. Returns false
+  /// (after printing usage) on `--help` or on a malformed/unknown argument.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] long long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { Int, Double, String, Flag };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // textual; parsed on get
+    bool flag_set = false;
+  };
+
+  bool set_value(const std::string& name, const std::string& value);
+  const Option& require(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace mpisect::support

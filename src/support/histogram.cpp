@@ -1,0 +1,87 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/strings.hpp"
+
+namespace mpisect::support {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  if (bins < 1 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: need bins >= 1 and hi > lo");
+  }
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+Histogram Histogram::from_samples(const std::vector<double>& xs, int bins) {
+  double lo = 0.0;
+  double hi = 1.0;
+  if (!xs.empty()) {
+    lo = *std::min_element(xs.begin(), xs.end());
+    hi = *std::max_element(xs.begin(), xs.end());
+  }
+  if (!(hi > lo)) hi = lo + 1.0;
+  const double pad = (hi - lo) * 0.05;
+  Histogram h(lo - pad, hi + pad, bins);
+  for (const double x : xs) h.add(x);
+  return h;
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  int bin = static_cast<int>(t * bins());
+  bin = std::clamp(bin, 0, bins() - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+long Histogram::bin_count(int bin) const {
+  return counts_.at(static_cast<std::size_t>(bin));
+}
+
+double Histogram::bin_lo(int bin) const {
+  return lo_ + (hi_ - lo_) * bin / bins();
+}
+
+double Histogram::bin_hi(int bin) const {
+  return lo_ + (hi_ - lo_) * (bin + 1) / bins();
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (int b = 0; b < bins(); ++b) {
+    const double next = cum + static_cast<double>(bin_count(b));
+    if (next >= target) {
+      // Linear interpolation inside the bin.
+      const double frac =
+          bin_count(b) > 0
+              ? (target - cum) / static_cast<double>(bin_count(b))
+              : 0.0;
+      return bin_lo(b) + (bin_hi(b) - bin_lo(b)) * frac;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(int width) const {
+  long max_count = 1;
+  for (const long c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  for (int b = 0; b < bins(); ++b) {
+    const auto bar = static_cast<std::size_t>(
+        std::lround(static_cast<double>(bin_count(b)) /
+                    static_cast<double>(max_count) * std::max(width, 1)));
+    out += "  [" + pad_left(fmt_auto(bin_lo(b)), 10) + ", " +
+           pad_left(fmt_auto(bin_hi(b)), 10) + ") |" +
+           std::string(bar, '#') + " " + std::to_string(bin_count(b)) + "\n";
+  }
+  return out;
+}
+
+}  // namespace mpisect::support

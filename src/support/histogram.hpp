@@ -1,0 +1,42 @@
+// Fixed-bin histogram with ASCII rendering — used by the bench harnesses to
+// show run-to-run spread (e.g. the per-seed wobble of Fig. 6's HALO totals)
+// without external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpisect::support {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins spanning [lo, hi]; samples outside clamp to
+  /// the edge bins. Requires bins >= 1 and hi > lo.
+  Histogram(double lo, double hi, int bins);
+
+  /// Build with automatic range from the samples (padded 5% each side).
+  static Histogram from_samples(const std::vector<double>& xs, int bins = 10);
+
+  void add(double x) noexcept;
+  [[nodiscard]] long count() const noexcept { return total_; }
+  [[nodiscard]] long bin_count(int bin) const;
+  [[nodiscard]] double bin_lo(int bin) const;
+  [[nodiscard]] double bin_hi(int bin) const;
+  [[nodiscard]] int bins() const noexcept {
+    return static_cast<int>(counts_.size());
+  }
+
+  /// Approximate quantile from the binned data (q in [0,1]).
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Horizontal ASCII rendering, one row per bin.
+  [[nodiscard]] std::string render(int width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<long> counts_;
+  long total_ = 0;
+};
+
+}  // namespace mpisect::support

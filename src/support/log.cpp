@@ -1,0 +1,56 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace mpisect::support {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mutex;
+std::string* g_capture = nullptr;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "trace";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void set_log_capture(std::string* sink) noexcept {
+  const std::lock_guard lock(g_mutex);
+  g_capture = sink;
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+
+  const std::lock_guard lock(g_mutex);
+  if (g_capture != nullptr) {
+    *g_capture += "[";
+    *g_capture += level_name(level);
+    *g_capture += "] ";
+    *g_capture += buf;
+    *g_capture += "\n";
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), buf);
+  }
+}
+
+}  // namespace mpisect::support

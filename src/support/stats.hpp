@@ -1,0 +1,66 @@
+// Streaming and batch descriptive statistics.
+//
+// RunningStats implements Welford's online algorithm so that per-rank timing
+// accumulators never need to retain samples. Batch helpers (percentile,
+// confidence intervals) operate on explicit sample vectors and are used by
+// the benchmark harnesses when averaging repeated runs, mirroring the
+// paper's "runs were done twenty times and averaged" protocol.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace mpisect::support {
+
+/// Online mean/variance/min/max accumulator (Welford). O(1) per sample.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  /// Merge another accumulator into this one (parallel-friendly reduction).
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  /// Coefficient of variation (stddev/mean); 0 when the mean is 0.
+  [[nodiscard]] double cv() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Arithmetic mean of a sample set; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+/// Unbiased sample variance; 0 for fewer than two samples.
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+/// Linear-interpolated percentile, q in [0,1]. Copies + sorts internally.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+/// Half-width of the ~95% normal-approximation confidence interval.
+[[nodiscard]] double ci95_halfwidth(std::span<const double> xs) noexcept;
+/// Median absolute deviation (robust spread estimate).
+[[nodiscard]] double mad(std::span<const double> xs);
+
+/// Simple ordinary-least-squares line fit y = a + b*x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+[[nodiscard]] LinearFit fit_line(std::span<const double> x,
+                                 std::span<const double> y) noexcept;
+
+}  // namespace mpisect::support

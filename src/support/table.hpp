@@ -1,0 +1,41 @@
+// Aligned text tables for bench/report output.
+//
+// Every figure/table harness in bench/ renders through TextTable so the
+// regenerated paper artifacts share one consistent, diffable format.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpisect::support {
+
+class TextTable {
+ public:
+  enum class Align { Left, Right };
+
+  /// Define the header row. Column count is fixed afterwards.
+  void set_header(std::vector<std::string> header);
+  /// Per-column alignment (defaults to Right for all columns).
+  void set_align(std::vector<Align> align);
+  /// Append a data row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+  /// Convenience: format doubles with a fixed precision.
+  void add_row_numeric(std::string_view label,
+                       const std::vector<double>& values, int precision = 2);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+  /// Render with box-drawing separators.
+  [[nodiscard]] std::string render() const;
+  /// Render as CSV (no padding).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpisect::support

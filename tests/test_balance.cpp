@@ -1,0 +1,117 @@
+// Load-balancing analysis interface (paper Sec. 8 future work).
+#include <gtest/gtest.h>
+
+#include "core/sections/api.hpp"
+#include "profiler/balance.hpp"
+
+namespace {
+
+using namespace mpisect;
+using namespace mpisect::profiler;
+using mpisim::Comm;
+using mpisim::Ctx;
+using mpisim::MachineModel;
+using mpisim::World;
+using mpisim::WorldOptions;
+
+WorldOptions ideal_options() {
+  WorldOptions opts;
+  opts.machine = MachineModel::ideal();
+  return opts;
+}
+
+TEST(Balance, PerfectlyBalancedSection) {
+  World world(4, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world);
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    sections::MPIX_Section_enter(comm, "even");
+    ctx.compute_exact(1.0);
+    sections::MPIX_Section_exit(comm, "even");
+  });
+  const auto b = section_balance(prof, "even");
+  EXPECT_EQ(b.ranks, 4);
+  EXPECT_NEAR(b.mean_time, 1.0, 1e-9);
+  EXPECT_NEAR(b.imbalance_pct, 0.0, 1e-6);
+  EXPECT_NEAR(b.imbalance_cost, 0.0, 1e-6);
+  EXPECT_NEAR(b.gini, 0.0, 1e-9);
+}
+
+TEST(Balance, SkewedSectionIdentifiesCulprit) {
+  World world(4, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world);
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    sections::MPIX_Section_enter(comm, "skewed");
+    ctx.compute_exact(ctx.rank() == 2 ? 4.0 : 1.0);
+    sections::MPIX_Section_exit(comm, "skewed");
+  });
+  const auto b = section_balance(prof, "skewed");
+  EXPECT_EQ(b.heaviest_rank, 2);
+  EXPECT_NE(b.lightest_rank, 2);
+  EXPECT_NEAR(b.mean_time, 1.75, 1e-9);
+  // max/mean - 1 = 4/1.75 - 1 ~ 128.6%.
+  EXPECT_NEAR(b.imbalance_pct, (4.0 / 1.75 - 1.0) * 100.0, 1e-6);
+  // (max - mean) * ranks = 2.25 * 4 = 9 processor-seconds lost.
+  EXPECT_NEAR(b.imbalance_cost, 9.0, 1e-6);
+  EXPECT_GT(b.gini, 0.2);
+}
+
+TEST(Balance, GiniApproachesOneForConcentration) {
+  World world(8, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world);
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    sections::MPIX_Section_enter(comm, "solo");
+    if (ctx.rank() == 0) ctx.compute_exact(10.0);
+    sections::MPIX_Section_exit(comm, "solo");
+  });
+  const auto b = section_balance(prof, "solo");
+  EXPECT_GT(b.gini, 0.8);  // one rank does everything
+}
+
+TEST(Balance, ReportSortedByCost) {
+  World world(4, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world);
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    sections::MPIX_Section_enter(comm, "mild");
+    ctx.compute_exact(ctx.rank() == 0 ? 1.2 : 1.0);
+    sections::MPIX_Section_exit(comm, "mild");
+    sections::MPIX_Section_enter(comm, "severe");
+    ctx.compute_exact(ctx.rank() == 0 ? 8.0 : 1.0);
+    sections::MPIX_Section_exit(comm, "severe");
+  });
+  const auto report = balance_report(prof);
+  ASSERT_GE(report.size(), 3u);  // mild, severe, MPI_MAIN
+  for (std::size_t i = 1; i < report.size(); ++i) {
+    EXPECT_LE(report[i].imbalance_cost, report[i - 1].imbalance_cost);
+  }
+  // "severe" costs more processor-seconds than "mild" and sorts earlier
+  // (MPI_MAIN, which absorbs both, may legitimately rank first).
+  std::size_t severe_pos = report.size();
+  std::size_t mild_pos = report.size();
+  for (std::size_t i = 0; i < report.size(); ++i) {
+    if (report[i].label == "severe") severe_pos = i;
+    if (report[i].label == "mild") mild_pos = i;
+  }
+  EXPECT_LT(severe_pos, mild_pos);
+  const std::string text = render_balance(report);
+  EXPECT_NE(text.find("severe"), std::string::npos);
+  EXPECT_NE(text.find("rank 0"), std::string::npos);
+}
+
+TEST(Balance, UnknownLabelEmpty) {
+  World world(2, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world);
+  world.run([](Ctx&) {});
+  const auto b = section_balance(prof, "never-entered");
+  EXPECT_EQ(b.ranks, 0);
+}
+
+}  // namespace

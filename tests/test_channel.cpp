@@ -1,0 +1,174 @@
+// Direct unit tests of the matching engine (Channel) — below the Comm
+// layer, exercising matching rules and virtual-time math in isolation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "mpisim/channel.hpp"
+#include "mpisim/error.hpp"
+
+namespace {
+
+using namespace mpisect::mpisim;
+
+MessagePtr make_msg(int src, int tag, double t_send, double cost,
+                    bool rendezvous = false, std::size_t bytes = 8) {
+  auto msg = std::make_shared<Message>();
+  msg->src = src;
+  msg->tag = tag;
+  msg->bytes = bytes;
+  msg->t_send_start = t_send;
+  msg->wire_cost = cost;
+  msg->t_avail = t_send + cost;
+  msg->rendezvous = rendezvous;
+  return msg;
+}
+
+PostedRecvPtr make_recv(int src, int tag, double t_post,
+                        std::size_t max_bytes = 64) {
+  auto pr = std::make_shared<PostedRecv>();
+  pr->src = src;
+  pr->tag = tag;
+  pr->t_post = t_post;
+  pr->max_bytes = max_bytes;
+  return pr;
+}
+
+TEST(Channel, DepositThenPostMatches) {
+  std::atomic<bool> abort{false};
+  Channel ch(&abort);
+  ch.deposit(make_msg(0, 5, 1.0, 0.25));
+  EXPECT_EQ(ch.pending_messages(), 1u);
+  auto pr = make_recv(0, 5, 2.0);
+  ch.post(pr);
+  EXPECT_EQ(ch.pending_messages(), 0u);
+  const Status st = ch.wait_recv(pr);
+  EXPECT_EQ(st.source, 0);
+  EXPECT_EQ(st.tag, 5);
+  // Eager: delivery at max(t_post, t_avail) = max(2.0, 1.25) = 2.0.
+  EXPECT_DOUBLE_EQ(st.t_complete, 2.0);
+}
+
+TEST(Channel, PostThenDepositMatches) {
+  std::atomic<bool> abort{false};
+  Channel ch(&abort);
+  auto pr = make_recv(0, 5, 0.5);
+  ch.post(pr);
+  EXPECT_EQ(ch.pending_recvs(), 1u);
+  ch.deposit(make_msg(0, 5, 1.0, 0.25));
+  EXPECT_EQ(ch.pending_recvs(), 0u);
+  // Receiver was early: delivery at t_avail = 1.25.
+  EXPECT_DOUBLE_EQ(ch.wait_recv(pr).t_complete, 1.25);
+}
+
+TEST(Channel, RendezvousDeliveryFromMatchPoint) {
+  std::atomic<bool> abort{false};
+  Channel ch(&abort);
+  auto msg = make_msg(0, 1, 1.0, 0.5, /*rendezvous=*/true);
+  ch.deposit(msg);
+  auto pr = make_recv(0, 1, 3.0);
+  ch.post(pr);
+  // Rendezvous: transfer starts at max(t_send, t_post) = 3.0 -> 3.5.
+  EXPECT_DOUBLE_EQ(ch.wait_recv(pr).t_complete, 3.5);
+  EXPECT_DOUBLE_EQ(ch.wait_delivered(msg), 3.5);
+}
+
+TEST(Channel, TagFiltering) {
+  std::atomic<bool> abort{false};
+  Channel ch(&abort);
+  ch.deposit(make_msg(0, 1, 1.0, 0.1));
+  ch.deposit(make_msg(0, 2, 1.0, 0.1));
+  auto pr = make_recv(0, 2, 1.0);
+  ch.post(pr);
+  EXPECT_EQ(ch.wait_recv(pr).tag, 2);
+  EXPECT_EQ(ch.pending_messages(), 1u);  // the tag-1 message remains
+}
+
+TEST(Channel, WildcardsMatchFirstArrived) {
+  std::atomic<bool> abort{false};
+  Channel ch(&abort);
+  ch.deposit(make_msg(3, 7, 1.0, 0.1));
+  ch.deposit(make_msg(1, 9, 1.0, 0.1));
+  auto pr = make_recv(kAnySource, kAnyTag, 1.0);
+  ch.post(pr);
+  const Status st = ch.wait_recv(pr);
+  EXPECT_EQ(st.source, 3);  // queue order
+  EXPECT_EQ(st.tag, 7);
+}
+
+TEST(Channel, PostedRecvOrderRespected) {
+  std::atomic<bool> abort{false};
+  Channel ch(&abort);
+  auto pr1 = make_recv(0, kAnyTag, 1.0);
+  auto pr2 = make_recv(0, kAnyTag, 2.0);
+  ch.post(pr1);
+  ch.post(pr2);
+  ch.deposit(make_msg(0, 4, 0.0, 0.1));
+  EXPECT_TRUE(ch.test_recv(pr1));   // earliest posted matches first
+  EXPECT_FALSE(ch.test_recv(pr2));
+}
+
+TEST(Channel, PayloadCopiedOnMatch) {
+  std::atomic<bool> abort{false};
+  Channel ch(&abort);
+  auto msg = make_msg(0, 0, 0.0, 0.0, false, 4);
+  const std::byte payload[4] = {std::byte{1}, std::byte{2}, std::byte{3},
+                                std::byte{4}};
+  msg->payload.assign(payload, payload + 4);
+  ch.deposit(msg);
+  std::byte out[4] = {};
+  auto pr = make_recv(0, 0, 0.0);
+  pr->buf = out;
+  pr->max_bytes = 4;
+  ch.post(pr);
+  ch.wait_recv(pr);
+  EXPECT_EQ(out[3], std::byte{4});
+}
+
+TEST(Channel, TruncationFlaggedAtWait) {
+  std::atomic<bool> abort{false};
+  Channel ch(&abort);
+  ch.deposit(make_msg(0, 0, 0.0, 0.0, false, /*bytes=*/128));
+  auto pr = make_recv(0, 0, 0.0, /*max_bytes=*/16);
+  ch.post(pr);
+  EXPECT_THROW(ch.wait_recv(pr), MpiError);
+}
+
+TEST(Channel, ProbeDoesNotConsume) {
+  std::atomic<bool> abort{false};
+  Channel ch(&abort);
+  ch.deposit(make_msg(2, 6, 1.0, 0.5));
+  const Status st = ch.probe(2, 6, 0.0);
+  EXPECT_EQ(st.bytes, 8u);
+  EXPECT_DOUBLE_EQ(st.t_complete, 1.5);  // availability
+  EXPECT_EQ(ch.pending_messages(), 1u);
+}
+
+TEST(Channel, AbortWakesBlockedWaiter) {
+  std::atomic<bool> abort{false};
+  Channel ch(&abort);
+  auto pr = make_recv(0, 0, 0.0);
+  ch.post(pr);
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    abort.store(true);
+  });
+  EXPECT_THROW(ch.wait_recv(pr), MpiError);
+  killer.join();
+}
+
+TEST(Channel, AbortWakesRendezvousSender) {
+  std::atomic<bool> abort{false};
+  Channel ch(&abort);
+  auto msg = make_msg(0, 0, 0.0, 1.0, /*rendezvous=*/true);
+  ch.deposit(msg);
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    abort.store(true);
+  });
+  EXPECT_THROW((void)ch.wait_delivered(msg), MpiError);
+  killer.join();
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// Collective algorithm selection: binomial scatter/gather must be
+// byte-identical to the linear algorithms for every rank count and root,
+// and show the expected latency structure.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpisim/runtime.hpp"
+
+namespace {
+
+using namespace mpisect::mpisim;
+
+WorldOptions options_with(CollAlgo scatter, CollAlgo gather) {
+  WorldOptions opts;
+  opts.machine = MachineModel::ideal();
+  opts.scatter_algo = scatter;
+  opts.gather_algo = gather;
+  return opts;
+}
+
+struct Case {
+  int p;
+  int root;
+};
+
+class BinomialSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BinomialSweep, ScatterMatchesLinearSemantics) {
+  const auto [p, root] = GetParam();
+  World world(p, options_with(CollAlgo::Binomial, CollAlgo::Binomial));
+  world.run([p = p, root = root](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    const int chunk = 3;
+    std::vector<int> all;
+    if (ctx.rank() == root) {
+      all.resize(static_cast<std::size_t>(p) * chunk);
+      std::iota(all.begin(), all.end(), 500);
+    }
+    std::vector<int> mine(chunk, -1);
+    comm.scatter(ctx.rank() == root ? all.data() : nullptr,
+                 chunk * sizeof(int), mine.data(), root);
+    for (int i = 0; i < chunk; ++i) {
+      EXPECT_EQ(mine[static_cast<std::size_t>(i)],
+                500 + ctx.rank() * chunk + i)
+          << "p=" << p << " root=" << root << " rank=" << ctx.rank();
+    }
+  });
+}
+
+TEST_P(BinomialSweep, GatherMatchesLinearSemantics) {
+  const auto [p, root] = GetParam();
+  World world(p, options_with(CollAlgo::Binomial, CollAlgo::Binomial));
+  world.run([p = p, root = root](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    const long mine[2] = {ctx.rank() * 10L, ctx.rank() * 10L + 1};
+    std::vector<long> all;
+    if (ctx.rank() == root) all.assign(static_cast<std::size_t>(p) * 2, -1);
+    comm.gather(mine, sizeof mine, ctx.rank() == root ? all.data() : nullptr,
+                root);
+    if (ctx.rank() == root) {
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(r) * 2], r * 10L);
+        EXPECT_EQ(all[static_cast<std::size_t>(r) * 2 + 1], r * 10L + 1);
+      }
+    }
+  });
+}
+
+TEST_P(BinomialSweep, ScatterGatherRoundtrip) {
+  const auto [p, root] = GetParam();
+  World world(p, options_with(CollAlgo::Binomial, CollAlgo::Binomial));
+  world.run([p = p, root = root](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    std::vector<double> all;
+    if (ctx.rank() == root) {
+      all.resize(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) all[static_cast<std::size_t>(r)] = r * 1.5;
+    }
+    double mine = -1.0;
+    comm.scatter(ctx.rank() == root ? all.data() : nullptr, sizeof(double),
+                 &mine, root);
+    mine += 100.0;
+    std::vector<double> back;
+    if (ctx.rank() == root) back.assign(static_cast<std::size_t>(p), -1.0);
+    comm.gather(&mine, sizeof mine,
+                ctx.rank() == root ? back.data() : nullptr, root);
+    if (ctx.rank() == root) {
+      for (int r = 0; r < p; ++r) {
+        EXPECT_DOUBLE_EQ(back[static_cast<std::size_t>(r)], r * 1.5 + 100.0);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndRoots, BinomialSweep,
+    ::testing::Values(Case{1, 0}, Case{2, 0}, Case{2, 1}, Case{3, 1},
+                      Case{4, 0}, Case{5, 4}, Case{7, 3}, Case{8, 0},
+                      Case{13, 7}, Case{16, 15}));
+
+TEST(BinomialAlgo, ModeledModeAdvancesTime) {
+  World world(8, options_with(CollAlgo::Binomial, CollAlgo::Binomial));
+  std::vector<double> t(8);
+  world.run([&](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    comm.scatter(nullptr, 1 << 18, nullptr, 0);
+    comm.gather(nullptr, 1 << 18, nullptr, 0);
+    t[static_cast<std::size_t>(ctx.rank())] = ctx.now();
+  });
+  for (const double x : t) EXPECT_GT(x, 0.0);
+}
+
+TEST(BinomialAlgo, RootSendsLogarithmicallyManyMessages) {
+  // With 16 ranks, linear scatter makes the root send 15 messages;
+  // binomial only log2(16) = 4 (counted via internal send sequences is not
+  // exposed, so compare the roots' virtual *exit* times: fewer sequential
+  // sends = earlier exit for small eager chunks where only the per-send
+  // overhead matters).
+  auto root_exit = [](CollAlgo algo) {
+    WorldOptions opts = options_with(algo, CollAlgo::Linear);
+    World world(16, opts);
+    std::vector<double> t(16);
+    world.run([&](Ctx& ctx) {
+      Comm comm = ctx.world_comm();
+      comm.scatter(nullptr, 64, nullptr, 0);  // 64 B eager chunks
+      t[static_cast<std::size_t>(ctx.rank())] = ctx.now();
+    });
+    return t[0];
+  };
+  EXPECT_LT(root_exit(CollAlgo::Binomial), root_exit(CollAlgo::Linear));
+}
+
+TEST(BinomialAlgo, ConvergesToSameDataAsLinearLargePayload) {
+  // Rendezvous-size chunks across both algorithms.
+  for (const CollAlgo algo : {CollAlgo::Linear, CollAlgo::Binomial}) {
+    World world(6, options_with(algo, algo));
+    world.run([](Ctx& ctx) {
+      Comm comm = ctx.world_comm();
+      const std::size_t chunk = 32 * 1024;  // over the eager threshold
+      std::vector<std::uint8_t> all;
+      if (ctx.rank() == 0) {
+        all.resize(6 * chunk);
+        for (std::size_t i = 0; i < all.size(); ++i) {
+          all[i] = static_cast<std::uint8_t>(i * 31);
+        }
+      }
+      std::vector<std::uint8_t> mine(chunk, 0);
+      comm.scatter(ctx.rank() == 0 ? all.data() : nullptr, chunk,
+                   mine.data(), 0);
+      bool ok = true;
+      const std::size_t base = static_cast<std::size_t>(ctx.rank()) * chunk;
+      for (std::size_t i = 0; i < chunk; ++i) {
+        ok = ok && mine[i] == static_cast<std::uint8_t>((base + i) * 31);
+      }
+      EXPECT_TRUE(ok);
+    });
+  }
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+// Image container, PPM codec, stencil kernels and row decomposition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/convolution/decomp.hpp"
+#include "apps/convolution/image.hpp"
+#include "apps/convolution/stencil.hpp"
+#include "mpisim/error.hpp"
+
+namespace {
+
+using namespace mpisect::apps::conv;
+
+TEST(ImageTest, DimensionsAndIndexing) {
+  Image img(4, 3);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.pixel_count(), 12u);
+  EXPECT_EQ(img.value_count(), 36u);
+  EXPECT_EQ(img.bytes(), 36u * sizeof(double));
+  img.at(2, 1, 1) = 0.5;
+  EXPECT_DOUBLE_EQ(img.at(2, 1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(img.row(1)[2 * kChannels + 1], 0.5);
+}
+
+TEST(ImageTest, ChecksumAndDiff) {
+  Image a(2, 2);
+  a.at(0, 0, 0) = 1.0;
+  a.at(1, 1, 2) = 2.0;
+  EXPECT_DOUBLE_EQ(a.checksum(), 3.0);
+  Image b(2, 2);
+  EXPECT_DOUBLE_EQ(a.mean_abs_diff(b), 3.0 / 12.0);
+  Image c(3, 2);
+  EXPECT_TRUE(std::isinf(a.mean_abs_diff(c)));
+}
+
+TEST(ImageTest, ProceduralImageDeterministic) {
+  const Image a = make_test_image(32, 24, 7);
+  const Image b = make_test_image(32, 24, 7);
+  const Image c = make_test_image(32, 24, 8);
+  EXPECT_DOUBLE_EQ(a.mean_abs_diff(b), 0.0);
+  EXPECT_GT(a.mean_abs_diff(c), 0.0);
+  for (int y = 0; y < 24; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      for (int ch = 0; ch < kChannels; ++ch) {
+        EXPECT_GE(a.at(x, y, ch), 0.0);
+        EXPECT_LE(a.at(x, y, ch), 1.0);
+      }
+    }
+  }
+}
+
+TEST(PpmCodec, Roundtrip8Bit) {
+  const Image original = make_test_image(17, 11, 3);
+  const Image decoded = decode_ppm(encode_ppm(original));
+  EXPECT_EQ(decoded.width(), 17);
+  EXPECT_EQ(decoded.height(), 11);
+  // 8-bit quantization: max error 1/255 per value (~0.002 mean).
+  EXPECT_LT(original.mean_abs_diff(decoded), 1.0 / 255.0);
+}
+
+TEST(PpmCodec, RejectsGarbage) {
+  EXPECT_THROW(decode_ppm({'P', '5', '\n'}), std::runtime_error);
+  EXPECT_THROW(decode_ppm({}), std::runtime_error);
+  // Truncated pixel data.
+  auto bytes = encode_ppm(make_test_image(4, 4));
+  bytes.resize(bytes.size() - 10);
+  EXPECT_THROW(decode_ppm(bytes), std::runtime_error);
+}
+
+TEST(Kernels, Normalization) {
+  for (const auto& k : {Kernel3x3::mean_filter(), Kernel3x3::gaussian(),
+                        Kernel3x3::identity()}) {
+    double sum = 0.0;
+    for (const double w : k.w) sum += w;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Stencil, IdentityKernelPreservesImage) {
+  const Image img = make_test_image(16, 12, 9);
+  Image out(16, 12);
+  apply_stencil_rows(img, out, 0, 12, Kernel3x3::identity());
+  EXPECT_NEAR(img.mean_abs_diff(out), 0.0, 1e-15);
+}
+
+TEST(Stencil, MeanFilterSmoothesConstantImageExactly) {
+  Image img(8, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      for (int c = 0; c < kChannels; ++c) img.at(x, y, c) = 0.7;
+    }
+  }
+  Image out(8, 8);
+  apply_stencil_rows(img, out, 0, 8, Kernel3x3::mean_filter());
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      EXPECT_NEAR(out.at(x, y, 0), 0.7, 1e-12);
+    }
+  }
+}
+
+TEST(Stencil, MeanFilterAverages) {
+  Image img(3, 3);
+  img.at(1, 1, 0) = 9.0;  // single bright pixel
+  Image out(3, 3);
+  apply_stencil_rows(img, out, 0, 3, Kernel3x3::mean_filter());
+  EXPECT_NEAR(out.at(1, 1, 0), 1.0, 1e-12);  // 9/9
+  // Corner pixel: clamped neighborhood still sums 9 taps; the bright pixel
+  // is counted once.
+  EXPECT_NEAR(out.at(0, 0, 0), 1.0, 1e-12);
+}
+
+TEST(Stencil, ReferenceConvolutionConservesEnergyOfMeanFilter) {
+  // Repeated mean filtering keeps values within [min, max] of the input.
+  const Image img = make_test_image(20, 20, 5);
+  const Image result = convolve_reference(img, 10, Kernel3x3::mean_filter());
+  for (int y = 0; y < 20; ++y) {
+    for (int x = 0; x < 20; ++x) {
+      for (int c = 0; c < kChannels; ++c) {
+        EXPECT_GE(result.at(x, y, c), 0.0);
+        EXPECT_LE(result.at(x, y, c), 1.0);
+      }
+    }
+  }
+  // And smoothing shrinks total variation vs the original.
+  auto variation = [](const Image& im) {
+    double v = 0.0;
+    for (int y = 0; y < im.height(); ++y) {
+      for (int x = 1; x < im.width(); ++x) {
+        v += std::fabs(im.at(x, y, 0) - im.at(x - 1, y, 0));
+      }
+    }
+    return v;
+  };
+  EXPECT_LT(variation(result), variation(img));
+}
+
+TEST(Decomp, EvenSplit) {
+  const RowDecomposition d(100, 4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(d.rows_of(r), 25);
+    EXPECT_EQ(d.row_start(r), 25 * r);
+  }
+}
+
+TEST(Decomp, RemainderToEarlyRanks) {
+  const RowDecomposition d(10, 3);
+  EXPECT_EQ(d.rows_of(0), 4);
+  EXPECT_EQ(d.rows_of(1), 3);
+  EXPECT_EQ(d.rows_of(2), 3);
+  EXPECT_EQ(d.row_start(0), 0);
+  EXPECT_EQ(d.row_start(1), 4);
+  EXPECT_EQ(d.row_start(2), 7);
+}
+
+TEST(Decomp, OwnerInverseOfStart) {
+  const RowDecomposition d(37, 5);
+  for (int row = 0; row < 37; ++row) {
+    const int owner = d.owner_of(row);
+    EXPECT_GE(row, d.row_start(owner));
+    EXPECT_LT(row, d.row_start(owner) + d.rows_of(owner));
+  }
+}
+
+TEST(Decomp, Neighbors) {
+  const RowDecomposition d(10, 3);
+  EXPECT_EQ(d.up_neighbor(0), -1);
+  EXPECT_EQ(d.down_neighbor(0), 1);
+  EXPECT_EQ(d.up_neighbor(2), 1);
+  EXPECT_EQ(d.down_neighbor(2), -1);
+}
+
+TEST(Decomp, ByteCountsAndDispls) {
+  const RowDecomposition d(10, 3);
+  const auto counts = d.byte_counts(8);
+  const auto displs = d.byte_displs(8);
+  EXPECT_EQ(counts[0], 32u);
+  EXPECT_EQ(counts[1], 24u);
+  EXPECT_EQ(displs[2], 56u);
+  std::size_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_EQ(total, 80u);
+}
+
+TEST(Decomp, InvalidArguments) {
+  EXPECT_THROW(RowDecomposition(10, 0), mpisect::mpisim::MpiError);
+  EXPECT_THROW(RowDecomposition(4, 8), mpisect::mpisim::MpiError);
+}
+
+class DecompSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(DecompSweep, RowsPartitionExactly) {
+  const auto [height, ranks] = GetParam();
+  const RowDecomposition d(height, ranks);
+  int total = 0;
+  int cursor = 0;
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_EQ(d.row_start(r), cursor);
+    total += d.rows_of(r);
+    cursor += d.rows_of(r);
+    EXPECT_GE(d.rows_of(r), 1);
+  }
+  EXPECT_EQ(total, height);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DecompSweep,
+    ::testing::Values(std::pair{10, 3}, std::pair{3744, 456},
+                      std::pair{3744, 64}, std::pair{7, 7},
+                      std::pair{100, 1}));
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Halo-ratio analytics backing the paper's Section 3 argument.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/speedup/halo_model.hpp"
+
+namespace {
+
+using namespace mpisect::speedup;
+
+TEST(HaloModel, OneDimensionalSplitOfAPlane) {
+  // The paper's convolution: 2D data, 1D split, 1-cell halo. A band of
+  // n x n cells stores two extra rows: ratio = 2/n.
+  const auto st = halo_stats(100, /*total_dims=*/2, /*decomp_dims=*/1);
+  EXPECT_DOUBLE_EQ(st.interior_cells, 10000.0);
+  EXPECT_DOUBLE_EQ(st.halo_cells, 2.0 * 100.0);
+  EXPECT_DOUBLE_EQ(st.ratio, 0.02);
+  EXPECT_DOUBLE_EQ(st.surface_cells, 2.0 * 100.0);
+}
+
+TEST(HaloModel, FullySplitCube) {
+  // 3D data, 3D split: padded (n+2)^3.
+  const auto st = halo_stats(10, 3, 3);
+  EXPECT_DOUBLE_EQ(st.interior_cells, 1000.0);
+  EXPECT_DOUBLE_EQ(st.halo_cells, 12.0 * 12.0 * 12.0 - 1000.0);
+  EXPECT_NEAR(st.ratio, 0.728, 1e-12);
+}
+
+TEST(HaloModel, RatioShrinksWithLocalSize) {
+  // "the halo-cells ratio ... is smaller for large memory areas".
+  double prev = 1e9;
+  for (const std::int64_t n : {4, 8, 16, 32, 64, 128}) {
+    const double r = halo_stats(n, 3, 3).ratio;
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(HaloModel, HigherDimensionalSplitCostsMore) {
+  // At the same local edge, splitting more dimensions stores more halo.
+  const double r1 = halo_stats(32, 3, 1).ratio;
+  const double r2 = halo_stats(32, 3, 2).ratio;
+  const double r3 = halo_stats(32, 3, 3).ratio;
+  EXPECT_LT(r1, r2);
+  EXPECT_LT(r2, r3);
+}
+
+TEST(HaloModel, WiderHaloScales) {
+  const auto h1 = halo_stats(50, 2, 1, 1);
+  const auto h2 = halo_stats(50, 2, 1, 2);
+  EXPECT_NEAR(h2.ratio, 2.0 * h1.ratio, 1e-12);
+  EXPECT_DOUBLE_EQ(h2.surface_cells, 2.0 * h1.surface_cells);
+}
+
+TEST(HaloModel, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(halo_stats(0, 2, 1).ratio, 0.0);
+  EXPECT_DOUBLE_EQ(halo_stats(10, 2, 3).ratio, 0.0);  // decomp > total
+  EXPECT_DOUBLE_EQ(halo_stats(10, 2, 0).halo_cells, 0.0);  // no split
+}
+
+TEST(HaloModel, LocalEdgeFromGlobal) {
+  // 3D cube of 110592 cells (48^3) over 8 ranks in 3D: edge 24.
+  EXPECT_NEAR(local_edge(110592.0, 3, 3, 8), 24.0, 1e-9);
+  // Same over 27 ranks: 16.
+  EXPECT_NEAR(local_edge(110592.0, 3, 3, 27), 16.0, 1e-9);
+  // Non-cube rank count for a 3D split: rejected.
+  EXPECT_LT(local_edge(110592.0, 3, 3, 10), 0.0);
+  // 2D split of a 2D image.
+  EXPECT_NEAR(local_edge(1024.0 * 1024.0, 2, 2, 16), 256.0, 1e-9);
+}
+
+TEST(HaloModel, MinEdgeForBudget) {
+  // 3D/3D with a 10% halo budget: (n+2)^3/n^3 - 1 <= 0.1 -> n >= 62.
+  const auto n = min_edge_for_budget(3, 3, 0.1);
+  EXPECT_GE(n, 2);
+  EXPECT_LE(halo_stats(n, 3, 3).ratio, 0.1);
+  EXPECT_GT(halo_stats(n - 1, 3, 3).ratio, 0.1);
+  // 1D split of 2D data tolerates much smaller blocks for the same budget.
+  const auto n1 = min_edge_for_budget(2, 1, 0.1);
+  EXPECT_LT(n1, n);
+  EXPECT_EQ(min_edge_for_budget(3, 3, 0.0), -1);  // impossible budget
+}
+
+TEST(HaloModel, PaperNarrativeNumbers) {
+  // The Sec. 3 storyline quantified: to keep halo overhead under 5%, a 3D
+  // decomposition needs a local edge > 100, i.e. > 1M cells per rank
+  // (about two orders of magnitude more memory than a 1D split of 2D data
+  // requires) — shrinking memory per rank forces fewer, fatter ranks.
+  const auto n3 = min_edge_for_budget(3, 3, 0.05);
+  const auto n1 = min_edge_for_budget(2, 1, 0.05);
+  EXPECT_GT(n3, 100);
+  EXPECT_LT(n1, 50);
+  EXPECT_GT(std::pow(static_cast<double>(n3), 3.0), 1e6);
+}
+
+}  // namespace

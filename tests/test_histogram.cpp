@@ -1,0 +1,73 @@
+// Histogram binning, quantiles and rendering.
+#include <gtest/gtest.h>
+
+#include "support/histogram.hpp"
+
+namespace {
+
+using mpisect::support::Histogram;
+
+TEST(HistogramTest, BinsAndCounts) {
+  Histogram h(0.0, 10.0, 5);
+  for (const double x : {0.5, 1.5, 2.5, 2.6, 9.9}) h.add(x);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.bin_count(0), 2);  // [0,2)
+  EXPECT_EQ(h.bin_count(1), 2);  // [2,4)
+  EXPECT_EQ(h.bin_count(4), 1);  // [8,10)
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bin_count(0), 1);
+  EXPECT_EQ(h.bin_count(1), 1);
+}
+
+TEST(HistogramTest, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(HistogramTest, FromSamplesCoversRange) {
+  const std::vector<double> xs{3.0, 7.0, 5.0, 4.0, 6.0};
+  const auto h = Histogram::from_samples(xs, 4);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_LT(h.bin_lo(0), 3.0);       // padded below min
+  EXPECT_GT(h.bin_hi(3), 7.0);       // padded above max
+  long total = 0;
+  for (int b = 0; b < h.bins(); ++b) total += h.bin_count(b);
+  EXPECT_EQ(total, 5);
+}
+
+TEST(HistogramTest, FromEmptySamples) {
+  const auto h = Histogram::from_samples({}, 3);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.bins(), 3);
+}
+
+TEST(HistogramTest, QuantilesBracketMedian) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 1000; ++i) xs.push_back(static_cast<double>(i));
+  const auto h = Histogram::from_samples(xs, 50);
+  EXPECT_NEAR(h.quantile(0.5), 500.0, 30.0);
+  EXPECT_NEAR(h.quantile(0.1), 100.0, 30.0);
+  EXPECT_LT(h.quantile(0.05), h.quantile(0.95));
+  EXPECT_LE(h.quantile(0.0), 1.0 + 50.0);
+}
+
+TEST(HistogramTest, RenderShowsBars) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find("##########"), std::string::npos);  // full-width bin
+  EXPECT_NE(text.find(" 2\n"), std::string::npos);
+  EXPECT_NE(text.find(" 1\n"), std::string::npos);
+}
+
+}  // namespace

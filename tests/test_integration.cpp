@@ -1,0 +1,189 @@
+// Cross-module integration: the full paper pipeline in miniature —
+// run an instrumented app at several scales, feed profiler output into the
+// partial-speedup-bound analysis, and check the bound actually bounds.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/convolution/convolution.hpp"
+#include "apps/lulesh/lulesh.hpp"
+#include "core/speedup/inflexion.hpp"
+#include "core/speedup/partial_bound.hpp"
+#include "core/speedup/report.hpp"
+#include "profiler/report.hpp"
+#include "profiler/section_profiler.hpp"
+
+namespace {
+
+using namespace mpisect;
+using namespace mpisect::apps;
+using mpisim::MachineModel;
+using mpisim::World;
+using mpisim::WorldOptions;
+
+struct SweepPoint {
+  double walltime = 0.0;
+  std::map<std::string, double> mean_per_process;
+  std::map<std::string, double> total;
+};
+
+SweepPoint run_convolution(int p, const MachineModel& machine) {
+  WorldOptions opts;
+  opts.machine = machine;
+  World world(p, opts);
+  sections::SectionRuntime::install(world);
+  profiler::SectionProfiler prof(world);
+  conv::ConvolutionConfig cfg;
+  cfg.width = 256;
+  cfg.height = 192;
+  cfg.steps = 40;
+  cfg.full_fidelity = false;
+  conv::ConvolutionApp app(cfg);
+  world.run(std::ref(app));
+  SweepPoint pt;
+  pt.walltime = world.elapsed();
+  for (const auto& t : prof.totals()) {
+    pt.mean_per_process[t.label] = t.mean_per_process;
+    pt.total[t.label] = t.total_time;
+  }
+  return pt;
+}
+
+TEST(IntegrationConvolution, PartialBoundsCoverMeasuredSpeedup) {
+  const auto machine = MachineModel::nehalem_cluster();
+  const std::vector<int> ps{1, 2, 4, 8, 16};
+  std::map<int, SweepPoint> sweep;
+  for (const int p : ps) sweep[p] = run_convolution(p, machine);
+
+  const double t_seq = sweep[1].walltime;
+  speedup::BoundAnalysis analysis(t_seq);
+  for (const char* label :
+       {conv::labels::kConvolve, conv::labels::kHalo, conv::labels::kScatter,
+        conv::labels::kGather}) {
+    speedup::SectionScaling s;
+    s.label = label;
+    for (const int p : ps) {
+      const auto it = sweep[p].mean_per_process.find(label);
+      if (it != sweep[p].mean_per_process.end() && it->second > 0.0) {
+        s.per_process.add(p, it->second);
+        s.total.add(p, sweep[p].total[label]);
+      }
+    }
+    analysis.add_section(s);
+  }
+
+  // Eq. 6: for EVERY section and every p, B_i(p) >= measured S(p).
+  speedup::ScalingSeries measured("S");
+  for (const int p : ps) measured.add(p, t_seq / sweep[p].walltime);
+  for (const auto& row : analysis.rows()) {
+    const auto s = measured.at(row.p);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_GE(row.bound * 1.02, *s)
+        << "section " << row.label << " bound violated at p=" << row.p;
+  }
+
+  // And the binding-bound report renders.
+  const std::string table = speedup::render_binding_table(analysis);
+  EXPECT_NE(table.find("CONVOLVE"), std::string::npos);
+}
+
+TEST(IntegrationConvolution, CommunicationShareGrowsWithScale) {
+  const auto machine = MachineModel::nehalem_cluster();
+  const auto small = run_convolution(2, machine);
+  const auto large = run_convolution(16, machine);
+  const auto share = [](const SweepPoint& pt) {
+    const auto convolve = pt.mean_per_process.at(conv::labels::kConvolve);
+    const auto halo = pt.mean_per_process.at(conv::labels::kHalo);
+    return halo / (halo + convolve);
+  };
+  EXPECT_GT(share(large), share(small));
+}
+
+TEST(IntegrationLulesh, OpenMPInflexionDetectedFromSectionsOnly) {
+  // The paper's headline demo: sweep OpenMP threads on the KNL model,
+  // measure ONLY MPI sections, find the inflexion point and check that the
+  // partial bound at that point covers the best measured speedup.
+  speedup::ScalingSeries nodal("LagrangeNodal");
+  speedup::ScalingSeries walltime("walltime");
+  for (const int threads : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+    WorldOptions opts;
+    opts.machine = MachineModel::knl();
+    opts.machine.compute_noise_sigma = 0.0;
+    World world(1, opts);
+    sections::SectionRuntime::install(world);
+    profiler::SectionProfiler prof(world);
+    apps::lulesh::LuleshConfig cfg;
+    cfg.s = 16;
+    cfg.steps = 4;
+    cfg.omp_threads = threads;
+    cfg.full_fidelity = false;
+    apps::lulesh::LuleshApp app(cfg);
+    world.run(std::ref(app));
+    nodal.add(threads, prof.totals_for("LagrangeNodal").mean_per_process);
+    walltime.add(threads, world.elapsed());
+  }
+  const auto ip = speedup::find_inflexion(nodal);
+  ASSERT_TRUE(ip.has_value()) << "KNL model must show an OpenMP inflexion";
+  EXPECT_GE(ip->p, 8);
+  EXPECT_LE(ip->p, 64);
+
+  // The walltime-derived speedup never exceeds the nodal section's bound.
+  const double t_seq = *walltime.sequential();
+  const auto bound = speedup::inflexion_bound(nodal, t_seq);
+  ASSERT_TRUE(bound.has_value());
+  const auto best = walltime.best();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_GE(*bound * 1.02, t_seq / best->time);
+}
+
+TEST(IntegrationProfiler, ReportPipelineOnLulesh) {
+  WorldOptions wopts;
+  wopts.machine = MachineModel::ideal();
+  wopts.seed = 3;
+  World world(8, wopts);
+  sections::SectionRuntime::install(world);
+  profiler::SectionProfiler prof(world, {.keep_instances = true});
+  apps::lulesh::LuleshConfig cfg;
+  cfg.s = 4;
+  cfg.steps = 2;
+  apps::lulesh::LuleshApp app(cfg);
+  world.run(std::ref(app));
+
+  // Full report stack renders and agrees with itself.
+  const auto shares = profiler::execution_shares(prof);
+  EXPECT_FALSE(shares.empty());
+  // Shares are exclusive: pure container sections ("timeloop") contribute
+  // ~nothing while leaf kernels carry the weight.
+  double timeloop_share = 1.0;
+  double stress_share = 0.0;
+  for (const auto& s : shares) {
+    if (s.label == "timeloop") timeloop_share = s.share;
+    if (s.label == "IntegrateStressForElems") stress_share = s.share;
+  }
+  EXPECT_NEAR(timeloop_share, 0.0, 1e-9);
+  EXPECT_GT(stress_share, 0.0);
+  EXPECT_FALSE(profiler::render_text(prof).empty());
+  EXPECT_FALSE(profiler::render_json(prof).empty());
+  // Cross-rank Fig. 3 metrics exist for a per-step section.
+  const auto t = prof.totals_for("CommForce");
+  const auto m = prof.instance_metrics(t.comm_context, "CommForce", 0);
+  EXPECT_EQ(m.nranks, 8);
+  EXPECT_GE(m.imbalance, -1e-12);
+}
+
+TEST(IntegrationValidation, WholeAppUnderValidationMode) {
+  WorldOptions opts;
+  opts.machine = MachineModel::ideal();
+  opts.validate_sections = true;
+  World world(8, opts);
+  auto rt = sections::SectionRuntime::install(world);
+  apps::lulesh::LuleshConfig cfg;
+  cfg.s = 3;
+  cfg.steps = 2;
+  apps::lulesh::LuleshApp app(cfg);
+  world.run(std::ref(app));
+  EXPECT_GT(rt->counters().validation_rounds, 0u);
+  EXPECT_EQ(rt->counters().errors, 0u);  // the app is a correct MPI program
+}
+
+}  // namespace

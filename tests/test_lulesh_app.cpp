@@ -1,0 +1,265 @@
+// End-to-end mini-Lulesh: physical sanity (stability, energy balance,
+// octant symmetry), decomposition consistency (p=1 vs p=8), the 21-section
+// instrumentation, and Table 7's strong-scaling arithmetic.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/lulesh/lulesh.hpp"
+#include "core/sections/runtime.hpp"
+#include "profiler/section_profiler.hpp"
+
+namespace {
+
+using namespace mpisect;
+using namespace mpisect::apps::lulesh;
+using mpisim::MachineModel;
+using mpisim::World;
+using mpisim::WorldOptions;
+
+WorldOptions ideal_options() {
+  WorldOptions opts;
+  opts.machine = MachineModel::ideal();
+  return opts;
+}
+
+LuleshResult run_lulesh(int p, int s, int steps, bool full = true) {
+  World world(p, ideal_options());
+  sections::SectionRuntime::install(world);
+  LuleshConfig cfg;
+  cfg.s = s;
+  cfg.steps = steps;
+  cfg.full_fidelity = full;
+  LuleshApp app(cfg);
+  world.run(std::ref(app));
+  return app.result();
+}
+
+TEST(EdgeForTotalElements, Table7Configurations) {
+  // Paper Table 7: 110 592 elements across the cube counts.
+  EXPECT_EQ(edge_for_total_elements(110592, 1), 48);
+  EXPECT_EQ(edge_for_total_elements(110592, 8), 24);
+  EXPECT_EQ(edge_for_total_elements(110592, 27), 16);
+  EXPECT_EQ(edge_for_total_elements(110592, 64), 12);
+  EXPECT_EQ(edge_for_total_elements(110592, 2), -1);    // not a cube
+  EXPECT_EQ(edge_for_total_elements(110592, 125), -1);  // no integer edge
+}
+
+TEST(LuleshPhysics, StableAndEnergyBalanced) {
+  const auto r = run_lulesh(1, 6, 30);
+  EXPECT_EQ(r.steps_run, 30);
+  EXPECT_GT(r.sim_time, 0.0);
+  EXPECT_GT(r.final_dt, 0.0);
+  EXPECT_GT(r.min_volume, 0.0);  // no inverted elements
+  // Internal + kinetic stays near the deposited blast energy. The scheme
+  // is explicit with velocity damping, so allow a loose band.
+  EXPECT_GT(r.total_energy(), 0.05);
+  EXPECT_LT(r.total_energy(), 0.12);
+  EXPECT_GT(r.kinetic_energy, 0.0);  // the shock is moving
+}
+
+TEST(LuleshPhysics, BlastExpandsOverTime) {
+  const auto early = run_lulesh(1, 6, 5);
+  const auto late = run_lulesh(1, 6, 40);
+  // Kinetic energy rises as the shock expands into the quiescent gas.
+  EXPECT_GT(late.kinetic_energy, early.kinetic_energy);
+  EXPECT_LT(late.internal_energy, early.internal_energy + 1e-12);
+}
+
+TEST(LuleshPhysics, OctantSymmetry) {
+  // The Sedov blast at the origin of the octant must stay symmetric under
+  // coordinate permutation: check velocity magnitudes at permuted nodes.
+  World world(1, ideal_options());
+  sections::SectionRuntime::install(world);
+  LuleshConfig cfg;
+  cfg.s = 6;
+  cfg.steps = 20;
+  LuleshApp app(cfg);
+  // Reach into the run via a custom main that keeps the domain alive.
+  DomainConfig dc;
+  dc.s = cfg.s;
+  dc.e0 = cfg.e0;
+  world.run([&](mpisim::Ctx& ctx) {
+    Domain dom(dc);
+    minomp::Team team(ctx, 1);
+    HydroParams hp;
+    std::vector<double> vnew;
+    double dt = kernel_time_constraints(&dom, team, 0, hp);
+    for (int step = 0; step < cfg.steps; ++step) {
+      kernel_integrate_stress(&dom, team, 0);
+      kernel_hourglass(&dom, team, 0, hp);
+      kernel_acceleration(&dom, team, 0);
+      kernel_acceleration_bc(&dom, team, 0);
+      kernel_velocity(&dom, team, 0, dt);
+      kernel_position(&dom, team, 0, dt);
+      kernel_kinematics(&dom, team, 0, &vnew);
+      kernel_calc_q(&dom, team, 0, &vnew, dt, hp);
+      kernel_eos(&dom, team, 0, &vnew, hp);
+      kernel_update_volumes(&dom, team, 0, &vnew);
+      dt = std::min(dt * hp.dt_growth,
+                    kernel_time_constraints(&dom, team, 0, hp));
+    }
+    // Permutation symmetry: node (i,j,k) vs (j,i,k): |v| equal, and the
+    // x/y velocity components swap.
+    for (int k = 0; k < 3; ++k) {
+      for (int j = 0; j < 3; ++j) {
+        for (int i = 0; i < 3; ++i) {
+          const auto a = dom.node_index(i, j, k);
+          const auto b = dom.node_index(j, i, k);
+          EXPECT_NEAR(dom.xd[a], dom.yd[b], 1e-9);
+          EXPECT_NEAR(dom.yd[a], dom.xd[b], 1e-9);
+          EXPECT_NEAR(dom.zd[a], dom.zd[b], 1e-9);
+        }
+      }
+    }
+  });
+}
+
+TEST(LuleshDecomposition, EightRanksMatchSingleRank) {
+  // Same global problem (12^3 elements): p=1 with s=12 vs p=8 with s=6.
+  const auto single = run_lulesh(1, 12, 15);
+  const auto eight = run_lulesh(8, 6, 15);
+  EXPECT_NEAR(eight.internal_energy, single.internal_energy,
+              std::abs(single.internal_energy) * 1e-6 + 1e-9);
+  EXPECT_NEAR(eight.kinetic_energy, single.kinetic_energy,
+              std::abs(single.kinetic_energy) * 1e-6 + 1e-9);
+  EXPECT_NEAR(eight.sim_time, single.sim_time,
+              single.sim_time * 1e-9);
+  EXPECT_NEAR(eight.min_volume, single.min_volume,
+              std::abs(single.min_volume) * 1e-6);
+}
+
+TEST(LuleshDecomposition, TwentySevenRanks) {
+  const auto single = run_lulesh(1, 6, 8);
+  const auto cube27 = run_lulesh(27, 2, 8);
+  EXPECT_NEAR(cube27.total_energy(), single.total_energy(),
+              single.total_energy() * 1e-6);
+}
+
+TEST(LuleshSections, TwentyOneSectionsInsideTimeloop) {
+  World world(8, ideal_options());
+  sections::SectionRuntime::install(world);
+  profiler::SectionProfiler prof(world);
+  LuleshConfig cfg;
+  cfg.s = 4;
+  cfg.steps = 3;
+  LuleshApp app(cfg);
+  world.run(std::ref(app));
+
+  std::set<std::string> seen;
+  for (const auto& t : prof.totals()) seen.insert(t.label);
+  const std::set<std::string> expected{
+      "timeloop",
+      "TimeIncrement",
+      "LagrangeLeapFrog",
+      "LagrangeNodal",
+      "CalcForceForNodes",
+      "IntegrateStressForElems",
+      "CalcHourglassControlForElems",
+      "CommForce",
+      "CalcAccelerationForNodes",
+      "ApplyAccelerationBC",
+      "CalcVelocityForNodes",
+      "CalcPositionForNodes",
+      "LagrangeElements",
+      "CalcLagrangeElements",
+      "CalcKinematicsForElems",
+      "CalcQForElems",
+      "CommMonoQ",
+      "ApplyMaterialPropertiesForElems",
+      "EvalEOSForElems",
+      "UpdateVolumesForElems",
+      "CalcTimeConstraints",
+  };
+  EXPECT_EQ(expected.size(), 21u);  // the paper's count
+  for (const auto& label : expected) {
+    EXPECT_TRUE(seen.count(label)) << "missing section " << label;
+  }
+  // Per-step sections ran once per step on every rank.
+  EXPECT_EQ(prof.totals_for("LagrangeNodal").instances, 3);
+  EXPECT_EQ(prof.totals_for("timeloop").instances, 1);
+  EXPECT_EQ(prof.totals_for("LagrangeNodal").ranks_seen, 8);
+}
+
+TEST(LuleshSections, TimeloopDominatesMain) {
+  // Paper: "the timeloop section was accounting for 99% of the main
+  // function time".
+  World world(1, ideal_options());
+  sections::SectionRuntime::install(world);
+  profiler::SectionProfiler prof(world);
+  LuleshConfig cfg;
+  cfg.s = 8;
+  cfg.steps = 10;
+  cfg.full_fidelity = false;
+  LuleshApp app(cfg);
+  world.run(std::ref(app));
+  EXPECT_GT(prof.totals_for("timeloop").mean_per_process,
+            0.95 * prof.main_time());
+}
+
+TEST(LuleshSections, LagrangePhasesDominateTimeloop) {
+  World world(1, ideal_options());
+  sections::SectionRuntime::install(world);
+  profiler::SectionProfiler prof(world);
+  LuleshConfig cfg;
+  cfg.s = 8;
+  cfg.steps = 10;
+  cfg.full_fidelity = false;
+  LuleshApp app(cfg);
+  world.run(std::ref(app));
+  const double loop = prof.totals_for("timeloop").mean_per_process;
+  const double nodal = prof.totals_for("LagrangeNodal").mean_per_process;
+  const double elems = prof.totals_for("LagrangeElements").mean_per_process;
+  EXPECT_GT(nodal + elems, 0.85 * loop);
+  // Calibration: LagrangeElements ~1.4-1.5x LagrangeNodal (paper ratio).
+  EXPECT_GT(elems / nodal, 1.2);
+  EXPECT_LT(elems / nodal, 1.8);
+}
+
+TEST(LuleshModes, ModeledSharesSectionStructure) {
+  auto structure = [](bool full) {
+    World world(8, ideal_options());
+    sections::SectionRuntime::install(world);
+    profiler::SectionProfiler prof(world);
+    LuleshConfig cfg;
+    cfg.s = 4;
+    cfg.steps = 2;
+    cfg.full_fidelity = full;
+    LuleshApp app(cfg);
+    world.run(std::ref(app));
+    std::vector<std::pair<std::string, long>> shape;
+    for (const auto& t : prof.totals()) shape.emplace_back(t.label, t.instances);
+    return shape;
+  };
+  EXPECT_EQ(structure(true), structure(false));
+}
+
+TEST(LuleshConfigTest, NonCubeRankCountRejected) {
+  World world(5, ideal_options());
+  sections::SectionRuntime::install(world);
+  LuleshApp app(LuleshConfig{});
+  EXPECT_THROW(world.run(std::ref(app)), mpisim::MpiError);
+}
+
+TEST(LuleshThreads, MoreThreadsFasterInModeledMode) {
+  auto walltime = [](int threads) {
+    WorldOptions opts;
+    opts.machine = MachineModel::broadwell_2s();
+    opts.machine.compute_noise_sigma = 0.0;
+    World world(1, opts);
+    sections::SectionRuntime::install(world);
+    LuleshConfig cfg;
+    cfg.s = 16;
+    cfg.steps = 5;
+    cfg.omp_threads = threads;
+    cfg.full_fidelity = false;
+    LuleshApp app(cfg);
+    world.run(std::ref(app));
+    return world.elapsed();
+  };
+  const double t1 = walltime(1);
+  const double t8 = walltime(8);
+  EXPECT_LT(t8, t1 * 0.35);  // solid OpenMP speedup at 8 threads
+}
+
+}  // namespace

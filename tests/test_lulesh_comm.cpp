@@ -1,0 +1,196 @@
+// Cube decomposition and the sum-combine halo exchange.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/lulesh/comm.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace {
+
+using namespace mpisect;
+using namespace mpisect::apps::lulesh;
+using mpisim::Comm;
+using mpisim::Ctx;
+using mpisim::MachineModel;
+using mpisim::World;
+using mpisim::WorldOptions;
+
+WorldOptions ideal_options() {
+  WorldOptions opts;
+  opts.machine = MachineModel::ideal();
+  return opts;
+}
+
+TEST(Cube, IsCube) {
+  EXPECT_TRUE(CubeDecomposition::is_cube(1));
+  EXPECT_TRUE(CubeDecomposition::is_cube(8));
+  EXPECT_TRUE(CubeDecomposition::is_cube(27));
+  EXPECT_TRUE(CubeDecomposition::is_cube(64));
+  EXPECT_FALSE(CubeDecomposition::is_cube(2));
+  EXPECT_FALSE(CubeDecomposition::is_cube(9));
+  EXPECT_FALSE(CubeDecomposition::is_cube(0));
+  EXPECT_FALSE(CubeDecomposition::is_cube(-8));
+}
+
+TEST(Cube, RejectsNonCube) {
+  EXPECT_THROW(CubeDecomposition(10), mpisim::MpiError);
+}
+
+TEST(Cube, CoordsRoundtrip) {
+  const CubeDecomposition cube(27);
+  EXPECT_EQ(cube.pgrid(), 3);
+  for (int r = 0; r < 27; ++r) {
+    const auto c = cube.coords_of(r);
+    EXPECT_EQ(cube.rank_of(c.rx, c.ry, c.rz), r);
+  }
+}
+
+TEST(Cube, NeighborsAndBounds) {
+  const CubeDecomposition cube(27);
+  const int center = cube.rank_of(1, 1, 1);
+  EXPECT_EQ(cube.neighbor_count(center), 26);
+  const int corner = cube.rank_of(0, 0, 0);
+  EXPECT_EQ(cube.neighbor_count(corner), 7);
+  EXPECT_EQ(cube.neighbor(corner, -1, 0, 0), -1);
+  EXPECT_EQ(cube.neighbor(corner, 1, 0, 0), cube.rank_of(1, 0, 0));
+  const int face = cube.rank_of(1, 1, 0);
+  EXPECT_EQ(cube.neighbor_count(face), 17);
+}
+
+TEST(Cube, SingleRankHasNoNeighbors) {
+  const CubeDecomposition cube(1);
+  EXPECT_EQ(cube.neighbor_count(0), 0);
+}
+
+TEST(ExchangeSumNodal, SharedNodesGetGlobalSum) {
+  // 8 ranks, 2x2x2. Every rank fills its boundary field with 1.0
+  // everywhere; after the exchange, a node's value equals the number of
+  // ranks that share it (2 on faces, 4 on edges, 8 on the center corner).
+  const int s = 3;  // nodes per edge = 4
+  World world(8, ideal_options());
+  std::vector<int> failures(8, 0);
+  world.run([&](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    const CubeDecomposition cube(8);
+    const int n = s + 1;
+    std::vector<double> field(static_cast<std::size_t>(n) * n * n, 1.0);
+    exchange_sum_nodal(comm, cube, n, &field, nullptr, nullptr, 500);
+    const auto c = cube.coords_of(ctx.rank());
+    auto has = [&](int dx, int dy, int dz) {
+      return cube.neighbor(ctx.rank(), dx, dy, dz) >= 0;
+    };
+    for (int k = 0; k < n; ++k) {
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < n; ++i) {
+          int expect = 1;
+          if ((i == 0 && has(-1, 0, 0)) || (i == n - 1 && has(1, 0, 0))) {
+            expect *= 2;
+          }
+          if ((j == 0 && has(0, -1, 0)) || (j == n - 1 && has(0, 1, 0))) {
+            expect *= 2;
+          }
+          if ((k == 0 && has(0, 0, -1)) || (k == n - 1 && has(0, 0, 1))) {
+            expect *= 2;
+          }
+          const auto idx =
+              (static_cast<std::size_t>(k) * n + static_cast<std::size_t>(j)) *
+                  n +
+              static_cast<std::size_t>(i);
+          if (field[idx] != static_cast<double>(expect)) {
+            ++failures[static_cast<std::size_t>(ctx.rank())];
+          }
+        }
+      }
+    }
+    (void)c;
+  });
+  for (const int f : failures) EXPECT_EQ(f, 0);
+}
+
+TEST(ExchangeSumNodal, ThreeFieldsExchangedTogether) {
+  World world(8, ideal_options());
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    const CubeDecomposition cube(8);
+    const int n = 3;
+    const auto size = static_cast<std::size_t>(n) * n * n;
+    std::vector<double> fx(size, 1.0);
+    std::vector<double> fy(size, 10.0);
+    std::vector<double> fz(size, 100.0);
+    const auto stats =
+        exchange_sum_nodal(comm, cube, n, &fx, &fy, &fz, 600);
+    EXPECT_EQ(stats.messages, cube.neighbor_count(ctx.rank()));
+    // Center-corner node of the 2x2x2 cube is shared by all 8 ranks.
+    const auto c = cube.coords_of(ctx.rank());
+    const int ci = c.rx == 0 ? n - 1 : 0;
+    const int cj = c.ry == 0 ? n - 1 : 0;
+    const int ck = c.rz == 0 ? n - 1 : 0;
+    const auto idx =
+        (static_cast<std::size_t>(ck) * n + static_cast<std::size_t>(cj)) * n +
+        static_cast<std::size_t>(ci);
+    EXPECT_DOUBLE_EQ(fx[idx], 8.0);
+    EXPECT_DOUBLE_EQ(fy[idx], 80.0);
+    EXPECT_DOUBLE_EQ(fz[idx], 800.0);
+  });
+}
+
+TEST(ExchangeSumNodal, SingleRankNoop) {
+  World world(1, ideal_options());
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    const CubeDecomposition cube(1);
+    std::vector<double> f(27, 3.0);
+    const auto stats = exchange_sum_nodal(comm, cube, 3, &f, nullptr,
+                                          nullptr, 700);
+    EXPECT_EQ(stats.messages, 0);
+    for (const double v : f) EXPECT_DOUBLE_EQ(v, 3.0);
+  });
+}
+
+TEST(ExchangeSumNodal, ModeledModeMovesBytesOnly) {
+  World world(8, ideal_options());
+  std::vector<double> times(8);
+  world.run([&](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    const CubeDecomposition cube(8);
+    const auto stats = exchange_sum_nodal(comm, cube, 49, nullptr, nullptr,
+                                          nullptr, 800);
+    EXPECT_EQ(stats.messages, 7);
+    EXPECT_GT(stats.bytes, 0u);
+    times[static_cast<std::size_t>(ctx.rank())] = ctx.now();
+  });
+  for (const double t : times) EXPECT_GT(t, 0.0);
+}
+
+TEST(ExchangeElemFaces, FaceLayersShipped) {
+  World world(8, ideal_options());
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    const CubeDecomposition cube(8);
+    const int s = 4;
+    std::vector<double> field(static_cast<std::size_t>(s) * s * s,
+                              static_cast<double>(ctx.rank()));
+    const auto stats = exchange_elem_faces(comm, cube, s, &field, 900);
+    EXPECT_EQ(stats.messages, 3);  // corner rank of a 2x2x2 cube: 3 faces
+    EXPECT_EQ(stats.bytes, 3u * s * s * sizeof(double));
+  });
+}
+
+TEST(ExchangeElemFaces, ModeledMode) {
+  World world(27, ideal_options());
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    const CubeDecomposition cube(27);
+    const auto stats = exchange_elem_faces(comm, cube, 16, nullptr, 950);
+    int faces = 0;
+    for (const auto [dx, dy, dz] :
+         {std::array{-1, 0, 0}, std::array{1, 0, 0}, std::array{0, -1, 0},
+          std::array{0, 1, 0}, std::array{0, 0, -1}, std::array{0, 0, 1}}) {
+      if (cube.neighbor(ctx.rank(), dx, dy, dz) >= 0) ++faces;
+    }
+    EXPECT_EQ(stats.messages, faces);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,272 @@
+// Hex geometry: volumes, analytic volume gradients, characteristic length,
+// and the Domain's initial state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/lulesh/domain.hpp"
+#include "apps/lulesh/kernels.hpp"
+#include "apps/lulesh/mesh.hpp"
+
+namespace {
+
+using namespace mpisect::apps::lulesh;
+
+HexCorners unit_cube() {
+  HexCorners c;
+  for (int i = 0; i < 8; ++i) {
+    c[static_cast<std::size_t>(i)] = Vec3{
+        static_cast<double>(i & 1), static_cast<double>((i >> 1) & 1),
+        static_cast<double>((i >> 2) & 1)};
+  }
+  return c;
+}
+
+TEST(Vec3Test, Algebra) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  const Vec3 s = a + b;
+  EXPECT_DOUBLE_EQ(s.x, 5.0);
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  const Vec3 c = cross(Vec3{1, 0, 0}, Vec3{0, 1, 0});
+  EXPECT_DOUBLE_EQ(c.z, 1.0);
+  EXPECT_DOUBLE_EQ(c.x, 0.0);
+  const Vec3 scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.y, 4.0);
+}
+
+TEST(HexVolume, UnitCube) {
+  EXPECT_NEAR(hex_volume(unit_cube()), 1.0, 1e-14);
+}
+
+TEST(HexVolume, ScaledBox) {
+  HexCorners c = unit_cube();
+  for (auto& p : c) {
+    p.x *= 2.0;
+    p.y *= 3.0;
+    p.z *= 0.5;
+  }
+  EXPECT_NEAR(hex_volume(c), 3.0, 1e-14);
+}
+
+TEST(HexVolume, TranslationInvariant) {
+  HexCorners c = unit_cube();
+  for (auto& p : c) p += Vec3{10.0, -5.0, 2.0};
+  EXPECT_NEAR(hex_volume(c), 1.0, 1e-12);
+}
+
+TEST(HexVolume, ShearedHexKeepsVolume) {
+  // A pure shear (x += 0.3 z) has unit Jacobian: volume preserved.
+  HexCorners c = unit_cube();
+  for (auto& p : c) p.x += 0.3 * p.z;
+  EXPECT_NEAR(hex_volume(c), 1.0, 1e-12);
+}
+
+TEST(HexVolume, InvertedCellIsNegative) {
+  HexCorners c = unit_cube();
+  for (auto& p : c) p.x = -p.x;  // mirror flips orientation
+  EXPECT_NEAR(hex_volume(c), -1.0, 1e-12);
+}
+
+TEST(HexGradient, MatchesFiniteDifferences) {
+  // Perturbed hex: compare the analytic gradient against central FD.
+  HexCorners c = unit_cube();
+  c[3] += Vec3{0.1, -0.05, 0.08};
+  c[6] += Vec3{-0.04, 0.07, 0.02};
+  const auto grad = hex_volume_gradient(c);
+  const double h = 1e-6;
+  for (std::size_t n = 0; n < 8; ++n) {
+    for (int axis = 0; axis < 3; ++axis) {
+      HexCorners plus = c;
+      HexCorners minus = c;
+      auto& pp = axis == 0 ? plus[n].x : axis == 1 ? plus[n].y : plus[n].z;
+      auto& pm = axis == 0 ? minus[n].x : axis == 1 ? minus[n].y : minus[n].z;
+      pp += h;
+      pm -= h;
+      const double fd = (hex_volume(plus) - hex_volume(minus)) / (2.0 * h);
+      const double an =
+          axis == 0 ? grad[n].x : axis == 1 ? grad[n].y : grad[n].z;
+      EXPECT_NEAR(an, fd, 1e-8) << "corner " << n << " axis " << axis;
+    }
+  }
+}
+
+TEST(HexGradient, SumOfGradientsIsZero) {
+  // Translating all corners together cannot change the volume, so the
+  // gradients must sum to zero componentwise.
+  HexCorners c = unit_cube();
+  c[1] += Vec3{0.2, 0.1, -0.1};
+  const auto grad = hex_volume_gradient(c);
+  Vec3 sum{};
+  for (const auto& g : grad) sum += g;
+  EXPECT_NEAR(sum.x, 0.0, 1e-14);
+  EXPECT_NEAR(sum.y, 0.0, 1e-14);
+  EXPECT_NEAR(sum.z, 0.0, 1e-14);
+}
+
+TEST(CharacteristicLength, CubeRootOfVolume) {
+  EXPECT_DOUBLE_EQ(characteristic_length(8.0), 2.0);
+  EXPECT_DOUBLE_EQ(characteristic_length(-8.0), 2.0);  // magnitude
+}
+
+TEST(DomainInit, GridGeometry) {
+  DomainConfig dc;
+  dc.s = 4;
+  const Domain d(dc);
+  EXPECT_EQ(d.elem_count(), 64u);
+  EXPECT_EQ(d.node_count(), 125u);
+  // Uniform grid spacing 1/4: every element volume (1/4)^3.
+  for (const double v : d.vol) EXPECT_NEAR(v, 1.0 / 64.0, 1e-14);
+  // Far corner node sits at (1,1,1).
+  const auto idx = d.node_index(4, 4, 4);
+  EXPECT_DOUBLE_EQ(d.x[idx], 1.0);
+  EXPECT_DOUBLE_EQ(d.y[idx], 1.0);
+  EXPECT_DOUBLE_EQ(d.z[idx], 1.0);
+}
+
+TEST(DomainInit, MassConservation) {
+  DomainConfig dc;
+  dc.s = 3;
+  dc.rho0 = 2.0;
+  const Domain d(dc);
+  double elem_mass = 0.0;
+  for (const double m : d.emass) elem_mass += m;
+  double node_mass = 0.0;
+  for (const double m : d.nmass) node_mass += m;
+  EXPECT_NEAR(elem_mass, 2.0, 1e-12);  // rho * unit cube
+  EXPECT_NEAR(node_mass, elem_mass, 1e-12);
+}
+
+TEST(DomainInit, SedovEnergyAtOriginOnly) {
+  DomainConfig dc;
+  dc.s = 4;
+  dc.e0 = 0.25;
+  const Domain d(dc);
+  EXPECT_DOUBLE_EQ(d.e[d.elem_index(0, 0, 0)], 0.25);
+  EXPECT_GT(d.press[d.elem_index(0, 0, 0)], 0.0);
+  double total = 0.0;
+  for (const double e : d.e) total += e;
+  EXPECT_DOUBLE_EQ(total, 0.25);
+  EXPECT_DOUBLE_EQ(d.total_internal_energy(), 0.25);
+  EXPECT_DOUBLE_EQ(d.total_kinetic_energy(), 0.0);
+}
+
+TEST(DomainInit, NonOriginRankHasNoBlast) {
+  DomainConfig dc;
+  dc.s = 3;
+  dc.rx = 1;
+  dc.pgrid = 2;
+  const Domain d(dc);
+  EXPECT_DOUBLE_EQ(d.total_internal_energy(), 0.0);
+  EXPECT_FALSE(d.on_symmetry_face(0));
+  EXPECT_TRUE(d.on_symmetry_face(1));
+  EXPECT_TRUE(d.on_symmetry_face(2));
+  // Its x origin is shifted by half the global cube.
+  EXPECT_DOUBLE_EQ(d.x[d.node_index(0, 0, 0)], 0.5);
+}
+
+TEST(DomainInit, ElemNodesBitOrder) {
+  DomainConfig dc;
+  dc.s = 2;
+  const Domain d(dc);
+  const auto nodes = d.elem_nodes(1, 0, 1);
+  EXPECT_EQ(nodes[0], d.node_index(1, 0, 1));
+  EXPECT_EQ(nodes[1], d.node_index(2, 0, 1));
+  EXPECT_EQ(nodes[2], d.node_index(1, 1, 1));
+  EXPECT_EQ(nodes[7], d.node_index(2, 1, 2));
+}
+
+
+TEST(Hourglass, UniformVelocityFieldProducesNoForce) {
+  // Rigid translation must not excite any hourglass mode.
+  DomainConfig dc;
+  dc.s = 3;
+  Domain d(dc);
+  for (std::size_t n = 0; n < d.xd.size(); ++n) {
+    d.xd[n] = 1.0;
+    d.yd[n] = -2.0;
+    d.zd[n] = 0.5;
+  }
+  for (auto& e : d.press) e = 0.1;  // pressurized so coef != 0
+  mpisect::mpisim::WorldOptions opts;
+  opts.machine = mpisect::mpisim::MachineModel::ideal();
+  mpisect::mpisim::World world(1, opts);
+  world.run([&](mpisect::mpisim::Ctx& ctx) {
+    mpisect::minomp::Team team(ctx, 1);
+    std::fill(d.fx.begin(), d.fx.end(), 0.0);
+    std::fill(d.fy.begin(), d.fy.end(), 0.0);
+    std::fill(d.fz.begin(), d.fz.end(), 0.0);
+    HydroParams hp;
+    kernel_hourglass(&d, team, 0, hp);
+  });
+  for (std::size_t n = 0; n < d.fx.size(); ++n) {
+    EXPECT_NEAR(d.fx[n], 0.0, 1e-12);
+    EXPECT_NEAR(d.fy[n], 0.0, 1e-12);
+    EXPECT_NEAR(d.fz[n], 0.0, 1e-12);
+  }
+}
+
+TEST(Hourglass, LinearVelocityFieldProducesNoForce) {
+  // A linear field v = grad . x is physical (uniform strain); the filter
+  // must leave it alone too.
+  DomainConfig dc;
+  dc.s = 2;
+  Domain d(dc);
+  for (std::size_t n = 0; n < d.xd.size(); ++n) {
+    d.xd[n] = 2.0 * d.x[n] - d.y[n];
+    d.yd[n] = 0.5 * d.z[n];
+    d.zd[n] = d.x[n] + d.y[n] + d.z[n];
+  }
+  for (auto& e : d.press) e = 0.2;
+  mpisect::mpisim::WorldOptions opts;
+  opts.machine = mpisect::mpisim::MachineModel::ideal();
+  mpisect::mpisim::World world(1, opts);
+  world.run([&](mpisect::mpisim::Ctx& ctx) {
+    mpisect::minomp::Team team(ctx, 1);
+    std::fill(d.fx.begin(), d.fx.end(), 0.0);
+    std::fill(d.fy.begin(), d.fy.end(), 0.0);
+    std::fill(d.fz.begin(), d.fz.end(), 0.0);
+    HydroParams hp;
+    kernel_hourglass(&d, team, 0, hp);
+  });
+  for (std::size_t n = 0; n < d.fx.size(); ++n) {
+    EXPECT_NEAR(d.fx[n], 0.0, 1e-10);
+    EXPECT_NEAR(d.fy[n], 0.0, 1e-10);
+    EXPECT_NEAR(d.fz[n], 0.0, 1e-10);
+  }
+}
+
+TEST(Hourglass, CheckerboardModeDampedWithZeroNetForce) {
+  // Excite the xi*eta hourglass mode in one element: forces must oppose the
+  // modal velocity and sum to zero (momentum conservation).
+  DomainConfig dc;
+  dc.s = 1;  // single element
+  Domain d(dc);
+  const double mode[8] = {+1, -1, -1, +1, +1, -1, -1, +1};
+  for (int n = 0; n < 8; ++n) {
+    d.xd[static_cast<std::size_t>(n)] = mode[n];
+  }
+  d.press[0] = 0.3;
+  mpisect::mpisim::WorldOptions opts;
+  opts.machine = mpisect::mpisim::MachineModel::ideal();
+  mpisect::mpisim::World world(1, opts);
+  world.run([&](mpisect::mpisim::Ctx& ctx) {
+    mpisect::minomp::Team team(ctx, 1);
+    std::fill(d.fx.begin(), d.fx.end(), 0.0);
+    HydroParams hp;
+    kernel_hourglass(&d, team, 0, hp);
+  });
+  double net = 0.0;
+  double dissipation = 0.0;
+  for (int n = 0; n < 8; ++n) {
+    const double f = d.fx[static_cast<std::size_t>(n)];
+    net += f;
+    dissipation += f * d.xd[static_cast<std::size_t>(n)];
+    // Every node's force opposes its modal velocity.
+    EXPECT_LT(f * mode[n], 0.0);
+  }
+  EXPECT_NEAR(net, 0.0, 1e-12);
+  EXPECT_LT(dissipation, 0.0);  // the filter removes energy from the mode
+}
+
+}  // namespace

@@ -1,0 +1,249 @@
+// MiniOMP: schedules, the region-time model, and Team charging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "minomp/team.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace {
+
+using namespace mpisect;
+using namespace mpisect::minomp;
+using mpisim::Ctx;
+using mpisim::MachineModel;
+using mpisim::World;
+using mpisim::WorldOptions;
+
+WorldOptions options_for(const MachineModel& m) {
+  WorldOptions opts;
+  opts.machine = m;
+  opts.machine.compute_noise_sigma = 0.0;  // exact charges for assertions
+  return opts;
+}
+
+TEST(Schedules, Names) {
+  EXPECT_STREQ(schedule_name(Schedule::Static), "static");
+  EXPECT_STREQ(schedule_name(Schedule::Dynamic), "dynamic");
+  EXPECT_STREQ(schedule_name(Schedule::Guided), "guided");
+}
+
+TEST(Schedules, StaticChunkCount) {
+  EXPECT_EQ(chunk_count(Schedule::Static, 100, 4, 0), 4);
+  EXPECT_EQ(chunk_count(Schedule::Static, 100, 4, 10), 10);
+  EXPECT_EQ(chunk_count(Schedule::Static, 3, 8, 0), 3);  // n < threads
+  EXPECT_EQ(chunk_count(Schedule::Static, 0, 4, 0), 0);
+}
+
+TEST(Schedules, DynamicChunkCount) {
+  EXPECT_EQ(chunk_count(Schedule::Dynamic, 100, 4, 0), 100);  // default 1
+  EXPECT_EQ(chunk_count(Schedule::Dynamic, 100, 4, 25), 4);
+  EXPECT_EQ(chunk_count(Schedule::Dynamic, 101, 4, 25), 5);
+}
+
+TEST(Schedules, GuidedBetweenStaticAndDynamic) {
+  const auto s = chunk_count(Schedule::Static, 1000, 8, 0);
+  const auto g = chunk_count(Schedule::Guided, 1000, 8, 0);
+  const auto d = chunk_count(Schedule::Dynamic, 1000, 8, 0);
+  EXPECT_LT(s, g);
+  EXPECT_LT(g, d);
+}
+
+TEST(Schedules, ImbalanceOrdering) {
+  const double base = 0.04;
+  EXPECT_LT(imbalance_factor(Schedule::Dynamic, base),
+            imbalance_factor(Schedule::Guided, base));
+  EXPECT_LT(imbalance_factor(Schedule::Guided, base),
+            imbalance_factor(Schedule::Static, base));
+}
+
+TEST(RegionModel, SingleThreadHasNoOverhead) {
+  const auto m = MachineModel::ideal();
+  const MemoryModel mem;
+  const KernelProfile kern{1.0, 0.0};
+  const auto c = region_time(m, mem, kern, 10.0, 1, 8.0, 1,
+                             Schedule::Static, 0);
+  EXPECT_DOUBLE_EQ(c.compute, 10.0);
+  EXPECT_DOUBLE_EQ(c.overhead, 0.0);
+  EXPECT_DOUBLE_EQ(c.imbalance, 0.0);
+}
+
+TEST(RegionModel, PerfectScalingWithinCores) {
+  const auto m = MachineModel::ideal();
+  const MemoryModel mem;  // no saturation
+  const KernelProfile kern{1.0, 0.0};
+  const auto c = region_time(m, mem, kern, 8.0, 8, 8.0, 1,
+                             Schedule::Static, 0);
+  EXPECT_NEAR(c.compute, 1.0, 1e-12);
+}
+
+TEST(RegionModel, AmdahlSerialFractionRespected) {
+  const auto m = MachineModel::ideal();
+  const MemoryModel mem;
+  const KernelProfile kern{0.5, 0.0};  // half the region is serial
+  const auto c = region_time(m, mem, kern, 10.0, 1000, 1000.0, 1,
+                             Schedule::Static, 0);
+  EXPECT_GE(c.compute, 5.0);  // bounded by the serial half
+}
+
+TEST(RegionModel, MemorySaturationCreatesInflexion) {
+  // With saturation + contention, region time must eventually RISE with
+  // thread count — the paper's Fig. 10 inflexion behaviour.
+  const auto m = MachineModel::knl();
+  const MemoryModel mem = memory_model_for(m);
+  const KernelProfile kern{0.98, 0.6};
+  double best = 1e300;
+  int best_t = 0;
+  std::vector<double> times;
+  for (int t = 1; t <= 256; t *= 2) {
+    const auto c =
+        region_time(m, mem, kern, 1.0, t, 68.0, 1, Schedule::Static, 0);
+    times.push_back(c.total());
+    if (c.total() < best) {
+      best = c.total();
+      best_t = t;
+    }
+  }
+  EXPECT_GT(best_t, 2);    // threading helps at first
+  EXPECT_LT(best_t, 256);  // ...but not forever
+  EXPECT_GT(times.back(), best * 1.02);  // visible rise past the optimum
+}
+
+TEST(RegionModel, OversubscriptionPenalizes) {
+  const auto m = MachineModel::knl();
+  const MemoryModel mem;
+  const KernelProfile kern{1.0, 0.0};
+  // 64 ranks x 8 threads = 512 demands > 272 hw threads.
+  const auto over = region_time(m, mem, kern, 1.0, 8, 68.0 / 64.0, 64,
+                                Schedule::Static, 0);
+  const auto under = region_time(m, mem, kern, 1.0, 4, 68.0 / 64.0, 64,
+                                 Schedule::Static, 0);
+  EXPECT_GT(over.compute, under.compute * 0.9);  // extra threads stop paying
+}
+
+TEST(RegionModel, OverheadGrowsWithThreads) {
+  const auto m = MachineModel::knl();
+  const MemoryModel mem;
+  const KernelProfile kern{1.0, 0.0};
+  const auto t8 = region_time(m, mem, kern, 1.0, 8, 68.0, 1,
+                              Schedule::Static, 0);
+  const auto t128 = region_time(m, mem, kern, 1.0, 128, 68.0, 1,
+                                Schedule::Static, 0);
+  EXPECT_GT(t128.overhead, t8.overhead);
+}
+
+TEST(RegionModel, DynamicScheduleTradesImbalanceForDispatch) {
+  const auto m = MachineModel::broadwell_2s();
+  const MemoryModel mem;
+  const KernelProfile kern{1.0, 0.0};
+  const auto stat = region_time(m, mem, kern, 1.0, 16, 36.0, 1,
+                                Schedule::Static, 16);
+  const auto dyn = region_time(m, mem, kern, 1.0, 16, 36.0, 1,
+                               Schedule::Dynamic, 100000);
+  EXPECT_LT(dyn.imbalance, stat.imbalance);
+  EXPECT_GT(dyn.overhead, stat.overhead);
+}
+
+TEST(MemoryModels, PresetsDiffer) {
+  const auto knl = memory_model_for(MachineModel::knl());
+  const auto bdw = memory_model_for(MachineModel::broadwell_2s());
+  EXPECT_LT(knl.saturation_capacity, bdw.saturation_capacity);
+  EXPECT_GT(knl.contention, bdw.contention);
+  const auto generic = memory_model_for(MachineModel::ideal());
+  EXPECT_GT(generic.saturation_capacity, 1e6);  // effectively unlimited
+}
+
+TEST(Team, ExecutesBodyExactlyOncePerIteration) {
+  World world(1, options_for(MachineModel::ideal()));
+  world.run([](Ctx& ctx) {
+    Team team(ctx, 4);
+    std::vector<int> hits(100, 0);
+    team.parallel_for(0, 100, 1.0, KernelProfile{},
+                      [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+    for (const int h : hits) EXPECT_EQ(h, 1);
+  });
+}
+
+TEST(Team, ParallelReduce) {
+  World world(1, options_for(MachineModel::ideal()));
+  world.run([](Ctx& ctx) {
+    Team team(ctx, 8);
+    const long sum = team.parallel_reduce(
+        0, 101, 1.0, KernelProfile{}, 0L,
+        [](long a, long b) { return a + b; },
+        [](std::int64_t i) { return static_cast<long>(i); });
+    EXPECT_EQ(sum, 5050);
+  });
+}
+
+TEST(Team, ChargesVirtualTime) {
+  World world(1, options_for(MachineModel::ideal()));
+  world.run([](Ctx& ctx) {
+    Team team(ctx, 1);
+    const double before = ctx.now();
+    // 1e9 flops at 1 GF/s = 1 virtual second on one thread.
+    team.charge_loop(1000, 1e6, KernelProfile{});
+    EXPECT_NEAR(ctx.now() - before, 1.0, 1e-9);
+  });
+}
+
+TEST(Team, MoreThreadsChargeLess) {
+  World world(1, options_for(MachineModel::ideal(8, 1)));
+  world.run([](Ctx& ctx) {
+    Team t1(ctx, 1);
+    Team t8(ctx, 8);
+    const auto c1 = t1.preview_region(8.0, KernelProfile{}, 1);
+    const auto c8 = t8.preview_region(8.0, KernelProfile{}, 8);
+    EXPECT_LT(c8.total(), c1.total());
+    EXPECT_NEAR(c8.compute, 1.0, 1e-9);
+  });
+}
+
+TEST(Team, RanksShareNodeCores) {
+  // 4 ranks on one 8-core node: each team sees 2 cores.
+  World world(4, options_for(MachineModel::ideal(8, 1)));
+  world.run([](Ctx& ctx) {
+    Team team(ctx, 4);
+    EXPECT_EQ(team.ranks_on_node(), 4);
+    EXPECT_DOUBLE_EQ(team.cores_available(), 2.0);
+  });
+}
+
+TEST(Team, BlockPlacementAcrossNodes) {
+  // 16 ranks on 8-core nodes: two full nodes.
+  World world(16, options_for(MachineModel::ideal(8, 2)));
+  world.run([](Ctx& ctx) {
+    Team team(ctx, 1);
+    EXPECT_EQ(team.ranks_on_node(), 8);
+    EXPECT_DOUBLE_EQ(team.cores_available(), 1.0);
+  });
+}
+
+TEST(Team, ThreadCountClamped) {
+  World world(1, options_for(MachineModel::ideal()));
+  world.run([](Ctx& ctx) {
+    Team team(ctx, -5);
+    EXPECT_EQ(team.num_threads(), 1);
+    Team big(ctx, 1 << 20);
+    EXPECT_EQ(big.num_threads(), 1024);
+  });
+}
+
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, ChargeAlwaysPositiveAndFinite) {
+  const int threads = GetParam();
+  World world(1, options_for(MachineModel::knl()));
+  world.run([threads](Ctx& ctx) {
+    Team team(ctx, threads);
+    const auto c = team.preview_region(1.0, KernelProfile{0.97, 0.5}, threads);
+    EXPECT_GT(c.total(), 0.0);
+    EXPECT_TRUE(std::isfinite(c.total()));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep,
+                         ::testing::Values(1, 2, 3, 7, 16, 68, 136, 272, 512));
+
+}  // namespace

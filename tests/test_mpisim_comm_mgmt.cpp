@@ -1,0 +1,161 @@
+// Communicator management: groups, split, dup, context isolation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpisim/runtime.hpp"
+
+namespace {
+
+using namespace mpisect::mpisim;
+
+WorldOptions ideal_options() {
+  WorldOptions opts;
+  opts.machine = MachineModel::ideal();
+  return opts;
+}
+
+TEST(Group, Mapping) {
+  const Group g({5, 2, 9});
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.world_rank(0), 5);
+  EXPECT_EQ(g.world_rank(2), 9);
+  EXPECT_EQ(g.rank_of_world(2), 1);
+  EXPECT_EQ(g.rank_of_world(7), -1);
+  EXPECT_THROW((void)g.world_rank(3), MpiError);
+}
+
+TEST(CommSplit, EvenOddColors) {
+  const int p = 6;
+  World world(p, ideal_options());
+  world.run([p](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    const int color = ctx.rank() % 2;
+    Comm sub = comm.split(color, ctx.rank());
+    ASSERT_TRUE(sub.valid());
+    EXPECT_EQ(sub.size(), p / 2);
+    EXPECT_EQ(sub.rank(), ctx.rank() / 2);  // order preserved within color
+    EXPECT_EQ(sub.world_rank_of(sub.rank()), ctx.rank());
+    // The sub-communicator works: reduce within the color group.
+    const int sum = sub.allreduce_one(ctx.rank(), ReduceOp::Sum);
+    EXPECT_EQ(sum, color == 0 ? 0 + 2 + 4 : 1 + 3 + 5);
+  });
+}
+
+TEST(CommSplit, KeyReversesOrder) {
+  const int p = 4;
+  World world(p, ideal_options());
+  world.run([p](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    Comm sub = comm.split(0, -ctx.rank());  // descending keys
+    EXPECT_EQ(sub.rank(), p - 1 - ctx.rank());
+  });
+}
+
+TEST(CommSplit, NegativeColorExcluded) {
+  World world(4, ideal_options());
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    const int color = ctx.rank() == 0 ? -1 : 7;
+    Comm sub = comm.split(color, 0);
+    if (ctx.rank() == 0) {
+      EXPECT_FALSE(sub.valid());
+    } else {
+      ASSERT_TRUE(sub.valid());
+      EXPECT_EQ(sub.size(), 3);
+    }
+  });
+}
+
+TEST(CommSplit, ContextIsolation) {
+  // A message sent on the parent must not match a receive on the child.
+  World world(2, ideal_options());
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    Comm sub = comm.dup();
+    EXPECT_NE(sub.context_id(), comm.context_id());
+    if (ctx.rank() == 0) {
+      const int a = 1;
+      const int b = 2;
+      comm.send(&a, sizeof a, 1, 0);  // parent context
+      sub.send(&b, sizeof b, 1, 0);   // child context
+    } else {
+      int v = 0;
+      sub.recv(&v, sizeof v, 0, 0);
+      EXPECT_EQ(v, 2);  // got the child message even though parent's is queued
+      comm.recv(&v, sizeof v, 0, 0);
+      EXPECT_EQ(v, 1);
+    }
+  });
+}
+
+TEST(CommDup, PreservesRankAndSize) {
+  const int p = 5;
+  World world(p, ideal_options());
+  world.run([p](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    Comm dup = comm.dup();
+    EXPECT_EQ(dup.rank(), comm.rank());
+    EXPECT_EQ(dup.size(), p);
+    const int sum = dup.allreduce_one(1, ReduceOp::Sum);
+    EXPECT_EQ(sum, p);
+  });
+}
+
+TEST(CommSplit, NestedSplits) {
+  const int p = 8;
+  World world(p, ideal_options());
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    Comm half = comm.split(ctx.rank() / 4, ctx.rank());  // two halves of 4
+    Comm quarter = half.split(half.rank() / 2, half.rank());  // pairs
+    EXPECT_EQ(quarter.size(), 2);
+    const int peer_world =
+        quarter.world_rank_of(1 - quarter.rank());
+    // Pairs are adjacent world ranks: {0,1},{2,3},...
+    EXPECT_EQ(peer_world / 2, ctx.rank() / 2);
+  });
+}
+
+TEST(CommSplit, RepeatedSplitsDoNotInterfere) {
+  World world(4, ideal_options());
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    for (int round = 0; round < 5; ++round) {
+      Comm sub = comm.split(ctx.rank() % 2, ctx.rank());
+      const int sum = sub.allreduce_one(1, ReduceOp::Sum);
+      EXPECT_EQ(sum, 2);
+    }
+  });
+}
+
+TEST(CommSplit, SynchronizesTime) {
+  World world(3, ideal_options());
+  std::vector<double> t(3);
+  world.run([&](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    ctx.compute_exact(ctx.rank() == 1 ? 4.0 : 0.0);
+    Comm sub = comm.split(0, ctx.rank());
+    (void)sub;
+    t[static_cast<std::size_t>(ctx.rank())] = ctx.now();
+  });
+  for (const double x : t) EXPECT_GE(x, 4.0);
+}
+
+TEST(CollSyncU64, ExchangesValues) {
+  const int p = 4;
+  World world(p, ideal_options());
+  world.run([p](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    auto [values, t_max] =
+        comm.collsync_u64(static_cast<std::uint64_t>(ctx.rank()) * 11);
+    (void)t_max;
+    ASSERT_EQ(values.size(), static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(values[static_cast<std::size_t>(r)],
+                static_cast<std::uint64_t>(r) * 11);
+    }
+  });
+}
+
+}  // namespace

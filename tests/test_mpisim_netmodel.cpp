@@ -1,0 +1,158 @@
+// Tests for the network model and the machine presets.
+#include <gtest/gtest.h>
+
+#include "mpisim/machine.hpp"
+#include "mpisim/netmodel.hpp"
+
+namespace {
+
+using namespace mpisect::mpisim;
+
+NetworkModel plain_net() {
+  NetworkModel net;
+  net.intra_node = LinkParams{1e-6, 1e9};
+  net.inter_node = LinkParams{5e-6, 0.5e9};
+  net.cores_per_node = 4;
+  net.jitter.kind = JitterModel::Kind::None;
+  return net;
+}
+
+TEST(LinkParams, CostIsLatencyPlusBandwidth) {
+  const LinkParams link{2e-6, 1e9};
+  EXPECT_DOUBLE_EQ(link.cost(0), 2e-6);
+  EXPECT_DOUBLE_EQ(link.cost(1000), 2e-6 + 1e-6);
+}
+
+TEST(NetworkModel, NodePlacementBlocks) {
+  const NetworkModel net = plain_net();
+  EXPECT_EQ(net.node_of(0), 0);
+  EXPECT_EQ(net.node_of(3), 0);
+  EXPECT_EQ(net.node_of(4), 1);
+  EXPECT_TRUE(net.same_node(0, 3));
+  EXPECT_FALSE(net.same_node(3, 4));
+}
+
+TEST(NetworkModel, IntraVsInterCost) {
+  const NetworkModel net = plain_net();
+  const double intra = net.transfer_cost(0, 1, 1024, 0);
+  const double inter = net.transfer_cost(0, 5, 1024, 0);
+  EXPECT_LT(intra, inter);
+  EXPECT_DOUBLE_EQ(intra, 1e-6 + 1024.0 / 1e9);
+  EXPECT_DOUBLE_EQ(inter, 5e-6 + 1024.0 / 0.5e9);
+}
+
+TEST(NetworkModel, NoJitterIsDeterministicAndExact) {
+  const NetworkModel net = plain_net();
+  for (std::uint64_t seq = 0; seq < 10; ++seq) {
+    EXPECT_DOUBLE_EQ(net.transfer_cost(0, 1, 100, seq),
+                     net.transfer_cost(0, 1, 100, seq));
+    EXPECT_DOUBLE_EQ(net.transfer_cost(0, 1, 100, seq), 1e-6 + 1e-7);
+  }
+}
+
+TEST(NetworkModel, JitterDeterministicPerSeq) {
+  NetworkModel net = plain_net();
+  net.jitter.kind = JitterModel::Kind::Lognormal;
+  net.jitter.rel_sigma = 0.3;
+  const double a = net.transfer_cost(0, 1, 1000, 7);
+  const double b = net.transfer_cost(0, 1, 1000, 7);
+  EXPECT_DOUBLE_EQ(a, b);
+  const double c = net.transfer_cost(0, 1, 1000, 8);
+  EXPECT_NE(a, c);  // different sequence, different draw
+}
+
+TEST(NetworkModel, JitterNeverNegative) {
+  NetworkModel net = plain_net();
+  net.jitter.kind = JitterModel::Kind::Gaussian;
+  net.jitter.rel_sigma = 0.9;  // extreme: clamp must hold
+  net.jitter.add_sigma = 1e-5;
+  for (std::uint64_t seq = 0; seq < 2000; ++seq) {
+    EXPECT_GE(net.transfer_cost(0, 5, 100, seq), 0.0);
+  }
+}
+
+TEST(NetworkModel, EdgeIdentityMatters) {
+  NetworkModel net = plain_net();
+  net.jitter.kind = JitterModel::Kind::Lognormal;
+  net.jitter.rel_sigma = 0.3;
+  // Same locality class, different edges: independent draws.
+  EXPECT_NE(net.transfer_cost(0, 1, 1000, 3), net.transfer_cost(1, 2, 1000, 3));
+}
+
+TEST(NetworkModel, SpikesAreRareButLarge) {
+  NetworkModel net = plain_net();
+  net.jitter.kind = JitterModel::Kind::Lognormal;
+  net.jitter.rel_sigma = 0.0;
+  net.jitter.spike_prob = 0.05;
+  net.jitter.spike_mean = 1.0;  // huge vs the 1us base
+  int spikes = 0;
+  const int n = 4000;
+  for (std::uint64_t seq = 0; seq < n; ++seq) {
+    if (net.transfer_cost(0, 1, 0, seq) > 0.1) ++spikes;
+  }
+  const double rate = static_cast<double>(spikes) / n;
+  EXPECT_GT(rate, 0.02);
+  EXPECT_LT(rate, 0.09);
+}
+
+TEST(NetworkModel, CpuOverheadScalesBase) {
+  NetworkModel net = plain_net();
+  EXPECT_DOUBLE_EQ(net.cpu_overhead(3, 1e-7, 0, 0), 1e-7);  // no jitter
+}
+
+TEST(MachinePresets, Topologies) {
+  const auto nehalem = MachineModel::nehalem_cluster();
+  EXPECT_EQ(nehalem.total_cores(), 456);
+  EXPECT_EQ(nehalem.hw_threads_per_core, 1);
+
+  const auto knl = MachineModel::knl();
+  EXPECT_EQ(knl.total_cores(), 68);
+  EXPECT_EQ(knl.total_hw_threads(), 272);
+
+  const auto bdw = MachineModel::broadwell_2s();
+  EXPECT_EQ(bdw.total_cores(), 36);
+  EXPECT_EQ(bdw.total_hw_threads(), 72);
+}
+
+TEST(MachinePresets, ComputeSeconds) {
+  const auto m = MachineModel::ideal();
+  EXPECT_DOUBLE_EQ(m.compute_seconds(1e9), 1.0);
+  EXPECT_DOUBLE_EQ(m.compute_seconds(0.0), 0.0);
+}
+
+TEST(MachineCapacity, LinearWithinCores) {
+  const auto m = MachineModel::ideal();
+  EXPECT_DOUBLE_EQ(m.thread_capacity(1, 8.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.thread_capacity(4, 8.0), 4.0);
+  EXPECT_DOUBLE_EQ(m.thread_capacity(8, 8.0), 8.0);
+}
+
+TEST(MachineCapacity, SmtLayersAddMarginalYield) {
+  auto m = MachineModel::knl();
+  const double c68 = m.thread_capacity(68, 68.0);
+  const double c136 = m.thread_capacity(136, 68.0);
+  const double c272 = m.thread_capacity(272, 68.0);
+  EXPECT_DOUBLE_EQ(c68, 68.0);
+  EXPECT_NEAR(c136, 68.0 * (1.0 + 0.32), 1e-9);
+  EXPECT_GT(c272, c136);
+  // 4th layer contributes least.
+  EXPECT_LT(c272 - m.thread_capacity(204, 68.0),
+            c136 - c68);
+}
+
+TEST(MachineCapacity, SharedCoresShrinkCapacity) {
+  const auto m = MachineModel::knl();
+  // A rank confined to 2.5 cores cannot exceed ~2.5 + SMT layers.
+  const double cap = m.thread_capacity(4, 2.5);
+  EXPECT_LT(cap, 4.0);
+  EXPECT_GT(cap, 2.5);
+}
+
+TEST(MachineCapacity, DegenerateInputs) {
+  const auto m = MachineModel::ideal();
+  EXPECT_DOUBLE_EQ(m.thread_capacity(0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.thread_capacity(4, 0.0), 0.0);
+  EXPECT_GT(m.thread_capacity(1000, 1.0), 0.0);  // never zero for t>0,c>0
+}
+
+}  // namespace

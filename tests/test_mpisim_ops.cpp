@@ -1,0 +1,151 @@
+// Tests for MiniMPI datatypes, reduction operators and error machinery.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpisim/datatype.hpp"
+#include "mpisim/error.hpp"
+#include "mpisim/op.hpp"
+
+namespace {
+
+using namespace mpisect::mpisim;
+
+TEST(Datatypes, SizesMatchCpp) {
+  EXPECT_EQ(datatype_size(Datatype::Byte), sizeof(std::byte));
+  EXPECT_EQ(datatype_size(Datatype::Int), sizeof(int));
+  EXPECT_EQ(datatype_size(Datatype::Double), sizeof(double));
+  EXPECT_EQ(datatype_size(Datatype::DoubleInt), sizeof(DoubleInt));
+}
+
+TEST(Datatypes, TraitsMapping) {
+  EXPECT_EQ(datatype_of<int>, Datatype::Int);
+  EXPECT_EQ(datatype_of<double>, Datatype::Double);
+  EXPECT_EQ(datatype_of<DoubleInt>, Datatype::DoubleInt);
+}
+
+TEST(Datatypes, Names) {
+  EXPECT_STREQ(datatype_name(Datatype::Double), "MPI_DOUBLE");
+  EXPECT_STREQ(datatype_name(Datatype::Byte), "MPI_BYTE");
+}
+
+TEST(Ops, SumDouble) {
+  const double in[3] = {1.0, 2.0, 3.0};
+  double inout[3] = {10.0, 20.0, 30.0};
+  apply_op(ReduceOp::Sum, Datatype::Double, in, inout, 3);
+  EXPECT_DOUBLE_EQ(inout[0], 11.0);
+  EXPECT_DOUBLE_EQ(inout[2], 33.0);
+}
+
+TEST(Ops, MaxMinInt) {
+  const int in[2] = {5, -7};
+  int inout[2] = {3, -2};
+  apply_op(ReduceOp::Max, Datatype::Int, in, inout, 2);
+  EXPECT_EQ(inout[0], 5);
+  EXPECT_EQ(inout[1], -2);
+  int inout2[2] = {3, -2};
+  apply_op(ReduceOp::Min, Datatype::Int, in, inout2, 2);
+  EXPECT_EQ(inout2[0], 3);
+  EXPECT_EQ(inout2[1], -7);
+}
+
+TEST(Ops, ProdFloat) {
+  const float in[1] = {2.5f};
+  float inout[1] = {4.0f};
+  apply_op(ReduceOp::Prod, Datatype::Float, in, inout, 1);
+  EXPECT_FLOAT_EQ(inout[0], 10.0f);
+}
+
+TEST(Ops, LogicalOps) {
+  const int in[4] = {1, 0, 1, 0};
+  int land[4] = {1, 1, 0, 0};
+  apply_op(ReduceOp::LAnd, Datatype::Int, in, land, 4);
+  EXPECT_EQ(land[0], 1);
+  EXPECT_EQ(land[1], 0);
+  EXPECT_EQ(land[2], 0);
+  EXPECT_EQ(land[3], 0);
+  int lor[4] = {1, 1, 0, 0};
+  apply_op(ReduceOp::LOr, Datatype::Int, in, lor, 4);
+  EXPECT_EQ(lor[0], 1);
+  EXPECT_EQ(lor[1], 1);
+  EXPECT_EQ(lor[2], 1);
+  EXPECT_EQ(lor[3], 0);
+}
+
+TEST(Ops, BitwiseOnIntegers) {
+  const int in[1] = {0b1100};
+  int band[1] = {0b1010};
+  apply_op(ReduceOp::BAnd, Datatype::Int, in, band, 1);
+  EXPECT_EQ(band[0], 0b1000);
+  int bor[1] = {0b1010};
+  apply_op(ReduceOp::BOr, Datatype::Int, in, bor, 1);
+  EXPECT_EQ(bor[0], 0b1110);
+}
+
+TEST(Ops, MaxLocPicksValueThenLowestIndex) {
+  const DoubleInt in[2] = {{5.0, 3}, {7.0, 9}};
+  DoubleInt inout[2] = {{5.0, 1}, {7.0, 2}};
+  apply_op(ReduceOp::MaxLoc, Datatype::DoubleInt, in, inout, 2);
+  EXPECT_EQ(inout[0].index, 1);  // tie: keep lower index
+  EXPECT_EQ(inout[1].index, 2);  // tie: lower index wins
+  const DoubleInt bigger[1] = {{9.0, 5}};
+  DoubleInt target[1] = {{7.0, 2}};
+  apply_op(ReduceOp::MaxLoc, Datatype::DoubleInt, bigger, target, 1);
+  EXPECT_DOUBLE_EQ(target[0].value, 9.0);
+  EXPECT_EQ(target[0].index, 5);
+}
+
+TEST(Ops, MinLoc) {
+  const DoubleInt in[1] = {{-2.0, 7}};
+  DoubleInt inout[1] = {{3.0, 1}};
+  apply_op(ReduceOp::MinLoc, Datatype::DoubleInt, in, inout, 1);
+  EXPECT_DOUBLE_EQ(inout[0].value, -2.0);
+  EXPECT_EQ(inout[0].index, 7);
+}
+
+TEST(Ops, ValidityMatrix) {
+  EXPECT_TRUE(op_valid(ReduceOp::Sum, Datatype::Double));
+  EXPECT_TRUE(op_valid(ReduceOp::BAnd, Datatype::Int));
+  EXPECT_FALSE(op_valid(ReduceOp::BAnd, Datatype::Double));
+  EXPECT_FALSE(op_valid(ReduceOp::MaxLoc, Datatype::Double));
+  EXPECT_TRUE(op_valid(ReduceOp::MaxLoc, Datatype::DoubleInt));
+  EXPECT_FALSE(op_valid(ReduceOp::Sum, Datatype::DoubleInt));
+  EXPECT_TRUE(op_valid(ReduceOp::BOr, Datatype::Byte));
+  EXPECT_FALSE(op_valid(ReduceOp::Sum, Datatype::Byte));
+}
+
+TEST(Ops, InvalidCombinationThrows) {
+  double in = 1.0;
+  double inout = 2.0;
+  EXPECT_THROW(apply_op(ReduceOp::BAnd, Datatype::Double, &in, &inout, 1),
+               MpiError);
+  EXPECT_THROW(apply_op(ReduceOp::Sum, Datatype::Double, &in, &inout, -1),
+               MpiError);
+}
+
+TEST(Errors, CodeAndMessagePreserved) {
+  try {
+    throw MpiError(Err::Truncate, "boom");
+  } catch (const MpiError& e) {
+    EXPECT_EQ(e.code(), Err::Truncate);
+    EXPECT_NE(std::string(e.what()).find("MPI_ERR_TRUNCATE"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(Errors, RequireThrowsOnlyWhenFalse) {
+  EXPECT_NO_THROW(require(true, Err::Arg, "ok"));
+  EXPECT_THROW(require(false, Err::Rank, "bad"), MpiError);
+}
+
+TEST(Errors, AllCodesNamed) {
+  for (const Err e :
+       {Err::Success, Err::Comm, Err::Count, Err::Rank, Err::Tag, Err::Type,
+        Err::Op, Err::Truncate, Err::Buffer, Err::Arg, Err::Pending,
+        Err::Section, Err::Aborted, Err::Internal}) {
+    EXPECT_NE(std::string(err_name(e)), "MPI_ERR_UNKNOWN");
+  }
+}
+
+}  // namespace

@@ -1,0 +1,280 @@
+// SectionProfiler: attachment through hooks only, timing attribution,
+// instance metrics, and report rendering.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/sections/api.hpp"
+#include "profiler/report.hpp"
+#include "profiler/section_profiler.hpp"
+
+namespace {
+
+using namespace mpisect;
+using namespace mpisect::profiler;
+using mpisim::Comm;
+using mpisim::Ctx;
+using mpisim::MachineModel;
+using mpisim::World;
+using mpisim::WorldOptions;
+using sections::MPIX_Section_enter;
+using sections::MPIX_Section_exit;
+
+WorldOptions ideal_options() {
+  WorldOptions opts;
+  opts.machine = MachineModel::ideal();
+  return opts;
+}
+
+TEST(Profiler, MeasuresSectionDurations) {
+  World world(2, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world);
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    MPIX_Section_enter(comm, "compute");
+    ctx.compute_exact(2.0);
+    MPIX_Section_exit(comm, "compute");
+  });
+  const auto t = prof.totals_for("compute");
+  EXPECT_EQ(t.ranks_seen, 2);
+  EXPECT_EQ(t.instances, 1);
+  EXPECT_NEAR(t.mean_per_process, 2.0, 1e-9);
+  EXPECT_NEAR(prof.main_time(), 2.0, 1e-6);
+}
+
+TEST(Profiler, ExclusiveExcludesChildren) {
+  World world(1, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world);
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    MPIX_Section_enter(comm, "outer");
+    ctx.compute_exact(1.0);
+    MPIX_Section_enter(comm, "inner");
+    ctx.compute_exact(3.0);
+    MPIX_Section_exit(comm, "inner");
+    MPIX_Section_exit(comm, "outer");
+  });
+  const auto outer = prof.totals_for("outer");
+  const auto inner = prof.totals_for("inner");
+  EXPECT_NEAR(outer.total_time, 4.0, 1e-9);
+  EXPECT_NEAR(outer.exclusive_total, 1.0, 1e-9);
+  EXPECT_NEAR(inner.exclusive_total, 3.0, 1e-9);
+}
+
+TEST(Profiler, RepeatedInstancesAccumulate) {
+  World world(1, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world);
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    for (int i = 0; i < 10; ++i) {
+      MPIX_Section_enter(comm, "step");
+      ctx.compute_exact(0.1);
+      MPIX_Section_exit(comm, "step");
+    }
+  });
+  const auto t = prof.totals_for("step");
+  EXPECT_EQ(t.instances, 10);
+  EXPECT_NEAR(t.total_time, 1.0, 1e-9);
+  const auto* rs = prof.rank_stats(0, t.comm_context, "step");
+  ASSERT_NE(rs, nullptr);
+  EXPECT_EQ(rs->count, 10);
+  EXPECT_NEAR(rs->min_instance, 0.1, 1e-9);
+  EXPECT_NEAR(rs->max_instance, 0.1, 1e-9);
+}
+
+TEST(Profiler, MpiTimeAttributedToEnclosingSection) {
+  World world(2, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world);
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    MPIX_Section_enter(comm, "comm-heavy");
+    // Rank 1 waits ~5s for rank 0's message: that waiting is MPI time.
+    if (ctx.rank() == 0) {
+      ctx.compute_exact(5.0);
+      comm.send(nullptr, 8, 1, 0);
+    } else {
+      comm.recv(nullptr, 8, 0, 0);
+    }
+    MPIX_Section_exit(comm, "comm-heavy");
+  });
+  const auto t = prof.totals_for("comm-heavy");
+  const auto* r1 = prof.rank_stats(1, t.comm_context, "comm-heavy");
+  ASSERT_NE(r1, nullptr);
+  EXPECT_NEAR(r1->mpi_time, 5.0, 0.1);      // receive wait dominated
+  EXPECT_EQ(r1->p2p_calls, 1);
+  const auto* r0 = prof.rank_stats(0, t.comm_context, "comm-heavy");
+  ASSERT_NE(r0, nullptr);
+  EXPECT_LT(r0->mpi_time, 0.1);             // the sender barely waited
+}
+
+TEST(Profiler, CollectiveCallsCounted) {
+  World world(4, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world);
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    MPIX_Section_enter(comm, "sync");
+    comm.barrier();
+    comm.barrier();
+    MPIX_Section_exit(comm, "sync");
+  });
+  const auto t = prof.totals_for("sync");
+  const auto* rs = prof.rank_stats(2, t.comm_context, "sync");
+  ASSERT_NE(rs, nullptr);
+  EXPECT_EQ(rs->collective_calls, 2);
+}
+
+TEST(Profiler, InstanceMetricsCrossRank) {
+  World world(3, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world, {.keep_instances = true});
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    // Skew entries: rank r arrives r seconds late.
+    ctx.compute_exact(static_cast<double>(ctx.rank()));
+    MPIX_Section_enter(comm, "skewed");
+    ctx.compute_exact(1.0);
+    MPIX_Section_exit(comm, "skewed");
+  });
+  const auto t = prof.totals_for("skewed");
+  EXPECT_EQ(prof.instance_count(t.comm_context, "skewed"), 1u);
+  const auto m = prof.instance_metrics(t.comm_context, "skewed", 0);
+  EXPECT_EQ(m.nranks, 3);
+  EXPECT_NEAR(m.t_min, 0.0, 1e-9);
+  EXPECT_NEAR(m.t_max, 3.0, 1e-9);
+  EXPECT_NEAR(m.entry_imb_max, 2.0, 1e-9);
+  EXPECT_NEAR(m.entry_imb_mean, 1.0, 1e-9);
+}
+
+TEST(Profiler, AggregatedMetricsOverInstances) {
+  World world(2, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world, {.keep_instances = true});
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    for (int i = 0; i < 5; ++i) {
+      MPIX_Section_enter(comm, "loop");
+      ctx.compute_exact(0.2);
+      MPIX_Section_exit(comm, "loop");
+    }
+  });
+  const auto t = prof.totals_for("loop");
+  const auto agg = prof.aggregated_metrics(t.comm_context, "loop");
+  EXPECT_EQ(agg.instances, 5);
+  EXPECT_NEAR(agg.total_section_mean, 1.0, 1e-9);
+}
+
+TEST(Profiler, TraceOrderedPerRank) {
+  World world(1, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world, {.keep_instances = true});
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    MPIX_Section_enter(comm, "a");
+    MPIX_Section_enter(comm, "b");
+    MPIX_Section_exit(comm, "b");
+    MPIX_Section_exit(comm, "a");
+  });
+  const auto& spans = prof.trace(0);
+  // Exit order: b closes before a, MPI_MAIN last.
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(prof.labels().name(spans[0].label), "b");
+  EXPECT_EQ(spans[0].depth, 2);
+  EXPECT_EQ(prof.labels().name(spans[1].label), "a");
+  EXPECT_EQ(prof.labels().name(spans[2].label),
+            sections::kMainSectionLabel);
+}
+
+TEST(Profiler, DetachStopsRecording) {
+  World world(1, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world);
+  prof.detach();
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    MPIX_Section_enter(comm, "invisible");
+    MPIX_Section_exit(comm, "invisible");
+  });
+  EXPECT_EQ(prof.totals_for("invisible").ranks_seen, 0);
+}
+
+TEST(ProfilerReport, TextContainsSectionsAndPercent) {
+  World world(2, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world);
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    MPIX_Section_enter(comm, "phase-a");
+    ctx.compute_exact(1.0);
+    MPIX_Section_exit(comm, "phase-a");
+  });
+  const std::string text = render_text(prof);
+  EXPECT_NE(text.find("phase-a"), std::string::npos);
+  EXPECT_NE(text.find("MPI_MAIN"), std::string::npos);
+  const std::string csv = render_csv(prof);
+  EXPECT_NE(csv.find("phase-a"), std::string::npos);
+  const std::string json = render_json(prof);
+  EXPECT_NE(json.find("\"section\": \"phase-a\""), std::string::npos);
+}
+
+TEST(ProfilerReport, ExecutionSharesSumSensibly) {
+  World world(1, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world);
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    MPIX_Section_enter(comm, "big");
+    ctx.compute_exact(3.0);
+    MPIX_Section_exit(comm, "big");
+    MPIX_Section_enter(comm, "small");
+    ctx.compute_exact(1.0);
+    MPIX_Section_exit(comm, "small");
+  });
+  const auto shares = execution_shares(prof);
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_EQ(shares[0].label, "big");  // sorted descending
+  EXPECT_NEAR(shares[0].share, 0.75, 1e-6);
+  EXPECT_NEAR(shares[1].share, 0.25, 1e-6);
+}
+
+TEST(ProfilerReport, TraceRendering) {
+  World world(1, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world, {.keep_instances = true});
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    MPIX_Section_enter(comm, "traced");
+    ctx.compute_exact(0.5);
+    MPIX_Section_exit(comm, "traced");
+  });
+  const std::string trace = render_trace(prof, 0);
+  EXPECT_NE(trace.find("traced #0"), std::string::npos);
+}
+
+
+TEST(ProfilerReport, ChromeTraceExport) {
+  World world(2, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world, {.keep_instances = true});
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    MPIX_Section_enter(comm, "boxed");
+    ctx.compute_exact(0.25);
+    MPIX_Section_exit(comm, "boxed");
+  });
+  const std::string json = render_chrome_trace(prof);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\": \"boxed\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 1"), std::string::npos);
+  // One event per rank for "boxed" + one per rank for MPI_MAIN = 4 events.
+  std::size_t events = 0;
+  for (std::size_t pos = 0; (pos = json.find("\"ph\"", pos)) != std::string::npos; ++pos) ++events;
+  EXPECT_EQ(events, 4u);
+}
+
+}  // namespace

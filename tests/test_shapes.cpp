@@ -1,0 +1,158 @@
+// Shape-regression tests: the qualitative paper claims recorded in
+// EXPERIMENTS.md, pinned as assertions on reduced-size modeled runs so a
+// calibration change that breaks a figure's *shape* fails CI rather than
+// silently drifting. (Absolute values are free to move; orderings,
+// crossovers and inflexions are not.)
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/convolution/convolution.hpp"
+#include "apps/lulesh/lulesh.hpp"
+#include "core/sections/runtime.hpp"
+#include "core/speedup/inflexion.hpp"
+#include "profiler/section_profiler.hpp"
+
+namespace {
+
+using namespace mpisect;
+using mpisim::MachineModel;
+using mpisim::World;
+using mpisim::WorldOptions;
+
+struct Sample {
+  double walltime = 0.0;
+  std::map<std::string, double> per_process;
+};
+
+Sample run_convolution(int p, int steps) {
+  WorldOptions opts;
+  opts.machine = MachineModel::nehalem_cluster();
+  World world(p, opts);
+  sections::SectionRuntime::install(world);
+  profiler::SectionProfiler prof(world);
+  apps::conv::ConvolutionConfig cfg;
+  cfg.steps = steps;
+  cfg.full_fidelity = false;
+  apps::conv::ConvolutionApp app(cfg);
+  world.run(std::ref(app));
+  Sample s;
+  s.walltime = world.elapsed();
+  for (const auto& t : prof.totals()) {
+    s.per_process[t.label] = t.mean_per_process;
+  }
+  return s;
+}
+
+Sample run_lulesh(const MachineModel& machine, int p, int s_edge, int threads,
+                  int steps) {
+  WorldOptions opts;
+  opts.machine = machine;
+  World world(p, opts);
+  sections::SectionRuntime::install(world);
+  profiler::SectionProfiler prof(world);
+  apps::lulesh::LuleshConfig cfg;
+  cfg.s = s_edge;
+  cfg.steps = steps;
+  cfg.omp_threads = threads;
+  cfg.full_fidelity = false;
+  apps::lulesh::LuleshApp app(cfg);
+  world.run(std::ref(app));
+  Sample out;
+  out.walltime = world.elapsed();
+  for (const auto& t : prof.totals()) {
+    out.per_process[t.label] = t.mean_per_process;
+  }
+  return out;
+}
+
+TEST(ShapeFig5, CommunicationOvertakesComputeAtScale) {
+  // Paper Fig. 5(a): CONVOLVE dominates at low p; HALO overtakes by ~128.
+  const auto p8 = run_convolution(8, 150);
+  const auto p128 = run_convolution(128, 150);
+  EXPECT_GT(p8.per_process.at("CONVOLVE"), p8.per_process.at("HALO") * 4.0);
+  EXPECT_GT(p128.per_process.at("HALO"), p128.per_process.at("CONVOLVE"));
+}
+
+TEST(ShapeFig5, SpeedupSaturates) {
+  // Paper Fig. 5(d): near-linear at 8, far below linear by 128.
+  const auto p1 = run_convolution(1, 120);
+  const auto p8 = run_convolution(8, 120);
+  const auto p128 = run_convolution(128, 120);
+  const double s8 = p1.walltime / p8.walltime;
+  const double s128 = p1.walltime / p128.walltime;
+  EXPECT_GT(s8, 6.0);
+  EXPECT_LT(s128, 70.0);   // << 128
+  EXPECT_GT(s128, s8);     // still faster in absolute terms
+}
+
+TEST(ShapeFig8, MpiBeatsOpenMpInStrongScalingOnBroadwell) {
+  // Paper Fig. 8: p=8,t=1 beats p=1,t=8 at the same total element count.
+  const auto mpi8 =
+      run_lulesh(MachineModel::broadwell_2s(), 8, 24, 1, 60);
+  const auto omp8 =
+      run_lulesh(MachineModel::broadwell_2s(), 1, 48, 8, 60);
+  EXPECT_LT(mpi8.walltime, omp8.walltime);
+}
+
+TEST(ShapeFig8, OpenMpStillHelpsAtSingleProcess) {
+  const auto t1 = run_lulesh(MachineModel::broadwell_2s(), 1, 32, 1, 40);
+  const auto t16 = run_lulesh(MachineModel::broadwell_2s(), 1, 32, 16, 40);
+  EXPECT_LT(t16.walltime, t1.walltime * 0.25);
+}
+
+TEST(ShapeFig9, ThreadsHarmKnlAtHighRankCounts) {
+  // Paper Fig. 9: at p=27 on KNL, adding threads gives no acceleration and
+  // eventually slows the code down.
+  const auto t1 = run_lulesh(MachineModel::knl(), 27, 16, 1, 40);
+  const auto t4 = run_lulesh(MachineModel::knl(), 27, 16, 4, 40);
+  const auto t32 = run_lulesh(MachineModel::knl(), 27, 16, 32, 40);
+  EXPECT_GT(t4.walltime, t1.walltime * 0.95);  // no real acceleration
+  EXPECT_GT(t32.walltime, t1.walltime * 2.0);  // clear slowdown
+}
+
+TEST(ShapeFig10, InflexionPointInPaperRange) {
+  // Paper Fig. 10: pure-OpenMP walltime on KNL bottoms out around 24
+  // threads (we accept 16..32) and clearly rises at 256.
+  speedup::ScalingSeries wall("walltime");
+  for (const int t : {1, 4, 8, 16, 24, 32, 64, 128, 256}) {
+    wall.add(t, run_lulesh(MachineModel::knl(), 1, 32, t, 40).walltime);
+  }
+  const auto ip = speedup::find_inflexion(wall);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_GE(ip->p, 16);
+  EXPECT_LE(ip->p, 32);
+  EXPECT_GT(*wall.at(256), ip->time * 1.3);
+}
+
+TEST(ShapeFig10, PartialBoundTightAtInflexion) {
+  // The headline: bound from the two Lagrange sections ~ measured speedup.
+  speedup::ScalingSeries wall("walltime");
+  std::map<int, Sample> samples;
+  for (const int t : {1, 8, 16, 24, 32, 64}) {
+    samples[t] = run_lulesh(MachineModel::knl(), 1, 32, t, 60);
+    wall.add(t, samples[t].walltime);
+  }
+  const auto ip = speedup::find_inflexion(wall);
+  ASSERT_TRUE(ip.has_value());
+  const auto& at = samples[ip->p];
+  const double t_seq = *wall.sequential();
+  const double bound =
+      t_seq / (at.per_process.at("LagrangeNodal") +
+               at.per_process.at("LagrangeElements"));
+  const double measured = t_seq / at.walltime;
+  EXPECT_GE(bound * 1.02, measured);        // it IS a bound
+  EXPECT_LT(bound, measured * 1.25);        // and a tight one (paper: 1.01)
+}
+
+TEST(ShapeSec3, TwoDTilesShipFewerBytesPerRank) {
+  const apps::conv::GridDecomposition grid(5616, 3744, 64);
+  const apps::conv::RowDecomposition rows(3744, 64);
+  const std::size_t pixel = apps::conv::kChannels * sizeof(double);
+  const std::size_t tile = grid.halo_bytes(64 / 2, pixel);
+  const std::size_t band = 2u * 5616u * pixel;
+  EXPECT_LT(tile, band / 2);
+  (void)rows;
+}
+
+}  // namespace

@@ -1,0 +1,255 @@
+// Partial speedup bounding (Eq. 6), inflexion detection, and the report
+// renderers — the paper's core analysis machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/speedup/inflexion.hpp"
+#include "core/speedup/partial_bound.hpp"
+#include "core/speedup/report.hpp"
+
+namespace {
+
+using namespace mpisect::speedup;
+
+TEST(PartialBound, BasicFormula) {
+  // B = T_seq / t_section_per_process.
+  EXPECT_DOUBLE_EQ(partial_bound(5589.84, 47.272), 5589.84 / 47.272);
+  EXPECT_TRUE(std::isinf(partial_bound(100.0, 0.0)));
+}
+
+TEST(PartialBound, PaperFig6Numbers) {
+  // Fig. 6: with 64 processes, total HALO = 3025.44 s, per-process =
+  // 3025.44/64, and B = 5589.84 / (3025.44/64) = 118.25.
+  const double b64 = partial_bound(5589.84, 3025.44 / 64.0);
+  EXPECT_NEAR(b64, 118.25, 0.05);
+  // 112 processes: 1822.38 total -> B = 343.54.
+  const double b112 = partial_bound(5589.84, 1822.38 / 112.0);
+  EXPECT_NEAR(b112, 343.54, 0.1);
+  // 128 processes: 14135.56 total -> B = 50.61.
+  const double b128 = partial_bound(5589.84, 14135.56 / 128.0);
+  EXPECT_NEAR(b128, 50.61, 0.05);
+}
+
+TEST(PartialBound, PaperFig10LuleshNumbers) {
+  // Sec 5.2: sequential 882.48s; at the inflexion (24 threads) the two
+  // Lagrange sections cost 43.84 + 64.29 -> bound 8.16x; and
+  // LagrangeElements alone bounds at 882.48/64.29 = 13.72x.
+  EXPECT_NEAR(partial_bound(882.48, 43.84 + 64.29), 8.16, 0.01);
+  EXPECT_NEAR(partial_bound(882.48, 64.29), 13.72, 0.01);
+}
+
+BoundAnalysis make_analysis() {
+  // Sequential total 100s: COMPUTE 90s, COMM 10s.
+  BoundAnalysis analysis(100.0);
+  SectionScaling compute;
+  compute.label = "COMPUTE";
+  SectionScaling comm;
+  comm.label = "COMM";
+  for (const int p : {1, 2, 4, 8, 16, 32}) {
+    const double tc = 90.0 / p;          // scales perfectly
+    const double tm = p == 1 ? 10.0 : 10.0 / std::sqrt(p);  // scales poorly
+    compute.per_process.add(p, tc);
+    compute.total.add(p, tc * p);
+    comm.per_process.add(p, tm);
+    comm.total.add(p, tm * p);
+  }
+  analysis.add_section(compute);
+  analysis.add_section(comm);
+  return analysis;
+}
+
+TEST(BoundAnalysisTest, BoundSeries) {
+  const auto analysis = make_analysis();
+  const auto b = analysis.bound_series("COMM");
+  EXPECT_DOUBLE_EQ(*b.at(1), 10.0);           // 100/10
+  EXPECT_DOUBLE_EQ(*b.at(16), 100.0 / 2.5);   // 100/(10/4)
+  EXPECT_TRUE(analysis.bound_series("NOPE").empty());
+}
+
+TEST(BoundAnalysisTest, BindingBoundIsMinOverSections) {
+  const auto analysis = make_analysis();
+  const auto binding = analysis.binding_bounds();
+  ASSERT_EQ(binding.size(), 6u);
+  // At p=1 COMM bounds at 10 while COMPUTE bounds at 100/90 = 1.11: the
+  // binding section is COMPUTE (it has the LOWEST bound).
+  EXPECT_EQ(binding[0].label, "COMPUTE");
+  EXPECT_NEAR(binding[0].bound, 100.0 / 90.0, 1e-12);
+  // At p=32 COMPUTE's bound is 100/(90/32)=35.6 but COMM's is
+  // 100/(10/sqrt(32)) = 56.6 -> COMPUTE still binding.
+  EXPECT_EQ(binding[5].label, "COMPUTE");
+  // The overall bound grows with p but sub-linearly vs the COMM section.
+  EXPECT_GT(binding[5].bound, binding[0].bound);
+}
+
+TEST(BoundAnalysisTest, RowsCoverAllSectionsAndScales) {
+  const auto analysis = make_analysis();
+  const auto rows = analysis.rows();
+  EXPECT_EQ(rows.size(), 12u);
+  int comm_rows = 0;
+  for (const auto& r : rows) {
+    if (r.label == "COMM") {
+      ++comm_rows;
+      EXPECT_NEAR(r.total_time, r.per_process_time * r.p, 1e-9);
+      EXPECT_DOUBLE_EQ(r.bound, partial_bound(100.0, r.per_process_time));
+    }
+  }
+  EXPECT_EQ(comm_rows, 6);
+}
+
+TEST(BoundAnalysisTest, TranspositionHoldsForNonScalingSection) {
+  // The paper's transposition claim applies to a section that has STOPPED
+  // scaling: its per-process time never drops below the value at p_low, so
+  // the bound computed there keeps holding at larger p.
+  BoundAnalysis analysis(100.0);
+  SectionScaling compute;
+  compute.label = "COMPUTE";
+  SectionScaling comm;
+  comm.label = "COMM";
+  ScalingSeries measured("S");
+  for (const int p : {1, 2, 4, 8, 16, 32}) {
+    const double tc = 90.0 / p;
+    const double tm = 10.0;  // flat: exhausted its parallelism budget
+    compute.per_process.add(p, tc);
+    compute.total.add(p, tc * p);
+    comm.per_process.add(p, tm);
+    comm.total.add(p, tm * p);
+    measured.add(p, 100.0 / (tc + tm));
+  }
+  analysis.add_section(compute);
+  analysis.add_section(comm);
+  const auto trans = analysis.transpose_bound("COMM", 4, measured);
+  EXPECT_TRUE(trans.holds);
+  EXPECT_DOUBLE_EQ(trans.bound, 10.0);  // 100/10
+}
+
+TEST(BoundAnalysisTest, TranspositionViolationDetected) {
+  BoundAnalysis analysis(100.0);
+  SectionScaling s;
+  s.label = "X";
+  s.per_process.add(2, 50.0);  // implies B(2) = 2
+  s.total.add(2, 100.0);
+  analysis.add_section(s);
+  ScalingSeries measured("S");
+  measured.add(2, 1.8);
+  measured.add(4, 3.5);  // exceeds the bound of 2 -> the bound was wrong
+  const auto trans = analysis.transpose_bound("X", 2, measured);
+  EXPECT_FALSE(trans.holds);
+  EXPECT_EQ(trans.first_violation_p, 4);
+}
+
+TEST(BoundAnalysisTest, TranspositionMissingSample) {
+  const auto analysis = make_analysis();
+  ScalingSeries measured("S");
+  const auto trans = analysis.transpose_bound("COMM", 3, measured);
+  EXPECT_FALSE(trans.holds);  // p=3 never sampled
+}
+
+TEST(Inflexion, DetectsMinimumBeforeRise) {
+  ScalingSeries s("Lagrange");
+  s.add(1, 100.0);
+  s.add(2, 52.0);
+  s.add(4, 28.0);
+  s.add(8, 16.0);
+  s.add(16, 11.0);
+  s.add(24, 9.0);   // the minimum
+  s.add(32, 10.0);
+  s.add(64, 14.0);
+  const auto ip = find_inflexion(s);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->p, 24);
+  EXPECT_DOUBLE_EQ(ip->time, 9.0);
+  EXPECT_NEAR(ip->rise, 14.0 / 9.0 - 1.0, 1e-12);
+}
+
+TEST(Inflexion, MonotoneDecreasingHasNone) {
+  ScalingSeries s("ok");
+  for (int p = 1; p <= 64; p *= 2) s.add(p, 100.0 / p);
+  EXPECT_FALSE(find_inflexion(s).has_value());
+}
+
+TEST(Inflexion, NoiseBelowToleranceIgnored) {
+  ScalingSeries s("noisy");
+  s.add(1, 100.0);
+  s.add(2, 50.0);
+  s.add(4, 25.0);
+  s.add(8, 25.2);  // 0.8% wiggle
+  EXPECT_FALSE(find_inflexion(s, 0.02).has_value());
+  EXPECT_TRUE(find_inflexion(s, 0.001).has_value());  // tighter tolerance
+}
+
+TEST(Inflexion, ShortSeriesHasNone) {
+  ScalingSeries s("short");
+  s.add(1, 2.0);
+  s.add(2, 3.0);
+  EXPECT_FALSE(find_inflexion(s).has_value());
+}
+
+TEST(Inflexion, BoundAtInflexion) {
+  ScalingSeries s("sect");
+  s.add(1, 50.0);
+  s.add(8, 10.0);
+  s.add(16, 8.0);
+  s.add(32, 12.0);
+  const auto b = inflexion_bound(s, 100.0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(*b, 100.0 / 8.0);
+  ScalingSeries mono("m");
+  for (int p = 1; p <= 8; p *= 2) mono.add(p, 8.0 / p);
+  EXPECT_FALSE(inflexion_bound(mono, 100.0).has_value());
+}
+
+TEST(Inflexion, MaxUsefulScale) {
+  ScalingSeries s("sect");
+  s.add(1, 50.0);
+  s.add(8, 10.0);
+  s.add(16, 8.0);
+  s.add(32, 12.0);
+  EXPECT_EQ(*max_useful_scale(s), 16);
+  ScalingSeries mono("m");
+  mono.add(1, 4.0);
+  mono.add(2, 2.0);
+  mono.add(4, 1.0);
+  EXPECT_EQ(*max_useful_scale(mono), 4);  // best sampled point
+  EXPECT_FALSE(max_useful_scale(ScalingSeries("e")).has_value());
+}
+
+TEST(Report, BoundTableContainsRows) {
+  const auto analysis = make_analysis();
+  const std::string table =
+      render_bound_table(analysis, "COMM", {2, 8, 32});
+  EXPECT_NE(table.find("#Processes"), std::string::npos);
+  EXPECT_NE(table.find("Tot. COMM Time"), std::string::npos);
+  EXPECT_NE(table.find("Speedup Bound (B)"), std::string::npos);
+  EXPECT_NE(table.find("32"), std::string::npos);
+}
+
+TEST(Report, BindingTable) {
+  const auto analysis = make_analysis();
+  const std::string table = render_binding_table(analysis);
+  EXPECT_NE(table.find("COMPUTE"), std::string::npos);
+}
+
+TEST(Report, SeriesCsvAlignsByP) {
+  ScalingSeries a("a");
+  a.add(1, 1.0);
+  a.add(2, 2.0);
+  ScalingSeries b("b");
+  b.add(2, 20.0);
+  const std::string csv = series_csv({a, b});
+  EXPECT_NE(csv.find("p,a,b"), std::string::npos);
+  EXPECT_NE(csv.find("1,1,"), std::string::npos);
+  EXPECT_NE(csv.find("2,2,20"), std::string::npos);
+}
+
+TEST(Report, SpeedupSummary) {
+  ScalingSeries t("walltime");
+  t.add(1, 16.0);
+  t.add(8, 4.0);
+  const std::string line = summarize_speedup(t);
+  EXPECT_NE(line.find("4.00x"), std::string::npos);
+  EXPECT_NE(line.find("Karp-Flatt"), std::string::npos);
+  EXPECT_EQ(summarize_speedup(ScalingSeries("x")), "(insufficient data)\n");
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Classical scaling laws: Amdahl, Gustafson-Barsis, Karp-Flatt and the
+// algebraic identities connecting them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/speedup/laws.hpp"
+#include "core/speedup/series.hpp"
+
+namespace {
+
+using namespace mpisect::speedup;
+
+TEST(Laws, SpeedupAndEfficiency) {
+  EXPECT_DOUBLE_EQ(speedup(10.0, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(speedup(10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(efficiency(10.0, 2.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(efficiency(10.0, 2.0, 10), 0.5);
+  EXPECT_DOUBLE_EQ(efficiency(10.0, 2.0, 0), 0.0);
+}
+
+TEST(Laws, AmdahlKnownValues) {
+  // fs = 0.1: S(10) = 1/(0.1 + 0.9/10) ~ 5.263.
+  EXPECT_NEAR(amdahl_bound(0.1, 10), 1.0 / 0.19, 1e-12);
+  EXPECT_DOUBLE_EQ(amdahl_bound(0.0, 16), 16.0);  // embarrassingly parallel
+  EXPECT_DOUBLE_EQ(amdahl_bound(1.0, 64), 1.0);   // fully serial
+}
+
+TEST(Laws, AmdahlMonotoneInP) {
+  double prev = 0.0;
+  for (int p = 1; p <= 4096; p *= 2) {
+    const double s = amdahl_bound(0.05, p);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+  EXPECT_LT(prev, amdahl_limit(0.05));
+}
+
+TEST(Laws, AmdahlLimit) {
+  EXPECT_DOUBLE_EQ(amdahl_limit(0.25), 4.0);
+  EXPECT_TRUE(std::isinf(amdahl_limit(0.0)));
+  EXPECT_DOUBLE_EQ(amdahl_limit(1.0), 1.0);
+}
+
+TEST(Laws, GustafsonScaled) {
+  EXPECT_DOUBLE_EQ(gustafson_scaled(0.0, 8), 8.0);
+  EXPECT_DOUBLE_EQ(gustafson_scaled(1.0, 8), 1.0);
+  EXPECT_DOUBLE_EQ(gustafson_scaled(0.5, 9), 5.0);
+}
+
+TEST(Laws, GustafsonExceedsAmdahlForLargeP) {
+  // Scaled speedup grows linearly; fixed-size speedup saturates.
+  EXPECT_GT(gustafson_scaled(0.1, 1000), amdahl_bound(0.1, 1000));
+}
+
+TEST(Laws, KarpFlattRecoversAmdahlFraction) {
+  // If the measured speedup exactly follows Amdahl with fraction fs, the
+  // Karp-Flatt metric recovers fs at every p.
+  for (const double fs : {0.01, 0.05, 0.2, 0.5}) {
+    for (const int p : {2, 4, 16, 128}) {
+      const double s = amdahl_bound(fs, p);
+      EXPECT_NEAR(karp_flatt(s, p), fs, 1e-10)
+          << "fs=" << fs << " p=" << p;
+    }
+  }
+}
+
+TEST(Laws, KarpFlattEdgeCases) {
+  EXPECT_DOUBLE_EQ(karp_flatt(5.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(karp_flatt(0.0, 8), 0.0);
+  // Perfect linear speedup -> zero experimentally determined serial part.
+  EXPECT_NEAR(karp_flatt(8.0, 8), 0.0, 1e-12);
+  // Slowdown (S < 1) yields fraction > 1 — a red flag the tool surfaces.
+  EXPECT_GT(karp_flatt(0.5, 8), 1.0);
+}
+
+TEST(Laws, ImpliedSerialFractionAlias) {
+  EXPECT_DOUBLE_EQ(implied_serial_fraction(4.0, 8), karp_flatt(4.0, 8));
+}
+
+TEST(Series, AddAndLookup) {
+  ScalingSeries s("walltime");
+  s.add(4, 2.5);
+  s.add(1, 10.0);
+  s.add(2, 5.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.points()[0].p, 1);  // kept sorted
+  EXPECT_EQ(s.points()[2].p, 4);
+  EXPECT_DOUBLE_EQ(*s.at(2), 5.0);
+  EXPECT_FALSE(s.at(3).has_value());
+  EXPECT_DOUBLE_EQ(*s.sequential(), 10.0);
+}
+
+TEST(Series, ResampleOverwrites) {
+  ScalingSeries s("x");
+  s.add(2, 5.0);
+  s.add(2, 4.0);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(*s.at(2), 4.0);
+}
+
+TEST(Series, BestPoint) {
+  ScalingSeries s("x");
+  s.add(1, 10.0);
+  s.add(8, 2.0);
+  s.add(64, 3.0);
+  const auto best = s.best();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->p, 8);
+  EXPECT_DOUBLE_EQ(best->time, 2.0);
+  EXPECT_FALSE(ScalingSeries("empty").best().has_value());
+}
+
+TEST(Series, SpeedupDerivation) {
+  ScalingSeries s("t");
+  s.add(1, 12.0);
+  s.add(4, 3.0);
+  s.add(8, 2.0);
+  const auto sp = s.to_speedup();
+  EXPECT_DOUBLE_EQ(*sp.at(1), 1.0);
+  EXPECT_DOUBLE_EQ(*sp.at(4), 4.0);
+  EXPECT_DOUBLE_EQ(*sp.at(8), 6.0);
+  const auto eff = s.to_efficiency();
+  EXPECT_DOUBLE_EQ(*eff.at(4), 1.0);
+  EXPECT_DOUBLE_EQ(*eff.at(8), 0.75);
+}
+
+TEST(Series, SpeedupWithExplicitReference) {
+  ScalingSeries s("t");
+  s.add(4, 3.0);  // no p=1 sample
+  EXPECT_TRUE(s.to_speedup().empty());  // no reference -> empty
+  const auto sp = s.to_speedup(12.0);
+  EXPECT_DOUBLE_EQ(*sp.at(4), 4.0);
+}
+
+TEST(Series, XsYsForCharting) {
+  ScalingSeries s("t");
+  s.add(1, 5.0);
+  s.add(2, 3.0);
+  EXPECT_EQ(s.xs(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(s.ys(), (std::vector<double>{5.0, 3.0}));
+}
+
+class AmdahlGustafsonCross : public ::testing::TestWithParam<double> {};
+
+TEST_P(AmdahlGustafsonCross, BothReduceToTrivialAtP1) {
+  const double fs = GetParam();
+  EXPECT_DOUBLE_EQ(amdahl_bound(fs, 1), 1.0);
+  EXPECT_DOUBLE_EQ(gustafson_scaled(fs, 1), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, AmdahlGustafsonCross,
+                         ::testing::Values(0.0, 0.1, 0.5, 0.9, 1.0));
+
+}  // namespace

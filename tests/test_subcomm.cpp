@@ -1,0 +1,164 @@
+// Behaviour on split/dup'ed communicators: p2p, collectives, sections,
+// validation and profiling all must work identically on sub-communicators
+// (the paper defines sections per communicator).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/sections/api.hpp"
+#include "profiler/section_profiler.hpp"
+
+namespace {
+
+using namespace mpisect;
+using mpisim::Comm;
+using mpisim::Ctx;
+using mpisim::MachineModel;
+using mpisim::World;
+using mpisim::WorldOptions;
+
+WorldOptions ideal_options() {
+  WorldOptions opts;
+  opts.machine = MachineModel::ideal();
+  return opts;
+}
+
+TEST(SubComm, PointToPointUsesSubRanks) {
+  World world(6, ideal_options());
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    // Two halves of 3; exchange inside each half using half-local ranks.
+    Comm half = comm.split(ctx.rank() / 3, ctx.rank());
+    ASSERT_EQ(half.size(), 3);
+    if (half.rank() == 0) {
+      const int payload = ctx.rank();  // world rank travels
+      half.send(&payload, sizeof payload, 2, 0);
+    } else if (half.rank() == 2) {
+      int payload = -1;
+      const auto st = half.recv(&payload, sizeof payload, 0, 0);
+      EXPECT_EQ(st.source, 0);  // SUB-communicator rank, not world rank
+      // The sender was the world-rank-0 of my half.
+      EXPECT_EQ(payload, (ctx.rank() / 3) * 3);
+    }
+  });
+}
+
+TEST(SubComm, CollectivesScopedToMembers) {
+  World world(8, ideal_options());
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    Comm quarter = comm.split(ctx.rank() % 4, ctx.rank());
+    ASSERT_EQ(quarter.size(), 2);
+    // Sum within pairs: {0,4}, {1,5}, {2,6}, {3,7}.
+    const int sum = quarter.allreduce_one(ctx.rank(), mpisim::ReduceOp::Sum);
+    EXPECT_EQ(sum, (ctx.rank() % 4) * 2 + 4);
+    // Gather within the pair.
+    int both[2] = {-1, -1};
+    const int mine = ctx.rank();
+    quarter.gather(&mine, sizeof mine,
+                   quarter.rank() == 0 ? both : nullptr, 0);
+    if (quarter.rank() == 0) {
+      EXPECT_EQ(both[0], ctx.rank());
+      EXPECT_EQ(both[1], ctx.rank() + 4);
+    }
+  });
+}
+
+TEST(SubComm, SectionsIndependentPerCommunicator) {
+  World world(4, ideal_options());
+  sections::SectionRuntime::install(world);
+  profiler::SectionProfiler prof(world);
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    Comm half = comm.split(ctx.rank() / 2, ctx.rank());
+    // A section on the sub-communicator while one is open on the world.
+    sections::MPIX_Section_enter(comm, "world-phase");
+    sections::MPIX_Section_enter(half, "half-phase");
+    ctx.compute_exact(1.0);
+    EXPECT_EQ(sections::MPIX_Section_exit(half, "half-phase"),
+              sections::kSectionOk);
+    EXPECT_EQ(sections::MPIX_Section_exit(comm, "world-phase"),
+              sections::kSectionOk);
+  });
+  // The world section spans all four ranks on one context.
+  EXPECT_EQ(prof.totals_for("world-phase").ranks_seen, 4);
+  // The halves are two DISTINCT contexts of 2 ranks each; per-context
+  // totals show 2 ranks at 1 s, and the label-level aggregate sums both
+  // contexts' time (4 rank-seconds) over the per-context rank count.
+  const auto half_totals = prof.totals_for("half-phase");
+  EXPECT_EQ(half_totals.ranks_seen, 2);
+  EXPECT_NEAR(half_totals.total_time, 4.0, 1e-9);
+  int contexts_seen = 0;
+  for (const auto& t : prof.totals()) {
+    if (t.label != "half-phase") continue;
+    ++contexts_seen;
+    EXPECT_EQ(t.ranks_seen, 2);
+    EXPECT_NEAR(t.mean_per_process, 1.0, 1e-9);
+  }
+  EXPECT_EQ(contexts_seen, 2);
+}
+
+TEST(SubComm, ValidationScopedToCommunicator) {
+  WorldOptions opts = ideal_options();
+  opts.validate_sections = true;
+  World world(4, opts);
+  auto rt = sections::SectionRuntime::install(world);
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    Comm half = comm.split(ctx.rank() / 2, ctx.rank());
+    // Different halves legally run DIFFERENT section labels concurrently —
+    // validation is per communicator, so this must pass.
+    const char* label = ctx.rank() / 2 == 0 ? "first-half" : "second-half";
+    EXPECT_EQ(sections::MPIX_Section_enter(half, label), sections::kSectionOk);
+    EXPECT_EQ(sections::MPIX_Section_exit(half, label), sections::kSectionOk);
+  });
+  EXPECT_EQ(rt->counters().errors, 0u);
+}
+
+TEST(SubComm, ValidationCatchesDivergenceInsideSubComm) {
+  WorldOptions opts = ideal_options();
+  opts.validate_sections = true;
+  World world(4, opts);
+  sections::SectionRuntime::install(world);
+  std::atomic<int> mismatches{0};
+  world.run([&](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    Comm half = comm.split(ctx.rank() / 2, ctx.rank());
+    // Within the first half, the two members disagree.
+    const char* label = "ok";
+    if (ctx.rank() / 2 == 0) label = ctx.rank() == 0 ? "a" : "b";
+    if (sections::MPIX_Section_enter(half, label) ==
+        sections::kSectionErrMismatch) {
+      ++mismatches;
+    }
+    sections::MPIX_Section_exit(half, label);
+  });
+  EXPECT_EQ(mismatches.load(), 2);  // both members of the bad half
+}
+
+TEST(SubComm, DupOfSplitWorks) {
+  World world(4, ideal_options());
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    Comm half = comm.split(ctx.rank() % 2, ctx.rank());
+    Comm dup = half.dup();
+    EXPECT_EQ(dup.size(), 2);
+    EXPECT_EQ(dup.rank(), half.rank());
+    EXPECT_NE(dup.context_id(), half.context_id());
+    dup.barrier();
+  });
+}
+
+TEST(SubComm, WorldRankMappingOnSubComms) {
+  World world(6, ideal_options());
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    // Reverse-ordered odd/even split.
+    Comm sub = comm.split(ctx.rank() % 2, -ctx.rank());
+    // Highest world rank got sub-rank 0.
+    const int expect_first = ctx.rank() % 2 == 0 ? 4 : 5;
+    EXPECT_EQ(sub.world_rank_of(0), expect_first);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Unit + property tests for the deterministic counter-based RNG.
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace {
+
+using namespace mpisect::support;
+
+TEST(CounterRng, DeterministicAcrossInstances) {
+  const CounterRng a(123);
+  const CounterRng b(123);
+  for (std::uint64_t c = 0; c < 100; ++c) {
+    EXPECT_EQ(a.bits(7, c), b.bits(7, c));
+    EXPECT_DOUBLE_EQ(a.uniform(9, c), b.uniform(9, c));
+    EXPECT_DOUBLE_EQ(a.gaussian(11, c), b.gaussian(11, c));
+  }
+}
+
+TEST(CounterRng, SeedChangesStream) {
+  const CounterRng a(1);
+  const CounterRng b(2);
+  int same = 0;
+  for (std::uint64_t c = 0; c < 64; ++c) {
+    if (a.bits(0, c) == b.bits(0, c)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(CounterRng, StreamsIndependent) {
+  const CounterRng rng(99);
+  std::set<std::uint64_t> values;
+  for (std::uint64_t s = 0; s < 32; ++s) {
+    for (std::uint64_t c = 0; c < 32; ++c) {
+      values.insert(rng.bits(s, c));
+    }
+  }
+  EXPECT_EQ(values.size(), 32u * 32u);  // no collisions expected
+}
+
+TEST(CounterRng, UniformInUnitInterval) {
+  const CounterRng rng(4);
+  for (std::uint64_t c = 0; c < 1000; ++c) {
+    const double u = rng.uniform(1, c);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(CounterRng, UniformRange) {
+  const CounterRng rng(4);
+  for (std::uint64_t c = 0; c < 200; ++c) {
+    const double u = rng.uniform(2, c, -3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(CounterRng, GaussianMoments) {
+  const CounterRng rng(31337);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int c = 0; c < n; ++c) {
+    const double g = rng.gaussian(5, static_cast<std::uint64_t>(c));
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(CounterRng, LognormalMedianIsExpMu) {
+  const CounterRng rng(7);
+  std::vector<double> xs;
+  const int n = 10001;
+  for (int c = 0; c < n; ++c) {
+    xs.push_back(rng.lognormal(3, static_cast<std::uint64_t>(c), 0.0, 0.5));
+  }
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[static_cast<std::size_t>(n / 2)], 1.0, 0.05);
+  for (const double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(CounterRng, ExponentialMean) {
+  const CounterRng rng(55);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int c = 0; c < n; ++c) {
+    const double x = rng.exponential(1, static_cast<std::uint64_t>(c), 2.5);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(CounterRng, BelowInRange) {
+  const CounterRng rng(8);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t c = 0; c < 1000; ++c) {
+    const auto v = rng.below(1, c, 10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit
+}
+
+TEST(StreamId, OrderSensitive) {
+  EXPECT_NE(stream_id(1, 2), stream_id(2, 1));
+  EXPECT_NE(stream_id(1, 2, 3), stream_id(1, 3, 2));
+  EXPECT_EQ(stream_id(4, 5), stream_id(4, 5));
+}
+
+TEST(Splitmix, AvalancheOnSingleBit) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const std::uint64_t a = splitmix64(0x1234);
+  const std::uint64_t b = splitmix64(0x1235);
+  const int flipped = __builtin_popcountll(a ^ b);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+TEST(SequentialRng, Deterministic) {
+  SequentialRng a(77);
+  SequentialRng b(77);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SequentialRng, UniformBounds) {
+  SequentialRng r(3);
+  for (int i = 0; i < 500; ++i) {
+    const double u = r.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, GaussianStaysCentered) {
+  const CounterRng rng(GetParam());
+  double sum = 0.0;
+  const int n = 4000;
+  for (int c = 0; c < n; ++c) {
+    sum += rng.gaussian(17, static_cast<std::uint64_t>(c));
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1ULL, 42ULL, 0xDEADBEEFULL,
+                                           0xFFFFFFFFFFFFFFFFULL, 31337ULL));
+
+}  // namespace

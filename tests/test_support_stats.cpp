@@ -1,0 +1,158 @@
+// Unit tests for support/stats: Welford accumulator, batch statistics,
+// linear fits.
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using namespace mpisect::support;
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance is 4; unbiased sample variance = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.37) * 10.0 + i * 0.01;
+    ((i % 2 == 0) ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStats, CoefficientOfVariation) {
+  RunningStats s;
+  s.add(9.0);
+  s.add(11.0);
+  EXPECT_NEAR(s.cv(), std::sqrt(2.0) / 10.0, 1e-12);
+  RunningStats zero_mean;
+  zero_mean.add(-1.0);
+  zero_mean.add(1.0);
+  EXPECT_DOUBLE_EQ(zero_mean.cv(), 0.0);
+}
+
+TEST(BatchStats, MeanVariance) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(variance(xs), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(BatchStats, EmptyInputs) {
+  const std::vector<double> none;
+  EXPECT_DOUBLE_EQ(mean(none), 0.0);
+  EXPECT_DOUBLE_EQ(variance(none), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(none, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ci95_halfwidth(none), 0.0);
+  EXPECT_DOUBLE_EQ(mad(none), 0.0);
+}
+
+TEST(BatchStats, PercentileInterpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+  // Quantile clamped outside [0,1].
+  EXPECT_DOUBLE_EQ(percentile(xs, -3.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 7.0), 40.0);
+}
+
+TEST(BatchStats, PercentileUnsortedInput) {
+  const std::vector<double> xs{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+}
+
+TEST(BatchStats, MedianAbsoluteDeviation) {
+  const std::vector<double> xs{1.0, 1.0, 2.0, 2.0, 4.0, 6.0, 9.0};
+  // median = 2, |x - 2| = {1,1,0,0,2,4,7}, median of that = 1.
+  EXPECT_DOUBLE_EQ(mad(xs), 1.0);
+}
+
+TEST(LinearFitTest, PerfectLine) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit f = fit_line(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, DegenerateInputs) {
+  const std::vector<double> one{1.0};
+  EXPECT_DOUBLE_EQ(fit_line(one, one).slope, 0.0);
+  const std::vector<double> x{2.0, 2.0, 2.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(fit_line(x, y).slope, 0.0);  // vertical data: no fit
+}
+
+class Ci95Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Ci95Test, ShrinksWithSampleCount) {
+  const int n = GetParam();
+  std::vector<double> xs;
+  for (int i = 0; i < n; ++i) xs.push_back((i % 7) * 1.0);
+  std::vector<double> xs4 = xs;
+  for (int r = 0; r < 3; ++r) {
+    for (int i = 0; i < n; ++i) xs4.push_back((i % 7) * 1.0);
+  }
+  EXPECT_GT(ci95_halfwidth(xs), ci95_halfwidth(xs4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Ci95Test, ::testing::Values(8, 16, 64, 256));
+
+}  // namespace

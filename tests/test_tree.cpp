@@ -1,0 +1,150 @@
+// Section-tree reconstruction from retained instance spans.
+#include <gtest/gtest.h>
+
+#include "core/sections/api.hpp"
+#include "profiler/tree.hpp"
+
+namespace {
+
+using namespace mpisect;
+using namespace mpisect::profiler;
+using mpisim::Comm;
+using mpisim::Ctx;
+using mpisim::MachineModel;
+using mpisim::World;
+using mpisim::WorldOptions;
+
+WorldOptions ideal_options() {
+  WorldOptions opts;
+  opts.machine = MachineModel::ideal();
+  return opts;
+}
+
+TEST(SectionTree, ReconstructsNesting) {
+  World world(2, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world, {.keep_instances = true});
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    sections::MPIX_Section_enter(comm, "outer");
+    ctx.compute_exact(1.0);
+    for (int i = 0; i < 3; ++i) {
+      sections::MPIX_Section_enter(comm, "inner");
+      ctx.compute_exact(0.5);
+      sections::MPIX_Section_exit(comm, "inner");
+    }
+    sections::MPIX_Section_exit(comm, "outer");
+  });
+  const auto forest = build_section_tree(prof);
+  ASSERT_EQ(forest.size(), 1u);
+  EXPECT_EQ(forest[0]->label, sections::kMainSectionLabel);
+
+  const TreeNode* outer = find_node(forest, "MPI_MAIN / outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_NEAR(outer->inclusive, 2.5, 1e-9);
+  EXPECT_NEAR(outer->exclusive, 1.0, 1e-9);
+  EXPECT_EQ(outer->instances, 1);
+
+  const TreeNode* inner = find_node(forest, "MPI_MAIN / outer / inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->instances, 3);  // merged repeated instances
+  EXPECT_NEAR(inner->inclusive, 1.5, 1e-9);
+  EXPECT_NEAR(inner->share_of_parent, 1.5 / 2.5, 1e-9);
+  EXPECT_EQ(inner->children.size(), 0u);
+  EXPECT_EQ(find_node(forest, "MPI_MAIN / nope"), nullptr);
+}
+
+TEST(SectionTree, SameLabelDifferentParentsStaySeparate) {
+  World world(1, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world, {.keep_instances = true});
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    sections::MPIX_Section_enter(comm, "a");
+    sections::MPIX_Section_enter(comm, "comm");
+    ctx.compute_exact(1.0);
+    sections::MPIX_Section_exit(comm, "comm");
+    sections::MPIX_Section_exit(comm, "a");
+    sections::MPIX_Section_enter(comm, "b");
+    sections::MPIX_Section_enter(comm, "comm");
+    ctx.compute_exact(3.0);
+    sections::MPIX_Section_exit(comm, "comm");
+    sections::MPIX_Section_exit(comm, "b");
+  });
+  const auto forest = build_section_tree(prof);
+  const TreeNode* under_a = find_node(forest, "MPI_MAIN / a / comm");
+  const TreeNode* under_b = find_node(forest, "MPI_MAIN / b / comm");
+  ASSERT_NE(under_a, nullptr);
+  ASSERT_NE(under_b, nullptr);
+  EXPECT_NEAR(under_a->inclusive, 1.0, 1e-9);
+  EXPECT_NEAR(under_b->inclusive, 3.0, 1e-9);
+}
+
+TEST(SectionTree, ChildrenSortedByInclusiveTime) {
+  World world(1, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world, {.keep_instances = true});
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    for (const auto& [label, t] :
+         std::initializer_list<std::pair<const char*, double>>{
+             {"small", 0.5}, {"big", 3.0}, {"mid", 1.0}}) {
+      sections::MPIX_Section_enter(comm, label);
+      ctx.compute_exact(t);
+      sections::MPIX_Section_exit(comm, label);
+    }
+  });
+  const auto forest = build_section_tree(prof);
+  ASSERT_EQ(forest.size(), 1u);
+  const auto& kids = forest[0]->children;
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(kids[0]->label, "big");
+  EXPECT_EQ(kids[1]->label, "mid");
+  EXPECT_EQ(kids[2]->label, "small");
+}
+
+TEST(SectionTree, AveragesOverRanks) {
+  World world(4, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world, {.keep_instances = true});
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    sections::MPIX_Section_enter(comm, "work");
+    ctx.compute_exact(static_cast<double>(ctx.rank() + 1));  // 1..4 s
+    sections::MPIX_Section_exit(comm, "work");
+  });
+  const auto forest = build_section_tree(prof);
+  const TreeNode* work = find_node(forest, "MPI_MAIN / work");
+  ASSERT_NE(work, nullptr);
+  EXPECT_NEAR(work->inclusive, 2.5, 1e-9);  // mean of 1..4
+}
+
+TEST(SectionTree, RenderContainsIndentedLabels) {
+  World world(1, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world, {.keep_instances = true});
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    const sections::ScopedSection outer(comm, "phase");
+    ctx.compute_exact(0.1);
+  });
+  const auto forest = build_section_tree(prof);
+  const std::string text = render_tree(forest);
+  EXPECT_NE(text.find("MPI_MAIN"), std::string::npos);
+  EXPECT_NE(text.find("\n  phase"), std::string::npos);  // indented child
+  EXPECT_NE(text.find("% of parent"), std::string::npos);
+}
+
+TEST(SectionTree, EmptyWithoutKeepInstances) {
+  World world(1, ideal_options());
+  sections::SectionRuntime::install(world);
+  SectionProfiler prof(world);  // aggregate mode: no spans retained
+  world.run([](Ctx& ctx) {
+    Comm comm = ctx.world_comm();
+    sections::MPIX_Section_enter(comm, "x");
+    sections::MPIX_Section_exit(comm, "x");
+  });
+  EXPECT_TRUE(build_section_tree(prof).empty());
+}
+
+}  // namespace

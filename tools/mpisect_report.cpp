@@ -1,0 +1,143 @@
+// mpisect-report — run an instrumented application on a machine model and
+// emit every report the toolchain produces, from one command line:
+//
+//   mpisect-report --app convolution --ranks 64 --steps 200 \
+//                  --machine nehalem --format text
+//   mpisect-report --app lulesh --ranks 8 --threads 16 --machine knl \
+//                  --format tree
+//   mpisect-report --app lulesh --format chrome --out trace.json
+//   mpisect-report --app convolution --format snapshot --out before.csv
+//
+// Formats: text (per-section table), csv, json, tree (phase call-tree),
+// balance (load-balance triage), chrome (chrome://tracing JSON),
+// snapshot (ProfileSnapshot CSV for mpisect-diff).
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "apps/convolution/convolution.hpp"
+#include "apps/lulesh/lulesh.hpp"
+#include "core/sections/runtime.hpp"
+#include "profiler/balance.hpp"
+#include "profiler/diff.hpp"
+#include "profiler/report.hpp"
+#include "profiler/section_profiler.hpp"
+#include "profiler/tree.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace mpisect;
+
+mpisim::MachineModel machine_by_name(const std::string& name) {
+  if (name == "nehalem") return mpisim::MachineModel::nehalem_cluster();
+  if (name == "knl") return mpisim::MachineModel::knl();
+  if (name == "broadwell") return mpisim::MachineModel::broadwell_2s();
+  if (name == "ideal") return mpisim::MachineModel::ideal();
+  std::fprintf(stderr,
+               "unknown machine '%s' (nehalem|knl|broadwell|ideal); using "
+               "ideal\n",
+               name.c_str());
+  return mpisim::MachineModel::ideal();
+}
+
+bool emit(const std::string& text, const std::string& out_path) {
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return false;
+  }
+  out << text;
+  std::printf("wrote %s (%zu bytes)\n", out_path.c_str(), text.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args("mpisect-report",
+                          "Run an instrumented app and emit section reports");
+  args.add_string("app", "convolution", "convolution | lulesh");
+  args.add_string("machine", "nehalem", "nehalem | knl | broadwell | ideal");
+  args.add_int("ranks", 8, "MPI processes (lulesh: perfect cube)");
+  args.add_int("threads", 1, "MiniOMP threads per rank (lulesh)");
+  args.add_int("steps", 100, "time-steps");
+  args.add_int("size", 0,
+               "problem size (convolution: image height scale x100; lulesh: "
+               "per-rank edge; 0 = default)");
+  args.add_string("format", "text",
+                  "text | csv | json | tree | balance | chrome | snapshot");
+  args.add_string("out", "", "output file ('' = stdout)");
+  args.add_int("seed", 0x5EED, "world seed");
+  args.add_flag("validate", "enable section validation mode");
+  if (!args.parse(argc, argv)) return 1;
+
+  const std::string app_name = args.get_string("app");
+  const std::string format = args.get_string("format");
+  const int ranks = static_cast<int>(args.get_int("ranks"));
+  const bool keep_instances =
+      format == "tree" || format == "chrome";
+
+  mpisim::WorldOptions opts;
+  opts.machine = machine_by_name(args.get_string("machine"));
+  opts.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  opts.validate_sections = args.get_flag("validate");
+  mpisim::World world(ranks, opts);
+  sections::SectionRuntime::install(world);
+  profiler::SectionProfiler prof(world, {.keep_instances = keep_instances});
+
+  if (app_name == "convolution") {
+    apps::conv::ConvolutionConfig cfg;
+    cfg.steps = static_cast<int>(args.get_int("steps"));
+    if (args.get_int("size") > 0) {
+      cfg.width = static_cast<int>(args.get_int("size")) * 100;
+      cfg.height = static_cast<int>(args.get_int("size")) * 75;
+    }
+    cfg.full_fidelity = false;
+    apps::conv::ConvolutionApp app(cfg);
+    world.run(std::ref(app));
+  } else if (app_name == "lulesh") {
+    apps::lulesh::LuleshConfig cfg;
+    cfg.steps = static_cast<int>(args.get_int("steps"));
+    cfg.omp_threads = static_cast<int>(args.get_int("threads"));
+    if (args.get_int("size") > 0) {
+      cfg.s = static_cast<int>(args.get_int("size"));
+    }
+    cfg.full_fidelity = false;
+    apps::lulesh::LuleshApp app(cfg);
+    world.run(std::ref(app));
+  } else {
+    std::fprintf(stderr, "unknown app '%s' (convolution|lulesh)\n",
+                 app_name.c_str());
+    return 1;
+  }
+
+  std::string text;
+  if (format == "text") {
+    text = profiler::render_text(prof);
+    text += "virtual walltime: " + support::fmt_seconds(world.elapsed()) +
+            " on " + std::to_string(ranks) + " ranks (" +
+            opts.machine.name + ")\n";
+  } else if (format == "csv") {
+    text = profiler::render_csv(prof);
+  } else if (format == "json") {
+    text = profiler::render_json(prof);
+  } else if (format == "tree") {
+    text = profiler::render_tree(profiler::build_section_tree(prof));
+  } else if (format == "balance") {
+    text = profiler::render_balance(profiler::balance_report(prof));
+  } else if (format == "chrome") {
+    text = profiler::render_chrome_trace(prof);
+  } else if (format == "snapshot") {
+    text = profiler::ProfileSnapshot::capture(prof, app_name).to_csv();
+  } else {
+    std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
+    return 1;
+  }
+  return emit(text, args.get_string("out")) ? 0 : 1;
+}
