@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_collalgo.dir/bench_ablation_collalgo.cpp.o"
+  "CMakeFiles/bench_ablation_collalgo.dir/bench_ablation_collalgo.cpp.o.d"
+  "bench_ablation_collalgo"
+  "bench_ablation_collalgo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_collalgo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pcontrol.dir/bench_ablation_pcontrol.cpp.o"
+  "CMakeFiles/bench_ablation_pcontrol.dir/bench_ablation_pcontrol.cpp.o.d"
+  "bench_ablation_pcontrol"
+  "bench_ablation_pcontrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pcontrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

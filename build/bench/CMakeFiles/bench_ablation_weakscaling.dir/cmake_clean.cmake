@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_weakscaling.dir/bench_ablation_weakscaling.cpp.o"
+  "CMakeFiles/bench_ablation_weakscaling.dir/bench_ablation_weakscaling.cpp.o.d"
+  "bench_ablation_weakscaling"
+  "bench_ablation_weakscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_weakscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

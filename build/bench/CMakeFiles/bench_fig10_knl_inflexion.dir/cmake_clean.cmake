@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_knl_inflexion.dir/bench_fig10_knl_inflexion.cpp.o"
+  "CMakeFiles/bench_fig10_knl_inflexion.dir/bench_fig10_knl_inflexion.cpp.o.d"
+  "bench_fig10_knl_inflexion"
+  "bench_fig10_knl_inflexion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_knl_inflexion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_convolution.dir/bench_fig5_convolution.cpp.o"
+  "CMakeFiles/bench_fig5_convolution.dir/bench_fig5_convolution.cpp.o.d"
+  "bench_fig5_convolution"
+  "bench_fig5_convolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_convolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

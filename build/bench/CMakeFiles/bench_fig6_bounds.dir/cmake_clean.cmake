@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_bounds.dir/bench_fig6_bounds.cpp.o"
+  "CMakeFiles/bench_fig6_bounds.dir/bench_fig6_bounds.cpp.o.d"
+  "bench_fig6_bounds"
+  "bench_fig6_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

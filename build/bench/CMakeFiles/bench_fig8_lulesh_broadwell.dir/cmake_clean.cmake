@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_lulesh_broadwell.dir/bench_fig8_lulesh_broadwell.cpp.o"
+  "CMakeFiles/bench_fig8_lulesh_broadwell.dir/bench_fig8_lulesh_broadwell.cpp.o.d"
+  "bench_fig8_lulesh_broadwell"
+  "bench_fig8_lulesh_broadwell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_lulesh_broadwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_lulesh_broadwell.
+# This may be replaced when dependencies are built.

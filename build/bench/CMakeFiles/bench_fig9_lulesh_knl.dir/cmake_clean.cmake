@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_lulesh_knl.dir/bench_fig9_lulesh_knl.cpp.o"
+  "CMakeFiles/bench_fig9_lulesh_knl.dir/bench_fig9_lulesh_knl.cpp.o.d"
+  "bench_fig9_lulesh_knl"
+  "bench_fig9_lulesh_knl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_lulesh_knl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_sections.dir/bench_micro_sections.cpp.o"
+  "CMakeFiles/bench_micro_sections.dir/bench_micro_sections.cpp.o.d"
+  "bench_micro_sections"
+  "bench_micro_sections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

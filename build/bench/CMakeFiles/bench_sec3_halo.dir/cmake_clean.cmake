@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3_halo.dir/bench_sec3_halo.cpp.o"
+  "CMakeFiles/bench_sec3_halo.dir/bench_sec3_halo.cpp.o.d"
+  "bench_sec3_halo"
+  "bench_sec3_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisect_bench_common.dir/common.cpp.o"
+  "CMakeFiles/mpisect_bench_common.dir/common.cpp.o.d"
+  "libmpisect_bench_common.a"
+  "libmpisect_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisect_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

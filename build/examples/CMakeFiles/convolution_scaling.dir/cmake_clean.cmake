@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolution_scaling.dir/convolution_scaling.cpp.o"
+  "CMakeFiles/convolution_scaling.dir/convolution_scaling.cpp.o.d"
+  "convolution_scaling"
+  "convolution_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolution_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_lulesh.dir/hybrid_lulesh.cpp.o"
+  "CMakeFiles/hybrid_lulesh.dir/hybrid_lulesh.cpp.o.d"
+  "hybrid_lulesh"
+  "hybrid_lulesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_lulesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_interface.dir/paper_interface.cpp.o"
+  "CMakeFiles/paper_interface.dir/paper_interface.cpp.o.d"
+  "paper_interface"
+  "paper_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_integration.dir/tool_integration.cpp.o"
+  "CMakeFiles/tool_integration.dir/tool_integration.cpp.o.d"
+  "tool_integration"
+  "tool_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

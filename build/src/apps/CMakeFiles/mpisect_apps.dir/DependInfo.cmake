@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/convolution/convolution.cpp" "src/apps/CMakeFiles/mpisect_apps.dir/convolution/convolution.cpp.o" "gcc" "src/apps/CMakeFiles/mpisect_apps.dir/convolution/convolution.cpp.o.d"
+  "/root/repo/src/apps/convolution/decomp.cpp" "src/apps/CMakeFiles/mpisect_apps.dir/convolution/decomp.cpp.o" "gcc" "src/apps/CMakeFiles/mpisect_apps.dir/convolution/decomp.cpp.o.d"
+  "/root/repo/src/apps/convolution/image.cpp" "src/apps/CMakeFiles/mpisect_apps.dir/convolution/image.cpp.o" "gcc" "src/apps/CMakeFiles/mpisect_apps.dir/convolution/image.cpp.o.d"
+  "/root/repo/src/apps/convolution/stencil.cpp" "src/apps/CMakeFiles/mpisect_apps.dir/convolution/stencil.cpp.o" "gcc" "src/apps/CMakeFiles/mpisect_apps.dir/convolution/stencil.cpp.o.d"
+  "/root/repo/src/apps/lulesh/comm.cpp" "src/apps/CMakeFiles/mpisect_apps.dir/lulesh/comm.cpp.o" "gcc" "src/apps/CMakeFiles/mpisect_apps.dir/lulesh/comm.cpp.o.d"
+  "/root/repo/src/apps/lulesh/domain.cpp" "src/apps/CMakeFiles/mpisect_apps.dir/lulesh/domain.cpp.o" "gcc" "src/apps/CMakeFiles/mpisect_apps.dir/lulesh/domain.cpp.o.d"
+  "/root/repo/src/apps/lulesh/kernels.cpp" "src/apps/CMakeFiles/mpisect_apps.dir/lulesh/kernels.cpp.o" "gcc" "src/apps/CMakeFiles/mpisect_apps.dir/lulesh/kernels.cpp.o.d"
+  "/root/repo/src/apps/lulesh/lulesh.cpp" "src/apps/CMakeFiles/mpisect_apps.dir/lulesh/lulesh.cpp.o" "gcc" "src/apps/CMakeFiles/mpisect_apps.dir/lulesh/lulesh.cpp.o.d"
+  "/root/repo/src/apps/lulesh/mesh.cpp" "src/apps/CMakeFiles/mpisect_apps.dir/lulesh/mesh.cpp.o" "gcc" "src/apps/CMakeFiles/mpisect_apps.dir/lulesh/mesh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mpisect_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/minomp/CMakeFiles/mpisect_minomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/mpisect_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpisect_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

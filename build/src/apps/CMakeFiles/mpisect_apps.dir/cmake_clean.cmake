@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisect_apps.dir/convolution/convolution.cpp.o"
+  "CMakeFiles/mpisect_apps.dir/convolution/convolution.cpp.o.d"
+  "CMakeFiles/mpisect_apps.dir/convolution/decomp.cpp.o"
+  "CMakeFiles/mpisect_apps.dir/convolution/decomp.cpp.o.d"
+  "CMakeFiles/mpisect_apps.dir/convolution/image.cpp.o"
+  "CMakeFiles/mpisect_apps.dir/convolution/image.cpp.o.d"
+  "CMakeFiles/mpisect_apps.dir/convolution/stencil.cpp.o"
+  "CMakeFiles/mpisect_apps.dir/convolution/stencil.cpp.o.d"
+  "CMakeFiles/mpisect_apps.dir/lulesh/comm.cpp.o"
+  "CMakeFiles/mpisect_apps.dir/lulesh/comm.cpp.o.d"
+  "CMakeFiles/mpisect_apps.dir/lulesh/domain.cpp.o"
+  "CMakeFiles/mpisect_apps.dir/lulesh/domain.cpp.o.d"
+  "CMakeFiles/mpisect_apps.dir/lulesh/kernels.cpp.o"
+  "CMakeFiles/mpisect_apps.dir/lulesh/kernels.cpp.o.d"
+  "CMakeFiles/mpisect_apps.dir/lulesh/lulesh.cpp.o"
+  "CMakeFiles/mpisect_apps.dir/lulesh/lulesh.cpp.o.d"
+  "CMakeFiles/mpisect_apps.dir/lulesh/mesh.cpp.o"
+  "CMakeFiles/mpisect_apps.dir/lulesh/mesh.cpp.o.d"
+  "libmpisect_apps.a"
+  "libmpisect_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisect_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

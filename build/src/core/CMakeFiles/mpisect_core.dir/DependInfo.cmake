@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compat/mpi_compat.cpp" "src/core/CMakeFiles/mpisect_core.dir/compat/mpi_compat.cpp.o" "gcc" "src/core/CMakeFiles/mpisect_core.dir/compat/mpi_compat.cpp.o.d"
+  "/root/repo/src/core/sections/api.cpp" "src/core/CMakeFiles/mpisect_core.dir/sections/api.cpp.o" "gcc" "src/core/CMakeFiles/mpisect_core.dir/sections/api.cpp.o.d"
+  "/root/repo/src/core/sections/labels.cpp" "src/core/CMakeFiles/mpisect_core.dir/sections/labels.cpp.o" "gcc" "src/core/CMakeFiles/mpisect_core.dir/sections/labels.cpp.o.d"
+  "/root/repo/src/core/sections/metrics.cpp" "src/core/CMakeFiles/mpisect_core.dir/sections/metrics.cpp.o" "gcc" "src/core/CMakeFiles/mpisect_core.dir/sections/metrics.cpp.o.d"
+  "/root/repo/src/core/sections/runtime.cpp" "src/core/CMakeFiles/mpisect_core.dir/sections/runtime.cpp.o" "gcc" "src/core/CMakeFiles/mpisect_core.dir/sections/runtime.cpp.o.d"
+  "/root/repo/src/core/speedup/adaptive.cpp" "src/core/CMakeFiles/mpisect_core.dir/speedup/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/mpisect_core.dir/speedup/adaptive.cpp.o.d"
+  "/root/repo/src/core/speedup/halo_model.cpp" "src/core/CMakeFiles/mpisect_core.dir/speedup/halo_model.cpp.o" "gcc" "src/core/CMakeFiles/mpisect_core.dir/speedup/halo_model.cpp.o.d"
+  "/root/repo/src/core/speedup/inflexion.cpp" "src/core/CMakeFiles/mpisect_core.dir/speedup/inflexion.cpp.o" "gcc" "src/core/CMakeFiles/mpisect_core.dir/speedup/inflexion.cpp.o.d"
+  "/root/repo/src/core/speedup/laws.cpp" "src/core/CMakeFiles/mpisect_core.dir/speedup/laws.cpp.o" "gcc" "src/core/CMakeFiles/mpisect_core.dir/speedup/laws.cpp.o.d"
+  "/root/repo/src/core/speedup/partial_bound.cpp" "src/core/CMakeFiles/mpisect_core.dir/speedup/partial_bound.cpp.o" "gcc" "src/core/CMakeFiles/mpisect_core.dir/speedup/partial_bound.cpp.o.d"
+  "/root/repo/src/core/speedup/report.cpp" "src/core/CMakeFiles/mpisect_core.dir/speedup/report.cpp.o" "gcc" "src/core/CMakeFiles/mpisect_core.dir/speedup/report.cpp.o.d"
+  "/root/repo/src/core/speedup/series.cpp" "src/core/CMakeFiles/mpisect_core.dir/speedup/series.cpp.o" "gcc" "src/core/CMakeFiles/mpisect_core.dir/speedup/series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpisim/CMakeFiles/mpisect_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpisect_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisect_core.dir/compat/mpi_compat.cpp.o"
+  "CMakeFiles/mpisect_core.dir/compat/mpi_compat.cpp.o.d"
+  "CMakeFiles/mpisect_core.dir/sections/api.cpp.o"
+  "CMakeFiles/mpisect_core.dir/sections/api.cpp.o.d"
+  "CMakeFiles/mpisect_core.dir/sections/labels.cpp.o"
+  "CMakeFiles/mpisect_core.dir/sections/labels.cpp.o.d"
+  "CMakeFiles/mpisect_core.dir/sections/metrics.cpp.o"
+  "CMakeFiles/mpisect_core.dir/sections/metrics.cpp.o.d"
+  "CMakeFiles/mpisect_core.dir/sections/runtime.cpp.o"
+  "CMakeFiles/mpisect_core.dir/sections/runtime.cpp.o.d"
+  "CMakeFiles/mpisect_core.dir/speedup/adaptive.cpp.o"
+  "CMakeFiles/mpisect_core.dir/speedup/adaptive.cpp.o.d"
+  "CMakeFiles/mpisect_core.dir/speedup/halo_model.cpp.o"
+  "CMakeFiles/mpisect_core.dir/speedup/halo_model.cpp.o.d"
+  "CMakeFiles/mpisect_core.dir/speedup/inflexion.cpp.o"
+  "CMakeFiles/mpisect_core.dir/speedup/inflexion.cpp.o.d"
+  "CMakeFiles/mpisect_core.dir/speedup/laws.cpp.o"
+  "CMakeFiles/mpisect_core.dir/speedup/laws.cpp.o.d"
+  "CMakeFiles/mpisect_core.dir/speedup/partial_bound.cpp.o"
+  "CMakeFiles/mpisect_core.dir/speedup/partial_bound.cpp.o.d"
+  "CMakeFiles/mpisect_core.dir/speedup/report.cpp.o"
+  "CMakeFiles/mpisect_core.dir/speedup/report.cpp.o.d"
+  "CMakeFiles/mpisect_core.dir/speedup/series.cpp.o"
+  "CMakeFiles/mpisect_core.dir/speedup/series.cpp.o.d"
+  "libmpisect_core.a"
+  "libmpisect_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisect_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minomp/model.cpp" "src/minomp/CMakeFiles/mpisect_minomp.dir/model.cpp.o" "gcc" "src/minomp/CMakeFiles/mpisect_minomp.dir/model.cpp.o.d"
+  "/root/repo/src/minomp/schedule.cpp" "src/minomp/CMakeFiles/mpisect_minomp.dir/schedule.cpp.o" "gcc" "src/minomp/CMakeFiles/mpisect_minomp.dir/schedule.cpp.o.d"
+  "/root/repo/src/minomp/team.cpp" "src/minomp/CMakeFiles/mpisect_minomp.dir/team.cpp.o" "gcc" "src/minomp/CMakeFiles/mpisect_minomp.dir/team.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpisim/CMakeFiles/mpisect_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpisect_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisect_minomp.dir/model.cpp.o"
+  "CMakeFiles/mpisect_minomp.dir/model.cpp.o.d"
+  "CMakeFiles/mpisect_minomp.dir/schedule.cpp.o"
+  "CMakeFiles/mpisect_minomp.dir/schedule.cpp.o.d"
+  "CMakeFiles/mpisect_minomp.dir/team.cpp.o"
+  "CMakeFiles/mpisect_minomp.dir/team.cpp.o.d"
+  "libmpisect_minomp.a"
+  "libmpisect_minomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisect_minomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

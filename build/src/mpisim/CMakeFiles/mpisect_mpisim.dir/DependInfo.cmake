@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpisim/channel.cpp" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/channel.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/channel.cpp.o.d"
+  "/root/repo/src/mpisim/comm.cpp" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/comm.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/comm.cpp.o.d"
+  "/root/repo/src/mpisim/datatype.cpp" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/datatype.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/datatype.cpp.o.d"
+  "/root/repo/src/mpisim/error.cpp" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/error.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/error.cpp.o.d"
+  "/root/repo/src/mpisim/hooks.cpp" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/hooks.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/hooks.cpp.o.d"
+  "/root/repo/src/mpisim/machine.cpp" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/machine.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/machine.cpp.o.d"
+  "/root/repo/src/mpisim/netmodel.cpp" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/netmodel.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/netmodel.cpp.o.d"
+  "/root/repo/src/mpisim/op.cpp" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/op.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/op.cpp.o.d"
+  "/root/repo/src/mpisim/runtime.cpp" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/runtime.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisect_mpisim.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mpisect_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisect_mpisim.dir/channel.cpp.o"
+  "CMakeFiles/mpisect_mpisim.dir/channel.cpp.o.d"
+  "CMakeFiles/mpisect_mpisim.dir/comm.cpp.o"
+  "CMakeFiles/mpisect_mpisim.dir/comm.cpp.o.d"
+  "CMakeFiles/mpisect_mpisim.dir/datatype.cpp.o"
+  "CMakeFiles/mpisect_mpisim.dir/datatype.cpp.o.d"
+  "CMakeFiles/mpisect_mpisim.dir/error.cpp.o"
+  "CMakeFiles/mpisect_mpisim.dir/error.cpp.o.d"
+  "CMakeFiles/mpisect_mpisim.dir/hooks.cpp.o"
+  "CMakeFiles/mpisect_mpisim.dir/hooks.cpp.o.d"
+  "CMakeFiles/mpisect_mpisim.dir/machine.cpp.o"
+  "CMakeFiles/mpisect_mpisim.dir/machine.cpp.o.d"
+  "CMakeFiles/mpisect_mpisim.dir/netmodel.cpp.o"
+  "CMakeFiles/mpisect_mpisim.dir/netmodel.cpp.o.d"
+  "CMakeFiles/mpisect_mpisim.dir/op.cpp.o"
+  "CMakeFiles/mpisect_mpisim.dir/op.cpp.o.d"
+  "CMakeFiles/mpisect_mpisim.dir/runtime.cpp.o"
+  "CMakeFiles/mpisect_mpisim.dir/runtime.cpp.o.d"
+  "libmpisect_mpisim.a"
+  "libmpisect_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisect_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

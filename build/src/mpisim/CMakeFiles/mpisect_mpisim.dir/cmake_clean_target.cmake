@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpisect_mpisim.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/balance.cpp" "src/profiler/CMakeFiles/mpisect_profiler.dir/balance.cpp.o" "gcc" "src/profiler/CMakeFiles/mpisect_profiler.dir/balance.cpp.o.d"
+  "/root/repo/src/profiler/diff.cpp" "src/profiler/CMakeFiles/mpisect_profiler.dir/diff.cpp.o" "gcc" "src/profiler/CMakeFiles/mpisect_profiler.dir/diff.cpp.o.d"
+  "/root/repo/src/profiler/pcontrol.cpp" "src/profiler/CMakeFiles/mpisect_profiler.dir/pcontrol.cpp.o" "gcc" "src/profiler/CMakeFiles/mpisect_profiler.dir/pcontrol.cpp.o.d"
+  "/root/repo/src/profiler/report.cpp" "src/profiler/CMakeFiles/mpisect_profiler.dir/report.cpp.o" "gcc" "src/profiler/CMakeFiles/mpisect_profiler.dir/report.cpp.o.d"
+  "/root/repo/src/profiler/section_profiler.cpp" "src/profiler/CMakeFiles/mpisect_profiler.dir/section_profiler.cpp.o" "gcc" "src/profiler/CMakeFiles/mpisect_profiler.dir/section_profiler.cpp.o.d"
+  "/root/repo/src/profiler/tree.cpp" "src/profiler/CMakeFiles/mpisect_profiler.dir/tree.cpp.o" "gcc" "src/profiler/CMakeFiles/mpisect_profiler.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mpisect_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/mpisect_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpisect_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

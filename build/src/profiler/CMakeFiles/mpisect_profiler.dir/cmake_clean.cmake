@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisect_profiler.dir/balance.cpp.o"
+  "CMakeFiles/mpisect_profiler.dir/balance.cpp.o.d"
+  "CMakeFiles/mpisect_profiler.dir/diff.cpp.o"
+  "CMakeFiles/mpisect_profiler.dir/diff.cpp.o.d"
+  "CMakeFiles/mpisect_profiler.dir/pcontrol.cpp.o"
+  "CMakeFiles/mpisect_profiler.dir/pcontrol.cpp.o.d"
+  "CMakeFiles/mpisect_profiler.dir/report.cpp.o"
+  "CMakeFiles/mpisect_profiler.dir/report.cpp.o.d"
+  "CMakeFiles/mpisect_profiler.dir/section_profiler.cpp.o"
+  "CMakeFiles/mpisect_profiler.dir/section_profiler.cpp.o.d"
+  "CMakeFiles/mpisect_profiler.dir/tree.cpp.o"
+  "CMakeFiles/mpisect_profiler.dir/tree.cpp.o.d"
+  "libmpisect_profiler.a"
+  "libmpisect_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisect_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisect_support.dir/chart.cpp.o"
+  "CMakeFiles/mpisect_support.dir/chart.cpp.o.d"
+  "CMakeFiles/mpisect_support.dir/cli.cpp.o"
+  "CMakeFiles/mpisect_support.dir/cli.cpp.o.d"
+  "CMakeFiles/mpisect_support.dir/csv.cpp.o"
+  "CMakeFiles/mpisect_support.dir/csv.cpp.o.d"
+  "CMakeFiles/mpisect_support.dir/histogram.cpp.o"
+  "CMakeFiles/mpisect_support.dir/histogram.cpp.o.d"
+  "CMakeFiles/mpisect_support.dir/log.cpp.o"
+  "CMakeFiles/mpisect_support.dir/log.cpp.o.d"
+  "CMakeFiles/mpisect_support.dir/rng.cpp.o"
+  "CMakeFiles/mpisect_support.dir/rng.cpp.o.d"
+  "CMakeFiles/mpisect_support.dir/stats.cpp.o"
+  "CMakeFiles/mpisect_support.dir/stats.cpp.o.d"
+  "CMakeFiles/mpisect_support.dir/strings.cpp.o"
+  "CMakeFiles/mpisect_support.dir/strings.cpp.o.d"
+  "CMakeFiles/mpisect_support.dir/table.cpp.o"
+  "CMakeFiles/mpisect_support.dir/table.cpp.o.d"
+  "libmpisect_support.a"
+  "libmpisect_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisect_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mpisect_support.
+# This may be replaced when dependencies are built.

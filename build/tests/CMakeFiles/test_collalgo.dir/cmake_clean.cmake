@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collalgo.dir/test_collalgo.cpp.o"
+  "CMakeFiles/test_collalgo.dir/test_collalgo.cpp.o.d"
+  "test_collalgo"
+  "test_collalgo.pdb"
+  "test_collalgo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collalgo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

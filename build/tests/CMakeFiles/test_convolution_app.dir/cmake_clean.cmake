@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convolution_app.dir/test_convolution_app.cpp.o"
+  "CMakeFiles/test_convolution_app.dir/test_convolution_app.cpp.o.d"
+  "test_convolution_app"
+  "test_convolution_app.pdb"
+  "test_convolution_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convolution_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

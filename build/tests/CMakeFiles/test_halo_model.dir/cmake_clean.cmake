@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_halo_model.dir/test_halo_model.cpp.o"
+  "CMakeFiles/test_halo_model.dir/test_halo_model.cpp.o.d"
+  "test_halo_model"
+  "test_halo_model.pdb"
+  "test_halo_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_halo_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lulesh_app.dir/test_lulesh_app.cpp.o"
+  "CMakeFiles/test_lulesh_app.dir/test_lulesh_app.cpp.o.d"
+  "test_lulesh_app"
+  "test_lulesh_app.pdb"
+  "test_lulesh_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lulesh_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lulesh_comm.dir/test_lulesh_comm.cpp.o"
+  "CMakeFiles/test_lulesh_comm.dir/test_lulesh_comm.cpp.o.d"
+  "test_lulesh_comm"
+  "test_lulesh_comm.pdb"
+  "test_lulesh_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lulesh_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

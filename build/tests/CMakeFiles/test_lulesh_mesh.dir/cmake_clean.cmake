@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lulesh_mesh.dir/test_lulesh_mesh.cpp.o"
+  "CMakeFiles/test_lulesh_mesh.dir/test_lulesh_mesh.cpp.o.d"
+  "test_lulesh_mesh"
+  "test_lulesh_mesh.pdb"
+  "test_lulesh_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lulesh_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

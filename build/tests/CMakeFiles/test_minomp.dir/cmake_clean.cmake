@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minomp.dir/test_minomp.cpp.o"
+  "CMakeFiles/test_minomp.dir/test_minomp.cpp.o.d"
+  "test_minomp"
+  "test_minomp.pdb"
+  "test_minomp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mpi_compat.cpp" "tests/CMakeFiles/test_mpi_compat.dir/test_mpi_compat.cpp.o" "gcc" "tests/CMakeFiles/test_mpi_compat.dir/test_mpi_compat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mpisect_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/mpisect_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mpisect_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/minomp/CMakeFiles/mpisect_minomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/mpisect_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpisect_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

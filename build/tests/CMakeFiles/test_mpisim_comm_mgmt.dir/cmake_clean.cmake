@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpisim_comm_mgmt.dir/test_mpisim_comm_mgmt.cpp.o"
+  "CMakeFiles/test_mpisim_comm_mgmt.dir/test_mpisim_comm_mgmt.cpp.o.d"
+  "test_mpisim_comm_mgmt"
+  "test_mpisim_comm_mgmt.pdb"
+  "test_mpisim_comm_mgmt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpisim_comm_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

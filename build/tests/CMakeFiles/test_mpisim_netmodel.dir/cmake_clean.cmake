@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpisim_netmodel.dir/test_mpisim_netmodel.cpp.o"
+  "CMakeFiles/test_mpisim_netmodel.dir/test_mpisim_netmodel.cpp.o.d"
+  "test_mpisim_netmodel"
+  "test_mpisim_netmodel.pdb"
+  "test_mpisim_netmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpisim_netmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpisim_ops.dir/test_mpisim_ops.cpp.o"
+  "CMakeFiles/test_mpisim_ops.dir/test_mpisim_ops.cpp.o.d"
+  "test_mpisim_ops"
+  "test_mpisim_ops.pdb"
+  "test_mpisim_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpisim_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

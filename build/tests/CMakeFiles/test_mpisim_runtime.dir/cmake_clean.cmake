@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpisim_runtime.dir/test_mpisim_runtime.cpp.o"
+  "CMakeFiles/test_mpisim_runtime.dir/test_mpisim_runtime.cpp.o.d"
+  "test_mpisim_runtime"
+  "test_mpisim_runtime.pdb"
+  "test_mpisim_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpisim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

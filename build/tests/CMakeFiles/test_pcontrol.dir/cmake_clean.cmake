@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcontrol.dir/test_pcontrol.cpp.o"
+  "CMakeFiles/test_pcontrol.dir/test_pcontrol.cpp.o.d"
+  "test_pcontrol"
+  "test_pcontrol.pdb"
+  "test_pcontrol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcontrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sections_metrics.dir/test_sections_metrics.cpp.o"
+  "CMakeFiles/test_sections_metrics.dir/test_sections_metrics.cpp.o.d"
+  "test_sections_metrics"
+  "test_sections_metrics.pdb"
+  "test_sections_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sections_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

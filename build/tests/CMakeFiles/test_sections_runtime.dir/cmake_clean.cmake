@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sections_runtime.dir/test_sections_runtime.cpp.o"
+  "CMakeFiles/test_sections_runtime.dir/test_sections_runtime.cpp.o.d"
+  "test_sections_runtime"
+  "test_sections_runtime.pdb"
+  "test_sections_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sections_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speedup_bounds.dir/test_speedup_bounds.cpp.o"
+  "CMakeFiles/test_speedup_bounds.dir/test_speedup_bounds.cpp.o.d"
+  "test_speedup_bounds"
+  "test_speedup_bounds.pdb"
+  "test_speedup_bounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speedup_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

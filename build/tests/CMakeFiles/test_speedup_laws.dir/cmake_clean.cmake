@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speedup_laws.dir/test_speedup_laws.cpp.o"
+  "CMakeFiles/test_speedup_laws.dir/test_speedup_laws.cpp.o.d"
+  "test_speedup_laws"
+  "test_speedup_laws.pdb"
+  "test_speedup_laws[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speedup_laws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

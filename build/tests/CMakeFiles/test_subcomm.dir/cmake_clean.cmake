@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subcomm.dir/test_subcomm.cpp.o"
+  "CMakeFiles/test_subcomm.dir/test_subcomm.cpp.o.d"
+  "test_subcomm"
+  "test_subcomm.pdb"
+  "test_subcomm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subcomm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

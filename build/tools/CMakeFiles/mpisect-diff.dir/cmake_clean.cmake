@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisect-diff.dir/mpisect_diff.cpp.o"
+  "CMakeFiles/mpisect-diff.dir/mpisect_diff.cpp.o.d"
+  "mpisect-diff"
+  "mpisect-diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisect-diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

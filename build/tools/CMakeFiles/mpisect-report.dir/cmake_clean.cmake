@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisect-report.dir/mpisect_report.cpp.o"
+  "CMakeFiles/mpisect-report.dir/mpisect_report.cpp.o.d"
+  "mpisect-report"
+  "mpisect-report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisect-report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools.report_text "/root/repo/build/tools/mpisect-report" "--app" "convolution" "--ranks" "4" "--steps" "10" "--machine" "ideal" "--format" "text")
+set_tests_properties(tools.report_text PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools.report_tree "/root/repo/build/tools/mpisect-report" "--app" "lulesh" "--ranks" "8" "--threads" "4" "--steps" "3" "--size" "4" "--machine" "knl" "--format" "tree")
+set_tests_properties(tools.report_tree PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools.report_balance "/root/repo/build/tools/mpisect-report" "--app" "convolution" "--ranks" "4" "--steps" "5" "--machine" "ideal" "--format" "balance")
+set_tests_properties(tools.report_balance PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools.diff_roundtrip "/usr/bin/cmake" "-DREPORT=/root/repo/build/tools/mpisect-report" "-DDIFF=/root/repo/build/tools/mpisect-diff" "-P" "/root/repo/tools/diff_roundtrip.cmake")
+set_tests_properties(tools.diff_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
