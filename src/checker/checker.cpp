@@ -1,0 +1,292 @@
+#include "checker/checker.hpp"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "checker/report.hpp"
+#include "mpisim/comm.hpp"
+
+namespace mpisect::checker {
+
+using mpisim::CallInfo;
+using mpisim::MpiCall;
+
+std::shared_ptr<MpiChecker> MpiChecker::install(mpisim::World& world,
+                                                CheckerOptions options) {
+  if (auto existing = world.find_extension<MpiChecker>()) return existing;
+  auto self = std::make_shared<MpiChecker>(world, options);
+  world.attach_extension(self);
+  return self;
+}
+
+MpiChecker::MpiChecker(mpisim::World& world, CheckerOptions options)
+    : world_(&world),
+      options_(options),
+      waitgraph_(world.size()),
+      resources_(world.size()),
+      consistency_(world.size()),
+      lint_(world.size()) {
+  install_hooks();
+  if (options_.deadlock_detection) {
+    watchdog_ = std::thread([this] { watchdog_main(); });
+  }
+}
+
+MpiChecker::~MpiChecker() { detach(); }
+
+void MpiChecker::install_hooks() {
+  prev_ = world_->hooks();
+  mpisim::HookTable table;
+  const bool chain = options_.chain_hooks;
+
+  table.on_call_begin = [this, chain](mpisim::Ctx& ctx, const CallInfo& info) {
+    if (chain && prev_.on_call_begin) prev_.on_call_begin(ctx, info);
+    handle_begin(ctx, info);
+  };
+  table.on_call_end = [this, chain](mpisim::Ctx& ctx, const CallInfo& info) {
+    handle_end(ctx, info);
+    if (chain && prev_.on_call_end) prev_.on_call_end(ctx, info);
+  };
+  table.section_enter_cb = [this, chain](mpisim::Ctx& ctx, mpisim::Comm& comm,
+                                         const char* label, char* data) {
+    lint_.on_event(ctx.rank(), comm.context_id(), /*enter=*/true, label,
+                   ctx.now());
+    if (chain && prev_.section_enter_cb) {
+      prev_.section_enter_cb(ctx, comm, label, data);
+    }
+  };
+  table.section_leave_cb = [this, chain](mpisim::Ctx& ctx, mpisim::Comm& comm,
+                                         const char* label, char* data) {
+    lint_.on_event(ctx.rank(), comm.context_id(), /*enter=*/false, label,
+                   ctx.now());
+    if (chain && prev_.section_leave_cb) {
+      prev_.section_leave_cb(ctx, comm, label, data);
+    }
+  };
+  table.section_error_cb = [this, chain](mpisim::Ctx& ctx, mpisim::Comm& comm,
+                                         const char* label, int code) {
+    lint_.on_error(ctx.rank(), label, code, ctx.now(), sink_);
+    if (chain && prev_.section_error_cb) {
+      prev_.section_error_cb(ctx, comm, label, code);
+    }
+  };
+  table.on_comm_create = [this, chain](mpisim::Ctx& ctx,
+                                       const mpisim::CommLifecycle& info) {
+    comms_.on_create(info, ctx.now());
+    if (chain && prev_.on_comm_create) prev_.on_comm_create(ctx, info);
+  };
+  table.on_comm_free = [this, chain](mpisim::Ctx& ctx, int context) {
+    comms_.on_free(ctx.rank(), context);
+    if (chain && prev_.on_comm_free) prev_.on_comm_free(ctx, context);
+  };
+  table.on_pcontrol = [this, chain](mpisim::Ctx& ctx, int level,
+                                    const char* label) {
+    if (chain && prev_.on_pcontrol) prev_.on_pcontrol(ctx, level, label);
+  };
+
+  world_->hooks() = std::move(table);
+  hooks_installed_ = true;
+}
+
+void MpiChecker::detach() {
+  if (options_.deadlock_detection && watchdog_.joinable()) {
+    {
+      const std::lock_guard lock(wd_mu_);
+      wd_stop_ = true;
+    }
+    wd_cv_.notify_all();
+    watchdog_.join();
+  }
+  if (hooks_installed_) {
+    world_->hooks() = prev_;
+    hooks_installed_ = false;
+  }
+}
+
+int MpiChecker::peer_world(int context, int comm_rank) const {
+  if (comm_rank < 0) return -1;
+  return comms_.world_rank_of(context, comm_rank);
+}
+
+void MpiChecker::handle_begin(mpisim::Ctx& ctx, const CallInfo& info) {
+  const int wr = ctx.rank();
+  switch (info.call) {
+    case MpiCall::Isend:
+      resources_.on_request_start(wr, info);
+      consistency_.on_send(wr, peer_world(info.comm_context, info.peer), info);
+      break;
+    case MpiCall::Irecv:
+      resources_.on_request_start(wr, info);
+      consistency_.on_recv(wr, peer_world(info.comm_context, info.peer), info);
+      break;
+    case MpiCall::Send:
+      consistency_.on_send(wr, peer_world(info.comm_context, info.peer), info);
+      waitgraph_.block(wr, info.call, info.comm_context,
+                       peer_world(info.comm_context, info.peer),
+                       info.t_virtual);
+      break;
+    case MpiCall::Recv:
+      consistency_.on_recv(wr, peer_world(info.comm_context, info.peer), info);
+      waitgraph_.block(wr, info.call, info.comm_context,
+                       peer_world(info.comm_context, info.peer),
+                       info.t_virtual);
+      break;
+    case MpiCall::Probe:
+      waitgraph_.block(wr, info.call, info.comm_context,
+                       peer_world(info.comm_context, info.peer),
+                       info.t_virtual);
+      break;
+    case MpiCall::Sendrecv:
+      // Matching becomes ambiguous for the observer — taint the pairs.
+      consistency_.on_sendrecv(wr, info.comm_context);
+      waitgraph_.block(wr, info.call, info.comm_context,
+                       peer_world(info.comm_context, info.peer),
+                       info.t_virtual);
+      break;
+    case MpiCall::Wait: {
+      // Give the wait a direction from the request it completes.
+      CallInfo start;
+      int pw = -1;
+      if (resources_.lookup_open(wr, info.request, &start)) {
+        pw = peer_world(start.comm_context, start.peer);
+      }
+      waitgraph_.block(wr, info.call, info.comm_context, pw, info.t_virtual);
+      break;
+    }
+    default:
+      if (mpisim::is_collective(info.call)) {
+        consistency_.on_collective(wr, info);
+        if (mpisim::is_blocking(info.call)) {
+          waitgraph_.block(wr, info.call, info.comm_context, -1,
+                           info.t_virtual);
+        }
+      }
+      break;
+  }
+}
+
+void MpiChecker::handle_end(mpisim::Ctx& ctx, const CallInfo& info) {
+  const int wr = ctx.rank();
+  switch (info.call) {
+    case MpiCall::Wait:
+      resources_.on_request_complete(wr, info.request);
+      waitgraph_.unblock(wr, info.call, info.comm_context);
+      break;
+    case MpiCall::Finalize:
+      waitgraph_.set_finished(wr);
+      break;
+    case MpiCall::Isend:
+    case MpiCall::Irecv:
+      break;  // nonblocking: tracked at begin, completed by Wait
+    default:
+      if (mpisim::is_blocking(info.call)) {
+        waitgraph_.unblock(wr, info.call, info.comm_context);
+      }
+      break;
+  }
+}
+
+void MpiChecker::on_rank_init(mpisim::Ctx& ctx) {
+  waitgraph_.set_running(ctx.rank());
+}
+
+void MpiChecker::on_rank_finalize(mpisim::Ctx& ctx) { (void)ctx; }
+
+void MpiChecker::watchdog_main() {
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t last_progress = waitgraph_.progress();
+  Clock::time_point last_change = Clock::now();
+  std::unique_lock lock(wd_mu_);
+  while (!wd_stop_) {
+    wd_cv_.wait_for(lock,
+                    std::chrono::milliseconds(options_.poll_interval_ms),
+                    [this] { return wd_stop_; });
+    if (wd_stop_) break;
+    lock.unlock();
+    const std::uint64_t p = waitgraph_.progress();
+    const Clock::time_point now = Clock::now();
+    if (p != last_progress) {
+      last_progress = p;
+      last_change = now;
+    } else if (!deadlock_reported_.load() && !world_->aborted() &&
+               waitgraph_.blocked_count() > 0 &&
+               now - last_change >=
+                   std::chrono::milliseconds(options_.deadlock_timeout_ms)) {
+      report_deadlock(waitgraph_.snapshot());
+    }
+    lock.lock();
+  }
+}
+
+void MpiChecker::report_deadlock(const std::vector<RankWaitState>& states) {
+  const WaitGraph::Analysis analysis = WaitGraph::analyze(states, comms_);
+  if (analysis.cycles.empty() && analysis.orphans.empty()) {
+    // Quiescent but no provable cycle (e.g. a peer is computing). Keep
+    // watching rather than guess.
+    return;
+  }
+
+  for (const auto& cycle : analysis.cycles) {
+    Diagnostic d;
+    d.category = Category::Deadlock;
+    d.severity = Severity::Error;
+    d.rank = cycle.ranks.front();
+    std::string chain;
+    std::string detail;
+    double t_max = 0.0;
+    for (const int r : cycle.ranks) {
+      const auto& st = states[static_cast<std::size_t>(r)];
+      if (!chain.empty()) chain += "->";
+      chain += std::to_string(r);
+      if (!detail.empty()) detail += "; ";
+      detail += "rank " + std::to_string(r) + " blocked in " +
+                mpisim::mpi_call_name(st.call) + " on context " +
+                std::to_string(st.comm_context);
+      if (!st.collective) {
+        detail += st.peer_world >= 0
+                      ? " (peer " + std::to_string(st.peer_world) + ")"
+                      : " (any source)";
+      }
+      t_max = st.t_virtual > t_max ? st.t_virtual : t_max;
+    }
+    chain += "->" + std::to_string(cycle.ranks.front());
+    const auto& first = states[static_cast<std::size_t>(cycle.ranks.front())];
+    d.comm_context = first.comm_context;
+    d.t_virtual = t_max;
+    d.site = mpisim::mpi_call_name(first.call);
+    d.message = "wait-for cycle " + chain + ": " + detail;
+    sink_.emit(std::move(d));
+  }
+
+  for (const auto& [waiter, peer] : analysis.orphans) {
+    const auto& st = states[static_cast<std::size_t>(waiter)];
+    Diagnostic d;
+    d.category = Category::Deadlock;
+    d.severity = Severity::Error;
+    d.rank = waiter;
+    d.comm_context = st.comm_context;
+    d.t_virtual = st.t_virtual;
+    d.site = mpisim::mpi_call_name(st.call);
+    d.message = "rank " + std::to_string(waiter) + " blocked in " +
+                mpisim::mpi_call_name(st.call) + " waiting on rank " +
+                std::to_string(peer) + ", which already reached MPI_Finalize";
+    sink_.emit(std::move(d));
+  }
+
+  deadlock_reported_.store(true);
+  world_->abort();  // wake the blocked ranks with Err::Aborted
+}
+
+void MpiChecker::analyze() {
+  if (analyzed_.exchange(true)) return;
+  // An aborted run (deadlock, error unwind) truncates every rank's log at
+  // an arbitrary point — the passes keep their prefix comparisons but drop
+  // the "never happened" classes, which would all fire spuriously.
+  const bool aborted = world_->aborted();
+  resources_.analyze(comms_, sink_, aborted);
+  consistency_.analyze(comms_, sink_, aborted);
+  lint_.analyze(comms_, sink_, aborted);
+}
+
+}  // namespace mpisect::checker

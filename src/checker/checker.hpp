@@ -1,0 +1,129 @@
+// mpicheck — a MUST-style MPI correctness analyzer.
+//
+// MpiChecker attaches to a World exactly the way a real PMPI tool attaches
+// to an MPI application: it swaps its own wrappers into the HookTable
+// (saving and chaining the previously installed table, so it composes with
+// the section profiler) and registers as an Extension for per-rank
+// lifecycle. The application is never modified.
+//
+// Four analyses:
+//   * deadlock: rank threads publish blocked states into a WaitGraph; a
+//     watchdog thread detects quiescence (no hook progress for a real-time
+//     window while ranks are blocked), analyzes the wait-for snapshot for
+//     cycles/orphaned waits, reports them and aborts the world so the
+//     blocked ranks unwind with Err::Aborted;
+//   * resource leaks: nonblocking requests never completed and derived
+//     communicators never freed at MPI_Finalize;
+//   * call consistency: collective call/root/count agreement across ranks
+//     and conservative send/recv size pairing;
+//   * section lint: rejected MPIX_Section operations plus cross-rank
+//     comparison of the per-communicator section sequences.
+//
+// Usage:
+//   auto checker = checker::MpiChecker::install(world);
+//   world.run(app);              // or catch Err::Aborted on deadlock
+//   checker->analyze();          // post-run passes
+//   std::cout << checker::render_text(checker->diagnostics());
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "checker/comm_registry.hpp"
+#include "checker/consistency.hpp"
+#include "checker/diagnostics.hpp"
+#include "checker/resource_tracker.hpp"
+#include "checker/section_lint.hpp"
+#include "checker/waitgraph.hpp"
+#include "mpisim/hooks.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace mpisect::checker {
+
+struct CheckerOptions {
+  /// Run the quiescence watchdog. Off = post-run passes only.
+  bool deadlock_detection = true;
+  /// Real-time window with zero hook progress (and ≥1 blocked rank) that
+  /// classifies the world as deadlocked. Must comfortably exceed the
+  /// runtime's abort-poll period.
+  int deadlock_timeout_ms = 500;
+  /// Watchdog sampling period.
+  int poll_interval_ms = 25;
+  /// Forward events to the hook table that was installed before us
+  /// (PMPI-style tool stacking). Disable to run the checker alone.
+  bool chain_hooks = true;
+};
+
+class MpiChecker final : public mpisim::Extension {
+ public:
+  /// Create a checker, install its hooks on `world` (chaining whatever was
+  /// installed before) and attach it as an Extension. Call before run().
+  static std::shared_ptr<MpiChecker> install(mpisim::World& world,
+                                             CheckerOptions options = {});
+
+  MpiChecker(mpisim::World& world, CheckerOptions options);
+  ~MpiChecker() override;
+  MpiChecker(const MpiChecker&) = delete;
+  MpiChecker& operator=(const MpiChecker&) = delete;
+
+  /// Run the post-run analyses (leaks, consistency, section sequences).
+  /// Call after World::run() returned or threw. Idempotent.
+  void analyze();
+
+  /// Stop the watchdog and restore the previously installed hook table.
+  /// Called automatically on destruction.
+  void detach();
+
+  [[nodiscard]] std::vector<Diagnostic> diagnostics() const {
+    return sink_.diagnostics();
+  }
+  [[nodiscard]] const DiagnosticSink& sink() const noexcept { return sink_; }
+  [[nodiscard]] DiagnosticSink& sink() noexcept { return sink_; }
+  [[nodiscard]] bool deadlock_reported() const noexcept {
+    return deadlock_reported_.load();
+  }
+  [[nodiscard]] const CheckerOptions& options() const noexcept {
+    return options_;
+  }
+
+  // Extension interface.
+  void on_rank_init(mpisim::Ctx& ctx) override;
+  void on_rank_finalize(mpisim::Ctx& ctx) override;
+
+ private:
+  void install_hooks();
+  void handle_begin(mpisim::Ctx& ctx, const mpisim::CallInfo& info);
+  void handle_end(mpisim::Ctx& ctx, const mpisim::CallInfo& info);
+  /// Map a CallInfo peer (comm rank) to a world rank; -1 stays -1.
+  [[nodiscard]] int peer_world(int context, int comm_rank) const;
+
+  void watchdog_main();
+  void report_deadlock(const std::vector<RankWaitState>& states);
+
+  mpisim::World* world_;
+  CheckerOptions options_;
+  mpisim::HookTable prev_;  ///< chained tool underneath us
+  bool hooks_installed_ = false;
+
+  DiagnosticSink sink_;
+  CommRegistry comms_;
+  WaitGraph waitgraph_;
+  ResourceTracker resources_;
+  ConsistencyChecker consistency_;
+  SectionLint lint_;
+
+  std::atomic<bool> deadlock_reported_{false};
+  std::atomic<bool> analyzed_{false};
+
+  std::thread watchdog_;
+  std::mutex wd_mu_;
+  std::condition_variable wd_cv_;
+  bool wd_stop_ = false;
+};
+
+}  // namespace mpisect::checker

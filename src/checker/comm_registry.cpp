@@ -1,0 +1,61 @@
+#include "checker/comm_registry.hpp"
+
+namespace mpisect::checker {
+
+void CommRegistry::on_create(const mpisim::CommLifecycle& info,
+                             double t_virtual) {
+  const std::lock_guard lock(mu_);
+  Record& rec = comms_[info.context];
+  if (rec.context < 0) {
+    rec.context = info.context;
+    rec.parent_context = info.parent_context;
+    if (info.world_ranks != nullptr) rec.world_ranks = *info.world_ranks;
+    rec.created.assign(static_cast<std::size_t>(info.size), 0);
+    rec.freed.assign(static_cast<std::size_t>(info.size), 0);
+    rec.t_create = t_virtual;
+  }
+  if (info.rank >= 0 && info.rank < static_cast<int>(rec.created.size())) {
+    rec.created[static_cast<std::size_t>(info.rank)] = 1;
+  }
+}
+
+void CommRegistry::on_free(int world_rank, int context) {
+  const std::lock_guard lock(mu_);
+  const auto it = comms_.find(context);
+  if (it == comms_.end()) return;
+  Record& rec = it->second;
+  for (std::size_t i = 0; i < rec.world_ranks.size(); ++i) {
+    if (rec.world_ranks[i] == world_rank && i < rec.freed.size()) {
+      rec.freed[i] = 1;
+      return;
+    }
+  }
+}
+
+int CommRegistry::world_rank_of(int context, int comm_rank) const {
+  const std::lock_guard lock(mu_);
+  const auto it = comms_.find(context);
+  if (it == comms_.end()) return -1;
+  const auto& wr = it->second.world_ranks;
+  if (comm_rank < 0 || comm_rank >= static_cast<int>(wr.size())) return -1;
+  return wr[static_cast<std::size_t>(comm_rank)];
+}
+
+std::vector<int> CommRegistry::members(int context) const {
+  const std::lock_guard lock(mu_);
+  const auto it = comms_.find(context);
+  return it == comms_.end() ? std::vector<int>{} : it->second.world_ranks;
+}
+
+std::vector<CommRegistry::Record> CommRegistry::records() const {
+  const std::lock_guard lock(mu_);
+  std::vector<Record> out;
+  out.reserve(comms_.size());
+  for (const auto& [ctx, rec] : comms_) {
+    (void)ctx;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace mpisect::checker

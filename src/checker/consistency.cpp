@@ -1,0 +1,280 @@
+#include "checker/consistency.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+
+namespace mpisect::checker {
+
+namespace {
+
+bool is_rooted(mpisim::MpiCall c) noexcept {
+  using mpisim::MpiCall;
+  switch (c) {
+    case MpiCall::Bcast:
+    case MpiCall::Reduce:
+    case MpiCall::Scatter:
+    case MpiCall::Scatterv:
+    case MpiCall::Gather:
+    case MpiCall::Gatherv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Calls whose CallInfo.bytes must agree across all members.
+bool is_uniform_size(mpisim::MpiCall c) noexcept {
+  using mpisim::MpiCall;
+  switch (c) {
+    case MpiCall::Bcast:
+    case MpiCall::Reduce:
+    case MpiCall::Allreduce:
+    case MpiCall::Scatter:
+    case MpiCall::Gather:
+    case MpiCall::Allgather:
+    case MpiCall::Alltoall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ConsistencyChecker::ConsistencyChecker(int nranks)
+    : ranks_(static_cast<std::size_t>(nranks)) {}
+
+void ConsistencyChecker::on_collective(int world_rank,
+                                       const mpisim::CallInfo& info) {
+  auto& pr = ranks_[static_cast<std::size_t>(world_rank)];
+  pr.coll.push_back({info.call, info.comm_context,
+                     is_rooted(info.call) ? info.peer : -1, info.bytes,
+                     info.t_virtual});
+}
+
+void ConsistencyChecker::on_send(int world_rank, int dst_world,
+                                 const mpisim::CallInfo& info) {
+  auto& pr = ranks_[static_cast<std::size_t>(world_rank)];
+  pr.p2p.push_back({true, info.comm_context, dst_world, info.tag, info.bytes,
+                    info.t_virtual});
+}
+
+void ConsistencyChecker::on_recv(int world_rank, int src_world,
+                                 const mpisim::CallInfo& info) {
+  auto& pr = ranks_[static_cast<std::size_t>(world_rank)];
+  pr.p2p.push_back({false, info.comm_context, src_world, info.tag, info.bytes,
+                    info.t_virtual});
+  if (src_world < 0) pr.tainted_contexts.insert(info.comm_context);
+}
+
+void ConsistencyChecker::on_sendrecv(int world_rank, int context) {
+  ranks_[static_cast<std::size_t>(world_rank)].tainted_contexts.insert(context);
+}
+
+void ConsistencyChecker::analyze(const CommRegistry& comms,
+                                 DiagnosticSink& sink, bool aborted) const {
+  analyze_collectives(comms, sink, aborted);
+  analyze_p2p(sink, aborted);
+}
+
+void ConsistencyChecker::analyze_collectives(const CommRegistry& comms,
+                                             DiagnosticSink& sink,
+                                             bool aborted) const {
+  for (const auto& rec : comms.records()) {
+    // Per-member collective sequences on this context, in issue order.
+    std::vector<int> members;
+    std::vector<std::vector<const CollEvent*>> seqs;
+    for (const int wr : rec.world_ranks) {
+      if (wr < 0 || wr >= static_cast<int>(ranks_.size())) continue;
+      members.push_back(wr);
+      auto& seq = seqs.emplace_back();
+      for (const auto& ev : ranks_[static_cast<std::size_t>(wr)].coll) {
+        if (ev.context == rec.context) seq.push_back(&ev);
+      }
+    }
+    if (members.size() < 2) continue;
+
+    std::size_t min_len = seqs.front().size();
+    std::size_t max_len = seqs.front().size();
+    for (const auto& s : seqs) {
+      min_len = std::min(min_len, s.size());
+      max_len = std::max(max_len, s.size());
+    }
+
+    bool type_diverged = false;
+    for (std::size_t i = 0; i < min_len && !type_diverged; ++i) {
+      const CollEvent* ref = seqs.front()[i];
+      for (std::size_t m = 1; m < seqs.size(); ++m) {
+        const CollEvent* ev = seqs[m][i];
+        if (ev->call != ref->call) {
+          Diagnostic d;
+          d.category = Category::CollectiveMismatch;
+          d.severity = Severity::Error;
+          d.rank = members[m];
+          d.comm_context = rec.context;
+          d.t_virtual = ev->t_virtual;
+          d.site = mpisim::mpi_call_name(ev->call);
+          d.message = "collective #" + std::to_string(i) + " on context " +
+                      std::to_string(rec.context) + ": rank " +
+                      std::to_string(members[m]) + " called " +
+                      mpisim::mpi_call_name(ev->call) + " but rank " +
+                      std::to_string(members.front()) + " called " +
+                      mpisim::mpi_call_name(ref->call);
+          sink.emit(std::move(d));
+          // Later ordinals are shifted; comparing them would cascade noise.
+          type_diverged = true;
+          break;
+        }
+        if (ev->root != ref->root) {
+          Diagnostic d;
+          d.category = Category::CollectiveMismatch;
+          d.severity = Severity::Error;
+          d.rank = members[m];
+          d.comm_context = rec.context;
+          d.t_virtual = ev->t_virtual;
+          d.site = mpisim::mpi_call_name(ev->call);
+          d.message = std::string(mpisim::mpi_call_name(ev->call)) + " #" +
+                      std::to_string(i) + " on context " +
+                      std::to_string(rec.context) + ": rank " +
+                      std::to_string(members[m]) + " named root " +
+                      std::to_string(ev->root) + " but rank " +
+                      std::to_string(members.front()) + " named root " +
+                      std::to_string(ref->root);
+          sink.emit(std::move(d));
+        } else if (is_uniform_size(ev->call) && ev->bytes != ref->bytes) {
+          Diagnostic d;
+          d.category = Category::CollectiveMismatch;
+          d.severity = Severity::Error;
+          d.rank = members[m];
+          d.comm_context = rec.context;
+          d.t_virtual = ev->t_virtual;
+          d.site = mpisim::mpi_call_name(ev->call);
+          d.message = std::string(mpisim::mpi_call_name(ev->call)) + " #" +
+                      std::to_string(i) + " on context " +
+                      std::to_string(rec.context) + ": rank " +
+                      std::to_string(members[m]) + " passed " +
+                      std::to_string(ev->bytes) + " bytes but rank " +
+                      std::to_string(members.front()) + " passed " +
+                      std::to_string(ref->bytes);
+          sink.emit(std::move(d));
+        }
+      }
+    }
+
+    if (!type_diverged && !aborted && min_len != max_len) {
+      int short_rank = -1;
+      int long_rank = -1;
+      for (std::size_t m = 0; m < seqs.size(); ++m) {
+        if (seqs[m].size() == min_len && short_rank < 0) short_rank = members[m];
+        if (seqs[m].size() == max_len && long_rank < 0) long_rank = members[m];
+      }
+      Diagnostic d;
+      d.category = Category::CollectiveMismatch;
+      d.severity = Severity::Error;
+      d.rank = short_rank;
+      d.comm_context = rec.context;
+      d.site = "collective sequence";
+      d.message = "context " + std::to_string(rec.context) + ": rank " +
+                  std::to_string(short_rank) + " issued " +
+                  std::to_string(min_len) + " collective(s) but rank " +
+                  std::to_string(long_rank) + " issued " +
+                  std::to_string(max_len);
+      sink.emit(std::move(d));
+    }
+  }
+}
+
+void ConsistencyChecker::analyze_p2p(DiagnosticSink& sink,
+                                     bool aborted) const {
+  // (context, src, dst) -> ordered events from both endpoints.
+  struct Pair {
+    std::vector<const P2PEvent*> sends;
+    std::vector<const P2PEvent*> recvs;
+  };
+  std::map<std::tuple<int, int, int>, Pair> pairs;
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    for (const auto& ev : ranks_[r].p2p) {
+      if (ev.send) {
+        pairs[{ev.context, static_cast<int>(r), ev.peer_world}].sends.push_back(
+            &ev);
+      } else if (ev.peer_world >= 0) {
+        pairs[{ev.context, ev.peer_world, static_cast<int>(r)}]
+            .recvs.push_back(&ev);
+      }
+    }
+  }
+
+  for (const auto& [key, pair] : pairs) {
+    const auto [context, src, dst] = key;
+    if (src < 0 || dst < 0 || src >= static_cast<int>(ranks_.size()) ||
+        dst >= static_cast<int>(ranks_.size())) {
+      continue;
+    }
+    // Skip pairs whose endpoints we cannot pair deterministically.
+    if (ranks_[static_cast<std::size_t>(src)].tainted_contexts.count(context) >
+            0 ||
+        ranks_[static_cast<std::size_t>(dst)].tainted_contexts.count(context) >
+            0) {
+      continue;
+    }
+
+    if (!aborted && pair.sends.size() != pair.recvs.size()) {
+      Diagnostic d;
+      d.category = Category::P2PMismatch;
+      d.severity = Severity::Error;
+      d.rank = pair.sends.size() > pair.recvs.size() ? src : dst;
+      d.comm_context = context;
+      d.site = "MPI_Send/MPI_Recv";
+      d.message = "context " + std::to_string(context) + ": rank " +
+                  std::to_string(src) + " sent " +
+                  std::to_string(pair.sends.size()) +
+                  " message(s) to rank " + std::to_string(dst) +
+                  " which posted " + std::to_string(pair.recvs.size()) +
+                  " receive(s)";
+      sink.emit(std::move(d));
+    }
+
+    const std::size_t n = std::min(pair.sends.size(), pair.recvs.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const P2PEvent* s = pair.sends[i];
+      const P2PEvent* rv = pair.recvs[i];
+      // Differing tags mean matching is by tag, not order — stop pairing
+      // this stream rather than guess.
+      if (s->tag != rv->tag) break;
+      if (s->bytes > rv->bytes) {
+        Diagnostic d;
+        d.category = Category::P2PMismatch;
+        d.severity = Severity::Error;
+        d.rank = dst;
+        d.comm_context = context;
+        d.t_virtual = rv->t_virtual;
+        d.site = "MPI_Recv";
+        d.message = "message #" + std::to_string(i) + " from rank " +
+                    std::to_string(src) + " to rank " + std::to_string(dst) +
+                    " (tag " + std::to_string(s->tag) + ") sends " +
+                    std::to_string(s->bytes) + " bytes into a " +
+                    std::to_string(rv->bytes) + "-byte receive buffer";
+        sink.emit(std::move(d));
+      } else if (s->bytes < rv->bytes) {
+        Diagnostic d;
+        d.category = Category::P2PMismatch;
+        d.severity = Severity::Warning;
+        d.rank = dst;
+        d.comm_context = context;
+        d.t_virtual = rv->t_virtual;
+        d.site = "MPI_Recv";
+        d.message = "message #" + std::to_string(i) + " from rank " +
+                    std::to_string(src) + " to rank " + std::to_string(dst) +
+                    " (tag " + std::to_string(s->tag) + ") sends " +
+                    std::to_string(s->bytes) + " bytes but the receive posts " +
+                    std::to_string(rv->bytes) +
+                    " — datatype counts disagree";
+        sink.emit(std::move(d));
+      }
+    }
+  }
+}
+
+}  // namespace mpisect::checker

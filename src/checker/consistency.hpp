@@ -1,0 +1,83 @@
+// Cross-rank call-consistency analysis (MUST's "local + non-local checks").
+//
+// Each rank thread appends collective and point-to-point events to its own
+// per-rank log (owner-thread only, no locks); after World::run() has joined
+// the rank threads, analyze() compares the logs:
+//
+//   * collectives, per communicator context: every member must issue the
+//     same call at every ordinal, rooted calls must agree on the root, and
+//     uniform-size calls (bcast, reduce, allreduce, scatter, gather,
+//     allgather, alltoall) must agree on the per-rank byte count;
+//   * point-to-point, per (context, sender, receiver) pair: the ordered
+//     (tag, bytes) sequences of sends and matching posted receives must
+//     line up — a receive buffer smaller than the message is a truncation
+//     error, more sends than receives (or vice versa) is a count mismatch.
+//
+// Pairing is deliberately conservative: any pair whose endpoint took part
+// in a Sendrecv or posted a wildcard (any-source) receive on that context
+// is excluded, because the observer cannot know which message matched.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "checker/comm_registry.hpp"
+#include "checker/diagnostics.hpp"
+#include "mpisim/hooks.hpp"
+
+namespace mpisect::checker {
+
+class ConsistencyChecker {
+ public:
+  explicit ConsistencyChecker(int nranks);
+
+  /// Rank thread: a collective began (recorded at begin so mismatched
+  /// collectives that subsequently fail are still compared).
+  void on_collective(int world_rank, const mpisim::CallInfo& info);
+  /// Rank thread: Send/Isend began. `dst_world` already mapped to world rank.
+  void on_send(int world_rank, int dst_world, const mpisim::CallInfo& info);
+  /// Rank thread: Recv/Irecv began. `src_world` is -1 for any-source.
+  void on_recv(int world_rank, int src_world, const mpisim::CallInfo& info);
+  /// Rank thread: a Sendrecv was observed — taints this rank's pairs.
+  void on_sendrecv(int world_rank, int context);
+
+  /// `aborted` suppresses the count/length comparisons (an unwound run
+  /// truncates every rank's log at an arbitrary point); the prefix
+  /// comparisons — call/root/byte agreement, send-vs-receive sizes — still
+  /// run on what was observed.
+  void analyze(const CommRegistry& comms, DiagnosticSink& sink,
+               bool aborted) const;
+
+ private:
+  struct CollEvent {
+    mpisim::MpiCall call;
+    int context;
+    int root;  ///< comm rank of the root; -1 for rootless collectives
+    std::size_t bytes;
+    double t_virtual;
+  };
+  struct P2PEvent {
+    bool send;
+    int context;
+    int peer_world;  ///< destination (send) / source (recv, -1 = wildcard)
+    int tag;
+    std::size_t bytes;  ///< payload (send) / buffer capacity (recv)
+    double t_virtual;
+  };
+  struct PerRank {
+    std::vector<CollEvent> coll;
+    std::vector<P2PEvent> p2p;
+    /// Contexts on which this rank used Sendrecv or an any-source receive.
+    std::set<int> tainted_contexts;
+  };
+
+  void analyze_collectives(const CommRegistry& comms, DiagnosticSink& sink,
+                           bool aborted) const;
+  void analyze_p2p(DiagnosticSink& sink, bool aborted) const;
+
+  std::vector<PerRank> ranks_;
+};
+
+}  // namespace mpisect::checker

@@ -1,0 +1,24 @@
+// Reporters for mpicheck findings.
+//
+// One diagnostic list, three renderings: an aligned text table (via
+// support::TextTable, the same formatter the bench harnesses use), CSV
+// (via support::CsvWriter) and JSON. `render_summary` produces the one-line
+// per-category tally the CLI prints at exit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "checker/diagnostics.hpp"
+
+namespace mpisect::checker {
+
+[[nodiscard]] std::string render_text(const std::vector<Diagnostic>& diags);
+[[nodiscard]] std::string render_csv(const std::vector<Diagnostic>& diags);
+[[nodiscard]] std::string render_json(const std::vector<Diagnostic>& diags);
+
+/// "mpicheck: 3 finding(s): DEADLOCK=1 RESOURCE_LEAK=2" or
+/// "mpicheck: no findings".
+[[nodiscard]] std::string render_summary(const std::vector<Diagnostic>& diags);
+
+}  // namespace mpisect::checker

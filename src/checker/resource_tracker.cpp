@@ -1,0 +1,85 @@
+#include "checker/resource_tracker.hpp"
+
+#include <string>
+
+namespace mpisect::checker {
+
+ResourceTracker::ResourceTracker(int nranks)
+    : ranks_(static_cast<std::size_t>(nranks)) {}
+
+void ResourceTracker::on_request_start(int world_rank,
+                                       const mpisim::CallInfo& info) {
+  if (info.request == 0) return;
+  ranks_[static_cast<std::size_t>(world_rank)].open[info.request] = info;
+}
+
+void ResourceTracker::on_request_complete(int world_rank,
+                                          std::uint64_t request) {
+  if (request == 0) return;
+  ranks_[static_cast<std::size_t>(world_rank)].open.erase(request);
+}
+
+bool ResourceTracker::lookup_open(int world_rank, std::uint64_t request,
+                                  mpisim::CallInfo* out) const {
+  const auto& open = ranks_[static_cast<std::size_t>(world_rank)].open;
+  const auto it = open.find(request);
+  if (it == open.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+void ResourceTracker::analyze(const CommRegistry& comms, DiagnosticSink& sink,
+                              bool aborted) const {
+  if (aborted) return;
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    for (const auto& [id, info] : ranks_[r].open) {
+      Diagnostic d;
+      d.category = Category::ResourceLeak;
+      d.severity = Severity::Error;
+      d.rank = static_cast<int>(r);
+      d.comm_context = info.comm_context;
+      d.t_virtual = info.t_virtual;
+      d.site = mpisim::mpi_call_name(info.call);
+      d.message = std::string(mpisim::mpi_call_name(info.call)) +
+                  " request #" + std::to_string(id) + " (peer " +
+                  std::to_string(info.peer) + ", " +
+                  std::to_string(info.bytes) +
+                  " bytes) never completed before MPI_Finalize";
+      sink.emit(std::move(d));
+    }
+  }
+
+  for (const auto& rec : comms.records()) {
+    if (rec.parent_context < 0) continue;  // the world communicator
+    std::string leakers;
+    int first_leaker = -1;
+    int nleaked = 0;
+    for (std::size_t i = 0; i < rec.created.size(); ++i) {
+      if (rec.created[i] == 0 || (i < rec.freed.size() && rec.freed[i] != 0)) {
+        continue;
+      }
+      const int wr = i < rec.world_ranks.size()
+                         ? rec.world_ranks[i]
+                         : static_cast<int>(i);
+      if (first_leaker < 0) first_leaker = wr;
+      if (!leakers.empty()) leakers += ",";
+      leakers += std::to_string(wr);
+      ++nleaked;
+    }
+    if (nleaked == 0) continue;
+    Diagnostic d;
+    d.category = Category::ResourceLeak;
+    d.severity = Severity::Error;
+    d.rank = first_leaker;
+    d.comm_context = rec.context;
+    d.t_virtual = rec.t_create;
+    d.site = "MPI_Comm_free";
+    d.message = "communicator context " + std::to_string(rec.context) +
+                " (derived from context " +
+                std::to_string(rec.parent_context) + ") never freed by " +
+                std::to_string(nleaked) + " rank(s): " + leakers;
+    sink.emit(std::move(d));
+  }
+}
+
+}  // namespace mpisect::checker

@@ -1,0 +1,52 @@
+// Request and communicator lifecycle accounting (the MUST "resource leak"
+// class).
+//
+// Nonblocking operations are tracked by the request id the runtime stamps
+// into CallInfo (Isend/Irecv assign it, the completing Wait repeats it).
+// Anything still open when the world finishes is a leak: a pending
+// nonblocking operation (never waited) at MPI_Finalize. Communicator
+// lifecycle is read from the CommRegistry: every member that obtained a
+// handle via split/dup must free it before finalize.
+//
+// Storage is per-rank and owner-thread-only during the run; the analysis
+// runs after World::run() has joined every rank thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "checker/comm_registry.hpp"
+#include "checker/diagnostics.hpp"
+#include "mpisim/hooks.hpp"
+
+namespace mpisect::checker {
+
+class ResourceTracker {
+ public:
+  explicit ResourceTracker(int nranks);
+
+  /// Rank thread: Isend/Irecv observed (CallInfo carries the request id).
+  void on_request_start(int world_rank, const mpisim::CallInfo& info);
+  /// Rank thread: Wait completed the request.
+  void on_request_complete(int world_rank, std::uint64_t request);
+  /// Kind of an open request on `world_rank` (Isend/Irecv), or nullopt-ish:
+  /// returns false if unknown/completed. Used by the deadlock pass to give
+  /// MPI_Wait a direction.
+  [[nodiscard]] bool lookup_open(int world_rank, std::uint64_t request,
+                                 mpisim::CallInfo* out) const;
+
+  /// Post-run: report never-completed requests and never-freed
+  /// communicators into the sink. `aborted` suppresses everything — an
+  /// unwound run leaves resources open through no fault of the app.
+  void analyze(const CommRegistry& comms, DiagnosticSink& sink,
+               bool aborted) const;
+
+ private:
+  struct PerRank {
+    std::map<std::uint64_t, mpisim::CallInfo> open;  ///< id -> start info
+  };
+  std::vector<PerRank> ranks_;
+};
+
+}  // namespace mpisect::checker

@@ -1,0 +1,130 @@
+#include "checker/section_lint.hpp"
+
+#include <algorithm>
+
+#include "core/sections/runtime.hpp"
+
+namespace mpisect::checker {
+
+SectionLint::SectionLint(int nranks)
+    : ranks_(static_cast<std::size_t>(nranks)) {}
+
+void SectionLint::on_event(int world_rank, int context, bool enter,
+                           const char* label, double t_virtual) {
+  ranks_[static_cast<std::size_t>(world_rank)].events.push_back(
+      {context, enter, label != nullptr ? label : "", t_virtual});
+}
+
+void SectionLint::on_error(int world_rank, const char* label, int code,
+                           double t_virtual, DiagnosticSink& sink) {
+  {
+    const std::lock_guard lock(err_mu_);
+    ++error_events_;
+  }
+  Diagnostic d;
+  d.category = Category::SectionMisuse;
+  d.severity = Severity::Error;
+  d.rank = world_rank;
+  d.t_virtual = t_virtual;
+  d.site = label != nullptr ? label : "";
+  d.message = std::string(sections::section_result_name(code)) + ": ";
+  switch (code) {
+    case sections::kSectionErrBadLabel:
+      d.message += "null or empty section label";
+      break;
+    case sections::kSectionErrNotNested:
+      d.message += "exit label \"" + d.site +
+                   "\" does not match the innermost open section";
+      break;
+    case sections::kSectionErrEmptyStack:
+      d.message += "section exit \"" + d.site + "\" with no open section";
+      break;
+    case sections::kSectionErrMismatch:
+      d.message +=
+          "ranks disagree on section label/depth at \"" + d.site + "\"";
+      break;
+    case sections::kSectionErrComm:
+      d.message += "section call on an invalid communicator";
+      break;
+    case sections::kSectionErrLeaked:
+      d.message += "section \"" + d.site + "\" still open at MPI_Finalize";
+      break;
+    default:
+      d.message += "section operation failed on \"" + d.site + "\"";
+      break;
+  }
+  sink.emit(std::move(d));
+}
+
+void SectionLint::analyze(const CommRegistry& comms, DiagnosticSink& sink,
+                          bool aborted) const {
+  for (const auto& rec : comms.records()) {
+    std::vector<int> members;
+    std::vector<std::vector<const Event*>> seqs;
+    for (const int wr : rec.world_ranks) {
+      if (wr < 0 || wr >= static_cast<int>(ranks_.size())) continue;
+      members.push_back(wr);
+      auto& seq = seqs.emplace_back();
+      for (const auto& ev : ranks_[static_cast<std::size_t>(wr)].events) {
+        if (ev.context == rec.context) seq.push_back(&ev);
+      }
+    }
+    if (members.size() < 2) continue;
+
+    std::size_t min_len = seqs.front().size();
+    std::size_t max_len = seqs.front().size();
+    for (const auto& s : seqs) {
+      min_len = std::min(min_len, s.size());
+      max_len = std::max(max_len, s.size());
+    }
+
+    bool diverged = false;
+    for (std::size_t i = 0; i < min_len && !diverged; ++i) {
+      const Event* ref = seqs.front()[i];
+      for (std::size_t m = 1; m < seqs.size(); ++m) {
+        const Event* ev = seqs[m][i];
+        if (ev->enter == ref->enter && ev->label == ref->label) continue;
+        Diagnostic d;
+        d.category = Category::SectionMisuse;
+        d.severity = Severity::Error;
+        d.rank = members[m];
+        d.comm_context = rec.context;
+        d.t_virtual = ev->t_virtual;
+        d.site = ev->label;
+        d.message = "section event #" + std::to_string(i) + " on context " +
+                    std::to_string(rec.context) + ": rank " +
+                    std::to_string(members[m]) + " did " +
+                    (ev->enter ? "enter(\"" : "exit(\"") + ev->label +
+                    "\") but rank " + std::to_string(members.front()) +
+                    " did " + (ref->enter ? "enter(\"" : "exit(\"") +
+                    ref->label + "\")";
+        sink.emit(std::move(d));
+        diverged = true;  // later events are shifted; avoid cascade noise
+        break;
+      }
+    }
+
+    if (!diverged && !aborted && min_len != max_len) {
+      int short_rank = -1;
+      int long_rank = -1;
+      for (std::size_t m = 0; m < seqs.size(); ++m) {
+        if (seqs[m].size() == min_len && short_rank < 0) short_rank = members[m];
+        if (seqs[m].size() == max_len && long_rank < 0) long_rank = members[m];
+      }
+      Diagnostic d;
+      d.category = Category::SectionMisuse;
+      d.severity = Severity::Error;
+      d.rank = short_rank;
+      d.comm_context = rec.context;
+      d.site = "section sequence";
+      d.message = "context " + std::to_string(rec.context) + ": rank " +
+                  std::to_string(short_rank) + " performed " +
+                  std::to_string(min_len) + " section event(s) but rank " +
+                  std::to_string(long_rank) + " performed " +
+                  std::to_string(max_len);
+      sink.emit(std::move(d));
+    }
+  }
+}
+
+}  // namespace mpisect::checker

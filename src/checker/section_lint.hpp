@@ -1,0 +1,65 @@
+// Lint for MPIX_Section usage.
+//
+// Two sources feed this pass:
+//
+//   * the runtime's section_error_cb, which fires on every rejected
+//     operation (bad label, exit with empty stack, exit label not matching
+//     the stack top, cross-rank validation mismatch, section still open at
+//     MPI_Finalize) — mapped immediately to SectionMisuse diagnostics with
+//     the offending rank and virtual time;
+//   * the successful enter/leave stream, recorded per rank per context into
+//     shadow sequences and compared across ranks post-run: sections are
+//     collective on their communicator, so every member must perform the
+//     same (label, enter/exit) sequence. This catches label divergence and
+//     missing enters even when the runtime's validation mode is off.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "checker/comm_registry.hpp"
+#include "checker/diagnostics.hpp"
+
+namespace mpisect::checker {
+
+class SectionLint {
+ public:
+  explicit SectionLint(int nranks);
+
+  /// Rank thread: successful section enter/leave on `context`.
+  void on_event(int world_rank, int context, bool enter, const char* label,
+                double t_virtual);
+  /// Rank thread (or finalize path): the sections layer rejected an
+  /// operation with `code` (a sections::SectionResult value).
+  void on_error(int world_rank, const char* label, int code, double t_virtual,
+                DiagnosticSink& sink);
+
+  /// Post-run: cross-rank comparison of the per-context event sequences.
+  /// `aborted` suppresses the length comparison (an unwound run truncates
+  /// logs mid-section); label divergence on the common prefix still counts.
+  void analyze(const CommRegistry& comms, DiagnosticSink& sink,
+               bool aborted) const;
+
+  /// Number of runtime-rejected operations seen (for tests).
+  [[nodiscard]] std::size_t error_events() const noexcept {
+    return error_events_;
+  }
+
+ private:
+  struct Event {
+    int context;
+    bool enter;
+    std::string label;
+    double t_virtual;
+  };
+  struct PerRank {
+    std::vector<Event> events;
+  };
+  std::vector<PerRank> ranks_;
+  std::size_t error_events_ = 0;
+  std::mutex err_mu_;  ///< on_error may fire from any rank thread
+};
+
+}  // namespace mpisect::checker

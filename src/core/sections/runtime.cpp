@@ -13,9 +13,23 @@ const char* section_result_name(int code) noexcept {
     case kSectionErrEmptyStack: return "MPIX_ERR_SECTION_EMPTY_STACK";
     case kSectionErrMismatch: return "MPIX_ERR_SECTION_MISMATCH";
     case kSectionErrComm: return "MPIX_ERR_SECTION_COMM";
+    case kSectionErrLeaked: return "MPIX_ERR_SECTION_LEAKED";
   }
   return "MPIX_ERR_SECTION_UNKNOWN";
 }
+
+namespace {
+
+/// Notify tools of a rejected/invalid section operation (PMPI-style:
+/// correctness tools hook this to turn runtime rejections into findings).
+int fire_section_error(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                       const char* label, int code) {
+  auto& cb = ctx.world().hooks().section_error_cb;
+  if (cb) cb(ctx, comm, label, code);
+  return code;
+}
+
+}  // namespace
 
 SectionRuntime::SectionRuntime(int world_size)
     : ranks_(static_cast<std::size_t>(world_size)) {}
@@ -69,8 +83,12 @@ int SectionRuntime::validate(mpisim::Ctx& ctx, mpisim::Comm& comm,
 
 int SectionRuntime::enter(mpisim::Ctx& ctx, mpisim::Comm& comm,
                           const char* label) {
-  if (!comm.valid()) return kSectionErrComm;
-  if (label == nullptr || *label == '\0') return kSectionErrBadLabel;
+  if (!comm.valid()) {
+    return fire_section_error(ctx, comm, label, kSectionErrComm);
+  }
+  if (label == nullptr || *label == '\0') {
+    return fire_section_error(ctx, comm, label, kSectionErrBadLabel);
+  }
 
   auto& st = state_of(ctx);
   ++st.counters.enters;
@@ -86,7 +104,7 @@ int SectionRuntime::enter(mpisim::Ctx& ctx, mpisim::Comm& comm,
 
   if (validate_.load(std::memory_order_relaxed)) {
     const int rc = validate(ctx, comm, id, section.depth, /*entering=*/true);
-    if (rc != kSectionOk) return rc;
+    if (rc != kSectionOk) return fire_section_error(ctx, comm, label, rc);
   }
 
   // Tool notification (MPIX_Section_enter_cb, paper Fig. 2). The data
@@ -98,15 +116,19 @@ int SectionRuntime::enter(mpisim::Ctx& ctx, mpisim::Comm& comm,
 
 int SectionRuntime::exit(mpisim::Ctx& ctx, mpisim::Comm& comm,
                          const char* label) {
-  if (!comm.valid()) return kSectionErrComm;
-  if (label == nullptr || *label == '\0') return kSectionErrBadLabel;
+  if (!comm.valid()) {
+    return fire_section_error(ctx, comm, label, kSectionErrComm);
+  }
+  if (label == nullptr || *label == '\0') {
+    return fire_section_error(ctx, comm, label, kSectionErrBadLabel);
+  }
 
   auto& st = state_of(ctx);
   ++st.counters.exits;
   const auto it = st.stacks.find(comm.context_id());
   if (it == st.stacks.end() || it->second.empty()) {
     ++st.counters.errors;
-    return kSectionErrEmptyStack;
+    return fire_section_error(ctx, comm, label, kSectionErrEmptyStack);
   }
   auto& stack = it->second;
   const LabelId id = labels_.intern(label);
@@ -114,7 +136,7 @@ int SectionRuntime::exit(mpisim::Ctx& ctx, mpisim::Comm& comm,
     ++st.counters.errors;
     MPISECT_LOG_WARN("section exit '%s' does not match open section '%s'",
                      label, labels_.name(stack.back().label).c_str());
-    return kSectionErrNotNested;
+    return fire_section_error(ctx, comm, label, kSectionErrNotNested);
   }
 
   if (validate_.load(std::memory_order_relaxed)) {
@@ -122,7 +144,7 @@ int SectionRuntime::exit(mpisim::Ctx& ctx, mpisim::Comm& comm,
                             /*entering=*/false);
     if (rc != kSectionOk) {
       stack.pop_back();
-      return rc;
+      return fire_section_error(ctx, comm, label, rc);
     }
   }
 
@@ -138,6 +160,13 @@ std::vector<ActiveSection> SectionRuntime::stack_snapshot(
   const auto it = st.stacks.find(comm.context_id());
   if (it == st.stacks.end()) return {};
   return it->second;
+}
+
+int SectionRuntime::open_depth(const mpisim::Ctx& ctx,
+                               const mpisim::Comm& comm) const {
+  const auto& st = state_of(ctx);
+  const auto it = st.stacks.find(comm.context_id());
+  return it == st.stacks.end() ? 0 : static_cast<int>(it->second.size());
 }
 
 std::string SectionRuntime::stack_string(const mpisim::Ctx& ctx,
@@ -177,6 +206,7 @@ void SectionRuntime::on_rank_finalize(mpisim::Ctx& ctx) {
       const std::string leaked = labels_.name(it->second.back().label);
       MPISECT_LOG_WARN("rank %d leaked open section '%s' at finalize",
                        ctx.rank(), leaked.c_str());
+      fire_section_error(ctx, world, leaked.c_str(), kSectionErrLeaked);
       exit(ctx, world, leaked.c_str());
       it = st.stacks.find(world.context_id());
       if (it == st.stacks.end()) return;

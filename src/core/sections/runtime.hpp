@@ -50,6 +50,7 @@ enum SectionResult : int {
   kSectionErrEmptyStack = 4,  ///< exit with no open section
   kSectionErrMismatch = 5,    ///< validation: ranks disagree on label/depth
   kSectionErrComm = 6,        ///< invalid communicator
+  kSectionErrLeaked = 7,      ///< section still open at MPI_Finalize
 };
 
 [[nodiscard]] const char* section_result_name(int code) noexcept;
@@ -100,6 +101,11 @@ class SectionRuntime final : public mpisim::Extension {
   /// the communication section" use case (paper Sec. 5.3).
   [[nodiscard]] std::vector<ActiveSection> stack_snapshot(
       const mpisim::Ctx& ctx, const mpisim::Comm& comm) const;
+  /// Nesting depth of the calling rank's open-section stack on `comm`
+  /// (counts the implicit MPI_MAIN on the world communicator). Exposed so
+  /// correctness tools can lint section usage without a shadow stack.
+  [[nodiscard]] int open_depth(const mpisim::Ctx& ctx,
+                               const mpisim::Comm& comm) const;
   /// Human-readable " / "-joined stack labels for the calling rank.
   [[nodiscard]] std::string stack_string(const mpisim::Ctx& ctx,
                                          const mpisim::Comm& comm) const;

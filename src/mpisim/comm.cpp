@@ -173,6 +173,20 @@ void fire_end(Ctx& ctx, CallInfo& ci) {
   }
 }
 
+/// Notify tools that the caller became a member of a new communicator.
+void fire_comm_create(Ctx& ctx, CommImpl& impl, int parent_context,
+                      int comm_rank) {
+  auto& hook = ctx.world().hooks().on_comm_create;
+  if (!hook) return;
+  CommLifecycle info;
+  info.context = impl.context_id();
+  info.parent_context = parent_context;
+  info.rank = comm_rank;
+  info.size = impl.size();
+  info.world_ranks = &impl.group().world_ranks();
+  hook(ctx, info);
+}
+
 /// RAII begin/end bracket for one intercepted call.
 class HookScope {
  public:
@@ -292,8 +306,10 @@ Comm::Request Comm::isend(const void* buf, std::size_t bytes, int dst,
                           int tag) {
   require(valid(), Err::Comm, "null communicator");
   require(tag >= 0 && tag < kTagUb, Err::Tag, "user tag out of range");
+  const std::uint64_t req_id = ctx_->next_request_id();
   {
     CallInfo ci = make_info(*this, MpiCall::Isend, dst, bytes, tag);
+    ci.request = req_id;
     fire_begin(*ctx_, ci);
     fire_end(*ctx_, ci);
   }
@@ -303,13 +319,19 @@ Comm::Request Comm::isend(const void* buf, std::size_t bytes, int dst,
   st->channel = &impl_->channel(dst);
   st->ctx = ctx_;
   st->peer = dst;
+  st->comm_context = impl_->context_id();
+  st->comm_rank = rank_;
+  st->comm_size = impl_->size();
+  st->id = req_id;
   return Request(std::move(st));
 }
 
 Comm::Request Comm::irecv(void* buf, std::size_t max_bytes, int src, int tag) {
   require(valid(), Err::Comm, "null communicator");
+  const std::uint64_t req_id = ctx_->next_request_id();
   {
     CallInfo ci = make_info(*this, MpiCall::Irecv, src, max_bytes, tag);
+    ci.request = req_id;
     fire_begin(*ctx_, ci);
     fire_end(*ctx_, ci);
   }
@@ -319,6 +341,10 @@ Comm::Request Comm::irecv(void* buf, std::size_t max_bytes, int src, int tag) {
   st->channel = &impl_->channel(rank_);
   st->ctx = ctx_;
   st->peer = src;
+  st->comm_context = impl_->context_id();
+  st->comm_rank = rank_;
+  st->comm_size = impl_->size();
+  st->id = req_id;
   return Request(std::move(st));
 }
 
@@ -329,8 +355,11 @@ Status Comm::Request::wait() {
   {
     CallInfo ci;
     ci.call = MpiCall::Wait;
-    ci.rank = ctx.rank();
+    ci.comm_context = s_->comm_context;
+    ci.rank = s_->comm_rank;
+    ci.comm_size = s_->comm_size;
     ci.peer = s_->peer;
+    ci.request = s_->id;
     ci.t_virtual = ctx.now();
     auto& begin = ctx.world().hooks().on_call_begin;
     if (begin) begin(ctx, ci);
@@ -355,8 +384,11 @@ Status Comm::Request::wait() {
   {
     CallInfo ci;
     ci.call = MpiCall::Wait;
-    ci.rank = ctx.rank();
+    ci.comm_context = s_->comm_context;
+    ci.rank = s_->comm_rank;
+    ci.comm_size = s_->comm_size;
     ci.peer = s_->peer;
+    ci.request = s_->id;
     ci.t_virtual = ctx.now();
     auto& end = ctx.world().hooks().on_call_end;
     if (end) end(ctx, ci);
@@ -891,6 +923,8 @@ Comm Comm::split(int color, int key) {
     }
   }
   require(new_rank >= 0, Err::Internal, "split: self not found in plan");
+  fire_comm_create(*ctx_, *impls->at(color_index), impl_->context_id(),
+                   new_rank);
   return Comm(ctx_, impls->at(color_index), new_rank);
 }
 
@@ -913,7 +947,23 @@ Comm Comm::dup() {
       impl_->publish_sync().exchange(gen, rank_, ctx_->now(), impls);
   const double lat = ctx_->machine().net.inter_node.latency;
   ctx_->clock().sync_to(std::max(t_entry_max, t_publish_max) + lat);
+  fire_comm_create(*ctx_, *published[0]->at(0), impl_->context_id(), rank_);
   return Comm(ctx_, published[0]->at(0), rank_);
+}
+
+void Comm::free() {
+  require(valid(), Err::Comm, "free on null communicator");
+  require(&impl() != &ctx_->world_comm().impl(), Err::Comm,
+          "cannot free the world communicator");
+  const int context = impl_->context_id();
+  {
+    const HookScope hook(*ctx_,
+                         make_info(*this, MpiCall::CommFree, -1, 0, -1));
+    auto& cb = ctx_->world().hooks().on_comm_free;
+    if (cb) cb(*ctx_, context);
+  }
+  impl_.reset();
+  rank_ = -1;
 }
 
 std::pair<std::vector<std::uint64_t>, double> Comm::collsync_u64(

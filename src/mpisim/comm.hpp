@@ -134,6 +134,11 @@ class Comm {
   /// invalid Comm for that caller).
   Comm split(int color, int key);
   Comm dup();
+  /// MPI_Comm_free: release this rank's handle (sets it invalid). Local in
+  /// MiniMPI — the shared state dies with the last handle — but fires the
+  /// CommFree hook so resource-tracking tools see the lifecycle event.
+  /// Freeing the world communicator is an error.
+  void free();
 
   /// Metadata rendezvous: exchange one uint64 with every member, returning
   /// (values, max entry virtual time). Used by the sections layer's
@@ -195,6 +200,10 @@ class Comm::Request {
     Channel* channel = nullptr;
     Ctx* ctx = nullptr;
     int peer = -1;
+    int comm_context = -1;
+    int comm_rank = -1;
+    int comm_size = 1;
+    std::uint64_t id = 0;  ///< rank-local request id (CallInfo::request)
     bool done = false;
     Status status;
   };

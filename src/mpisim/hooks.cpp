@@ -23,6 +23,7 @@ const char* mpi_call_name(MpiCall c) noexcept {
     case MpiCall::Alltoall: return "MPI_Alltoall";
     case MpiCall::CommSplit: return "MPI_Comm_split";
     case MpiCall::CommDup: return "MPI_Comm_dup";
+    case MpiCall::CommFree: return "MPI_Comm_free";
     case MpiCall::Init: return "MPI_Init";
     case MpiCall::Finalize: return "MPI_Finalize";
     case MpiCall::Pcontrol: return "MPI_Pcontrol";
@@ -44,6 +45,7 @@ bool is_collective(MpiCall c) noexcept {
     case MpiCall::Alltoall:
     case MpiCall::CommSplit:
     case MpiCall::CommDup:
+    case MpiCall::CommFree:  // collective per the MPI standard
       return true;
     default:
       return false;
@@ -61,6 +63,21 @@ bool is_point_to_point(MpiCall c) noexcept {
       return true;
     default:
       return false;
+  }
+}
+
+bool is_blocking(MpiCall c) noexcept {
+  switch (c) {
+    case MpiCall::Send:      // rendezvous sends block on delivery
+    case MpiCall::Recv:
+    case MpiCall::Wait:
+    case MpiCall::Sendrecv:
+    case MpiCall::Probe:
+      return true;
+    case MpiCall::CommFree:  // local in MiniMPI despite being collective
+      return false;
+    default:
+      return is_collective(c);
   }
 }
 

@@ -18,7 +18,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace mpisect::mpisim {
 
@@ -46,14 +48,21 @@ enum class MpiCall {
   Alltoall,
   CommSplit,
   CommDup,
+  CommFree,
   Init,
   Finalize,
   Pcontrol,
 };
 
+/// Number of distinct MpiCall values (for exhaustive tables/tests).
+inline constexpr int kMpiCallCount = static_cast<int>(MpiCall::Pcontrol) + 1;
+
 [[nodiscard]] const char* mpi_call_name(MpiCall c) noexcept;
 [[nodiscard]] bool is_collective(MpiCall c) noexcept;
 [[nodiscard]] bool is_point_to_point(MpiCall c) noexcept;
+/// True for calls whose begin/end bracket may block the caller waiting on
+/// other ranks (the wait-for-graph candidates of correctness tools).
+[[nodiscard]] bool is_blocking(MpiCall c) noexcept;
 
 /// Descriptor passed to the generic begin/end hooks.
 struct CallInfo {
@@ -65,6 +74,21 @@ struct CallInfo {
   int tag = -1;
   std::size_t bytes = 0;  ///< payload size this rank sends/receives
   double t_virtual = 0.0; ///< caller's virtual clock at hook time
+  /// Nonblocking-operation id (per rank, starting at 1): set on Isend/Irecv
+  /// and on the Wait that completes the same operation. 0 = no request.
+  std::uint64_t request = 0;
+};
+
+/// Descriptor for communicator-lifecycle notifications (MUST-style tools
+/// track groups and resources through these, not through app cooperation).
+struct CommLifecycle {
+  int context = 0;          ///< new communicator's context id
+  int parent_context = -1;  ///< context it was derived from; -1 for world
+  int rank = 0;             ///< caller's rank in the new communicator
+  int size = 1;
+  /// Member world ranks, indexed by comm rank. Borrowed pointer, valid only
+  /// for the duration of the callback — copy to retain.
+  const std::vector<int>* world_ranks = nullptr;
 };
 
 /// Size of the tool payload carried across a section's lifetime (Fig. 2).
@@ -86,6 +110,19 @@ struct HookTable {
 
   /// MPI_Pcontrol(level, label) — the IPM-style phase baseline (Sec. 6).
   std::function<void(Ctx&, int level, const char* label)> on_pcontrol;
+
+  /// Fired on every rank that becomes a member of a new communicator
+  /// (world creation, split, dup) before the creating call returns.
+  std::function<void(Ctx&, const CommLifecycle&)> on_comm_create;
+  /// Fired when a rank frees its handle to communicator `context`.
+  std::function<void(Ctx&, int context)> on_comm_free;
+
+  /// Fired when the sections layer rejects an operation (bad nesting,
+  /// empty stack, cross-rank mismatch, section leaked at finalize). `code`
+  /// is a sections::SectionResult value; `comm` may be invalid for
+  /// invalid-communicator errors.
+  std::function<void(Ctx&, Comm&, const char* label, int code)>
+      section_error_cb;
 };
 
 }  // namespace mpisect::mpisim

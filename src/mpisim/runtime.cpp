@@ -63,6 +63,15 @@ void World::run(const RankMain& rank_main) {
   auto rank_body = [&](int r) {
     Ctx ctx(*this, r, clocks_[static_cast<std::size_t>(r)]);
     try {
+      if (hooks_.on_comm_create) {
+        CommLifecycle info;
+        info.context = world_comm_->context_id();
+        info.parent_context = -1;
+        info.rank = r;
+        info.size = nranks_;
+        info.world_ranks = &world_comm_->group().world_ranks();
+        hooks_.on_comm_create(ctx, info);
+      }
       {
         CallInfo ci;
         ci.call = MpiCall::Init;
@@ -139,8 +148,18 @@ void Ctx::compute_flops(double flops) noexcept {
 }
 
 void Ctx::pcontrol(int level, const char* label) {
+  // Generic begin/end bracket first (PMPI wrappers see MPI_Pcontrol like
+  // any other entry point; `peer` carries the level).
+  CallInfo ci;
+  ci.call = MpiCall::Pcontrol;
+  ci.rank = rank_;
+  ci.comm_size = world_.size();
+  ci.peer = level;
+  ci.t_virtual = now();
+  if (world_.hooks().on_call_begin) world_.hooks().on_call_begin(*this, ci);
   auto& hook = world_.hooks().on_pcontrol;
   if (hook) hook(*this, level, label);
+  if (world_.hooks().on_call_end) world_.hooks().on_call_end(*this, ci);
 }
 
 }  // namespace mpisect::mpisim

@@ -156,6 +156,12 @@ class Ctx {
   /// everything this rank draws.
   [[nodiscard]] std::uint64_t next_op_id() noexcept { return op_counter_++; }
 
+  /// Per-rank nonblocking-request id, starting at 1 (0 = "no request" in
+  /// CallInfo). Tools key outstanding operations by (world rank, id).
+  [[nodiscard]] std::uint64_t next_request_id() noexcept {
+    return ++req_counter_;
+  }
+
   /// MPI_Pcontrol: dispatches to the tool hook (IPM-style phase baseline).
   void pcontrol(int level, const char* label = nullptr);
 
@@ -164,6 +170,7 @@ class Ctx {
   int rank_;
   VirtualClock& clock_;
   std::uint64_t op_counter_ = 0;
+  std::uint64_t req_counter_ = 0;
 };
 
 }  // namespace mpisect::mpisim

@@ -122,12 +122,15 @@ void SectionProfiler::on_leave(mpisim::Ctx& ctx, mpisim::Comm& comm,
 
 void SectionProfiler::on_call_begin(mpisim::Ctx& ctx,
                                     const mpisim::CallInfo& info) {
+  if (info.call == mpisim::MpiCall::Pcontrol) return;  // phase marker, not
+                                                       // communication
   auto& rd = ranks_[static_cast<std::size_t>(ctx.rank())];
   if (rd.call_depth++ == 0) rd.call_begin_time = info.t_virtual;
 }
 
 void SectionProfiler::on_call_end(mpisim::Ctx& ctx,
                                   const mpisim::CallInfo& info) {
+  if (info.call == mpisim::MpiCall::Pcontrol) return;
   auto& rd = ranks_[static_cast<std::size_t>(ctx.rank())];
   if (--rd.call_depth != 0) return;  // attribute only outermost calls
   if (rd.stack.empty()) return;      // outside any section (Init/Finalize)

@@ -111,7 +111,9 @@ TEST(Diff, HandlesAsymmetricSections) {
       EXPECT_TRUE(d.only_in_before);
       EXPECT_DOUBLE_EQ(d.speedup, 0.0);
     }
-    if (d.label == "fresh") EXPECT_TRUE(d.only_in_after);
+    if (d.label == "fresh") {
+      EXPECT_TRUE(d.only_in_after);
+    }
     if (d.label == "common") {
       EXPECT_DOUBLE_EQ(d.speedup, 0.5);  // got slower
       EXPECT_DOUBLE_EQ(d.abs_delta, 1.0);

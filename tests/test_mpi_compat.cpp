@@ -131,7 +131,9 @@ TEST(Compat, CollectivesAndSplit) {
                          ctx.rank() == 0 ? gathered : nullptr, 1, MPI_INT, 0,
                          comm),
               MPI_SUCCESS);
-    if (ctx.rank() == 0) EXPECT_EQ(gathered[3], 33);
+    if (ctx.rank() == 0) {
+      EXPECT_EQ(gathered[3], 33);
+    }
 
     MPI_Comm half;
     EXPECT_EQ(MPI_Comm_split(comm, ctx.rank() % 2, ctx.rank(), &half),

@@ -1,9 +1,9 @@
 // mpisect-report — run an instrumented application on a machine model and
 // emit every report the toolchain produces, from one command line:
 //
-//   mpisect-report --app convolution --ranks 64 --steps 200 \
+//   mpisect-report --app convolution --ranks 64 --steps 200
 //                  --machine nehalem --format text
-//   mpisect-report --app lulesh --ranks 8 --threads 16 --machine knl \
+//   mpisect-report --app lulesh --ranks 8 --threads 16 --machine knl
 //                  --format tree
 //   mpisect-report --app lulesh --format chrome --out trace.json
 //   mpisect-report --app convolution --format snapshot --out before.csv
