@@ -5,6 +5,7 @@
 #include <string>
 
 #include "support/csv.hpp"
+#include "support/strings.hpp"
 #include "support/table.hpp"
 
 namespace mpisect::checker {
@@ -23,28 +24,6 @@ std::string csv_safe(std::string s) {
     if (c == ',' || c == '\n') c = ';';
   }
   return s;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          std::array<char, 8> buf{};
-          std::snprintf(buf.data(), buf.size(), "\\u%04x", c);
-          out += buf.data();
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 }  // namespace
@@ -91,8 +70,8 @@ std::string render_json(const std::vector<Diagnostic>& diags) {
     out += "\", \"rank\": " + std::to_string(d.rank);
     out += ", \"comm\": " + std::to_string(d.comm_context);
     out += ", \"t_virtual\": " + format_time(d.t_virtual);
-    out += ", \"site\": \"" + json_escape(d.site);
-    out += "\", \"message\": \"" + json_escape(d.message) + "\"}";
+    out += ", \"site\": \"" + support::json_escape(d.site);
+    out += "\", \"message\": \"" + support::json_escape(d.message) + "\"}";
     out += i + 1 < diags.size() ? ",\n" : "\n";
   }
   out += "]\n";

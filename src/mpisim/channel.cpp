@@ -40,6 +40,7 @@ void Channel::complete_match(const MessagePtr& msg, const PostedRecvPtr& recv) {
   recv->status.tag = msg->tag;
   recv->status.bytes = msg->bytes;
   recv->status.t_complete = t_deliver;
+  recv->status.seq = msg->seq;
   recv->completed = true;
 
   msg->t_deliver = t_deliver;
@@ -118,6 +119,7 @@ Status Channel::probe(int src, int tag, double t_probe) {
         st.source = msg->src;
         st.tag = msg->tag;
         st.bytes = msg->bytes;
+        st.seq = msg->seq;
         st.t_complete =
             msg->rendezvous ? std::max(msg->t_send_start, t_probe)
                             : std::max(t_probe, msg->t_avail);

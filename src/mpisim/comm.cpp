@@ -80,8 +80,9 @@ MessagePtr raw_start_send(Ctx& ctx, CommImpl& impl, int my_rank,
   const int gdst = impl.group().world_rank(dst);
   const std::uint64_t seq = rs.send_seq[static_cast<std::size_t>(dst)]++;
 
-  ctx.clock().advance(
-      net.cpu_overhead(gsrc, net.send_overhead, ctx.next_op_id(), 0));
+  const std::uint64_t op = ctx.next_op_id();
+  const double t_before = ctx.now();
+  ctx.clock().advance(net.cpu_overhead(gsrc, net.send_overhead, op, 0));
 
   auto msg = std::make_shared<Message>();
   msg->src = my_rank;
@@ -97,15 +98,23 @@ MessagePtr raw_start_send(Ctx& ctx, CommImpl& impl, int my_rank,
   msg->rendezvous = bytes > net.eager_threshold;
   msg->t_avail = msg->t_send_start + msg->wire_cost;
   impl.channel(dst).deposit(msg);
+  if (auto& tap = ctx.world().trace_tap().on_send_post) {
+    tap(ctx, TapSend{msg.get(), impl.context_id(), gsrc, gdst, tag, bytes,
+                     seq, op, t_before});
+  }
   return msg;
 }
 
 /// Complete a send: a rendezvous sender blocks until the transfer finishes.
 void raw_finish_send(Ctx& ctx, CommImpl& impl, int dst,
                      const MessagePtr& msg) {
+  const double t_before = ctx.now();
   if (msg->rendezvous) {
     const double t = impl.channel(dst).wait_delivered(msg);
     ctx.clock().sync_to(t);
+  }
+  if (auto& tap = ctx.world().trace_tap().on_send_wait) {
+    tap(ctx, TapSendWait{msg.get(), t_before});
   }
 }
 
@@ -120,18 +129,27 @@ PostedRecvPtr raw_post_recv(Ctx& ctx, CommImpl& impl, int my_rank, void* buf,
   pr->buf = buf;
   pr->max_bytes = max_bytes;
   impl.channel(my_rank).post(pr);
+  if (auto& tap = ctx.world().trace_tap().on_recv_post) {
+    tap(ctx, TapRecvPost{pr.get(), impl.context_id()});
+  }
   return pr;
 }
 
 Status raw_finish_recv(Ctx& ctx, CommImpl& impl, int my_rank,
                        const PostedRecvPtr& pr) {
+  const double t_before = ctx.now();
   Status st = impl.channel(my_rank).wait_recv(pr);
   ctx.clock().sync_to(st.t_complete);
   const NetworkModel& net = ctx.machine().net;
   const int grank = impl.group().world_rank(my_rank);
-  ctx.clock().advance(
-      net.cpu_overhead(grank, net.recv_overhead, ctx.next_op_id(), 1));
+  const std::uint64_t op = ctx.next_op_id();
+  ctx.clock().advance(net.cpu_overhead(grank, net.recv_overhead, op, 1));
   st.t_complete = ctx.now();
+  if (auto& tap = ctx.world().trace_tap().on_recv_wait) {
+    tap(ctx, TapRecvWait{pr.get(), impl.context_id(),
+                         impl.group().world_rank(st.source), st.seq, st.bytes,
+                         op, t_before});
+  }
   return st;
 }
 
@@ -224,8 +242,12 @@ double Comm::wtime() const noexcept { return ctx_->now(); }
 void Comm::charge_collective_entry() {
   const NetworkModel& net = ctx_->machine().net;
   const int grank = impl_->group().world_rank(rank_);
-  ctx_->clock().advance(
-      net.cpu_overhead(grank, net.send_overhead, ctx_->next_op_id(), 2));
+  const std::uint64_t op = ctx_->next_op_id();
+  const double t_before = ctx_->now();
+  ctx_->clock().advance(net.cpu_overhead(grank, net.send_overhead, op, 2));
+  if (auto& tap = ctx_->world().trace_tap().on_coll_entry) {
+    tap(*ctx_, op, t_before);
+  }
 }
 
 int Comm::next_internal_tag() {
@@ -297,8 +319,14 @@ Status Comm::sendrecv(const void* sendbuf, std::size_t send_bytes, int dst,
 Status Comm::probe(int src, int tag) {
   require(valid(), Err::Comm, "null communicator");
   const HookScope hook(*ctx_, make_info(*this, MpiCall::Probe, src, 0, tag));
+  const double t_before = ctx_->now();
   const Status st = impl_->channel(rank_).probe(src, tag, ctx_->now());
   ctx_->clock().sync_to(st.t_complete);
+  if (auto& tap = ctx_->world().trace_tap().on_probe) {
+    tap(*ctx_, TapProbe{impl_->context_id(),
+                        impl_->group().world_rank(st.source), st.seq,
+                        t_before});
+  }
   return st;
 }
 
@@ -317,6 +345,7 @@ Comm::Request Comm::isend(const void* buf, std::size_t bytes, int dst,
   st->kind = Request::Kind::Send;
   st->msg = raw_start_send(*ctx_, *impl_, rank_, buf, bytes, dst, tag);
   st->channel = &impl_->channel(dst);
+  st->impl = impl_;
   st->ctx = ctx_;
   st->peer = dst;
   st->comm_context = impl_->context_id();
@@ -339,6 +368,7 @@ Comm::Request Comm::irecv(void* buf, std::size_t max_bytes, int src, int tag) {
   st->kind = Request::Kind::Recv;
   st->recv = raw_post_recv(*ctx_, *impl_, rank_, buf, max_bytes, src, tag);
   st->channel = &impl_->channel(rank_);
+  st->impl = impl_;
   st->ctx = ctx_;
   st->peer = src;
   st->comm_context = impl_->context_id();
@@ -365,20 +395,31 @@ Status Comm::Request::wait() {
     if (begin) begin(ctx, ci);
   }
   if (s_->kind == Kind::Recv) {
+    const double t_before = ctx.now();
     Status st = s_->channel->wait_recv(s_->recv);
     ctx.clock().sync_to(st.t_complete);
     const NetworkModel& net = ctx.machine().net;
+    const std::uint64_t op = ctx.next_op_id();
     ctx.clock().advance(
-        net.cpu_overhead(ctx.rank(), net.recv_overhead, ctx.next_op_id(), 1));
+        net.cpu_overhead(ctx.rank(), net.recv_overhead, op, 1));
     st.t_complete = ctx.now();
     s_->status = st;
+    if (auto& tap = ctx.world().trace_tap().on_recv_wait) {
+      tap(ctx, TapRecvWait{s_->recv.get(), s_->comm_context,
+                           s_->impl->group().world_rank(st.source), st.seq,
+                           st.bytes, op, t_before});
+    }
   } else {
+    const double t_before = ctx.now();
     if (s_->msg->rendezvous) {
       const double t = s_->channel->wait_delivered(s_->msg);
       ctx.clock().sync_to(t);
     }
     s_->status =
         Status{kAnySource, s_->msg->tag, s_->msg->bytes, ctx.now()};
+    if (auto& tap = ctx.world().trace_tap().on_send_wait) {
+      tap(ctx, TapSendWait{s_->msg.get(), t_before});
+    }
   }
   s_->done = true;
   {
@@ -905,9 +946,14 @@ Comm Comm::split(int color, int key) {
   // Model the synchronizing cost: everyone leaves after the last entrant
   // plus a logarithmic metadata exchange.
   const double lat = ctx_->machine().net.inter_node.latency;
+  const double t_before = ctx_->now();
   double rounds = 1.0;
   for (int k = 1; k < size(); k <<= 1) rounds += 1.0;
   ctx_->clock().sync_to(std::max(t_entry_max, t_publish_max) + rounds * lat);
+  if (auto& tap = ctx_->world().trace_tap().on_comm_sync) {
+    tap(*ctx_, TapCommSync{impl_->context_id(), gen, size(),
+                           static_cast<int>(rounds), t_before});
+  }
 
   if (color < 0) return Comm{};
   // Locate my color and my rank within it.
@@ -946,7 +992,11 @@ Comm Comm::dup() {
   auto [published, t_publish_max] =
       impl_->publish_sync().exchange(gen, rank_, ctx_->now(), impls);
   const double lat = ctx_->machine().net.inter_node.latency;
+  const double t_before = ctx_->now();
   ctx_->clock().sync_to(std::max(t_entry_max, t_publish_max) + lat);
+  if (auto& tap = ctx_->world().trace_tap().on_comm_sync) {
+    tap(*ctx_, TapCommSync{impl_->context_id(), gen, size(), 1, t_before});
+  }
   fire_comm_create(*ctx_, *published[0]->at(0), impl_->context_id(), rank_);
   return Comm(ctx_, published[0]->at(0), rank_);
 }

@@ -198,6 +198,7 @@ class Comm::Request {
     MessagePtr msg;
     PostedRecvPtr recv;
     Channel* channel = nullptr;
+    std::shared_ptr<CommImpl> impl;  ///< keeps group mapping alive for wait
     Ctx* ctx = nullptr;
     int peer = -1;
     int comm_context = -1;

@@ -125,4 +125,86 @@ struct HookTable {
       section_error_cb;
 };
 
+// ---------------------------------------------------------------------------
+// Trace taps
+// ---------------------------------------------------------------------------
+//
+// The HookTable above shows tools what a PMPI wrapper sees: public entry
+// points only, with collective-internal traffic hidden. Trace capture needs
+// the opposite view — every modelled message, with the logical identifiers
+// (per-edge sequence number, per-rank op id) that key the deterministic
+// jitter draws. The TraceTap exposes exactly those identifiers so a recorded
+// skeleton can be re-costed under a different MachineModel and, on the
+// recorded model, reproduce the original virtual timeline bit for bit.
+// Tap callbacks observe and never charge virtual time.
+
+/// A send entered the matching engine. `t_before` is the sender clock before
+/// the send-side CPU overhead was charged with op id `op`.
+struct TapSend {
+  const void* token = nullptr;  ///< correlates with the matching TapSendWait
+  int comm_context = 0;
+  int src_world = 0;
+  int dst_world = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+  std::uint64_t seq = 0;  ///< per-(comm,src,dst) wire sequence (jitter key)
+  std::uint64_t op = 0;   ///< sender overhead draw key
+  double t_before = 0.0;
+};
+
+/// A send completed locally (rendezvous senders have synced to delivery).
+struct TapSendWait {
+  const void* token = nullptr;
+  double t_before = 0.0;  ///< clock before any rendezvous sync
+};
+
+/// A receive was posted (clock untouched).
+struct TapRecvPost {
+  const void* token = nullptr;  ///< correlates with the matching TapRecvWait
+  int comm_context = 0;
+};
+
+/// A receive completed: matched message identity plus the receive-side
+/// overhead op id. `t_before` is the clock before the delivery sync.
+struct TapRecvWait {
+  const void* token = nullptr;
+  int comm_context = 0;
+  int src_world = 0;
+  std::uint64_t seq = 0;
+  std::size_t bytes = 0;
+  std::uint64_t op = 0;
+  double t_before = 0.0;
+};
+
+/// A probe returned a matching envelope (identified by src/seq).
+struct TapProbe {
+  int comm_context = 0;
+  int src_world = 0;
+  std::uint64_t seq = 0;
+  double t_before = 0.0;
+};
+
+/// A split/dup metadata rendezvous synchronized this communicator:
+/// leave time = max member entry time + rounds * inter-node latency.
+struct TapCommSync {
+  int comm_context = 0;
+  std::uint64_t gen = 0;  ///< per-comm rendezvous generation
+  int members = 0;
+  int rounds = 0;
+  double t_before = 0.0;  ///< caller clock at rendezvous entry
+};
+
+/// Message-level observation points (all optional, fired when set).
+struct TraceTap {
+  std::function<void(Ctx&, const TapSend&)> on_send_post;
+  std::function<void(Ctx&, const TapSendWait&)> on_send_wait;
+  std::function<void(Ctx&, const TapRecvPost&)> on_recv_post;
+  std::function<void(Ctx&, const TapRecvWait&)> on_recv_wait;
+  std::function<void(Ctx&, const TapProbe&)> on_probe;
+  std::function<void(Ctx&, const TapCommSync&)> on_comm_sync;
+  /// Collective-entry CPU overhead charged with op id `op`; `t_before` is
+  /// the clock before the charge.
+  std::function<void(Ctx&, std::uint64_t op, double t_before)> on_coll_entry;
+};
+
 }  // namespace mpisect::mpisim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace mpisect::mpisim {
 
@@ -126,6 +127,54 @@ MachineModel MachineModel::ideal(int cores_per_node, int nodes) {
   m.omp.barrier_log_cost = 0.0;
   m.omp.static_imbalance = 0.0;
   return m;
+}
+
+std::optional<MachineModel> MachineModel::preset(std::string_view name) {
+  if (name == "nehalem-cluster" || name == "nehalem") {
+    return nehalem_cluster();
+  }
+  if (name == "knl") return knl();
+  if (name == "broadwell-2s" || name == "broadwell") return broadwell_2s();
+  if (name == "ideal") return ideal();
+  return std::nullopt;
+}
+
+std::vector<std::string> MachineModel::preset_names() {
+  return {"nehalem-cluster", "knl", "broadwell-2s", "ideal"};
+}
+
+namespace {
+
+const char* jitter_kind_name(JitterModel::Kind k) noexcept {
+  switch (k) {
+    case JitterModel::Kind::None: return "none";
+    case JitterModel::Kind::Gaussian: return "gaussian";
+    case JitterModel::Kind::Lognormal: return "lognormal";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string MachineModel::describe() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "machine %s: %d node(s) x %d core(s) x %d hw thread(s)\n"
+      "  compute: %.3g flops/core, noise sigma %.3g\n"
+      "  net: intra %.3g s + B/%.3g B/s, inter %.3g s + B/%.3g B/s\n"
+      "  net: overhead send %.3g s recv %.3g s, eager <= %zu B\n"
+      "  jitter: %s rel %.3g add %.3g spike p=%.3g mean %.3g\n"
+      "  omp: fork %.3g + %.3g/thr, barrier %.3g*log2, imbalance %.3g",
+      name.c_str(), nodes, cores_per_node, hw_threads_per_core,
+      flops_per_core, compute_noise_sigma, net.intra_node.latency,
+      net.intra_node.bandwidth, net.inter_node.latency,
+      net.inter_node.bandwidth, net.send_overhead, net.recv_overhead,
+      net.eager_threshold, jitter_kind_name(net.jitter.kind),
+      net.jitter.rel_sigma, net.jitter.add_sigma, net.jitter.spike_prob,
+      net.jitter.spike_mean, omp.fork_join_base, omp.fork_join_per_thread,
+      omp.barrier_log_cost, omp.static_imbalance);
+  return buf;
 }
 
 }  // namespace mpisect::mpisim

@@ -15,7 +15,10 @@
 #pragma once
 
 #include <array>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "mpisim/netmodel.hpp"
 
@@ -82,6 +85,16 @@ class MachineModel {
   /// Idealized machine for unit tests: no jitter, no noise, round numbers.
   [[nodiscard]] static MachineModel ideal(int cores_per_node = 8,
                                           int nodes = 64);
+
+  // --- introspection (CLI tools, trace headers) ---------------------------
+  /// Look up a calibrated preset by its `name` field ("nehalem-cluster",
+  /// "knl", "broadwell-2s", "ideal"). Returns nullopt for unknown names.
+  [[nodiscard]] static std::optional<MachineModel> preset(
+      std::string_view name);
+  /// Names accepted by preset(), in presentation order.
+  [[nodiscard]] static std::vector<std::string> preset_names();
+  /// Human-readable multi-line parameter dump (mpisect-replay info).
+  [[nodiscard]] std::string describe() const;
 };
 
 }  // namespace mpisect::mpisim

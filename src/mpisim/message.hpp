@@ -30,6 +30,9 @@ struct Status {
   int tag = kAnyTag;
   std::size_t bytes = 0;     ///< size of the message that matched
   double t_complete = 0.0;   ///< virtual completion time
+  /// Wire sequence number of the matched message on its (comm,src,dst)
+  /// edge — the jitter-draw key trace tools need to re-cost the transfer.
+  std::uint64_t seq = 0;
 };
 
 struct Message {

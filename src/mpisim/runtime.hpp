@@ -74,6 +74,10 @@ class World {
     return options_;
   }
   [[nodiscard]] HookTable& hooks() noexcept { return hooks_; }
+  /// Message-level trace taps (see hooks.hpp). Unlike the PMPI-style
+  /// HookTable, taps also observe collective-internal traffic and carry the
+  /// RNG keys (op ids, wire sequence numbers) of every modelled charge.
+  [[nodiscard]] TraceTap& trace_tap() noexcept { return trace_tap_; }
   [[nodiscard]] const support::CounterRng& rng() const noexcept {
     return rng_;
   }
@@ -117,6 +121,7 @@ class World {
   int nranks_;
   WorldOptions options_;
   HookTable hooks_;
+  TraceTap trace_tap_;
   support::CounterRng rng_;
   std::atomic<bool> aborted_{false};
   std::atomic<int> next_context_{0};

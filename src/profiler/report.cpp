@@ -67,7 +67,7 @@ std::string render_json(const SectionProfiler& prof) {
   const double main = prof.main_time();
   for (std::size_t i = 0; i < totals.size(); ++i) {
     const auto& t = totals[i];
-    out += "  {\"section\": \"" + t.label + "\"";
+    out += "  {\"section\": \"" + support::json_escape(t.label) + "\"";
     out += ", \"ranks\": " + std::to_string(t.ranks_seen);
     out += ", \"instances\": " + std::to_string(t.instances);
     out += ", \"mean_per_process\": " + support::fmt_auto(t.mean_per_process);
@@ -110,7 +110,7 @@ std::string render_chrome_trace(const SectionProfiler& prof) {
     for (const auto& s : prof.trace(r)) {
       if (!first) out += ",\n";
       first = false;
-      out += "  {\"name\": \"" + prof.labels().name(s.label) +
+      out += "  {\"name\": \"" + support::json_escape(prof.labels().name(s.label)) +
              "\", \"ph\": \"X\", \"pid\": 0, \"tid\": " + std::to_string(r) +
              ", \"ts\": " + support::fmt_auto(s.t_in * 1e6) +
              ", \"dur\": " + support::fmt_auto((s.t_out - s.t_in) * 1e6) +

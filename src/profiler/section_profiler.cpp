@@ -22,23 +22,30 @@ SectionProfiler::SectionProfiler(mpisim::World& world, ProfilerOptions options)
     : world_(&world),
       options_(options),
       ranks_(static_cast<std::size_t>(world.size())) {
+  // Chain the previously installed table (PMPI-wrapper style) so the
+  // profiler stacks with the checker and trace recorder in any order.
   auto& hooks = world.hooks();
+  prev_ = hooks;
   hooks.section_enter_cb = [this](mpisim::Ctx& ctx, mpisim::Comm& comm,
                                   const char* label, char* data) {
     on_enter(ctx, comm, label, data);
+    if (prev_.section_enter_cb) prev_.section_enter_cb(ctx, comm, label, data);
   };
   hooks.section_leave_cb = [this](mpisim::Ctx& ctx, mpisim::Comm& comm,
                                   const char* label, char* data) {
     on_leave(ctx, comm, label, data);
+    if (prev_.section_leave_cb) prev_.section_leave_cb(ctx, comm, label, data);
   };
   if (options_.track_mpi_calls) {
     hooks.on_call_begin = [this](mpisim::Ctx& ctx,
                                  const mpisim::CallInfo& info) {
       on_call_begin(ctx, info);
+      if (prev_.on_call_begin) prev_.on_call_begin(ctx, info);
     };
     hooks.on_call_end = [this](mpisim::Ctx& ctx,
                                const mpisim::CallInfo& info) {
       on_call_end(ctx, info);
+      if (prev_.on_call_end) prev_.on_call_end(ctx, info);
     };
   }
 }
@@ -46,10 +53,12 @@ SectionProfiler::SectionProfiler(mpisim::World& world, ProfilerOptions options)
 void SectionProfiler::detach() {
   if (world_ == nullptr) return;
   auto& hooks = world_->hooks();
-  hooks.section_enter_cb = nullptr;
-  hooks.section_leave_cb = nullptr;
-  hooks.on_call_begin = nullptr;
-  hooks.on_call_end = nullptr;
+  hooks.section_enter_cb = prev_.section_enter_cb;
+  hooks.section_leave_cb = prev_.section_leave_cb;
+  if (options_.track_mpi_calls) {
+    hooks.on_call_begin = prev_.on_call_begin;
+    hooks.on_call_end = prev_.on_call_end;
+  }
   world_ = nullptr;
 }
 

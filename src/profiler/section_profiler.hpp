@@ -151,6 +151,7 @@ class SectionProfiler {
 
   mpisim::World* world_;
   ProfilerOptions options_;
+  mpisim::HookTable prev_;  ///< chained PMPI-style: tools stack in any order
   sections::LabelRegistry labels_;
   std::vector<RankData> ranks_;
 };

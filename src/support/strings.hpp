@@ -31,4 +31,8 @@ namespace mpisect::support {
 [[nodiscard]] std::string join(const std::vector<std::string>& parts,
                                std::string_view sep);
 
+/// Escape a string for embedding inside a JSON string literal (no quotes
+/// added): ", \, and control characters become \", \\, \n/\t/... or \u00XX.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
 }  // namespace mpisect::support

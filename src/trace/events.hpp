@@ -1,0 +1,89 @@
+// Event model of the .mpst trace stream.
+//
+// Each rank's stream is the ordered list of everything that charged (or
+// could charge) its virtual clock, carrying the *logical identifiers* of
+// every deterministic jitter draw — per-edge wire sequence numbers and
+// per-rank op ids — rather than the drawn costs. That is what makes the
+// skeleton re-costable: a replay under a different MachineModel re-invokes
+// the same keyed draws with new parameters, while a replay under the
+// recorded model reproduces the original timeline bit for bit.
+//
+// Compute/OpenMP time between MPI events is not itemized; it is recovered
+// from the recorded absolute clock value (`t_before`) stored on events
+// preceded by a nonzero gap. Absolute values (not deltas) are stored
+// because IEEE addition cannot round-trip `x + (y - x) == y`.
+#pragma once
+
+#include <cstdint>
+
+namespace mpisect::trace {
+
+enum class EventKind : std::uint8_t {
+  SendPost = 0,   ///< send entered the matching engine
+  SendWait,       ///< send completed locally (rendezvous sync point)
+  RecvPost,       ///< receive posted
+  RecvWait,       ///< receive completed (delivery sync + overhead)
+  Probe,          ///< probe matched an envelope
+  CollBegin,      ///< public collective entry (entry overhead op)
+  CollEnd,        ///< public collective exit marker
+  SectionEnter,   ///< MPIX_Section enter callback
+  SectionExit,    ///< MPIX_Section leave callback
+  CommSync,       ///< split/dup metadata rendezvous
+  Pcontrol,       ///< MPI_Pcontrol phase marker
+  Finalize,       ///< rank reached MPI_Finalize (always timestamped)
+};
+
+inline constexpr int kEventKindCount =
+    static_cast<int>(EventKind::Finalize) + 1;
+
+[[nodiscard]] constexpr const char* event_kind_name(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::SendPost: return "send";
+    case EventKind::SendWait: return "send-wait";
+    case EventKind::RecvPost: return "recv-post";
+    case EventKind::RecvWait: return "recv";
+    case EventKind::Probe: return "probe";
+    case EventKind::CollBegin: return "coll-begin";
+    case EventKind::CollEnd: return "coll-end";
+    case EventKind::SectionEnter: return "section-enter";
+    case EventKind::SectionExit: return "section-exit";
+    case EventKind::CommSync: return "comm-sync";
+    case EventKind::Pcontrol: return "pcontrol";
+    case EventKind::Finalize: return "finalize";
+  }
+  return "?";
+}
+
+/// One recorded event. Fields are reused across kinds (see the per-kind
+/// comments); unused fields stay zero and are not encoded.
+struct Event {
+  EventKind kind = EventKind::SendPost;
+  /// True when the rank's clock advanced between the previous event and
+  /// this one (app compute, MiniOMP regions, I/O): `t_before` then holds
+  /// the recorded absolute clock value just before this event's charges.
+  bool has_time = false;
+  double t_before = 0.0;
+  int comm = 0;  ///< communicator context id
+  /// SendPost: destination world rank. RecvPost: matched source world rank
+  /// (backpatched at completion; kUnmatched if the receive never
+  /// completed). Probe: matched source world rank. CollBegin: root comm
+  /// rank or -1. CommSync: member count. Pcontrol: level.
+  int peer = 0;
+  int tag = 0;               ///< SendPost only
+  std::uint64_t bytes = 0;   ///< SendPost / CollBegin payload size
+  /// SendPost/RecvPost/Probe: per-(comm,src,dst) wire sequence number.
+  /// RecvWait: backref — how many receive posts ago this rank posted the
+  /// matching receive. CommSync: modelled metadata exchange rounds.
+  std::uint64_t seq = 0;
+  /// SendPost/RecvWait/CollBegin: the CPU-overhead op id (jitter key;
+  /// delta-encoded on the wire, absolute here). SendWait: backref — how
+  /// many send posts ago this rank started the matching send.
+  std::uint64_t op = 0;
+  /// SectionEnter/Exit/Pcontrol: interned label id. CollBegin: MpiCall.
+  std::uint32_t label = 0;
+
+  /// Sentinel for RecvPost::peer when the receive never completed.
+  static constexpr int kUnmatched = -2;
+};
+
+}  // namespace mpisect::trace

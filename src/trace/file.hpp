@@ -1,0 +1,73 @@
+// The .mpst container: header, label table, per-rank event streams.
+//
+// Layout (all little-endian, integers LEB128 unless noted):
+//
+//   u32  magic "MPST"          u32  format version
+//   header: app string, world seed, collective algorithms, start-skew
+//           sigma, rank count, full MachineModel parameter block
+//   label table: count + strings (ids are indices, lexicographic order)
+//   per rank: rank, t0, t_final, event count, events, section totals
+//
+// The machine model travels in the header so `replay` can re-cost under
+// the *recorded* model with no external input, and so `info` can print
+// what the trace was captured on. Section totals per (comm, label) form a
+// self-check footer: a same-model replay must reproduce them exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpisim/machine.hpp"
+#include "trace/events.hpp"
+#include "trace/wire.hpp"
+
+namespace mpisect::trace {
+
+inline constexpr std::uint32_t kTraceMagic = 0x5453504D;  // "MPST" LE
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+struct TraceHeader {
+  std::string app;  ///< free-form provenance (app + parameters)
+  std::uint64_t seed = 0;
+  std::uint8_t scatter_algo = 0;  ///< mpisim::CollAlgo
+  std::uint8_t gather_algo = 0;
+  double start_skew_sigma = 0.0;
+  int nranks = 0;
+  mpisim::MachineModel machine;
+};
+
+/// Inclusive time this rank spent in one (comm, label) section.
+struct SectionTotal {
+  int comm = 0;
+  std::uint32_t label = 0;
+  std::uint64_t count = 0;    ///< instances entered
+  double inclusive = 0.0;     ///< summed enter->exit virtual seconds
+};
+
+struct RankStream {
+  int rank = 0;
+  double t0 = 0.0;       ///< clock at MPI_Init (start skew)
+  double t_final = 0.0;  ///< clock at MPI_Finalize
+  std::vector<Event> events;
+  std::vector<SectionTotal> totals;
+};
+
+struct TraceFile {
+  TraceHeader header;
+  std::vector<std::string> labels;  ///< id -> name, sorted lexicographically
+  std::vector<RankStream> ranks;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  /// Throws TraceError on bad magic, wrong byte order, version mismatch,
+  /// truncation, or trailing garbage.
+  [[nodiscard]] static TraceFile decode(std::span<const std::uint8_t> data);
+
+  void save(const std::string& path) const;
+  [[nodiscard]] static TraceFile load(const std::string& path);
+
+  [[nodiscard]] std::uint64_t total_events() const noexcept;
+};
+
+}  // namespace mpisect::trace

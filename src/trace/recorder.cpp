@@ -1,0 +1,343 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+
+#include "mpisim/comm.hpp"
+
+namespace mpisect::trace {
+
+using mpisim::CallInfo;
+using mpisim::MpiCall;
+
+namespace {
+
+/// Collectives that charge an entry overhead and whose internal traffic
+/// the taps itemize. Split/dup are captured as CommSync events instead.
+bool is_traced_collective(MpiCall c) noexcept {
+  switch (c) {
+    case MpiCall::Barrier:
+    case MpiCall::Bcast:
+    case MpiCall::Reduce:
+    case MpiCall::Allreduce:
+    case MpiCall::Scatter:
+    case MpiCall::Scatterv:
+    case MpiCall::Gather:
+    case MpiCall::Gatherv:
+    case MpiCall::Allgather:
+    case MpiCall::Alltoall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<TraceRecorder> TraceRecorder::install(mpisim::World& world,
+                                                      RecorderOptions options) {
+  if (auto existing = world.find_extension<TraceRecorder>()) return existing;
+  auto self = std::make_shared<TraceRecorder>(world, std::move(options));
+  world.attach_extension(self);
+  return self;
+}
+
+TraceRecorder::TraceRecorder(mpisim::World& world, RecorderOptions options)
+    : world_(&world),
+      options_(std::move(options)),
+      bufs_(static_cast<std::size_t>(world.size())) {
+  install_hooks();
+}
+
+TraceRecorder::~TraceRecorder() { detach(); }
+
+void TraceRecorder::detach() {
+  if (!installed_) return;
+  world_->hooks() = prev_hooks_;
+  world_->trace_tap() = prev_taps_;
+  installed_ = false;
+}
+
+Event& TraceRecorder::push(RankBuf& b, EventKind kind, double t_before) {
+  Event ev;
+  ev.kind = kind;
+  ev.has_time = t_before != b.last_t;
+  ev.t_before = t_before;
+  b.events.push_back(ev);
+  return b.events.back();
+}
+
+std::uint32_t TraceRecorder::intern(const char* label) {
+  const std::string name = label != nullptr ? label : "";
+  const std::lock_guard lock(label_mu_);
+  const auto it = label_ids_.find(name);
+  if (it != label_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(label_names_.size());
+  label_names_.push_back(name);
+  label_ids_.emplace(name, id);
+  return id;
+}
+
+void TraceRecorder::on_begin(mpisim::Ctx& ctx, const CallInfo& info) {
+  RankBuf& b = buf(ctx);
+  if (info.call == MpiCall::Init) {
+    b.reset(ctx.now());
+    return;
+  }
+  if (info.call == MpiCall::Finalize) {
+    const double now = ctx.now();
+    Event& ev = push(b, EventKind::Finalize, now);
+    ev.has_time = true;  // always timestamped: anchors the footer check
+    b.t_final = now;
+    b.finalized = true;
+    b.last_t = now;
+    return;
+  }
+  if (is_traced_collective(info.call)) {
+    Event& ev = push(b, EventKind::CollBegin, ctx.now());
+    ev.comm = info.comm_context;
+    ev.label = static_cast<std::uint32_t>(info.call);
+    ev.peer = info.peer;
+    ev.bytes = info.bytes;
+    // op backpatched by the on_coll_entry tap, which fires next.
+  }
+}
+
+void TraceRecorder::on_end(mpisim::Ctx& ctx, const CallInfo& info) {
+  if (!is_traced_collective(info.call)) return;
+  RankBuf& b = buf(ctx);
+  Event& ev = push(b, EventKind::CollEnd, ctx.now());
+  ev.comm = info.comm_context;
+  b.last_t = ctx.now();
+}
+
+void TraceRecorder::on_section(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                               const char* label, bool enter) {
+  RankBuf& b = buf(ctx);
+  const double now = ctx.now();
+  const std::uint32_t id = intern(label);
+  const int context = comm.context_id();
+  Event& ev = push(b, enter ? EventKind::SectionEnter : EventKind::SectionExit,
+                   now);
+  ev.comm = context;
+  ev.label = id;
+  b.last_t = now;
+  if (enter) {
+    b.section_stack.emplace_back(context, id, now);
+  } else if (!b.section_stack.empty()) {
+    const auto [c, l, t_in] = b.section_stack.back();
+    b.section_stack.pop_back();
+    auto& [count, inclusive] = b.totals[{c, l}];
+    ++count;
+    inclusive += now - t_in;
+  }
+}
+
+void TraceRecorder::install_hooks() {
+  prev_hooks_ = world_->hooks();
+  prev_taps_ = world_->trace_tap();
+  const bool chain = options_.chain_hooks;
+
+  mpisim::HookTable table;
+  table.on_call_begin = [this, chain](mpisim::Ctx& ctx, const CallInfo& info) {
+    if (chain && prev_hooks_.on_call_begin) {
+      prev_hooks_.on_call_begin(ctx, info);
+    }
+    on_begin(ctx, info);
+  };
+  table.on_call_end = [this, chain](mpisim::Ctx& ctx, const CallInfo& info) {
+    on_end(ctx, info);
+    if (chain && prev_hooks_.on_call_end) prev_hooks_.on_call_end(ctx, info);
+  };
+  table.section_enter_cb = [this, chain](mpisim::Ctx& ctx, mpisim::Comm& comm,
+                                         const char* label, char* data) {
+    on_section(ctx, comm, label, /*enter=*/true);
+    if (chain && prev_hooks_.section_enter_cb) {
+      prev_hooks_.section_enter_cb(ctx, comm, label, data);
+    }
+  };
+  table.section_leave_cb = [this, chain](mpisim::Ctx& ctx, mpisim::Comm& comm,
+                                         const char* label, char* data) {
+    on_section(ctx, comm, label, /*enter=*/false);
+    if (chain && prev_hooks_.section_leave_cb) {
+      prev_hooks_.section_leave_cb(ctx, comm, label, data);
+    }
+  };
+  table.on_pcontrol = [this, chain](mpisim::Ctx& ctx, int level,
+                                    const char* label) {
+    RankBuf& b = buf(ctx);
+    const double now = ctx.now();
+    Event& ev = push(b, EventKind::Pcontrol, now);
+    ev.peer = level;
+    ev.label = intern(label);
+    b.last_t = now;
+    if (chain && prev_hooks_.on_pcontrol) {
+      prev_hooks_.on_pcontrol(ctx, level, label);
+    }
+  };
+  table.on_comm_create = [this, chain](mpisim::Ctx& ctx,
+                                       const mpisim::CommLifecycle& info) {
+    if (chain && prev_hooks_.on_comm_create) {
+      prev_hooks_.on_comm_create(ctx, info);
+    }
+  };
+  table.on_comm_free = [this, chain](mpisim::Ctx& ctx, int context) {
+    if (chain && prev_hooks_.on_comm_free) {
+      prev_hooks_.on_comm_free(ctx, context);
+    }
+  };
+  table.section_error_cb = [this, chain](mpisim::Ctx& ctx, mpisim::Comm& comm,
+                                         const char* label, int code) {
+    if (chain && prev_hooks_.section_error_cb) {
+      prev_hooks_.section_error_cb(ctx, comm, label, code);
+    }
+  };
+  world_->hooks() = std::move(table);
+
+  mpisim::TraceTap taps;
+  taps.on_send_post = [this, chain](mpisim::Ctx& ctx,
+                                    const mpisim::TapSend& t) {
+    RankBuf& b = buf(ctx);
+    const std::uint64_t ordinal = b.send_count++;
+    b.open_sends[t.token] = ordinal;
+    Event& ev = push(b, EventKind::SendPost, t.t_before);
+    ev.comm = t.comm_context;
+    ev.peer = t.dst_world;
+    ev.tag = t.tag;
+    ev.bytes = t.bytes;
+    ev.seq = t.seq;
+    ev.op = t.op;
+    b.last_t = ctx.now();
+    if (chain && prev_taps_.on_send_post) prev_taps_.on_send_post(ctx, t);
+  };
+  taps.on_send_wait = [this, chain](mpisim::Ctx& ctx,
+                                    const mpisim::TapSendWait& t) {
+    RankBuf& b = buf(ctx);
+    const auto it = b.open_sends.find(t.token);
+    if (it != b.open_sends.end()) {
+      Event& ev = push(b, EventKind::SendWait, t.t_before);
+      ev.op = b.send_count - 1 - it->second;
+      b.open_sends.erase(it);
+      b.last_t = ctx.now();
+    }
+    if (chain && prev_taps_.on_send_wait) prev_taps_.on_send_wait(ctx, t);
+  };
+  taps.on_recv_post = [this, chain](mpisim::Ctx& ctx,
+                                    const mpisim::TapRecvPost& t) {
+    RankBuf& b = buf(ctx);
+    const std::uint64_t ordinal = b.recv_post_count++;
+    b.open_recvs[t.token] = ordinal;
+    b.recv_event_index[t.token] = b.events.size();
+    Event& ev = push(b, EventKind::RecvPost, ctx.now());
+    ev.comm = t.comm_context;
+    ev.peer = Event::kUnmatched;
+    b.last_t = ctx.now();
+    if (chain && prev_taps_.on_recv_post) prev_taps_.on_recv_post(ctx, t);
+  };
+  taps.on_recv_wait = [this, chain](mpisim::Ctx& ctx,
+                                    const mpisim::TapRecvWait& t) {
+    RankBuf& b = buf(ctx);
+    const auto idx = b.recv_event_index.find(t.token);
+    if (idx != b.recv_event_index.end()) {
+      b.events[idx->second].peer = t.src_world;
+      b.events[idx->second].seq = t.seq;
+      b.recv_event_index.erase(idx);
+    }
+    const auto it = b.open_recvs.find(t.token);
+    if (it != b.open_recvs.end()) {
+      Event& ev = push(b, EventKind::RecvWait, t.t_before);
+      ev.seq = b.recv_post_count - 1 - it->second;
+      ev.op = t.op;
+      b.open_recvs.erase(it);
+      b.last_t = ctx.now();
+    }
+    if (chain && prev_taps_.on_recv_wait) prev_taps_.on_recv_wait(ctx, t);
+  };
+  taps.on_probe = [this, chain](mpisim::Ctx& ctx, const mpisim::TapProbe& t) {
+    RankBuf& b = buf(ctx);
+    Event& ev = push(b, EventKind::Probe, t.t_before);
+    ev.comm = t.comm_context;
+    ev.peer = t.src_world;
+    ev.seq = t.seq;
+    b.last_t = ctx.now();
+    if (chain && prev_taps_.on_probe) prev_taps_.on_probe(ctx, t);
+  };
+  taps.on_comm_sync = [this, chain](mpisim::Ctx& ctx,
+                                    const mpisim::TapCommSync& t) {
+    RankBuf& b = buf(ctx);
+    Event& ev = push(b, EventKind::CommSync, t.t_before);
+    ev.comm = t.comm_context;
+    ev.peer = t.members;
+    ev.seq = static_cast<std::uint64_t>(t.rounds);
+    b.last_t = ctx.now();
+    if (chain && prev_taps_.on_comm_sync) prev_taps_.on_comm_sync(ctx, t);
+  };
+  taps.on_coll_entry = [this, chain](mpisim::Ctx& ctx, std::uint64_t op,
+                                     double t_before) {
+    RankBuf& b = buf(ctx);
+    if (!b.events.empty() && b.events.back().kind == EventKind::CollBegin) {
+      b.events.back().op = op;
+      b.events.back().has_time = t_before != b.last_t;
+      b.events.back().t_before = t_before;
+    }
+    b.last_t = ctx.now();
+    if (chain && prev_taps_.on_coll_entry) {
+      prev_taps_.on_coll_entry(ctx, op, t_before);
+    }
+  };
+  world_->trace_tap() = std::move(taps);
+  installed_ = true;
+}
+
+TraceFile TraceRecorder::finish() const {
+  TraceFile tf;
+  tf.header.app = options_.app;
+  tf.header.seed = world_->options().seed;
+  tf.header.scatter_algo =
+      static_cast<std::uint8_t>(world_->options().scatter_algo);
+  tf.header.gather_algo =
+      static_cast<std::uint8_t>(world_->options().gather_algo);
+  tf.header.start_skew_sigma = world_->options().start_skew_sigma;
+  tf.header.nranks = world_->size();
+  tf.header.machine = world_->machine();
+
+  // Remap label ids to lexicographic order: interning order depends on
+  // which rank thread saw a label first, and byte-identical files for
+  // same-seed runs are a determinism guarantee of the format.
+  std::vector<std::string> sorted = label_names_;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint32_t> remap(label_names_.size());
+  for (std::size_t old = 0; old < label_names_.size(); ++old) {
+    const auto it =
+        std::lower_bound(sorted.begin(), sorted.end(), label_names_[old]);
+    remap[old] = static_cast<std::uint32_t>(it - sorted.begin());
+  }
+  tf.labels = std::move(sorted);
+
+  for (int r = 0; r < world_->size(); ++r) {
+    const RankBuf& b = bufs_[static_cast<std::size_t>(r)];
+    RankStream rs;
+    rs.rank = r;
+    rs.t0 = b.t0;
+    rs.t_final = b.t_final;
+    rs.events = b.events;
+    for (Event& ev : rs.events) {
+      if (ev.kind == EventKind::SectionEnter ||
+          ev.kind == EventKind::SectionExit ||
+          ev.kind == EventKind::Pcontrol) {
+        ev.label = remap[ev.label];
+      }
+    }
+    for (const auto& [key, val] : b.totals) {
+      rs.totals.push_back(SectionTotal{key.first, remap[key.second],
+                                       val.first, val.second});
+    }
+    std::sort(rs.totals.begin(), rs.totals.end(),
+              [](const SectionTotal& a, const SectionTotal& x) {
+                return a.comm != x.comm ? a.comm < x.comm : a.label < x.label;
+              });
+    tf.ranks.push_back(std::move(rs));
+  }
+  return tf;
+}
+
+}  // namespace mpisect::trace

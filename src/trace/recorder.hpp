@@ -1,0 +1,113 @@
+// TraceRecorder — the third PMPI-style tool (after the profiler and the
+// checker), capturing a compact per-rank event stream suitable for
+// offline what-if replay.
+//
+// Like MpiChecker it chains the previous HookTable, so it stacks with the
+// profiler and checker in any order; unlike them it also installs the
+// World's TraceTap to observe collective-internal messages and the RNG
+// keys of every modelled charge. Taps and hooks never charge virtual
+// time, so recording perturbs the simulated timeline by exactly zero.
+//
+//   World world(16, {...});
+//   sections::SectionRuntime::install(world);
+//   auto rec = trace::TraceRecorder::install(world, {.app = "convolution"});
+//   world.run(app);
+//   rec->finish().save("run.mpst");
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mpisim/hooks.hpp"
+#include "mpisim/runtime.hpp"
+#include "trace/file.hpp"
+
+namespace mpisect::trace {
+
+struct RecorderOptions {
+  /// Free-form provenance string stored in the trace header.
+  std::string app;
+  /// Forward events to previously installed hook/tap owners (tool
+  /// stacking). Disable only in isolation tests.
+  bool chain_hooks = true;
+};
+
+class TraceRecorder : public mpisim::Extension {
+ public:
+  /// Create and attach a recorder (idempotent per world).
+  static std::shared_ptr<TraceRecorder> install(mpisim::World& world,
+                                                RecorderOptions options = {});
+
+  TraceRecorder(mpisim::World& world, RecorderOptions options);
+  ~TraceRecorder() override;
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Restore the previous hooks/taps. Idempotent.
+  void detach();
+
+  /// Assemble the trace for the last completed run. Label ids are
+  /// remapped to lexicographic order so same-seed runs produce
+  /// byte-identical files regardless of thread interleaving.
+  [[nodiscard]] TraceFile finish() const;
+
+ private:
+  struct RankBuf {
+    std::vector<Event> events;
+    double t0 = 0.0;
+    double t_final = 0.0;
+    double last_t = 0.0;  ///< clock after the previous event's charges
+    std::uint64_t send_count = 0;
+    std::uint64_t recv_post_count = 0;
+    /// Outstanding operations: token -> post ordinal.
+    std::unordered_map<const void*, std::uint64_t> open_sends;
+    std::unordered_map<const void*, std::uint64_t> open_recvs;
+    /// token -> index of the RecvPost event awaiting match backpatch.
+    std::unordered_map<const void*, std::size_t> recv_event_index;
+    /// Open sections: (comm, label, t_enter).
+    std::vector<std::tuple<int, std::uint32_t, double>> section_stack;
+    /// (comm, label) -> (instances, inclusive seconds).
+    std::map<std::pair<int, std::uint32_t>, std::pair<std::uint64_t, double>>
+        totals;
+    bool finalized = false;
+
+    void reset(double now) {
+      *this = RankBuf{};
+      t0 = now;
+      last_t = now;
+    }
+  };
+
+  void install_hooks();
+  RankBuf& buf(const mpisim::Ctx& ctx) {
+    return bufs_[static_cast<std::size_t>(ctx.rank())];
+  }
+  /// Append an event whose charges begin at `t_before`; sets the gap flag
+  /// when the clock moved since the previous event on this rank.
+  Event& push(RankBuf& b, EventKind kind, double t_before);
+  std::uint32_t intern(const char* label);
+
+  void on_begin(mpisim::Ctx& ctx, const mpisim::CallInfo& info);
+  void on_end(mpisim::Ctx& ctx, const mpisim::CallInfo& info);
+  void on_section(mpisim::Ctx& ctx, mpisim::Comm& comm, const char* label,
+                  bool enter);
+
+  mpisim::World* world_;
+  RecorderOptions options_;
+  mpisim::HookTable prev_hooks_;
+  mpisim::TraceTap prev_taps_;
+  bool installed_ = false;
+  std::vector<RankBuf> bufs_;
+  std::mutex label_mu_;
+  std::vector<std::string> label_names_;
+  std::unordered_map<std::string, std::uint32_t> label_ids_;
+};
+
+}  // namespace mpisect::trace

@@ -1,0 +1,458 @@
+#include "trace/replay.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "support/rng.hpp"
+
+namespace mpisect::trace {
+
+namespace {
+
+struct MsgKey {
+  int comm = 0;
+  int src = 0;
+  int dst = 0;
+  std::uint64_t seq = 0;
+  bool operator==(const MsgKey&) const = default;
+  [[nodiscard]] bool null() const noexcept { return comm < 0; }
+  static MsgKey none() noexcept { return MsgKey{-1, 0, 0, 0}; }
+};
+
+struct MsgKeyHash {
+  std::size_t operator()(const MsgKey& k) const noexcept {
+    return static_cast<std::size_t>(support::stream_id(
+        static_cast<std::uint64_t>(k.comm) << 32 |
+            static_cast<std::uint32_t>(k.src),
+        static_cast<std::uint64_t>(k.dst), k.seq));
+  }
+};
+
+/// Both frames' view of one in-flight message.
+struct MsgState {
+  double start_rec = 0.0, wire_rec = 0.0, avail_rec = 0.0, post_rec = 0.0;
+  double start_cur = 0.0, wire_cur = 0.0, avail_cur = 0.0, post_cur = 0.0;
+  bool rend_rec = false, rend_cur = false;
+  bool have_send = false, have_post = false;
+  int consumed = 0;  ///< SendWait + RecvWait; erased at 2
+};
+
+struct SyncState {
+  int members = 0;
+  int arrived = 0;
+  std::uint64_t rounds = 0;
+  double max_rec = 0.0, max_cur = 0.0;
+};
+
+struct RankRt {
+  std::size_t cursor = 0;
+  double t_rec = 0.0, t_cur = 0.0;
+  std::vector<MsgKey> send_keys, recv_keys;
+  bool sync_entered = false;
+  std::pair<int, std::uint64_t> sync_key{0, 0};
+  std::map<int, std::uint64_t> sync_ordinal;  ///< per-comm CommSync counter
+  std::vector<std::tuple<int, std::uint32_t, double>> stack;
+  std::map<std::pair<int, std::uint32_t>, std::pair<std::uint64_t, double>>
+      totals;
+  std::map<std::pair<int, std::uint32_t>, long> instance_idx;
+  bool done = false;
+};
+
+enum class Step { Advanced, Progress, Blocked };
+
+struct Engine {
+  const TraceFile& tf;
+  const mpisim::NetworkModel& rec_net;
+  const mpisim::NetworkModel& cur_net;
+  ReplayOptions opt;
+  ReplayResult res;
+
+  std::vector<RankRt> ranks;
+  std::unordered_map<MsgKey, MsgState, MsgKeyHash> msgs;
+  std::map<std::pair<int, std::uint64_t>, SyncState> syncs;
+  std::map<std::pair<int, std::uint32_t>,
+           std::vector<std::vector<sections::RankSpan>>>
+      spans;
+
+  Engine(const TraceFile& t, const mpisim::MachineModel& cur,
+         const ReplayOptions& o)
+      : tf(t), rec_net(t.header.machine.net), cur_net(cur.net), opt(o) {
+    ranks.resize(tf.ranks.size());
+    for (std::size_t r = 0; r < tf.ranks.size(); ++r) {
+      ranks[r].t_rec = tf.ranks[r].t0;
+      ranks[r].t_cur = tf.ranks[r].t0;
+    }
+    res.nranks = tf.header.nranks;
+    res.labels = tf.labels;
+    res.final_times.assign(tf.ranks.size(), 0.0);
+  }
+
+  [[noreturn]] void fail(int r, const Event& ev, const std::string& why) {
+    throw TraceError("replay failed at rank " + std::to_string(r) +
+                     " event #" + std::to_string(ranks[r].cursor) + " (" +
+                     event_kind_name(ev.kind) + "): " + why);
+  }
+
+  /// Re-charge the compute gap preceding `ev`. The recorded frame adopts
+  /// the recorded absolute clock; the what-if frame adds the scaled delta
+  /// (or adopts it too while in bitwise lockstep).
+  void charge_gap(int r, RankRt& st, const Event& ev) {
+    if (!ev.has_time) return;
+    if (ev.t_before < st.t_rec) {
+      fail(r, ev,
+           "recorded clock behind replayed clock (trace/model mismatch)");
+    }
+    if (opt.compute_scale == 1.0 && st.t_cur == st.t_rec) {
+      st.t_cur = ev.t_before;
+    } else {
+      st.t_cur += (ev.t_before - st.t_rec) * opt.compute_scale;
+    }
+    st.t_rec = ev.t_before;
+  }
+
+  void consume(const MsgKey& key, MsgState& ms) {
+    if (++ms.consumed >= 2) msgs.erase(key);
+  }
+
+  Step step(int r) {
+    RankRt& st = ranks[static_cast<std::size_t>(r)];
+    const RankStream& stream = tf.ranks[static_cast<std::size_t>(r)];
+    if (st.cursor >= stream.events.size()) {
+      // No Finalize event recorded (aborted run): finish at current time.
+      st.done = true;
+      res.final_times[static_cast<std::size_t>(r)] = st.t_cur;
+      return Step::Advanced;
+    }
+    const Event& ev = stream.events[st.cursor];
+    switch (ev.kind) {
+      case EventKind::SendPost: {
+        charge_gap(r, st, ev);
+        st.t_rec += std::max(
+            rec_net.cpu_overhead(r, rec_net.send_overhead, ev.op, 0), 0.0);
+        st.t_cur += std::max(
+            cur_net.cpu_overhead(r, cur_net.send_overhead, ev.op, 0), 0.0);
+        const MsgKey key{ev.comm, r, ev.peer, ev.seq};
+        MsgState& ms = msgs[key];
+        const auto nbytes = static_cast<std::size_t>(ev.bytes);
+        ms.start_rec = st.t_rec;
+        ms.wire_rec = rec_net.transfer_cost(r, ev.peer, nbytes, ev.seq);
+        ms.avail_rec = ms.start_rec + ms.wire_rec;
+        ms.rend_rec = nbytes > rec_net.eager_threshold;
+        ms.start_cur = st.t_cur;
+        ms.wire_cur = cur_net.transfer_cost(r, ev.peer, nbytes, ev.seq);
+        ms.avail_cur = ms.start_cur + ms.wire_cur;
+        ms.rend_cur = nbytes > cur_net.eager_threshold;
+        ms.have_send = true;
+        st.send_keys.push_back(key);
+        ++res.messages;
+        res.bytes_sent += ev.bytes;
+        break;
+      }
+      case EventKind::SendWait: {
+        if (ev.op >= st.send_keys.size()) fail(r, ev, "bad send backref");
+        const MsgKey key = st.send_keys[st.send_keys.size() - 1 - ev.op];
+        const auto it = msgs.find(key);
+        if (it == msgs.end()) {
+          // Already fully consumed — wait() was a no-op re-wait.
+          charge_gap(r, st, ev);
+          break;
+        }
+        MsgState& ms = it->second;
+        if ((ms.rend_rec || ms.rend_cur) && !ms.have_post) {
+          return Step::Blocked;
+        }
+        charge_gap(r, st, ev);
+        if (ms.rend_rec) {
+          st.t_rec = std::max(
+              st.t_rec, std::max(ms.start_rec, ms.post_rec) + ms.wire_rec);
+        }
+        if (ms.rend_cur) {
+          st.t_cur = std::max(
+              st.t_cur, std::max(ms.start_cur, ms.post_cur) + ms.wire_cur);
+        }
+        consume(key, ms);
+        break;
+      }
+      case EventKind::RecvPost: {
+        charge_gap(r, st, ev);
+        if (ev.peer == Event::kUnmatched) {
+          st.recv_keys.push_back(MsgKey::none());
+        } else {
+          const MsgKey key{ev.comm, ev.peer, r, ev.seq};
+          MsgState& ms = msgs[key];
+          ms.post_rec = st.t_rec;
+          ms.post_cur = st.t_cur;
+          ms.have_post = true;
+          st.recv_keys.push_back(key);
+        }
+        break;
+      }
+      case EventKind::RecvWait: {
+        if (ev.seq >= st.recv_keys.size()) fail(r, ev, "bad recv backref");
+        const MsgKey key = st.recv_keys[st.recv_keys.size() - 1 - ev.seq];
+        if (key.null()) fail(r, ev, "wait on a receive that never matched");
+        const auto it = msgs.find(key);
+        if (it == msgs.end() || !it->second.have_send) return Step::Blocked;
+        MsgState& ms = it->second;
+        charge_gap(r, st, ev);
+        const double del_rec =
+            ms.rend_rec ? std::max(ms.start_rec, ms.post_rec) + ms.wire_rec
+                        : std::max(ms.post_rec, ms.avail_rec);
+        st.t_rec = std::max(st.t_rec, del_rec);
+        st.t_rec += std::max(
+            rec_net.cpu_overhead(r, rec_net.recv_overhead, ev.op, 1), 0.0);
+        const double del_cur =
+            ms.rend_cur ? std::max(ms.start_cur, ms.post_cur) + ms.wire_cur
+                        : std::max(ms.post_cur, ms.avail_cur);
+        st.t_cur = std::max(st.t_cur, del_cur);
+        st.t_cur += std::max(
+            cur_net.cpu_overhead(r, cur_net.recv_overhead, ev.op, 1), 0.0);
+        consume(key, ms);
+        break;
+      }
+      case EventKind::Probe: {
+        const MsgKey key{ev.comm, ev.peer, r, ev.seq};
+        const auto it = msgs.find(key);
+        if (it == msgs.end() || !it->second.have_send) return Step::Blocked;
+        const MsgState& ms = it->second;
+        charge_gap(r, st, ev);
+        st.t_rec = std::max(st.t_rec, ms.rend_rec ? ms.start_rec
+                                                  : ms.avail_rec);
+        st.t_cur = std::max(st.t_cur, ms.rend_cur ? ms.start_cur
+                                                  : ms.avail_cur);
+        break;
+      }
+      case EventKind::CollBegin: {
+        charge_gap(r, st, ev);
+        st.t_rec += std::max(
+            rec_net.cpu_overhead(r, rec_net.send_overhead, ev.op, 2), 0.0);
+        st.t_cur += std::max(
+            cur_net.cpu_overhead(r, cur_net.send_overhead, ev.op, 2), 0.0);
+        ++res.collectives;
+        break;
+      }
+      case EventKind::CollEnd:
+      case EventKind::Pcontrol: {
+        charge_gap(r, st, ev);
+        break;
+      }
+      case EventKind::SectionEnter: {
+        charge_gap(r, st, ev);
+        st.stack.emplace_back(ev.comm, ev.label, st.t_cur);
+        if (opt.timeline) {
+          res.timeline.push_back(
+              {st.t_cur, r, ev.comm, ev.label, true,
+               static_cast<int>(st.stack.size()) - 1,
+               st.instance_idx[{ev.comm, ev.label}]});
+        }
+        break;
+      }
+      case EventKind::SectionExit: {
+        charge_gap(r, st, ev);
+        if (st.stack.empty()) fail(r, ev, "section exit with empty stack");
+        const auto [c, l, t_in] = st.stack.back();
+        st.stack.pop_back();
+        auto& [count, inclusive] = st.totals[{c, l}];
+        ++count;
+        inclusive += st.t_cur - t_in;
+        const long k = st.instance_idx[{c, l}]++;
+        if (opt.collect_metrics) {
+          auto& per_instance = spans[{c, l}];
+          if (per_instance.size() <= static_cast<std::size_t>(k)) {
+            per_instance.resize(static_cast<std::size_t>(k) + 1);
+          }
+          per_instance[static_cast<std::size_t>(k)].push_back(
+              {r, t_in, st.t_cur});
+        }
+        if (opt.timeline) {
+          res.timeline.push_back({st.t_cur, r, c, l, false,
+                                  static_cast<int>(st.stack.size()), k});
+        }
+        break;
+      }
+      case EventKind::CommSync: {
+        if (!st.sync_entered) {
+          charge_gap(r, st, ev);
+          const std::uint64_t ordinal = st.sync_ordinal[ev.comm]++;
+          st.sync_key = {ev.comm, ordinal};
+          SyncState& sy = syncs[st.sync_key];
+          sy.members = ev.peer;
+          sy.rounds = ev.seq;
+          if (sy.arrived == 0) {
+            sy.max_rec = st.t_rec;
+            sy.max_cur = st.t_cur;
+          } else {
+            sy.max_rec = std::max(sy.max_rec, st.t_rec);
+            sy.max_cur = std::max(sy.max_cur, st.t_cur);
+          }
+          ++sy.arrived;
+          st.sync_entered = true;
+          if (sy.arrived < sy.members) return Step::Progress;
+        }
+        const SyncState& sy = syncs[st.sync_key];
+        if (sy.arrived < sy.members) return Step::Blocked;
+        const double rounds = static_cast<double>(sy.rounds);
+        st.t_rec = std::max(
+            st.t_rec, sy.max_rec + rounds * rec_net.inter_node.latency);
+        st.t_cur = std::max(
+            st.t_cur, sy.max_cur + rounds * cur_net.inter_node.latency);
+        st.sync_entered = false;
+        break;
+      }
+      case EventKind::Finalize: {
+        charge_gap(r, st, ev);
+        if (st.t_rec != stream.t_final) {
+          fail(r, ev, "recorded-frame final time mismatch (corrupt trace?)");
+        }
+        res.final_times[static_cast<std::size_t>(r)] = st.t_cur;
+        st.done = true;
+        break;
+      }
+    }
+    ++st.cursor;
+    ++res.events;
+    return Step::Advanced;
+  }
+
+  void run() {
+    for (;;) {
+      bool any_active = false;
+      bool progress = false;
+      for (int r = 0; r < static_cast<int>(ranks.size()); ++r) {
+        RankRt& st = ranks[static_cast<std::size_t>(r)];
+        if (st.done) continue;
+        any_active = true;
+        for (;;) {
+          const Step s = step(r);
+          if (s == Step::Advanced) {
+            progress = true;
+            if (st.done) break;
+            continue;
+          }
+          if (s == Step::Progress) progress = true;
+          break;
+        }
+      }
+      if (!any_active) break;
+      if (!progress) {
+        std::string stuck;
+        for (int r = 0; r < static_cast<int>(ranks.size()); ++r) {
+          const RankRt& st = ranks[static_cast<std::size_t>(r)];
+          if (st.done) continue;
+          if (!stuck.empty()) stuck += ", ";
+          stuck += std::to_string(r) + "@" + std::to_string(st.cursor);
+          if (stuck.size() > 120) break;
+        }
+        throw TraceError(
+            "replay dependency stall (truncated or inconsistent trace); "
+            "blocked ranks: " +
+            stuck);
+      }
+    }
+  }
+
+  void finalize_result() {
+    res.makespan = 0.0;
+    for (const double t : res.final_times) res.makespan = std::max(res.makespan, t);
+
+    // Per-rank totals in footer order (sorted by (comm, label)).
+    res.rank_totals.resize(ranks.size());
+    for (std::size_t r = 0; r < ranks.size(); ++r) {
+      for (const auto& [key, val] : ranks[r].totals) {
+        res.rank_totals[r].push_back(
+            SectionTotal{key.first, key.second, val.first, val.second});
+      }
+    }
+
+    // Aggregate section statistics across ranks.
+    std::map<std::pair<int, std::uint32_t>, ReplaySectionStat> stats;
+    for (const auto& rt : res.rank_totals) {
+      for (const auto& t : rt) {
+        auto& s = stats[{t.comm, t.label}];
+        s.comm = t.comm;
+        s.label = t.label < res.labels.size()
+                      ? res.labels[t.label]
+                      : "label#" + std::to_string(t.label);
+        ++s.ranks;
+        s.instances += t.count;
+        s.total_inclusive += t.inclusive;
+      }
+    }
+    for (auto& [key, s] : stats) {
+      s.mean_per_process = s.ranks > 0 ? s.total_inclusive / s.ranks : 0.0;
+      if (opt.collect_metrics) {
+        const auto it = spans.find(key);
+        if (it != spans.end()) {
+          // Ranks finish an instance in dependency order, not rank order;
+          // sort so metric summation matches a rank-ordered profiler
+          // bit for bit.
+          for (auto& instance : it->second) {
+            std::sort(instance.begin(), instance.end(),
+                      [](const sections::RankSpan& a,
+                         const sections::RankSpan& b) {
+                        return a.rank < b.rank;
+                      });
+            if (!instance.empty()) {
+              s.agg.add(sections::compute_metrics(instance));
+            }
+          }
+        }
+      }
+      res.sections.push_back(std::move(s));
+    }
+
+    if (opt.timeline) {
+      std::stable_sort(res.timeline.begin(), res.timeline.end(),
+                       [](const TimelineEntry& a, const TimelineEntry& b) {
+                         if (a.t != b.t) return a.t < b.t;
+                         return a.rank < b.rank;
+                       });
+    }
+  }
+};
+
+}  // namespace
+
+ReplayResult replay(const TraceFile& tf, const mpisim::MachineModel& machine,
+                    const ReplayOptions& options) {
+  if (tf.ranks.size() != static_cast<std::size_t>(tf.header.nranks)) {
+    throw TraceError("trace rank streams do not match header rank count");
+  }
+  Engine eng(tf, machine, options);
+  eng.run();
+  eng.finalize_result();
+  return std::move(eng.res);
+}
+
+VerifyResult verify_roundtrip(const TraceFile& tf) {
+  const ReplayResult rr = replay(tf, tf.header.machine, {});
+  for (std::size_t r = 0; r < tf.ranks.size(); ++r) {
+    const RankStream& rec = tf.ranks[r];
+    if (rr.final_times[r] != rec.t_final) {
+      return {false, "rank " + std::to_string(r) +
+                         ": final time diverged from recording"};
+    }
+    const auto& got = rr.rank_totals[r];
+    if (got.size() != rec.totals.size()) {
+      return {false, "rank " + std::to_string(r) +
+                         ": section totals count mismatch"};
+    }
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      const auto& a = got[i];
+      const auto& b = rec.totals[i];
+      if (a.comm != b.comm || a.label != b.label || a.count != b.count ||
+          a.inclusive != b.inclusive) {
+        const std::string name = b.label < tf.labels.size()
+                                     ? tf.labels[b.label]
+                                     : std::to_string(b.label);
+        return {false, "rank " + std::to_string(r) + " section " + name +
+                           ": totals diverged from recording"};
+      }
+    }
+  }
+  return {true, ""};
+}
+
+}  // namespace mpisect::trace

@@ -1,0 +1,43 @@
+// Report rendering for replay results: section breakdowns (text / CSV /
+// JSON), a chrome-tracing timeline export, and the Eq. 6 partial speedup
+// bound table when a sequential reference time is supplied.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "trace/replay.hpp"
+
+namespace mpisect::trace {
+
+/// Text table: one row per (comm, label) section with instances, mean per
+/// process, span, imbalance; plus run totals and, when `t_seq` is given,
+/// per-section partial speedup bounds (paper Eq. 6).
+[[nodiscard]] std::string render_text(const ReplayResult& res,
+                                      std::optional<double> t_seq = {});
+
+/// CSV with one row per section (long format, sweep-friendly).
+[[nodiscard]] std::string render_csv(const ReplayResult& res,
+                                     std::optional<double> t_seq = {});
+
+/// JSON object: run summary + section array.
+[[nodiscard]] std::string render_json(const ReplayResult& res,
+                                      std::optional<double> t_seq = {});
+
+/// Chrome-tracing (about://tracing, Perfetto) JSON of the replayed section
+/// timeline — one row per rank, B/E events per section boundary. Requires
+/// ReplayOptions::timeline.
+[[nodiscard]] std::string render_chrome(const ReplayResult& res);
+
+/// Header line for sweep CSV output (matches sweep_csv_row).
+[[nodiscard]] std::string sweep_csv_header();
+
+/// One long-format CSV row per section for a sweep grid point.
+[[nodiscard]] std::string sweep_csv_rows(const ReplayResult& res,
+                                         const std::string& machine,
+                                         double latency_scale,
+                                         double bandwidth_scale,
+                                         double compute_scale,
+                                         std::optional<double> t_seq = {});
+
+}  // namespace mpisect::trace

@@ -101,9 +101,7 @@ bool emit(const std::string& text, const std::string& out_path) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   support::ArgParser args("mpisect-check",
                           "Run an app under the mpicheck correctness analyzer");
   args.add_string("app", "convolution", "convolution | lulesh");
@@ -213,4 +211,17 @@ int main(int argc, char** argv) {
     if (d.severity == checker::Severity::Error) ++errors;
   }
   return errors > 0 ? 2 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Corrupt input or an internal failure must surface as a one-line
+  // diagnostic with a nonzero exit, never an uncaught-exception abort.
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "mpisect-check: %s\n", err.what());
+    return 1;
+  }
 }

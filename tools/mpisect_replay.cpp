@@ -1,0 +1,389 @@
+// mpisect-replay — record an instrumented run into a .mpst trace, then
+// answer what-if questions offline by replaying the skeleton under other
+// machine models:
+//
+//   mpisect-replay record --app convolution --ranks 64 --steps 200
+//                         --machine nehalem-cluster --out conv.mpst
+//   mpisect-replay info   --trace conv.mpst
+//   mpisect-replay replay --trace conv.mpst --machine knl
+//                         --compute-scale auto --tseq 12.5
+//   mpisect-replay replay --trace conv.mpst --latency-scale 4 --no-jitter
+//   mpisect-replay sweep  --trace conv.mpst --latency-scales 1,2,4,8
+//                         --bandwidth-scales 0.5,1,2 --out sweep.csv
+//
+// Exit status: 0 = ok, 1 = usage/file error (one-line diagnostic),
+// 3 = --verify mismatch.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/convolution/convolution.hpp"
+#include "apps/lulesh/lulesh.hpp"
+#include "core/sections/runtime.hpp"
+#include "support/cli.hpp"
+#include "trace/recorder.hpp"
+#include "trace/replay.hpp"
+#include "trace/report.hpp"
+
+namespace {
+
+using namespace mpisect;
+
+bool emit(const std::string& text, const std::string& out_path) {
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "mpisect-replay: cannot write %s\n",
+                 out_path.c_str());
+    return false;
+  }
+  out << text;
+  std::printf("wrote %s (%zu bytes)\n", out_path.c_str(), text.size());
+  return true;
+}
+
+std::string preset_list() {
+  std::string out;
+  for (const auto& n : mpisim::MachineModel::preset_names()) {
+    if (!out.empty()) out += "|";
+    out += n;
+  }
+  return out;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string item =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<double> parse_grid(const std::string& csv) {
+  std::vector<double> out;
+  for (const auto& item : split_csv(csv)) {
+    out.push_back(std::strtod(item.c_str(), nullptr));
+  }
+  return out;
+}
+
+/// Resolve --machine plus the per-link/jitter overrides into the model the
+/// replay engine will charge against.
+struct WhatIf {
+  mpisim::MachineModel machine;
+  double compute_scale = 1.0;
+};
+
+WhatIf resolve_machine(const trace::TraceFile& tf,
+                       const support::ArgParser& args) {
+  WhatIf w;
+  const std::string name = args.get_string("machine");
+  if (name == "recorded") {
+    w.machine = tf.header.machine;
+  } else if (auto preset = mpisim::MachineModel::preset(name)) {
+    w.machine = *preset;
+  } else {
+    throw trace::TraceError("unknown machine '" + name + "' (recorded|" +
+                            preset_list() + ")");
+  }
+  mpisim::NetworkModel& net = w.machine.net;
+  if (args.get_double("latency") > 0) {
+    net.intra_node.latency = args.get_double("latency");
+    net.inter_node.latency = args.get_double("latency");
+  }
+  if (args.get_double("bandwidth") > 0) {
+    net.intra_node.bandwidth = args.get_double("bandwidth");
+    net.inter_node.bandwidth = args.get_double("bandwidth");
+  }
+  net.intra_node.latency *= args.get_double("latency-scale");
+  net.inter_node.latency *= args.get_double("latency-scale");
+  net.intra_node.bandwidth *= args.get_double("bandwidth-scale");
+  net.inter_node.bandwidth *= args.get_double("bandwidth-scale");
+  const double js = args.get_double("jitter-scale");
+  net.jitter.rel_sigma *= js;
+  net.jitter.add_sigma *= js;
+  net.jitter.spike_mean *= js;
+  if (args.get_flag("no-jitter")) {
+    net.jitter = mpisim::JitterModel{};
+  }
+  if (args.get_int("eager") > 0) {
+    net.eager_threshold = static_cast<std::size_t>(args.get_int("eager"));
+  }
+  const std::string cs = args.get_string("compute-scale");
+  if (cs == "auto") {
+    w.compute_scale = w.machine.flops_per_core > 0
+                          ? tf.header.machine.flops_per_core /
+                                w.machine.flops_per_core
+                          : 1.0;
+  } else {
+    w.compute_scale = std::strtod(cs.c_str(), nullptr);
+    if (w.compute_scale <= 0) {
+      throw trace::TraceError("bad --compute-scale '" + cs +
+                              "' (positive float or 'auto')");
+    }
+  }
+  return w;
+}
+
+void add_whatif_options(support::ArgParser& args) {
+  args.add_string("trace", "trace.mpst", "input trace file");
+  args.add_string("machine", "recorded",
+                  "recorded | " + preset_list());
+  args.add_double("latency", 0.0, "absolute link latency override (s)");
+  args.add_double("bandwidth", 0.0, "absolute link bandwidth override (B/s)");
+  args.add_double("latency-scale", 1.0, "multiply link latencies");
+  args.add_double("bandwidth-scale", 1.0, "multiply link bandwidths");
+  args.add_double("jitter-scale", 1.0, "multiply jitter sigmas");
+  args.add_flag("no-jitter", "disable network jitter entirely");
+  args.add_int("eager", 0, "eager/rendezvous threshold override (bytes)");
+  args.add_string("compute-scale", "1",
+                  "multiply recorded compute gaps; 'auto' = recorded flops "
+                  "/ replay flops");
+}
+
+int cmd_record(int argc, const char* const* argv) {
+  support::ArgParser args("mpisect-replay record",
+                          "Run an instrumented app and capture a .mpst trace");
+  args.add_string("app", "convolution", "convolution | lulesh");
+  args.add_string("machine", "nehalem-cluster", preset_list());
+  args.add_int("ranks", 8, "MPI processes (lulesh: perfect cube)");
+  args.add_int("threads", 1, "MiniOMP threads per rank (lulesh)");
+  args.add_int("steps", 100, "time-steps");
+  args.add_int("size", 0, "problem size (0 = default)");
+  args.add_int("seed", 0x5EED, "world seed");
+  args.add_string("out", "trace.mpst", "output trace file");
+  if (!args.parse(argc, argv)) return 1;
+
+  const std::string app_name = args.get_string("app");
+  const int ranks = static_cast<int>(args.get_int("ranks"));
+  mpisim::WorldOptions opts;
+  auto preset = mpisim::MachineModel::preset(args.get_string("machine"));
+  if (!preset) {
+    throw trace::TraceError("unknown machine '" + args.get_string("machine") +
+                            "' (" + preset_list() + ")");
+  }
+  opts.machine = *preset;
+  opts.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  mpisim::World world(ranks, opts);
+  sections::SectionRuntime::install(world);
+
+  std::string provenance = app_name + " --ranks " + std::to_string(ranks) +
+                           " --steps " + std::to_string(args.get_int("steps"));
+  auto rec = trace::TraceRecorder::install(world, {.app = provenance});
+
+  if (app_name == "convolution") {
+    apps::conv::ConvolutionConfig cfg;
+    cfg.steps = static_cast<int>(args.get_int("steps"));
+    if (args.get_int("size") > 0) {
+      cfg.width = static_cast<int>(args.get_int("size")) * 100;
+      cfg.height = static_cast<int>(args.get_int("size")) * 75;
+    }
+    cfg.full_fidelity = false;
+    apps::conv::ConvolutionApp app(cfg);
+    world.run(std::ref(app));
+  } else if (app_name == "lulesh") {
+    apps::lulesh::LuleshConfig cfg;
+    cfg.steps = static_cast<int>(args.get_int("steps"));
+    cfg.omp_threads = static_cast<int>(args.get_int("threads"));
+    if (args.get_int("size") > 0) {
+      cfg.s = static_cast<int>(args.get_int("size"));
+    }
+    cfg.full_fidelity = false;
+    apps::lulesh::LuleshApp app(cfg);
+    world.run(std::ref(app));
+  } else {
+    std::fprintf(stderr, "mpisect-replay: unknown app '%s'\n",
+                 app_name.c_str());
+    return 1;
+  }
+
+  const trace::TraceFile tf = rec->finish();
+  tf.save(args.get_string("out"));
+  std::printf("recorded %llu events on %d ranks -> %s\n",
+              static_cast<unsigned long long>(tf.total_events()), ranks,
+              args.get_string("out").c_str());
+  return 0;
+}
+
+int cmd_replay(int argc, const char* const* argv) {
+  support::ArgParser args("mpisect-replay replay",
+                          "Replay a trace under a what-if machine model");
+  add_whatif_options(args);
+  args.add_string("format", "text", "text | csv | json | chrome");
+  args.add_string("out", "", "output file ('' = stdout)");
+  args.add_flag("verify",
+                "same-model integrity check against the recorded footer");
+  args.add_double("tseq", 0.0,
+                  "sequential reference time: emit Eq. 6 partial bounds");
+  if (!args.parse(argc, argv)) return 1;
+
+  const trace::TraceFile tf = trace::TraceFile::load(args.get_string("trace"));
+  if (args.get_flag("verify")) {
+    const trace::VerifyResult v = trace::verify_roundtrip(tf);
+    if (!v.ok) {
+      std::fprintf(stderr, "mpisect-replay: verify FAILED: %s\n",
+                   v.detail.c_str());
+      return 3;
+    }
+    std::printf("verify OK: same-model replay matches the recorded footer\n");
+  }
+
+  const WhatIf w = resolve_machine(tf, args);
+  const std::string format = args.get_string("format");
+  trace::ReplayOptions ropts;
+  ropts.compute_scale = w.compute_scale;
+  ropts.timeline = format == "chrome";
+  const trace::ReplayResult res = trace::replay(tf, w.machine, ropts);
+
+  std::optional<double> t_seq;
+  if (args.get_double("tseq") > 0) t_seq = args.get_double("tseq");
+  std::string text;
+  if (format == "text") {
+    text = "machine: " + w.machine.name + "  compute-scale: " +
+           std::to_string(w.compute_scale) + "\n" +
+           trace::render_text(res, t_seq);
+  } else if (format == "csv") {
+    text = trace::render_csv(res, t_seq);
+  } else if (format == "json") {
+    text = trace::render_json(res, t_seq);
+  } else if (format == "chrome") {
+    text = trace::render_chrome(res);
+  } else {
+    std::fprintf(stderr, "mpisect-replay: unknown format '%s'\n",
+                 format.c_str());
+    return 1;
+  }
+  return emit(text, args.get_string("out")) ? 0 : 1;
+}
+
+int cmd_info(int argc, const char* const* argv) {
+  support::ArgParser args("mpisect-replay info",
+                          "Describe a trace file without replaying it");
+  args.add_string("trace", "trace.mpst", "input trace file");
+  if (!args.parse(argc, argv)) return 1;
+
+  const trace::TraceFile tf = trace::TraceFile::load(args.get_string("trace"));
+  std::printf("app:    %s\n", tf.header.app.c_str());
+  std::printf("seed:   0x%llx  start-skew sigma %.3g\n",
+              static_cast<unsigned long long>(tf.header.seed),
+              tf.header.start_skew_sigma);
+  std::printf("ranks:  %d   events: %llu\n", tf.header.nranks,
+              static_cast<unsigned long long>(tf.total_events()));
+  std::printf("%s", tf.header.machine.describe().c_str());
+  std::printf("labels: %zu\n", tf.labels.size());
+  for (std::size_t i = 0; i < tf.labels.size(); ++i) {
+    std::printf("  [%zu] %s\n", i, tf.labels[i].c_str());
+  }
+  for (const auto& r : tf.ranks) {
+    std::printf("rank %3d: %zu events, t0 %.6f, t_final %.6f\n", r.rank,
+                r.events.size(), r.t0, r.t_final);
+    if (tf.ranks.size() > 8 && r.rank == 3) {
+      std::printf("  ... (%zu more ranks)\n", tf.ranks.size() - 4);
+      break;
+    }
+  }
+  return 0;
+}
+
+int cmd_sweep(int argc, const char* const* argv) {
+  support::ArgParser args("mpisect-replay sweep",
+                          "Replay across a parameter grid, emit long CSV");
+  args.add_string("trace", "trace.mpst", "input trace file");
+  args.add_string("machines", "recorded",
+                  "comma list: recorded | " + preset_list());
+  args.add_string("latency-scales", "1", "comma list of latency multipliers");
+  args.add_string("bandwidth-scales", "1",
+                  "comma list of bandwidth multipliers");
+  args.add_string("compute-scales", "1",
+                  "comma list of compute multipliers ('auto' = recorded "
+                  "flops / machine flops)");
+  args.add_double("tseq", 0.0, "sequential reference time for Eq. 6 bounds");
+  args.add_string("out", "", "output CSV ('' = stdout)");
+  if (!args.parse(argc, argv)) return 1;
+
+  const trace::TraceFile tf = trace::TraceFile::load(args.get_string("trace"));
+  std::optional<double> t_seq;
+  if (args.get_double("tseq") > 0) t_seq = args.get_double("tseq");
+
+  const std::vector<std::string> machines =
+      split_csv(args.get_string("machines"));
+  const std::vector<double> lat = parse_grid(args.get_string("latency-scales"));
+  const std::vector<double> bw =
+      parse_grid(args.get_string("bandwidth-scales"));
+  const std::vector<std::string> comp =
+      split_csv(args.get_string("compute-scales"));
+
+  std::string out = trace::sweep_csv_header();
+  for (const auto& mname : machines) {
+    mpisim::MachineModel base;
+    if (mname == "recorded") {
+      base = tf.header.machine;
+    } else if (auto preset = mpisim::MachineModel::preset(mname)) {
+      base = *preset;
+    } else {
+      throw trace::TraceError("unknown machine '" + mname + "' (recorded|" +
+                              preset_list() + ")");
+    }
+    for (const double ls : lat) {
+      for (const double bs : bw) {
+        for (const std::string& citem : comp) {
+          double cs;
+          if (citem == "auto") {
+            cs = base.flops_per_core > 0
+                     ? tf.header.machine.flops_per_core / base.flops_per_core
+                     : 1.0;
+          } else {
+            cs = std::strtod(citem.c_str(), nullptr);
+            if (cs <= 0) {
+              throw trace::TraceError("bad --compute-scales entry '" + citem +
+                                      "' (positive float or 'auto')");
+            }
+          }
+          mpisim::MachineModel m = base;
+          m.net.intra_node.latency *= ls;
+          m.net.inter_node.latency *= ls;
+          m.net.intra_node.bandwidth *= bs;
+          m.net.inter_node.bandwidth *= bs;
+          trace::ReplayOptions ropts;
+          ropts.compute_scale = cs;
+          const trace::ReplayResult res = trace::replay(tf, m, ropts);
+          out += trace::sweep_csv_rows(res, mname, ls, bs, cs, t_seq);
+        }
+      }
+    }
+  }
+  return emit(out, args.get_string("out")) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string cmd = argc > 1 ? argv[1] : "";
+  try {
+    if (cmd == "record") return cmd_record(argc - 1, argv + 1);
+    if (cmd == "replay") return cmd_replay(argc - 1, argv + 1);
+    if (cmd == "info") return cmd_info(argc - 1, argv + 1);
+    if (cmd == "sweep") return cmd_sweep(argc - 1, argv + 1);
+  } catch (const trace::TraceError& err) {
+    std::fprintf(stderr, "mpisect-replay: %s\n", err.what());
+    return 1;
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "mpisect-replay: %s\n", err.what());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "usage: mpisect-replay <record|replay|info|sweep> [options]\n"
+               "       mpisect-replay <subcommand> --help\n");
+  return 1;
+}
