@@ -39,6 +39,14 @@ trace::TraceFile record_convolution(int ranks, int steps) {
   return rec->finish();
 }
 
+/// Simulated ranks retired per wall-clock second — the scheduler-throughput
+/// number BENCH_*.json tracks alongside events/s.
+void add_ranks_per_second(benchmark::State& state, int ranks) {
+  state.counters["ranks_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(ranks),
+      benchmark::Counter::kIsRate);
+}
+
 /// Host cost of one instrumented run WITHOUT the recorder (baseline).
 void BM_RunWithoutRecorder(benchmark::State& state) {
   const int steps = static_cast<int>(state.range(0));
@@ -48,6 +56,7 @@ void BM_RunWithoutRecorder(benchmark::State& state) {
     run_convolution(world, steps);
     benchmark::DoNotOptimize(world.elapsed());
   }
+  add_ranks_per_second(state, 8);
 }
 BENCHMARK(BM_RunWithoutRecorder)->Arg(20)->Unit(benchmark::kMillisecond);
 
@@ -66,6 +75,7 @@ void BM_RunWithRecorder(benchmark::State& state) {
     benchmark::DoNotOptimize(tf.ranks.size());
   }
   state.counters["events"] = static_cast<double>(events);
+  add_ranks_per_second(state, 8);
 }
 BENCHMARK(BM_RunWithRecorder)->Arg(20)->Unit(benchmark::kMillisecond);
 
@@ -109,6 +119,7 @@ void BM_ReplaySameModel(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(events));
+  add_ranks_per_second(state, ranks);
 }
 BENCHMARK(BM_ReplaySameModel)->Arg(8)->Arg(32);
 

@@ -1,6 +1,5 @@
 #include "checker/checker.hpp"
 
-#include <chrono>
 #include <string>
 #include <utility>
 
@@ -29,7 +28,8 @@ MpiChecker::MpiChecker(mpisim::World& world, CheckerOptions options)
       lint_(world.size()) {
   install_hooks();
   if (options_.deadlock_detection) {
-    watchdog_ = std::thread([this] { watchdog_main(); });
+    world_->set_deadlock_handler([this] { on_quiescence(); });
+    handler_installed_ = true;
   }
 }
 
@@ -90,13 +90,9 @@ void MpiChecker::install_hooks() {
 }
 
 void MpiChecker::detach() {
-  if (options_.deadlock_detection && watchdog_.joinable()) {
-    {
-      const std::lock_guard lock(wd_mu_);
-      wd_stop_ = true;
-    }
-    wd_cv_.notify_all();
-    watchdog_.join();
+  if (handler_installed_) {
+    world_->set_deadlock_handler(nullptr);
+    handler_installed_ = false;
   }
   if (hooks_installed_) {
     world_->hooks() = prev_;
@@ -193,37 +189,46 @@ void MpiChecker::on_rank_init(mpisim::Ctx& ctx) {
 
 void MpiChecker::on_rank_finalize(mpisim::Ctx& ctx) { (void)ctx; }
 
-void MpiChecker::watchdog_main() {
-  using Clock = std::chrono::steady_clock;
-  std::uint64_t last_progress = waitgraph_.progress();
-  Clock::time_point last_change = Clock::now();
-  std::unique_lock lock(wd_mu_);
-  while (!wd_stop_) {
-    wd_cv_.wait_for(lock,
-                    std::chrono::milliseconds(options_.poll_interval_ms),
-                    [this] { return wd_stop_; });
-    if (wd_stop_) break;
-    lock.unlock();
-    const std::uint64_t p = waitgraph_.progress();
-    const Clock::time_point now = Clock::now();
-    if (p != last_progress) {
-      last_progress = p;
-      last_change = now;
-    } else if (!deadlock_reported_.load() && !world_->aborted() &&
-               waitgraph_.blocked_count() > 0 &&
-               now - last_change >=
-                   std::chrono::milliseconds(options_.deadlock_timeout_ms)) {
-      report_deadlock(waitgraph_.snapshot());
-    }
-    lock.lock();
-  }
+void MpiChecker::on_quiescence() {
+  // Runs on whichever rank task (or scheduler worker) proved quiescence.
+  // The scheduler fires at most once per run, but an abort already in
+  // flight can race the proof — don't double-report.
+  if (deadlock_reported_.load() || world_->aborted()) return;
+  report_deadlock(waitgraph_.snapshot());
 }
 
 void MpiChecker::report_deadlock(const std::vector<RankWaitState>& states) {
   const WaitGraph::Analysis analysis = WaitGraph::analyze(states, comms_);
   if (analysis.cycles.empty() && analysis.orphans.empty()) {
-    // Quiescent but no provable cycle (e.g. a peer is computing). Keep
-    // watching rather than guess.
+    // Quiescence is exact — the world IS deadlocked even when the wait
+    // graph can't name a cycle (e.g. a rank blocked below the hook layer).
+    // Report what is known instead of staying silent.
+    Diagnostic d;
+    d.category = Category::Deadlock;
+    d.severity = Severity::Error;
+    double t_max = 0.0;
+    std::string detail;
+    for (std::size_t r = 0; r < states.size(); ++r) {
+      const auto& st = states[r];
+      if (st.phase != RankWaitState::Phase::Blocked) continue;
+      if (d.rank < 0) {
+        d.rank = static_cast<int>(r);
+        d.comm_context = st.comm_context;
+        d.site = mpisim::mpi_call_name(st.call);
+      }
+      if (!detail.empty()) detail += "; ";
+      detail += "rank " + std::to_string(r) + " blocked in " +
+                mpisim::mpi_call_name(st.call);
+      t_max = st.t_virtual > t_max ? st.t_virtual : t_max;
+    }
+    d.t_virtual = t_max;
+    d.message =
+        "world quiescent: no rank can make progress, but no wait-for cycle "
+        "is provable from the observed calls" +
+        (detail.empty() ? std::string() : " (" + detail + ")");
+    sink_.emit(std::move(d));
+    deadlock_reported_.store(true);
+    world_->abort();  // wake the blocked ranks with Err::Aborted
     return;
   }
 

@@ -7,11 +7,12 @@
 // lifecycle. The application is never modified.
 //
 // Four analyses:
-//   * deadlock: rank threads publish blocked states into a WaitGraph; a
-//     watchdog thread detects quiescence (no hook progress for a real-time
-//     window while ranks are blocked), analyzes the wait-for snapshot for
-//     cycles/orphaned waits, reports them and aborts the world so the
-//     blocked ranks unwind with Err::Aborted;
+//   * deadlock: rank tasks publish blocked states into a WaitGraph; the
+//     scheduler reports exact quiescence (every live rank parked with no
+//     wake pending) through World::set_deadlock_handler, at which point the
+//     checker analyzes the wait-for snapshot for cycles/orphaned waits,
+//     reports them and lets the world abort so the blocked ranks unwind
+//     with Err::Aborted. Detection is deterministic — no timeouts;
 //   * resource leaks: nonblocking requests never completed and derived
 //     communicators never freed at MPI_Finalize;
 //   * call consistency: collective call/root/count agreement across ranks
@@ -27,11 +28,7 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
-#include <cstdint>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "checker/comm_registry.hpp"
@@ -46,13 +43,14 @@
 namespace mpisect::checker {
 
 struct CheckerOptions {
-  /// Run the quiescence watchdog. Off = post-run passes only.
+  /// Hook the scheduler's quiescence signal for deadlock analysis.
+  /// Off = post-run passes only.
   bool deadlock_detection = true;
-  /// Real-time window with zero hook progress (and ≥1 blocked rank) that
-  /// classifies the world as deadlocked. Must comfortably exceed the
-  /// runtime's abort-poll period.
+  /// Legacy (ignored): real-time window of the old sampling watchdog.
+  /// Detection is now exact — the scheduler proves quiescence instead of
+  /// timing it. Kept so existing configuration code keeps compiling.
   int deadlock_timeout_ms = 500;
-  /// Watchdog sampling period.
+  /// Legacy (ignored): sampling period of the old watchdog.
   int poll_interval_ms = 25;
   /// Forward events to the hook table that was installed before us
   /// (PMPI-style tool stacking). Disable to run the checker alone.
@@ -75,8 +73,8 @@ class MpiChecker final : public mpisim::Extension {
   /// Call after World::run() returned or threw. Idempotent.
   void analyze();
 
-  /// Stop the watchdog and restore the previously installed hook table.
-  /// Called automatically on destruction.
+  /// Unhook the deadlock handler and restore the previously installed hook
+  /// table. Called automatically on destruction.
   void detach();
 
   [[nodiscard]] std::vector<Diagnostic> diagnostics() const {
@@ -102,13 +100,16 @@ class MpiChecker final : public mpisim::Extension {
   /// Map a CallInfo peer (comm rank) to a world rank; -1 stays -1.
   [[nodiscard]] int peer_world(int context, int comm_rank) const;
 
-  void watchdog_main();
+  /// Scheduler callback: every live rank is parked, nothing can wake them.
+  /// Snapshot the wait graph and report; the world aborts right after.
+  void on_quiescence();
   void report_deadlock(const std::vector<RankWaitState>& states);
 
   mpisim::World* world_;
   CheckerOptions options_;
   mpisim::HookTable prev_;  ///< chained tool underneath us
   bool hooks_installed_ = false;
+  bool handler_installed_ = false;
 
   DiagnosticSink sink_;
   CommRegistry comms_;
@@ -119,11 +120,6 @@ class MpiChecker final : public mpisim::Extension {
 
   std::atomic<bool> deadlock_reported_{false};
   std::atomic<bool> analyzed_{false};
-
-  std::thread watchdog_;
-  std::mutex wd_mu_;
-  std::condition_variable wd_cv_;
-  bool wd_stop_ = false;
 };
 
 }  // namespace mpisect::checker

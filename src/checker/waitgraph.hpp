@@ -1,10 +1,10 @@
 // Cross-rank wait-for graph for deadlock detection.
 //
-// Every rank thread publishes what it is currently blocked on (receive,
+// Every rank task publishes what it is currently blocked on (receive,
 // wait, probe, rendezvous send, collective) on entry to a blocking call and
-// clears the slot on exit. A watchdog (checker.cpp) samples the graph; when
-// the whole world has made no hook progress for a configurable real-time
-// window, the snapshot is analyzed:
+// clears the slot on exit. When the scheduler proves quiescence — every
+// live rank parked with no wake pending (checker.cpp's deadlock handler) —
+// the snapshot is analyzed:
 //
 //   * p2p edges: a blocked receive/wait/probe/send points at the world rank
 //     it needs; an any-source receive conservatively points at every other
@@ -16,8 +16,8 @@
 //   * a cycle is a deadlock; an edge to a finalized rank is an orphaned
 //     wait (also a deadlock — the peer can never satisfy it).
 //
-// All mutation is mutex-protected: rank threads write their own slot, the
-// watchdog reads all of them.
+// All mutation is mutex-protected: rank tasks write their own slot, the
+// quiescence handler reads all of them.
 #pragma once
 
 #include <cstdint>
@@ -63,8 +63,8 @@ class WaitGraph {
   [[nodiscard]] int size() const noexcept {
     return static_cast<int>(nranks_);
   }
-  /// Monotonic counter bumped on every state transition; an unchanged value
-  /// across a real-time window means the world is quiescent.
+  /// Monotonic counter bumped on every state transition (diagnostic; the
+  /// old sampling watchdog used it, quiescence is now proven exactly).
   [[nodiscard]] std::uint64_t progress() const;
   [[nodiscard]] int blocked_count() const;
   [[nodiscard]] std::vector<RankWaitState> snapshot() const;

@@ -1,21 +1,11 @@
 #include "mpisim/channel.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cstring>
 
 #include "mpisim/error.hpp"
 
 namespace mpisect::mpisim {
-namespace {
-
-using namespace std::chrono_literals;
-// Abort-poll interval for blocked waits. Normal completion is signalled via
-// the condition variable; this bound only limits how long a rank can sleep
-// after a *different* rank has failed.
-constexpr auto kAbortPoll = 50ms;
-
-}  // namespace
 
 bool Channel::compatible(const PostedRecv& r, const Message& m) noexcept {
   const bool src_ok = r.src == kAnySource || r.src == m.src;
@@ -54,20 +44,18 @@ void Channel::check_abort() const {
 }
 
 void Channel::deposit(const MessagePtr& msg) {
-  {
-    const std::lock_guard lock(mu_);
-    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-      if (compatible(**it, *msg)) {
-        complete_match(msg, *it);
-        posted_.erase(it);
-        cv_.notify_all();
-        return;
-      }
+  const std::lock_guard lock(mu_);
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (compatible(**it, *msg)) {
+      complete_match(msg, *it);
+      posted_.erase(it);
+      wp_.notify_all();
+      return;
     }
-    unexpected_.push_back(msg);
   }
+  unexpected_.push_back(msg);
   // Wake probers waiting for a matching envelope.
-  cv_.notify_all();
+  wp_.notify_all();
 }
 
 void Channel::post(const PostedRecvPtr& recv) {
@@ -76,7 +64,7 @@ void Channel::post(const PostedRecvPtr& recv) {
     if (compatible(*recv, **it)) {
       complete_match(*it, recv);
       unexpected_.erase(it);
-      cv_.notify_all();
+      wp_.notify_all();
       return;
     }
   }
@@ -87,7 +75,7 @@ Status Channel::wait_recv(const PostedRecvPtr& recv) {
   std::unique_lock lock(mu_);
   while (!recv->completed) {
     check_abort();
-    cv_.wait_for(lock, kAbortPoll);
+    wp_.wait(lock);
   }
   if (recv->truncated) {
     throw MpiError(Err::Truncate, "message longer than receive buffer");
@@ -104,7 +92,7 @@ double Channel::wait_delivered(const MessagePtr& msg) {
   std::unique_lock lock(mu_);
   while (!msg->delivered) {
     check_abort();
-    cv_.wait_for(lock, kAbortPoll);
+    wp_.wait(lock);
   }
   return msg->t_deliver;
 }
@@ -120,14 +108,20 @@ Status Channel::probe(int src, int tag, double t_probe) {
         st.tag = msg->tag;
         st.bytes = msg->bytes;
         st.seq = msg->seq;
+        // Completion time of a hypothetical receive posted at t_probe —
+        // the same delivery model complete_match applies. In particular a
+        // rendezvous message still pays its wire cost; reporting
+        // max(t_send_start, t_probe) alone would claim availability earlier
+        // than any matching recv could ever complete.
         st.t_complete =
-            msg->rendezvous ? std::max(msg->t_send_start, t_probe)
-                            : std::max(t_probe, msg->t_avail);
+            msg->rendezvous
+                ? std::max(msg->t_send_start, t_probe) + msg->wire_cost
+                : std::max(t_probe, msg->t_avail);
         return st;
       }
     }
     check_abort();
-    cv_.wait_for(lock, kAbortPoll);
+    wp_.wait(lock);
   }
 }
 

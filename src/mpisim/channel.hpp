@@ -9,24 +9,27 @@
 // Matching is where virtual time crosses rank boundaries:
 //   eager:       t_deliver = max(t_post, t_avail)
 //   rendezvous:  t_deliver = max(t_send_start, t_post) + wire_cost
+// Probe reports the completion time of a hypothetical receive posted at
+// t_probe, so it follows the same two formulas with t_post := t_probe.
 // The second party to arrive performs the match under the channel mutex and
-// wakes any thread blocked on it; waits poll an abort flag so one rank's
-// failure cannot deadlock the world.
+// wakes any rank blocked on it through a WaitPoint — the executor parks the
+// rank until delivery, with no polling; World::abort() wakes all waiters so
+// one rank's failure cannot deadlock the world.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <mutex>
 
 #include "mpisim/message.hpp"
+#include "mpisim/scheduler.hpp"
 
 namespace mpisect::mpisim {
 
 class Channel {
  public:
-  explicit Channel(const std::atomic<bool>* abort_flag) noexcept
-      : abort_(abort_flag) {}
+  Channel(Executor& exec, const std::atomic<bool>* abort_flag) noexcept
+      : abort_(abort_flag), wp_(exec, mu_) {}
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
@@ -54,8 +57,9 @@ class Channel {
 
   /// Blocking probe: wait until a message matching (src, tag) is queued and
   /// return its envelope without consuming it. t_probe is the prober's
-  /// current virtual time; the returned status carries
-  /// max(t_probe, message availability) as t_complete.
+  /// current virtual time; t_complete is when a receive posted at t_probe
+  /// would deliver (eager: max(t_probe, t_avail); rendezvous:
+  /// max(t_send_start, t_probe) + wire_cost).
   Status probe(int src, int tag, double t_probe);
 
   /// Number of queued (unmatched) messages — diagnostic for tests.
@@ -71,10 +75,10 @@ class Channel {
   void check_abort() const;
 
   std::mutex mu_;
-  std::condition_variable cv_;
   std::deque<MessagePtr> unexpected_;
   std::deque<PostedRecvPtr> posted_;
   const std::atomic<bool>* abort_;
+  WaitPoint wp_;
 };
 
 }  // namespace mpisect::mpisim

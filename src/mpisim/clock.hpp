@@ -1,12 +1,13 @@
 // Per-rank virtual clocks.
 //
-// MiniMPI executes every rank on a real OS thread but measures time on a
-// *virtual* clock: computation advances it by modelled durations and message
+// MiniMPI executes every rank as a task on the cooperative scheduler (or
+// one OS thread each, thread backend) but measures time on a *virtual*
+// clock: computation advances it by modelled durations and message
 // matching transfers timestamps between ranks
 // (t_recv = max(t_local, t_send + network_cost)). This is what lets a
 // 1-core container reproduce the timing shapes of a 456-core cluster, and
 // it makes runs deterministic — virtual time is a pure function of program
-// order and the seeded jitter draws, not of OS scheduling.
+// order and the seeded jitter draws, not of scheduling (OS or fiber).
 #pragma once
 
 #include <algorithm>

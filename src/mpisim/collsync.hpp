@@ -10,24 +10,27 @@
 // Rounds are identified by a per-caller generation number that each rank
 // tracks in its own communicator state, so back-to-back rounds on the same
 // communicator cannot be confused even though ranks proceed asynchronously.
+// Waiting ranks park on a WaitPoint until the last arrival notifies them;
+// World::abort() wakes them so a failed rank cannot strand the round.
 #pragma once
 
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
+#include <limits>
 #include <map>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "mpisim/error.hpp"
+#include "mpisim/scheduler.hpp"
 
 namespace mpisect::mpisim {
 
 template <typename T>
 class CollSync {
  public:
-  CollSync(int nranks, const std::atomic<bool>* abort_flag)
-      : nranks_(nranks), abort_(abort_flag) {}
+  CollSync(int nranks, Executor& exec, const std::atomic<bool>* abort_flag)
+      : nranks_(nranks), abort_(abort_flag), wp_(exec, mu_) {}
 
   struct Round {
     std::vector<T> values;
@@ -35,9 +38,11 @@ class CollSync {
     int arrived = 0;
     int departed = 0;
     [[nodiscard]] double max_entry() const {
-      double m = 0.0;
+      // Seed with -infinity, not 0.0: replay what-ifs can rescale the time
+      // base into negative territory and a 0.0 seed would silently clamp.
+      double m = -std::numeric_limits<double>::infinity();
       for (double t : t_entry) m = std::max(m, t);
-      return m;
+      return t_entry.empty() ? 0.0 : m;
     }
   };
 
@@ -46,7 +51,6 @@ class CollSync {
   std::pair<std::vector<T>, double> exchange(std::uint64_t generation,
                                              int rank, double t_entry,
                                              T value) {
-    using namespace std::chrono_literals;
     std::unique_lock lock(mu_);
     Round& round = rounds_[generation];
     if (round.values.empty()) {
@@ -56,12 +60,12 @@ class CollSync {
     round.values[static_cast<std::size_t>(rank)] = std::move(value);
     round.t_entry[static_cast<std::size_t>(rank)] = t_entry;
     ++round.arrived;
-    cv_.notify_all();
+    wp_.notify_all();
     while (round.arrived < nranks_) {
       if (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) {
         throw MpiError(Err::Aborted, "world aborted in collective rendezvous");
       }
-      cv_.wait_for(lock, 50ms);
+      wp_.wait(lock);
     }
     auto result = std::make_pair(round.values, round.max_entry());
     if (++round.departed == nranks_) rounds_.erase(generation);
@@ -72,7 +76,7 @@ class CollSync {
   int nranks_;
   const std::atomic<bool>* abort_;
   std::mutex mu_;
-  std::condition_variable cv_;
+  WaitPoint wp_;
   std::map<std::uint64_t, Round> rounds_;
 };
 

@@ -38,13 +38,14 @@ CommImpl::CommImpl(World& world, Group group, int context_id)
     : world_(world),
       group_(std::move(group)),
       context_id_(context_id),
-      split_sync_(group_.size(), world.abort_flag()),
-      publish_sync_(group_.size(), world.abort_flag()),
-      u64_sync_(group_.size(), world.abort_flag()) {
+      split_sync_(group_.size(), world.executor(), world.abort_flag()),
+      publish_sync_(group_.size(), world.executor(), world.abort_flag()),
+      u64_sync_(group_.size(), world.executor(), world.abort_flag()) {
   const auto n = static_cast<std::size_t>(group_.size());
   channels_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    channels_.push_back(std::make_unique<Channel>(world.abort_flag()));
+    channels_.push_back(
+        std::make_unique<Channel>(world.executor(), world.abort_flag()));
   }
   rank_states_.resize(n);
   for (auto& rs : rank_states_) rs.send_seq.assign(n, 0);

@@ -1,8 +1,8 @@
 #include "mpisim/runtime.hpp"
 
 #include <exception>
+#include <limits>
 #include <mutex>
-#include <thread>
 #include <utility>
 
 #include "mpisim/error.hpp"
@@ -17,6 +17,13 @@ World::World(int nranks, WorldOptions options)
   final_times_.assign(static_cast<std::size_t>(nranks_), 0.0);
   // Keep the network model's placement and seed coherent with the world.
   options_.machine.net.seed = options_.seed;
+  executor_ = make_executor(options_.exec, options_.workers);
+  // Exact deadlock signal: every live rank parked, no wake pending. Give
+  // the checker first look at the wait graph, then tear the world down.
+  executor_->set_quiescence_handler([this] {
+    if (deadlock_handler_) deadlock_handler_();
+    abort();
+  });
   std::vector<int> all(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) all[static_cast<std::size_t>(r)] = r;
   world_comm_ =
@@ -31,20 +38,37 @@ void World::attach_extension(std::shared_ptr<Extension> ext) {
 }
 
 double World::elapsed() const noexcept {
-  double m = 0.0;
+  if (final_times_.empty()) return 0.0;
+  // Seed with -infinity: replay what-ifs can rescale virtual time into
+  // negative territory and a 0.0 seed would silently clamp the makespan.
+  double m = -std::numeric_limits<double>::infinity();
   for (double t : final_times_) m = std::max(m, t);
   return m;
 }
 
 void World::run(const RankMain& rank_main) {
   require(!aborted_.load(), Err::Aborted, "world previously aborted");
+  // The previous run's world communicator dies here; tell lifecycle hooks
+  // (comm-leak analyses pair every create with a free) while the clocks
+  // still carry that run's final times.
+  if (world_comm_announced_ && hooks_.on_comm_free) {
+    const int old_context = world_comm_->context_id();
+    for (int r = 0; r < nranks_; ++r) {
+      Ctx ctx(*this, r, clocks_[static_cast<std::size_t>(r)]);
+      hooks_.on_comm_free(ctx, old_context);
+    }
+  }
+  world_comm_announced_ = false;
   // Fresh clocks (and a fresh world communicator, so sequence counters and
-  // stale messages from a previous run cannot leak into this one).
+  // stale messages from a previous run cannot leak into this one). Reset
+  // final times too: a failed run must not leave stale per-rank values.
+  final_times_.assign(static_cast<std::size_t>(nranks_), 0.0);
   std::vector<int> all(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) all[static_cast<std::size_t>(r)] = r;
   world_comm_ =
       std::make_shared<CommImpl>(*this, Group(std::move(all)),
                                  next_context_id());
+  world_comm_announced_ = hooks_.on_comm_create != nullptr;
   for (int r = 0; r < nranks_; ++r) {
     double skew = 0.0;
     if (options_.start_skew_sigma > 0.0) {
@@ -106,12 +130,7 @@ void World::run(const RankMain& rank_main) {
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks_));
-  for (int r = 0; r < nranks_; ++r) {
-    threads.emplace_back(rank_body, r);
-  }
-  for (auto& t : threads) t.join();
+  executor_->run(nranks_, rank_body);
 
   if (first_error) {
     std::rethrow_exception(first_error);

@@ -1,8 +1,12 @@
 // World launcher and per-rank execution context.
 //
-// World::run(fn) executes an SPMD function on every rank, one OS thread per
-// rank, against a shared MachineModel. Rank-side code receives a Ctx — its
-// rank identity, virtual clock and compute-charging interface. Extensions
+// World::run(fn) executes an SPMD function on every rank against a shared
+// MachineModel. Ranks run on the World's Executor — by default the
+// cooperative fiber scheduler (see scheduler.hpp), with a thread-per-rank
+// backend selectable via WorldOptions::exec for differential testing; both
+// produce bit-identical virtual-time results for the same seed. Rank-side
+// code receives a Ctx — its rank identity, virtual clock and
+// compute-charging interface. Extensions
 // (the sections layer, profiling tools) attach to the World and get
 // per-rank init/finalize callbacks, mirroring how PMPI tools wrap
 // MPI_Init/MPI_Finalize.
@@ -25,6 +29,7 @@
 #include "mpisim/comm.hpp"
 #include "mpisim/hooks.hpp"
 #include "mpisim/machine.hpp"
+#include "mpisim/scheduler.hpp"
 #include "support/rng.hpp"
 
 namespace mpisect::mpisim {
@@ -46,6 +51,13 @@ struct WorldOptions {
   /// ("non-intrusive synchronization primitives which could be selectively
   /// enabled", paper Sec. 4).
   bool validate_sections = false;
+  /// Rank execution backend. Cooperative multiplexes ranks over a fixed
+  /// worker pool; Threads is the one-OS-thread-per-rank differential
+  /// reference. Virtual-time results are identical either way.
+  ExecBackend exec = ExecBackend::Cooperative;
+  /// Worker threads for the cooperative backend: 0 = MPISECT_WORKERS env
+  /// var, else hardware_concurrency (see resolve_workers()).
+  int workers = 0;
 };
 
 /// Attachment point for layers that need per-rank lifecycle callbacks.
@@ -86,7 +98,18 @@ class World {
   }
   [[nodiscard]] bool aborted() const noexcept { return aborted_.load(); }
   /// Flag the world as failed; wakes every blocked rank with Err::Aborted.
-  void abort() noexcept { aborted_.store(true); }
+  void abort() noexcept {
+    aborted_.store(true);
+    executor_->wake_all();
+  }
+  /// The rank execution backend (channels and collectives block through it).
+  [[nodiscard]] Executor& executor() noexcept { return *executor_; }
+  /// Callback fired when the executor proves every live rank is parked with
+  /// no wake pending — an exact deadlock. The checker installs its analysis
+  /// here; the world aborts right after the handler returns.
+  void set_deadlock_handler(std::function<void()> handler) {
+    deadlock_handler_ = std::move(handler);
+  }
 
   void attach_extension(std::shared_ptr<Extension> ext);
 
@@ -102,8 +125,9 @@ class World {
 
   using RankMain = std::function<void(Ctx&)>;
   /// Run the SPMD main on all ranks and block until every rank finishes.
-  /// Rethrows the first rank exception after all threads have joined.
-  /// May be called repeatedly; clocks and sequence state reset per run.
+  /// Rethrows the first rank exception after every rank has unwound.
+  /// May be called repeatedly; clocks and sequence state reset per run,
+  /// and the previous run's world communicator gets its on_comm_free.
   void run(const RankMain& rank_main);
 
   /// Virtual time at which each rank finished the last run.
@@ -127,7 +151,14 @@ class World {
   std::atomic<int> next_context_{0};
   std::vector<VirtualClock> clocks_;
   std::vector<double> final_times_;
+  // Declared before world_comm_: channel/collsync WaitPoints deregister
+  // from the executor on destruction, so it must outlive the communicator.
+  std::unique_ptr<Executor> executor_;
+  std::function<void()> deadlock_handler_;
   std::shared_ptr<CommImpl> world_comm_;
+  /// Whether on_comm_create fired for the current world communicator (so a
+  /// later run() knows to emit the matching on_comm_free).
+  bool world_comm_announced_ = false;
   std::vector<std::shared_ptr<Extension>> extensions_;
 };
 

@@ -1,0 +1,156 @@
+// Rank execution backends: how the ranks of one World::run get CPU time.
+//
+// The simulator's blocking primitives (Channel, CollSync) do not own
+// condition variables; they own WaitPoints. A WaitPoint delegates blocking
+// to the World's Executor, which comes in two flavours:
+//
+//   * Cooperative (default): a run-to-block fiber scheduler. Every rank is
+//     a stackful fiber (ucontext); a fixed pool of worker threads (default
+//     hardware_concurrency, override with MPISECT_WORKERS) runs fibers
+//     until they block, then parks them on the WaitPoint and picks up the
+//     next runnable fiber. Parking costs one user-space context switch, so
+//     worlds with thousands of ranks multiplex over a handful of OS
+//     threads instead of oversubscribing the machine.
+//   * Threads: one OS thread per rank, waits are plain condition-variable
+//     blocks. Kept as the differential-testing reference — virtual-time
+//     results must be bit-identical between the two backends for the same
+//     seed, because virtual time is a pure function of per-rank program
+//     order and the seeded jitter draws, never of scheduling.
+//
+// There is no polling anywhere: waits block until an event delivery calls
+// WaitPoint::notify_all(), and World::abort() wakes every waiter explicitly
+// via Executor::wake_all().
+//
+// Both backends detect quiescence exactly: the instant every live rank is
+// parked with no wake pending, the quiescence handler fires. That is the
+// scheduler's "all runnable tasks parked" signal — a true deadlock by
+// construction, which replaces the checker's old real-time watchdog with
+// deterministic detection.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mpisect::mpisim {
+
+/// Which execution backend a World uses for its ranks.
+enum class ExecBackend {
+  Cooperative,  ///< fiber scheduler on a fixed worker pool (default)
+  Threads,      ///< one OS thread per rank (differential reference)
+};
+
+class WaitPoint;
+
+/// Executes the n rank bodies of one World::run and services their blocking
+/// waits. Created once per World via make_executor().
+class Executor {
+ public:
+  virtual ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Run body(r) for every r in [0, n) to completion and return when all
+  /// have finished. The body must not throw (World::run's rank wrapper
+  /// catches everything). May be called repeatedly, not concurrently.
+  virtual void run(int n, const std::function<void(int)>& body) = 0;
+
+  /// Wake every waiter of every registered WaitPoint (spurious wakeups).
+  /// This is the abort path: World::abort() sets its flag and calls this so
+  /// blocked ranks re-check the flag and unwind with Err::Aborted.
+  void wake_all() noexcept;
+
+  /// Install the callback fired (at most once per run) when every live rank
+  /// is parked with no wake pending — an exact deadlock signal. Set before
+  /// run(); the World chains the checker's handler and its own abort here.
+  void set_quiescence_handler(std::function<void()> handler);
+
+  [[nodiscard]] virtual const char* backend_name() const noexcept = 0;
+  /// Worker threads used to execute ranks (== nranks for Threads backend).
+  [[nodiscard]] virtual int workers() const noexcept = 0;
+
+ protected:
+  Executor() = default;
+  friend class WaitPoint;
+
+  /// Release owner_lk's mutex, block until this WaitPoint is notified (or
+  /// spuriously), re-acquire and return. Callers loop on their predicate.
+  virtual void do_wait(WaitPoint& wp, std::unique_lock<std::mutex>& owner_lk) = 0;
+  /// Wake all waiters of wp. Caller holds wp's owner mutex.
+  virtual void do_notify(WaitPoint& wp) = 0;
+  /// Wake all waiters of wp from the abort path (no locks held by caller).
+  virtual void do_wake(WaitPoint& wp);
+
+  void add_waitpoint(WaitPoint* wp);
+  void remove_waitpoint(WaitPoint* wp);
+  /// Invoke the quiescence handler (caller must hold no scheduler or owner
+  /// locks — the handler typically aborts the world, which calls wake_all).
+  void fire_quiescence();
+
+ private:
+  std::mutex reg_mu_;
+  std::vector<WaitPoint*> waitpoints_;
+  std::function<void()> quiescence_;
+};
+
+/// A blocking point owned by a synchronization object (Channel, CollSync)
+/// whose state is guarded by `owner_mu`. Replaces a raw condition variable;
+/// the executor decides whether a wait blocks an OS thread or parks a
+/// fiber. Usage mirrors a condition variable:
+///
+///   std::unique_lock lock(mu_);
+///   while (!predicate) { check_abort(); wp_.wait(lock); }
+///
+/// notify_all() must be called while holding the owner mutex — that is what
+/// makes a wake race-free against a waiter about to block.
+class WaitPoint {
+ public:
+  WaitPoint(Executor& exec, std::mutex& owner_mu)
+      : exec_(exec), owner_mu_(owner_mu) {
+    exec_.add_waitpoint(this);
+  }
+  ~WaitPoint() { exec_.remove_waitpoint(this); }
+  WaitPoint(const WaitPoint&) = delete;
+  WaitPoint& operator=(const WaitPoint&) = delete;
+
+  /// Block until notified. lk must hold the owner mutex; it is released
+  /// while blocked and re-acquired before returning. Spurious wakeups
+  /// happen (abort wake-all is one) — callers re-check their predicate.
+  void wait(std::unique_lock<std::mutex>& lk) { exec_.do_wait(*this, lk); }
+
+  /// Wake every waiter. Caller MUST hold the owner mutex.
+  void notify_all() { exec_.do_notify(*this); }
+
+ private:
+  friend class Executor;
+  friend class ThreadExecutor;
+  friend class FiberExecutor;
+
+  Executor& exec_;
+  std::mutex& owner_mu_;
+  std::condition_variable cv_;  ///< thread-backend + off-fiber waiters
+  /// Wake generation: bumped (under the owner mutex) by every notify. A
+  /// waiter records it before blocking; "epoch unchanged" is both the
+  /// cv wait predicate and the "no wake pending" half of quiescence.
+  std::atomic<std::uint64_t> epoch_{0};
+  /// Fiber backend: tasks parked here (FiberTask*, guarded by the
+  /// scheduler mutex, populated before the parking fiber's owner mutex is
+  /// released so a notifier can never miss a half-parked task).
+  std::vector<void*> parked_;
+};
+
+/// Number of worker threads `workers` resolves to: the value itself if > 0,
+/// else the MPISECT_WORKERS environment variable, else hardware_concurrency.
+[[nodiscard]] int resolve_workers(int workers) noexcept;
+
+/// Create an executor. workers is resolved via resolve_workers() and only
+/// meaningful for the cooperative backend. Fiber stack size defaults to
+/// 1 MiB, override with MPISECT_STACK_KB.
+[[nodiscard]] std::unique_ptr<Executor> make_executor(ExecBackend backend,
+                                                      int workers = 0);
+
+}  // namespace mpisect::mpisim

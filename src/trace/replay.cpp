@@ -1,6 +1,7 @@
 #include "trace/replay.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <unordered_map>
 #include <utility>
@@ -218,10 +219,15 @@ struct Engine {
         if (it == msgs.end() || !it->second.have_send) return Step::Blocked;
         const MsgState& ms = it->second;
         charge_gap(r, st, ev);
-        st.t_rec = std::max(st.t_rec, ms.rend_rec ? ms.start_rec
-                                                  : ms.avail_rec);
-        st.t_cur = std::max(st.t_cur, ms.rend_cur ? ms.start_cur
-                                                  : ms.avail_cur);
+        // Mirror of Channel::probe: the completion time of a hypothetical
+        // receive posted at the prober's current time (rendezvous pays its
+        // wire cost, eager is availability-bound).
+        st.t_rec = ms.rend_rec
+                       ? std::max(ms.start_rec, st.t_rec) + ms.wire_rec
+                       : std::max(st.t_rec, ms.avail_rec);
+        st.t_cur = ms.rend_cur
+                       ? std::max(ms.start_cur, st.t_cur) + ms.wire_cur
+                       : std::max(st.t_cur, ms.avail_cur);
         break;
       }
       case EventKind::CollBegin: {
@@ -354,7 +360,11 @@ struct Engine {
   }
 
   void finalize_result() {
-    res.makespan = 0.0;
+    // Seed with -infinity, not 0.0: compute-rescale what-ifs can shift the
+    // time base negative and a 0.0 seed would clamp the makespan.
+    res.makespan = res.final_times.empty()
+                       ? 0.0
+                       : -std::numeric_limits<double>::infinity();
     for (const double t : res.final_times) res.makespan = std::max(res.makespan, t);
 
     // Per-rank totals in footer order (sorted by (comm, label)).

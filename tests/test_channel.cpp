@@ -1,16 +1,26 @@
 // Direct unit tests of the matching engine (Channel) — below the Comm
 // layer, exercising matching rules and virtual-time math in isolation.
+// Channels block through an Executor; these tests use the thread backend
+// so plain test threads can poke at the channel from outside a World.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 
 #include "mpisim/channel.hpp"
 #include "mpisim/error.hpp"
+#include "mpisim/scheduler.hpp"
 
 namespace {
 
 using namespace mpisect::mpisim;
+
+struct ChannelFixture {
+  std::atomic<bool> abort{false};
+  std::unique_ptr<Executor> exec = make_executor(ExecBackend::Threads);
+  Channel ch{*exec, &abort};
+};
 
 MessagePtr make_msg(int src, int tag, double t_send, double cost,
                     bool rendezvous = false, std::size_t bytes = 8) {
@@ -36,14 +46,13 @@ PostedRecvPtr make_recv(int src, int tag, double t_post,
 }
 
 TEST(Channel, DepositThenPostMatches) {
-  std::atomic<bool> abort{false};
-  Channel ch(&abort);
-  ch.deposit(make_msg(0, 5, 1.0, 0.25));
-  EXPECT_EQ(ch.pending_messages(), 1u);
+  ChannelFixture f;
+  f.ch.deposit(make_msg(0, 5, 1.0, 0.25));
+  EXPECT_EQ(f.ch.pending_messages(), 1u);
   auto pr = make_recv(0, 5, 2.0);
-  ch.post(pr);
-  EXPECT_EQ(ch.pending_messages(), 0u);
-  const Status st = ch.wait_recv(pr);
+  f.ch.post(pr);
+  EXPECT_EQ(f.ch.pending_messages(), 0u);
+  const Status st = f.ch.wait_recv(pr);
   EXPECT_EQ(st.source, 0);
   EXPECT_EQ(st.tag, 5);
   // Eager: delivery at max(t_post, t_avail) = max(2.0, 1.25) = 2.0.
@@ -51,123 +60,175 @@ TEST(Channel, DepositThenPostMatches) {
 }
 
 TEST(Channel, PostThenDepositMatches) {
-  std::atomic<bool> abort{false};
-  Channel ch(&abort);
+  ChannelFixture f;
   auto pr = make_recv(0, 5, 0.5);
-  ch.post(pr);
-  EXPECT_EQ(ch.pending_recvs(), 1u);
-  ch.deposit(make_msg(0, 5, 1.0, 0.25));
-  EXPECT_EQ(ch.pending_recvs(), 0u);
+  f.ch.post(pr);
+  EXPECT_EQ(f.ch.pending_recvs(), 1u);
+  f.ch.deposit(make_msg(0, 5, 1.0, 0.25));
+  EXPECT_EQ(f.ch.pending_recvs(), 0u);
   // Receiver was early: delivery at t_avail = 1.25.
-  EXPECT_DOUBLE_EQ(ch.wait_recv(pr).t_complete, 1.25);
+  EXPECT_DOUBLE_EQ(f.ch.wait_recv(pr).t_complete, 1.25);
 }
 
 TEST(Channel, RendezvousDeliveryFromMatchPoint) {
-  std::atomic<bool> abort{false};
-  Channel ch(&abort);
+  ChannelFixture f;
   auto msg = make_msg(0, 1, 1.0, 0.5, /*rendezvous=*/true);
-  ch.deposit(msg);
+  f.ch.deposit(msg);
   auto pr = make_recv(0, 1, 3.0);
-  ch.post(pr);
+  f.ch.post(pr);
   // Rendezvous: transfer starts at max(t_send, t_post) = 3.0 -> 3.5.
-  EXPECT_DOUBLE_EQ(ch.wait_recv(pr).t_complete, 3.5);
-  EXPECT_DOUBLE_EQ(ch.wait_delivered(msg), 3.5);
+  EXPECT_DOUBLE_EQ(f.ch.wait_recv(pr).t_complete, 3.5);
+  EXPECT_DOUBLE_EQ(f.ch.wait_delivered(msg), 3.5);
 }
 
 TEST(Channel, TagFiltering) {
-  std::atomic<bool> abort{false};
-  Channel ch(&abort);
-  ch.deposit(make_msg(0, 1, 1.0, 0.1));
-  ch.deposit(make_msg(0, 2, 1.0, 0.1));
+  ChannelFixture f;
+  f.ch.deposit(make_msg(0, 1, 1.0, 0.1));
+  f.ch.deposit(make_msg(0, 2, 1.0, 0.1));
   auto pr = make_recv(0, 2, 1.0);
-  ch.post(pr);
-  EXPECT_EQ(ch.wait_recv(pr).tag, 2);
-  EXPECT_EQ(ch.pending_messages(), 1u);  // the tag-1 message remains
+  f.ch.post(pr);
+  EXPECT_EQ(f.ch.wait_recv(pr).tag, 2);
+  EXPECT_EQ(f.ch.pending_messages(), 1u);  // the tag-1 message remains
 }
 
 TEST(Channel, WildcardsMatchFirstArrived) {
-  std::atomic<bool> abort{false};
-  Channel ch(&abort);
-  ch.deposit(make_msg(3, 7, 1.0, 0.1));
-  ch.deposit(make_msg(1, 9, 1.0, 0.1));
+  ChannelFixture f;
+  f.ch.deposit(make_msg(3, 7, 1.0, 0.1));
+  f.ch.deposit(make_msg(1, 9, 1.0, 0.1));
   auto pr = make_recv(kAnySource, kAnyTag, 1.0);
-  ch.post(pr);
-  const Status st = ch.wait_recv(pr);
+  f.ch.post(pr);
+  const Status st = f.ch.wait_recv(pr);
   EXPECT_EQ(st.source, 3);  // queue order
   EXPECT_EQ(st.tag, 7);
 }
 
 TEST(Channel, PostedRecvOrderRespected) {
-  std::atomic<bool> abort{false};
-  Channel ch(&abort);
+  ChannelFixture f;
   auto pr1 = make_recv(0, kAnyTag, 1.0);
   auto pr2 = make_recv(0, kAnyTag, 2.0);
-  ch.post(pr1);
-  ch.post(pr2);
-  ch.deposit(make_msg(0, 4, 0.0, 0.1));
-  EXPECT_TRUE(ch.test_recv(pr1));   // earliest posted matches first
-  EXPECT_FALSE(ch.test_recv(pr2));
+  f.ch.post(pr1);
+  f.ch.post(pr2);
+  f.ch.deposit(make_msg(0, 4, 0.0, 0.1));
+  EXPECT_TRUE(f.ch.test_recv(pr1));   // earliest posted matches first
+  EXPECT_FALSE(f.ch.test_recv(pr2));
 }
 
 TEST(Channel, PayloadCopiedOnMatch) {
-  std::atomic<bool> abort{false};
-  Channel ch(&abort);
+  ChannelFixture f;
   auto msg = make_msg(0, 0, 0.0, 0.0, false, 4);
   const std::byte payload[4] = {std::byte{1}, std::byte{2}, std::byte{3},
                                 std::byte{4}};
   msg->payload.assign(payload, payload + 4);
-  ch.deposit(msg);
+  f.ch.deposit(msg);
   std::byte out[4] = {};
   auto pr = make_recv(0, 0, 0.0);
   pr->buf = out;
   pr->max_bytes = 4;
-  ch.post(pr);
-  ch.wait_recv(pr);
+  f.ch.post(pr);
+  f.ch.wait_recv(pr);
   EXPECT_EQ(out[3], std::byte{4});
 }
 
 TEST(Channel, TruncationFlaggedAtWait) {
-  std::atomic<bool> abort{false};
-  Channel ch(&abort);
-  ch.deposit(make_msg(0, 0, 0.0, 0.0, false, /*bytes=*/128));
+  ChannelFixture f;
+  f.ch.deposit(make_msg(0, 0, 0.0, 0.0, false, /*bytes=*/128));
   auto pr = make_recv(0, 0, 0.0, /*max_bytes=*/16);
-  ch.post(pr);
-  EXPECT_THROW(ch.wait_recv(pr), MpiError);
+  f.ch.post(pr);
+  EXPECT_THROW(f.ch.wait_recv(pr), MpiError);
 }
 
 TEST(Channel, ProbeDoesNotConsume) {
-  std::atomic<bool> abort{false};
-  Channel ch(&abort);
-  ch.deposit(make_msg(2, 6, 1.0, 0.5));
-  const Status st = ch.probe(2, 6, 0.0);
+  ChannelFixture f;
+  f.ch.deposit(make_msg(2, 6, 1.0, 0.5));
+  const Status st = f.ch.probe(2, 6, 0.0);
   EXPECT_EQ(st.bytes, 8u);
   EXPECT_DOUBLE_EQ(st.t_complete, 1.5);  // availability
-  EXPECT_EQ(ch.pending_messages(), 1u);
+  EXPECT_EQ(f.ch.pending_messages(), 1u);
+}
+
+TEST(Channel, RendezvousProbeMatchesRecvDeliveryModel) {
+  // Regression: probe used to report max(t_send_start, t_probe) for a
+  // rendezvous message — earlier than any matching recv could complete,
+  // because complete_match charges the wire after the handshake. A probe
+  // at time t must report what a recv posted at t would see.
+  ChannelFixture f;
+  f.ch.deposit(make_msg(0, 1, 1.0, 0.5, /*rendezvous=*/true));
+  const Status probed = f.ch.probe(0, 1, 3.0);
+  EXPECT_DOUBLE_EQ(probed.t_complete, 3.5);  // max(1.0, 3.0) + 0.5
+
+  auto pr = make_recv(0, 1, 3.0);
+  f.ch.post(pr);
+  EXPECT_DOUBLE_EQ(f.ch.wait_recv(pr).t_complete, probed.t_complete);
+}
+
+TEST(Channel, ProbeThenRecvNeverEarlierThanDirectRecv) {
+  // Probe-then-recv completes at the recv's own delivery time, which can
+  // never undercut a direct recv posted at the probe time (rendezvous pays
+  // the wire twice — once hypothetically at probe, once for real).
+  for (const bool rendezvous : {false, true}) {
+    ChannelFixture direct;
+    direct.ch.deposit(make_msg(0, 1, 1.0, 0.5, rendezvous));
+    auto pr_direct = make_recv(0, 1, 3.0);
+    direct.ch.post(pr_direct);
+    const double t_direct = direct.ch.wait_recv(pr_direct).t_complete;
+
+    ChannelFixture probed;
+    probed.ch.deposit(make_msg(0, 1, 1.0, 0.5, rendezvous));
+    const Status st = probed.ch.probe(0, 1, 3.0);
+    auto pr = make_recv(0, 1, st.t_complete);  // recv after the probe
+    probed.ch.post(pr);
+    const double t_probed = probed.ch.wait_recv(pr).t_complete;
+
+    EXPECT_GE(t_probed, t_direct);
+    if (!rendezvous) {
+      // Eager availability is a property of the message alone, so probing
+      // first costs nothing.
+      EXPECT_DOUBLE_EQ(t_probed, t_direct);
+    }
+  }
+}
+
+TEST(Channel, ProbeAnySourceAnyTagEarliestQueuedWins) {
+  ChannelFixture f;
+  f.ch.deposit(make_msg(3, 7, 1.0, 0.1));
+  f.ch.deposit(make_msg(1, 9, 0.5, 0.1));
+  const Status st = f.ch.probe(kAnySource, kAnyTag, 2.0);
+  // Queue order decides, not timestamps: the (3, 7) message arrived first.
+  EXPECT_EQ(st.source, 3);
+  EXPECT_EQ(st.tag, 7);
+  EXPECT_EQ(f.ch.pending_messages(), 2u);
+  // A wildcard recv agrees with what the probe reported.
+  auto pr = make_recv(kAnySource, kAnyTag, 2.0);
+  f.ch.post(pr);
+  const Status recv_st = f.ch.wait_recv(pr);
+  EXPECT_EQ(recv_st.source, st.source);
+  EXPECT_EQ(recv_st.tag, st.tag);
+  EXPECT_DOUBLE_EQ(recv_st.t_complete, st.t_complete);
 }
 
 TEST(Channel, AbortWakesBlockedWaiter) {
-  std::atomic<bool> abort{false};
-  Channel ch(&abort);
+  ChannelFixture f;
   auto pr = make_recv(0, 0, 0.0);
-  ch.post(pr);
+  f.ch.post(pr);
   std::thread killer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    abort.store(true);
+    f.abort.store(true);
+    f.exec->wake_all();  // no polling: abort must wake waiters explicitly
   });
-  EXPECT_THROW(ch.wait_recv(pr), MpiError);
+  EXPECT_THROW(f.ch.wait_recv(pr), MpiError);
   killer.join();
 }
 
 TEST(Channel, AbortWakesRendezvousSender) {
-  std::atomic<bool> abort{false};
-  Channel ch(&abort);
+  ChannelFixture f;
   auto msg = make_msg(0, 0, 0.0, 1.0, /*rendezvous=*/true);
-  ch.deposit(msg);
+  f.ch.deposit(msg);
   std::thread killer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    abort.store(true);
+    f.abort.store(true);
+    f.exec->wake_all();
   });
-  EXPECT_THROW((void)ch.wait_delivered(msg), MpiError);
+  EXPECT_THROW((void)f.ch.wait_delivered(msg), MpiError);
   killer.join();
 }
 
