@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   args.add_int("steps", 1000, "timesteps");
   args.add_int("s", 48, "per-rank edge (paper: 48)");
   args.add_flag("quick", "reduced sweep for smoke testing");
+  args.add_string("json_out", "", "write BENCH_<name>.json results here");
   if (!args.parse(argc, argv)) return 1;
   int steps = static_cast<int>(args.get_int("steps"));
   int s = static_cast<int>(args.get_int("s"));
@@ -128,5 +129,15 @@ int main(int argc, char** argv) {
       "\npaper conclusion reproduced: a section whose duration stops\n"
       "decreasing immediately upper-bounds the speedup; configurations\n"
       "beyond the inflexion waste resources.\n");
+
+  BenchJson json("knl", LuleshRunOptions{}.seed);
+  for (const int t : threads) {
+    json.add("fig10_knl_inflexion/threads:" + std::to_string(t),
+             sweep[t].walltime,
+             {{"LagrangeNodal_s", *nodal.at(t)},
+              {"LagrangeElements_s", *elems.at(t)},
+              {"speedup", *measured.at(t)}});
+  }
+  if (!json.write(args.get_string("json_out"))) return 1;
   return 0;
 }

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   args.add_int("max-procs", 456, "largest process count");
   args.add_flag("csv", "emit CSV blocks after the tables");
   args.add_flag("quick", "reduced sweep for smoke testing");
+  args.add_string("json_out", "", "write BENCH_<name>.json results here");
   if (!args.parse(argc, argv)) return 1;
 
   ConvolutionSweepOptions o;
@@ -194,5 +195,20 @@ int main(int argc, char** argv) {
     all.push_back(walltime);
     std::fputs(speedup::series_csv(all).c_str(), stdout);
   }
+
+  BenchJson json("nehalem-cluster", o.seed);
+  for (const int p : ps) {
+    std::map<std::string, double> counters;
+    for (const auto& s : kSections) {
+      const auto it = sweep[p].per_process.find(s);
+      counters[s + "_per_process_s"] =
+          it != sweep[p].per_process.end() ? it->second : 0.0;
+    }
+    if (const auto sp = measured.at(p)) counters["speedup"] = *sp;
+    if (const auto b = halo_bounds.at(p)) counters["B_HALO"] = *b;
+    json.add("fig5_convolution/p:" + std::to_string(p), sweep[p].walltime,
+             counters);
+  }
+  if (!json.write(args.get_string("json_out"))) return 1;
   return 0;
 }

@@ -7,7 +7,9 @@
 #include "apps/lulesh/lulesh.hpp"
 #include "core/sections/runtime.hpp"
 #include "profiler/section_profiler.hpp"
+#include "support/provenance.hpp"
 #include "support/stats.hpp"
+#include "support/strings.hpp"
 
 namespace mpisect::bench {
 namespace {
@@ -145,6 +147,54 @@ void print_banner(const std::string& experiment, const std::string& paper_ref,
   std::printf("reproduces: %s\n", paper_ref.c_str());
   std::printf("protocol:   %s\n", protocol.c_str());
   std::printf("============================================================\n");
+}
+
+BenchJson::BenchJson(std::string machine, std::uint64_t seed)
+    : machine_(std::move(machine)), seed_(seed) {}
+
+void BenchJson::add(const std::string& name, double real_time_s,
+                    const std::map<std::string, double>& counters) {
+  entries_.push_back({name, real_time_s, counters});
+}
+
+std::string BenchJson::str() const {
+  auto prov = support::build_provenance();
+  prov.machine = machine_;
+  prov.seed = std::to_string(seed_);
+  std::string out = "{\n  \"context\": ";
+  out += support::provenance_json(prov);
+  out += ",\n  \"benchmarks\": [";
+  bool first = true;
+  for (const auto& e : entries_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"name\": \"" + e.name + "\", \"run_type\": \"iteration\"";
+    out += ", \"iterations\": 1";
+    out += ", \"real_time\": " + support::fmt_double(e.real_time, 9);
+    out += ", \"cpu_time\": " + support::fmt_double(e.real_time, 9);
+    out += ", \"time_unit\": \"s\"";
+    for (const auto& [key, value] : e.counters) {
+      out += ", \"" + key + "\": " + support::fmt_double(value, 9);
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool BenchJson::write(const std::string& path) const {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string body = str();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "bench: short write to %s\n", path.c_str());
+  else std::printf("bench: wrote %s\n", path.c_str());
+  return ok;
 }
 
 }  // namespace mpisect::bench

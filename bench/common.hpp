@@ -71,4 +71,36 @@ speedup::ScalingSeries walltime_series(const std::map<int, RunPoint>& sweep);
 void print_banner(const std::string& experiment, const std::string& paper_ref,
                   const std::string& protocol);
 
+/// Machine-readable bench results: google-benchmark-compatible JSON with an
+/// mpisect provenance context (git describe, build type, machine preset,
+/// seed). Every figure bench accepts `--json_out BENCH_<name>.json` and
+/// funnels its sweep through one of these so CI can archive and diff runs.
+///
+///   BenchJson out("knl", seed);
+///   out.add("fig10/threads:24", walltime, {{"bound", 8.16}});
+///   out.write(args.get_string("json_out"));
+class BenchJson {
+ public:
+  BenchJson(std::string machine, std::uint64_t seed);
+
+  /// Record one result row. `real_time_s` lands in google-benchmark's
+  /// real_time/cpu_time fields (time_unit "s"); counters become extra keys.
+  void add(const std::string& name, double real_time_s,
+           const std::map<std::string, double>& counters = {});
+
+  [[nodiscard]] std::string str() const;
+  /// Write to `path` ("" = no-op returning true). False + stderr on error.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    double real_time = 0.0;
+    std::map<std::string, double> counters;
+  };
+  std::string machine_;
+  std::uint64_t seed_ = 0;
+  std::vector<Entry> entries_;
+};
+
 }  // namespace mpisect::bench

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "support/csv.hpp"
+#include "support/provenance.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 
@@ -56,7 +57,7 @@ std::string render_csv(const std::vector<Diagnostic>& diags) {
         std::to_string(d.rank), std::to_string(d.comm_context),
         format_time(d.t_virtual), csv_safe(d.site), csv_safe(d.message)});
   }
-  return csv.str();
+  return support::provenance_csv_comment() + csv.str();
 }
 
 std::string render_json(const std::vector<Diagnostic>& diags) {

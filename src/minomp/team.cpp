@@ -43,8 +43,14 @@ RegionCharge Team::charge_region(double serial_seconds,
   const RegionCharge charge =
       region_time(ctx_.machine(), mem_, kernel, serial_seconds, threads_,
                   cores_avail_, ranks_on_node_, schedule_, chunks_hint);
+  const double t_before = ctx_.now();
   // Charge through Ctx::compute so the machine's compute noise applies.
   ctx_.compute(charge.total());
+  if (auto& tap = ctx_.world().trace_tap().on_omp_region) {
+    tap(ctx_, mpisim::TapOmpRegion{threads_, serial_seconds, charge.compute,
+                                   charge.imbalance, charge.overhead,
+                                   t_before});
+  }
   return charge;
 }
 

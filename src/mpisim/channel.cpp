@@ -43,32 +43,34 @@ void Channel::check_abort() const {
   }
 }
 
-void Channel::deposit(const MessagePtr& msg) {
+std::size_t Channel::deposit(const MessagePtr& msg) {
   const std::lock_guard lock(mu_);
   for (auto it = posted_.begin(); it != posted_.end(); ++it) {
     if (compatible(**it, *msg)) {
       complete_match(msg, *it);
       posted_.erase(it);
       wp_.notify_all();
-      return;
+      return 0;
     }
   }
   unexpected_.push_back(msg);
   // Wake probers waiting for a matching envelope.
   wp_.notify_all();
+  return unexpected_.size();
 }
 
-void Channel::post(const PostedRecvPtr& recv) {
+std::size_t Channel::post(const PostedRecvPtr& recv) {
   const std::lock_guard lock(mu_);
   for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
     if (compatible(*recv, **it)) {
       complete_match(*it, recv);
       unexpected_.erase(it);
       wp_.notify_all();
-      return;
+      return 0;
     }
   }
   posted_.push_back(recv);
+  return posted_.size();
 }
 
 Status Channel::wait_recv(const PostedRecvPtr& recv) {

@@ -35,12 +35,15 @@ class Channel {
   Channel& operator=(const Channel&) = delete;
 
   /// Sender side: enqueue a message, matching an already-posted receive if
-  /// one is compatible.
-  void deposit(const MessagePtr& msg);
+  /// one is compatible. Returns the number of unmatched queued messages
+  /// after the call (0 = matched immediately) — a telemetry gauge, computed
+  /// under the mutex the call already holds.
+  std::size_t deposit(const MessagePtr& msg);
 
   /// Receiver side: register a receive; matches immediately against queued
-  /// messages when possible.
-  void post(const PostedRecvPtr& recv);
+  /// messages when possible. Returns the number of unmatched posted
+  /// receives after the call (0 = matched immediately).
+  std::size_t post(const PostedRecvPtr& recv);
 
   /// Block until the posted receive completes. Throws Err::Aborted if the
   /// world aborts and Err::Truncate if the matched message was larger than

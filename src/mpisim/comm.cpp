@@ -98,10 +98,10 @@ MessagePtr raw_start_send(Ctx& ctx, CommImpl& impl, int my_rank,
   msg->wire_cost = net.transfer_cost(gsrc, gdst, bytes, seq);
   msg->rendezvous = bytes > net.eager_threshold;
   msg->t_avail = msg->t_send_start + msg->wire_cost;
-  impl.channel(dst).deposit(msg);
+  const std::size_t depth = impl.channel(dst).deposit(msg);
   if (auto& tap = ctx.world().trace_tap().on_send_post) {
     tap(ctx, TapSend{msg.get(), impl.context_id(), gsrc, gdst, tag, bytes,
-                     seq, op, t_before});
+                     seq, op, t_before, depth});
   }
   return msg;
 }
@@ -129,9 +129,9 @@ PostedRecvPtr raw_post_recv(Ctx& ctx, CommImpl& impl, int my_rank, void* buf,
   pr->t_post = ctx.now();
   pr->buf = buf;
   pr->max_bytes = max_bytes;
-  impl.channel(my_rank).post(pr);
+  const std::size_t depth = impl.channel(my_rank).post(pr);
   if (auto& tap = ctx.world().trace_tap().on_recv_post) {
-    tap(ctx, TapRecvPost{pr.get(), impl.context_id()});
+    tap(ctx, TapRecvPost{pr.get(), impl.context_id(), depth});
   }
   return pr;
 }

@@ -150,6 +150,10 @@ struct TapSend {
   std::uint64_t seq = 0;  ///< per-(comm,src,dst) wire sequence (jitter key)
   std::uint64_t op = 0;   ///< sender overhead draw key
   double t_before = 0.0;
+  /// Unmatched messages queued in the destination channel right after this
+  /// deposit (0 = matched an already-posted receive). Wall-clock-order
+  /// dependent — observability only, never a replay input.
+  std::size_t queue_depth = 0;
 };
 
 /// A send completed locally (rendezvous senders have synced to delivery).
@@ -162,6 +166,9 @@ struct TapSendWait {
 struct TapRecvPost {
   const void* token = nullptr;  ///< correlates with the matching TapRecvWait
   int comm_context = 0;
+  /// Unmatched posted receives in this rank's channel right after the post
+  /// (0 = matched a queued message). Observability only.
+  std::size_t queue_depth = 0;
 };
 
 /// A receive completed: matched message identity plus the receive-side
@@ -194,6 +201,18 @@ struct TapCommSync {
   double t_before = 0.0;  ///< caller clock at rendezvous entry
 };
 
+/// A MiniOMP worksharing region charged its modelled parallel time on the
+/// calling rank's clock. Fired by Team::charge_region after the charge; the
+/// breakdown is deterministic per rank (pure function of the model inputs).
+struct TapOmpRegion {
+  int threads = 0;
+  double serial_seconds = 0.0;  ///< serial duration being parallelized
+  double compute = 0.0;         ///< charged parallel compute time
+  double imbalance = 0.0;       ///< charged schedule-imbalance time
+  double overhead = 0.0;        ///< charged fork/join overhead
+  double t_before = 0.0;        ///< clock before the region's charges
+};
+
 /// Message-level observation points (all optional, fired when set).
 struct TraceTap {
   std::function<void(Ctx&, const TapSend&)> on_send_post;
@@ -205,6 +224,8 @@ struct TraceTap {
   /// Collective-entry CPU overhead charged with op id `op`; `t_before` is
   /// the clock before the charge.
   std::function<void(Ctx&, std::uint64_t op, double t_before)> on_coll_entry;
+  /// MiniOMP fork/join region charged on the calling rank.
+  std::function<void(Ctx&, const TapOmpRegion&)> on_omp_region;
 };
 
 }  // namespace mpisect::mpisim

@@ -69,7 +69,11 @@ void Executor::fire_quiescence() {
     const std::lock_guard lock(reg_mu_);
     handler = quiescence_;
   }
-  if (handler) handler();
+  if (handler) {
+    MPISECT_LOG_DEBUG("scheduler: quiescence — every live rank parked with "
+                      "no wake pending");
+    handler();
+  }
 }
 
 void Executor::wake_all() noexcept {
@@ -115,6 +119,8 @@ class ThreadExecutor final : public Executor {
       waiters_.clear();
       fired_ = false;
     }
+    stats_.reset();
+    MPISECT_LOG_DEBUG("scheduler: threads backend, %d ranks", n);
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(n));
     for (int r = 0; r < n; ++r) {
@@ -146,6 +152,7 @@ class ThreadExecutor final : public Executor {
     const bool tracked = tl_rank_thread;
     bool fire = false;
     if (tracked) {
+      stats_.parks.fetch_add(1, std::memory_order_relaxed);
       const std::lock_guard lock(mu_);
       ++blocked_;
       waiters_.push_back({&wp, epoch});
@@ -178,6 +185,7 @@ class ThreadExecutor final : public Executor {
     // can miss this bump (see do_wake for the argument).
     wp.epoch_.fetch_add(1, std::memory_order_relaxed);
     wp.cv_.notify_all();
+    stats_.wakes.fetch_add(1, std::memory_order_relaxed);
   }
 
  private:
@@ -333,6 +341,9 @@ class FiberExecutor final : public Executor {
       fired_ = false;
       shutdown_ = false;
     }
+    stats_.reset();
+    MPISECT_LOG_DEBUG("scheduler: cooperative backend, %d ranks on %d workers",
+                      n, std::min(workers_, std::max(1, n)));
     tasks_.clear();
     tasks_.reserve(static_cast<std::size_t>(n));
     for (int r = 0; r < n; ++r) {
@@ -384,6 +395,11 @@ class FiberExecutor final : public Executor {
   }
   [[nodiscard]] int workers() const noexcept override { return workers_; }
 
+  [[nodiscard]] std::size_t ready_depth() const noexcept override {
+    const std::lock_guard lock(mu_);
+    return ready_.size();
+  }
+
  protected:
   void do_wait(WaitPoint& wp, std::unique_lock<std::mutex>& lk) override {
     FiberTask* t = current_fiber();
@@ -404,6 +420,7 @@ class FiberExecutor final : public Executor {
     // queue, a worker resumes us here; re-acquire the owner mutex to
     // restore the caller's invariant.
     t->resumable.store(false, std::memory_order_relaxed);
+    stats_.parks.fetch_add(1, std::memory_order_relaxed);
     {
       const std::lock_guard g(mu_);
       wp.parked_.push_back(t);
@@ -471,6 +488,11 @@ class FiberExecutor final : public Executor {
           ready_.push_back(static_cast<FiberTask*>(p));
           --parked_count_;
         }
+        stats_.wakes.fetch_add(wp.parked_.size(), std::memory_order_relaxed);
+        const auto depth = static_cast<std::uint64_t>(ready_.size());
+        if (depth > stats_.max_ready.load(std::memory_order_relaxed)) {
+          stats_.max_ready.store(depth, std::memory_order_relaxed);
+        }
         wp.parked_.clear();
         woke = true;
       }
@@ -503,6 +525,7 @@ class FiberExecutor final : public Executor {
       ready_.pop_front();
       ++running_;
       lock.unlock();
+      stats_.switches.fetch_add(1, std::memory_order_relaxed);
 
       // A freshly notified task may still be mid-park on another worker
       // (its context not yet saved); wait for the handshake. The window is
@@ -561,7 +584,7 @@ class FiberExecutor final : public Executor {
 
   int workers_;
   std::size_t stack_bytes_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   std::deque<FiberTask*> ready_;

@@ -46,6 +46,25 @@ enum class ExecBackend {
 
 class WaitPoint;
 
+/// Wall-clock execution counters maintained by the backends (relaxed
+/// atomics, bumped on the park/wake paths). These describe *scheduling*,
+/// not virtual time: values vary run to run with OS interleaving and worker
+/// count, so telemetry exports them as runtime (process-scope) metrics,
+/// never as part of the deterministic virtual-time series.
+struct ExecStats {
+  std::atomic<std::uint64_t> parks{0};      ///< rank blocked on a WaitPoint
+  std::atomic<std::uint64_t> wakes{0};      ///< tasks moved back to ready
+  std::atomic<std::uint64_t> switches{0};   ///< fiber resumes (coop backend)
+  std::atomic<std::uint64_t> max_ready{0};  ///< peak ready-queue depth
+
+  void reset() noexcept {
+    parks.store(0, std::memory_order_relaxed);
+    wakes.store(0, std::memory_order_relaxed);
+    switches.store(0, std::memory_order_relaxed);
+    max_ready.store(0, std::memory_order_relaxed);
+  }
+};
+
 /// Executes the n rank bodies of one World::run and services their blocking
 /// waits. Created once per World via make_executor().
 class Executor {
@@ -73,6 +92,13 @@ class Executor {
   /// Worker threads used to execute ranks (== nranks for Threads backend).
   [[nodiscard]] virtual int workers() const noexcept = 0;
 
+  /// Wall-clock scheduling counters (see ExecStats). Reset at each run().
+  [[nodiscard]] const ExecStats& stats() const noexcept { return stats_; }
+
+  /// Ranks currently runnable but not running (cooperative backend's ready
+  /// queue; always 0 for the thread backend). Racy snapshot, telemetry only.
+  [[nodiscard]] virtual std::size_t ready_depth() const noexcept { return 0; }
+
  protected:
   Executor() = default;
   friend class WaitPoint;
@@ -90,6 +116,8 @@ class Executor {
   /// Invoke the quiescence handler (caller must hold no scheduler or owner
   /// locks — the handler typically aborts the world, which calls wake_all).
   void fire_quiescence();
+
+  ExecStats stats_;
 
  private:
   std::mutex reg_mu_;

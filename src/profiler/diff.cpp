@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "support/provenance.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 
@@ -34,7 +35,8 @@ const SnapshotEntry* ProfileSnapshot::find(std::string_view label) const {
 }
 
 std::string ProfileSnapshot::to_csv() const {
-  std::string out = "section,instances,ranks,mean_per_process,mpi_time\n";
+  std::string out = support::provenance_csv_comment();
+  out += "section,instances,ranks,mean_per_process,mpi_time\n";
   for (const auto& e : entries_) {
     out += e.label + "," + std::to_string(e.instances) + "," +
            std::to_string(e.ranks) + "," +
@@ -51,6 +53,7 @@ std::optional<ProfileSnapshot> ProfileSnapshot::from_csv(std::string_view csv,
   bool header = true;
   for (const auto& line : support::split(csv, '\n')) {
     if (support::trim(line).empty()) continue;
+    if (support::starts_with(support::trim(line), "#")) continue;
     if (header) {
       if (!support::starts_with(line, "section,")) return std::nullopt;
       header = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/provenance.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 
@@ -43,7 +44,8 @@ std::string render_text(const SectionProfiler& prof) {
 }
 
 std::string render_csv(const SectionProfiler& prof) {
-  std::string out =
+  std::string out = support::provenance_csv_comment();
+  out +=
       "section,ranks,instances,mean_per_process,pct_main,exclusive,mpi_time,"
       "mpi_calls\n";
   const double main = prof.main_time();

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "support/provenance.hpp"
 #include "support/strings.hpp"
 
 namespace mpisect::support {
@@ -47,6 +48,10 @@ bool ArgParser::parse(int argc, const char* const* argv) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg == "--version") {
+      std::fprintf(stdout, "%s\n", provenance_banner(program_).c_str());
       return false;
     }
     if (!starts_with(arg, "--")) {

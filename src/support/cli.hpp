@@ -26,7 +26,8 @@ class ArgParser {
   void add_flag(const std::string& name, const std::string& help);
 
   /// Parse `--name value`, `--name=value` and `--flag` forms. Returns false
-  /// (after printing usage) on `--help` or on a malformed/unknown argument.
+  /// (after printing usage) on `--help` or on a malformed/unknown argument,
+  /// and (after printing the provenance banner) on `--version`.
   [[nodiscard]] bool parse(int argc, const char* const* argv);
 
   [[nodiscard]] long long get_int(const std::string& name) const;

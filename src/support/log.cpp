@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+
+#include "support/strings.hpp"
 
 namespace mpisect::support {
 namespace {
@@ -10,6 +13,20 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::mutex g_mutex;
 std::string* g_capture = nullptr;
+
+/// One-shot MPISECT_LOG environment override, applied before the first
+/// level read so `MPISECT_LOG=debug ./anything` governs every subsystem
+/// that logs through this sink. Explicit set_log_level() calls later
+/// (tests) still win.
+std::once_flag g_env_once;
+
+void apply_env_level() {
+  const char* env = std::getenv("MPISECT_LOG");
+  if (env == nullptr) return;
+  if (const auto parsed = parse_log_level(env)) g_level.store(*parsed);
+}
+
+void ensure_env_applied() { std::call_once(g_env_once, apply_env_level); }
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -25,8 +42,26 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level.store(level); }
-LogLevel log_level() noexcept { return g_level.load(); }
+void set_log_level(LogLevel level) noexcept {
+  ensure_env_applied();  // consume the env override so it cannot clobber us
+  g_level.store(level);
+}
+
+LogLevel log_level() noexcept {
+  ensure_env_applied();
+  return g_level.load();
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  const std::string s = to_lower(trim(name));
+  if (s == "trace") return LogLevel::Trace;
+  if (s == "debug") return LogLevel::Debug;
+  if (s == "info") return LogLevel::Info;
+  if (s == "warn" || s == "warning") return LogLevel::Warn;
+  if (s == "error") return LogLevel::Error;
+  if (s == "off" || s == "none") return LogLevel::Off;
+  return std::nullopt;
+}
 
 void set_log_capture(std::string* sink) noexcept {
   const std::lock_guard lock(g_mutex);

@@ -3,15 +3,25 @@
 #pragma once
 
 #include <cstdarg>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace mpisect::support {
 
 enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
 
-/// Global minimum level; messages below it are dropped cheaply.
+/// Global minimum level; messages below it are dropped cheaply. The
+/// `MPISECT_LOG` environment variable (trace|debug|info|warn|error|off)
+/// sets the initial level before the first read; explicit set_log_level()
+/// calls override it.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parse a level name as accepted by MPISECT_LOG (case-insensitive;
+/// "warning" and "none" are aliases). nullopt on unknown input.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(
+    std::string_view name) noexcept;
 
 /// Redirect log output to an accumulating string buffer (for tests). Pass
 /// nullptr to restore stderr output.

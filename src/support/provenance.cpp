@@ -1,0 +1,68 @@
+#include "support/provenance.hpp"
+
+#include "support/strings.hpp"
+
+// Baked in by src/support/CMakeLists.txt; fall back so non-CMake builds
+// (clangd, quick compiles) still link.
+#ifndef MPISECT_VERSION_STRING
+#define MPISECT_VERSION_STRING "0.0.0"
+#endif
+#ifndef MPISECT_GIT_DESCRIBE
+#define MPISECT_GIT_DESCRIBE "unknown"
+#endif
+#ifndef MPISECT_BUILD_TYPE
+#define MPISECT_BUILD_TYPE "unknown"
+#endif
+#ifndef MPISECT_SANITIZE_NAME
+#define MPISECT_SANITIZE_NAME "none"
+#endif
+
+namespace mpisect::support {
+
+Provenance build_provenance() {
+  Provenance p;
+  p.version = MPISECT_VERSION_STRING;
+  p.git = MPISECT_GIT_DESCRIBE;
+  p.build_type = MPISECT_BUILD_TYPE;
+  p.sanitizer = MPISECT_SANITIZE_NAME;
+  return p;
+}
+
+std::string provenance_banner(const std::string& program) {
+  const Provenance p = build_provenance();
+  std::string out;
+  if (!program.empty()) out += program + " — ";
+  out += "mpisect " + p.version + " (" + p.git + ", " + p.build_type +
+         ", sanitizer=" + p.sanitizer + ")";
+  return out;
+}
+
+std::string provenance_csv_comment(const Provenance& p) {
+  std::string out = "# mpisect " + p.version + " git=" + p.git +
+                    " build=" + p.build_type + " sanitizer=" + p.sanitizer;
+  if (!p.machine.empty()) out += " machine=" + p.machine;
+  if (!p.seed.empty()) out += " seed=" + p.seed;
+  out += "\n";
+  return out;
+}
+
+std::string provenance_csv_comment() {
+  return provenance_csv_comment(build_provenance());
+}
+
+std::string provenance_json(const Provenance& p) {
+  std::string out = "{\"version\":\"" + json_escape(p.version) +
+                    "\",\"git\":\"" + json_escape(p.git) +
+                    "\",\"build_type\":\"" + json_escape(p.build_type) +
+                    "\",\"sanitizer\":\"" + json_escape(p.sanitizer) + "\"";
+  if (!p.machine.empty()) {
+    out += ",\"machine\":\"" + json_escape(p.machine) + "\"";
+  }
+  if (!p.seed.empty()) out += ",\"seed\":" + p.seed;
+  out += "}";
+  return out;
+}
+
+std::string provenance_json() { return provenance_json(build_provenance()); }
+
+}  // namespace mpisect::support

@@ -1,0 +1,43 @@
+// Build/run provenance shared by every CLI and exporter.
+//
+// The satellite requirement: a result file you find on disk six months
+// later must say what produced it. provenance() collects the configure-time
+// build identity (git describe, build type, sanitizer) plus optional
+// per-run fields (machine model preset, seed); the helpers render it as a
+// one-line CLI banner, a `# `-prefixed CSV comment header, or a JSON
+// object fragment. Deliberately no wall-clock timestamp: exported files
+// must stay byte-identical across same-seed runs (determinism tests
+// compare them).
+#pragma once
+
+#include <string>
+
+namespace mpisect::support {
+
+struct Provenance {
+  std::string version;    ///< project version (CMake PROJECT_VERSION)
+  std::string git;        ///< git describe --always --dirty at configure
+  std::string build_type; ///< CMAKE_BUILD_TYPE
+  std::string sanitizer;  ///< "none" | "address" | "thread"
+  std::string machine;    ///< machine model preset (when a run is attached)
+  std::string seed;       ///< run seed, decimal (when a run is attached)
+};
+
+/// Build identity of this binary (machine/seed empty).
+[[nodiscard]] Provenance build_provenance();
+
+/// One-line banner: "mpisect <version> (<git>, <build_type>, sanitizer=..)".
+/// `program` prefixes the line when non-empty.
+[[nodiscard]] std::string provenance_banner(const std::string& program = {});
+
+/// `# `-prefixed comment line(s) for CSV headers, newline-terminated.
+/// Parsers in this repo skip lines starting with '#'.
+[[nodiscard]] std::string provenance_csv_comment(const Provenance& p);
+[[nodiscard]] std::string provenance_csv_comment();
+
+/// JSON object (no trailing comma): {"version":...,"git":...,...}. Empty
+/// machine/seed fields are omitted.
+[[nodiscard]] std::string provenance_json(const Provenance& p);
+[[nodiscard]] std::string provenance_json();
+
+}  // namespace mpisect::support

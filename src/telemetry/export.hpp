@@ -1,0 +1,67 @@
+// Telemetry exporters: CSV / JSON time series, chrome-trace counter
+// tracks, and a Prometheus-style text dump of the registry.
+//
+// Every format leads with the build provenance (support::provenance):
+// CSV as `# ` comment lines, JSON under a "provenance" key, chrome-trace
+// under "otherData", Prometheus as leading comments. Deliberately no
+// wall-clock timestamps — the determinism tests compare exported bytes
+// across scheduler backends and worker counts. Rows are keyed by section
+// *name* and emitted in name order (never by interned label id, whose
+// assignment order is wall-clock dependent).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "mpisim/scheduler.hpp"
+#include "support/provenance.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/timeline.hpp"
+
+namespace mpisect::telemetry {
+
+/// Per-(window, section) rows:
+///   interval,t_start,t_end,section,ranks,total,per_process,max_rank,
+///   min_rank,imbalance,binding,bound
+/// preceded by provenance comments and a `# dt=... nranks=... dropped=...`
+/// meta comment.
+[[nodiscard]] std::string timeline_csv(const Timeline& tl,
+                                       const support::Provenance& p);
+[[nodiscard]] std::string timeline_csv(const Timeline& tl);
+
+/// Per-window counter deltas (rank-scope instruments summed over ranks):
+///   interval,t_start,counter,value  — plus mpi seconds as counter
+///   "mpi.seconds".
+[[nodiscard]] std::string counters_csv(const Timeline& tl,
+                                       const support::Provenance& p);
+[[nodiscard]] std::string counters_csv(const Timeline& tl);
+
+/// Full timeline as one JSON document (windows, sections, counters,
+/// section totals, overall Eq. 6 attribution).
+[[nodiscard]] std::string timeline_json(const Timeline& tl,
+                                        const support::Provenance& p);
+[[nodiscard]] std::string timeline_json(const Timeline& tl);
+
+/// chrome://tracing counter tracks ("ph":"C"): one track per section
+/// (busy seconds per window), one for MPI seconds, one for the windowed
+/// Eq. 6 bound. Load alongside the replay's duration events.
+[[nodiscard]] std::string chrome_counters(const Timeline& tl,
+                                          const support::Provenance& p);
+[[nodiscard]] std::string chrome_counters(const Timeline& tl);
+
+/// Prometheus text exposition of the registry's current state: scalars as
+/// `mpisect_<name>{rank="r"} v` (+ an aggregate sample without the rank
+/// label), distributions as cumulative histograms. `sched` adds the
+/// executor's wall-clock occupancy counters (process scope) when given.
+[[nodiscard]] std::string prometheus_text(const Registry& reg,
+                                          const mpisim::ExecStats* sched,
+                                          const support::Provenance& p);
+[[nodiscard]] std::string prometheus_text(
+    const Registry& reg, const mpisim::ExecStats* sched = nullptr);
+
+/// Parse a timeline_csv() document back into a Timeline (provenance and
+/// counter series are not recovered). Used by `mpisect-top --post`.
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] Timeline timeline_from_csv(std::string_view csv);
+
+}  // namespace mpisect::telemetry

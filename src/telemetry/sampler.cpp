@@ -1,0 +1,301 @@
+#include "telemetry/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mpisim/comm.hpp"
+#include "support/log.hpp"
+
+namespace mpisect::telemetry {
+
+std::shared_ptr<TelemetrySampler> TelemetrySampler::install(
+    mpisim::World& world, SamplerOptions options) {
+  if (auto existing = world.find_extension<TelemetrySampler>()) {
+    return existing;
+  }
+  auto self = std::make_shared<TelemetrySampler>(world, options);
+  world.attach_extension(self);
+  return self;
+}
+
+TelemetrySampler::TelemetrySampler(mpisim::World& world,
+                                   SamplerOptions options)
+    : world_(&world),
+      options_(options),
+      registry_(world.size()),
+      eager_threshold_(world.machine().net.eager_threshold) {
+  ranks_.reserve(static_cast<std::size_t>(world.size()));
+  for (int r = 0; r < world.size(); ++r) {
+    ranks_.push_back(std::make_unique<RankState>());
+  }
+  if (options_.standard_instruments) {
+    const Scope R = Scope::Rank;
+    std_.msgs_sent = registry_.add_counter("mpi.msgs_sent", R,
+                                           "point-to-point and collective-"
+                                           "internal messages deposited",
+                                           "messages");
+    std_.bytes_sent =
+        registry_.add_counter("mpi.bytes_sent", R, "payload bytes deposited",
+                              "bytes");
+    std_.msgs_eager = registry_.add_counter(
+        "mpi.msgs_eager", R, "messages at or under the eager threshold",
+        "messages");
+    std_.msgs_rendezvous = registry_.add_counter(
+        "mpi.msgs_rendezvous", R, "messages over the eager threshold",
+        "messages");
+    std_.recvs_posted = registry_.add_counter("mpi.recvs_posted", R,
+                                              "receives posted", "messages");
+    std_.msgs_received = registry_.add_counter(
+        "mpi.msgs_received", R, "receives completed", "messages");
+    std_.bytes_received = registry_.add_counter(
+        "mpi.bytes_received", R, "payload bytes received", "bytes");
+    std_.probes =
+        registry_.add_counter("mpi.probes", R, "probes that matched", "calls");
+    std_.coll_entries = registry_.add_counter(
+        "mpi.coll_entries", R, "collective entry overheads charged", "calls");
+    std_.mpi_calls = registry_.add_counter(
+        "mpi.calls", R, "intercepted MPI entry points", "calls");
+    std_.section_enters = registry_.add_counter(
+        "sections.enters", R, "MPIX_Section entries", "sections");
+    std_.omp_regions = registry_.add_counter(
+        "omp.regions", R, "MiniOMP worksharing regions charged", "regions");
+    std_.omp_compute_s = registry_.add_counter(
+        "omp.compute_seconds", R, "parallel compute charged", "seconds");
+    std_.omp_imbalance_s = registry_.add_counter(
+        "omp.imbalance_seconds", R, "schedule imbalance charged", "seconds");
+    std_.omp_overhead_s = registry_.add_counter(
+        "omp.overhead_seconds", R, "fork/join overhead charged", "seconds");
+    std_.send_queue_depth = registry_.add_distribution(
+        "channel.send_queue_depth", Scope::Process, 0.0, 64.0, 16,
+        "unmatched messages in the destination channel after a deposit",
+        "messages");
+    std_.recv_queue_depth = registry_.add_distribution(
+        "channel.recv_queue_depth", Scope::Process, 0.0, 64.0, 16,
+        "unmatched posted receives after a post", "messages");
+  }
+  install_hooks();
+  MPISECT_LOG_DEBUG("telemetry: sampler installed, dt=%g ring=%zu",
+                    options_.dt, options_.ring_capacity);
+}
+
+TelemetrySampler::~TelemetrySampler() { detach(); }
+
+void TelemetrySampler::detach() {
+  if (!installed_) return;
+  world_->hooks() = prev_hooks_;
+  world_->trace_tap() = prev_taps_;
+  installed_ = false;
+}
+
+void TelemetrySampler::install_hooks() {
+  auto& hooks = world_->hooks();
+  auto& taps = world_->trace_tap();
+  prev_hooks_ = hooks;
+  prev_taps_ = taps;
+
+  hooks.section_enter_cb = [this](mpisim::Ctx& ctx, mpisim::Comm& comm,
+                                  const char* label, char* data) {
+    RankState& rs = state(ctx);
+    advance(rs, ctx.rank(), ctx.now());
+    rs.stack.push_back(intern_cached(rs, label));
+    registry_.inc(std_.section_enters, ctx.rank());
+    if (prev_hooks_.section_enter_cb) {
+      prev_hooks_.section_enter_cb(ctx, comm, label, data);
+    }
+  };
+  hooks.section_leave_cb = [this](mpisim::Ctx& ctx, mpisim::Comm& comm,
+                                  const char* label, char* data) {
+    RankState& rs = state(ctx);
+    advance(rs, ctx.rank(), ctx.now());
+    if (!rs.stack.empty()) rs.stack.pop_back();
+    if (prev_hooks_.section_leave_cb) {
+      prev_hooks_.section_leave_cb(ctx, comm, label, data);
+    }
+  };
+  hooks.on_call_begin = [this](mpisim::Ctx& ctx,
+                               const mpisim::CallInfo& info) {
+    RankState& rs = state(ctx);
+    advance(rs, ctx.rank(), info.t_virtual);
+    ++rs.call_depth;
+    registry_.inc(std_.mpi_calls, ctx.rank());
+    if (prev_hooks_.on_call_begin) prev_hooks_.on_call_begin(ctx, info);
+  };
+  hooks.on_call_end = [this](mpisim::Ctx& ctx, const mpisim::CallInfo& info) {
+    RankState& rs = state(ctx);
+    advance(rs, ctx.rank(), info.t_virtual);
+    if (rs.call_depth > 0) --rs.call_depth;
+    if (prev_hooks_.on_call_end) prev_hooks_.on_call_end(ctx, info);
+  };
+
+  taps.on_send_post = [this](mpisim::Ctx& ctx, const mpisim::TapSend& tap) {
+    RankState& rs = state(ctx);
+    advance(rs, ctx.rank(), ctx.now());
+    registry_.inc(std_.msgs_sent, ctx.rank());
+    registry_.inc(std_.bytes_sent, ctx.rank(),
+                  static_cast<double>(tap.bytes));
+    registry_.inc(tap.bytes > eager_threshold_ ? std_.msgs_rendezvous
+                                               : std_.msgs_eager,
+                  ctx.rank());
+    registry_.observe(std_.send_queue_depth, -1,
+                      static_cast<double>(tap.queue_depth));
+    if (prev_taps_.on_send_post) prev_taps_.on_send_post(ctx, tap);
+  };
+  taps.on_recv_post = [this](mpisim::Ctx& ctx,
+                             const mpisim::TapRecvPost& tap) {
+    RankState& rs = state(ctx);
+    advance(rs, ctx.rank(), ctx.now());
+    registry_.inc(std_.recvs_posted, ctx.rank());
+    registry_.observe(std_.recv_queue_depth, -1,
+                      static_cast<double>(tap.queue_depth));
+    if (prev_taps_.on_recv_post) prev_taps_.on_recv_post(ctx, tap);
+  };
+  taps.on_recv_wait = [this](mpisim::Ctx& ctx,
+                             const mpisim::TapRecvWait& tap) {
+    RankState& rs = state(ctx);
+    advance(rs, ctx.rank(), ctx.now());
+    registry_.inc(std_.msgs_received, ctx.rank());
+    registry_.inc(std_.bytes_received, ctx.rank(),
+                  static_cast<double>(tap.bytes));
+    if (prev_taps_.on_recv_wait) prev_taps_.on_recv_wait(ctx, tap);
+  };
+  taps.on_probe = [this](mpisim::Ctx& ctx, const mpisim::TapProbe& tap) {
+    RankState& rs = state(ctx);
+    advance(rs, ctx.rank(), ctx.now());
+    registry_.inc(std_.probes, ctx.rank());
+    if (prev_taps_.on_probe) prev_taps_.on_probe(ctx, tap);
+  };
+  taps.on_coll_entry = [this](mpisim::Ctx& ctx, std::uint64_t op,
+                              double t_before) {
+    RankState& rs = state(ctx);
+    advance(rs, ctx.rank(), ctx.now());
+    registry_.inc(std_.coll_entries, ctx.rank());
+    if (prev_taps_.on_coll_entry) prev_taps_.on_coll_entry(ctx, op, t_before);
+  };
+  taps.on_omp_region = [this](mpisim::Ctx& ctx,
+                              const mpisim::TapOmpRegion& r) {
+    RankState& rs = state(ctx);
+    advance(rs, ctx.rank(), ctx.now());
+    registry_.inc(std_.omp_regions, ctx.rank());
+    registry_.inc(std_.omp_compute_s, ctx.rank(), r.compute);
+    registry_.inc(std_.omp_imbalance_s, ctx.rank(), r.imbalance);
+    registry_.inc(std_.omp_overhead_s, ctx.rank(), r.overhead);
+    if (prev_taps_.on_omp_region) prev_taps_.on_omp_region(ctx, r);
+  };
+  installed_ = true;
+}
+
+sections::LabelId TelemetrySampler::intern_cached(RankState& rs,
+                                                  const char* label) {
+  for (const auto& [ptr, id] : rs.label_cache) {
+    if (ptr == label) return id;
+  }
+  const sections::LabelId id = labels_.intern(label);
+  if (rs.label_cache.size() < 16) rs.label_cache.emplace_back(label, id);
+  return id;
+}
+
+void TelemetrySampler::attribute(RankState& rs, double d) {
+  if (d <= 0.0) return;
+  if (!rs.stack.empty()) {
+    std::size_t idx = rs.stack.size() - 1;
+    if (options_.phase_depth > 0) {
+      idx = std::min(idx, static_cast<std::size_t>(options_.phase_depth));
+    }
+    const sections::LabelId id = rs.stack[idx];
+    if (id >= rs.busy.size()) rs.busy.resize(id + 1, 0.0);
+    if (rs.busy[id] == 0.0) rs.touched.push_back(id);
+    rs.busy[id] += d;
+  }
+  if (rs.call_depth > 0) rs.mpi_seconds += d;
+}
+
+void TelemetrySampler::flush_window(RankState& rs, int rank) {
+  Sample s;
+  s.interval = rs.window;
+  std::sort(rs.touched.begin(), rs.touched.end());
+  s.sections.reserve(rs.touched.size());
+  for (const sections::LabelId id : rs.touched) {
+    s.sections.emplace_back(id, rs.busy[id]);
+    rs.busy[id] = 0.0;
+  }
+  rs.touched.clear();
+  s.mpi_seconds = rs.mpi_seconds;
+  registry_.snapshot_rank(rank, rs.scratch);
+  s.deltas.resize(rs.scratch.size());
+  for (std::size_t i = 0; i < rs.scratch.size(); ++i) {
+    s.deltas[i] = rs.scratch[i] - rs.last_snapshot[i];
+  }
+  rs.last_snapshot = rs.scratch;
+  rs.mpi_seconds = 0.0;
+
+  const std::lock_guard lock(rs.mu);
+  rs.ring.push_back(std::move(s));
+  if (rs.ring.size() > options_.ring_capacity) {
+    rs.ring.pop_front();
+    ++rs.dropped;
+  }
+}
+
+void TelemetrySampler::advance(RankState& rs, int rank, double t) {
+  if (!rs.active) return;
+  if (t < rs.t_last) t = rs.t_last;  // defensive: clocks are monotone
+  const double dt = options_.dt;
+  if (dt <= 0.0) {
+    rs.t_last = t;
+    return;
+  }
+  while (true) {
+    const double wend = static_cast<double>(rs.window + 1) * dt;
+    if (t < wend) break;
+    attribute(rs, wend - rs.t_last);
+    rs.t_last = wend;
+    flush_window(rs, rank);
+    ++rs.window;
+  }
+  attribute(rs, t - rs.t_last);
+  rs.t_last = t;
+}
+
+void TelemetrySampler::on_rank_init(mpisim::Ctx& ctx) {
+  RankState& rs = state(ctx);
+  rs.t_last = ctx.now();
+  rs.window =
+      options_.dt > 0.0
+          ? static_cast<std::uint64_t>(std::floor(rs.t_last / options_.dt))
+          : 0;
+  rs.stack.clear();
+  rs.call_depth = 0;
+  rs.busy.clear();
+  rs.touched.clear();
+  rs.mpi_seconds = 0.0;
+  registry_.snapshot_rank(ctx.rank(), rs.last_snapshot);
+  {
+    const std::lock_guard lock(rs.mu);
+    rs.ring.clear();
+    rs.dropped = 0;
+  }
+  rs.active = true;
+}
+
+void TelemetrySampler::on_rank_finalize(mpisim::Ctx& ctx) {
+  RankState& rs = state(ctx);
+  advance(rs, ctx.rank(), ctx.now());
+  // Flush the trailing partial window so the series covers the whole run.
+  if (options_.dt > 0.0) flush_window(rs, ctx.rank());
+  rs.active = false;
+}
+
+std::vector<TelemetrySampler::Sample> TelemetrySampler::samples(
+    int rank) const {
+  const RankState& rs = *ranks_.at(static_cast<std::size_t>(rank));
+  const std::lock_guard lock(rs.mu);
+  return {rs.ring.begin(), rs.ring.end()};
+}
+
+std::uint64_t TelemetrySampler::dropped(int rank) const {
+  const RankState& rs = *ranks_.at(static_cast<std::size_t>(rank));
+  const std::lock_guard lock(rs.mu);
+  return rs.dropped;
+}
+
+}  // namespace mpisect::telemetry

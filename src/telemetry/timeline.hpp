@@ -1,0 +1,103 @@
+// Timeline reduction — per-interval Fig. 3 metrics and Eq. 6 attribution.
+//
+// The sampler yields per-rank rings of per-window section occupancy; this
+// layer merges them into one cross-rank time series. Per window it derives
+// the Fig. 3-flavoured statistics (total / mean-per-process / min / max /
+// imbalance across ranks) and the paper's Eq. 6 speedup-bound attribution
+// evaluated window-locally:
+//
+//   bound(w) = sum_j f_j(w) / max_i f_i(w)/p        (Eq. 6, windowed)
+//
+// where f_j(w) is section j's busy time summed over ranks inside window w
+// (the numerator plays the role of the sequential budget: busy time that a
+// perfectly parallel execution would spread over p ranks) and the binding
+// section is the argmax of mean-per-process time — exactly the section
+// whose bound B_i is minimal. MPI_MAIN is excluded from attribution by
+// default: it is the enclosing catch-all, not a phase.
+//
+// Windows are keyed and sorted by section *name*, never by interned id —
+// label-id assignment order depends on thread interleaving, names do not,
+// so exports built from a Timeline are byte-stable across backends.
+//
+// timeline_from_replay() builds the same structure offline from a replayed
+// .mpst section timeline (telemetry depends on trace, never the reverse),
+// so a recorded run can be re-binned at any Δt without re-running the app.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "telemetry/sampler.hpp"
+#include "trace/replay.hpp"
+
+namespace mpisect::telemetry {
+
+struct TimelineOptions {
+  /// Sections excluded from binding/bound attribution (still reported in
+  /// the per-window series).
+  std::vector<std::string> exclude = {"MPI_MAIN"};
+  /// Keep windows in which nothing happened (uniform time base).
+  bool keep_empty = false;
+};
+
+/// One section's cross-rank statistics inside one window.
+struct SectionWindow {
+  std::string label;
+  int ranks = 0;            ///< ranks with nonzero busy time in the window
+  double total = 0.0;       ///< busy seconds summed over ranks
+  double per_process = 0.0; ///< total / nranks (Eq. 6 denominator)
+  double max_rank = 0.0;
+  double min_rank = 0.0;    ///< min among *active* ranks
+  double imbalance = 0.0;   ///< max_rank - per_process
+};
+
+struct Window {
+  std::uint64_t interval = 0;
+  double t_start = 0.0;
+  double t_end = 0.0;
+  std::vector<SectionWindow> sections;  ///< sorted by label name
+  double busy_total = 0.0;  ///< sum over sections of total (Eq. 6 numerator)
+  double mpi_total = 0.0;   ///< MPI-call seconds summed over ranks
+  /// Counter deltas summed over ranks, by Timeline::counter_names order.
+  std::vector<double> counters;
+  /// Eq. 6 attribution: the window's binding section and its bound
+  /// (empty / +inf when no non-excluded section was active).
+  std::string binding;
+  double bound = std::numeric_limits<double>::infinity();
+};
+
+struct Timeline {
+  double dt = 0.0;
+  int nranks = 0;
+  std::vector<std::string> counter_names;  ///< rank-scope instrument names
+  std::vector<Window> windows;             ///< sorted by interval
+  std::uint64_t dropped = 0;  ///< ring evictions summed over ranks
+
+  /// Whole-run per-section aggregation (sums over windows), name-sorted.
+  struct SectionTotal {
+    std::string label;
+    double total = 0.0;
+    double per_process = 0.0;
+    double max_window_imbalance = 0.0;
+  };
+  std::vector<SectionTotal> section_totals;  ///< filled at build time
+  /// Whole-run binding section per Eq. 6 (argmax per-process total among
+  /// non-excluded sections) and its bound.
+  std::string binding;
+  double bound = std::numeric_limits<double>::infinity();
+};
+
+/// Reduce the sampler's per-rank rings into a cross-rank timeline.
+[[nodiscard]] Timeline build_timeline(const TelemetrySampler& sampler,
+                                      const TimelineOptions& options = {});
+
+/// Re-bin a replayed trace's section timeline at interval `dt` (requires
+/// replay with ReplayOptions::timeline). No counters/MPI attribution —
+/// the trace skeleton carries section boundaries only.
+[[nodiscard]] Timeline timeline_from_replay(const trace::ReplayResult& res,
+                                            double dt,
+                                            const TimelineOptions& options = {});
+
+}  // namespace mpisect::telemetry

@@ -217,6 +217,7 @@ std::vector<std::uint8_t> TraceFile::encode() const {
   w.u8(header.gather_algo);
   w.f64(header.start_skew_sigma);
   w.varint(static_cast<std::uint64_t>(header.nranks));
+  w.f64(header.telemetry_dt);
   encode_machine(w, header.machine);
   w.varint(labels.size());
   for (const auto& l : labels) w.str(l);
@@ -254,9 +255,9 @@ TraceFile TraceFile::decode(std::span<const std::uint8_t> data) {
     throw TraceError("not an mpisect trace (bad magic)");
   }
   const std::uint32_t version = r.u32le();
-  if (version != kTraceVersion) {
+  if (version < 1 || version > kTraceVersion) {
     throw TraceError("unsupported trace version " + std::to_string(version) +
-                     " (expected " + std::to_string(kTraceVersion) + ")");
+                     " (expected <= " + std::to_string(kTraceVersion) + ")");
   }
   TraceFile tf;
   tf.header.app = r.str();
@@ -268,6 +269,7 @@ TraceFile TraceFile::decode(std::span<const std::uint8_t> data) {
   if (tf.header.nranks < 0 || tf.header.nranks > (1 << 24)) {
     throw TraceError("corrupt trace: implausible rank count");
   }
+  if (version >= 2) tf.header.telemetry_dt = r.f64();
   tf.header.machine = decode_machine(r);
   const std::uint64_t nlabels = r.varint();
   tf.labels.reserve(static_cast<std::size_t>(nlabels));

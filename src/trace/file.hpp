@@ -26,7 +26,9 @@
 namespace mpisect::trace {
 
 inline constexpr std::uint32_t kTraceMagic = 0x5453504D;  // "MPST" LE
-inline constexpr std::uint32_t kTraceVersion = 1;
+/// v1: original layout. v2 appends the telemetry sampling interval to the
+/// header; decode still accepts v1 (telemetry_dt = 0, "not recorded").
+inline constexpr std::uint32_t kTraceVersion = 2;
 
 struct TraceHeader {
   std::string app;  ///< free-form provenance (app + parameters)
@@ -35,6 +37,10 @@ struct TraceHeader {
   std::uint8_t gather_algo = 0;
   double start_skew_sigma = 0.0;
   int nranks = 0;
+  /// Virtual-time telemetry sampling interval the run was observed with
+  /// (seconds); 0 = no interval recorded. A replay uses it to re-derive the
+  /// sampler's timeline under a different machine model (v2 header field).
+  double telemetry_dt = 0.0;
   mpisim::MachineModel machine;
 };
 

@@ -298,6 +298,7 @@ TraceFile TraceRecorder::finish() const {
       static_cast<std::uint8_t>(world_->options().gather_algo);
   tf.header.start_skew_sigma = world_->options().start_skew_sigma;
   tf.header.nranks = world_->size();
+  tf.header.telemetry_dt = options_.telemetry_dt;
   tf.header.machine = world_->machine();
 
   // Remap label ids to lexicographic order: interning order depends on

@@ -36,6 +36,11 @@ struct RecorderOptions {
   /// Forward events to previously installed hook/tap owners (tool
   /// stacking). Disable only in isolation tests.
   bool chain_hooks = true;
+  /// Telemetry sampling interval hint stamped into the trace header
+  /// (seconds of virtual time); 0 = none. Purely metadata — never set by
+  /// the sampler itself, so installing telemetry leaves trace bytes
+  /// untouched. Replay uses it to re-derive the sampler's timeline.
+  double telemetry_dt = 0.0;
 };
 
 class TraceRecorder : public mpisim::Extension {

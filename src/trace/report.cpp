@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/speedup/partial_bound.hpp"
+#include "support/provenance.hpp"
 #include "support/strings.hpp"
 
 namespace mpisect::trace {
@@ -58,7 +59,8 @@ std::string render_text(const ReplayResult& res,
 }
 
 std::string render_csv(const ReplayResult& res, std::optional<double> t_seq) {
-  std::string out =
+  std::string out = support::provenance_csv_comment();
+  out +=
       "section,comm,ranks,instances,mean_per_process,total_inclusive,"
       "total_span,mean_span,total_imbalance,max_entry_imb,bound\n";
   for (const auto& s : res.sections) {
@@ -76,6 +78,7 @@ std::string render_csv(const ReplayResult& res, std::optional<double> t_seq) {
 std::string render_json(const ReplayResult& res,
                         std::optional<double> t_seq) {
   std::string out = "{\n";
+  out += "  \"provenance\": " + support::provenance_json() + ",\n";
   out += fmt("  \"nranks\": %d,\n  \"makespan\": %.9g,\n", res.nranks,
              res.makespan);
   out += fmt("  \"events\": %llu,\n  \"messages\": %llu,\n"
@@ -121,7 +124,8 @@ std::string render_chrome(const ReplayResult& res) {
 }
 
 std::string sweep_csv_header() {
-  return "machine,latency_scale,bandwidth_scale,compute_scale,makespan,"
+  return support::provenance_csv_comment() +
+         "machine,latency_scale,bandwidth_scale,compute_scale,makespan,"
          "section,comm,instances,mean_per_process,total_inclusive,"
          "total_span,total_imbalance,bound\n";
 }

@@ -22,6 +22,9 @@
 #include "mpisim/runtime.hpp"
 #include "mpisim/scheduler.hpp"
 #include "profiler/section_profiler.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/timeline.hpp"
 #include "trace/recorder.hpp"
 
 namespace {
@@ -58,6 +61,7 @@ struct ConvRun {
   std::vector<double> final_times;
   std::vector<profiler::SectionProfiler::SectionTotals> profile;
   std::vector<std::uint8_t> trace_bytes;
+  std::string telemetry_csv;
 };
 
 ConvRun run_convolution(ExecBackend exec, int workers = 0, int ranks = 8) {
@@ -65,9 +69,17 @@ ConvRun run_convolution(ExecBackend exec, int workers = 0, int ranks = 8) {
   sections::SectionRuntime::install(world);
   profiler::SectionProfiler prof(world);
   auto rec = trace::TraceRecorder::install(world, {.app = "convolution"});
+  // All four PMPI tools stacked; the sampled series must be a pure
+  // function of per-rank program order, like everything else compared
+  // below.
+  telemetry::SamplerOptions sopts;
+  sopts.dt = 1e-3;
+  auto sampler = telemetry::TelemetrySampler::install(world, sopts);
   apps::conv::ConvolutionApp app(conv_config(10));
   world.run(std::ref(app));
-  return ConvRun{world.final_times(), prof.totals(), rec->finish().encode()};
+  const telemetry::Timeline tl = telemetry::build_timeline(*sampler);
+  return ConvRun{world.final_times(), prof.totals(), rec->finish().encode(),
+                 telemetry::timeline_csv(tl)};
 }
 
 TEST(Scheduler, DefaultBackendIsCooperative) {
@@ -101,6 +113,8 @@ TEST(Scheduler, DifferentialConvolutionBitIdentical) {
 
   EXPECT_EQ(coop.trace_bytes, thr.trace_bytes)
       << "recorded .mpst bytes must not depend on the scheduler";
+  EXPECT_EQ(coop.telemetry_csv, thr.telemetry_csv)
+      << "exported telemetry series must not depend on the scheduler";
 }
 
 TEST(Scheduler, DifferentialLuleshBitIdentical) {
@@ -130,6 +144,7 @@ TEST(Scheduler, WorkerCountDoesNotAffectVirtualTime) {
   const ConvRun four = run_convolution(ExecBackend::Cooperative, 4);
   EXPECT_EQ(one.final_times, four.final_times);
   EXPECT_EQ(one.trace_bytes, four.trace_bytes);
+  EXPECT_EQ(one.telemetry_csv, four.telemetry_csv);
 }
 
 // Paper-scale world on a fixed worker pool: 256 ranks was impractical with

@@ -23,6 +23,8 @@
 #include "apps/lulesh/lulesh.hpp"
 #include "core/sections/runtime.hpp"
 #include "support/cli.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/timeline.hpp"
 #include "trace/recorder.hpp"
 #include "trace/replay.hpp"
 #include "trace/report.hpp"
@@ -163,6 +165,9 @@ int cmd_record(int argc, const char* const* argv) {
   args.add_int("size", 0, "problem size (0 = default)");
   args.add_int("seed", 0x5EED, "world seed");
   args.add_string("out", "trace.mpst", "output trace file");
+  args.add_double("telemetry-dt", 0.0,
+                  "telemetry sampling interval to stamp into the trace "
+                  "header (0 = none); consumed by the timeline subcommand");
   if (!args.parse(argc, argv)) return 1;
 
   const std::string app_name = args.get_string("app");
@@ -180,7 +185,9 @@ int cmd_record(int argc, const char* const* argv) {
 
   std::string provenance = app_name + " --ranks " + std::to_string(ranks) +
                            " --steps " + std::to_string(args.get_int("steps"));
-  auto rec = trace::TraceRecorder::install(world, {.app = provenance});
+  auto rec = trace::TraceRecorder::install(
+      world,
+      {.app = provenance, .telemetry_dt = args.get_double("telemetry-dt")});
 
   if (app_name == "convolution") {
     apps::conv::ConvolutionConfig cfg;
@@ -259,6 +266,55 @@ int cmd_replay(int argc, const char* const* argv) {
     text = trace::render_json(res, t_seq);
   } else if (format == "chrome") {
     text = trace::render_chrome(res);
+  } else {
+    std::fprintf(stderr, "mpisect-replay: unknown format '%s'\n",
+                 format.c_str());
+    return 1;
+  }
+  return emit(text, args.get_string("out")) ? 0 : 1;
+}
+
+int cmd_timeline(int argc, const char* const* argv) {
+  support::ArgParser args(
+      "mpisect-replay timeline",
+      "Re-bin a trace's section timeline into telemetry windows (Eq. 6 "
+      "attribution per interval)");
+  add_whatif_options(args);
+  args.add_double("dt", 0.0,
+                  "window width in virtual seconds (0 = the trace header's "
+                  "telemetry-dt, else makespan/100)");
+  args.add_string("format", "csv", "csv | json | chrome");
+  args.add_string("out", "", "output file ('' = stdout)");
+  if (!args.parse(argc, argv)) return 1;
+
+  const trace::TraceFile tf = trace::TraceFile::load(args.get_string("trace"));
+  const WhatIf w = resolve_machine(tf, args);
+  trace::ReplayOptions ropts;
+  ropts.compute_scale = w.compute_scale;
+  ropts.timeline = true;
+  const trace::ReplayResult res = trace::replay(tf, w.machine, ropts);
+
+  double dt = args.get_double("dt");
+  if (dt <= 0) dt = tf.header.telemetry_dt;
+  if (dt <= 0) dt = res.makespan / 100.0;
+  if (dt <= 0) {
+    std::fprintf(stderr, "mpisect-replay: empty trace, nothing to bin\n");
+    return 1;
+  }
+  const telemetry::Timeline tl = telemetry::timeline_from_replay(res, dt);
+
+  support::Provenance prov = support::build_provenance();
+  prov.machine = w.machine.name;
+  prov.seed = std::to_string(tf.header.seed);
+
+  const std::string format = args.get_string("format");
+  std::string text;
+  if (format == "csv") {
+    text = telemetry::timeline_csv(tl, prov);
+  } else if (format == "json") {
+    text = telemetry::timeline_json(tl, prov);
+  } else if (format == "chrome") {
+    text = telemetry::chrome_counters(tl, prov);
   } else {
     std::fprintf(stderr, "mpisect-replay: unknown format '%s'\n",
                  format.c_str());
@@ -375,6 +431,7 @@ int main(int argc, char** argv) {
     if (cmd == "replay") return cmd_replay(argc - 1, argv + 1);
     if (cmd == "info") return cmd_info(argc - 1, argv + 1);
     if (cmd == "sweep") return cmd_sweep(argc - 1, argv + 1);
+    if (cmd == "timeline") return cmd_timeline(argc - 1, argv + 1);
   } catch (const trace::TraceError& err) {
     std::fprintf(stderr, "mpisect-replay: %s\n", err.what());
     return 1;
@@ -383,7 +440,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr,
-               "usage: mpisect-replay <record|replay|info|sweep> [options]\n"
+               "usage: mpisect-replay <record|replay|info|sweep|timeline> "
+               "[options]\n"
                "       mpisect-replay <subcommand> --help\n");
   return 1;
 }
