@@ -1,0 +1,86 @@
+// Ablation — fault injection on the Fig. 5 convolution: rerun the paper's
+// communication-bound workload under increasing message-drop rates and a
+// straggler, showing how the resilient transport's retransmissions inflate
+// HALO (the Eq. 6 binding section) while the run still completes, and what
+// a deterministic straggler does to the same bound.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common.hpp"
+#include "mpisim/faults/plan.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpisect;
+  using namespace mpisect::bench;
+  support::ArgParser args("bench_ablation_faults",
+                          "Drop-rate and straggler sweep on the Fig. 5 "
+                          "convolution");
+  args.add_int("ranks", 64, "MPI processes");
+  args.add_int("steps", 200, "convolution steps");
+  args.add_flag("quick", "reduced sweep");
+  if (!args.parse(argc, argv)) return 1;
+  const bool quick = args.get_flag("quick");
+  const int ranks = static_cast<int>(args.get_int("ranks"));
+  const int steps = quick ? 50 : static_cast<int>(args.get_int("steps"));
+  const std::vector<double> rates =
+      quick ? std::vector<double>{0.0, 0.05}
+            : std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.1};
+
+  print_banner("Ablation — deterministic fault injection",
+               "resilient transport under message drops (retransmit + "
+               "backoff)",
+               std::to_string(ranks) + " ranks, " + std::to_string(steps) +
+                   " steps, Nehalem model");
+
+  support::TextTable table;
+  table.set_header({"drop rate", "walltime (s)", "HALO total (s)",
+                    "HALO/proc (s)", "slowdown"});
+  double t0 = 0.0;
+  for (const double rate : rates) {
+    ConvolutionSweepOptions o;
+    o.steps = steps;
+    o.reps = 1;
+    if (rate > 0.0) {
+      char spec[32];
+      std::snprintf(spec, sizeof spec, "drop:p=%g", rate);
+      o.faults = mpisim::faults::FaultPlan::parse(spec);
+    }
+    const RunPoint pt = run_convolution_point(ranks, o);
+    if (rate == 0.0) t0 = pt.walltime;
+    table.add_row({support::fmt_double(rate, 2),
+                   support::fmt_double(pt.walltime, 2),
+                   support::fmt_double(pt.total.count("HALO")
+                                           ? pt.total.at("HALO")
+                                           : 0.0,
+                                       2),
+                   support::fmt_double(pt.per_process.count("HALO")
+                                           ? pt.per_process.at("HALO")
+                                           : 0.0,
+                                       3),
+                   support::fmt_double(t0 > 0 ? pt.walltime / t0 : 1.0, 3)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Straggler: one rank loses 50 ms mid-run; the halo stencil spreads the
+  // delay to its neighbours and the whole world pays once per sweep.
+  ConvolutionSweepOptions o;
+  o.steps = steps;
+  o.reps = 1;
+  o.faults = mpisim::faults::FaultPlan::parse("stall:rank=1,at=0.01,for=0.05");
+  const RunPoint stalled = run_convolution_point(ranks, o);
+  std::printf(
+      "\nstraggler (rank 1 stalls 50 ms at t=10 ms): walltime %s s "
+      "(+%.0f ms over fault-free)\n",
+      support::fmt_double(stalled.walltime, 2).c_str(),
+      (stalled.walltime - t0) * 1e3);
+  std::printf(
+      "\nreading: every drawn drop costs one retransmit backoff on the\n"
+      "wire, so HALO absorbs the injected loss and the Eq. 6 bound\n"
+      "tightens smoothly with the drop rate — the run never hangs, and the\n"
+      "whole sweep is a pure function of (plan, seed).\n");
+  return 0;
+}

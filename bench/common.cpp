@@ -21,10 +21,12 @@ void accumulate_run(int nranks, const mpisim::MachineModel& machine,
                     std::map<std::string, support::RunningStats>& per_process,
                     std::map<std::string, support::RunningStats>& total,
                     std::map<std::string, support::RunningStats>& mpi_time,
-                    support::RunningStats& walltime) {
+                    support::RunningStats& walltime,
+                    const mpisim::faults::FaultPlan& faults = {}) {
   mpisim::WorldOptions opts;
   opts.machine = machine;
   opts.seed = seed;
+  opts.faults = faults;
   mpisim::World world(nranks, opts);
   sections::SectionRuntime::install(world);
   profiler::SectionProfiler prof(world);
@@ -72,7 +74,7 @@ RunPoint run_convolution_point(int nranks, const ConvolutionSweepOptions& o) {
           cfg.full_fidelity = false;
           return std::make_unique<apps::conv::ConvolutionApp>(cfg);
         },
-        pp, tot, mpi, wall);
+        pp, tot, mpi, wall, o.faults);
   }
   return finalize(pp, tot, mpi, wall);
 }

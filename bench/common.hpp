@@ -14,6 +14,7 @@
 #include "core/speedup/partial_bound.hpp"
 #include "core/speedup/series.hpp"
 #include "minomp/schedule.hpp"
+#include "mpisim/faults/plan.hpp"
 #include "mpisim/machine.hpp"
 
 namespace mpisect::bench {
@@ -37,6 +38,8 @@ struct ConvolutionSweepOptions {
   int reps = 3;        ///< averaged repetitions (paper used 20)
   std::uint64_t seed = 0xC0FFEE;
   mpisim::MachineModel machine = mpisim::MachineModel::nehalem_cluster();
+  /// Deterministic fault plan applied to every repetition (empty = none).
+  mpisim::faults::FaultPlan faults;
 };
 
 /// Run the Modeled-fidelity convolution benchmark at one rank count,

@@ -5,6 +5,7 @@
 
 #include "checker/report.hpp"
 #include "mpisim/comm.hpp"
+#include "mpisim/faults/engine.hpp"
 
 namespace mpisect::checker {
 
@@ -26,7 +27,8 @@ MpiChecker::MpiChecker(mpisim::World& world, CheckerOptions options)
       resources_(world.size()),
       consistency_(world.size()),
       lint_(world.size()) {
-  install_hooks();
+  world_->tool_stack().attach(this, mpisim::hooks::kOrderChecker);
+  attached_ = true;
   if (options_.deadlock_detection) {
     world_->set_deadlock_handler([this] { on_quiescence(); });
     handler_installed_ = true;
@@ -35,69 +37,52 @@ MpiChecker::MpiChecker(mpisim::World& world, CheckerOptions options)
 
 MpiChecker::~MpiChecker() { detach(); }
 
-void MpiChecker::install_hooks() {
-  prev_ = world_->hooks();
-  mpisim::HookTable table;
-  const bool chain = options_.chain_hooks;
-
-  table.on_call_begin = [this, chain](mpisim::Ctx& ctx, const CallInfo& info) {
-    if (chain && prev_.on_call_begin) prev_.on_call_begin(ctx, info);
-    handle_begin(ctx, info);
-  };
-  table.on_call_end = [this, chain](mpisim::Ctx& ctx, const CallInfo& info) {
-    handle_end(ctx, info);
-    if (chain && prev_.on_call_end) prev_.on_call_end(ctx, info);
-  };
-  table.section_enter_cb = [this, chain](mpisim::Ctx& ctx, mpisim::Comm& comm,
-                                         const char* label, char* data) {
-    lint_.on_event(ctx.rank(), comm.context_id(), /*enter=*/true, label,
-                   ctx.now());
-    if (chain && prev_.section_enter_cb) {
-      prev_.section_enter_cb(ctx, comm, label, data);
-    }
-  };
-  table.section_leave_cb = [this, chain](mpisim::Ctx& ctx, mpisim::Comm& comm,
-                                         const char* label, char* data) {
-    lint_.on_event(ctx.rank(), comm.context_id(), /*enter=*/false, label,
-                   ctx.now());
-    if (chain && prev_.section_leave_cb) {
-      prev_.section_leave_cb(ctx, comm, label, data);
-    }
-  };
-  table.section_error_cb = [this, chain](mpisim::Ctx& ctx, mpisim::Comm& comm,
-                                         const char* label, int code) {
-    lint_.on_error(ctx.rank(), label, code, ctx.now(), sink_);
-    if (chain && prev_.section_error_cb) {
-      prev_.section_error_cb(ctx, comm, label, code);
-    }
-  };
-  table.on_comm_create = [this, chain](mpisim::Ctx& ctx,
-                                       const mpisim::CommLifecycle& info) {
-    comms_.on_create(info, ctx.now());
-    if (chain && prev_.on_comm_create) prev_.on_comm_create(ctx, info);
-  };
-  table.on_comm_free = [this, chain](mpisim::Ctx& ctx, int context) {
-    comms_.on_free(ctx.rank(), context);
-    if (chain && prev_.on_comm_free) prev_.on_comm_free(ctx, context);
-  };
-  table.on_pcontrol = [this, chain](mpisim::Ctx& ctx, int level,
-                                    const char* label) {
-    if (chain && prev_.on_pcontrol) prev_.on_pcontrol(ctx, level, label);
-  };
-
-  world_->hooks() = std::move(table);
-  hooks_installed_ = true;
-}
-
 void MpiChecker::detach() {
   if (handler_installed_) {
     world_->set_deadlock_handler(nullptr);
     handler_installed_ = false;
   }
-  if (hooks_installed_) {
-    world_->hooks() = prev_;
-    hooks_installed_ = false;
+  if (attached_) {
+    world_->tool_stack().detach(this);
+    attached_ = false;
   }
+}
+
+void MpiChecker::on_call_begin(mpisim::Ctx& ctx, const CallInfo& info) {
+  handle_begin(ctx, info);
+}
+
+void MpiChecker::on_call_end(mpisim::Ctx& ctx, const CallInfo& info) {
+  handle_end(ctx, info);
+}
+
+void MpiChecker::on_section_enter(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                                  const char* label, char* data) {
+  (void)data;
+  lint_.on_event(ctx.rank(), comm.context_id(), /*enter=*/true, label,
+                 ctx.now());
+}
+
+void MpiChecker::on_section_leave(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                                  const char* label, char* data) {
+  (void)data;
+  lint_.on_event(ctx.rank(), comm.context_id(), /*enter=*/false, label,
+                 ctx.now());
+}
+
+void MpiChecker::on_section_error(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                                  const char* label, int code) {
+  (void)comm;
+  lint_.on_error(ctx.rank(), label, code, ctx.now(), sink_);
+}
+
+void MpiChecker::on_comm_create(mpisim::Ctx& ctx,
+                                const mpisim::CommLifecycle& info) {
+  comms_.on_create(info, ctx.now());
+}
+
+void MpiChecker::on_comm_free(mpisim::Ctx& ctx, int context) {
+  comms_.on_free(ctx.rank(), context);
 }
 
 int MpiChecker::peer_world(int context, int comm_rank) const {
@@ -194,6 +179,55 @@ void MpiChecker::on_quiescence() {
   // The scheduler fires at most once per run, but an abort already in
   // flight can race the proof — don't double-report.
   if (deadlock_reported_.load() || world_->aborted()) return;
+
+  // A hang under an active fault plan whose kills or message losses fired
+  // is the plan working as injected, not a native deadlock — classify it
+  // as such, naming the faulting ranks, and skip the cycle analysis.
+  if (auto* fe = world_->fault_engine();
+      fe != nullptr && (fe->any_kill_fired() || fe->any_loss())) {
+    const auto states = waitgraph_.snapshot();
+    double t_max = 0.0;
+    std::string blocked;
+    for (std::size_t r = 0; r < states.size(); ++r) {
+      const auto& st = states[r];
+      if (st.phase != RankWaitState::Phase::Blocked) continue;
+      if (!blocked.empty()) blocked += "; ";
+      blocked += "rank " + std::to_string(r) + " blocked in " +
+                 mpisim::mpi_call_name(st.call);
+      t_max = st.t_virtual > t_max ? st.t_virtual : t_max;
+    }
+    for (const int r : fe->killed_ranks()) {
+      Diagnostic d;
+      d.category = Category::InjectedFault;
+      d.severity = Severity::Error;
+      d.rank = r;
+      d.t_virtual = fe->counters(r).kill_time;
+      d.site = "fault plan";
+      d.message = "rank " + std::to_string(r) +
+                  " was killed by the fault plan at t=" +
+                  std::to_string(fe->counters(r).kill_time) +
+                  "; surviving ranks blocked waiting on it" +
+                  (blocked.empty() ? std::string() : " (" + blocked + ")");
+      sink_.emit(std::move(d));
+    }
+    if (fe->killed_ranks().empty()) {
+      Diagnostic d;
+      d.category = Category::InjectedFault;
+      d.severity = Severity::Error;
+      d.t_virtual = t_max;
+      d.site = "fault plan";
+      d.message =
+          "world quiescent after injected message loss (retransmit budget "
+          "exhausted): " +
+          fe->summary() +
+          (blocked.empty() ? std::string() : " (" + blocked + ")");
+      sink_.emit(std::move(d));
+    }
+    deadlock_reported_.store(true);
+    world_->abort();  // wake the blocked ranks with Err::Aborted
+    return;
+  }
+
   report_deadlock(waitgraph_.snapshot());
 }
 
@@ -287,8 +321,12 @@ void MpiChecker::analyze() {
   if (analyzed_.exchange(true)) return;
   // An aborted run (deadlock, error unwind) truncates every rank's log at
   // an arbitrary point — the passes keep their prefix comparisons but drop
-  // the "never happened" classes, which would all fire spuriously.
-  const bool aborted = world_->aborted();
+  // the "never happened" classes, which would all fire spuriously. A rank
+  // killed by the fault plan truncates its own log the same way even when
+  // the world finished gracefully.
+  const auto* fe = world_->fault_engine();
+  const bool aborted =
+      world_->aborted() || (fe != nullptr && fe->any_kill_fired());
   resources_.analyze(comms_, sink_, aborted);
   consistency_.analyze(comms_, sink_, aborted);
   lint_.analyze(comms_, sink_, aborted);

@@ -1,10 +1,10 @@
 // mpicheck — a MUST-style MPI correctness analyzer.
 //
 // MpiChecker attaches to a World exactly the way a real PMPI tool attaches
-// to an MPI application: it swaps its own wrappers into the HookTable
-// (saving and chaining the previously installed table, so it composes with
-// the section profiler) and registers as an Extension for per-rank
-// lifecycle. The application is never modified.
+// to an MPI application: it registers with the world's hooks::ToolStack
+// (composing with the section profiler, recorder and sampler without any
+// hand-rolled chaining) and as an Extension for per-rank lifecycle. The
+// application is never modified.
 //
 // Four analyses:
 //   * deadlock: rank tasks publish blocked states into a WaitGraph; the
@@ -39,6 +39,7 @@
 #include "checker/waitgraph.hpp"
 #include "mpisim/hooks.hpp"
 #include "mpisim/runtime.hpp"
+#include "mpisim/toolstack.hpp"
 
 namespace mpisect::checker {
 
@@ -52,12 +53,14 @@ struct CheckerOptions {
   int deadlock_timeout_ms = 500;
   /// Legacy (ignored): sampling period of the old watchdog.
   int poll_interval_ms = 25;
-  /// Forward events to the hook table that was installed before us
-  /// (PMPI-style tool stacking). Disable to run the checker alone.
+  /// Legacy (ignored): tools now register with the world's ToolStack,
+  /// which chains unconditionally. Kept so existing configuration code
+  /// keeps compiling.
   bool chain_hooks = true;
 };
 
-class MpiChecker final : public mpisim::Extension {
+class MpiChecker final : public mpisim::Extension,
+                         public mpisim::hooks::Tool {
  public:
   /// Create a checker, install its hooks on `world` (chaining whatever was
   /// installed before) and attach it as an Extension. Call before run().
@@ -93,8 +96,20 @@ class MpiChecker final : public mpisim::Extension {
   void on_rank_init(mpisim::Ctx& ctx) override;
   void on_rank_finalize(mpisim::Ctx& ctx) override;
 
+  // Tool interface (invoked by the world's ToolStack).
+  void on_call_begin(mpisim::Ctx& ctx, const mpisim::CallInfo& info) override;
+  void on_call_end(mpisim::Ctx& ctx, const mpisim::CallInfo& info) override;
+  void on_section_enter(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                        const char* label, char* data) override;
+  void on_section_leave(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                        const char* label, char* data) override;
+  void on_section_error(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                        const char* label, int code) override;
+  void on_comm_create(mpisim::Ctx& ctx,
+                      const mpisim::CommLifecycle& info) override;
+  void on_comm_free(mpisim::Ctx& ctx, int context) override;
+
  private:
-  void install_hooks();
   void handle_begin(mpisim::Ctx& ctx, const mpisim::CallInfo& info);
   void handle_end(mpisim::Ctx& ctx, const mpisim::CallInfo& info);
   /// Map a CallInfo peer (comm rank) to a world rank; -1 stays -1.
@@ -107,8 +122,7 @@ class MpiChecker final : public mpisim::Extension {
 
   mpisim::World* world_;
   CheckerOptions options_;
-  mpisim::HookTable prev_;  ///< chained tool underneath us
-  bool hooks_installed_ = false;
+  bool attached_ = false;
   bool handler_installed_ = false;
 
   DiagnosticSink sink_;

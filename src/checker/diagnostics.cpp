@@ -18,6 +18,7 @@ const char* category_name(Category c) noexcept {
     case Category::CollectiveMismatch: return "COLLECTIVE_MISMATCH";
     case Category::P2PMismatch: return "P2P_MISMATCH";
     case Category::SectionMisuse: return "SECTION_MISUSE";
+    case Category::InjectedFault: return "INJECTED_FAULT";
   }
   return "?";
 }

@@ -26,9 +26,10 @@ enum class Category {
   CollectiveMismatch,  ///< call/root/count disagreement across ranks
   P2PMismatch,         ///< send/recv size (datatype-count) mismatch
   SectionMisuse,       ///< unbalanced/misnested/mismatched MPIX_Section use
+  InjectedFault,       ///< hang/kill traced to the run's fault plan
 };
 
-inline constexpr int kCategoryCount = static_cast<int>(Category::SectionMisuse) + 1;
+inline constexpr int kCategoryCount = static_cast<int>(Category::InjectedFault) + 1;
 
 [[nodiscard]] const char* severity_name(Severity s) noexcept;
 /// Upper-case report tag ("DEADLOCK", "RESOURCE_LEAK", ...).

@@ -15,10 +15,16 @@
 // sites; the paper's point that "application programmers are only required
 // to manipulate two function calls" is preserved — the free functions are
 // the canonical interface.
+//
+// The stable public ABI lives in include/mpix_section.h (plain C); the
+// overloads here are the typed C++ view of the same functions, and
+// mpix_handle() converts a Comm into the opaque MPIX_Comm the C entry
+// points take.
 #pragma once
 
 #include "core/sections/runtime.hpp"
 #include "mpisim/comm.hpp"
+#include "mpix_section.h"
 
 namespace mpisect::sections {
 
@@ -35,6 +41,12 @@ int MPIX_Section_exit(mpisim::Comm& comm, const char* label);
 /// ("their PMPI version being possibly empty if the runtime ignores such
 /// events" — paper Sec. 4).
 void reset_section_callbacks(mpisim::World& world);
+
+/// The opaque C handle for `comm`, as taken by the extern "C" entry points
+/// of include/mpix_section.h. Valid for the lifetime of `comm`.
+[[nodiscard]] inline ::MPIX_Comm mpix_handle(mpisim::Comm& comm) noexcept {
+  return reinterpret_cast<::MPIX_Comm>(&comm);
+}
 
 /// RAII wrapper: enters on construction, exits on destruction.
 class ScopedSection {

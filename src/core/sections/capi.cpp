@@ -1,0 +1,70 @@
+// C ABI of the section interface: the extern "C" functions declared in
+// include/mpix_section.h, implemented as thin shims over the C++ overloads
+// in api.hpp. MPIX_Comm is a reinterpret_cast'ed mpisim::Comm*.
+#include "mpix_section.h"
+
+#include "core/sections/api.hpp"
+#include "core/sections/runtime.hpp"
+#include "mpisim/comm.hpp"
+#include "mpisim/hooks.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace {
+
+namespace sec = mpisect::sections;
+namespace sim = mpisect::mpisim;
+
+// The macros are the public ABI; the enum is the implementation. Keep
+// them bound together at compile time.
+static_assert(MPIX_SECTION_OK == sec::kSectionOk);
+static_assert(MPIX_SECTION_ERR_NO_RUNTIME == sec::kSectionErrNoRuntime);
+static_assert(MPIX_SECTION_ERR_BAD_LABEL == sec::kSectionErrBadLabel);
+static_assert(MPIX_SECTION_ERR_NOT_NESTED == sec::kSectionErrNotNested);
+static_assert(MPIX_SECTION_ERR_EMPTY_STACK == sec::kSectionErrEmptyStack);
+static_assert(MPIX_SECTION_ERR_MISMATCH == sec::kSectionErrMismatch);
+static_assert(MPIX_SECTION_ERR_COMM == sec::kSectionErrComm);
+static_assert(MPIX_SECTION_ERR_LEAKED == sec::kSectionErrLeaked);
+static_assert(MPIX_SECTION_DATA_BYTES == sim::kSectionDataBytes);
+
+sim::Comm* unwrap(MPIX_Comm comm) {
+  return reinterpret_cast<sim::Comm*>(comm);
+}
+
+}  // namespace
+
+extern "C" int MPIX_Section_enter(MPIX_Comm comm, const char* label) {
+  if (comm == nullptr) return MPIX_SECTION_ERR_COMM;
+  return sec::MPIX_Section_enter(*unwrap(comm), label);
+}
+
+extern "C" int MPIX_Section_exit(MPIX_Comm comm, const char* label) {
+  if (comm == nullptr) return MPIX_SECTION_ERR_COMM;
+  return sec::MPIX_Section_exit(*unwrap(comm), label);
+}
+
+// Writes the raw HookTable slots, so it follows the same rule as any raw
+// hook user: register before tools attach to the world's ToolStack — the
+// stack captures raw hooks as its innermost base layer at creation.
+extern "C" int MPIX_Section_set_callbacks(MPIX_Comm comm,
+                                          MPIX_Section_enter_cb on_enter,
+                                          MPIX_Section_exit_cb on_exit) {
+  if (comm == nullptr || !unwrap(comm)->valid()) return MPIX_SECTION_ERR_COMM;
+  sim::HookTable& hooks = unwrap(comm)->ctx().world().hooks();
+  if (on_enter == nullptr) {
+    hooks.section_enter_cb = nullptr;
+  } else {
+    hooks.section_enter_cb = [on_enter](sim::Ctx&, sim::Comm& c,
+                                        const char* label, char* data) {
+      on_enter(mpisect::sections::mpix_handle(c), label, data);
+    };
+  }
+  if (on_exit == nullptr) {
+    hooks.section_leave_cb = nullptr;
+  } else {
+    hooks.section_leave_cb = [on_exit](sim::Ctx&, sim::Comm& c,
+                                       const char* label, char* data) {
+      on_exit(mpisect::sections::mpix_handle(c), label, data);
+    };
+  }
+  return MPIX_SECTION_OK;
+}

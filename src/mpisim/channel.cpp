@@ -45,6 +45,13 @@ void Channel::check_abort() const {
 
 std::size_t Channel::deposit(const MessagePtr& msg) {
   const std::lock_guard lock(mu_);
+  if (msg->fault_lost) {
+    // Injected loss: the retransmit budget was exhausted, so the message
+    // never reaches the matching engine. An eager sender proceeds unaware;
+    // a rendezvous sender blocks in wait_delivered until quiescence, where
+    // the checker attributes the hang to the fault plan.
+    return unexpected_.size();
+  }
   for (auto it = posted_.begin(); it != posted_.end(); ++it) {
     if (compatible(**it, *msg)) {
       complete_match(msg, *it);

@@ -37,7 +37,8 @@ class Channel {
   /// Sender side: enqueue a message, matching an already-posted receive if
   /// one is compatible. Returns the number of unmatched queued messages
   /// after the call (0 = matched immediately) — a telemetry gauge, computed
-  /// under the mutex the call already holds.
+  /// under the mutex the call already holds. Messages flagged fault_lost by
+  /// the fault engine are black-holed: never queued, never matched.
   std::size_t deposit(const MessagePtr& msg);
 
   /// Receiver side: register a receive; matches immediately against queued

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "mpisim/error.hpp"
+#include "mpisim/faults/engine.hpp"
 #include "mpisim/runtime.hpp"
 
 namespace mpisect::mpisim {
@@ -97,11 +98,53 @@ MessagePtr raw_start_send(Ctx& ctx, CommImpl& impl, int my_rank,
   msg->t_send_start = ctx.now();
   msg->wire_cost = net.transfer_cost(gsrc, gdst, bytes, seq);
   msg->rendezvous = bytes > net.eager_threshold;
+
+  // Fault injection: the engine decides this message's fate from its
+  // logical identity (edge, sequence number), so the decision is identical
+  // across scheduler backends. Degradation and retransmit delay fold into
+  // the wire cost; a lost message is flagged for the channel to black-hole.
+  faults::WireFate fate;
+  faults::FaultEngine* const fe = ctx.world().fault_engine();
+  if (fe != nullptr) {
+    fate = fe->wire_fate(gsrc, gdst, seq, msg->t_send_start,
+                         tag >= kInternalTagBase);
+    msg->wire_cost =
+        msg->wire_cost * fate.cost_factor + fate.add_latency + fate.extra_delay;
+    msg->fault_lost = fate.lost;
+  }
   msg->t_avail = msg->t_send_start + msg->wire_cost;
+
   const std::size_t depth = impl.channel(dst).deposit(msg);
   if (auto& tap = ctx.world().trace_tap().on_send_post) {
     tap(ctx, TapSend{msg.get(), impl.context_id(), gsrc, gdst, tag, bytes,
                      seq, op, t_before, depth});
+  }
+
+  if (fe != nullptr && (fate.lost || fate.attempts > 1 || fate.duplicate)) {
+    if (fate.duplicate && !fe->dedup_duplicates() && !fate.lost) {
+      // Resilience off: the duplicate copy reaches the matching engine one
+      // retransmit timeout behind the original, where it can corrupt
+      // wildcard receives — exactly the hazard dedup exists to remove.
+      auto copy = std::make_shared<Message>(*msg);
+      copy->fault_duplicate = true;
+      copy->wire_cost += fe->plan().retransmit.rto;
+      copy->t_avail = copy->t_send_start + copy->wire_cost;
+      impl.channel(dst).deposit(copy);
+    }
+    if (auto& ftap = ctx.world().trace_tap().on_fault) {
+      TapFault tf;
+      tf.kind = fate.lost ? FaultKind::Loss
+                : fate.attempts > 1 ? FaultKind::Drop
+                                    : FaultKind::Duplicate;
+      tf.comm_context = impl.context_id();
+      tf.src_world = gsrc;
+      tf.dst_world = gdst;
+      tf.seq = seq;
+      tf.attempts = fate.attempts;
+      tf.seconds = fate.extra_delay;
+      tf.t = ctx.now();
+      ftap(ctx, tf);
+    }
   }
   return msg;
 }
@@ -206,10 +249,13 @@ void fire_comm_create(Ctx& ctx, CommImpl& impl, int parent_context,
   hook(ctx, info);
 }
 
-/// RAII begin/end bracket for one intercepted call.
+/// RAII begin/end bracket for one intercepted call. Doubles as the MPI-call
+/// fault checkpoint: a due stall or kill fires before the begin hook, so a
+/// killed rank never emits an unbalanced begin/end pair.
 class HookScope {
  public:
   HookScope(Ctx& ctx, CallInfo ci) : ctx_(ctx), ci_(ci) {
+    ctx_.fault_checkpoint();
     fire_begin(ctx_, ci_);
   }
   ~HookScope() { fire_end(ctx_, ci_); }

@@ -17,6 +17,7 @@ const char* err_name(Err e) noexcept {
     case Err::Pending: return "MPI_ERR_PENDING";
     case Err::Section: return "MPIX_ERR_SECTION";
     case Err::Aborted: return "MPIX_ERR_ABORTED";
+    case Err::Killed: return "MPIX_ERR_KILLED";
     case Err::Internal: return "MPIX_ERR_INTERNAL";
   }
   return "MPI_ERR_UNKNOWN";

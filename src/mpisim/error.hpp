@@ -24,6 +24,7 @@ enum class Err {
   Pending,    ///< request not complete
   Section,    ///< MPI_Section misuse (nesting/label violation)
   Aborted,    ///< world aborted (peer rank raised)
+  Killed,     ///< rank killed by an injected fault plan
   Internal,   ///< runtime invariant violation
 };
 

@@ -1,0 +1,213 @@
+#include "mpisim/faults/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mpisect::mpisim::faults {
+namespace {
+
+/// Stream salt separating fault draws from jitter (0xA110C) and compute
+/// noise (0xC0117) streams.
+constexpr std::uint64_t kFaultSalt = 0xFA017;
+
+/// Per-(draw kind, rule index) sub-salts so each rule consults an
+/// independent stream on the same edge.
+constexpr std::uint64_t kDropDraw = 1;
+constexpr std::uint64_t kDupDraw = 2;
+constexpr std::uint64_t kDelayDraw = 3;
+
+std::uint64_t edge_stream(int src, int dst, std::uint64_t draw_kind,
+                          std::size_t rule_index) {
+  return support::stream_id(
+      static_cast<std::uint64_t>(src + 1),
+      static_cast<std::uint64_t>(dst + 1),
+      kFaultSalt ^ (draw_kind << 40) ^ (static_cast<std::uint64_t>(rule_index) << 8));
+}
+
+void add_relaxed(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+FaultEngine::FaultEngine(FaultPlan plan, std::uint64_t seed, int nranks)
+    : plan_(std::move(plan)), rng_(seed), slots_(static_cast<std::size_t>(nranks)) {
+  for (auto& s : slots_) s.stall_done.assign(plan_.stalls.size(), false);
+}
+
+WireFate FaultEngine::wire_fate(int src_world, int dst_world,
+                                std::uint64_t seq, double t_start,
+                                bool internal) {
+  WireFate fate;
+  auto& slot = slots_[static_cast<std::size_t>(src_world)];
+
+  // Link degradation: multiplicative over overlapping windows.
+  for (const auto& r : plan_.degrades) {
+    if (!r.edge.matches(src_world, dst_world, t_start)) continue;
+    fate.cost_factor *= r.cost_factor;
+    fate.add_latency += r.add_latency;
+  }
+
+  // Deterministic extra delay.
+  for (std::size_t i = 0; i < plan_.delays.size(); ++i) {
+    const auto& r = plan_.delays[i];
+    if (!r.edge.matches(src_world, dst_world, t_start)) continue;
+    if (r.p >= 1.0 ||
+        rng_.uniform(edge_stream(src_world, dst_world, kDelayDraw, i), seq) <
+            r.p)
+      fate.extra_delay += r.seconds;
+  }
+
+  // Drop + retransmit-with-backoff. Each transmission attempt k of message
+  // `seq` draws at counter seq * 64 + k, so attempts are independent yet
+  // fully determined by the message's logical identity.
+  double drop_p = 0.0;
+  std::size_t drop_rule = 0;
+  for (std::size_t i = 0; i < plan_.drops.size(); ++i) {
+    const auto& r = plan_.drops[i];
+    if (r.edge.matches(src_world, dst_world, t_start) && r.p > drop_p) {
+      drop_p = r.p;
+      drop_rule = i;
+    }
+  }
+  if (drop_p > 0.0) {
+    const std::uint64_t stream =
+        edge_stream(src_world, dst_world, kDropDraw, drop_rule);
+    double rto = plan_.retransmit.rto;
+    const int max_attempts = plan_.retransmit.max_retries + 1;
+    while (fate.attempts <= max_attempts &&
+           rng_.uniform(stream, seq * 64 +
+                                    static_cast<std::uint64_t>(fate.attempts)) <
+               drop_p) {
+      slot.drops.fetch_add(1, std::memory_order_relaxed);
+      if (fate.attempts == max_attempts) {
+        // Retry budget exhausted. Collective-internal traffic survives
+        // anyway when the plan grants collectives graceful recovery.
+        if (!(internal && plan_.collectives_recover)) {
+          fate.lost = true;
+          slot.lost.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      fate.extra_delay += rto;
+      rto *= plan_.retransmit.backoff;
+      ++fate.attempts;
+    }
+    if (fate.extra_delay > 0.0 && !fate.lost)
+      add_relaxed(slot.retransmit_delay, fate.extra_delay);
+  }
+
+  // Duplication (pointless for a lost message).
+  if (!fate.lost) {
+    for (std::size_t i = 0; i < plan_.duplicates.size(); ++i) {
+      const auto& r = plan_.duplicates[i];
+      if (!r.edge.matches(src_world, dst_world, t_start)) continue;
+      if (rng_.uniform(edge_stream(src_world, dst_world, kDupDraw, i), seq) <
+          r.p) {
+        fate.duplicate = true;
+        slot.duplicates.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+  return fate;
+}
+
+double FaultEngine::compute_factor(int rank, double t) const noexcept {
+  double factor = 1.0;
+  for (const auto& r : plan_.slows)
+    if ((r.rank < 0 || r.rank == rank) && t >= r.from && t < r.until)
+      factor *= r.factor;
+  return factor;
+}
+
+double FaultEngine::take_stall(int rank, double now) {
+  auto& slot = slots_[static_cast<std::size_t>(rank)];
+  double charge = 0.0;
+  for (std::size_t i = 0; i < plan_.stalls.size(); ++i) {
+    const auto& r = plan_.stalls[i];
+    if (slot.stall_done[i] || (r.rank >= 0 && r.rank != rank) || now < r.at)
+      continue;
+    slot.stall_done[i] = true;
+    charge += r.seconds;
+    slot.stalls.fetch_add(1, std::memory_order_relaxed);
+    add_relaxed(slot.stall_seconds, r.seconds);
+  }
+  return charge;
+}
+
+bool FaultEngine::kill_due(int rank, double now) const noexcept {
+  const auto& slot = slots_[static_cast<std::size_t>(rank)];
+  if (slot.killed.load(std::memory_order_relaxed)) return false;
+  for (const auto& r : plan_.kills)
+    if (r.rank == rank && now >= r.at) return true;
+  return false;
+}
+
+void FaultEngine::record_kill(int rank, double now) {
+  auto& slot = slots_[static_cast<std::size_t>(rank)];
+  slot.kill_time.store(now, std::memory_order_relaxed);
+  slot.killed.store(true, std::memory_order_relaxed);
+}
+
+FaultEngine::Counters FaultEngine::counters(int rank) const {
+  const auto& s = slots_[static_cast<std::size_t>(rank)];
+  Counters c;
+  c.drops = s.drops.load(std::memory_order_relaxed);
+  c.lost = s.lost.load(std::memory_order_relaxed);
+  c.duplicates = s.duplicates.load(std::memory_order_relaxed);
+  c.stalls = s.stalls.load(std::memory_order_relaxed);
+  c.retransmit_delay = s.retransmit_delay.load(std::memory_order_relaxed);
+  c.stall_seconds = s.stall_seconds.load(std::memory_order_relaxed);
+  c.killed = s.killed.load(std::memory_order_relaxed);
+  c.kill_time = s.kill_time.load(std::memory_order_relaxed);
+  return c;
+}
+
+bool FaultEngine::any_kill_fired() const noexcept {
+  for (const auto& s : slots_)
+    if (s.killed.load(std::memory_order_relaxed)) return true;
+  return false;
+}
+
+bool FaultEngine::any_loss() const noexcept {
+  for (const auto& s : slots_)
+    if (s.lost.load(std::memory_order_relaxed) != 0) return true;
+  return false;
+}
+
+std::vector<int> FaultEngine::killed_ranks() const {
+  std::vector<int> out;
+  for (std::size_t r = 0; r < slots_.size(); ++r)
+    if (slots_[r].killed.load(std::memory_order_relaxed))
+      out.push_back(static_cast<int>(r));
+  return out;
+}
+
+std::string FaultEngine::summary() const {
+  std::uint64_t drops = 0, lost = 0, dups = 0, stalls = 0;
+  double delay = 0.0, stall_s = 0.0;
+  for (std::size_t r = 0; r < slots_.size(); ++r) {
+    const Counters c = counters(static_cast<int>(r));
+    drops += c.drops;
+    lost += c.lost;
+    dups += c.duplicates;
+    stalls += c.stalls;
+    delay += c.retransmit_delay;
+    stall_s += c.stall_seconds;
+  }
+  const auto kills = killed_ranks();
+  std::ostringstream os;
+  os << drops << " drops (" << delay << " s retransmit delay), " << lost
+     << " lost, " << dups << " duplicates, " << stalls << " stalls ("
+     << stall_s << " s)";
+  if (!kills.empty()) {
+    os << ", killed ranks:";
+    for (int r : kills) os << " " << r;
+  }
+  return os.str();
+}
+
+}  // namespace mpisect::mpisim::faults

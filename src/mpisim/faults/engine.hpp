@@ -1,0 +1,113 @@
+// Deterministic fault-injection engine.
+//
+// The engine is the single decision point for every fault in a run. All
+// message-level decisions are pure functions of logical identifiers
+// (world src/dst ranks, per-edge sequence number, retransmission attempt)
+// hashed through the world's CounterRng — exactly like the netmodel's
+// jitter — so identical (plan, seed) pairs replay the same faults no
+// matter how the scheduler interleaves ranks. Rank-level decisions
+// (stall, slow, kill) are pure functions of the rank's own virtual clock.
+//
+// The engine also keeps per-rank fault counters (relaxed atomics in
+// padded slots, written from the rank that owns the event) so the checker
+// and the CLI tools can summarize what was injected even when no
+// telemetry tool is attached. The *set* of faults is deterministic, so
+// the counter totals are too.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpisim/faults/plan.hpp"
+#include "support/rng.hpp"
+
+namespace mpisect::mpisim::faults {
+
+/// What happens to one message on the wire: how many transmissions the
+/// resilient transport needed, the delay + degradation that costs, and
+/// whether the message was ultimately lost or duplicated.
+struct WireFate {
+  int attempts = 1;          ///< transmissions modelled (1 = clean)
+  double extra_delay = 0.0;  ///< retransmit backoff + delay-rule seconds
+  double cost_factor = 1.0;  ///< link-degradation multiplier on wire cost
+  double add_latency = 0.0;  ///< link-degradation additive latency
+  bool lost = false;         ///< retry budget exhausted: never delivered
+  bool duplicate = false;    ///< a second copy reaches the receiver
+};
+
+class FaultEngine {
+ public:
+  /// Per-rank injected-fault tallies (see class comment for determinism).
+  struct Counters {
+    std::uint64_t drops = 0;       ///< transmissions dropped (then retried)
+    std::uint64_t lost = 0;        ///< messages lost outright
+    std::uint64_t duplicates = 0;  ///< duplicate copies injected
+    std::uint64_t stalls = 0;
+    double retransmit_delay = 0.0;  ///< seconds of backoff charged
+    double stall_seconds = 0.0;
+    bool killed = false;
+    double kill_time = 0.0;  ///< virtual time the kill fired
+  };
+
+  FaultEngine(FaultPlan plan, std::uint64_t seed, int nranks);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Decide the fate of message (src -> dst, seq) posted at t_start.
+  /// `internal` marks collective-internal traffic, which is exempt from
+  /// loss while plan().collectives_recover holds. Records drop/loss/dup
+  /// counters against the sending rank.
+  WireFate wire_fate(int src_world, int dst_world, std::uint64_t seq,
+                     double t_start, bool internal);
+
+  /// Compute-charge multiplier for `rank` at virtual time `t` (slow rules).
+  [[nodiscard]] double compute_factor(int rank, double t) const noexcept;
+
+  /// One-shot stall charge: seconds of lost progress due at `rank`'s first
+  /// checkpoint at or past each stall rule's trigger time. Call only from
+  /// the owning rank thread; returns 0 once a rule has been consumed.
+  double take_stall(int rank, double now);
+
+  /// True when a kill rule for `rank` has come due at time `now`.
+  [[nodiscard]] bool kill_due(int rank, double now) const noexcept;
+  /// Record that the kill fired (owning rank thread, just before throwing).
+  void record_kill(int rank, double now);
+
+  /// Whether duplicate copies should be suppressed by the channel layer.
+  [[nodiscard]] bool dedup_duplicates() const noexcept {
+    return plan_.retransmit.dedup_duplicates;
+  }
+
+  // -- post-run / quiescence queries --------------------------------------
+
+  [[nodiscard]] Counters counters(int rank) const;
+  [[nodiscard]] bool any_kill_fired() const noexcept;
+  [[nodiscard]] bool any_loss() const noexcept;
+  /// World ranks whose kill rules fired, ascending.
+  [[nodiscard]] std::vector<int> killed_ranks() const;
+  /// Human-readable tally, e.g. "12 drops, 1 lost, 1 rank killed".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> drops{0};
+    std::atomic<std::uint64_t> lost{0};
+    std::atomic<std::uint64_t> duplicates{0};
+    std::atomic<std::uint64_t> stalls{0};
+    std::atomic<double> retransmit_delay{0.0};
+    std::atomic<double> stall_seconds{0.0};
+    std::atomic<bool> killed{false};
+    std::atomic<double> kill_time{0.0};
+    /// One consumed flag per stall rule; written only by the owning rank.
+    std::vector<bool> stall_done;
+  };
+
+  FaultPlan plan_;
+  support::CounterRng rng_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace mpisect::mpisim::faults

@@ -1,0 +1,242 @@
+#include "mpisim/faults/plan.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace mpisect::mpisim::faults {
+namespace {
+
+[[noreturn]] void fail(const std::string& clause, const std::string& why) {
+  throw std::invalid_argument("fault plan: bad clause '" + clause + "': " +
+                              why);
+}
+
+/// Key/value fields of one clause, with presence tracking so unknown or
+/// unconsumed keys become errors instead of silent no-ops.
+class Fields {
+ public:
+  Fields(std::string clause, std::string_view body) : clause_(std::move(clause)) {
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+      const std::size_t comma = body.find(',', pos);
+      const std::string_view item =
+          body.substr(pos, comma == std::string_view::npos ? comma : comma - pos);
+      pos = comma == std::string_view::npos ? body.size() : comma + 1;
+      if (item.empty()) continue;
+      const std::size_t eq = item.find('=');
+      if (eq == std::string_view::npos || eq == 0 || eq + 1 == item.size())
+        fail(clause_, "expected key=value, got '" + std::string(item) + "'");
+      kv_[std::string(item.substr(0, eq))] = std::string(item.substr(eq + 1));
+    }
+  }
+
+  double number(const std::string& key, double fallback) {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    const std::string v = it->second;
+    kv_.erase(it);
+    char* end = nullptr;
+    const double x = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0' || std::isnan(x))
+      fail(clause_, "'" + key + "=" + v + "' is not a number");
+    return x;
+  }
+
+  double required(const std::string& key) {
+    if (kv_.find(key) == kv_.end())
+      fail(clause_, "missing required field '" + key + "'");
+    return number(key, 0.0);
+  }
+
+  int rank(const std::string& key, int fallback) {
+    const double x = number(key, static_cast<double>(fallback));
+    const int r = static_cast<int>(x);
+    if (static_cast<double>(r) != x) fail(clause_, "'" + key + "' must be an integer rank");
+    return r;
+  }
+
+  EdgeFilter edge() {
+    EdgeFilter e;
+    e.src = rank("src", -1);
+    e.dst = rank("dst", -1);
+    e.from = number("from", e.from);
+    e.until = number("until", e.until);
+    return e;
+  }
+
+  void done() {
+    if (!kv_.empty())
+      fail(clause_, "unknown field '" + kv_.begin()->first + "'");
+  }
+
+ private:
+  std::string clause_;
+  std::map<std::string, std::string> kv_;
+};
+
+double checked_probability(const std::string& clause, double p) {
+  if (p < 0.0 || p > 1.0)
+    fail(clause, "probability must be in [0, 1]");
+  return p;
+}
+
+void append_window(std::ostringstream& os, const EdgeFilter& e) {
+  if (e.src >= 0) os << ",src=" << e.src;
+  if (e.dst >= 0) os << ",dst=" << e.dst;
+  if (e.from > 0.0) os << ",from=" << e.from;
+  if (e.until != std::numeric_limits<double>::infinity())
+    os << ",until=" << e.until;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = spec.find(';', pos);
+    std::string_view clause =
+        spec.substr(pos, semi == std::string_view::npos ? semi : semi - pos);
+    pos = semi == std::string_view::npos ? spec.size() + 1 : semi + 1;
+    // Trim surrounding whitespace.
+    while (!clause.empty() && clause.front() == ' ') clause.remove_prefix(1);
+    while (!clause.empty() && clause.back() == ' ') clause.remove_suffix(1);
+    if (clause.empty()) continue;
+
+    const std::size_t colon = clause.find(':');
+    const std::string kind(clause.substr(0, colon));
+    Fields f(std::string(clause),
+             colon == std::string_view::npos ? std::string_view{}
+                                             : clause.substr(colon + 1));
+    if (kind == "drop") {
+      DropRule r;
+      r.p = checked_probability(std::string(clause), f.required("p"));
+      r.edge = f.edge();
+      plan.drops.push_back(r);
+    } else if (kind == "dup") {
+      DuplicateRule r;
+      r.p = checked_probability(std::string(clause), f.required("p"));
+      r.edge = f.edge();
+      plan.duplicates.push_back(r);
+    } else if (kind == "delay") {
+      DelayRule r;
+      r.seconds = f.required("t");
+      r.p = checked_probability(std::string(clause), f.number("p", 1.0));
+      r.edge = f.edge();
+      if (r.seconds < 0.0) fail(std::string(clause), "'t' must be >= 0");
+      plan.delays.push_back(r);
+    } else if (kind == "degrade") {
+      DegradeRule r;
+      r.cost_factor = f.number("factor", 1.0);
+      r.add_latency = f.number("lat", 0.0);
+      r.edge = f.edge();
+      if (r.cost_factor < 1.0 || r.add_latency < 0.0)
+        fail(std::string(clause), "'factor' must be >= 1 and 'lat' >= 0");
+      plan.degrades.push_back(r);
+    } else if (kind == "stall") {
+      StallRule r;
+      r.rank = f.rank("rank", -1);
+      r.at = f.number("at", 0.0);
+      r.seconds = f.required("for");
+      if (r.seconds < 0.0) fail(std::string(clause), "'for' must be >= 0");
+      plan.stalls.push_back(r);
+    } else if (kind == "slow") {
+      SlowRule r;
+      r.rank = f.rank("rank", -1);
+      r.factor = f.required("factor");
+      r.from = f.number("from", r.from);
+      r.until = f.number("until", r.until);
+      if (r.factor < 1.0) fail(std::string(clause), "'factor' must be >= 1");
+      plan.slows.push_back(r);
+    } else if (kind == "kill") {
+      KillRule r;
+      r.rank = f.rank("rank", -1);
+      r.at = f.number("at", 0.0);
+      if (r.rank < 0) fail(std::string(clause), "'rank' is required");
+      plan.kills.push_back(r);
+    } else if (kind == "retransmit") {
+      plan.retransmit.rto = f.number("rto", plan.retransmit.rto);
+      plan.retransmit.backoff = f.number("backoff", plan.retransmit.backoff);
+      plan.retransmit.max_retries =
+          f.rank("max", plan.retransmit.max_retries);
+      plan.retransmit.dedup_duplicates =
+          f.number("dedup", plan.retransmit.dedup_duplicates ? 1.0 : 0.0) != 0.0;
+      if (plan.retransmit.rto <= 0.0 || plan.retransmit.backoff < 1.0 ||
+          plan.retransmit.max_retries < 0)
+        fail(std::string(clause),
+             "need rto > 0, backoff >= 1, max >= 0");
+    } else if (kind == "collectives") {
+      plan.collectives_recover = f.number("recover", 1.0) != 0.0;
+    } else {
+      fail(std::string(clause), "unknown rule kind '" + kind + "'");
+    }
+    f.done();
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  const char* sep = "";
+  auto next = [&] {
+    os << sep;
+    sep = ";";
+  };
+  for (const auto& r : drops) {
+    next();
+    os << "drop:p=" << r.p;
+    append_window(os, r.edge);
+  }
+  for (const auto& r : duplicates) {
+    next();
+    os << "dup:p=" << r.p;
+    append_window(os, r.edge);
+  }
+  for (const auto& r : delays) {
+    next();
+    os << "delay:t=" << r.seconds;
+    if (r.p != 1.0) os << ",p=" << r.p;
+    append_window(os, r.edge);
+  }
+  for (const auto& r : degrades) {
+    next();
+    os << "degrade:factor=" << r.cost_factor;
+    if (r.add_latency > 0.0) os << ",lat=" << r.add_latency;
+    append_window(os, r.edge);
+  }
+  for (const auto& r : stalls) {
+    next();
+    os << "stall:";
+    if (r.rank >= 0) os << "rank=" << r.rank << ",";
+    os << "at=" << r.at << ",for=" << r.seconds;
+  }
+  for (const auto& r : slows) {
+    next();
+    os << "slow:";
+    if (r.rank >= 0) os << "rank=" << r.rank << ",";
+    os << "factor=" << r.factor;
+    if (r.from > 0.0) os << ",from=" << r.from;
+    if (r.until != std::numeric_limits<double>::infinity())
+      os << ",until=" << r.until;
+  }
+  for (const auto& r : kills) {
+    next();
+    os << "kill:rank=" << r.rank << ",at=" << r.at;
+  }
+  if (!empty()) {
+    next();
+    os << "retransmit:rto=" << retransmit.rto
+       << ",backoff=" << retransmit.backoff << ",max=" << retransmit.max_retries
+       << ",dedup=" << (retransmit.dedup_duplicates ? 1 : 0);
+    if (!collectives_recover) {
+      next();
+      os << "collectives:recover=0";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mpisect::mpisim::faults

@@ -1,0 +1,149 @@
+// Declarative fault plans for the deterministic fault-injection engine.
+//
+// A FaultPlan is pure data: a set of rules that say *which* logical events
+// go wrong (message drops/duplicates/delays on chosen edges, link
+// degradation windows, per-rank stalls, compute slowdowns, a mid-run rank
+// kill) plus the transport's resilience policy (retransmit timeout,
+// backoff, retry budget, duplicate suppression). The FaultEngine
+// (engine.hpp) turns a plan into per-message/per-rank decisions through
+// counter-based RNG draws keyed on logical identifiers — never on call
+// order — so the same (plan, seed) pair produces byte-identical runs
+// across scheduler backends and worker counts.
+//
+// Plans parse from compact CLI spec strings, semicolon-separated:
+//
+//   drop:p=0.05                     drop 5% of all messages
+//   drop:p=0.2,src=3,dst=4          only on the edge 3 -> 4
+//   dup:p=0.01                      duplicate 1% of messages
+//   delay:t=1e-4,p=0.5              add 100us wire delay to 50% of messages
+//   degrade:factor=4,from=0.1,until=0.2   4x wire cost in a time window
+//   stall:rank=2,at=0.1,for=0.05    rank 2 loses 50ms at t=0.1
+//   slow:rank=2,factor=2            rank 2 computes 2x slower
+//   kill:rank=3,at=0.5              rank 3 dies at the first checkpoint
+//                                   past t=0.5
+//   retransmit:rto=1e-4,backoff=2,max=8,dedup=1   resilience policy
+//   collectives:recover=0           let collective-internal traffic be lost
+//
+// `src`/`dst`/`rank` are world ranks (-1 = any); `from`/`until` bound the
+// virtual-time window a rule applies to.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpisect::mpisim::faults {
+
+/// Edge + virtual-time-window filter shared by the message-level rules.
+struct EdgeFilter {
+  int src = -1;  ///< sender world rank; -1 = any
+  int dst = -1;  ///< receiver world rank; -1 = any
+  double from = 0.0;
+  double until = std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] bool matches(int s, int d, double t) const noexcept {
+    return (src < 0 || src == s) && (dst < 0 || dst == d) && t >= from &&
+           t < until;
+  }
+};
+
+/// Drop each matching message transmission with probability `p`. The
+/// transport retransmits with backoff (see RetransmitPolicy); a message
+/// whose retry budget is exhausted is *lost* — never delivered.
+struct DropRule {
+  EdgeFilter edge;
+  double p = 0.0;
+};
+
+/// Deliver a second copy of a matching message with probability `p`. The
+/// resilient transport suppresses duplicates when the policy says so;
+/// with suppression off the copy lands in the unexpected queue where a
+/// wildcard receive can consume it.
+struct DuplicateRule {
+  EdgeFilter edge;
+  double p = 0.0;
+};
+
+/// Add `seconds` of wire delay to a matching message with probability `p`.
+struct DelayRule {
+  EdgeFilter edge;
+  double p = 1.0;
+  double seconds = 0.0;
+};
+
+/// Degrade matching links: wire cost multiplied by `cost_factor` and
+/// extended by `add_latency` seconds while the window is open.
+struct DegradeRule {
+  EdgeFilter edge;
+  double cost_factor = 1.0;
+  double add_latency = 0.0;
+};
+
+/// Charge `seconds` of lost progress on `rank` at its first fault
+/// checkpoint at or past virtual time `at` (a straggler event).
+struct StallRule {
+  int rank = -1;  ///< -1 = every rank
+  double at = 0.0;
+  double seconds = 0.0;
+};
+
+/// Multiply `rank`'s compute charges by `factor` inside the window.
+struct SlowRule {
+  int rank = -1;  ///< -1 = every rank
+  double factor = 1.0;
+  double from = 0.0;
+  double until = std::numeric_limits<double>::infinity();
+};
+
+/// Kill `rank` at its first fault checkpoint at or past virtual time `at`.
+/// The rank retires without unwinding the world; ranks that depend on it
+/// block until the scheduler proves quiescence, which the checker then
+/// classifies as an injected fault rather than a native deadlock.
+struct KillRule {
+  int rank = 0;
+  double at = 0.0;
+};
+
+/// Resilient-transport policy: how the channel layer survives drops.
+struct RetransmitPolicy {
+  double rto = 50e-6;       ///< retransmit timeout before the first retry
+  double backoff = 2.0;     ///< multiplier applied to rto per retry
+  int max_retries = 8;      ///< retry budget; exhausted = message lost
+  bool dedup_duplicates = true;  ///< suppress injected duplicate copies
+};
+
+struct FaultPlan {
+  std::vector<DropRule> drops;
+  std::vector<DuplicateRule> duplicates;
+  std::vector<DelayRule> delays;
+  std::vector<DegradeRule> degrades;
+  std::vector<StallRule> stalls;
+  std::vector<SlowRule> slows;
+  std::vector<KillRule> kills;
+  RetransmitPolicy retransmit;
+  /// Graceful degradation for collectives: their internal traffic is
+  /// retransmitted like any other but never *lost*, so a collective under
+  /// a lossy plan recovers (slower) instead of hanging. Disable to test
+  /// the diagnosable-failure path.
+  bool collectives_recover = true;
+
+  /// True when no rule is present — the engine is not even constructed,
+  /// keeping fault-free runs bit-identical to builds without this layer.
+  [[nodiscard]] bool empty() const noexcept {
+    return drops.empty() && duplicates.empty() && delays.empty() &&
+           degrades.empty() && stalls.empty() && slows.empty() &&
+           kills.empty();
+  }
+
+  /// Parse a semicolon-separated spec string (see file comment). Throws
+  /// std::invalid_argument with a pointed message on malformed input.
+  [[nodiscard]] static FaultPlan parse(std::string_view spec);
+
+  /// Canonical one-line rendering (stable order, round-trips via parse).
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace mpisect::mpisim::faults

@@ -213,6 +213,32 @@ struct TapOmpRegion {
   double t_before = 0.0;        ///< clock before the region's charges
 };
 
+/// Kind of injected-fault event a TapFault describes.
+enum class FaultKind {
+  Drop,       ///< transmissions dropped then recovered by retransmit
+  Loss,       ///< retry budget exhausted: the message will never arrive
+  Duplicate,  ///< a duplicate copy was put on the wire
+  Stall,      ///< a straggler stall charged lost progress on a rank
+  Kill,       ///< the rank is about to retire mid-run
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k) noexcept;
+
+/// An injected fault materialized. Fired on the rank that owns the event
+/// (the sender for wire faults, the faulting rank for stall/kill), so
+/// fault telemetry stays deterministic. Observational only — by the time
+/// the tap fires, the cost/decision has already been applied.
+struct TapFault {
+  FaultKind kind = FaultKind::Drop;
+  int comm_context = -1;   ///< -1 for rank-level faults
+  int src_world = -1;
+  int dst_world = -1;
+  std::uint64_t seq = 0;
+  int attempts = 1;        ///< wire transmissions modelled (Drop/Loss)
+  double seconds = 0.0;    ///< retransmit delay / stall duration
+  double t = 0.0;          ///< owning rank's clock at the event
+};
+
 /// Message-level observation points (all optional, fired when set).
 struct TraceTap {
   std::function<void(Ctx&, const TapSend&)> on_send_post;
@@ -226,6 +252,8 @@ struct TraceTap {
   std::function<void(Ctx&, std::uint64_t op, double t_before)> on_coll_entry;
   /// MiniOMP fork/join region charged on the calling rank.
   std::function<void(Ctx&, const TapOmpRegion&)> on_omp_region;
+  /// An injected fault materialized (see TapFault for the ownership rule).
+  std::function<void(Ctx&, const TapFault&)> on_fault;
 };
 
 }  // namespace mpisect::mpisim

@@ -47,6 +47,12 @@ struct Message {
   double t_avail = 0.0;      ///< eager: arrival time at the receiver
   bool rendezvous = false;
 
+  // Injected-fault transport flags (set by the fault engine, consumed by
+  // the channel): a lost message is black-holed at deposit; a duplicate
+  // copy is suppressed when the retransmit policy dedups.
+  bool fault_lost = false;
+  bool fault_duplicate = false;
+
   // Set at match time:
   bool delivered = false;
   double t_deliver = 0.0;

@@ -3,9 +3,12 @@
 #include <exception>
 #include <limits>
 #include <mutex>
+#include <string>
 #include <utility>
 
 #include "mpisim/error.hpp"
+#include "mpisim/faults/engine.hpp"
+#include "mpisim/toolstack.hpp"
 #include "support/log.hpp"
 
 namespace mpisect::mpisim {
@@ -24,6 +27,10 @@ World::World(int nranks, WorldOptions options)
     if (deadlock_handler_) deadlock_handler_();
     abort();
   });
+  if (!options_.faults.empty()) {
+    fault_engine_ = std::make_unique<faults::FaultEngine>(
+        options_.faults, options_.seed, nranks_);
+  }
   std::vector<int> all(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) all[static_cast<std::size_t>(r)] = r;
   world_comm_ =
@@ -32,6 +39,11 @@ World::World(int nranks, WorldOptions options)
 }
 
 World::~World() = default;
+
+hooks::ToolStack& World::tool_stack() {
+  if (!tool_stack_) tool_stack_ = std::make_unique<hooks::ToolStack>(*this);
+  return *tool_stack_;
+}
 
 void World::attach_extension(std::shared_ptr<Extension> ext) {
   extensions_.push_back(std::move(ext));
@@ -120,6 +132,21 @@ void World::run(const RankMain& rank_main) {
         if (hooks_.on_call_end) hooks_.on_call_end(ctx, ci);
       }
       final_times_[static_cast<std::size_t>(r)] = ctx.now();
+    } catch (const MpiError& e) {
+      if (e.code() == Err::Killed) {
+        // Injected kill: the rank retires quietly at its time of death.
+        // The world keeps running — ranks that depend on this one block
+        // until the scheduler proves quiescence, which the checker then
+        // classifies as an injected fault rather than a native deadlock.
+        final_times_[static_cast<std::size_t>(r)] = ctx.now();
+        return;
+      }
+      {
+        const std::lock_guard lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      MPISECT_LOG_ERROR("rank %d raised; aborting world", r);
+      abort();
     } catch (...) {
       {
         const std::lock_guard lock(err_mu);
@@ -151,7 +178,8 @@ Comm Ctx::world_comm() noexcept {
   return Comm(this, world_.world_comm_, rank_);
 }
 
-void Ctx::compute(double seconds) noexcept {
+void Ctx::compute(double seconds) {
+  fault_checkpoint();
   const double sigma = machine().compute_noise_sigma;
   if (sigma > 0.0) {
     const double g = world_.rng().gaussian(
@@ -159,11 +187,47 @@ void Ctx::compute(double seconds) noexcept {
         next_op_id());
     seconds *= std::max(0.0, 1.0 + sigma * g);
   }
+  if (auto* fe = world_.fault_engine()) {
+    seconds *= fe->compute_factor(rank_, clock_.now());
+  }
   clock_.advance(seconds);
 }
 
-void Ctx::compute_flops(double flops) noexcept {
+void Ctx::compute_flops(double flops) {
   compute(machine().compute_seconds(flops));
+}
+
+void Ctx::compute_exact(double seconds) noexcept {
+  if (auto* fe = world_.fault_engine()) {
+    seconds *= fe->compute_factor(rank_, clock_.now());
+  }
+  clock_.advance(seconds);
+}
+
+void Ctx::fault_checkpoint() {
+  auto* fe = world_.fault_engine();
+  if (fe == nullptr) return;
+  if (const double s = fe->take_stall(rank_, clock_.now()); s > 0.0) {
+    TapFault tf;
+    tf.kind = FaultKind::Stall;
+    tf.src_world = rank_;
+    tf.seconds = s;
+    tf.t = clock_.now();
+    clock_.advance(s);
+    if (world_.trace_tap().on_fault) world_.trace_tap().on_fault(*this, tf);
+  }
+  if (fe->kill_due(rank_, clock_.now())) {
+    fe->record_kill(rank_, clock_.now());
+    TapFault tf;
+    tf.kind = FaultKind::Kill;
+    tf.src_world = rank_;
+    tf.t = clock_.now();
+    if (world_.trace_tap().on_fault) world_.trace_tap().on_fault(*this, tf);
+    throw MpiError(Err::Killed,
+                   "rank " + std::to_string(rank_) +
+                       " killed by fault plan at t=" +
+                       std::to_string(clock_.now()));
+  }
 }
 
 void Ctx::pcontrol(int level, const char* label) {

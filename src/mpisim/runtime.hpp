@@ -27,12 +27,20 @@
 
 #include "mpisim/clock.hpp"
 #include "mpisim/comm.hpp"
+#include "mpisim/faults/plan.hpp"
 #include "mpisim/hooks.hpp"
 #include "mpisim/machine.hpp"
 #include "mpisim/scheduler.hpp"
 #include "support/rng.hpp"
 
 namespace mpisect::mpisim {
+
+namespace faults {
+class FaultEngine;
+}
+namespace hooks {
+class ToolStack;
+}
 
 /// Algorithm selection for the rooted block collectives. Linear is the
 /// naive root-loops implementation; Binomial halves the problem per round
@@ -58,6 +66,10 @@ struct WorldOptions {
   /// Worker threads for the cooperative backend: 0 = MPISECT_WORKERS env
   /// var, else hardware_concurrency (see resolve_workers()).
   int workers = 0;
+  /// Deterministic fault-injection plan (see faults/plan.hpp). An empty
+  /// plan constructs no engine, so fault-free runs are bit-identical to a
+  /// build without the fault layer.
+  faults::FaultPlan faults;
 };
 
 /// Attachment point for layers that need per-rank lifecycle callbacks.
@@ -111,6 +123,16 @@ class World {
     deadlock_handler_ = std::move(handler);
   }
 
+  /// Fault-injection engine, or nullptr when options().faults is empty.
+  [[nodiscard]] faults::FaultEngine* fault_engine() noexcept {
+    return fault_engine_.get();
+  }
+
+  /// The world's tool stack (created on first use). Tools — profiler,
+  /// checker, recorder, sampler, fault injector — register through it
+  /// instead of hand-chaining HookTable/TraceTap slots; see toolstack.hpp.
+  [[nodiscard]] hooks::ToolStack& tool_stack();
+
   void attach_extension(std::shared_ptr<Extension> ext);
 
   /// Find an attached extension by concrete type (nullptr if absent).
@@ -160,6 +182,8 @@ class World {
   /// later run() knows to emit the matching on_comm_free).
   bool world_comm_announced_ = false;
   std::vector<std::shared_ptr<Extension>> extensions_;
+  std::unique_ptr<faults::FaultEngine> fault_engine_;
+  std::unique_ptr<hooks::ToolStack> tool_stack_;
 };
 
 /// Per-rank execution context; lives on the rank thread's stack for the
@@ -181,12 +205,16 @@ class Ctx {
   [[nodiscard]] Comm world_comm() noexcept;
 
   /// Charge `seconds` of computation (plus the machine's multiplicative
-  /// compute noise, drawn deterministically per rank/op).
-  void compute(double seconds) noexcept;
+  /// compute noise, drawn deterministically per rank/op, and any slow-rank
+  /// factor from the fault plan). Doubles as a fault checkpoint, so it may
+  /// throw Err::Killed under a kill plan.
+  void compute(double seconds);
   /// Charge `flops` of computation through the machine model.
-  void compute_flops(double flops) noexcept;
-  /// Charge an exact duration with no noise (fixtures/tests).
-  void compute_exact(double seconds) noexcept { clock_.advance(seconds); }
+  void compute_flops(double flops);
+  /// Charge an exact duration with no noise (fixtures/tests). Slow-rank
+  /// factors from the fault plan still apply — injected degradation is
+  /// deterministic, not noise, and must be inescapable.
+  void compute_exact(double seconds) noexcept;
 
   /// Per-rank monotonically increasing operation id — the RNG counter for
   /// everything this rank draws.
@@ -200,6 +228,11 @@ class Ctx {
 
   /// MPI_Pcontrol: dispatches to the tool hook (IPM-style phase baseline).
   void pcontrol(int level, const char* label = nullptr);
+
+  /// Fault checkpoint: charge any due stall and raise Err::Killed when a
+  /// kill rule has come due. Called on compute charges and on entry to
+  /// every intercepted MPI call; no-op without a fault engine.
+  void fault_checkpoint();
 
  private:
   World& world_;

@@ -1,0 +1,114 @@
+// Unified tool registration — one stack instead of four hand-rolled chains.
+//
+// Before this API, every PMPI-style tool (profiler, checker, trace
+// recorder, telemetry sampler) saved the World's HookTable/TraceTap,
+// installed its own closures, and manually forwarded to the previous
+// occupant — four slightly different copies of the same chaining
+// boilerplate, each with its own ordering quirks. The ToolStack replaces
+// that: a tool derives from hooks::Tool, overrides only the events it
+// cares about, and registers with
+//
+//   world.tool_stack().attach(&tool, order);
+//
+// The stack installs one dispatching closure per HookTable/TraceTap slot
+// (capturing whatever raw hooks an application had installed beforehand as
+// the innermost "base" layer, so plain-hook users keep working) and calls
+// tools in `order`: ascending for begin-type events, descending for
+// end-type events, so tool A that attaches before tool B brackets B's
+// observations like PMPI wrapper libraries stack. Tools never charge
+// virtual time; order therefore affects only observation nesting, never
+// simulation results.
+//
+// Detach is symmetric (`detach(&tool)`); the stack never owns a tool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mpisim/hooks.hpp"
+
+namespace mpisect::mpisim {
+
+class World;
+
+namespace hooks {
+
+/// Conventional attach orders for the in-tree tools (ascending = outermost
+/// first on begin events). Gaps are deliberate: user tools can slot between.
+inline constexpr int kOrderProfiler = 10;
+inline constexpr int kOrderChecker = 20;
+inline constexpr int kOrderRecorder = 30;
+inline constexpr int kOrderTelemetry = 40;
+inline constexpr int kOrderFaults = 50;
+
+/// Base class for stack-registered tools. Every method is an empty-bodied
+/// virtual observing one HookTable or TraceTap event; override what you
+/// need. Methods run on rank threads and must not charge virtual time.
+class Tool {
+ public:
+  virtual ~Tool() = default;
+
+  // HookTable events (PMPI view).
+  virtual void on_call_begin(Ctx&, const CallInfo&) {}
+  virtual void on_call_end(Ctx&, const CallInfo&) {}
+  virtual void on_section_enter(Ctx&, Comm&, const char* /*label*/,
+                                char* /*data*/) {}
+  virtual void on_section_leave(Ctx&, Comm&, const char* /*label*/,
+                                char* /*data*/) {}
+  virtual void on_section_error(Ctx&, Comm&, const char* /*label*/,
+                                int /*code*/) {}
+  virtual void on_pcontrol(Ctx&, int /*level*/, const char* /*label*/) {}
+  virtual void on_comm_create(Ctx&, const CommLifecycle&) {}
+  virtual void on_comm_free(Ctx&, int /*context*/) {}
+
+  // TraceTap events (message-level view).
+  virtual void on_send_post(Ctx&, const TapSend&) {}
+  virtual void on_send_wait(Ctx&, const TapSendWait&) {}
+  virtual void on_recv_post(Ctx&, const TapRecvPost&) {}
+  virtual void on_recv_wait(Ctx&, const TapRecvWait&) {}
+  virtual void on_probe(Ctx&, const TapProbe&) {}
+  virtual void on_comm_sync(Ctx&, const TapCommSync&) {}
+  virtual void on_coll_entry(Ctx&, std::uint64_t /*op*/, double /*t_before*/) {}
+  virtual void on_omp_region(Ctx&, const TapOmpRegion&) {}
+  virtual void on_fault(Ctx&, const TapFault&) {}
+};
+
+class ToolStack {
+ public:
+  /// Captures the World's current raw HookTable/TraceTap as the innermost
+  /// base layer and installs the dispatching closures. Obtain through
+  /// World::tool_stack() — one stack per world.
+  explicit ToolStack(World& world);
+  ~ToolStack();
+
+  ToolStack(const ToolStack&) = delete;
+  ToolStack& operator=(const ToolStack&) = delete;
+
+  /// Register `tool` at `order` (see kOrder* above). Ties dispatch in
+  /// attach order. The stack borrows the pointer; detach before the tool
+  /// dies. Attach/detach before World::run, not from rank threads.
+  void attach(Tool* tool, int order);
+  /// Remove a previously attached tool (no-op if absent).
+  void detach(Tool* tool);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Tool* tool = nullptr;
+    int order = 0;
+    std::uint64_t stamp = 0;  ///< attach sequence, the tie-breaker
+  };
+
+  void install();
+
+  World& world_;
+  HookTable base_hooks_;
+  TraceTap base_taps_;
+  std::vector<Entry> entries_;  ///< kept sorted by (order, stamp)
+  std::uint64_t next_stamp_ = 0;
+};
+
+}  // namespace hooks
+}  // namespace mpisect::mpisim

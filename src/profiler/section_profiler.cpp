@@ -22,48 +22,19 @@ SectionProfiler::SectionProfiler(mpisim::World& world, ProfilerOptions options)
     : world_(&world),
       options_(options),
       ranks_(static_cast<std::size_t>(world.size())) {
-  // Chain the previously installed table (PMPI-wrapper style) so the
-  // profiler stacks with the checker and trace recorder in any order.
-  auto& hooks = world.hooks();
-  prev_ = hooks;
-  hooks.section_enter_cb = [this](mpisim::Ctx& ctx, mpisim::Comm& comm,
-                                  const char* label, char* data) {
-    on_enter(ctx, comm, label, data);
-    if (prev_.section_enter_cb) prev_.section_enter_cb(ctx, comm, label, data);
-  };
-  hooks.section_leave_cb = [this](mpisim::Ctx& ctx, mpisim::Comm& comm,
-                                  const char* label, char* data) {
-    on_leave(ctx, comm, label, data);
-    if (prev_.section_leave_cb) prev_.section_leave_cb(ctx, comm, label, data);
-  };
-  if (options_.track_mpi_calls) {
-    hooks.on_call_begin = [this](mpisim::Ctx& ctx,
-                                 const mpisim::CallInfo& info) {
-      on_call_begin(ctx, info);
-      if (prev_.on_call_begin) prev_.on_call_begin(ctx, info);
-    };
-    hooks.on_call_end = [this](mpisim::Ctx& ctx,
-                               const mpisim::CallInfo& info) {
-      on_call_end(ctx, info);
-      if (prev_.on_call_end) prev_.on_call_end(ctx, info);
-    };
-  }
+  world.tool_stack().attach(this, mpisim::hooks::kOrderProfiler);
 }
+
+SectionProfiler::~SectionProfiler() { detach(); }
 
 void SectionProfiler::detach() {
   if (world_ == nullptr) return;
-  auto& hooks = world_->hooks();
-  hooks.section_enter_cb = prev_.section_enter_cb;
-  hooks.section_leave_cb = prev_.section_leave_cb;
-  if (options_.track_mpi_calls) {
-    hooks.on_call_begin = prev_.on_call_begin;
-    hooks.on_call_end = prev_.on_call_end;
-  }
+  world_->tool_stack().detach(this);
   world_ = nullptr;
 }
 
-void SectionProfiler::on_enter(mpisim::Ctx& ctx, mpisim::Comm& comm,
-                               const char* label, char* data) {
+void SectionProfiler::on_section_enter(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                                       const char* label, char* data) {
   auto& rd = ranks_[static_cast<std::size_t>(ctx.rank())];
   const auto id = labels_.intern(label);
 
@@ -79,8 +50,8 @@ void SectionProfiler::on_enter(mpisim::Ctx& ctx, mpisim::Comm& comm,
   rd.stack.push_back(open);
 }
 
-void SectionProfiler::on_leave(mpisim::Ctx& ctx, mpisim::Comm& comm,
-                               const char* label, char* data) {
+void SectionProfiler::on_section_leave(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                                       const char* label, char* data) {
   auto& rd = ranks_[static_cast<std::size_t>(ctx.rank())];
   if (rd.stack.empty()) return;  // defensive: runtime enforces nesting
   (void)label;
@@ -131,6 +102,7 @@ void SectionProfiler::on_leave(mpisim::Ctx& ctx, mpisim::Comm& comm,
 
 void SectionProfiler::on_call_begin(mpisim::Ctx& ctx,
                                     const mpisim::CallInfo& info) {
+  if (!options_.track_mpi_calls) return;
   if (info.call == mpisim::MpiCall::Pcontrol) return;  // phase marker, not
                                                        // communication
   auto& rd = ranks_[static_cast<std::size_t>(ctx.rank())];
@@ -139,6 +111,7 @@ void SectionProfiler::on_call_begin(mpisim::Ctx& ctx,
 
 void SectionProfiler::on_call_end(mpisim::Ctx& ctx,
                                   const mpisim::CallInfo& info) {
+  if (!options_.track_mpi_calls) return;
   if (info.call == mpisim::MpiCall::Pcontrol) return;
   auto& rd = ranks_[static_cast<std::size_t>(ctx.rank())];
   if (--rd.call_depth != 0) return;  // attribute only outermost calls

@@ -32,6 +32,7 @@
 #include "core/sections/metrics.hpp"
 #include "core/sections/runtime.hpp"
 #include "mpisim/runtime.hpp"
+#include "mpisim/toolstack.hpp"
 
 namespace mpisect::profiler {
 
@@ -66,11 +67,15 @@ struct InstanceSpan {
   int depth = 0;
 };
 
-class SectionProfiler {
+class SectionProfiler : public mpisim::hooks::Tool {
  public:
   SectionProfiler(mpisim::World& world, ProfilerOptions options = {});
+  ~SectionProfiler() override;
 
-  /// Detach the tool's hooks (restores empty callbacks).
+  SectionProfiler(const SectionProfiler&) = delete;
+  SectionProfiler& operator=(const SectionProfiler&) = delete;
+
+  /// Remove the tool from the world's stack (accumulated data survives).
   void detach();
 
   [[nodiscard]] const sections::LabelRegistry& labels() const noexcept {
@@ -121,6 +126,14 @@ class SectionProfiler {
   /// keep_instances mode: raw per-rank trace, time-ordered per rank.
   [[nodiscard]] const std::vector<InstanceSpan>& trace(int rank) const;
 
+  // Tool interface (invoked by the world's ToolStack).
+  void on_section_enter(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                        const char* label, char* data) override;
+  void on_section_leave(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                        const char* label, char* data) override;
+  void on_call_begin(mpisim::Ctx& ctx, const mpisim::CallInfo& info) override;
+  void on_call_end(mpisim::Ctx& ctx, const mpisim::CallInfo& info) override;
+
  private:
   struct OpenSection {
     std::uint32_t label = 0;
@@ -142,16 +155,8 @@ class SectionProfiler {
     int call_depth = 0;
   };
 
-  void on_enter(mpisim::Ctx& ctx, mpisim::Comm& comm, const char* label,
-                char* data);
-  void on_leave(mpisim::Ctx& ctx, mpisim::Comm& comm, const char* label,
-                char* data);
-  void on_call_begin(mpisim::Ctx& ctx, const mpisim::CallInfo& info);
-  void on_call_end(mpisim::Ctx& ctx, const mpisim::CallInfo& info);
-
   mpisim::World* world_;
   ProfilerOptions options_;
-  mpisim::HookTable prev_;  ///< chained PMPI-style: tools stack in any order
   sections::LabelRegistry labels_;
   std::vector<RankData> ranks_;
 };

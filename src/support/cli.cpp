@@ -35,6 +35,21 @@ void ArgParser::add_flag(const std::string& name, const std::string& help) {
   order_.push_back(name);
 }
 
+void ArgParser::add_alias(const std::string& deprecated,
+                          const std::string& canonical) {
+  if (options_.find(canonical) == options_.end()) {
+    throw std::logic_error("ArgParser: alias '" + deprecated +
+                           "' targets undeclared option '" + canonical + "'");
+  }
+  aliases_[deprecated] = canonical;
+}
+
+void ArgParser::add_positional(const std::string& name,
+                               const std::string& help) {
+  options_[name] = Option{Kind::String, help, ""};
+  positionals_.push_back(name);
+}
+
 bool ArgParser::set_value(const std::string& name, const std::string& value) {
   auto it = options_.find(name);
   if (it == options_.end()) return false;
@@ -44,6 +59,7 @@ bool ArgParser::set_value(const std::string& name, const std::string& value) {
 }
 
 bool ArgParser::parse(int argc, const char* const* argv) {
+  std::size_t next_positional = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -55,6 +71,10 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       return false;
     }
     if (!starts_with(arg, "--")) {
+      if (next_positional < positionals_.size()) {
+        set_value(positionals_[next_positional++], arg);
+        continue;
+      }
       std::fprintf(stderr, "%s: unexpected argument '%s'\n%s",
                    program_.c_str(), arg.c_str(), usage().c_str());
       return false;
@@ -66,6 +86,12 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       value = arg.substr(eq + 1);
       arg = arg.substr(0, eq);
       has_value = true;
+    }
+    if (const auto al = aliases_.find(arg); al != aliases_.end()) {
+      std::fprintf(stderr,
+                   "%s: warning: '--%s' is deprecated, use '--%s'\n",
+                   program_.c_str(), arg.c_str(), al->second.c_str());
+      arg = al->second;
     }
     auto it = options_.find(arg);
     if (it == options_.end()) {
@@ -87,6 +113,12 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       value = argv[++i];
     }
     set_value(arg, value);
+  }
+  if (next_positional < positionals_.size()) {
+    std::fprintf(stderr, "%s: missing required argument <%s>\n%s",
+                 program_.c_str(), positionals_[next_positional].c_str(),
+                 usage().c_str());
+    return false;
   }
   return true;
 }
@@ -117,7 +149,16 @@ bool ArgParser::get_flag(const std::string& name) const {
 }
 
 std::string ArgParser::usage() const {
-  std::string out = program_ + " — " + description_ + "\n\noptions:\n";
+  std::string out = program_ + " — " + description_ + "\n";
+  if (!positionals_.empty()) {
+    out += "\nusage: " + program_;
+    for (const auto& name : positionals_) out += " <" + name + ">";
+    out += " [options]\n\narguments:\n";
+    for (const auto& name : positionals_) {
+      out += pad_right("  <" + name + ">", 28) + options_.at(name).help + "\n";
+    }
+  }
+  out += "\noptions:\n";
   for (const auto& name : order_) {
     const auto& opt = options_.at(name);
     std::string left = "  --" + name;
@@ -131,7 +172,27 @@ std::string ArgParser::usage() const {
     if (opt.kind != Kind::Flag) out += " (default: " + opt.value + ")";
     out += "\n";
   }
+  for (const auto& [dep, canon] : aliases_) {
+    out += pad_right("  --" + dep, 28) + "deprecated alias of --" + canon +
+           "\n";
+  }
   return out;
+}
+
+void add_unified_flags(ArgParser& args, const std::string& model_default,
+                       const std::string& export_default,
+                       long long seed_default) {
+  args.add_string("model", model_default, "machine model preset");
+  args.add_alias("machine", "model");
+  args.add_string("export", export_default, "output format");
+  args.add_alias("format", "export");
+  args.add_flag("json", "shorthand for --export json");
+  args.add_int("seed", seed_default, "world seed");
+}
+
+std::string unified_export(const ArgParser& args) {
+  if (args.get_flag("json")) return "json";
+  return args.get_string("export");
 }
 
 }  // namespace mpisect::support

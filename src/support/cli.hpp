@@ -3,8 +3,18 @@
 //   ArgParser args("bench_fig5", "Reproduce Fig. 5");
 //   args.add_int("procs", 64, "number of MPI ranks");
 //   args.add_flag("csv", "emit CSV instead of tables");
+//   args.add_alias("nprocs", "procs");   // deprecated spelling, warns
 //   if (!args.parse(argc, argv)) return 1;   // prints usage on --help/-h
 //   int p = args.get_int("procs");
+//
+// All mpisect-* tools share one flag vocabulary (add_unified_flags):
+//   --model <preset>   machine model   (deprecated alias: --machine)
+//   --export <fmt>     output format   (deprecated alias: --format)
+//   --json             shorthand for --export json
+//   --seed <n>         world seed
+//   --version          provenance banner
+// Deprecated aliases keep parsing but print a one-line stderr warning, so
+// existing scripts migrate at their own pace.
 #pragma once
 
 #include <map>
@@ -24,6 +34,12 @@ class ArgParser {
   void add_string(const std::string& name, std::string def,
                   const std::string& help);
   void add_flag(const std::string& name, const std::string& help);
+  /// Accept `--deprecated` as a spelling of the already-declared
+  /// `--canonical`, printing a one-line stderr warning when used.
+  void add_alias(const std::string& deprecated, const std::string& canonical);
+  /// Declare a required positional argument (filled left to right).
+  /// Read back with get_string(name).
+  void add_positional(const std::string& name, const std::string& help);
 
   /// Parse `--name value`, `--name=value` and `--flag` forms. Returns false
   /// (after printing usage) on `--help` or on a malformed/unknown argument,
@@ -53,6 +69,18 @@ class ArgParser {
   std::string description_;
   std::map<std::string, Option> options_;
   std::vector<std::string> order_;
+  std::map<std::string, std::string> aliases_;  ///< deprecated -> canonical
+  std::vector<std::string> positionals_;        ///< declaration order
 };
+
+/// Register the flag vocabulary every mpisect-* tool shares: `--model`
+/// (+ deprecated `--machine`), `--export` (+ deprecated `--format`),
+/// `--json` and `--seed`. `--version` is built into parse().
+void add_unified_flags(ArgParser& args, const std::string& model_default,
+                       const std::string& export_default,
+                       long long seed_default);
+
+/// Resolve the unified output format: `--json` wins over `--export`.
+[[nodiscard]] std::string unified_export(const ArgParser& args);
 
 }  // namespace mpisect::support

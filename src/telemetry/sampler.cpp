@@ -65,6 +65,23 @@ TelemetrySampler::TelemetrySampler(mpisim::World& world,
         "omp.imbalance_seconds", R, "schedule imbalance charged", "seconds");
     std_.omp_overhead_s = registry_.add_counter(
         "omp.overhead_seconds", R, "fork/join overhead charged", "seconds");
+    std_.fault_drops = registry_.add_counter(
+        "faults.drops", R, "injected wire-attempt drops (retransmitted)",
+        "messages");
+    std_.fault_lost = registry_.add_counter(
+        "faults.lost", R, "messages lost after retransmit budget exhausted",
+        "messages");
+    std_.fault_duplicates = registry_.add_counter(
+        "faults.duplicates", R, "duplicate deliveries injected", "messages");
+    std_.fault_retransmit_s = registry_.add_counter(
+        "faults.retransmit_seconds", R, "retransmit delay charged to wires",
+        "seconds");
+    std_.fault_stalls = registry_.add_counter(
+        "faults.stalls", R, "rank stall events taken", "events");
+    std_.fault_stall_s = registry_.add_counter(
+        "faults.stall_seconds", R, "stall seconds charged", "seconds");
+    std_.fault_kills = registry_.add_counter(
+        "faults.kills", R, "rank kills fired by the fault plan", "events");
     std_.send_queue_depth = registry_.add_distribution(
         "channel.send_queue_depth", Scope::Process, 0.0, 64.0, 16,
         "unmatched messages in the destination channel after a deposit",
@@ -73,7 +90,8 @@ TelemetrySampler::TelemetrySampler(mpisim::World& world,
         "channel.recv_queue_depth", Scope::Process, 0.0, 64.0, 16,
         "unmatched posted receives after a post", "messages");
   }
-  install_hooks();
+  world.tool_stack().attach(this, mpisim::hooks::kOrderTelemetry);
+  attached_ = true;
   MPISECT_LOG_DEBUG("telemetry: sampler installed, dt=%g ring=%zu",
                     options_.dt, options_.ring_capacity);
 }
@@ -81,107 +99,125 @@ TelemetrySampler::TelemetrySampler(mpisim::World& world,
 TelemetrySampler::~TelemetrySampler() { detach(); }
 
 void TelemetrySampler::detach() {
-  if (!installed_) return;
-  world_->hooks() = prev_hooks_;
-  world_->trace_tap() = prev_taps_;
-  installed_ = false;
+  if (!attached_) return;
+  world_->tool_stack().detach(this);
+  attached_ = false;
 }
 
-void TelemetrySampler::install_hooks() {
-  auto& hooks = world_->hooks();
-  auto& taps = world_->trace_tap();
-  prev_hooks_ = hooks;
-  prev_taps_ = taps;
+void TelemetrySampler::on_section_enter(mpisim::Ctx& ctx,
+                                        mpisim::Comm& /*comm*/,
+                                        const char* label, char* /*data*/) {
+  RankState& rs = state(ctx);
+  advance(rs, ctx.rank(), ctx.now());
+  rs.stack.push_back(intern_cached(rs, label));
+  registry_.inc(std_.section_enters, ctx.rank());
+}
 
-  hooks.section_enter_cb = [this](mpisim::Ctx& ctx, mpisim::Comm& comm,
-                                  const char* label, char* data) {
-    RankState& rs = state(ctx);
-    advance(rs, ctx.rank(), ctx.now());
-    rs.stack.push_back(intern_cached(rs, label));
-    registry_.inc(std_.section_enters, ctx.rank());
-    if (prev_hooks_.section_enter_cb) {
-      prev_hooks_.section_enter_cb(ctx, comm, label, data);
-    }
-  };
-  hooks.section_leave_cb = [this](mpisim::Ctx& ctx, mpisim::Comm& comm,
-                                  const char* label, char* data) {
-    RankState& rs = state(ctx);
-    advance(rs, ctx.rank(), ctx.now());
-    if (!rs.stack.empty()) rs.stack.pop_back();
-    if (prev_hooks_.section_leave_cb) {
-      prev_hooks_.section_leave_cb(ctx, comm, label, data);
-    }
-  };
-  hooks.on_call_begin = [this](mpisim::Ctx& ctx,
-                               const mpisim::CallInfo& info) {
-    RankState& rs = state(ctx);
-    advance(rs, ctx.rank(), info.t_virtual);
-    ++rs.call_depth;
-    registry_.inc(std_.mpi_calls, ctx.rank());
-    if (prev_hooks_.on_call_begin) prev_hooks_.on_call_begin(ctx, info);
-  };
-  hooks.on_call_end = [this](mpisim::Ctx& ctx, const mpisim::CallInfo& info) {
-    RankState& rs = state(ctx);
-    advance(rs, ctx.rank(), info.t_virtual);
-    if (rs.call_depth > 0) --rs.call_depth;
-    if (prev_hooks_.on_call_end) prev_hooks_.on_call_end(ctx, info);
-  };
+void TelemetrySampler::on_section_leave(mpisim::Ctx& ctx,
+                                        mpisim::Comm& /*comm*/,
+                                        const char* /*label*/,
+                                        char* /*data*/) {
+  RankState& rs = state(ctx);
+  advance(rs, ctx.rank(), ctx.now());
+  if (!rs.stack.empty()) rs.stack.pop_back();
+}
 
-  taps.on_send_post = [this](mpisim::Ctx& ctx, const mpisim::TapSend& tap) {
-    RankState& rs = state(ctx);
-    advance(rs, ctx.rank(), ctx.now());
-    registry_.inc(std_.msgs_sent, ctx.rank());
-    registry_.inc(std_.bytes_sent, ctx.rank(),
-                  static_cast<double>(tap.bytes));
-    registry_.inc(tap.bytes > eager_threshold_ ? std_.msgs_rendezvous
-                                               : std_.msgs_eager,
-                  ctx.rank());
-    registry_.observe(std_.send_queue_depth, -1,
-                      static_cast<double>(tap.queue_depth));
-    if (prev_taps_.on_send_post) prev_taps_.on_send_post(ctx, tap);
-  };
-  taps.on_recv_post = [this](mpisim::Ctx& ctx,
-                             const mpisim::TapRecvPost& tap) {
-    RankState& rs = state(ctx);
-    advance(rs, ctx.rank(), ctx.now());
-    registry_.inc(std_.recvs_posted, ctx.rank());
-    registry_.observe(std_.recv_queue_depth, -1,
-                      static_cast<double>(tap.queue_depth));
-    if (prev_taps_.on_recv_post) prev_taps_.on_recv_post(ctx, tap);
-  };
-  taps.on_recv_wait = [this](mpisim::Ctx& ctx,
-                             const mpisim::TapRecvWait& tap) {
-    RankState& rs = state(ctx);
-    advance(rs, ctx.rank(), ctx.now());
-    registry_.inc(std_.msgs_received, ctx.rank());
-    registry_.inc(std_.bytes_received, ctx.rank(),
-                  static_cast<double>(tap.bytes));
-    if (prev_taps_.on_recv_wait) prev_taps_.on_recv_wait(ctx, tap);
-  };
-  taps.on_probe = [this](mpisim::Ctx& ctx, const mpisim::TapProbe& tap) {
-    RankState& rs = state(ctx);
-    advance(rs, ctx.rank(), ctx.now());
-    registry_.inc(std_.probes, ctx.rank());
-    if (prev_taps_.on_probe) prev_taps_.on_probe(ctx, tap);
-  };
-  taps.on_coll_entry = [this](mpisim::Ctx& ctx, std::uint64_t op,
-                              double t_before) {
-    RankState& rs = state(ctx);
-    advance(rs, ctx.rank(), ctx.now());
-    registry_.inc(std_.coll_entries, ctx.rank());
-    if (prev_taps_.on_coll_entry) prev_taps_.on_coll_entry(ctx, op, t_before);
-  };
-  taps.on_omp_region = [this](mpisim::Ctx& ctx,
-                              const mpisim::TapOmpRegion& r) {
-    RankState& rs = state(ctx);
-    advance(rs, ctx.rank(), ctx.now());
-    registry_.inc(std_.omp_regions, ctx.rank());
-    registry_.inc(std_.omp_compute_s, ctx.rank(), r.compute);
-    registry_.inc(std_.omp_imbalance_s, ctx.rank(), r.imbalance);
-    registry_.inc(std_.omp_overhead_s, ctx.rank(), r.overhead);
-    if (prev_taps_.on_omp_region) prev_taps_.on_omp_region(ctx, r);
-  };
-  installed_ = true;
+void TelemetrySampler::on_call_begin(mpisim::Ctx& ctx,
+                                     const mpisim::CallInfo& info) {
+  RankState& rs = state(ctx);
+  advance(rs, ctx.rank(), info.t_virtual);
+  ++rs.call_depth;
+  registry_.inc(std_.mpi_calls, ctx.rank());
+}
+
+void TelemetrySampler::on_call_end(mpisim::Ctx& ctx,
+                                   const mpisim::CallInfo& info) {
+  RankState& rs = state(ctx);
+  advance(rs, ctx.rank(), info.t_virtual);
+  if (rs.call_depth > 0) --rs.call_depth;
+}
+
+void TelemetrySampler::on_send_post(mpisim::Ctx& ctx,
+                                    const mpisim::TapSend& tap) {
+  RankState& rs = state(ctx);
+  advance(rs, ctx.rank(), ctx.now());
+  registry_.inc(std_.msgs_sent, ctx.rank());
+  registry_.inc(std_.bytes_sent, ctx.rank(), static_cast<double>(tap.bytes));
+  registry_.inc(tap.bytes > eager_threshold_ ? std_.msgs_rendezvous
+                                             : std_.msgs_eager,
+                ctx.rank());
+  registry_.observe(std_.send_queue_depth, -1,
+                    static_cast<double>(tap.queue_depth));
+}
+
+void TelemetrySampler::on_recv_post(mpisim::Ctx& ctx,
+                                    const mpisim::TapRecvPost& tap) {
+  RankState& rs = state(ctx);
+  advance(rs, ctx.rank(), ctx.now());
+  registry_.inc(std_.recvs_posted, ctx.rank());
+  registry_.observe(std_.recv_queue_depth, -1,
+                    static_cast<double>(tap.queue_depth));
+}
+
+void TelemetrySampler::on_recv_wait(mpisim::Ctx& ctx,
+                                    const mpisim::TapRecvWait& tap) {
+  RankState& rs = state(ctx);
+  advance(rs, ctx.rank(), ctx.now());
+  registry_.inc(std_.msgs_received, ctx.rank());
+  registry_.inc(std_.bytes_received, ctx.rank(),
+                static_cast<double>(tap.bytes));
+}
+
+void TelemetrySampler::on_probe(mpisim::Ctx& ctx,
+                                const mpisim::TapProbe& /*tap*/) {
+  RankState& rs = state(ctx);
+  advance(rs, ctx.rank(), ctx.now());
+  registry_.inc(std_.probes, ctx.rank());
+}
+
+void TelemetrySampler::on_coll_entry(mpisim::Ctx& ctx, std::uint64_t /*op*/,
+                                     double /*t_before*/) {
+  RankState& rs = state(ctx);
+  advance(rs, ctx.rank(), ctx.now());
+  registry_.inc(std_.coll_entries, ctx.rank());
+}
+
+void TelemetrySampler::on_omp_region(mpisim::Ctx& ctx,
+                                     const mpisim::TapOmpRegion& r) {
+  RankState& rs = state(ctx);
+  advance(rs, ctx.rank(), ctx.now());
+  registry_.inc(std_.omp_regions, ctx.rank());
+  registry_.inc(std_.omp_compute_s, ctx.rank(), r.compute);
+  registry_.inc(std_.omp_imbalance_s, ctx.rank(), r.imbalance);
+  registry_.inc(std_.omp_overhead_s, ctx.rank(), r.overhead);
+}
+
+void TelemetrySampler::on_fault(mpisim::Ctx& ctx, const mpisim::TapFault& f) {
+  RankState& rs = state(ctx);
+  advance(rs, ctx.rank(), ctx.now());
+  switch (f.kind) {
+    case mpisim::FaultKind::Drop:
+      registry_.inc(std_.fault_drops, ctx.rank(),
+                    static_cast<double>(f.attempts - 1));
+      registry_.inc(std_.fault_retransmit_s, ctx.rank(), f.seconds);
+      break;
+    case mpisim::FaultKind::Loss:
+      registry_.inc(std_.fault_lost, ctx.rank());
+      registry_.inc(std_.fault_drops, ctx.rank(),
+                    static_cast<double>(f.attempts - 1));
+      registry_.inc(std_.fault_retransmit_s, ctx.rank(), f.seconds);
+      break;
+    case mpisim::FaultKind::Duplicate:
+      registry_.inc(std_.fault_duplicates, ctx.rank());
+      break;
+    case mpisim::FaultKind::Stall:
+      registry_.inc(std_.fault_stalls, ctx.rank());
+      registry_.inc(std_.fault_stall_s, ctx.rank(), f.seconds);
+      break;
+    case mpisim::FaultKind::Kill:
+      registry_.inc(std_.fault_kills, ctx.rank());
+      break;
+  }
 }
 
 sections::LabelId TelemetrySampler::intern_cached(RankState& rs,

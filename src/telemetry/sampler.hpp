@@ -1,8 +1,8 @@
 // Virtual-time interval sampler — the fourth chained PMPI-style tool.
 //
 // TelemetrySampler attaches to a World exactly like the profiler, checker
-// and trace recorder: it saves the installed HookTable / TraceTap and
-// chains its own observers in front, so the four tools stack in any order.
+// and trace recorder: it registers with the world's hooks::ToolStack, so
+// the tools stack in any order without hand-rolled chaining.
 // It divides the virtual timeline into fixed Δt intervals and, per rank,
 // accumulates into the current interval:
 //   * busy seconds per section (top-of-stack attribution — exclusive
@@ -36,6 +36,7 @@
 
 #include "core/sections/labels.hpp"
 #include "mpisim/runtime.hpp"
+#include "mpisim/toolstack.hpp"
 #include "telemetry/registry.hpp"
 
 namespace mpisect::telemetry {
@@ -57,6 +58,15 @@ struct StandardInstruments {
   InstrumentId omp_compute_s = 0;
   InstrumentId omp_imbalance_s = 0;
   InstrumentId omp_overhead_s = 0;
+  /// Fault-injection counters (Scope::Rank: TapFault events fire on the
+  /// owning rank in program order, so these are deterministic).
+  InstrumentId fault_drops = 0;           ///< dropped wire attempts
+  InstrumentId fault_lost = 0;            ///< messages lost for good
+  InstrumentId fault_duplicates = 0;      ///< duplicate deliveries
+  InstrumentId fault_retransmit_s = 0;    ///< retransmit delay charged
+  InstrumentId fault_stalls = 0;          ///< stall events taken
+  InstrumentId fault_stall_s = 0;         ///< stall seconds charged
+  InstrumentId fault_kills = 0;           ///< rank kills fired
   /// Process scope: channel backlog observed at deposit/post time —
   /// wall-clock-order dependent, Prometheus/live view only.
   InstrumentId send_queue_depth = 0;
@@ -82,7 +92,8 @@ struct SamplerOptions {
   bool standard_instruments = true;
 };
 
-class TelemetrySampler : public mpisim::Extension {
+class TelemetrySampler : public mpisim::Extension,
+                         public mpisim::hooks::Tool {
  public:
   /// Install (or return the already-installed sampler of) `world`.
   static std::shared_ptr<TelemetrySampler> install(mpisim::World& world,
@@ -90,8 +101,7 @@ class TelemetrySampler : public mpisim::Extension {
   TelemetrySampler(mpisim::World& world, SamplerOptions options);
   ~TelemetrySampler() override;
 
-  /// Restore the previously installed hook/tap tables. Only safe while
-  /// this is the most recently attached tool (PMPI chaining rule).
+  /// Unregister from the world's ToolStack. Idempotent.
   void detach();
 
   [[nodiscard]] Registry& registry() noexcept { return registry_; }
@@ -131,6 +141,22 @@ class TelemetrySampler : public mpisim::Extension {
   void on_rank_init(mpisim::Ctx& ctx) override;
   void on_rank_finalize(mpisim::Ctx& ctx) override;
 
+  // Tool interface (invoked by the world's ToolStack).
+  void on_call_begin(mpisim::Ctx& ctx, const mpisim::CallInfo& info) override;
+  void on_call_end(mpisim::Ctx& ctx, const mpisim::CallInfo& info) override;
+  void on_section_enter(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                        const char* label, char* data) override;
+  void on_section_leave(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                        const char* label, char* data) override;
+  void on_send_post(mpisim::Ctx& ctx, const mpisim::TapSend& tap) override;
+  void on_recv_post(mpisim::Ctx& ctx, const mpisim::TapRecvPost& tap) override;
+  void on_recv_wait(mpisim::Ctx& ctx, const mpisim::TapRecvWait& tap) override;
+  void on_probe(mpisim::Ctx& ctx, const mpisim::TapProbe& tap) override;
+  void on_coll_entry(mpisim::Ctx& ctx, std::uint64_t op,
+                     double t_before) override;
+  void on_omp_region(mpisim::Ctx& ctx, const mpisim::TapOmpRegion& r) override;
+  void on_fault(mpisim::Ctx& ctx, const mpisim::TapFault& f) override;
+
  private:
   struct RankState {
     double t_last = 0.0;
@@ -155,7 +181,6 @@ class TelemetrySampler : public mpisim::Extension {
     mutable std::mutex mu;  ///< guards ring + dropped only
   };
 
-  void install_hooks();
   [[nodiscard]] RankState& state(const mpisim::Ctx& ctx) {
     return *ranks_[static_cast<std::size_t>(ctx.rank())];
   }
@@ -172,9 +197,7 @@ class TelemetrySampler : public mpisim::Extension {
   StandardInstruments std_;
   sections::LabelRegistry labels_;
   std::size_t eager_threshold_ = 0;
-  mpisim::HookTable prev_hooks_;
-  mpisim::TraceTap prev_taps_;
-  bool installed_ = false;
+  bool attached_ = false;
   std::vector<std::unique_ptr<RankState>> ranks_;
 };
 

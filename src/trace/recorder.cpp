@@ -45,16 +45,16 @@ TraceRecorder::TraceRecorder(mpisim::World& world, RecorderOptions options)
     : world_(&world),
       options_(std::move(options)),
       bufs_(static_cast<std::size_t>(world.size())) {
-  install_hooks();
+  world.tool_stack().attach(this, mpisim::hooks::kOrderRecorder);
+  attached_ = true;
 }
 
 TraceRecorder::~TraceRecorder() { detach(); }
 
 void TraceRecorder::detach() {
-  if (!installed_) return;
-  world_->hooks() = prev_hooks_;
-  world_->trace_tap() = prev_taps_;
-  installed_ = false;
+  if (!attached_) return;
+  world_->tool_stack().detach(this);
+  attached_ = false;
 }
 
 Event& TraceRecorder::push(RankBuf& b, EventKind kind, double t_before) {
@@ -132,160 +132,119 @@ void TraceRecorder::on_section(mpisim::Ctx& ctx, mpisim::Comm& comm,
   }
 }
 
-void TraceRecorder::install_hooks() {
-  prev_hooks_ = world_->hooks();
-  prev_taps_ = world_->trace_tap();
-  const bool chain = options_.chain_hooks;
+void TraceRecorder::on_call_begin(mpisim::Ctx& ctx, const CallInfo& info) {
+  on_begin(ctx, info);
+}
 
-  mpisim::HookTable table;
-  table.on_call_begin = [this, chain](mpisim::Ctx& ctx, const CallInfo& info) {
-    if (chain && prev_hooks_.on_call_begin) {
-      prev_hooks_.on_call_begin(ctx, info);
-    }
-    on_begin(ctx, info);
-  };
-  table.on_call_end = [this, chain](mpisim::Ctx& ctx, const CallInfo& info) {
-    on_end(ctx, info);
-    if (chain && prev_hooks_.on_call_end) prev_hooks_.on_call_end(ctx, info);
-  };
-  table.section_enter_cb = [this, chain](mpisim::Ctx& ctx, mpisim::Comm& comm,
-                                         const char* label, char* data) {
-    on_section(ctx, comm, label, /*enter=*/true);
-    if (chain && prev_hooks_.section_enter_cb) {
-      prev_hooks_.section_enter_cb(ctx, comm, label, data);
-    }
-  };
-  table.section_leave_cb = [this, chain](mpisim::Ctx& ctx, mpisim::Comm& comm,
-                                         const char* label, char* data) {
-    on_section(ctx, comm, label, /*enter=*/false);
-    if (chain && prev_hooks_.section_leave_cb) {
-      prev_hooks_.section_leave_cb(ctx, comm, label, data);
-    }
-  };
-  table.on_pcontrol = [this, chain](mpisim::Ctx& ctx, int level,
-                                    const char* label) {
-    RankBuf& b = buf(ctx);
-    const double now = ctx.now();
-    Event& ev = push(b, EventKind::Pcontrol, now);
-    ev.peer = level;
-    ev.label = intern(label);
-    b.last_t = now;
-    if (chain && prev_hooks_.on_pcontrol) {
-      prev_hooks_.on_pcontrol(ctx, level, label);
-    }
-  };
-  table.on_comm_create = [this, chain](mpisim::Ctx& ctx,
-                                       const mpisim::CommLifecycle& info) {
-    if (chain && prev_hooks_.on_comm_create) {
-      prev_hooks_.on_comm_create(ctx, info);
-    }
-  };
-  table.on_comm_free = [this, chain](mpisim::Ctx& ctx, int context) {
-    if (chain && prev_hooks_.on_comm_free) {
-      prev_hooks_.on_comm_free(ctx, context);
-    }
-  };
-  table.section_error_cb = [this, chain](mpisim::Ctx& ctx, mpisim::Comm& comm,
-                                         const char* label, int code) {
-    if (chain && prev_hooks_.section_error_cb) {
-      prev_hooks_.section_error_cb(ctx, comm, label, code);
-    }
-  };
-  world_->hooks() = std::move(table);
+void TraceRecorder::on_call_end(mpisim::Ctx& ctx, const CallInfo& info) {
+  on_end(ctx, info);
+}
 
-  mpisim::TraceTap taps;
-  taps.on_send_post = [this, chain](mpisim::Ctx& ctx,
-                                    const mpisim::TapSend& t) {
-    RankBuf& b = buf(ctx);
-    const std::uint64_t ordinal = b.send_count++;
-    b.open_sends[t.token] = ordinal;
-    Event& ev = push(b, EventKind::SendPost, t.t_before);
-    ev.comm = t.comm_context;
-    ev.peer = t.dst_world;
-    ev.tag = t.tag;
-    ev.bytes = t.bytes;
-    ev.seq = t.seq;
+void TraceRecorder::on_section_enter(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                                     const char* label, char* /*data*/) {
+  on_section(ctx, comm, label, /*enter=*/true);
+}
+
+void TraceRecorder::on_section_leave(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                                     const char* label, char* /*data*/) {
+  on_section(ctx, comm, label, /*enter=*/false);
+}
+
+void TraceRecorder::on_pcontrol(mpisim::Ctx& ctx, int level,
+                                const char* label) {
+  RankBuf& b = buf(ctx);
+  const double now = ctx.now();
+  Event& ev = push(b, EventKind::Pcontrol, now);
+  ev.peer = level;
+  ev.label = intern(label);
+  b.last_t = now;
+}
+
+void TraceRecorder::on_send_post(mpisim::Ctx& ctx, const mpisim::TapSend& t) {
+  RankBuf& b = buf(ctx);
+  const std::uint64_t ordinal = b.send_count++;
+  b.open_sends[t.token] = ordinal;
+  Event& ev = push(b, EventKind::SendPost, t.t_before);
+  ev.comm = t.comm_context;
+  ev.peer = t.dst_world;
+  ev.tag = t.tag;
+  ev.bytes = t.bytes;
+  ev.seq = t.seq;
+  ev.op = t.op;
+  b.last_t = ctx.now();
+}
+
+void TraceRecorder::on_send_wait(mpisim::Ctx& ctx,
+                                 const mpisim::TapSendWait& t) {
+  RankBuf& b = buf(ctx);
+  const auto it = b.open_sends.find(t.token);
+  if (it != b.open_sends.end()) {
+    Event& ev = push(b, EventKind::SendWait, t.t_before);
+    ev.op = b.send_count - 1 - it->second;
+    b.open_sends.erase(it);
+    b.last_t = ctx.now();
+  }
+}
+
+void TraceRecorder::on_recv_post(mpisim::Ctx& ctx,
+                                 const mpisim::TapRecvPost& t) {
+  RankBuf& b = buf(ctx);
+  const std::uint64_t ordinal = b.recv_post_count++;
+  b.open_recvs[t.token] = ordinal;
+  b.recv_event_index[t.token] = b.events.size();
+  Event& ev = push(b, EventKind::RecvPost, ctx.now());
+  ev.comm = t.comm_context;
+  ev.peer = Event::kUnmatched;
+  b.last_t = ctx.now();
+}
+
+void TraceRecorder::on_recv_wait(mpisim::Ctx& ctx,
+                                 const mpisim::TapRecvWait& t) {
+  RankBuf& b = buf(ctx);
+  const auto idx = b.recv_event_index.find(t.token);
+  if (idx != b.recv_event_index.end()) {
+    b.events[idx->second].peer = t.src_world;
+    b.events[idx->second].seq = t.seq;
+    b.recv_event_index.erase(idx);
+  }
+  const auto it = b.open_recvs.find(t.token);
+  if (it != b.open_recvs.end()) {
+    Event& ev = push(b, EventKind::RecvWait, t.t_before);
+    ev.seq = b.recv_post_count - 1 - it->second;
     ev.op = t.op;
+    b.open_recvs.erase(it);
     b.last_t = ctx.now();
-    if (chain && prev_taps_.on_send_post) prev_taps_.on_send_post(ctx, t);
-  };
-  taps.on_send_wait = [this, chain](mpisim::Ctx& ctx,
-                                    const mpisim::TapSendWait& t) {
-    RankBuf& b = buf(ctx);
-    const auto it = b.open_sends.find(t.token);
-    if (it != b.open_sends.end()) {
-      Event& ev = push(b, EventKind::SendWait, t.t_before);
-      ev.op = b.send_count - 1 - it->second;
-      b.open_sends.erase(it);
-      b.last_t = ctx.now();
-    }
-    if (chain && prev_taps_.on_send_wait) prev_taps_.on_send_wait(ctx, t);
-  };
-  taps.on_recv_post = [this, chain](mpisim::Ctx& ctx,
-                                    const mpisim::TapRecvPost& t) {
-    RankBuf& b = buf(ctx);
-    const std::uint64_t ordinal = b.recv_post_count++;
-    b.open_recvs[t.token] = ordinal;
-    b.recv_event_index[t.token] = b.events.size();
-    Event& ev = push(b, EventKind::RecvPost, ctx.now());
-    ev.comm = t.comm_context;
-    ev.peer = Event::kUnmatched;
-    b.last_t = ctx.now();
-    if (chain && prev_taps_.on_recv_post) prev_taps_.on_recv_post(ctx, t);
-  };
-  taps.on_recv_wait = [this, chain](mpisim::Ctx& ctx,
-                                    const mpisim::TapRecvWait& t) {
-    RankBuf& b = buf(ctx);
-    const auto idx = b.recv_event_index.find(t.token);
-    if (idx != b.recv_event_index.end()) {
-      b.events[idx->second].peer = t.src_world;
-      b.events[idx->second].seq = t.seq;
-      b.recv_event_index.erase(idx);
-    }
-    const auto it = b.open_recvs.find(t.token);
-    if (it != b.open_recvs.end()) {
-      Event& ev = push(b, EventKind::RecvWait, t.t_before);
-      ev.seq = b.recv_post_count - 1 - it->second;
-      ev.op = t.op;
-      b.open_recvs.erase(it);
-      b.last_t = ctx.now();
-    }
-    if (chain && prev_taps_.on_recv_wait) prev_taps_.on_recv_wait(ctx, t);
-  };
-  taps.on_probe = [this, chain](mpisim::Ctx& ctx, const mpisim::TapProbe& t) {
-    RankBuf& b = buf(ctx);
-    Event& ev = push(b, EventKind::Probe, t.t_before);
-    ev.comm = t.comm_context;
-    ev.peer = t.src_world;
-    ev.seq = t.seq;
-    b.last_t = ctx.now();
-    if (chain && prev_taps_.on_probe) prev_taps_.on_probe(ctx, t);
-  };
-  taps.on_comm_sync = [this, chain](mpisim::Ctx& ctx,
-                                    const mpisim::TapCommSync& t) {
-    RankBuf& b = buf(ctx);
-    Event& ev = push(b, EventKind::CommSync, t.t_before);
-    ev.comm = t.comm_context;
-    ev.peer = t.members;
-    ev.seq = static_cast<std::uint64_t>(t.rounds);
-    b.last_t = ctx.now();
-    if (chain && prev_taps_.on_comm_sync) prev_taps_.on_comm_sync(ctx, t);
-  };
-  taps.on_coll_entry = [this, chain](mpisim::Ctx& ctx, std::uint64_t op,
-                                     double t_before) {
-    RankBuf& b = buf(ctx);
-    if (!b.events.empty() && b.events.back().kind == EventKind::CollBegin) {
-      b.events.back().op = op;
-      b.events.back().has_time = t_before != b.last_t;
-      b.events.back().t_before = t_before;
-    }
-    b.last_t = ctx.now();
-    if (chain && prev_taps_.on_coll_entry) {
-      prev_taps_.on_coll_entry(ctx, op, t_before);
-    }
-  };
-  world_->trace_tap() = std::move(taps);
-  installed_ = true;
+  }
+}
+
+void TraceRecorder::on_probe(mpisim::Ctx& ctx, const mpisim::TapProbe& t) {
+  RankBuf& b = buf(ctx);
+  Event& ev = push(b, EventKind::Probe, t.t_before);
+  ev.comm = t.comm_context;
+  ev.peer = t.src_world;
+  ev.seq = t.seq;
+  b.last_t = ctx.now();
+}
+
+void TraceRecorder::on_comm_sync(mpisim::Ctx& ctx,
+                                 const mpisim::TapCommSync& t) {
+  RankBuf& b = buf(ctx);
+  Event& ev = push(b, EventKind::CommSync, t.t_before);
+  ev.comm = t.comm_context;
+  ev.peer = t.members;
+  ev.seq = static_cast<std::uint64_t>(t.rounds);
+  b.last_t = ctx.now();
+}
+
+void TraceRecorder::on_coll_entry(mpisim::Ctx& ctx, std::uint64_t op,
+                                  double t_before) {
+  RankBuf& b = buf(ctx);
+  if (!b.events.empty() && b.events.back().kind == EventKind::CollBegin) {
+    b.events.back().op = op;
+    b.events.back().has_time = t_before != b.last_t;
+    b.events.back().t_before = t_before;
+  }
+  b.last_t = ctx.now();
 }
 
 TraceFile TraceRecorder::finish() const {

@@ -2,10 +2,10 @@
 // checker), capturing a compact per-rank event stream suitable for
 // offline what-if replay.
 //
-// Like MpiChecker it chains the previous HookTable, so it stacks with the
-// profiler and checker in any order; unlike them it also installs the
-// World's TraceTap to observe collective-internal messages and the RNG
-// keys of every modelled charge. Taps and hooks never charge virtual
+// Like MpiChecker it registers with the world's hooks::ToolStack, so it
+// stacks with the profiler and checker in any order; unlike them it also
+// observes the TraceTap events for collective-internal messages and the
+// RNG keys of every modelled charge. Taps and hooks never charge virtual
 // time, so recording perturbs the simulated timeline by exactly zero.
 //
 //   World world(16, {...});
@@ -26,6 +26,7 @@
 
 #include "mpisim/hooks.hpp"
 #include "mpisim/runtime.hpp"
+#include "mpisim/toolstack.hpp"
 #include "trace/file.hpp"
 
 namespace mpisect::trace {
@@ -33,8 +34,8 @@ namespace mpisect::trace {
 struct RecorderOptions {
   /// Free-form provenance string stored in the trace header.
   std::string app;
-  /// Forward events to previously installed hook/tap owners (tool
-  /// stacking). Disable only in isolation tests.
+  /// Legacy (ignored): tools now register with the world's ToolStack,
+  /// which chains unconditionally.
   bool chain_hooks = true;
   /// Telemetry sampling interval hint stamped into the trace header
   /// (seconds of virtual time); 0 = none. Purely metadata — never set by
@@ -43,7 +44,7 @@ struct RecorderOptions {
   double telemetry_dt = 0.0;
 };
 
-class TraceRecorder : public mpisim::Extension {
+class TraceRecorder : public mpisim::Extension, public mpisim::hooks::Tool {
  public:
   /// Create and attach a recorder (idempotent per world).
   static std::shared_ptr<TraceRecorder> install(mpisim::World& world,
@@ -55,13 +56,30 @@ class TraceRecorder : public mpisim::Extension {
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
-  /// Restore the previous hooks/taps. Idempotent.
+  /// Unregister from the world's ToolStack. Idempotent.
   void detach();
 
   /// Assemble the trace for the last completed run. Label ids are
   /// remapped to lexicographic order so same-seed runs produce
   /// byte-identical files regardless of thread interleaving.
   [[nodiscard]] TraceFile finish() const;
+
+  // Tool interface (invoked by the world's ToolStack).
+  void on_call_begin(mpisim::Ctx& ctx, const mpisim::CallInfo& info) override;
+  void on_call_end(mpisim::Ctx& ctx, const mpisim::CallInfo& info) override;
+  void on_section_enter(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                        const char* label, char* data) override;
+  void on_section_leave(mpisim::Ctx& ctx, mpisim::Comm& comm,
+                        const char* label, char* data) override;
+  void on_pcontrol(mpisim::Ctx& ctx, int level, const char* label) override;
+  void on_send_post(mpisim::Ctx& ctx, const mpisim::TapSend& t) override;
+  void on_send_wait(mpisim::Ctx& ctx, const mpisim::TapSendWait& t) override;
+  void on_recv_post(mpisim::Ctx& ctx, const mpisim::TapRecvPost& t) override;
+  void on_recv_wait(mpisim::Ctx& ctx, const mpisim::TapRecvWait& t) override;
+  void on_probe(mpisim::Ctx& ctx, const mpisim::TapProbe& t) override;
+  void on_comm_sync(mpisim::Ctx& ctx, const mpisim::TapCommSync& t) override;
+  void on_coll_entry(mpisim::Ctx& ctx, std::uint64_t op,
+                     double t_before) override;
 
  private:
   struct RankBuf {
@@ -90,7 +108,6 @@ class TraceRecorder : public mpisim::Extension {
     }
   };
 
-  void install_hooks();
   RankBuf& buf(const mpisim::Ctx& ctx) {
     return bufs_[static_cast<std::size_t>(ctx.rank())];
   }
@@ -106,9 +123,7 @@ class TraceRecorder : public mpisim::Extension {
 
   mpisim::World* world_;
   RecorderOptions options_;
-  mpisim::HookTable prev_hooks_;
-  mpisim::TraceTap prev_taps_;
-  bool installed_ = false;
+  bool attached_ = false;
   std::vector<RankBuf> bufs_;
   std::mutex label_mu_;
   std::vector<std::string> label_names_;

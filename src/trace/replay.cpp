@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 
+#include "mpisim/faults/engine.hpp"
+#include "mpisim/message.hpp"
 #include "support/rng.hpp"
 
 namespace mpisect::trace {
@@ -36,6 +39,7 @@ struct MsgState {
   double start_rec = 0.0, wire_rec = 0.0, avail_rec = 0.0, post_rec = 0.0;
   double start_cur = 0.0, wire_cur = 0.0, avail_cur = 0.0, post_cur = 0.0;
   bool rend_rec = false, rend_cur = false;
+  bool lost_cur = false;  ///< fault plan lost this message in the cur frame
   bool have_send = false, have_post = false;
   int consumed = 0;  ///< SendWait + RecvWait; erased at 2
 };
@@ -76,10 +80,22 @@ struct Engine {
   std::map<std::pair<int, std::uint32_t>,
            std::vector<std::vector<sections::RankSpan>>>
       spans;
+  std::unique_ptr<mpisim::faults::FaultEngine> fault_eng;
 
   Engine(const TraceFile& t, const mpisim::MachineModel& cur,
          const ReplayOptions& o)
       : tf(t), rec_net(t.header.machine.net), cur_net(cur.net), opt(o) {
+    if (!opt.faults.empty()) {
+      if (!opt.faults.kills.empty()) {
+        throw TraceError(
+            "fault plan contains kill rules, which are not replayable: the "
+            "recorded skeleton assumes every rank completed");
+      }
+      const std::uint64_t seed =
+          opt.fault_seed != 0 ? opt.fault_seed : t.header.seed;
+      fault_eng = std::make_unique<mpisim::faults::FaultEngine>(
+          opt.faults, seed, t.header.nranks);
+    }
     ranks.resize(tf.ranks.size());
     for (std::size_t r = 0; r < tf.ranks.size(); ++r) {
       ranks[r].t_rec = tf.ranks[r].t0;
@@ -105,10 +121,12 @@ struct Engine {
       fail(r, ev,
            "recorded clock behind replayed clock (trace/model mismatch)");
     }
-    if (opt.compute_scale == 1.0 && st.t_cur == st.t_rec) {
+    double scale = opt.compute_scale;
+    if (fault_eng) scale *= fault_eng->compute_factor(r, st.t_cur);
+    if (scale == 1.0 && st.t_cur == st.t_rec) {
       st.t_cur = ev.t_before;
     } else {
-      st.t_cur += (ev.t_before - st.t_rec) * opt.compute_scale;
+      st.t_cur += (ev.t_before - st.t_rec) * scale;
     }
     st.t_rec = ev.t_before;
   }
@@ -127,6 +145,9 @@ struct Engine {
       return Step::Advanced;
     }
     const Event& ev = stream.events[st.cursor];
+    // Stall rules charge at the rank's first event past their trigger time
+    // (mirror of the live engine's fault checkpoints).
+    if (fault_eng) st.t_cur += fault_eng->take_stall(r, st.t_cur);
     switch (ev.kind) {
       case EventKind::SendPost: {
         charge_gap(r, st, ev);
@@ -143,6 +164,14 @@ struct Engine {
         ms.rend_rec = nbytes > rec_net.eager_threshold;
         ms.start_cur = st.t_cur;
         ms.wire_cur = cur_net.transfer_cost(r, ev.peer, nbytes, ev.seq);
+        if (fault_eng) {
+          const mpisim::faults::WireFate fate = fault_eng->wire_fate(
+              r, ev.peer, ev.seq, st.t_cur,
+              ev.tag >= mpisim::kInternalTagBase);
+          ms.wire_cur = ms.wire_cur * fate.cost_factor + fate.add_latency +
+                        fate.extra_delay;
+          ms.lost_cur = fate.lost;
+        }
         ms.avail_cur = ms.start_cur + ms.wire_cur;
         ms.rend_cur = nbytes > cur_net.eager_threshold;
         ms.have_send = true;
@@ -161,6 +190,13 @@ struct Engine {
           break;
         }
         MsgState& ms = it->second;
+        if (ms.rend_cur && ms.lost_cur) {
+          fail(r, ev,
+               "rendezvous message to rank " + std::to_string(key.dst) +
+                   " seq " + std::to_string(key.seq) +
+                   " lost under the fault plan (retransmit budget "
+                   "exhausted); the recorded send cannot complete");
+        }
         if ((ms.rend_rec || ms.rend_cur) && !ms.have_post) {
           return Step::Blocked;
         }
@@ -197,6 +233,13 @@ struct Engine {
         const auto it = msgs.find(key);
         if (it == msgs.end() || !it->second.have_send) return Step::Blocked;
         MsgState& ms = it->second;
+        if (ms.lost_cur) {
+          fail(r, ev,
+               "message from rank " + std::to_string(key.src) + " seq " +
+                   std::to_string(key.seq) +
+                   " lost under the fault plan (retransmit budget "
+                   "exhausted); the recorded receive can never complete");
+        }
         charge_gap(r, st, ev);
         const double del_rec =
             ms.rend_rec ? std::max(ms.start_rec, ms.post_rec) + ms.wire_rec
@@ -218,6 +261,13 @@ struct Engine {
         const auto it = msgs.find(key);
         if (it == msgs.end() || !it->second.have_send) return Step::Blocked;
         const MsgState& ms = it->second;
+        if (ms.lost_cur) {
+          fail(r, ev,
+               "probed message from rank " + std::to_string(key.src) +
+                   " seq " + std::to_string(key.seq) +
+                   " lost under the fault plan; the recorded probe can "
+                   "never match");
+        }
         charge_gap(r, st, ev);
         // Mirror of Channel::probe: the completion time of a hypothetical
         // receive posted at the prober's current time (rendezvous pays its

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/sections/metrics.hpp"
+#include "mpisim/faults/plan.hpp"
 #include "mpisim/machine.hpp"
 #include "trace/file.hpp"
 
@@ -36,6 +37,15 @@ struct ReplayOptions {
   bool collect_metrics = true;
   /// Keep a merged, time-ordered section timeline (chrome export, tests).
   bool timeline = false;
+  /// Fault plan re-costed onto the what-if frame: drop/delay/degrade rules
+  /// perturb wire costs, slow rules scale compute gaps, stall rules charge
+  /// at the first event past their trigger. Messages lost for good (retry
+  /// budget exhausted) and kill rules make the recorded skeleton
+  /// unsatisfiable and throw TraceError. Empty = no faults.
+  mpisim::faults::FaultPlan faults = {};
+  /// Seed for the plan's fault draws; 0 = the trace header's recorded
+  /// seed, so a replay under the original run's plan re-draws identically.
+  std::uint64_t fault_seed = 0;
 };
 
 /// Per-(comm, label) section statistics of the replayed timeline.

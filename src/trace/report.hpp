@@ -38,6 +38,7 @@ namespace mpisect::trace {
                                          double latency_scale,
                                          double bandwidth_scale,
                                          double compute_scale,
+                                         double drop_rate = 0.0,
                                          std::optional<double> t_seq = {});
 
 }  // namespace mpisect::trace

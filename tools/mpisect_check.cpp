@@ -3,7 +3,8 @@
 //
 //   mpisect-check --app convolution --ranks 8 --steps 20      # clean run
 //   mpisect-check --scenario deadlock                          # seeded bug
-//   mpisect-check --app lulesh --format json --out findings.json
+//   mpisect-check --app lulesh --json --out findings.json
+//   mpisect-check --app convolution --faults "kill:rank=1,at=0.001"
 //
 // Scenarios (always 2 ranks) seed one violation class each:
 //   deadlock            cross receive with no matching sends
@@ -12,10 +13,14 @@
 //   p2p-mismatch        8-byte message into a 4-byte receive buffer
 //   section-misuse      ranks exit different section labels
 //
+// --faults runs the app under a deterministic fault plan; injected stalls
+// and kills are classified as INJECTED_FAULT, never as native deadlocks.
+//
 // Exit status: 0 = no findings, 2 = findings reported, 1 = usage error.
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <stdexcept>
 #include <string>
 
 #include "apps/convolution/convolution.hpp"
@@ -24,22 +29,20 @@
 #include "checker/report.hpp"
 #include "core/sections/api.hpp"
 #include "core/sections/runtime.hpp"
+#include "mpisim/faults/injector.hpp"
 #include "support/cli.hpp"
 
 namespace {
 
 using namespace mpisect;
 
-mpisim::MachineModel machine_by_name(const std::string& name) {
-  if (name == "nehalem") return mpisim::MachineModel::nehalem_cluster();
-  if (name == "knl") return mpisim::MachineModel::knl();
-  if (name == "broadwell") return mpisim::MachineModel::broadwell_2s();
-  if (name == "ideal") return mpisim::MachineModel::ideal();
-  std::fprintf(stderr,
-               "unknown machine '%s' (nehalem|knl|broadwell|ideal); using "
-               "ideal\n",
-               name.c_str());
-  return mpisim::MachineModel::ideal();
+std::string preset_list() {
+  std::string out;
+  for (const auto& n : mpisim::MachineModel::preset_names()) {
+    if (!out.empty()) out += "|";
+    out += n;
+  }
+  return out;
 }
 
 void scenario_deadlock(mpisim::Ctx& ctx) {
@@ -108,17 +111,21 @@ int run(int argc, char** argv) {
   args.add_string("scenario", "clean",
                   "clean | deadlock | leak | collective-mismatch | "
                   "p2p-mismatch | section-misuse");
-  args.add_string("machine", "ideal", "nehalem | knl | broadwell | ideal");
+  support::add_unified_flags(args, /*model_default=*/"ideal",
+                             /*export_default=*/"text",
+                             /*seed_default=*/0x5EED);
   args.add_int("ranks", 8, "MPI processes (clean runs; scenarios use 2)");
   args.add_int("threads", 1, "MiniOMP threads per rank (lulesh)");
   args.add_int("steps", 10, "time-steps (clean runs)");
   args.add_int("timeout-ms", 500, "deadlock quiescence window");
-  args.add_string("format", "text", "text | csv | json");
+  args.add_string("faults", "",
+                  "fault plan spec, e.g. 'drop:p=0.05; kill:rank=1,at=1e-3' "
+                  "('' = none)");
   args.add_string("out", "", "output file ('' = stdout)");
   if (!args.parse(argc, argv)) return 1;
 
   const std::string scenario = args.get_string("scenario");
-  const std::string format = args.get_string("format");
+  const std::string format = support::unified_export(args);
   if (format != "text" && format != "csv" && format != "json") {
     std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
     return 1;
@@ -143,13 +150,32 @@ int run(int argc, char** argv) {
   if (body) ranks = 2;
 
   mpisim::WorldOptions opts;
-  opts.machine = machine_by_name(args.get_string("machine"));
+  const auto preset = mpisim::MachineModel::preset(args.get_string("model"));
+  if (!preset) {
+    std::fprintf(stderr, "unknown model '%s' (%s)\n",
+                 args.get_string("model").c_str(), preset_list().c_str());
+    return 1;
+  }
+  opts.machine = *preset;
+  opts.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  if (!args.get_string("faults").empty()) {
+    try {
+      opts.faults = mpisim::faults::FaultPlan::parse(args.get_string("faults"));
+    } catch (const std::invalid_argument& err) {
+      std::fprintf(stderr, "mpisect-check: %s\n", err.what());
+      return 1;
+    }
+  }
   mpisim::World world(ranks, opts);
   sections::SectionRuntime::install(world);
 
   checker::CheckerOptions copts;
   copts.deadlock_timeout_ms = static_cast<int>(args.get_int("timeout-ms"));
   auto check = checker::MpiChecker::install(world, copts);
+  std::shared_ptr<mpisim::faults::FaultInjector> injector;
+  if (!opts.faults.empty()) {
+    injector = mpisim::faults::FaultInjector::install(world);
+  }
 
   if (!body) {
     const std::string app_name = args.get_string("app");
@@ -193,6 +219,11 @@ int run(int argc, char** argv) {
 
   check->analyze();
   const auto diags = check->diagnostics();
+  if (injector) {
+    std::fprintf(stderr, "fault plan: %s\ninjected: %s\n",
+                 opts.faults.describe().c_str(),
+                 injector->summary().c_str());
+  }
 
   std::string text;
   if (format == "text") {

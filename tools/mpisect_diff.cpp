@@ -1,8 +1,8 @@
 // mpisect-diff — compare two profile snapshots written by
-// `mpisect-report --format snapshot`:
+// `mpisect-report --export snapshot`:
 //
-//   mpisect-report --app lulesh --threads 1  --format snapshot --out t1.csv
-//   mpisect-report --app lulesh --threads 16 --format snapshot --out t16.csv
+//   mpisect-report --app lulesh --threads 1  --export snapshot --out t1.csv
+//   mpisect-report --app lulesh --threads 16 --export snapshot --out t16.csv
 //   mpisect-diff t1.csv t16.csv
 //
 // Prints the per-section deltas, biggest movers first.
@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "profiler/diff.hpp"
+#include "support/cli.hpp"
 
 namespace {
 
@@ -30,12 +31,13 @@ std::optional<mpisect::profiler::ProfileSnapshot> load(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: mpisect-diff <before.csv> <after.csv>\n");
-    return 1;
-  }
-  const auto before = load(argv[1]);
-  const auto after = load(argv[2]);
+  mpisect::support::ArgParser args(
+      "mpisect-diff", "Compare two profile snapshots, biggest movers first");
+  args.add_positional("before", "baseline snapshot CSV");
+  args.add_positional("after", "comparison snapshot CSV");
+  if (!args.parse(argc, argv)) return 1;
+  const auto before = load(args.get_string("before").c_str());
+  const auto after = load(args.get_string("after").c_str());
   if (!before || !after) return 1;
   const auto deltas = mpisect::profiler::diff_profiles(*before, *after);
   std::fputs(mpisect::profiler::render_diff(deltas, before->name(),

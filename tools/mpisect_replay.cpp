@@ -3,13 +3,16 @@
 // machine models:
 //
 //   mpisect-replay record --app convolution --ranks 64 --steps 200
-//                         --machine nehalem-cluster --out conv.mpst
+//                         --model nehalem-cluster --out conv.mpst
 //   mpisect-replay info   --trace conv.mpst
-//   mpisect-replay replay --trace conv.mpst --machine knl
+//   mpisect-replay replay --trace conv.mpst --model knl
 //                         --compute-scale auto --tseq 12.5
 //   mpisect-replay replay --trace conv.mpst --latency-scale 4 --no-jitter
+//   mpisect-replay replay --trace conv.mpst --faults "drop:p=0.05"
 //   mpisect-replay sweep  --trace conv.mpst --latency-scales 1,2,4,8
 //                         --bandwidth-scales 0.5,1,2 --out sweep.csv
+//   mpisect-replay sweep  --trace conv.mpst --drop-rates 0,0.01,0.05
+//                         --out faults.csv
 //
 // Exit status: 0 = ok, 1 = usage/file error (one-line diagnostic),
 // 3 = --verify mismatch.
@@ -90,13 +93,13 @@ struct WhatIf {
 WhatIf resolve_machine(const trace::TraceFile& tf,
                        const support::ArgParser& args) {
   WhatIf w;
-  const std::string name = args.get_string("machine");
+  const std::string name = args.get_string("model");
   if (name == "recorded") {
     w.machine = tf.header.machine;
   } else if (auto preset = mpisim::MachineModel::preset(name)) {
     w.machine = *preset;
   } else {
-    throw trace::TraceError("unknown machine '" + name + "' (recorded|" +
+    throw trace::TraceError("unknown model '" + name + "' (recorded|" +
                             preset_list() + ")");
   }
   mpisim::NetworkModel& net = w.machine.net;
@@ -140,8 +143,14 @@ WhatIf resolve_machine(const trace::TraceFile& tf,
 
 void add_whatif_options(support::ArgParser& args) {
   args.add_string("trace", "trace.mpst", "input trace file");
-  args.add_string("machine", "recorded",
+  args.add_string("model", "recorded",
                   "recorded | " + preset_list());
+  args.add_alias("machine", "model");
+  args.add_string("faults", "",
+                  "fault plan re-costed onto the what-if frame, e.g. "
+                  "'drop:p=0.05' ('' = none; kill rules not replayable)");
+  args.add_int("fault-seed", 0,
+               "seed for the fault draws (0 = the trace header's seed)");
   args.add_double("latency", 0.0, "absolute link latency override (s)");
   args.add_double("bandwidth", 0.0, "absolute link bandwidth override (B/s)");
   args.add_double("latency-scale", 1.0, "multiply link latencies");
@@ -158,7 +167,8 @@ int cmd_record(int argc, const char* const* argv) {
   support::ArgParser args("mpisect-replay record",
                           "Run an instrumented app and capture a .mpst trace");
   args.add_string("app", "convolution", "convolution | lulesh");
-  args.add_string("machine", "nehalem-cluster", preset_list());
+  args.add_string("model", "nehalem-cluster", preset_list());
+  args.add_alias("machine", "model");
   args.add_int("ranks", 8, "MPI processes (lulesh: perfect cube)");
   args.add_int("threads", 1, "MiniOMP threads per rank (lulesh)");
   args.add_int("steps", 100, "time-steps");
@@ -173,9 +183,9 @@ int cmd_record(int argc, const char* const* argv) {
   const std::string app_name = args.get_string("app");
   const int ranks = static_cast<int>(args.get_int("ranks"));
   mpisim::WorldOptions opts;
-  auto preset = mpisim::MachineModel::preset(args.get_string("machine"));
+  auto preset = mpisim::MachineModel::preset(args.get_string("model"));
   if (!preset) {
-    throw trace::TraceError("unknown machine '" + args.get_string("machine") +
+    throw trace::TraceError("unknown model '" + args.get_string("model") +
                             "' (" + preset_list() + ")");
   }
   opts.machine = *preset;
@@ -227,7 +237,9 @@ int cmd_replay(int argc, const char* const* argv) {
   support::ArgParser args("mpisect-replay replay",
                           "Replay a trace under a what-if machine model");
   add_whatif_options(args);
-  args.add_string("format", "text", "text | csv | json | chrome");
+  args.add_string("export", "text", "text | csv | json | chrome");
+  args.add_alias("format", "export");
+  args.add_flag("json", "shorthand for --export json");
   args.add_string("out", "", "output file ('' = stdout)");
   args.add_flag("verify",
                 "same-model integrity check against the recorded footer");
@@ -247,10 +259,14 @@ int cmd_replay(int argc, const char* const* argv) {
   }
 
   const WhatIf w = resolve_machine(tf, args);
-  const std::string format = args.get_string("format");
+  const std::string format = support::unified_export(args);
   trace::ReplayOptions ropts;
   ropts.compute_scale = w.compute_scale;
   ropts.timeline = format == "chrome";
+  if (!args.get_string("faults").empty()) {
+    ropts.faults = mpisim::faults::FaultPlan::parse(args.get_string("faults"));
+    ropts.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
+  }
   const trace::ReplayResult res = trace::replay(tf, w.machine, ropts);
 
   std::optional<double> t_seq;
@@ -283,7 +299,9 @@ int cmd_timeline(int argc, const char* const* argv) {
   args.add_double("dt", 0.0,
                   "window width in virtual seconds (0 = the trace header's "
                   "telemetry-dt, else makespan/100)");
-  args.add_string("format", "csv", "csv | json | chrome");
+  args.add_string("export", "csv", "csv | json | chrome");
+  args.add_alias("format", "export");
+  args.add_flag("json", "shorthand for --export json");
   args.add_string("out", "", "output file ('' = stdout)");
   if (!args.parse(argc, argv)) return 1;
 
@@ -292,6 +310,10 @@ int cmd_timeline(int argc, const char* const* argv) {
   trace::ReplayOptions ropts;
   ropts.compute_scale = w.compute_scale;
   ropts.timeline = true;
+  if (!args.get_string("faults").empty()) {
+    ropts.faults = mpisim::faults::FaultPlan::parse(args.get_string("faults"));
+    ropts.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
+  }
   const trace::ReplayResult res = trace::replay(tf, w.machine, ropts);
 
   double dt = args.get_double("dt");
@@ -307,7 +329,7 @@ int cmd_timeline(int argc, const char* const* argv) {
   prov.machine = w.machine.name;
   prov.seed = std::to_string(tf.header.seed);
 
-  const std::string format = args.get_string("format");
+  const std::string format = support::unified_export(args);
   std::string text;
   if (format == "csv") {
     text = telemetry::timeline_csv(tl, prov);
@@ -356,14 +378,20 @@ int cmd_sweep(int argc, const char* const* argv) {
   support::ArgParser args("mpisect-replay sweep",
                           "Replay across a parameter grid, emit long CSV");
   args.add_string("trace", "trace.mpst", "input trace file");
-  args.add_string("machines", "recorded",
+  args.add_string("models", "recorded",
                   "comma list: recorded | " + preset_list());
+  args.add_alias("machines", "models");
   args.add_string("latency-scales", "1", "comma list of latency multipliers");
   args.add_string("bandwidth-scales", "1",
                   "comma list of bandwidth multipliers");
   args.add_string("compute-scales", "1",
                   "comma list of compute multipliers ('auto' = recorded "
                   "flops / machine flops)");
+  args.add_string("drop-rates", "0",
+                  "comma list of message drop probabilities (re-costed with "
+                  "retransmits onto the what-if frame)");
+  args.add_int("fault-seed", 0,
+               "seed for the fault draws (0 = the trace header's seed)");
   args.add_double("tseq", 0.0, "sequential reference time for Eq. 6 bounds");
   args.add_string("out", "", "output CSV ('' = stdout)");
   if (!args.parse(argc, argv)) return 1;
@@ -373,12 +401,13 @@ int cmd_sweep(int argc, const char* const* argv) {
   if (args.get_double("tseq") > 0) t_seq = args.get_double("tseq");
 
   const std::vector<std::string> machines =
-      split_csv(args.get_string("machines"));
+      split_csv(args.get_string("models"));
   const std::vector<double> lat = parse_grid(args.get_string("latency-scales"));
   const std::vector<double> bw =
       parse_grid(args.get_string("bandwidth-scales"));
   const std::vector<std::string> comp =
       split_csv(args.get_string("compute-scales"));
+  const std::vector<double> drops = parse_grid(args.get_string("drop-rates"));
 
   std::string out = trace::sweep_csv_header();
   for (const auto& mname : machines) {
@@ -411,10 +440,23 @@ int cmd_sweep(int argc, const char* const* argv) {
           m.net.inter_node.latency *= ls;
           m.net.intra_node.bandwidth *= bs;
           m.net.inter_node.bandwidth *= bs;
-          trace::ReplayOptions ropts;
-          ropts.compute_scale = cs;
-          const trace::ReplayResult res = trace::replay(tf, m, ropts);
-          out += trace::sweep_csv_rows(res, mname, ls, bs, cs, t_seq);
+          for (const double dr : drops) {
+            if (dr < 0.0 || dr >= 1.0) {
+              throw trace::TraceError("bad --drop-rates entry (need 0 <= p "
+                                      "< 1)");
+            }
+            trace::ReplayOptions ropts;
+            ropts.compute_scale = cs;
+            if (dr > 0.0) {
+              char spec[48];
+              std::snprintf(spec, sizeof spec, "drop:p=%.9g", dr);
+              ropts.faults = mpisim::faults::FaultPlan::parse(spec);
+              ropts.fault_seed =
+                  static_cast<std::uint64_t>(args.get_int("fault-seed"));
+            }
+            const trace::ReplayResult res = trace::replay(tf, m, ropts);
+            out += trace::sweep_csv_rows(res, mname, ls, bs, cs, dr, t_seq);
+          }
         }
       }
     }

@@ -2,11 +2,11 @@
 // emit every report the toolchain produces, from one command line:
 //
 //   mpisect-report --app convolution --ranks 64 --steps 200
-//                  --machine nehalem --format text
-//   mpisect-report --app lulesh --ranks 8 --threads 16 --machine knl
-//                  --format tree
-//   mpisect-report --app lulesh --format chrome --out trace.json
-//   mpisect-report --app convolution --format snapshot --out before.csv
+//                  --model nehalem --export text
+//   mpisect-report --app lulesh --ranks 8 --threads 16 --model knl
+//                  --export tree
+//   mpisect-report --app lulesh --export chrome --out trace.json
+//   mpisect-report --app convolution --export snapshot --out before.csv
 //
 // Formats: text (per-section table), csv, json, tree (phase call-tree),
 // balance (load-balance triage), chrome (chrome://tracing JSON),
@@ -30,16 +30,13 @@ namespace {
 
 using namespace mpisect;
 
-mpisim::MachineModel machine_by_name(const std::string& name) {
-  if (name == "nehalem") return mpisim::MachineModel::nehalem_cluster();
-  if (name == "knl") return mpisim::MachineModel::knl();
-  if (name == "broadwell") return mpisim::MachineModel::broadwell_2s();
-  if (name == "ideal") return mpisim::MachineModel::ideal();
-  std::fprintf(stderr,
-               "unknown machine '%s' (nehalem|knl|broadwell|ideal); using "
-               "ideal\n",
-               name.c_str());
-  return mpisim::MachineModel::ideal();
+std::string preset_list() {
+  std::string out;
+  for (const auto& n : mpisim::MachineModel::preset_names()) {
+    if (!out.empty()) out += "|";
+    out += n;
+  }
+  return out;
 }
 
 bool emit(const std::string& text, const std::string& out_path) {
@@ -63,28 +60,33 @@ int main(int argc, char** argv) {
   support::ArgParser args("mpisect-report",
                           "Run an instrumented app and emit section reports");
   args.add_string("app", "convolution", "convolution | lulesh");
-  args.add_string("machine", "nehalem", "nehalem | knl | broadwell | ideal");
+  support::add_unified_flags(args, /*model_default=*/"nehalem",
+                             /*export_default=*/"text",
+                             /*seed_default=*/0x5EED);
   args.add_int("ranks", 8, "MPI processes (lulesh: perfect cube)");
   args.add_int("threads", 1, "MiniOMP threads per rank (lulesh)");
   args.add_int("steps", 100, "time-steps");
   args.add_int("size", 0,
                "problem size (convolution: image height scale x100; lulesh: "
                "per-rank edge; 0 = default)");
-  args.add_string("format", "text",
-                  "text | csv | json | tree | balance | chrome | snapshot");
   args.add_string("out", "", "output file ('' = stdout)");
-  args.add_int("seed", 0x5EED, "world seed");
   args.add_flag("validate", "enable section validation mode");
   if (!args.parse(argc, argv)) return 1;
 
   const std::string app_name = args.get_string("app");
-  const std::string format = args.get_string("format");
+  const std::string format = support::unified_export(args);
   const int ranks = static_cast<int>(args.get_int("ranks"));
   const bool keep_instances =
       format == "tree" || format == "chrome";
 
   mpisim::WorldOptions opts;
-  opts.machine = machine_by_name(args.get_string("machine"));
+  const auto preset = mpisim::MachineModel::preset(args.get_string("model"));
+  if (!preset) {
+    std::fprintf(stderr, "unknown model '%s' (%s)\n",
+                 args.get_string("model").c_str(), preset_list().c_str());
+    return 1;
+  }
+  opts.machine = *preset;
   opts.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   opts.validate_sections = args.get_flag("validate");
   mpisim::World world(ranks, opts);

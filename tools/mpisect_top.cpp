@@ -33,6 +33,7 @@
 #include "apps/lulesh/lulesh.hpp"
 #include "core/sections/runtime.hpp"
 #include "core/speedup/partial_bound.hpp"
+#include "mpisim/faults/injector.hpp"
 #include "support/cli.hpp"
 #include "support/strings.hpp"
 #include "telemetry/export.hpp"
@@ -194,12 +195,13 @@ int main(int argc, char** argv) {
   support::ArgParser args("mpisect-top",
                           "Live telemetry view of an instrumented run");
   args.add_string("app", "lulesh", "lulesh | convolution");
-  args.add_string("machine", "knl", preset_list());
+  support::add_unified_flags(args, /*model_default=*/"knl",
+                             /*export_default=*/"",
+                             /*seed_default=*/0x5EED);
   args.add_int("ranks", 8, "MPI processes (lulesh: perfect cube)");
   args.add_int("threads", 2, "MiniOMP threads per rank (lulesh)");
   args.add_int("steps", 30, "time-steps");
   args.add_int("size", 0, "problem size (0 = default)");
-  args.add_int("seed", 0x5EED, "world seed");
   args.add_int("workers", 0, "cooperative workers (0 = MPISECT_WORKERS)");
   args.add_double("dt", 0.05, "sampling interval, virtual seconds");
   args.add_int("depth", 0,
@@ -209,9 +211,9 @@ int main(int argc, char** argv) {
   args.add_int("refresh-ms", 250, "live refresh period");
   args.add_flag("no-live", "skip live rendering (CI/batch)");
   args.add_string("post", "", "render a saved timeline CSV instead of running");
-  args.add_string("export", "",
-                  "write the final series: csv | counters | json | chrome | "
-                  "prom");
+  args.add_string("faults", "",
+                  "fault plan spec, e.g. 'drop:p=0.05; stall:rank=0,at=0.01,"
+                  "for=0.1' ('' = none)");
   args.add_string("out", "", "output file for --export ('' = stdout)");
   if (!args.parse(argc, argv)) return 1;
 
@@ -225,10 +227,10 @@ int main(int argc, char** argv) {
     }
 
     const auto preset =
-        mpisim::MachineModel::preset(args.get_string("machine"));
+        mpisim::MachineModel::preset(args.get_string("model"));
     if (!preset) {
-      std::fprintf(stderr, "mpisect-top: unknown machine '%s' (%s)\n",
-                   args.get_string("machine").c_str(), preset_list().c_str());
+      std::fprintf(stderr, "mpisect-top: unknown model '%s' (%s)\n",
+                   args.get_string("model").c_str(), preset_list().c_str());
       return 1;
     }
     const int ranks = static_cast<int>(args.get_int("ranks"));
@@ -236,12 +238,20 @@ int main(int argc, char** argv) {
     opts.machine = *preset;
     opts.seed = static_cast<std::uint64_t>(args.get_int("seed"));
     opts.workers = static_cast<int>(args.get_int("workers"));
+    if (!args.get_string("faults").empty()) {
+      opts.faults =
+          mpisim::faults::FaultPlan::parse(args.get_string("faults"));
+    }
     mpisim::World world(ranks, opts);
     sections::SectionRuntime::install(world);
     telemetry::SamplerOptions sopts;
     sopts.dt = args.get_double("dt");
     sopts.phase_depth = static_cast<int>(args.get_int("depth"));
     auto sampler = telemetry::TelemetrySampler::install(world, sopts);
+    std::shared_ptr<mpisim::faults::FaultInjector> injector;
+    if (!opts.faults.empty()) {
+      injector = mpisim::faults::FaultInjector::install(world);
+    }
 
     std::function<void(mpisim::Ctx&)> body;
     const std::string app_name = args.get_string("app");
@@ -307,7 +317,7 @@ int main(int argc, char** argv) {
     prov.machine = opts.machine.name;
     prov.seed = std::to_string(opts.seed);
 
-    const std::string fmt_name = args.get_string("export");
+    const std::string fmt_name = support::unified_export(args);
     if (!fmt_name.empty()) {
       std::string text;
       if (fmt_name == "csv") {
@@ -332,6 +342,9 @@ int main(int argc, char** argv) {
     ro.status = "[done]";
     std::string out = render(tl, ro);
     out += counters_footer(sampler->registry(), sampler->instruments());
+    if (injector) {
+      out += "faults: " + injector->summary() + "\n";
+    }
     std::fputs(out.c_str(), stdout);
     return 0;
   } catch (const std::exception& err) {
