@@ -1,0 +1,70 @@
+// Offline trace analyzer — the orchestrator behind mpisect-analyze.
+//
+// One pass over a recorded .mpst trace, no re-execution:
+//
+//   interpret()               recorded-frame times, binding predecessors,
+//                             vector clocks, channel/receive databases
+//   find_races()              ISP/MUST-style match sets per wildcard recv
+//   find_latent_deadlocks()   greedy re-matching of every alternate match
+//   extract_critical_path()   longest happens-before chain + Eq. 6-style
+//                             per-section on-path attribution
+//
+// Findings are lowered into checker::Diagnostic (categories MESSAGE_RACE /
+// LATENT_DEADLOCK) so mpisect-analyze and mpisect-check share one report
+// schema, one JSON shape, and one summary line format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/critical_path.hpp"
+#include "analysis/interp.hpp"
+#include "analysis/latent.hpp"
+#include "analysis/races.hpp"
+#include "checker/diagnostics.hpp"
+#include "telemetry/registry.hpp"
+#include "trace/file.hpp"
+
+namespace mpisect::analysis {
+
+struct AnalyzerOptions {
+  bool races = true;          ///< compute match sets (needs v3 envelopes)
+  bool latent = true;         ///< simulate alternate matchings (needs races)
+  bool critical_path = true;  ///< walk binding predecessors
+};
+
+struct AnalysisResult {
+  // Trace provenance (copied so renderers need only the result).
+  std::string app;
+  int nranks = 0;
+  std::uint64_t total_events = 0;
+  std::vector<std::string> labels;  ///< section label id -> name
+
+  InterpResult interp;
+  std::vector<RaceFinding> races;
+  std::vector<LatentDeadlock> latent;
+  CriticalPath critical_path;
+
+  /// Races and latent deadlocks lowered to the checker's diagnostic
+  /// vocabulary (plus one Info entry when a pre-v3 trace forced the
+  /// wildcard passes to be skipped). Emission order is deterministic:
+  /// races by (rank, post), latent deadlocks by (recv_slot, src, seq).
+  std::vector<checker::Diagnostic> diagnostics;
+
+  [[nodiscard]] std::size_t error_count() const;
+  [[nodiscard]] std::size_t finding_count() const;  ///< Warning + Error
+};
+
+/// Run the configured passes. Throws trace::TraceError on structurally
+/// inconsistent traces.
+[[nodiscard]] AnalysisResult analyze(const trace::TraceFile& tf,
+                                     const AnalyzerOptions& opts = {});
+
+/// Register and fill per-rank analysis counters on `reg` (sized
+/// Registry(result.nranks)): analysis.races, analysis.latent_deadlocks,
+/// analysis.onpath_seconds, analysis.slack_seconds and the process-scope
+/// analysis.path_events / analysis.path_hops.
+void fill_telemetry(const AnalysisResult& res, telemetry::Registry& reg);
+
+}  // namespace mpisect::analysis

@@ -1,0 +1,65 @@
+#include "analysis/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mpisect::analysis {
+
+CriticalPath extract_critical_path(const InterpResult& in) {
+  CriticalPath cp;
+  cp.rank_slack.assign(in.final_times.size(), 0.0);
+  cp.rank_onpath.assign(in.final_times.size(), 0.0);
+  if (in.last_rank < 0) return cp;
+  cp.end_rank = in.last_rank;
+  cp.t_total = in.makespan;
+  for (std::size_t r = 0; r < in.final_times.size(); ++r) {
+    cp.rank_slack[r] = in.makespan - in.final_times[r];
+  }
+
+  std::map<std::pair<int, std::uint32_t>, SectionOnPath> sections;
+  int rank = cp.end_rank;
+  auto idx = static_cast<std::uint32_t>(
+      in.times[static_cast<std::size_t>(rank)].size());
+  if (idx == 0) return cp;  // empty stream
+  --idx;
+  for (;;) {
+    const EventInfo& ev = in.times[static_cast<std::size_t>(rank)][idx];
+    ++cp.length;
+    // Predecessor: cross-rank binding if present, else program order.
+    int prev_rank = rank;
+    std::uint32_t prev_idx = 0;
+    double t_prev = 0.0;
+    bool at_origin = false;
+    if (ev.parent_rank >= 0) {
+      prev_rank = ev.parent_rank;
+      prev_idx = ev.parent_idx;
+      t_prev = in.times[static_cast<std::size_t>(prev_rank)][prev_idx].t;
+      ++cp.cross_rank_hops;
+    } else if (idx > 0) {
+      prev_idx = idx - 1;
+      t_prev = in.times[static_cast<std::size_t>(rank)][prev_idx].t;
+    } else {
+      at_origin = true;
+      t_prev = in.t0[static_cast<std::size_t>(rank)];
+    }
+    const double dt = ev.t - t_prev;
+    auto& sec = sections[{ev.section_comm, ev.section}];
+    sec.comm = ev.section_comm;
+    sec.label = ev.section;
+    sec.seconds += dt;
+    ++sec.hops;
+    cp.rank_onpath[static_cast<std::size_t>(rank)] += dt;
+    if (at_origin) {
+      cp.start_rank = rank;
+      cp.t_start = t_prev;
+      break;
+    }
+    rank = prev_rank;
+    idx = prev_idx;
+  }
+  cp.sections.reserve(sections.size());
+  for (auto& [key, sec] : sections) cp.sections.push_back(sec);
+  return cp;
+}
+
+}  // namespace mpisect::analysis

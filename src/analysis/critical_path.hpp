@@ -1,0 +1,47 @@
+// Critical-path extraction over the happens-before order.
+//
+// The recorded run's makespan is set by exactly one chain of events — the
+// longest happens-before path in virtual time. Walking binding
+// predecessors backwards from the last event of the last-finishing rank
+// reconstructs it; every hop is attributed to the innermost MPIX_Section
+// active at its tail, so per-section on-path time can be compared against
+// windowed Eq. 6 attribution: a section with a large mean time but little
+// on-path time is imbalance the partial-speedup bound overstates, and
+// optimizing it cannot move the makespan.
+//
+// The path's terminal time IS the makespan (bit-exact by construction:
+// the interpreter reproduces trace::replay's recorded frame); per-rank
+// slack is makespan minus the rank's finish time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/interp.hpp"
+
+namespace mpisect::analysis {
+
+/// On-path share of one (comm, section-label) pair.
+struct SectionOnPath {
+  int comm = -1;
+  std::uint32_t label = kNoSection;  ///< kNoSection = outside any section
+  double seconds = 0.0;
+  std::uint64_t hops = 0;  ///< path events attributed to this section
+};
+
+struct CriticalPath {
+  double t_total = 0.0;  ///< absolute end time of the path (== makespan)
+  double t_start = 0.0;  ///< clock at the path's first event's rank start
+  int end_rank = -1;     ///< last rank to finish
+  int start_rank = -1;   ///< rank the path originates on
+  std::uint64_t length = 0;          ///< events on the path
+  std::uint64_t cross_rank_hops = 0;  ///< message/barrier-bound switches
+  std::vector<SectionOnPath> sections;  ///< sorted by (comm, label)
+  std::vector<double> rank_onpath;  ///< on-path seconds charged per rank
+  std::vector<double> rank_slack;   ///< makespan - final_time[rank]
+};
+
+/// Walk binding predecessors from the makespan-setting event.
+[[nodiscard]] CriticalPath extract_critical_path(const InterpResult& in);
+
+}  // namespace mpisect::analysis

@@ -1,0 +1,43 @@
+// Latent-deadlock detection: re-match the trace along an alternate path.
+//
+// For every message race (receive r, alternate sender s') the matching
+// that *didn't* happen is simulated: an untimed greedy re-execution of the
+// event skeleton in which r is forced to match s' and every other receive
+// matches greedily (recorded sender first, then lowest (src, seq) — the
+// deterministic tie-break keeps reports byte-identical across runs).
+// Sends, receives, probes and comm-sync barriers block exactly as the
+// runtime would; if the simulation reaches a state where no rank can
+// advance, the blocked ranks are snapshotted as checker::RankWaitState and
+// handed to the checker's WaitGraph — the same cycle/orphan analysis the
+// runtime deadlock detector uses — so a matching that would have
+// deadlocked is reported even though the recorded run completed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/interp.hpp"
+#include "analysis/races.hpp"
+#include "checker/waitgraph.hpp"
+
+namespace mpisect::analysis {
+
+/// Outcome of simulating one alternate matching.
+struct LatentDeadlock {
+  std::size_t recv_slot = 0;   ///< the redirected receive
+  AltSender forced;            ///< the sender it was forced to match
+  /// Wait-for cycles / orphaned waits found in the stuck state.
+  checker::WaitGraph::Analysis analysis;
+  /// Blocked-rank snapshot (for reporting which call each rank sat in).
+  std::vector<checker::RankWaitState> states;
+  std::uint64_t events_replayed = 0;  ///< progress before the stall
+};
+
+/// Simulate every alternate matching of every race; return those that
+/// wedge. Deterministic: results ordered by (recv_slot, forced src, seq).
+[[nodiscard]] std::vector<LatentDeadlock> find_latent_deadlocks(
+    const trace::TraceFile& tf, const InterpResult& in,
+    const std::vector<RaceFinding>& races);
+
+}  // namespace mpisect::analysis

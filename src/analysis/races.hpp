@@ -1,0 +1,47 @@
+// ISP/MUST-style match sets for recorded receives.
+//
+// For every wildcard receive the recorded trace shows ONE matching — the
+// one the scheduler happened to produce. The match set is the full set of
+// sends that *could* have matched under MPI's semantics:
+//
+//   candidate q->dst send s' is an alternate for receive r iff
+//     * envelope-compatible: same communicator, r's posted source is
+//       ANY_SOURCE or q, r's posted tag is ANY_TAG or s'.tag (ANY_TAG
+//       never matches collective-internal tags);
+//     * FIFO-eligible: s' is the earliest send on its (comm, q, dst)
+//       channel whose recorded matching receive did not complete
+//       happens-before r's post (earlier sends were provably consumed);
+//     * concurrent: r's recorded completion does not happen-before
+//       s'.post (otherwise s' only exists because r matched differently).
+//
+// A receive whose match set holds more than the recorded sender is a
+// message race: the run's outcome depended on message timing.
+#pragma once
+
+#include <vector>
+
+#include "analysis/interp.hpp"
+
+namespace mpisect::analysis {
+
+/// One alternate sender in a receive's match set.
+struct AltSender {
+  int src = -1;             ///< world rank of the alternate sender
+  std::uint64_t seq = 0;    ///< wire sequence on (comm, src, dst)
+  int tag = 0;
+  std::uint32_t send_idx = 0;  ///< SendPost index in src's stream
+  double t_post = 0.0;         ///< recorded send-post virtual time
+};
+
+/// A wildcard receive with >1 concurrent eligible sender.
+struct RaceFinding {
+  std::size_t recv_slot = 0;  ///< index into InterpResult::recvs
+  std::vector<AltSender> alternates;  ///< excludes the recorded sender
+};
+
+/// Compute match sets for every completed wildcard receive. Requires
+/// materialized vector clocks (returns empty when the trace has none —
+/// deterministic traces or pre-v3 recordings).
+[[nodiscard]] std::vector<RaceFinding> find_races(const InterpResult& in);
+
+}  // namespace mpisect::analysis

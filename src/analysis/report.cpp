@@ -1,0 +1,135 @@
+#include "analysis/report.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "checker/report.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace mpisect::analysis {
+
+namespace {
+
+/// Shortest-round-trip double: the JSON consumer re-reads the exact bits,
+/// so "critical-path total == replay makespan" is checkable post-export.
+std::string fmt_exact(double v) {
+  std::array<char, 40> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.17g", v);
+  return buf.data();
+}
+
+std::string fmt_sec(double v) {
+  std::array<char, 40> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.9f", v);
+  return buf.data();
+}
+
+std::string fmt_pct(double v) {
+  std::array<char, 40> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.1f%%", v * 100.0);
+  return buf.data();
+}
+
+std::string section_name(const AnalysisResult& res, std::uint32_t label) {
+  if (label == kNoSection) return "(none)";
+  if (label < res.labels.size()) return res.labels[label];
+  return "label#" + std::to_string(label);
+}
+
+double onpath_total(const CriticalPath& cp) {
+  double s = 0.0;
+  for (const auto& sec : cp.sections) s += sec.seconds;
+  return s > 0.0 ? s : 1.0;  // avoid 0/0 on empty traces
+}
+
+}  // namespace
+
+std::string render_text(const AnalysisResult& res) {
+  std::string out = "trace: app=" + res.app +
+                    " ranks=" + std::to_string(res.nranks) +
+                    " events=" + std::to_string(res.total_events) + "\n";
+  if (!res.diagnostics.empty()) {
+    out += checker::render_text(res.diagnostics);
+  }
+  const auto& cp = res.critical_path;
+  if (cp.end_rank >= 0) {
+    out += "critical path: " + std::to_string(cp.length) + " event(s), " +
+           std::to_string(cp.cross_rank_hops) + " cross-rank hop(s), rank " +
+           std::to_string(cp.start_rank) + " -> rank " +
+           std::to_string(cp.end_rank) + ", t_total=" + fmt_sec(cp.t_total) +
+           " s (makespan " + fmt_sec(res.interp.makespan) + " s)\n";
+    support::TextTable table;
+    table.set_header({"comm", "section", "on_path_s", "hops", "share"});
+    table.set_align({support::TextTable::Align::Right,
+                     support::TextTable::Align::Left,
+                     support::TextTable::Align::Right,
+                     support::TextTable::Align::Right,
+                     support::TextTable::Align::Right});
+    const double total = onpath_total(cp);
+    for (const auto& sec : cp.sections) {
+      table.add_row({std::to_string(sec.comm), section_name(res, sec.label),
+                     fmt_sec(sec.seconds), std::to_string(sec.hops),
+                     fmt_pct(sec.seconds / total)});
+    }
+    out += table.render();
+  }
+  out += render_summary(res);
+  out += "\n";
+  return out;
+}
+
+std::string render_csv(const AnalysisResult& res) {
+  return checker::render_csv(res.diagnostics);
+}
+
+std::string render_json(const AnalysisResult& res) {
+  std::string diags = checker::render_json(res.diagnostics);
+  while (!diags.empty() && (diags.back() == '\n' || diags.back() == ' ')) {
+    diags.pop_back();
+  }
+  const auto& cp = res.critical_path;
+  std::string out = "{\n";
+  out += "  \"app\": \"" + support::json_escape(res.app) + "\",\n";
+  out += "  \"nranks\": " + std::to_string(res.nranks) + ",\n";
+  out += "  \"total_events\": " + std::to_string(res.total_events) + ",\n";
+  out += "  \"makespan\": " + fmt_exact(res.interp.makespan) + ",\n";
+  out += "  \"diagnostics\": " + diags + ",\n";
+  out += "  \"critical_path\": {\n";
+  out += "    \"t_total\": " + fmt_exact(cp.t_total) + ",\n";
+  out += "    \"t_start\": " + fmt_exact(cp.t_start) + ",\n";
+  out += "    \"start_rank\": " + std::to_string(cp.start_rank) + ",\n";
+  out += "    \"end_rank\": " + std::to_string(cp.end_rank) + ",\n";
+  out += "    \"length\": " + std::to_string(cp.length) + ",\n";
+  out += "    \"cross_rank_hops\": " + std::to_string(cp.cross_rank_hops) +
+         ",\n";
+  out += "    \"sections\": [";
+  for (std::size_t i = 0; i < cp.sections.size(); ++i) {
+    const auto& sec = cp.sections[i];
+    out += i > 0 ? ", " : "";
+    out += "{\"comm\": " + std::to_string(sec.comm) + ", \"section\": \"" +
+           support::json_escape(section_name(res, sec.label)) +
+           "\", \"seconds\": " + fmt_exact(sec.seconds) +
+           ", \"hops\": " + std::to_string(sec.hops) + "}";
+  }
+  out += "],\n";
+  out += "    \"rank_onpath\": [";
+  for (std::size_t r = 0; r < cp.rank_onpath.size(); ++r) {
+    out += r > 0 ? ", " : "";
+    out += fmt_exact(cp.rank_onpath[r]);
+  }
+  out += "],\n";
+  out += "    \"rank_slack\": [";
+  for (std::size_t r = 0; r < cp.rank_slack.size(); ++r) {
+    out += r > 0 ? ", " : "";
+    out += fmt_exact(cp.rank_slack[r]);
+  }
+  out += "]\n  }\n}\n";
+  return out;
+}
+
+std::string render_summary(const AnalysisResult& res) {
+  return checker::render_summary(res.diagnostics, "mpisect-analyze");
+}
+
+}  // namespace mpisect::analysis

@@ -1,0 +1,28 @@
+// Reporters for mpisect-analyze.
+//
+// The diagnostics table/CSV/JSON are rendered by the checker's reporters
+// (checker/report.hpp) so both tools emit one schema — the satellite
+// schema tests parse either tool's --json output with the same assertions.
+// The analyzer adds a critical-path block: totals, per-section on-path
+// attribution (named via the trace's label table) and per-rank
+// on-path/slack vectors. Path times are printed with %.17g so the
+// "t_total == replay makespan bit-exactly" property survives a JSON
+// round-trip.
+#pragma once
+
+#include <string>
+
+#include "analysis/analyzer.hpp"
+
+namespace mpisect::analysis {
+
+[[nodiscard]] std::string render_text(const AnalysisResult& res);
+/// Shared-schema findings CSV (identical columns to mpisect-check --export
+/// csv). The critical path is a JSON/text-only artifact.
+[[nodiscard]] std::string render_csv(const AnalysisResult& res);
+[[nodiscard]] std::string render_json(const AnalysisResult& res);
+
+/// "mpisect-analyze: 2 finding(s): MESSAGE_RACE=1 LATENT_DEADLOCK=1".
+[[nodiscard]] std::string render_summary(const AnalysisResult& res);
+
+}  // namespace mpisect::analysis

@@ -19,6 +19,8 @@ const char* category_name(Category c) noexcept {
     case Category::P2PMismatch: return "P2P_MISMATCH";
     case Category::SectionMisuse: return "SECTION_MISUSE";
     case Category::InjectedFault: return "INJECTED_FAULT";
+    case Category::MessageRace: return "MESSAGE_RACE";
+    case Category::LatentDeadlock: return "LATENT_DEADLOCK";
   }
   return "?";
 }

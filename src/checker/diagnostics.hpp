@@ -27,9 +27,11 @@ enum class Category {
   P2PMismatch,         ///< send/recv size (datatype-count) mismatch
   SectionMisuse,       ///< unbalanced/misnested/mismatched MPIX_Section use
   InjectedFault,       ///< hang/kill traced to the run's fault plan
+  MessageRace,         ///< wildcard receive with >1 concurrent eligible send
+  LatentDeadlock,      ///< alternate matching of a completed run deadlocks
 };
 
-inline constexpr int kCategoryCount = static_cast<int>(Category::InjectedFault) + 1;
+inline constexpr int kCategoryCount = static_cast<int>(Category::LatentDeadlock) + 1;
 
 [[nodiscard]] const char* severity_name(Severity s) noexcept;
 /// Upper-case report tag ("DEADLOCK", "RESOURCE_LEAK", ...).

@@ -80,13 +80,17 @@ std::string render_json(const std::vector<Diagnostic>& diags) {
 }
 
 std::string render_summary(const std::vector<Diagnostic>& diags) {
-  if (diags.empty()) return "mpicheck: no findings";
+  return render_summary(diags, "mpicheck");
+}
+
+std::string render_summary(const std::vector<Diagnostic>& diags,
+                           const std::string& tool) {
+  if (diags.empty()) return tool + ": no findings";
   std::array<std::size_t, kCategoryCount> per_cat{};
   for (const auto& d : diags) {
     ++per_cat[static_cast<std::size_t>(d.category)];
   }
-  std::string out =
-      "mpicheck: " + std::to_string(diags.size()) + " finding(s):";
+  std::string out = tool + ": " + std::to_string(diags.size()) + " finding(s):";
   for (int c = 0; c < kCategoryCount; ++c) {
     if (per_cat[static_cast<std::size_t>(c)] == 0) continue;
     out += " ";

@@ -20,5 +20,9 @@ namespace mpisect::checker {
 /// "mpicheck: 3 finding(s): DEADLOCK=1 RESOURCE_LEAK=2" or
 /// "mpicheck: no findings".
 [[nodiscard]] std::string render_summary(const std::vector<Diagnostic>& diags);
+/// Same tally under another tool's name (mpisect-analyze reuses the
+/// checker's diagnostic vocabulary and reporters verbatim).
+[[nodiscard]] std::string render_summary(const std::vector<Diagnostic>& diags,
+                                         const std::string& tool);
 
 }  // namespace mpisect::checker

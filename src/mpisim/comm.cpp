@@ -174,7 +174,9 @@ PostedRecvPtr raw_post_recv(Ctx& ctx, CommImpl& impl, int my_rank, void* buf,
   pr->max_bytes = max_bytes;
   const std::size_t depth = impl.channel(my_rank).post(pr);
   if (auto& tap = ctx.world().trace_tap().on_recv_post) {
-    tap(ctx, TapRecvPost{pr.get(), impl.context_id(), depth});
+    const int src_posted =
+        src == kAnySource ? kAnySource : impl.group().world_rank(src);
+    tap(ctx, TapRecvPost{pr.get(), impl.context_id(), depth, src_posted, tag});
   }
   return pr;
 }
@@ -370,9 +372,11 @@ Status Comm::probe(int src, int tag) {
   const Status st = impl_->channel(rank_).probe(src, tag, ctx_->now());
   ctx_->clock().sync_to(st.t_complete);
   if (auto& tap = ctx_->world().trace_tap().on_probe) {
+    const int src_posted =
+        src == kAnySource ? kAnySource : impl_->group().world_rank(src);
     tap(*ctx_, TapProbe{impl_->context_id(),
-                        impl_->group().world_rank(st.source), st.seq,
-                        t_before});
+                        impl_->group().world_rank(st.source), st.seq, t_before,
+                        src_posted, tag});
   }
   return st;
 }

@@ -169,6 +169,11 @@ struct TapRecvPost {
   /// Unmatched posted receives in this rank's channel right after the post
   /// (0 = matched a queued message). Observability only.
   std::size_t queue_depth = 0;
+  /// Posted envelope: requested source world rank (kAnySource for a
+  /// wildcard) and tag (kAnyTag for a wildcard). Offline match-set
+  /// analysis needs the envelope as posted, not as matched.
+  int src_posted = 0;
+  int tag_posted = 0;
 };
 
 /// A receive completed: matched message identity plus the receive-side
@@ -189,6 +194,10 @@ struct TapProbe {
   int src_world = 0;
   std::uint64_t seq = 0;
   double t_before = 0.0;
+  /// Probed envelope as requested: source world rank (kAnySource for a
+  /// wildcard) and tag (kAnyTag for a wildcard).
+  int src_posted = 0;
+  int tag_posted = 0;
 };
 
 /// A split/dup metadata rendezvous synchronized this communicator:

@@ -69,7 +69,14 @@ struct Event {
   /// completed). Probe: matched source world rank. CollBegin: root comm
   /// rank or -1. CommSync: member count. Pcontrol: level.
   int peer = 0;
-  int tag = 0;               ///< SendPost only
+  /// RecvPost/Probe: the *posted* source world rank before matching —
+  /// mpisim::kAnySource (-1) for a wildcard receive, kNotRecorded for
+  /// pre-v3 traces. Offline match-set analysis needs the posted envelope,
+  /// not just the matched one, to see which other sends were eligible.
+  int post_src = kNotRecorded;
+  /// SendPost: user tag. RecvPost/Probe (v3+): the *posted* tag
+  /// (mpisim::kAnyTag = -1 for a wildcard tag; 0 in pre-v3 traces).
+  int tag = 0;
   std::uint64_t bytes = 0;   ///< SendPost / CollBegin payload size
   /// SendPost/RecvPost/Probe: per-(comm,src,dst) wire sequence number.
   /// RecvWait: backref — how many receive posts ago this rank posted the
@@ -84,6 +91,9 @@ struct Event {
 
   /// Sentinel for RecvPost::peer when the receive never completed.
   static constexpr int kUnmatched = -2;
+  /// Sentinel for post_src when the trace predates format v3 and the
+  /// posted envelope was not recorded (wildcard analysis unavailable).
+  static constexpr int kNotRecorded = -3;
 };
 
 }  // namespace mpisect::trace

@@ -96,6 +96,8 @@ void encode_event(ByteWriter& w, const Event& ev, std::uint64_t& prev_op) {
       w.varint(static_cast<std::uint64_t>(ev.comm));
       w.zigzag(ev.peer);
       w.varint(ev.seq);
+      w.zigzag(ev.post_src);  // v3: posted envelope
+      w.zigzag(ev.tag);
       break;
     case EventKind::RecvWait:
       w.varint(ev.seq);  // backref
@@ -106,6 +108,8 @@ void encode_event(ByteWriter& w, const Event& ev, std::uint64_t& prev_op) {
       w.varint(static_cast<std::uint64_t>(ev.comm));
       w.varint(static_cast<std::uint64_t>(ev.peer));
       w.varint(ev.seq);
+      w.zigzag(ev.post_src);  // v3: posted envelope
+      w.zigzag(ev.tag);
       break;
     case EventKind::CollBegin:
       w.varint(static_cast<std::uint64_t>(ev.comm));
@@ -136,7 +140,8 @@ void encode_event(ByteWriter& w, const Event& ev, std::uint64_t& prev_op) {
   }
 }
 
-Event decode_event(ByteReader& r, std::uint64_t& prev_op) {
+Event decode_event(ByteReader& r, std::uint64_t& prev_op,
+                   std::uint32_t version) {
   const std::uint8_t kb = r.u8();
   const std::uint8_t raw_kind = kb & 0x7F;
   if (raw_kind >= kEventKindCount) {
@@ -164,6 +169,10 @@ Event decode_event(ByteReader& r, std::uint64_t& prev_op) {
       ev.comm = static_cast<int>(r.varint());
       ev.peer = static_cast<int>(r.zigzag());
       ev.seq = r.varint();
+      if (version >= 3) {
+        ev.post_src = static_cast<int>(r.zigzag());
+        ev.tag = static_cast<int>(r.zigzag());
+      }
       break;
     case EventKind::RecvWait:
       ev.seq = r.varint();
@@ -174,6 +183,10 @@ Event decode_event(ByteReader& r, std::uint64_t& prev_op) {
       ev.comm = static_cast<int>(r.varint());
       ev.peer = static_cast<int>(r.varint());
       ev.seq = r.varint();
+      if (version >= 3) {
+        ev.post_src = static_cast<int>(r.zigzag());
+        ev.tag = static_cast<int>(r.zigzag());
+      }
       break;
     case EventKind::CollBegin:
       ev.comm = static_cast<int>(r.varint());
@@ -284,7 +297,7 @@ TraceFile TraceFile::decode(std::span<const std::uint8_t> data) {
     rs.events.reserve(static_cast<std::size_t>(nev));
     std::uint64_t prev_op = 0;
     for (std::uint64_t e = 0; e < nev; ++e) {
-      rs.events.push_back(decode_event(r, prev_op));
+      rs.events.push_back(decode_event(r, prev_op, version));
     }
     const std::uint64_t ntot = r.varint();
     for (std::uint64_t t = 0; t < ntot; ++t) {

@@ -28,7 +28,10 @@ namespace mpisect::trace {
 inline constexpr std::uint32_t kTraceMagic = 0x5453504D;  // "MPST" LE
 /// v1: original layout. v2 appends the telemetry sampling interval to the
 /// header; decode still accepts v1 (telemetry_dt = 0, "not recorded").
-inline constexpr std::uint32_t kTraceVersion = 2;
+/// v3 appends the posted envelope (source world rank, tag) to RecvPost and
+/// Probe events so offline analysis can recompute wildcard match sets;
+/// decode still accepts v1/v2 (post_src = Event::kNotRecorded, tag = 0).
+inline constexpr std::uint32_t kTraceVersion = 3;
 
 struct TraceHeader {
   std::string app;  ///< free-form provenance (app + parameters)

@@ -195,6 +195,8 @@ void TraceRecorder::on_recv_post(mpisim::Ctx& ctx,
   Event& ev = push(b, EventKind::RecvPost, ctx.now());
   ev.comm = t.comm_context;
   ev.peer = Event::kUnmatched;
+  ev.post_src = t.src_posted;
+  ev.tag = t.tag_posted;
   b.last_t = ctx.now();
 }
 
@@ -223,6 +225,8 @@ void TraceRecorder::on_probe(mpisim::Ctx& ctx, const mpisim::TapProbe& t) {
   ev.comm = t.comm_context;
   ev.peer = t.src_world;
   ev.seq = t.seq;
+  ev.post_src = t.src_posted;
+  ev.tag = t.tag_posted;
   b.last_t = ctx.now();
 }
 

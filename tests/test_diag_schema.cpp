@@ -1,0 +1,218 @@
+// Shared diagnostic JSON schema: mpisect-check and mpisect-analyze render
+// findings through the same reporter, so one set of schema assertions must
+// hold for both documents — parsed back with support::json_parse rather
+// than regex-matched, and round-tripped field by field.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/report.hpp"
+#include "checker/diagnostics.hpp"
+#include "checker/report.hpp"
+#include "core/sections/runtime.hpp"
+#include "mpisim/message.hpp"
+#include "mpisim/runtime.hpp"
+#include "support/json.hpp"
+#include "trace/recorder.hpp"
+
+namespace {
+
+using namespace mpisect;
+using support::JsonValue;
+
+const std::set<std::string>& known_categories() {
+  static const std::set<std::string> cats = [] {
+    std::set<std::string> s;
+    for (int c = 0; c < checker::kCategoryCount; ++c) {
+      s.insert(checker::category_name(static_cast<checker::Category>(c)));
+    }
+    return s;
+  }();
+  return cats;
+}
+
+/// The one schema both tools' diagnostics arrays must satisfy.
+void assert_diag_schema(const JsonValue& arr) {
+  ASSERT_TRUE(arr.is_array());
+  for (const JsonValue& d : arr.array) {
+    ASSERT_TRUE(d.is_object());
+    EXPECT_EQ(d.object.size(), 7u) << "diagnostic has exactly 7 fields";
+    const JsonValue* category = d.find("category");
+    const JsonValue* severity = d.find("severity");
+    const JsonValue* rank = d.find("rank");
+    const JsonValue* comm = d.find("comm");
+    const JsonValue* t_virtual = d.find("t_virtual");
+    const JsonValue* site = d.find("site");
+    const JsonValue* message = d.find("message");
+    ASSERT_TRUE(category && severity && rank && comm && t_virtual && site &&
+                message);
+    ASSERT_TRUE(category->is_string());
+    EXPECT_TRUE(known_categories().count(category->string) == 1)
+        << "unknown category " << category->string;
+    ASSERT_TRUE(severity->is_string());
+    EXPECT_TRUE(severity->string == "info" || severity->string == "warning" ||
+                severity->string == "error")
+        << severity->string;
+    EXPECT_TRUE(rank->is_number());
+    EXPECT_TRUE(comm->is_number());
+    EXPECT_TRUE(t_virtual->is_number());
+    EXPECT_TRUE(site->is_string());
+    EXPECT_TRUE(message->is_string());
+  }
+}
+
+std::vector<checker::Diagnostic> sample_diags() {
+  std::vector<checker::Diagnostic> diags;
+  for (int c = 0; c < checker::kCategoryCount; ++c) {
+    checker::Diagnostic d;
+    d.category = static_cast<checker::Category>(c);
+    d.severity = static_cast<checker::Severity>(c % 3);
+    d.rank = c;
+    d.comm_context = c * 7;
+    d.t_virtual = 0.125 * c;
+    d.site = "site #" + std::to_string(c);
+    d.message = "quote \" backslash \\ newline \n tab \t unicode \x01 done";
+    diags.push_back(std::move(d));
+  }
+  return diags;
+}
+
+TEST(DiagSchema, CheckerJsonSatisfiesSchemaForEveryCategory) {
+  const auto diags = sample_diags();
+  const JsonValue doc = support::json_parse(checker::render_json(diags));
+  assert_diag_schema(doc);
+  ASSERT_EQ(doc.array.size(), diags.size());
+}
+
+TEST(DiagSchema, CheckerJsonRoundTripsFieldByField) {
+  const auto diags = sample_diags();
+  const JsonValue doc = support::json_parse(checker::render_json(diags));
+  ASSERT_EQ(doc.array.size(), diags.size());
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const JsonValue& d = doc.array[i];
+    EXPECT_EQ(d.find("category")->string,
+              checker::category_name(diags[i].category));
+    EXPECT_EQ(d.find("severity")->string,
+              checker::severity_name(diags[i].severity));
+    EXPECT_EQ(d.find("rank")->number, diags[i].rank);
+    EXPECT_EQ(d.find("comm")->number, diags[i].comm_context);
+    EXPECT_NEAR(d.find("t_virtual")->number, diags[i].t_virtual, 1e-6);
+    EXPECT_EQ(d.find("site")->string, diags[i].site);
+    // The message crosses json_escape and the parser's unescape: an exact
+    // round-trip including quotes, backslashes, and control characters.
+    EXPECT_EQ(d.find("message")->string, diags[i].message);
+  }
+}
+
+TEST(DiagSchema, EmptyDiagnosticsRenderAsEmptyArray) {
+  const JsonValue doc = support::json_parse(checker::render_json({}));
+  ASSERT_TRUE(doc.is_array());
+  EXPECT_TRUE(doc.array.empty());
+}
+
+TEST(DiagSchema, AnalyzerJsonEmbedsTheSameDiagnosticSchema) {
+  // Record the race fixture and render the full analyzer document: its
+  // "diagnostics" member must satisfy the checker schema unchanged.
+  mpisim::WorldOptions opts;
+  opts.machine = mpisim::MachineModel::nehalem_cluster();
+  opts.seed = 0x5EED;
+  mpisim::World world(3, opts);
+  sections::SectionRuntime::install(world);
+  auto rec = trace::TraceRecorder::install(world, {.app = "schema-fixture"});
+  world.run([](mpisim::Ctx& ctx) {
+    mpisim::Comm wc = ctx.world_comm();
+    char buf[4] = {};
+    static const char payload[4] = {};
+    switch (wc.rank()) {
+      case 0:
+        wc.recv(buf, sizeof buf, mpisim::kAnySource, 5);
+        wc.recv(buf, sizeof buf, mpisim::kAnySource, 5);
+        break;
+      case 1:
+        wc.send(payload, sizeof payload, 0, 5);
+        wc.send(payload, sizeof payload, 2, 9);
+        break;
+      case 2:
+        wc.recv(buf, sizeof buf, 1, 9);
+        wc.send(payload, sizeof payload, 0, 5);
+        break;
+      default:
+        break;
+    }
+  });
+  const trace::TraceFile tf = rec->finish();
+  const analysis::AnalysisResult res = analysis::analyze(tf);
+  ASSERT_FALSE(res.diagnostics.empty());
+
+  const JsonValue doc = support::json_parse(analysis::render_json(res));
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* diags = doc.find("diagnostics");
+  ASSERT_NE(diags, nullptr);
+  assert_diag_schema(*diags);
+  ASSERT_EQ(diags->array.size(), res.diagnostics.size());
+  EXPECT_EQ(diags->array[0].find("category")->string, "MESSAGE_RACE");
+
+  // Top-level analyzer document schema.
+  ASSERT_NE(doc.find("app"), nullptr);
+  EXPECT_TRUE(doc.find("app")->is_string());
+  ASSERT_NE(doc.find("nranks"), nullptr);
+  EXPECT_EQ(doc.find("nranks")->number, 3.0);
+  ASSERT_NE(doc.find("total_events"), nullptr);
+  ASSERT_NE(doc.find("makespan"), nullptr);
+  const JsonValue* cp = doc.find("critical_path");
+  ASSERT_NE(cp, nullptr);
+  ASSERT_TRUE(cp->is_object());
+  for (const char* key : {"t_total", "t_start", "start_rank", "end_rank",
+                          "length", "cross_rank_hops"}) {
+    ASSERT_NE(cp->find(key), nullptr) << key;
+    EXPECT_TRUE(cp->find(key)->is_number()) << key;
+  }
+  ASSERT_NE(cp->find("sections"), nullptr);
+  EXPECT_TRUE(cp->find("sections")->is_array());
+  ASSERT_NE(cp->find("rank_onpath"), nullptr);
+  EXPECT_EQ(cp->find("rank_onpath")->array.size(), 3u);
+  ASSERT_NE(cp->find("rank_slack"), nullptr);
+  EXPECT_EQ(cp->find("rank_slack")->array.size(), 3u);
+
+  // %.17g round-trips doubles exactly: the bit-exact makespan property
+  // survives the JSON export.
+  EXPECT_EQ(doc.find("makespan")->number, res.interp.makespan);
+  EXPECT_EQ(cp->find("t_total")->number, res.critical_path.t_total);
+  EXPECT_EQ(cp->find("t_total")->number, doc.find("makespan")->number);
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)support::json_parse("{"), std::runtime_error);
+  EXPECT_THROW((void)support::json_parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)support::json_parse("[1] trailing"),
+               std::runtime_error);
+  EXPECT_THROW((void)support::json_parse("\"unterminated"),
+               std::runtime_error);
+  EXPECT_THROW((void)support::json_parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW((void)support::json_parse("nul"), std::runtime_error);
+  EXPECT_THROW((void)support::json_parse(""), std::runtime_error);
+}
+
+TEST(JsonParser, ParsesNestedStructures) {
+  const JsonValue v = support::json_parse(
+      R"({"a": [1, 2.5, -3e-2], "b": {"c": true, "d": null}, "e": "xA"})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_TRUE(a && a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[0].number, 1.0);
+  EXPECT_EQ(a->array[1].number, 2.5);
+  EXPECT_EQ(a->array[2].number, -0.03);
+  const JsonValue* b = v.find("b");
+  ASSERT_TRUE(b && b->is_object());
+  EXPECT_TRUE(b->find("c")->boolean);
+  EXPECT_TRUE(b->find("d")->is_null());
+  EXPECT_EQ(v.find("e")->string, "xA");
+}
+
+}  // namespace

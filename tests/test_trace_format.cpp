@@ -111,6 +111,9 @@ Event random_event(support::SequentialRng& rng) {
       ev.peer = rng.next() % 8 == 0 ? Event::kUnmatched
                                     : static_cast<int>(rng.next() % 1024);
       ev.seq = rng.next();
+      ev.post_src = rng.next() % 4 == 0 ? -1  // kAnySource
+                                        : static_cast<int>(rng.next() % 1024);
+      ev.tag = static_cast<int>(rng.next() % 2001) - 1000;
       break;
     case EventKind::RecvWait:
       ev.seq = rng.next() % 100;  // backref
@@ -120,6 +123,9 @@ Event random_event(support::SequentialRng& rng) {
       ev.comm = static_cast<int>(rng.next() % 64);
       ev.peer = static_cast<int>(rng.next() % 1024);
       ev.seq = rng.next();
+      ev.post_src = rng.next() % 4 == 0 ? -1  // kAnySource
+                                        : static_cast<int>(rng.next() % 1024);
+      ev.tag = static_cast<int>(rng.next() % 2001) - 1000;
       break;
     case EventKind::CollBegin:
       ev.comm = static_cast<int>(rng.next() % 64);
@@ -162,6 +168,7 @@ void expect_event_eq(const Event& a, const Event& b, std::size_t i) {
   }
   EXPECT_EQ(a.comm, b.comm) << "event " << i;
   EXPECT_EQ(a.peer, b.peer) << "event " << i;
+  EXPECT_EQ(a.post_src, b.post_src) << "event " << i;
   EXPECT_EQ(a.tag, b.tag) << "event " << i;
   EXPECT_EQ(a.bytes, b.bytes) << "event " << i;
   EXPECT_EQ(a.seq, b.seq) << "event " << i;
