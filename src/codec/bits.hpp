@@ -1,0 +1,79 @@
+// MSB-first bit I/O over byte buffers, for the canonical Huffman coder.
+//
+// Codes are appended most-significant-bit first so the canonical decoding
+// loop ("accumulate bits until the value falls inside some length's code
+// range") works by simple integer comparison. The reader throws
+// trace::TraceError on overrun — a truncated bitstream is a corrupt
+// chunk, not UB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/wire.hpp"
+
+namespace mpisect::codec {
+
+class BitWriter {
+ public:
+  /// Append the low `nbits` bits of `code`, MSB first. nbits <= 57.
+  void put(std::uint64_t code, int nbits) {
+    acc_ = (acc_ << nbits) | (code & ((1ull << nbits) - 1));
+    fill_ += nbits;
+    while (fill_ >= 8) {
+      fill_ -= 8;
+      out_.push_back(static_cast<std::uint8_t>(acc_ >> fill_));
+    }
+  }
+
+  /// Flush the final partial byte (zero-padded). Returns the total number
+  /// of meaningful bits written.
+  [[nodiscard]] std::uint64_t finish() {
+    const std::uint64_t nbits = 8 * out_.size() + fill_;
+    if (fill_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ << (8 - fill_)));
+      fill_ = 0;
+    }
+    return nbits;
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(out_);
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::uint64_t acc_ = 0;
+  int fill_ = 0;  ///< bits buffered in acc_
+};
+
+class BitReader {
+ public:
+  BitReader(std::span<const std::uint8_t> data, std::uint64_t nbits)
+      : data_(data), nbits_(nbits) {
+    if (nbits_ > 8 * data_.size()) {
+      throw trace::TraceError("corrupt chunk: bit count exceeds payload");
+    }
+  }
+
+  /// Read one bit, MSB first.
+  [[nodiscard]] int bit() {
+    if (pos_ >= nbits_) {
+      throw trace::TraceError("corrupt chunk: truncated Huffman bitstream");
+    }
+    const std::uint64_t byte = pos_ >> 3;
+    const int shift = 7 - static_cast<int>(pos_ & 7);
+    ++pos_;
+    return (data_[static_cast<std::size_t>(byte)] >> shift) & 1;
+  }
+
+  [[nodiscard]] std::uint64_t consumed() const noexcept { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::uint64_t nbits_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace mpisect::codec

@@ -1,0 +1,207 @@
+#include "codec/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "codec/bits.hpp"
+#include "trace/wire.hpp"
+
+namespace mpisect::codec {
+
+namespace {
+
+/// Unconstrained Huffman depths for the nonzero frequencies, via the
+/// classic two-smallest merge. Returns the max depth.
+int tree_depths(const std::array<std::uint64_t, kHuffSymbols>& freq,
+                std::array<std::uint8_t, kHuffSymbols>& lengths) {
+  struct Node {
+    std::uint64_t weight;
+    int index;  ///< tie-break for determinism: symbol or node id
+    int left = -1, right = -1;
+    int symbol = -1;
+  };
+  std::vector<Node> nodes;
+  const auto cmp = [&nodes](int a, int b) {
+    if (nodes[static_cast<std::size_t>(a)].weight !=
+        nodes[static_cast<std::size_t>(b)].weight) {
+      return nodes[static_cast<std::size_t>(a)].weight >
+             nodes[static_cast<std::size_t>(b)].weight;
+    }
+    return nodes[static_cast<std::size_t>(a)].index >
+           nodes[static_cast<std::size_t>(b)].index;
+  };
+  std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+  for (int s = 0; s < kHuffSymbols; ++s) {
+    if (freq[static_cast<std::size_t>(s)] == 0) continue;
+    nodes.push_back({freq[static_cast<std::size_t>(s)], s, -1, -1, s});
+    heap.push(static_cast<int>(nodes.size()) - 1);
+  }
+  lengths.fill(0);
+  if (nodes.empty()) return 0;
+  if (nodes.size() == 1) {
+    lengths[static_cast<std::size_t>(nodes[0].symbol)] = 1;
+    return 1;
+  }
+  while (heap.size() > 1) {
+    const int a = heap.top();
+    heap.pop();
+    const int b = heap.top();
+    heap.pop();
+    nodes.push_back({nodes[static_cast<std::size_t>(a)].weight +
+                         nodes[static_cast<std::size_t>(b)].weight,
+                     kHuffSymbols + static_cast<int>(nodes.size()), a, b, -1});
+    heap.push(static_cast<int>(nodes.size()) - 1);
+  }
+  // Iterative depth assignment from the root.
+  int max_depth = 0;
+  std::vector<std::pair<int, int>> stack{{heap.top(), 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[static_cast<std::size_t>(idx)];
+    if (n.symbol >= 0) {
+      lengths[static_cast<std::size_t>(n.symbol)] =
+          static_cast<std::uint8_t>(depth);
+      max_depth = std::max(max_depth, depth);
+    } else {
+      stack.push_back({n.left, depth + 1});
+      stack.push_back({n.right, depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+struct Codebook {
+  std::array<std::uint32_t, kHuffSymbols> code{};
+  std::array<std::uint8_t, kHuffSymbols> len{};
+};
+
+/// Canonical code assignment from a length table: symbols ordered by
+/// (length, value), codes increase numerically within and across lengths.
+Codebook canonical_codes(const std::array<std::uint8_t, kHuffSymbols>& lengths) {
+  Codebook book;
+  book.len = lengths;
+  std::vector<int> symbols;
+  for (int s = 0; s < kHuffSymbols; ++s) {
+    if (lengths[static_cast<std::size_t>(s)] > 0) symbols.push_back(s);
+  }
+  std::sort(symbols.begin(), symbols.end(), [&](int a, int b) {
+    const auto la = lengths[static_cast<std::size_t>(a)];
+    const auto lb = lengths[static_cast<std::size_t>(b)];
+    return la != lb ? la < lb : a < b;
+  });
+  std::uint32_t code = 0;
+  int prev_len = 0;
+  for (const int s : symbols) {
+    const int l = lengths[static_cast<std::size_t>(s)];
+    code <<= (l - prev_len);
+    book.code[static_cast<std::size_t>(s)] = code;
+    ++code;
+    prev_len = l;
+  }
+  return book;
+}
+
+}  // namespace
+
+HuffmanEncoded huffman_encode(std::span<const std::uint8_t> raw) {
+  HuffmanEncoded out;
+  if (raw.empty()) return out;
+
+  std::array<std::uint64_t, kHuffSymbols> freq{};
+  for (const std::uint8_t b : raw) ++freq[b];
+
+  // Cap depth by damping: halving frequencies flattens the tree while
+  // preserving the rough shape; one pass nearly always suffices.
+  while (tree_depths(freq, out.lengths) > kMaxCodeLen) {
+    for (auto& f : freq) {
+      if (f > 0) f = (f + 1) / 2;
+    }
+  }
+
+  const Codebook book = canonical_codes(out.lengths);
+  BitWriter w;
+  for (const std::uint8_t b : raw) {
+    w.put(book.code[b], book.len[b]);
+  }
+  out.nbits = w.finish();
+  out.bits = w.take();
+  return out;
+}
+
+std::vector<std::uint8_t> huffman_decode(
+    const std::array<std::uint8_t, kHuffSymbols>& lengths,
+    std::span<const std::uint8_t> bits, std::uint64_t nbits,
+    std::size_t nsymbols) {
+  // Per-length canonical tables: count, first code, and the symbols in
+  // canonical order.
+  std::array<std::uint32_t, kMaxCodeLen + 1> count{};
+  std::vector<std::uint8_t> order;  ///< symbols sorted by (length, value)
+  for (int l = 1; l <= kMaxCodeLen; ++l) {
+    for (int s = 0; s < kHuffSymbols; ++s) {
+      if (lengths[static_cast<std::size_t>(s)] == l) {
+        ++count[static_cast<std::size_t>(l)];
+        order.push_back(static_cast<std::uint8_t>(s));
+      }
+    }
+  }
+  if (order.empty()) {
+    if (nsymbols != 0) {
+      throw trace::TraceError("corrupt chunk: empty Huffman table");
+    }
+    return {};
+  }
+  // Kraft validation: a usable table is exactly complete, except for the
+  // degenerate single-symbol code {len 1} which is deliberately
+  // incomplete (the lone code is "0").
+  std::uint64_t kraft = 0;  // scaled by 2^kMaxCodeLen
+  for (int l = 1; l <= kMaxCodeLen; ++l) {
+    kraft += static_cast<std::uint64_t>(count[static_cast<std::size_t>(l)])
+             << (kMaxCodeLen - l);
+  }
+  const std::uint64_t full = 1ull << kMaxCodeLen;
+  const bool single = order.size() == 1 && lengths[order[0]] == 1;
+  if (!single && kraft != full) {
+    throw trace::TraceError("corrupt chunk: invalid Huffman length table");
+  }
+  std::array<std::uint32_t, kMaxCodeLen + 1> first{};
+  std::array<std::uint32_t, kMaxCodeLen + 1> offset{};
+  std::uint32_t code = 0, idx = 0;
+  for (int l = 1; l <= kMaxCodeLen; ++l) {
+    code <<= 1;
+    first[static_cast<std::size_t>(l)] = code;
+    offset[static_cast<std::size_t>(l)] = idx;
+    code += count[static_cast<std::size_t>(l)];
+    idx += count[static_cast<std::size_t>(l)];
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(nsymbols);
+  BitReader r(bits, nbits);
+  while (out.size() < nsymbols) {
+    std::uint32_t acc = 0;
+    int len = 0;
+    for (;;) {
+      acc = (acc << 1) | static_cast<std::uint32_t>(r.bit());
+      ++len;
+      const std::uint32_t n = count[static_cast<std::size_t>(len)];
+      if (n != 0 && acc >= first[static_cast<std::size_t>(len)] &&
+          acc < first[static_cast<std::size_t>(len)] + n) {
+        out.push_back(order[offset[static_cast<std::size_t>(len)] + acc -
+                            first[static_cast<std::size_t>(len)]]);
+        break;
+      }
+      if (len >= kMaxCodeLen) {
+        throw trace::TraceError("corrupt chunk: Huffman code out of range");
+      }
+    }
+  }
+  if (r.consumed() != nbits) {
+    throw trace::TraceError("corrupt chunk: trailing Huffman bits");
+  }
+  return out;
+}
+
+}  // namespace mpisect::codec

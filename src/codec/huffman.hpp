@@ -1,0 +1,44 @@
+// Canonical Huffman coding over bytes — the entropy stage of the .mpstz
+// chunk pipeline.
+//
+// Only the 256 code lengths travel on the wire (one byte per symbol);
+// both sides derive the same canonical codebook from them: symbols sorted
+// by (length, value), codes assigned in increasing numeric order per the
+// usual canonical construction. Lengths are capped at kMaxCodeLen by
+// rebuilding with damped frequencies when the unconstrained tree gets too
+// deep — chunk payloads are bounded, so the cap almost never binds.
+//
+// The decoder validates the length table (it must describe a complete,
+// non-overfull prefix code) before touching the bitstream, so corrupt
+// tables are rejected as trace::TraceError rather than misdecoding.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mpisect::codec {
+
+inline constexpr int kHuffSymbols = 256;
+inline constexpr int kMaxCodeLen = 32;
+
+struct HuffmanEncoded {
+  /// Code length per symbol; 0 = symbol absent from the input.
+  std::array<std::uint8_t, kHuffSymbols> lengths{};
+  std::vector<std::uint8_t> bits;  ///< packed MSB-first bitstream
+  std::uint64_t nbits = 0;         ///< meaningful bits in `bits`
+};
+
+/// Entropy-code `raw`. Empty input yields an all-zero length table and an
+/// empty bitstream.
+[[nodiscard]] HuffmanEncoded huffman_encode(std::span<const std::uint8_t> raw);
+
+/// Decode exactly `nsymbols` symbols. Throws trace::TraceError on invalid
+/// length tables, truncated bitstreams, or trailing meaningful bits.
+[[nodiscard]] std::vector<std::uint8_t> huffman_decode(
+    const std::array<std::uint8_t, kHuffSymbols>& lengths,
+    std::span<const std::uint8_t> bits, std::uint64_t nbits,
+    std::size_t nsymbols);
+
+}  // namespace mpisect::codec

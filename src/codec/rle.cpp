@@ -1,0 +1,80 @@
+#include "codec/rle.hpp"
+
+#include <algorithm>
+
+#include "trace/wire.hpp"
+
+namespace mpisect::codec {
+
+std::vector<std::uint8_t> rle_encode(std::span<const std::uint8_t> raw) {
+  std::vector<std::uint8_t> out;
+  out.reserve(raw.size() + raw.size() / 128 + 1);
+  std::size_t i = 0;
+  std::size_t lit_start = 0;  ///< start of the pending literal range
+  const auto flush_literals = [&](std::size_t end) {
+    while (lit_start < end) {
+      const std::size_t n = std::min<std::size_t>(end - lit_start, 128);
+      out.push_back(static_cast<std::uint8_t>(n - 1));
+      out.insert(out.end(), raw.begin() + static_cast<std::ptrdiff_t>(lit_start),
+                 raw.begin() + static_cast<std::ptrdiff_t>(lit_start + n));
+      lit_start += n;
+    }
+  };
+  while (i < raw.size()) {
+    std::size_t run = 1;
+    while (i + run < raw.size() && raw[i + run] == raw[i] && run < 128) ++run;
+    // A run pays for itself at length 3 (2 bytes replace 3+); at length 2
+    // it ties with literals, so keep literals for better Huffman stats.
+    if (run >= 3) {
+      flush_literals(i);
+      out.push_back(static_cast<std::uint8_t>(257 - run));
+      out.push_back(raw[i]);
+      i += run;
+      lit_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(raw.size());
+  return out;
+}
+
+std::vector<std::uint8_t> rle_decode(std::span<const std::uint8_t> coded,
+                                     std::size_t expected_size) {
+  std::vector<std::uint8_t> out;
+  out.reserve(expected_size);
+  std::size_t i = 0;
+  while (i < coded.size()) {
+    const std::uint8_t c = coded[i++];
+    if (c == 128) {
+      throw trace::TraceError("corrupt chunk: reserved RLE control byte");
+    }
+    if (c < 128) {
+      const std::size_t n = static_cast<std::size_t>(c) + 1;
+      if (i + n > coded.size()) {
+        throw trace::TraceError("corrupt chunk: RLE literal overruns input");
+      }
+      if (out.size() + n > expected_size) {
+        throw trace::TraceError("corrupt chunk: RLE output exceeds raw size");
+      }
+      out.insert(out.end(), coded.begin() + static_cast<std::ptrdiff_t>(i),
+                 coded.begin() + static_cast<std::ptrdiff_t>(i + n));
+      i += n;
+    } else {
+      const std::size_t n = 257 - static_cast<std::size_t>(c);
+      if (i >= coded.size()) {
+        throw trace::TraceError("corrupt chunk: RLE run overruns input");
+      }
+      if (out.size() + n > expected_size) {
+        throw trace::TraceError("corrupt chunk: RLE output exceeds raw size");
+      }
+      out.insert(out.end(), n, coded[i++]);
+    }
+  }
+  if (out.size() != expected_size) {
+    throw trace::TraceError("corrupt chunk: RLE output shorter than raw size");
+  }
+  return out;
+}
+
+}  // namespace mpisect::codec

@@ -1,0 +1,29 @@
+// PackBits-style byte run-length coding — the first stage of the .mpstz
+// chunk pipeline.
+//
+// The delta/XOR transforms leave event streams full of zero runs (matched
+// double exponents, small varints); collapsing them before the entropy
+// pass both shrinks the input and sharpens the Huffman symbol histogram.
+//
+// Wire form: a control byte c followed by data.
+//   c in [0, 127]   copy the next c+1 literal bytes
+//   c in [129, 255] repeat the next byte 257-c times (run of 2..128)
+//   c == 128        reserved; never emitted, rejected on decode
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mpisect::codec {
+
+[[nodiscard]] std::vector<std::uint8_t> rle_encode(
+    std::span<const std::uint8_t> raw);
+
+/// Inverse of rle_encode. `expected_size` bounds the output (a corrupt
+/// stream that would overflow it throws trace::TraceError, as does a
+/// stream that ends mid-token or decodes to the wrong length).
+[[nodiscard]] std::vector<std::uint8_t> rle_decode(
+    std::span<const std::uint8_t> coded, std::size_t expected_size);
+
+}  // namespace mpisect::codec

@@ -1,0 +1,53 @@
+#include "serve/cache.hpp"
+
+namespace mpisect::serve {
+
+LruCache::LruCache(std::size_t max_entries, std::size_t max_bytes)
+    : max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+std::optional<std::string> LruCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void LruCache::put(const std::string& key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (max_bytes_ > 0 && value.size() > max_bytes_) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->value.size();
+    bytes_ += value.size();
+    it->second->value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    bytes_ += value.size();
+    lru_.push_front(Entry{key, std::move(value)});
+    index_[key] = lru_.begin();
+  }
+  evict_locked();
+}
+
+std::size_t LruCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::size_t LruCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+void LruCache::evict_locked() {
+  while (!lru_.empty() &&
+         (lru_.size() > max_entries_ ||
+          (max_bytes_ > 0 && bytes_ > max_bytes_))) {
+    bytes_ -= lru_.back().value.size();
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace mpisect::serve

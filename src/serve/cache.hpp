@@ -1,0 +1,51 @@
+// LRU result cache for served queries. Keys are (trace digest + query
+// canonical form) strings, values are fully rendered result texts — the
+// daemon returns cache hits without touching the trace at all.
+//
+// Thread-safe: one mutex. The cache sits off the per-rank hot path (it is
+// only consulted once per network query), so a single lock is fine.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace mpisect::serve {
+
+class LruCache {
+ public:
+  /// `max_entries` results are kept; `max_bytes` bounds the summed value
+  /// sizes (0 = unbounded). Eviction is strict LRU.
+  explicit LruCache(std::size_t max_entries = 128,
+                    std::size_t max_bytes = 64 << 20);
+
+  /// Returns the cached result and marks the entry most-recently-used.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key);
+
+  /// Insert (or refresh) a result. Values larger than max_bytes are not
+  /// cached at all.
+  void put(const std::string& key, std::string value);
+
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::size_t bytes() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+
+  void evict_locked();
+
+  std::size_t max_entries_;
+  std::size_t max_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace mpisect::serve

@@ -88,9 +88,8 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       has_value = true;
     }
     if (const auto al = aliases_.find(arg); al != aliases_.end()) {
-      std::fprintf(stderr,
-                   "%s: warning: '--%s' is deprecated, use '--%s'\n",
-                   program_.c_str(), arg.c_str(), al->second.c_str());
+      std::fprintf(stderr, "%s\n",
+                   deprecation_message(program_, arg, al->second).c_str());
       arg = al->second;
     }
     auto it = options_.find(arg);
@@ -177,6 +176,13 @@ std::string ArgParser::usage() const {
            "\n";
   }
   return out;
+}
+
+std::string deprecation_message(const std::string& program,
+                                const std::string& deprecated,
+                                const std::string& canonical) {
+  return program + ": warning: '--" + deprecated + "' is deprecated, use '--" +
+         canonical + "' instead";
 }
 
 void add_unified_flags(ArgParser& args, const std::string& model_default,

@@ -73,6 +73,14 @@ class ArgParser {
   std::vector<std::string> positionals_;        ///< declaration order
 };
 
+/// The one-line stderr warning parse() prints when a deprecated alias is
+/// used. Exposed so tests can assert the exact suggestion text: the
+/// message must name the precise replacement flag, not just say the old
+/// spelling is deprecated.
+[[nodiscard]] std::string deprecation_message(const std::string& program,
+                                              const std::string& deprecated,
+                                              const std::string& canonical);
+
 /// Register the flag vocabulary every mpisect-* tool shares: `--model`
 /// (+ deprecated `--machine`), `--export` (+ deprecated `--format`),
 /// `--json` and `--seed`. `--version` is built into parse().

@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+//
+// Used by the .mpstz codec as a per-chunk integrity check: the CRC of the
+// *decompressed* chunk payload is stored in the chunk index, so corruption
+// anywhere in the compression pipeline (index, Huffman tables, bitstream)
+// surfaces as a deterministic mismatch instead of garbage events.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace mpisect::support {
+
+/// One-shot CRC-32 of `data`. `seed` chains incremental updates:
+/// crc32(b, crc32(a)) == crc32(a + b).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                  std::uint32_t seed = 0) noexcept;
+
+}  // namespace mpisect::support

@@ -1,0 +1,24 @@
+#include "support/digest.hpp"
+
+namespace mpisect::support {
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data,
+                      std::uint64_t seed) noexcept {
+  std::uint64_t h = seed;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::string format_digest(std::uint64_t digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out = "mpst1-";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out += kHex[(digest >> shift) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace mpisect::support

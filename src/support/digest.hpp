@@ -1,0 +1,31 @@
+// Stable content digests for trace identity.
+//
+// The serve cache keys results on the digest of the trace a query ran
+// against, and `mpisect-replay info --digest` prints the same value so
+// users can verify cache identity across machines. The digest is computed
+// over the canonical `.mpst` v3 encoding (explicitly little-endian), so a
+// trace hashes identically whether it was loaded from `.mpst` or `.mpstz`
+// and regardless of host byte order.
+//
+// FNV-1a is not cryptographic; it identifies content, it does not
+// authenticate it. 64 bits keeps accidental collisions out of reach for
+// any realistic trace population on one serve instance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace mpisect::support {
+
+/// FNV-1a 64-bit over `data`. `seed` chains incremental updates; the
+/// default is the standard FNV offset basis.
+[[nodiscard]] std::uint64_t fnv1a64(
+    std::span<const std::uint8_t> data,
+    std::uint64_t seed = 0xCBF29CE484222325ull) noexcept;
+
+/// Render a digest the way every tool prints it: "mpst1-" + 16 hex digits.
+/// The prefix versions the digest scheme, not the trace format.
+[[nodiscard]] std::string format_digest(std::uint64_t digest);
+
+}  // namespace mpisect::support

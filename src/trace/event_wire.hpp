@@ -1,0 +1,29 @@
+// Per-event wire codec shared by the .mpst container (file.cpp) and the
+// .mpstz chunked compressor (codec/mpstz.cpp).
+//
+// The compressed container stores each chunk's events in exactly this
+// encoding (before its RLE + Huffman pass), with `prev_op` reset to zero
+// at every chunk boundary so chunks decode independently. Keeping one
+// definition is what makes the .mpstz roundtrip bit-exact: decompression
+// rebuilds Event structs, and re-encoding them through this codec
+// reproduces the original .mpst byte stream.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/events.hpp"
+#include "trace/wire.hpp"
+
+namespace mpisect::trace {
+
+/// Append `ev` to `w`. `prev_op` carries the op-id delta chain between
+/// consecutive events of one stream; start it at 0 per stream (or chunk).
+void encode_event(ByteWriter& w, const Event& ev, std::uint64_t& prev_op);
+
+/// Inverse of encode_event. Throws TraceError on unknown kinds or
+/// truncation. `version` is the container format version (v3 added the
+/// posted envelope on RecvPost/Probe).
+[[nodiscard]] Event decode_event(ByteReader& r, std::uint64_t& prev_op,
+                                 std::uint32_t version);
+
+}  // namespace mpisect::trace

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <iterator>
 
+#include "trace/event_wire.hpp"
+
 namespace mpisect::trace {
 
 namespace {
@@ -74,6 +76,8 @@ mpisim::MachineModel decode_machine(ByteReader& r) {
   o.oversubscription_penalty = r.f64();
   return m;
 }
+
+}  // namespace
 
 void encode_event(ByteWriter& w, const Event& ev, std::uint64_t& prev_op) {
   w.u8(static_cast<std::uint8_t>(ev.kind) |
@@ -218,8 +222,6 @@ Event decode_event(ByteReader& r, std::uint64_t& prev_op,
   return ev;
 }
 
-}  // namespace
-
 std::vector<std::uint8_t> TraceFile::encode() const {
   ByteWriter w;
   w.u32le(kTraceMagic);
@@ -256,6 +258,11 @@ std::vector<std::uint8_t> TraceFile::encode() const {
 TraceFile TraceFile::decode(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   const std::uint32_t magic = r.u32le();
+  if (magic == 0x5A53504D) {  // "MPSZ": the compressed container
+    throw TraceError(
+        "trace is a compressed .mpstz container; decode it through "
+        "codec::decompress (or codec::load_trace)");
+  }
   if (magic != kTraceMagic) {
     // A byte-swapped magic means the file itself is fine but was written
     // with the opposite byte order (foreign/corrupted tooling).

@@ -1,0 +1,278 @@
+// .mpstz codec: bit-exact roundtrips, chunked random access with the
+// bytes-decoded accounting, compression-pipeline unit coverage (RLE,
+// canonical Huffman), and integrity rejection of corrupted containers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "apps/convolution/convolution.hpp"
+#include "codec/huffman.hpp"
+#include "codec/mpstz.hpp"
+#include "codec/rle.hpp"
+#include "core/sections/runtime.hpp"
+#include "mpisim/runtime.hpp"
+#include "support/rng.hpp"
+#include "trace/event_wire.hpp"
+#include "trace/recorder.hpp"
+#include "trace/replay.hpp"
+
+namespace {
+
+using namespace mpisect;
+
+trace::TraceFile record_convolution(int ranks, int steps) {
+  mpisim::WorldOptions opts;
+  opts.machine = mpisim::MachineModel::nehalem_cluster();
+  opts.seed = 0x5EED;
+  mpisim::World world(ranks, opts);
+  sections::SectionRuntime::install(world);
+  auto rec = trace::TraceRecorder::install(world, {.app = "codec-fixture"});
+  apps::conv::ConvolutionConfig cfg;
+  cfg.steps = steps;
+  cfg.full_fidelity = false;
+  apps::conv::ConvolutionApp app(cfg);
+  world.run(std::ref(app));
+  return rec->finish();
+}
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+// ---------------------------------------------------------------- RLE --
+
+TEST(Rle, RoundtripsRunsAndLiterals) {
+  std::vector<std::uint8_t> raw = bytes_of("abc");
+  raw.insert(raw.end(), 300, 0);
+  raw.push_back(7);
+  raw.insert(raw.end(), 2, 9);  // short run stays literal
+  const auto coded = codec::rle_encode(raw);
+  EXPECT_LT(coded.size(), raw.size());
+  EXPECT_EQ(codec::rle_decode(coded, raw.size()), raw);
+}
+
+TEST(Rle, RoundtripsEmptyAndIncompressible) {
+  EXPECT_TRUE(codec::rle_decode(codec::rle_encode({}), 0).empty());
+  std::vector<std::uint8_t> raw;
+  for (int i = 0; i < 500; ++i) raw.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(codec::rle_decode(codec::rle_encode(raw), raw.size()), raw);
+}
+
+TEST(Rle, RejectsCorruptStreams) {
+  const std::vector<std::uint8_t> reserved = {128};
+  EXPECT_THROW((void)codec::rle_decode(reserved, 1), trace::TraceError);
+  const std::vector<std::uint8_t> overrun = {10};  // 11 literals, none given
+  EXPECT_THROW((void)codec::rle_decode(overrun, 11), trace::TraceError);
+  const auto coded = codec::rle_encode(bytes_of("xyzzy"));
+  EXPECT_THROW((void)codec::rle_decode(coded, 3), trace::TraceError);  // short
+  EXPECT_THROW((void)codec::rle_decode(coded, 9), trace::TraceError);  // long
+}
+
+// ------------------------------------------------------------ Huffman --
+
+TEST(Huffman, RoundtripsSkewedAndUniformInputs) {
+  support::SequentialRng rng(0xC0DEC);
+  std::vector<std::uint8_t> skewed;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t r = rng.next();
+    skewed.push_back(r % 10 == 0 ? static_cast<std::uint8_t>(r) : 0);
+  }
+  for (const auto& raw : {skewed, bytes_of("aaaaaaab"), bytes_of("z")}) {
+    const codec::HuffmanEncoded enc = codec::huffman_encode(raw);
+    EXPECT_EQ(codec::huffman_decode(enc.lengths, enc.bits, enc.nbits,
+                                    raw.size()),
+              raw);
+  }
+  // Heavily skewed input entropy-codes well below 8 bits/symbol.
+  const codec::HuffmanEncoded enc = codec::huffman_encode(skewed);
+  EXPECT_LT(enc.bits.size(), skewed.size() / 2);
+}
+
+TEST(Huffman, EmptyInput) {
+  const codec::HuffmanEncoded enc = codec::huffman_encode({});
+  EXPECT_EQ(enc.nbits, 0u);
+  EXPECT_TRUE(
+      codec::huffman_decode(enc.lengths, enc.bits, enc.nbits, 0).empty());
+}
+
+TEST(Huffman, RejectsInvalidTablesAndTruncatedBits) {
+  const auto raw = bytes_of("canonical huffman canonical huffman");
+  codec::HuffmanEncoded enc = codec::huffman_encode(raw);
+  // Over-full table: shortening a code length breaks the Kraft equality.
+  auto bad = enc.lengths;
+  for (auto& len : bad) {
+    if (len > 1) {
+      len = static_cast<std::uint8_t>(len - 1);
+      break;
+    }
+  }
+  EXPECT_THROW(
+      (void)codec::huffman_decode(bad, enc.bits, enc.nbits, raw.size()),
+      trace::TraceError);
+  // Truncated bitstream.
+  EXPECT_THROW((void)codec::huffman_decode(enc.lengths, enc.bits,
+                                           enc.nbits / 2, raw.size()),
+               trace::TraceError);
+  // Bit count exceeding the payload.
+  EXPECT_THROW((void)codec::huffman_decode(enc.lengths, enc.bits,
+                                           8 * enc.bits.size() + 9,
+                                           raw.size()),
+               trace::TraceError);
+}
+
+// ------------------------------------------------------------- .mpstz --
+
+TEST(Mpstz, RoundtripIsBitExact) {
+  const trace::TraceFile tf = record_convolution(8, 20);
+  const std::vector<std::uint8_t> mpst = tf.encode();
+  const std::vector<std::uint8_t> mpstz = codec::compress(tf);
+  const trace::TraceFile back = codec::decompress(mpstz);
+  EXPECT_EQ(back.encode(), mpst) << "decode(encode(t)) must be byte-exact";
+}
+
+TEST(Mpstz, RoundtripIsBitExactAcrossChunkBoundaries) {
+  const trace::TraceFile tf = record_convolution(4, 30);
+  const std::vector<std::uint8_t> mpst = tf.encode();
+  for (const std::uint64_t chunk_events :
+       {std::uint64_t{1}, std::uint64_t{7}, std::uint64_t{64},
+        std::uint64_t{1} << 20}) {
+    const auto mpstz = codec::compress(tf, {.chunk_events = chunk_events});
+    EXPECT_EQ(codec::decompress(mpstz).encode(), mpst)
+        << "chunk_events=" << chunk_events;
+  }
+}
+
+TEST(Mpstz, CompressesRealTraces) {
+  const trace::TraceFile tf = record_convolution(16, 40);
+  const std::vector<std::uint8_t> mpst = tf.encode();
+  const std::vector<std::uint8_t> mpstz = codec::compress(tf);
+  const double ratio = static_cast<double>(mpst.size()) /
+                       static_cast<double>(mpstz.size());
+  // The acceptance bar (>= 3x on the 64-rank traces) is enforced by
+  // bench_codec / CI; the smaller fixture clears it too.
+  EXPECT_GE(ratio, 3.0) << mpst.size() << " -> " << mpstz.size();
+}
+
+TEST(Mpstz, SeekedWindowDecodesOnlyNeededChunks) {
+  const trace::TraceFile tf = record_convolution(4, 40);
+  const auto mpstz = codec::compress(tf, {.chunk_events = 64});
+  codec::MpstzReader full(mpstz);
+  const trace::TraceFile all = full.all();
+  const std::uint64_t full_bytes = full.bytes_decoded();
+  ASSERT_GT(full_bytes, 0u);
+  EXPECT_EQ(all.encode(), tf.encode());
+
+  // A window over the middle fifth of rank 1's run.
+  const trace::RankStream& rs = tf.ranks[1];
+  const double span = rs.t_final - rs.t0;
+  const double t0 = rs.t0 + 0.4 * span;
+  const double t1 = rs.t0 + 0.6 * span;
+  codec::MpstzReader seek(mpstz);
+  const std::vector<trace::Event> events = seek.window(1, t0, t1);
+  EXPECT_FALSE(events.empty());
+  EXPECT_LT(seek.bytes_decoded(), full_bytes / 2)
+      << "a narrow window must not decode most of the payload";
+
+  // The window is a contiguous slice of the rank's stream: every covered
+  // chunk decodes to exactly the recorded events.
+  bool found = false;
+  for (std::size_t start = 0;
+       start + events.size() <= rs.events.size() && !found; ++start) {
+    bool match = true;
+    for (std::size_t i = 0; i < events.size() && match; ++i) {
+      trace::ByteWriter a, b;
+      std::uint64_t pa = 0, pb = 0;
+      trace::encode_event(a, events[i], pa);
+      trace::encode_event(b, rs.events[start + i], pb);
+      match = a.bytes() == b.bytes();
+    }
+    found = match;
+  }
+  EXPECT_TRUE(found) << "window events must be a slice of the rank stream";
+}
+
+TEST(Mpstz, DigestIsFormatIndependent) {
+  const trace::TraceFile tf = record_convolution(4, 10);
+  const std::string dir = ::testing::TempDir();
+  const std::string mpst_path = dir + "codec_digest.mpst";
+  const std::string mpstz_path = dir + "codec_digest.mpstz";
+  tf.save(mpst_path);
+  const auto z = codec::compress(tf);
+  {
+    std::FILE* f = std::fopen(mpstz_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(z.data(), 1, z.size(), f), z.size());
+    std::fclose(f);
+  }
+  const trace::TraceFile a = codec::load_trace(mpst_path);
+  const trace::TraceFile b = codec::load_trace(mpstz_path);
+  EXPECT_EQ(codec::trace_digest(a), codec::trace_digest(b));
+  EXPECT_EQ(a.encode(), b.encode());
+  std::remove(mpst_path.c_str());
+  std::remove(mpstz_path.c_str());
+}
+
+TEST(Mpstz, ReplayOfDecompressedTraceVerifies) {
+  const trace::TraceFile tf = record_convolution(4, 10);
+  const trace::TraceFile back = codec::decompress(codec::compress(tf));
+  const trace::VerifyResult v = trace::verify_roundtrip(back);
+  EXPECT_TRUE(v.ok) << v.detail;
+}
+
+TEST(Mpstz, CorruptionIsRejectedNotUB) {
+  const trace::TraceFile tf = record_convolution(3, 8);
+  const auto mpstz = codec::compress(tf, {.chunk_events = 32});
+  // Payload CRC: flip one bit in the last quarter (chunk payload bytes).
+  {
+    auto mutant = mpstz;
+    mutant[mutant.size() - mutant.size() / 4] ^= 0x01;
+    EXPECT_THROW((void)codec::decompress(mutant), trace::TraceError);
+  }
+  // Metadata CRC: flip a byte just past the fixed header.
+  {
+    auto mutant = mpstz;
+    mutant[16] ^= 0x10;
+    EXPECT_THROW((void)codec::decompress(mutant), trace::TraceError);
+  }
+  // Bad magic and version.
+  {
+    auto mutant = mpstz;
+    mutant[0] ^= 0xFF;
+    EXPECT_THROW((void)codec::decompress(mutant), trace::TraceError);
+    mutant = mpstz;
+    mutant[4] = 0x7F;
+    EXPECT_THROW((void)codec::decompress(mutant), trace::TraceError);
+  }
+  // The raw .mpst reader names the right remedy for .mpstz input.
+  try {
+    (void)trace::TraceFile::decode(mpstz);
+    FAIL() << "raw reader must reject compressed containers";
+  } catch (const trace::TraceError& err) {
+    EXPECT_NE(std::string(err.what()).find("mpstz"), std::string::npos);
+  }
+}
+
+TEST(Mpstz, EveryTruncationIsRejected) {
+  const trace::TraceFile tf = record_convolution(3, 6);
+  const auto mpstz = codec::compress(tf, {.chunk_events = 16});
+  support::SequentialRng rng(0x7A12);
+  std::vector<std::size_t> lengths;
+  for (std::size_t n = 0; n < 48 && n < mpstz.size(); ++n) lengths.push_back(n);
+  for (std::size_t n = mpstz.size() - 48; n < mpstz.size(); ++n) {
+    lengths.push_back(n);
+  }
+  for (int i = 0; i < 150; ++i) lengths.push_back(rng.next() % mpstz.size());
+  for (const std::size_t n : lengths) {
+    const std::vector<std::uint8_t> prefix(mpstz.begin(),
+                                           mpstz.begin() + n);
+    EXPECT_THROW((void)codec::decompress(prefix), trace::TraceError)
+        << "prefix length " << n;
+  }
+}
+
+}  // namespace

@@ -5,6 +5,11 @@
 // through the offline analyzer, which must likewise either finish or
 // reject with TraceError: corrupt backrefs, impossible clocks and
 // truncated streams are all structural errors, not undefined behaviour.
+//
+// The same contract covers the compressed .mpstz container: flips in the
+// chunk index, Huffman length tables and payloads, and truncations at
+// every chunk boundary, all through both the eager decompressor and the
+// random-access reader.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -13,6 +18,7 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "codec/mpstz.hpp"
 #include "core/sections/api.hpp"
 #include "core/sections/runtime.hpp"
 #include "mpisim/message.hpp"
@@ -133,6 +139,135 @@ TEST(TraceFuzz, AppendedGarbageIsRejected) {
   std::vector<std::uint8_t> bytes = record_fixture().encode();
   bytes.push_back(0x42);
   EXPECT_THROW((void)trace::TraceFile::decode(bytes), trace::TraceError);
+}
+
+// ------------------------------------------------------ .mpstz container --
+
+/// Decode a .mpstz mutant through both the eager path and the
+/// random-access reader, accepting only success or TraceError. The two
+/// paths must agree on acceptance: a mutant one rejects, both reject.
+bool exercise_mpstz(const std::vector<std::uint8_t>& bytes) {
+  bool eager_ok = true;
+  trace::TraceFile tf;
+  try {
+    tf = codec::decompress(bytes);
+  } catch (const trace::TraceError&) {
+    eager_ok = false;
+  }
+  bool reader_ok = true;
+  try {
+    codec::MpstzReader reader(bytes);
+    for (std::size_t c = 0; c < reader.chunks().size(); ++c) {
+      (void)reader.chunk_events(c);
+    }
+  } catch (const trace::TraceError&) {
+    reader_ok = false;
+  }
+  EXPECT_EQ(eager_ok, reader_ok) << "eager and random-access decode disagree";
+  if (eager_ok) {
+    try {
+      (void)analysis::analyze(tf);
+    } catch (const trace::TraceError&) {
+    }
+  }
+  return eager_ok;
+}
+
+TEST(TraceFuzz, MpstzSingleByteFlipsNeverCrash) {
+  const std::vector<std::uint8_t> bytes =
+      codec::compress(record_fixture(), {.chunk_events = 16});
+  support::SequentialRng rng(0xC0DE);
+  int decoded = 0;
+  constexpr int kFlips = 400;
+  for (int i = 0; i < kFlips; ++i) {
+    std::vector<std::uint8_t> mutant = bytes;
+    const std::size_t pos = rng.next() % mutant.size();
+    mutant[pos] ^= static_cast<std::uint8_t>(1u << (rng.next() % 8));
+    if (exercise_mpstz(mutant)) ++decoded;
+  }
+  // Chunk CRCs catch nearly every payload flip; index/metadata flips are
+  // structural rejects. Either way, no UB.
+  SUCCEED() << decoded << "/" << kFlips << " mutants decoded";
+}
+
+TEST(TraceFuzz, MpstzIndexAndTableCorruptionNeverCrashes) {
+  // Bias the bursts toward the front of the container, where the
+  // metadata blob, per-rank counts and chunk index live — the structures
+  // most likely to send a naive decoder out of bounds.
+  const std::vector<std::uint8_t> bytes =
+      codec::compress(record_fixture(), {.chunk_events = 16});
+  support::SequentialRng rng(0xAB1E);
+  const std::size_t front = bytes.size() / 3 + 1;
+  for (int i = 0; i < 150; ++i) {
+    std::vector<std::uint8_t> mutant = bytes;
+    const int burst = 1 + static_cast<int>(rng.next() % 8);
+    for (int b = 0; b < burst; ++b) {
+      mutant[rng.next() % front] = static_cast<std::uint8_t>(rng.next());
+    }
+    exercise_mpstz(mutant);
+  }
+}
+
+TEST(TraceFuzz, MpstzEveryTruncationIsRejected) {
+  const std::vector<std::uint8_t> bytes =
+      codec::compress(record_fixture(), {.chunk_events = 16});
+  // Dense near both ends plus a sample of interior prefixes: every chunk
+  // boundary lands in one of these ranges for the 16-event chunking.
+  support::SequentialRng rng(0x7A12);
+  std::vector<std::size_t> lengths;
+  for (std::size_t n = 0; n < 96 && n < bytes.size(); ++n) lengths.push_back(n);
+  for (std::size_t n = bytes.size() - 96; n < bytes.size(); ++n) {
+    lengths.push_back(n);
+  }
+  for (int i = 0; i < 300; ++i) lengths.push_back(rng.next() % bytes.size());
+  for (const std::size_t n : lengths) {
+    const std::vector<std::uint8_t> mutant(bytes.begin(), bytes.begin() + n);
+    EXPECT_THROW((void)codec::decompress(mutant), trace::TraceError)
+        << "prefix length " << n;
+  }
+}
+
+TEST(TraceFuzz, MpstzTruncationAtEveryChunkBoundaryIsRejected) {
+  const trace::TraceFile tf = record_fixture();
+  const std::vector<std::uint8_t> bytes =
+      codec::compress(tf, {.chunk_events = 8});
+  // Recover each chunk's end offset within the payload section from the
+  // reader's index, then truncate the container exactly there: the
+  // payload-size check or a chunk bounds check must reject every one.
+  codec::MpstzReader reader(bytes);
+  ASSERT_GT(reader.chunks().size(), 1u);
+  for (const codec::ChunkInfo& c : reader.chunks()) {
+    const std::size_t payload_end_of_chunk =
+        bytes.size() - reader.chunks().back().offset -
+        reader.chunks().back().size + c.offset + c.size;
+    // The last chunk's end is the full container — that's the valid file,
+    // not a truncation.
+    if (payload_end_of_chunk >= bytes.size()) continue;
+    const std::vector<std::uint8_t> mutant(
+        bytes.begin(),
+        bytes.begin() + static_cast<std::ptrdiff_t>(payload_end_of_chunk));
+    EXPECT_THROW((void)codec::decompress(mutant), trace::TraceError)
+        << "truncated after chunk at offset " << c.offset;
+  }
+}
+
+TEST(TraceFuzz, MpstzReplayAndServeLoadAgreeOnMutantAcceptance) {
+  // The serve daemon and the offline CLIs funnel through the same two
+  // decode paths (decompress / MpstzReader); a mutant accepted by one
+  // loader and rejected by the other would let a served answer diverge
+  // from the CLI. exercise_mpstz asserts the agreement per mutant.
+  const std::vector<std::uint8_t> bytes =
+      codec::compress(record_fixture(), {.chunk_events = 16});
+  support::SequentialRng rng(0xD1CF);
+  for (int i = 0; i < 80; ++i) {
+    std::vector<std::uint8_t> mutant = bytes;
+    const int burst = 1 + static_cast<int>(rng.next() % 4);
+    for (int b = 0; b < burst; ++b) {
+      mutant[rng.next() % mutant.size()] ^=
+          static_cast<std::uint8_t>(1u << (rng.next() % 8));
+    }
+    exercise_mpstz(mutant);
+  }
 }
 
 TEST(TraceFuzz, ReplayAndAnalysisAgreeOnMutantAcceptance) {

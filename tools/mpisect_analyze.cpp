@@ -31,12 +31,13 @@
 #include <string>
 
 #include "analysis/analyzer.hpp"
-#include "analysis/report.hpp"
 #include "apps/convolution/convolution.hpp"
 #include "apps/lulesh/lulesh.hpp"
+#include "codec/mpstz.hpp"
 #include "core/sections/api.hpp"
 #include "core/sections/runtime.hpp"
 #include "mpisim/message.hpp"
+#include "serve/queries.hpp"
 #include "support/cli.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/registry.hpp"
@@ -237,7 +238,7 @@ int run(int argc, char** argv) {
 
   trace::TraceFile tf;
   if (!args.get_string("trace").empty()) {
-    tf = trace::TraceFile::load(args.get_string("trace"));
+    tf = codec::load_trace(args.get_string("trace"));
   } else {
     tf = record_trace(args);
     if (!args.get_string("save-trace").empty()) {
@@ -245,9 +246,8 @@ int run(int argc, char** argv) {
     }
   }
 
-  const analysis::AnalysisResult res = analysis::analyze(tf);
-
   if (!args.get_string("telemetry").empty()) {
+    const analysis::AnalysisResult res = analysis::analyze(tf);
     telemetry::Registry reg(tf.header.nranks);
     analysis::fill_telemetry(res, reg);
     if (!emit(telemetry::prometheus_text(reg),
@@ -256,16 +256,14 @@ int run(int argc, char** argv) {
     }
   }
 
-  std::string text;
-  if (format == "text") {
-    text = analysis::render_text(res);
-  } else if (format == "csv") {
-    text = analysis::render_csv(res);
-  } else {
-    text = analysis::render_json(res);
-  }
+  // The report runs on the shared serve engine, so the bytes here match a
+  // served "analyze" response for the same trace exactly.
+  serve::AnalyzeQuery q;
+  q.format = format;
+  std::size_t findings = 0;
+  const std::string text = serve::run_analyze(tf, q, &findings);
   if (!emit(text, args.get_string("out"))) return 1;
-  return res.finding_count() > 0 ? 2 : 0;
+  return findings > 0 ? 2 : 0;
 }
 
 }  // namespace

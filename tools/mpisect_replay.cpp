@@ -4,7 +4,9 @@
 //
 //   mpisect-replay record --app convolution --ranks 64 --steps 200
 //                         --model nehalem-cluster --out conv.mpst
-//   mpisect-replay info   --trace conv.mpst
+//   mpisect-replay record --app lulesh --ranks 64 --steps 10 --compress
+//                         --out lulesh.mpstz
+//   mpisect-replay info   --trace conv.mpst [--digest]
 //   mpisect-replay replay --trace conv.mpst --model knl
 //                         --compute-scale auto --tseq 12.5
 //   mpisect-replay replay --trace conv.mpst --latency-scale 4 --no-jitter
@@ -13,6 +15,12 @@
 //                         --bandwidth-scales 0.5,1,2 --out sweep.csv
 //   mpisect-replay sweep  --trace conv.mpst --drop-rates 0,0.01,0.05
 //                         --out faults.csv
+//   mpisect-replay compress   --in conv.mpst  --out conv.mpstz
+//   mpisect-replay decompress --in conv.mpstz --out conv.mpst
+//
+// Every trace-reading subcommand accepts .mpst and .mpstz transparently.
+// The what-if queries run on the shared serve engine (serve/queries.hpp),
+// so their output is byte-identical to mpisect-serve's responses.
 //
 // Exit status: 0 = ok, 1 = usage/file error (one-line diagnostic),
 // 3 = --verify mismatch.
@@ -24,13 +32,13 @@
 
 #include "apps/convolution/convolution.hpp"
 #include "apps/lulesh/lulesh.hpp"
+#include "codec/mpstz.hpp"
 #include "core/sections/runtime.hpp"
+#include "serve/queries.hpp"
 #include "support/cli.hpp"
-#include "telemetry/export.hpp"
-#include "telemetry/timeline.hpp"
+#include "support/digest.hpp"
 #include "trace/recorder.hpp"
 #include "trace/replay.hpp"
-#include "trace/report.hpp"
 
 namespace {
 
@@ -50,6 +58,15 @@ bool emit(const std::string& text, const std::string& out_path) {
   out << text;
   std::printf("wrote %s (%zu bytes)\n", out_path.c_str(), text.size());
   return true;
+}
+
+void save_bytes(const std::vector<std::uint8_t>& bytes,
+                const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw trace::TraceError("cannot write '" + path + "'");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw trace::TraceError("write error on '" + path + "'");
 }
 
 std::string preset_list() {
@@ -83,68 +100,9 @@ std::vector<double> parse_grid(const std::string& csv) {
   return out;
 }
 
-/// Resolve --machine plus the per-link/jitter overrides into the model the
-/// replay engine will charge against.
-struct WhatIf {
-  mpisim::MachineModel machine;
-  double compute_scale = 1.0;
-};
-
-WhatIf resolve_machine(const trace::TraceFile& tf,
-                       const support::ArgParser& args) {
-  WhatIf w;
-  const std::string name = args.get_string("model");
-  if (name == "recorded") {
-    w.machine = tf.header.machine;
-  } else if (auto preset = mpisim::MachineModel::preset(name)) {
-    w.machine = *preset;
-  } else {
-    throw trace::TraceError("unknown model '" + name + "' (recorded|" +
-                            preset_list() + ")");
-  }
-  mpisim::NetworkModel& net = w.machine.net;
-  if (args.get_double("latency") > 0) {
-    net.intra_node.latency = args.get_double("latency");
-    net.inter_node.latency = args.get_double("latency");
-  }
-  if (args.get_double("bandwidth") > 0) {
-    net.intra_node.bandwidth = args.get_double("bandwidth");
-    net.inter_node.bandwidth = args.get_double("bandwidth");
-  }
-  net.intra_node.latency *= args.get_double("latency-scale");
-  net.inter_node.latency *= args.get_double("latency-scale");
-  net.intra_node.bandwidth *= args.get_double("bandwidth-scale");
-  net.inter_node.bandwidth *= args.get_double("bandwidth-scale");
-  const double js = args.get_double("jitter-scale");
-  net.jitter.rel_sigma *= js;
-  net.jitter.add_sigma *= js;
-  net.jitter.spike_mean *= js;
-  if (args.get_flag("no-jitter")) {
-    net.jitter = mpisim::JitterModel{};
-  }
-  if (args.get_int("eager") > 0) {
-    net.eager_threshold = static_cast<std::size_t>(args.get_int("eager"));
-  }
-  const std::string cs = args.get_string("compute-scale");
-  if (cs == "auto") {
-    w.compute_scale = w.machine.flops_per_core > 0
-                          ? tf.header.machine.flops_per_core /
-                                w.machine.flops_per_core
-                          : 1.0;
-  } else {
-    w.compute_scale = std::strtod(cs.c_str(), nullptr);
-    if (w.compute_scale <= 0) {
-      throw trace::TraceError("bad --compute-scale '" + cs +
-                              "' (positive float or 'auto')");
-    }
-  }
-  return w;
-}
-
 void add_whatif_options(support::ArgParser& args) {
-  args.add_string("trace", "trace.mpst", "input trace file");
-  args.add_string("model", "recorded",
-                  "recorded | " + preset_list());
+  args.add_string("trace", "trace.mpst", "input trace file (.mpst | .mpstz)");
+  args.add_string("model", "recorded", serve::model_choices());
   args.add_alias("machine", "model");
   args.add_string("faults", "",
                   "fault plan re-costed onto the what-if frame, e.g. "
@@ -163,6 +121,20 @@ void add_whatif_options(support::ArgParser& args) {
                   "/ replay flops");
 }
 
+serve::ModelParams model_params(const support::ArgParser& args) {
+  serve::ModelParams p;
+  p.model = args.get_string("model");
+  p.latency = args.get_double("latency");
+  p.bandwidth = args.get_double("bandwidth");
+  p.latency_scale = args.get_double("latency-scale");
+  p.bandwidth_scale = args.get_double("bandwidth-scale");
+  p.jitter_scale = args.get_double("jitter-scale");
+  p.no_jitter = args.get_flag("no-jitter");
+  p.eager = static_cast<std::uint64_t>(args.get_int("eager"));
+  p.compute_scale = args.get_string("compute-scale");
+  return p;
+}
+
 int cmd_record(int argc, const char* const* argv) {
   support::ArgParser args("mpisect-replay record",
                           "Run an instrumented app and capture a .mpst trace");
@@ -175,6 +147,8 @@ int cmd_record(int argc, const char* const* argv) {
   args.add_int("size", 0, "problem size (0 = default)");
   args.add_int("seed", 0x5EED, "world seed");
   args.add_string("out", "trace.mpst", "output trace file");
+  args.add_flag("compress", "write a compressed .mpstz container instead "
+                            "of the flat .mpst encoding");
   args.add_double("telemetry-dt", 0.0,
                   "telemetry sampling interval to stamp into the trace "
                   "header (0 = none); consumed by the timeline subcommand");
@@ -226,10 +200,23 @@ int cmd_record(int argc, const char* const* argv) {
   }
 
   const trace::TraceFile tf = rec->finish();
-  tf.save(args.get_string("out"));
-  std::printf("recorded %llu events on %d ranks -> %s\n",
-              static_cast<unsigned long long>(tf.total_events()), ranks,
-              args.get_string("out").c_str());
+  if (args.get_flag("compress")) {
+    const std::size_t flat = tf.encode().size();
+    const std::vector<std::uint8_t> packed = codec::compress(tf);
+    save_bytes(packed, args.get_string("out"));
+    std::printf(
+        "recorded %llu events on %d ranks -> %s (%zu -> %zu bytes, %.2fx)\n",
+        static_cast<unsigned long long>(tf.total_events()), ranks,
+        args.get_string("out").c_str(), flat, packed.size(),
+        packed.empty() ? 0.0
+                       : static_cast<double>(flat) /
+                             static_cast<double>(packed.size()));
+  } else {
+    tf.save(args.get_string("out"));
+    std::printf("recorded %llu events on %d ranks -> %s\n",
+                static_cast<unsigned long long>(tf.total_events()), ranks,
+                args.get_string("out").c_str());
+  }
   return 0;
 }
 
@@ -247,7 +234,7 @@ int cmd_replay(int argc, const char* const* argv) {
                   "sequential reference time: emit Eq. 6 partial bounds");
   if (!args.parse(argc, argv)) return 1;
 
-  const trace::TraceFile tf = trace::TraceFile::load(args.get_string("trace"));
+  const trace::TraceFile tf = codec::load_trace(args.get_string("trace"));
   if (args.get_flag("verify")) {
     const trace::VerifyResult v = trace::verify_roundtrip(tf);
     if (!v.ok) {
@@ -258,36 +245,13 @@ int cmd_replay(int argc, const char* const* argv) {
     std::printf("verify OK: same-model replay matches the recorded footer\n");
   }
 
-  const WhatIf w = resolve_machine(tf, args);
-  const std::string format = support::unified_export(args);
-  trace::ReplayOptions ropts;
-  ropts.compute_scale = w.compute_scale;
-  ropts.timeline = format == "chrome";
-  if (!args.get_string("faults").empty()) {
-    ropts.faults = mpisim::faults::FaultPlan::parse(args.get_string("faults"));
-    ropts.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
-  }
-  const trace::ReplayResult res = trace::replay(tf, w.machine, ropts);
-
-  std::optional<double> t_seq;
-  if (args.get_double("tseq") > 0) t_seq = args.get_double("tseq");
-  std::string text;
-  if (format == "text") {
-    text = "machine: " + w.machine.name + "  compute-scale: " +
-           std::to_string(w.compute_scale) + "\n" +
-           trace::render_text(res, t_seq);
-  } else if (format == "csv") {
-    text = trace::render_csv(res, t_seq);
-  } else if (format == "json") {
-    text = trace::render_json(res, t_seq);
-  } else if (format == "chrome") {
-    text = trace::render_chrome(res);
-  } else {
-    std::fprintf(stderr, "mpisect-replay: unknown format '%s'\n",
-                 format.c_str());
-    return 1;
-  }
-  return emit(text, args.get_string("out")) ? 0 : 1;
+  serve::ReplayQuery q;
+  q.model = model_params(args);
+  q.faults = args.get_string("faults");
+  q.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
+  q.format = support::unified_export(args);
+  q.tseq = args.get_double("tseq");
+  return emit(serve::run_replay(tf, q), args.get_string("out")) ? 0 : 1;
 }
 
 int cmd_timeline(int argc, const char* const* argv) {
@@ -305,81 +269,41 @@ int cmd_timeline(int argc, const char* const* argv) {
   args.add_string("out", "", "output file ('' = stdout)");
   if (!args.parse(argc, argv)) return 1;
 
-  const trace::TraceFile tf = trace::TraceFile::load(args.get_string("trace"));
-  const WhatIf w = resolve_machine(tf, args);
-  trace::ReplayOptions ropts;
-  ropts.compute_scale = w.compute_scale;
-  ropts.timeline = true;
-  if (!args.get_string("faults").empty()) {
-    ropts.faults = mpisim::faults::FaultPlan::parse(args.get_string("faults"));
-    ropts.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
-  }
-  const trace::ReplayResult res = trace::replay(tf, w.machine, ropts);
-
-  double dt = args.get_double("dt");
-  if (dt <= 0) dt = tf.header.telemetry_dt;
-  if (dt <= 0) dt = res.makespan / 100.0;
-  if (dt <= 0) {
-    std::fprintf(stderr, "mpisect-replay: empty trace, nothing to bin\n");
-    return 1;
-  }
-  const telemetry::Timeline tl = telemetry::timeline_from_replay(res, dt);
-
-  support::Provenance prov = support::build_provenance();
-  prov.machine = w.machine.name;
-  prov.seed = std::to_string(tf.header.seed);
-
-  const std::string format = support::unified_export(args);
-  std::string text;
-  if (format == "csv") {
-    text = telemetry::timeline_csv(tl, prov);
-  } else if (format == "json") {
-    text = telemetry::timeline_json(tl, prov);
-  } else if (format == "chrome") {
-    text = telemetry::chrome_counters(tl, prov);
-  } else {
-    std::fprintf(stderr, "mpisect-replay: unknown format '%s'\n",
-                 format.c_str());
-    return 1;
-  }
-  return emit(text, args.get_string("out")) ? 0 : 1;
+  const trace::TraceFile tf = codec::load_trace(args.get_string("trace"));
+  serve::TimelineQuery q;
+  q.model = model_params(args);
+  q.faults = args.get_string("faults");
+  q.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
+  q.dt = args.get_double("dt");
+  q.format = support::unified_export(args);
+  return emit(serve::run_timeline(tf, q), args.get_string("out")) ? 0 : 1;
 }
 
 int cmd_info(int argc, const char* const* argv) {
   support::ArgParser args("mpisect-replay info",
                           "Describe a trace file without replaying it");
-  args.add_string("trace", "trace.mpst", "input trace file");
+  args.add_string("trace", "trace.mpst", "input trace file (.mpst | .mpstz)");
+  args.add_flag("digest",
+                "print only the stable content digest (identical for .mpst "
+                "and .mpstz encodings of the same trace)");
   if (!args.parse(argc, argv)) return 1;
 
-  const trace::TraceFile tf = trace::TraceFile::load(args.get_string("trace"));
-  std::printf("app:    %s\n", tf.header.app.c_str());
-  std::printf("seed:   0x%llx  start-skew sigma %.3g\n",
-              static_cast<unsigned long long>(tf.header.seed),
-              tf.header.start_skew_sigma);
-  std::printf("ranks:  %d   events: %llu\n", tf.header.nranks,
-              static_cast<unsigned long long>(tf.total_events()));
-  std::printf("%s", tf.header.machine.describe().c_str());
-  std::printf("labels: %zu\n", tf.labels.size());
-  for (std::size_t i = 0; i < tf.labels.size(); ++i) {
-    std::printf("  [%zu] %s\n", i, tf.labels[i].c_str());
+  const trace::TraceFile tf = codec::load_trace(args.get_string("trace"));
+  if (args.get_flag("digest")) {
+    std::printf("%s\n",
+                support::format_digest(codec::trace_digest(tf)).c_str());
+    return 0;
   }
-  for (const auto& r : tf.ranks) {
-    std::printf("rank %3d: %zu events, t0 %.6f, t_final %.6f\n", r.rank,
-                r.events.size(), r.t0, r.t_final);
-    if (tf.ranks.size() > 8 && r.rank == 3) {
-      std::printf("  ... (%zu more ranks)\n", tf.ranks.size() - 4);
-      break;
-    }
-  }
+  std::fputs(serve::run_info(tf).c_str(), stdout);
   return 0;
 }
 
 int cmd_sweep(int argc, const char* const* argv) {
   support::ArgParser args("mpisect-replay sweep",
                           "Replay across a parameter grid, emit long CSV");
-  args.add_string("trace", "trace.mpst", "input trace file");
+  args.add_string("trace", "trace.mpst", "input trace file (.mpst | .mpstz)");
   args.add_string("models", "recorded",
-                  "comma list: recorded | " + preset_list());
+                  "comma list: " + serve::model_choices());
   args.add_alias("machines", "models");
   args.add_string("latency-scales", "1", "comma list of latency multipliers");
   args.add_string("bandwidth-scales", "1",
@@ -396,72 +320,56 @@ int cmd_sweep(int argc, const char* const* argv) {
   args.add_string("out", "", "output CSV ('' = stdout)");
   if (!args.parse(argc, argv)) return 1;
 
-  const trace::TraceFile tf = trace::TraceFile::load(args.get_string("trace"));
-  std::optional<double> t_seq;
-  if (args.get_double("tseq") > 0) t_seq = args.get_double("tseq");
+  const trace::TraceFile tf = codec::load_trace(args.get_string("trace"));
+  serve::SweepQuery q;
+  q.models = split_csv(args.get_string("models"));
+  q.latency_scales = parse_grid(args.get_string("latency-scales"));
+  q.bandwidth_scales = parse_grid(args.get_string("bandwidth-scales"));
+  q.compute_scales = split_csv(args.get_string("compute-scales"));
+  q.drop_rates = parse_grid(args.get_string("drop-rates"));
+  q.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
+  q.tseq = args.get_double("tseq");
+  return emit(serve::run_sweep(tf, q), args.get_string("out")) ? 0 : 1;
+}
 
-  const std::vector<std::string> machines =
-      split_csv(args.get_string("models"));
-  const std::vector<double> lat = parse_grid(args.get_string("latency-scales"));
-  const std::vector<double> bw =
-      parse_grid(args.get_string("bandwidth-scales"));
-  const std::vector<std::string> comp =
-      split_csv(args.get_string("compute-scales"));
-  const std::vector<double> drops = parse_grid(args.get_string("drop-rates"));
+int cmd_compress(int argc, const char* const* argv) {
+  support::ArgParser args("mpisect-replay compress",
+                          "Re-encode a trace as a compressed .mpstz container");
+  args.add_string("in", "trace.mpst", "input trace (.mpst | .mpstz)");
+  args.add_string("out", "trace.mpstz", "output .mpstz container");
+  args.add_int("chunk-events", 16384, "events per chunk (seek granularity)");
+  if (!args.parse(argc, argv)) return 1;
 
-  std::string out = trace::sweep_csv_header();
-  for (const auto& mname : machines) {
-    mpisim::MachineModel base;
-    if (mname == "recorded") {
-      base = tf.header.machine;
-    } else if (auto preset = mpisim::MachineModel::preset(mname)) {
-      base = *preset;
-    } else {
-      throw trace::TraceError("unknown machine '" + mname + "' (recorded|" +
-                              preset_list() + ")");
-    }
-    for (const double ls : lat) {
-      for (const double bs : bw) {
-        for (const std::string& citem : comp) {
-          double cs;
-          if (citem == "auto") {
-            cs = base.flops_per_core > 0
-                     ? tf.header.machine.flops_per_core / base.flops_per_core
-                     : 1.0;
-          } else {
-            cs = std::strtod(citem.c_str(), nullptr);
-            if (cs <= 0) {
-              throw trace::TraceError("bad --compute-scales entry '" + citem +
-                                      "' (positive float or 'auto')");
-            }
-          }
-          mpisim::MachineModel m = base;
-          m.net.intra_node.latency *= ls;
-          m.net.inter_node.latency *= ls;
-          m.net.intra_node.bandwidth *= bs;
-          m.net.inter_node.bandwidth *= bs;
-          for (const double dr : drops) {
-            if (dr < 0.0 || dr >= 1.0) {
-              throw trace::TraceError("bad --drop-rates entry (need 0 <= p "
-                                      "< 1)");
-            }
-            trace::ReplayOptions ropts;
-            ropts.compute_scale = cs;
-            if (dr > 0.0) {
-              char spec[48];
-              std::snprintf(spec, sizeof spec, "drop:p=%.9g", dr);
-              ropts.faults = mpisim::faults::FaultPlan::parse(spec);
-              ropts.fault_seed =
-                  static_cast<std::uint64_t>(args.get_int("fault-seed"));
-            }
-            const trace::ReplayResult res = trace::replay(tf, m, ropts);
-            out += trace::sweep_csv_rows(res, mname, ls, bs, cs, dr, t_seq);
-          }
-        }
-      }
-    }
+  const trace::TraceFile tf = codec::load_trace(args.get_string("in"));
+  codec::CompressOptions opts;
+  if (args.get_int("chunk-events") > 0) {
+    opts.chunk_events = static_cast<std::uint64_t>(args.get_int("chunk-events"));
   }
-  return emit(out, args.get_string("out")) ? 0 : 1;
+  const std::size_t flat = tf.encode().size();
+  const std::vector<std::uint8_t> packed = codec::compress(tf, opts);
+  save_bytes(packed, args.get_string("out"));
+  std::printf("%s: %zu -> %zu bytes (%.2fx), digest %s\n",
+              args.get_string("out").c_str(), flat, packed.size(),
+              packed.empty() ? 0.0
+                             : static_cast<double>(flat) /
+                                   static_cast<double>(packed.size()),
+              support::format_digest(codec::trace_digest(tf)).c_str());
+  return 0;
+}
+
+int cmd_decompress(int argc, const char* const* argv) {
+  support::ArgParser args("mpisect-replay decompress",
+                          "Expand a .mpstz container back to flat .mpst");
+  args.add_string("in", "trace.mpstz", "input .mpstz container");
+  args.add_string("out", "trace.mpst", "output .mpst trace");
+  if (!args.parse(argc, argv)) return 1;
+
+  const trace::TraceFile tf = codec::load_trace(args.get_string("in"));
+  tf.save(args.get_string("out"));
+  std::printf("%s: %llu events, digest %s\n", args.get_string("out").c_str(),
+              static_cast<unsigned long long>(tf.total_events()),
+              support::format_digest(codec::trace_digest(tf)).c_str());
+  return 0;
 }
 
 }  // namespace
@@ -474,6 +382,8 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(argc - 1, argv + 1);
     if (cmd == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (cmd == "timeline") return cmd_timeline(argc - 1, argv + 1);
+    if (cmd == "compress") return cmd_compress(argc - 1, argv + 1);
+    if (cmd == "decompress") return cmd_decompress(argc - 1, argv + 1);
   } catch (const trace::TraceError& err) {
     std::fprintf(stderr, "mpisect-replay: %s\n", err.what());
     return 1;
@@ -482,7 +392,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr,
-               "usage: mpisect-replay <record|replay|info|sweep|timeline> "
+               "usage: mpisect-replay "
+               "<record|replay|info|sweep|timeline|compress|decompress> "
                "[options]\n"
                "       mpisect-replay <subcommand> --help\n");
   return 1;
