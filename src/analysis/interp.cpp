@@ -9,6 +9,7 @@
 
 #include "mpisim/message.hpp"
 #include "mpisim/netmodel.hpp"
+#include "mpisim/progress.hpp"
 
 namespace mpisect::analysis {
 
@@ -61,6 +62,21 @@ struct SyncState {
   std::vector<std::uint64_t> joined;  ///< VC join of all entries
 };
 
+/// Nonblocking-collective round, keyed by (comm, generation). The post is
+/// the HB source (every member's completion joins every member's post),
+/// and the timing mirrors replay's recorded frame: the completion fence
+/// charges ProgressModel::nbc_complete_time over the max post time.
+struct NbcState {
+  int members = 0;
+  int arrived = 0;
+  int departed = 0;
+  std::uint64_t bytes = 0;
+  double max_t = 0.0;
+  int max_rank = -1;
+  std::uint32_t max_idx = 0;
+  std::vector<std::uint64_t> joined;
+};
+
 struct RankRt {
   std::size_t cursor = 0;
   double t = 0.0;
@@ -92,6 +108,7 @@ struct Engine {
   std::vector<RankRt> ranks;
   std::unordered_map<MsgKey, MsgState, MsgKeyHash> msgs;
   std::map<std::pair<int, std::uint64_t>, SyncState> syncs;
+  std::map<std::pair<int, std::uint64_t>, NbcState> nbc_rounds;
   std::map<int, std::set<int>> members_seen;
 
   explicit Engine(const trace::TraceFile& t)
@@ -132,6 +149,7 @@ struct Engine {
           case EventKind::SendPost:
           case EventKind::CollBegin:
           case EventKind::CommSync:
+          case EventKind::NbcPost:
           case EventKind::SectionEnter:
           case EventKind::SectionExit:
             members_seen[ev.comm].insert(rs.rank);
@@ -390,6 +408,47 @@ struct Engine {
         st.t = std::max(st.t, leave);
         if (track_clocks) join_vc(st.vc, sy.joined);
         st.sync_entered = false;
+        break;
+      }
+      case EventKind::NbcPost: {
+        charge_gap(r, st, ev);
+        st.t +=
+            std::max(net.cpu_overhead(r, net.send_overhead, ev.op, 2), 0.0);
+        NbcState& nb = nbc_rounds[{ev.comm, ev.seq}];
+        nb.members = ev.peer;
+        nb.bytes = std::max(nb.bytes, ev.bytes);
+        if (nb.arrived == 0 || st.t > nb.max_t) {
+          nb.max_t = st.t;
+          nb.max_rank = r;
+          nb.max_idx = idx;
+        }
+        if (track_clocks) {
+          if (nb.joined.empty()) nb.joined.assign(ranks.size(), 0);
+          join_vc(nb.joined, st.vc);
+        }
+        ++nb.arrived;
+        break;
+      }
+      case EventKind::NbcComplete: {
+        const auto it = nbc_rounds.find({ev.comm, ev.seq});
+        if (it == nbc_rounds.end() ||
+            it->second.arrived < it->second.members) {
+          return Step::Blocked;  // fence stalls until the post quorum
+        }
+        NbcState& nb = it->second;
+        charge_gap(r, st, ev);
+        const double algo = mpisim::nbc_algo_cost(
+            net.inter_node.latency, net.inter_node.bandwidth, nb.members,
+            nb.bytes);
+        const double done =
+            tf.header.progress.nbc_complete_time(st.t, nb.max_t, algo);
+        if (done > st.t && nb.max_rank != r) {
+          parent_rank = nb.max_rank;  // latest poster gated the fence
+          parent_idx = nb.max_idx;
+        }
+        st.t = std::max(st.t, done);
+        if (track_clocks) join_vc(st.vc, nb.joined);
+        if (++nb.departed == nb.members) nbc_rounds.erase(it);
         break;
       }
       case EventKind::Finalize: {

@@ -65,6 +65,9 @@ struct Sim {
   std::map<ChannelKey, std::vector<PendingSend>> channels;
   std::vector<PostedRecv> posts;
   std::map<std::pair<int, std::uint64_t>, SyncPoint> syncs;
+  /// Nonblocking-collective rounds keyed by (comm, generation): the post
+  /// never blocks, the completion waits for every member's post.
+  std::map<std::pair<int, std::uint64_t>, SyncPoint> nbc;
   std::vector<std::vector<std::size_t>> slot_index;  ///< rank -> recv slots
   std::uint64_t advanced = 0;
 
@@ -231,6 +234,19 @@ struct Sim {
         ++st.sync_done[ev.comm];
         break;
       }
+      case EventKind::NbcPost: {
+        SyncPoint& nb = nbc[{ev.comm, ev.seq}];
+        if (nb.members == 0) nb.members = ev.peer;
+        ++nb.arrived;
+        break;
+      }
+      case EventKind::NbcComplete: {
+        const auto it = nbc.find({ev.comm, ev.seq});
+        if (it == nbc.end() || it->second.arrived < it->second.members) {
+          return false;
+        }
+        break;
+      }
       case EventKind::CollBegin:
       case EventKind::CollEnd:
       case EventKind::SectionEnter:
@@ -317,6 +333,13 @@ struct Sim {
           ws.coll_ordinal = st.sync_ordinal.contains(ev.comm)
                                 ? st.sync_ordinal.at(ev.comm)
                                 : 0;
+          break;
+        }
+        case EventKind::NbcComplete: {
+          ws.call = mpisim::MpiCall::Wait;
+          ws.collective = true;
+          ws.comm_context = ev.comm;
+          ws.coll_ordinal = ev.seq;
           break;
         }
         default:

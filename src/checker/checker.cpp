@@ -135,6 +135,25 @@ void MpiChecker::handle_begin(mpisim::Ctx& ctx, const CallInfo& info) {
       waitgraph_.block(wr, info.call, info.comm_context, pw, info.t_virtual);
       break;
     }
+    case MpiCall::Test: {
+      // A test poll can park (spin budget exhausted) between its begin and
+      // end hooks, so it participates in the wait graph exactly like Wait;
+      // a completed or yielding poll unblocks immediately at end.
+      CallInfo start;
+      int pw = -1;
+      if (resources_.lookup_open(wr, info.request, &start)) {
+        pw = peer_world(start.comm_context, start.peer);
+      }
+      waitgraph_.block(wr, info.call, info.comm_context, pw, info.t_virtual);
+      break;
+    }
+    case MpiCall::Iallreduce:
+    case MpiCall::Ibarrier:
+      // Nonblocking collectives: the post opens a request (completed by
+      // Wait) and must line up across members like any collective.
+      resources_.on_request_start(wr, info);
+      consistency_.on_collective(wr, info);
+      break;
     default:
       if (mpisim::is_collective(info.call)) {
         consistency_.on_collective(wr, info);
@@ -157,8 +176,13 @@ void MpiChecker::handle_end(mpisim::Ctx& ctx, const CallInfo& info) {
     case MpiCall::Finalize:
       waitgraph_.set_finished(wr);
       break;
+    case MpiCall::Test:
+      waitgraph_.unblock(wr, info.call, info.comm_context);
+      break;
     case MpiCall::Isend:
     case MpiCall::Irecv:
+    case MpiCall::Iallreduce:
+    case MpiCall::Ibarrier:
       break;  // nonblocking: tracked at begin, completed by Wait
     default:
       if (mpisim::is_blocking(info.call)) {
@@ -242,9 +266,11 @@ void MpiChecker::report_deadlock(const std::vector<RankWaitState>& states) {
     d.severity = Severity::Error;
     double t_max = 0.0;
     std::string detail;
+    bool test_loop = false;
     for (std::size_t r = 0; r < states.size(); ++r) {
       const auto& st = states[r];
       if (st.phase != RankWaitState::Phase::Blocked) continue;
+      if (st.call == MpiCall::Test) test_loop = true;
       if (d.rank < 0) {
         d.rank = static_cast<int>(r);
         d.comm_context = st.comm_context;
@@ -256,9 +282,16 @@ void MpiChecker::report_deadlock(const std::vector<RankWaitState>& states) {
       t_max = st.t_virtual > t_max ? st.t_virtual : t_max;
     }
     d.t_virtual = t_max;
+    // A rank parked inside MPI_Test distinguishes the classic test-loop
+    // livelock (polling a request whose completion never arrives) from an
+    // opaque deadlock below the hook layer.
     d.message =
-        "world quiescent: no rank can make progress, but no wait-for cycle "
-        "is provable from the observed calls" +
+        (test_loop
+             ? std::string("test-loop livelock: rank(s) polling MPI_Test on "
+                           "a request whose completion can never arrive")
+             : std::string("world quiescent: no rank can make progress, but "
+                           "no wait-for cycle is provable from the observed "
+                           "calls")) +
         (detail.empty() ? std::string() : " (" + detail + ")");
     sink_.emit(std::move(d));
     deadlock_reported_.store(true);

@@ -169,6 +169,23 @@ void put_fields(trace::ByteWriter& w, FieldContext& ctx,
       put_residual(w, static_cast<std::uint64_t>(ev.label),
                    static_cast<std::uint64_t>(k.label));
       break;
+    case K::NbcPost:
+      put_residual(w, static_cast<std::uint64_t>(ev.comm),
+                   static_cast<std::uint64_t>(k.comm));
+      put_residual(w, static_cast<std::uint64_t>(ev.label),
+                   static_cast<std::uint64_t>(k.label));
+      put_residual(w, static_cast<std::uint64_t>(ev.peer),
+                   static_cast<std::uint64_t>(k.peer));
+      put_residual(w, ev.bytes, k.bytes);
+      put_residual(w, ev.seq, k.seq);  // generations step +1: zero runs
+      put_residual(w, ev.op, ctx.op_chain);
+      ctx.op_chain = ev.op;
+      break;
+    case K::NbcComplete:
+      put_residual(w, static_cast<std::uint64_t>(ev.comm),
+                   static_cast<std::uint64_t>(k.comm));
+      put_residual(w, ev.seq, k.seq);
+      break;
     case K::CollEnd:
     case K::Finalize:
       break;
@@ -248,6 +265,23 @@ void get_fields(trace::ByteReader& r, FieldContext& ctx, trace::Event& ev) {
           get_residual(r, static_cast<std::uint64_t>(k.peer)));
       ev.label = static_cast<std::uint32_t>(
           get_residual(r, static_cast<std::uint64_t>(k.label)));
+      break;
+    case K::NbcPost:
+      ev.comm = static_cast<int>(
+          get_residual(r, static_cast<std::uint64_t>(k.comm)));
+      ev.label = static_cast<std::uint32_t>(
+          get_residual(r, static_cast<std::uint64_t>(k.label)));
+      ev.peer = static_cast<int>(
+          get_residual(r, static_cast<std::uint64_t>(k.peer)));
+      ev.bytes = get_residual(r, k.bytes);
+      ev.seq = get_residual(r, k.seq);
+      ev.op = get_residual(r, ctx.op_chain);
+      ctx.op_chain = ev.op;
+      break;
+    case K::NbcComplete:
+      ev.comm = static_cast<int>(
+          get_residual(r, static_cast<std::uint64_t>(k.comm)));
+      ev.seq = get_residual(r, k.seq);
       break;
     case K::CollEnd:
     case K::Finalize:

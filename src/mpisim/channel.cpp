@@ -13,10 +13,12 @@ bool Channel::compatible(const PostedRecv& r, const Message& m) noexcept {
   return src_ok && tag_ok;
 }
 
-void Channel::complete_match(const MessagePtr& msg, const PostedRecvPtr& recv) {
+void Channel::complete_match(const MessagePtr& msg,
+                             const PostedRecvPtr& recv) const {
   double t_deliver = 0.0;
   if (msg->rendezvous) {
-    t_deliver = std::max(msg->t_send_start, recv->t_post) + msg->wire_cost;
+    t_deliver = std::max(msg->t_send_start, recv->t_post) + msg->wire_cost +
+                rendezvous_extra_;
   } else {
     t_deliver = std::max(recv->t_post, msg->t_avail);
   }
@@ -97,6 +99,31 @@ bool Channel::test_recv(const PostedRecvPtr& recv) {
   return recv->completed;
 }
 
+bool Channel::test_send(const MessagePtr& msg) {
+  const std::lock_guard lock(mu_);
+  return !msg->rendezvous || msg->delivered;
+}
+
+void Channel::park_recv_incomplete(const PostedRecvPtr& recv) {
+  std::unique_lock lock(mu_);
+  // Predicate checked under the same lock the park registers under, so a
+  // completion between the caller's failed test and this park cannot be a
+  // lost wake — it either flips `completed` before we check, or notifies
+  // after the WaitPoint registration.
+  if (recv->completed) return;
+  check_abort();
+  wp_.wait(lock);
+  check_abort();
+}
+
+void Channel::park_send_incomplete(const MessagePtr& msg) {
+  std::unique_lock lock(mu_);
+  if (!msg->rendezvous || msg->delivered) return;
+  check_abort();
+  wp_.wait(lock);
+  check_abort();
+}
+
 double Channel::wait_delivered(const MessagePtr& msg) {
   std::unique_lock lock(mu_);
   while (!msg->delivered) {
@@ -124,7 +151,8 @@ Status Channel::probe(int src, int tag, double t_probe) {
         // than any matching recv could ever complete.
         st.t_complete =
             msg->rendezvous
-                ? std::max(msg->t_send_start, t_probe) + msg->wire_cost
+                ? std::max(msg->t_send_start, t_probe) + msg->wire_cost +
+                      rendezvous_extra_
                 : std::max(t_probe, msg->t_avail);
         return st;
       }

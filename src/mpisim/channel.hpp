@@ -28,8 +28,14 @@ namespace mpisect::mpisim {
 
 class Channel {
  public:
-  Channel(Executor& exec, const std::atomic<bool>* abort_flag) noexcept
-      : abort_(abort_flag), wp_(exec, mu_) {}
+  /// `rendezvous_extra` is added to every rendezvous delivery time — the
+  /// progress model's completion-publication latency (a progress thread
+  /// hands the delivery to the application `thread_latency` after the wire
+  /// finishes; zero for synchronous progress).
+  Channel(Executor& exec, const std::atomic<bool>* abort_flag,
+          double rendezvous_extra = 0.0) noexcept
+      : abort_(abort_flag), rendezvous_extra_(rendezvous_extra),
+        wp_(exec, mu_) {}
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
@@ -55,6 +61,20 @@ class Channel {
   /// wait_recv once true to collect the status).
   [[nodiscard]] bool test_recv(const PostedRecvPtr& recv);
 
+  /// Non-blocking completion test, sender side: true once the message needs
+  /// no further progress (eager always; rendezvous once delivered).
+  [[nodiscard]] bool test_send(const MessagePtr& msg);
+
+  /// Park the caller until the channel sees traffic that may have completed
+  /// `recv` (returns immediately if it already has). One blocking wait, no
+  /// predicate loop: spurious wakeups return early and the caller's test
+  /// loop re-polls. Throws Err::Aborted on an abort wake. Request::test()
+  /// parks here after its spin budget so a pure test loop reaches exact
+  /// quiescence instead of spinning forever.
+  void park_recv_incomplete(const PostedRecvPtr& recv);
+  /// Sender-side twin of park_recv_incomplete.
+  void park_send_incomplete(const MessagePtr& msg);
+
   /// Block until a rendezvous message has been delivered (sender side).
   /// Returns the delivery time to sync the sender clock to.
   double wait_delivered(const MessagePtr& msg);
@@ -75,13 +95,14 @@ class Channel {
   static bool compatible(const PostedRecv& r, const Message& m) noexcept;
   /// Pair up msg and recv: compute times, copy payload, flag completion.
   /// Caller holds the mutex.
-  static void complete_match(const MessagePtr& msg, const PostedRecvPtr& recv);
+  void complete_match(const MessagePtr& msg, const PostedRecvPtr& recv) const;
   void check_abort() const;
 
   std::mutex mu_;
   std::deque<MessagePtr> unexpected_;
   std::deque<PostedRecvPtr> posted_;
   const std::atomic<bool>* abort_;
+  double rendezvous_extra_;
   WaitPoint wp_;
 };
 

@@ -41,12 +41,14 @@ CommImpl::CommImpl(World& world, Group group, int context_id)
       context_id_(context_id),
       split_sync_(group_.size(), world.executor(), world.abort_flag()),
       publish_sync_(group_.size(), world.executor(), world.abort_flag()),
-      u64_sync_(group_.size(), world.executor(), world.abort_flag()) {
+      u64_sync_(group_.size(), world.executor(), world.abort_flag()),
+      nbc_sync_(group_.size(), world.executor(), world.abort_flag()) {
   const auto n = static_cast<std::size_t>(group_.size());
   channels_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    channels_.push_back(
-        std::make_unique<Channel>(world.executor(), world.abort_flag()));
+    channels_.push_back(std::make_unique<Channel>(
+        world.executor(), world.abort_flag(),
+        world.progress().rendezvous_extra()));
   }
   rank_states_.resize(n);
   for (auto& rs : rank_states_) rs.send_seq.assign(n, 0);
@@ -429,6 +431,75 @@ Comm::Request Comm::irecv(void* buf, std::size_t max_bytes, int src, int tag) {
   return Request(std::move(st));
 }
 
+Comm::Request Comm::nbc_post(MpiCall call, const void* sendbuf, void* recvbuf,
+                             int count, Datatype type, ReduceOp op,
+                             std::size_t bytes) {
+  const std::uint64_t req_id = ctx_->next_request_id();
+  {
+    CallInfo ci = make_info(*this, call, -1, bytes, -1);
+    ci.request = req_id;
+    fire_begin(*ctx_, ci);
+    fire_end(*ctx_, ci);
+  }
+  // Charge the posting overhead on the collective-entry jitter stream
+  // (salt 2), same as a blocking collective's entry. Not routed through
+  // charge_collective_entry: the on_coll_entry tap backpatches the
+  // preceding CollBegin trace event, which a nonblocking post doesn't have
+  // — the op id travels in TapNbcPost instead.
+  const NetworkModel& net = ctx_->machine().net;
+  const int grank = impl_->group().world_rank(rank_);
+  const std::uint64_t op_id = ctx_->next_op_id();
+  const double t_before = ctx_->now();
+  ctx_->clock().advance(net.cpu_overhead(grank, net.send_overhead, op_id, 2));
+
+  auto& rs = impl_->rank_state(rank_);
+  const std::uint64_t gen = rs.nbc_gen++;
+  std::vector<std::byte> contribution;
+  if (sendbuf != nullptr && bytes != 0) {
+    const auto* p = static_cast<const std::byte*>(sendbuf);
+    contribution.assign(p, p + bytes);
+  }
+  impl_->nbc_sync().post(gen, rank_, ctx_->now(), std::move(contribution));
+  if (auto& tap = ctx_->world().trace_tap().on_nbc_post) {
+    tap(*ctx_, TapNbcPost{impl_->context_id(), gen, call, size(), bytes,
+                          op_id, t_before});
+  }
+
+  auto st = std::make_shared<Request::State>();
+  st->kind = Request::Kind::Coll;
+  st->impl = impl_;
+  st->ctx = ctx_;
+  st->comm_context = impl_->context_id();
+  st->comm_rank = rank_;
+  st->comm_size = impl_->size();
+  st->id = req_id;
+  st->nbc = std::make_unique<Request::NbcState>();
+  st->nbc->call = call;
+  st->nbc->gen = gen;
+  st->nbc->bytes = bytes;
+  st->nbc->count = count;
+  st->nbc->type = type;
+  st->nbc->op = op;
+  st->nbc->recvbuf = recvbuf;
+  return Request(std::move(st));
+}
+
+Comm::Request Comm::iallreduce(const void* sendbuf, void* recvbuf, int count,
+                               Datatype type, ReduceOp op) {
+  require(valid(), Err::Comm, "null communicator");
+  require(count >= 0, Err::Count, "iallreduce: negative count");
+  const std::size_t bytes =
+      static_cast<std::size_t>(count) * datatype_size(type);
+  return nbc_post(MpiCall::Iallreduce, sendbuf, recvbuf, count, type, op,
+                  bytes);
+}
+
+Comm::Request Comm::ibarrier() {
+  require(valid(), Err::Comm, "null communicator");
+  return nbc_post(MpiCall::Ibarrier, nullptr, nullptr, 0, Datatype{},
+                  ReduceOp{}, 0);
+}
+
 Status Comm::Request::wait() {
   require(s_ != nullptr, Err::Arg, "wait on null request");
   if (s_->done) return s_->status;
@@ -460,6 +531,31 @@ Status Comm::Request::wait() {
                            s_->impl->group().world_rank(st.source), st.seq,
                            st.bytes, op, t_before});
     }
+  } else if (s_->kind == Kind::Coll) {
+    const double t_wait_entry = ctx.now();
+    auto [values, max_post] = s_->impl->nbc_sync().fence(s_->nbc->gen);
+    if (s_->nbc->call == MpiCall::Iallreduce && s_->nbc->recvbuf != nullptr &&
+        !values.empty() && !values[0].empty()) {
+      // Combine in comm-rank order so every member computes identical bytes
+      // regardless of which rank fenced first.
+      std::vector<std::byte> acc = values[0];
+      for (std::size_t r = 1; r < values.size(); ++r) {
+        apply_op(s_->nbc->op, s_->nbc->type, values[r].data(), acc.data(),
+                 s_->nbc->count);
+      }
+      std::memcpy(s_->nbc->recvbuf, acc.data(), acc.size());
+    }
+    const ProgressModel& pm = ctx.world().progress();
+    const auto& link = ctx.machine().net.inter_node;
+    const double algo = nbc_algo_cost(link.latency, link.bandwidth,
+                                      s_->comm_size, s_->nbc->bytes);
+    const double t_done = pm.nbc_complete_time(t_wait_entry, max_post, algo);
+    ctx.clock().sync_to(t_done);
+    s_->status = Status{kAnySource, -1, s_->nbc->bytes, ctx.now()};
+    if (auto& tap = ctx.world().trace_tap().on_nbc_complete) {
+      tap(ctx, TapNbcComplete{s_->comm_context, s_->nbc->gen, t_wait_entry,
+                              t_done});
+    }
   } else {
     const double t_before = ctx.now();
     if (s_->msg->rendezvous) {
@@ -488,16 +584,101 @@ Status Comm::Request::wait() {
   return s_->status;
 }
 
+namespace {
+
+/// Consecutive failed test() polls a request tolerates before the poller
+/// parks on the completion event instead of yielding. Yielding keeps
+/// latency low when the completing rank is about to run; parking bounds a
+/// test loop whose peer never arrives, so the world still reaches exact
+/// quiescence (where the checker classifies the livelock).
+constexpr int kTestSpinBudget = 64;
+
+}  // namespace
+
 bool Comm::Request::test() {
   require(s_ != nullptr, Err::Arg, "test on null request");
-  if (s_->done) return true;
-  if (s_->kind == Kind::Recv) return s_->channel->test_recv(s_->recv);
-  return !s_->msg->rendezvous || s_->msg->delivered;
+  Ctx& ctx = *s_->ctx;
+  CallInfo ci;
+  ci.call = MpiCall::Test;
+  ci.comm_context = s_->comm_context;
+  ci.rank = s_->comm_rank;
+  ci.comm_size = s_->comm_size;
+  ci.peer = s_->peer;
+  ci.request = s_->id;
+  fire_begin(ctx, ci);
+  bool completed = s_->done;
+  if (!completed) {
+    switch (s_->kind) {
+      case Kind::Recv:
+        completed = s_->channel->test_recv(s_->recv);
+        break;
+      case Kind::Send:
+        completed = s_->channel->test_send(s_->msg);
+        break;
+      case Kind::Coll:
+        completed = s_->impl->nbc_sync().ready(s_->nbc->gen);
+        break;
+    }
+  }
+  if (auto& tap = ctx.world().trace_tap().on_request_test) {
+    tap(ctx, TapRequestTest{s_->id, completed, ctx.now()});
+  }
+  if (completed) {
+    s_->test_spins = 0;
+  } else if (++s_->test_spins <= kTestSpinBudget) {
+    // A failed poll must hand the CPU to the rank that would complete this
+    // request — the historical bug was a cooperative test loop spinning
+    // while its peer never got scheduled.
+    ctx.world().executor().yield();
+  } else {
+    // Spin budget exhausted: park on the completion event. Done between
+    // the begin and end hooks so a quiescent world shows this rank blocked
+    // inside MPI_Test and the checker can name the test-loop livelock.
+    switch (s_->kind) {
+      case Kind::Recv:
+        s_->channel->park_recv_incomplete(s_->recv);
+        break;
+      case Kind::Send:
+        s_->channel->park_send_incomplete(s_->msg);
+        break;
+      case Kind::Coll:
+        s_->impl->nbc_sync().park_not_ready(s_->nbc->gen);
+        break;
+    }
+  }
+  fire_end(ctx, ci);
+  return completed;
 }
 
 void waitall(std::span<Comm::Request> requests) {
+  Ctx* ctx = nullptr;
   for (auto& r : requests) {
-    if (r.valid()) r.wait();
+    if (r.valid()) {
+      ctx = r.s_->ctx;
+      break;
+    }
+  }
+  if (ctx == nullptr) return;
+  if (ctx->world().progress().mode == ProgressMode::BlockingOnly) {
+    // Historical semantics, kept bit-compatible: complete strictly in
+    // index order, each request charging as its wait() reaches it.
+    for (auto& r : requests) {
+      if (r.valid()) r.wait();
+    }
+    return;
+  }
+  // Progress engines: completion is dated by delivery, not by array
+  // position. Receives complete first in index order, then sends and
+  // collective fences — a rendezvous send parked at a low index can no
+  // longer delay dating a receive that completed earlier in virtual time,
+  // and the result is invariant to request order within each class (every
+  // send already deposited and every receive already posted at the isend/
+  // irecv, so no completion here depends on another request in the span).
+  for (auto& r : requests) {
+    if (r.valid() && r.s_->kind == Comm::Request::Kind::Recv) r.wait();
+  }
+  for (auto& r : requests) {
+    if (r.valid() && r.s_->kind != Comm::Request::Kind::Recv) r.wait();
   }
 }
 

@@ -23,7 +23,9 @@
 #include "mpisim/channel.hpp"
 #include "mpisim/collsync.hpp"
 #include "mpisim/datatype.hpp"
+#include "mpisim/hooks.hpp"
 #include "mpisim/message.hpp"
+#include "mpisim/nbcsync.hpp"
 #include "mpisim/op.hpp"
 
 namespace mpisect::mpisim {
@@ -84,6 +86,17 @@ class Comm {
   class Request;
   Request isend(const void* buf, std::size_t bytes, int dst, int tag);
   Request irecv(void* buf, std::size_t max_bytes, int src, int tag);
+
+  // --- nonblocking collectives ----------------------------------------------
+  /// Post a nonblocking allreduce: deposits this rank's contribution and
+  /// returns immediately; the reduction completes (and `recvbuf` is filled)
+  /// at the returned request's wait() fence. All members must post the same
+  /// sequence of nonblocking collectives on a communicator. Buffers may be
+  /// nullptr for a modelled-only reduction.
+  Request iallreduce(const void* sendbuf, void* recvbuf, int count,
+                     Datatype type, ReduceOp op);
+  /// Post a nonblocking barrier; wait() blocks until every member posted.
+  Request ibarrier();
 
   // --- typed convenience ----------------------------------------------------
   template <typename T>
@@ -162,6 +175,10 @@ class Comm {
   int next_internal_tag();
   /// Charge a jittered CPU overhead for entering a collective.
   void charge_collective_entry();
+  /// Shared post path for iallreduce/ibarrier: fire the call hooks, charge
+  /// the entry overhead, deposit into the NbcSync round, return the request.
+  Request nbc_post(MpiCall call, const void* sendbuf, void* recvbuf,
+                   int count, Datatype type, ReduceOp op, std::size_t bytes);
 
   void bcast_binomial(void* buf, std::size_t bytes, int root, int tag);
   void reduce_binomial(const void* sendbuf, void* recvbuf, int count,
@@ -192,12 +209,23 @@ class Comm::Request {
 
  private:
   friend class Comm;
-  enum class Kind { Send, Recv };
+  friend void waitall(std::span<Comm::Request>);
+  enum class Kind { Send, Recv, Coll };
+  /// Extra state for a nonblocking-collective request (Kind::Coll).
+  struct NbcState {
+    MpiCall call = MpiCall::Ibarrier;
+    std::uint64_t gen = 0;       ///< NbcSync round on the communicator
+    std::size_t bytes = 0;       ///< per-rank contribution size
+    int count = 0;
+    Datatype type{};
+    ReduceOp op{};
+    void* recvbuf = nullptr;     ///< filled at the wait fence (iallreduce)
+  };
   struct State {
     Kind kind = Kind::Send;
     MessagePtr msg;
     PostedRecvPtr recv;
-    Channel* channel = nullptr;
+    Channel* channel = nullptr;  ///< null for Kind::Coll
     std::shared_ptr<CommImpl> impl;  ///< keeps group mapping alive for wait
     Ctx* ctx = nullptr;
     int peer = -1;
@@ -206,13 +234,22 @@ class Comm::Request {
     int comm_size = 1;
     std::uint64_t id = 0;  ///< rank-local request id (CallInfo::request)
     bool done = false;
+    /// Consecutive failed test() polls; after the spin budget the next
+    /// poll parks on the completion event instead of yielding.
+    int test_spins = 0;
+    std::unique_ptr<NbcState> nbc;
     Status status;
   };
   explicit Request(std::shared_ptr<State> s) noexcept : s_(std::move(s)) {}
   std::shared_ptr<State> s_;
 };
 
-/// Wait on all requests in order.
+/// Complete all requests. Under the blocking-only progress model this waits
+/// strictly in index order (the historical, bit-compatible semantics). The
+/// progress engines complete receives first, then sends and collective
+/// fences — so a rendezvous send parked at a low index can never delay
+/// dating a receive that already completed earlier in virtual time, and the
+/// final times are independent of where each request sits in the array.
 void waitall(std::span<Comm::Request> requests);
 
 /// Shared communicator state. Owned via shared_ptr by every member's handle.
@@ -231,6 +268,7 @@ class CommImpl {
     std::vector<std::uint64_t> send_seq;  ///< per-destination counters
     std::uint64_t coll_seq = 0;           ///< collective ordinal
     std::uint64_t sync_gen = 0;           ///< CollSync generation
+    std::uint64_t nbc_gen = 0;            ///< nonblocking-collective ordinal
   };
   [[nodiscard]] RankState& rank_state(int comm_rank);
 
@@ -242,6 +280,9 @@ class CommImpl {
   using CommMap = std::shared_ptr<std::vector<std::shared_ptr<CommImpl>>>;
   CollSync<CommMap>& publish_sync() noexcept { return publish_sync_; }
   CollSync<std::uint64_t>& u64_sync() noexcept { return u64_sync_; }
+  /// Split-phase rendezvous backing Iallreduce/Ibarrier; the payload is the
+  /// posting rank's raw contribution bytes (empty for barrier/modelled).
+  NbcSync<std::vector<std::byte>>& nbc_sync() noexcept { return nbc_sync_; }
 
  private:
   World& world_;
@@ -252,6 +293,7 @@ class CommImpl {
   CollSync<SplitItem> split_sync_;
   CollSync<CommMap> publish_sync_;
   CollSync<std::uint64_t> u64_sync_;
+  NbcSync<std::vector<std::byte>> nbc_sync_;
 };
 
 }  // namespace mpisect::mpisim

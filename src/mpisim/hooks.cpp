@@ -27,6 +27,9 @@ const char* mpi_call_name(MpiCall c) noexcept {
     case MpiCall::Init: return "MPI_Init";
     case MpiCall::Finalize: return "MPI_Finalize";
     case MpiCall::Pcontrol: return "MPI_Pcontrol";
+    case MpiCall::Test: return "MPI_Test";
+    case MpiCall::Iallreduce: return "MPI_Iallreduce";
+    case MpiCall::Ibarrier: return "MPI_Ibarrier";
   }
   return "MPI_(unknown)";
 }
@@ -57,6 +60,8 @@ bool is_collective(MpiCall c) noexcept {
     case MpiCall::CommSplit:
     case MpiCall::CommDup:
     case MpiCall::CommFree:  // collective per the MPI standard
+    case MpiCall::Iallreduce:
+    case MpiCall::Ibarrier:
       return true;
     default:
       return false;
@@ -85,7 +90,10 @@ bool is_blocking(MpiCall c) noexcept {
     case MpiCall::Sendrecv:
     case MpiCall::Probe:
       return true;
-    case MpiCall::CommFree:  // local in MiniMPI despite being collective
+    case MpiCall::CommFree:   // local in MiniMPI despite being collective
+    case MpiCall::Test:       // completion poll, returns immediately
+    case MpiCall::Iallreduce: // nonblocking: the Wait fence blocks, not post
+    case MpiCall::Ibarrier:
       return false;
     default:
       return is_collective(c);

@@ -52,10 +52,15 @@ enum class MpiCall {
   Init,
   Finalize,
   Pcontrol,
+  // Appended after Pcontrol: recorded CollBegin events store the numeric
+  // MpiCall value, so existing values must never be renumbered.
+  Test,
+  Iallreduce,
+  Ibarrier,
 };
 
 /// Number of distinct MpiCall values (for exhaustive tables/tests).
-inline constexpr int kMpiCallCount = static_cast<int>(MpiCall::Pcontrol) + 1;
+inline constexpr int kMpiCallCount = static_cast<int>(MpiCall::Ibarrier) + 1;
 
 [[nodiscard]] const char* mpi_call_name(MpiCall c) noexcept;
 [[nodiscard]] bool is_collective(MpiCall c) noexcept;
@@ -200,6 +205,37 @@ struct TapProbe {
   int tag_posted = 0;
 };
 
+/// A Request::test() completion poll ran. Observational only: test never
+/// charges virtual time (its spin count is scheduling-dependent), so the
+/// recorder deliberately ignores this tap to keep traces deterministic.
+struct TapRequestTest {
+  std::uint64_t request = 0;  ///< the polled request's id
+  bool completed = false;     ///< this poll's outcome
+  double t = 0.0;             ///< caller's (unchanged) clock
+};
+
+/// A nonblocking collective was posted: the rank deposited its contribution
+/// and returned without blocking. `op` keys the collective-entry overhead
+/// charged before the deposit; `t_before` is the clock before that charge.
+struct TapNbcPost {
+  int comm_context = 0;
+  std::uint64_t gen = 0;  ///< per-(comm,rank) nonblocking-collective ordinal
+  MpiCall call = MpiCall::Ibarrier;
+  int members = 0;        ///< communicator size (the fence quorum)
+  std::size_t bytes = 0;
+  std::uint64_t op = 0;
+  double t_before = 0.0;
+};
+
+/// A nonblocking collective completed at its wait fence: every member's
+/// contribution had arrived and the completion time was charged.
+struct TapNbcComplete {
+  int comm_context = 0;
+  std::uint64_t gen = 0;
+  double t_before = 0.0;   ///< clock before the completion sync
+  double t_complete = 0.0; ///< modelled completion time synced to
+};
+
 /// A split/dup metadata rendezvous synchronized this communicator:
 /// leave time = max member entry time + rounds * inter-node latency.
 struct TapCommSync {
@@ -255,6 +291,9 @@ struct TraceTap {
   std::function<void(Ctx&, const TapRecvPost&)> on_recv_post;
   std::function<void(Ctx&, const TapRecvWait&)> on_recv_wait;
   std::function<void(Ctx&, const TapProbe&)> on_probe;
+  std::function<void(Ctx&, const TapRequestTest&)> on_request_test;
+  std::function<void(Ctx&, const TapNbcPost&)> on_nbc_post;
+  std::function<void(Ctx&, const TapNbcComplete&)> on_nbc_complete;
   std::function<void(Ctx&, const TapCommSync&)> on_comm_sync;
   /// Collective-entry CPU overhead charged with op id `op`; `t_before` is
   /// the clock before the charge.

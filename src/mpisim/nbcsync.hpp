@@ -1,0 +1,120 @@
+// Split-phase rendezvous for nonblocking collectives.
+//
+// CollSync's exchange() is deposit-and-block — correct for metadata
+// collectives, useless for Iallreduce/Ibarrier where the whole point is
+// that the posting rank keeps computing. NbcSync splits the round in two:
+//
+//   post(gen, rank, t_post, value)   deposit and return immediately
+//   fence(gen, rank)                 block until every member has posted,
+//                                    then read the round
+//
+// Rounds are keyed by a per-(comm,rank) generation number exactly like
+// CollSync: all members must issue the same sequence of nonblocking
+// collectives on a communicator, which is what MPI requires of collective
+// ordering anyway. A round is garbage-collected when the last member's
+// fence departs. ready() lets Request::test() poll arrival without
+// blocking. World::abort() wakes fenced ranks via the WaitPoint.
+#pragma once
+
+#include <atomic>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "mpisim/error.hpp"
+#include "mpisim/scheduler.hpp"
+
+namespace mpisect::mpisim {
+
+template <typename T>
+class NbcSync {
+ public:
+  NbcSync(int nranks, Executor& exec, const std::atomic<bool>* abort_flag)
+      : nranks_(nranks), abort_(abort_flag), wp_(exec, mu_) {}
+
+  struct Round {
+    std::vector<T> values;
+    std::vector<double> t_post;
+    int arrived = 0;
+    int departed = 0;
+    [[nodiscard]] double max_post() const {
+      // -infinity seed for the same reason as CollSync::Round::max_entry.
+      double m = -std::numeric_limits<double>::infinity();
+      for (double t : t_post) m = std::max(m, t);
+      return t_post.empty() ? 0.0 : m;
+    }
+  };
+
+  /// Deposit this rank's contribution to round `generation` and return
+  /// without blocking (the nonblocking-collective post).
+  void post(std::uint64_t generation, int rank, double t_post, T value) {
+    const std::lock_guard lock(mu_);
+    Round& round = round_for(generation);
+    round.values[static_cast<std::size_t>(rank)] = std::move(value);
+    round.t_post[static_cast<std::size_t>(rank)] = t_post;
+    ++round.arrived;
+    wp_.notify_all();
+  }
+
+  /// True once every member has posted round `generation` (the fence would
+  /// not block). Safe to poll from Request::test().
+  [[nodiscard]] bool ready(std::uint64_t generation) {
+    const std::lock_guard lock(mu_);
+    const auto it = rounds_.find(generation);
+    return it != rounds_.end() && it->second.arrived >= nranks_;
+  }
+
+  /// Park the caller until round `generation` sees another post (returns
+  /// immediately once the round is ready). Single wait, predicate under the
+  /// lock — the test-loop twin of Channel::park_recv_incomplete.
+  void park_not_ready(std::uint64_t generation) {
+    std::unique_lock lock(mu_);
+    const auto it = rounds_.find(generation);
+    if (it != rounds_.end() && it->second.arrived >= nranks_) return;
+    check_abort();
+    wp_.wait(lock);
+    check_abort();
+  }
+
+  /// Block until every member has posted round `generation`, then return
+  /// the member contributions (indexed by comm rank) and max post time.
+  /// Each member must fence exactly once per round it posted.
+  std::pair<std::vector<T>, double> fence(std::uint64_t generation) {
+    std::unique_lock lock(mu_);
+    Round& round = round_for(generation);
+    while (round.arrived < nranks_) {
+      check_abort();
+      wp_.wait(lock);
+    }
+    auto result = std::make_pair(round.values, round.max_post());
+    if (++round.departed == nranks_) rounds_.erase(generation);
+    return result;
+  }
+
+ private:
+  Round& round_for(std::uint64_t generation) {
+    Round& round = rounds_[generation];
+    if (round.values.empty()) {
+      round.values.resize(static_cast<std::size_t>(nranks_));
+      round.t_post.assign(static_cast<std::size_t>(nranks_), 0.0);
+    }
+    return round;
+  }
+
+  void check_abort() const {
+    if (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) {
+      throw MpiError(Err::Aborted,
+                     "world aborted in nonblocking collective");
+    }
+  }
+
+  int nranks_;
+  const std::atomic<bool>* abort_;
+  std::mutex mu_;
+  WaitPoint wp_;
+  std::map<std::uint64_t, Round> rounds_;
+};
+
+}  // namespace mpisect::mpisim

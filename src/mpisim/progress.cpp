@@ -1,0 +1,133 @@
+#include "mpisim/progress.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "mpisim/error.hpp"
+
+namespace mpisect::mpisim {
+
+namespace {
+
+/// "tax=0.1" -> ("tax", 0.1). Throws on a malformed pair.
+std::pair<std::string, double> parse_option(const std::string& spec,
+                                            const std::string& item) {
+  const std::size_t eq = item.find('=');
+  require(eq != std::string::npos && eq > 0 && eq + 1 < item.size(), Err::Arg,
+          ("progress option is not key=value: " + spec).c_str());
+  char* end = nullptr;
+  const std::string value = item.substr(eq + 1);
+  const double v = std::strtod(value.c_str(), &end);
+  require(end != nullptr && *end == '\0' && v >= 0.0, Err::Arg,
+          ("progress option value is not a non-negative number: " + spec)
+              .c_str());
+  return {item.substr(0, eq), v};
+}
+
+/// %g keeps the canonical spec short (5e-08, 0.05) and round-trippable
+/// through strtod for every value a user can express on the flag.
+std::string fmt_g(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* progress_mode_name(ProgressMode m) noexcept {
+  switch (m) {
+    case ProgressMode::BlockingOnly:
+      return "blocking-only";
+    case ProgressMode::Opportunistic:
+      return "opportunistic";
+    case ProgressMode::ProgressThread:
+      return "progress-thread";
+  }
+  return "?";
+}
+
+std::string ProgressModel::spec() const {
+  std::string s = name();
+  switch (mode) {
+    case ProgressMode::BlockingOnly:
+      break;
+    case ProgressMode::Opportunistic:
+      s += ":entry=" + fmt_g(entry_overhead);
+      break;
+    case ProgressMode::ProgressThread:
+      s += ":tax=" + fmt_g(core_tax) + ",lat=" + fmt_g(thread_latency);
+      break;
+  }
+  return s;
+}
+
+ProgressModel ProgressModel::parse(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  const std::string preset = spec.substr(0, colon);
+
+  ProgressModel m;
+  if (preset == "blocking-only") {
+    m.mode = ProgressMode::BlockingOnly;
+  } else if (preset == "opportunistic") {
+    m.mode = ProgressMode::Opportunistic;
+  } else if (preset == "progress-thread") {
+    m.mode = ProgressMode::ProgressThread;
+  } else {
+    throw MpiError(Err::Arg, "unknown progress preset '" + preset +
+                                 "' (expected " + choices() + ")");
+  }
+  if (colon == std::string::npos) return m;
+  require(m.mode != ProgressMode::BlockingOnly, Err::Arg,
+          "blocking-only takes no options");
+
+  std::string rest = spec.substr(colon + 1);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string item = rest.substr(0, comma);
+    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    const auto [key, value] = parse_option(spec, item);
+    if (m.mode == ProgressMode::Opportunistic && key == "entry") {
+      m.entry_overhead = value;
+    } else if (m.mode == ProgressMode::ProgressThread && key == "tax") {
+      m.core_tax = value;
+    } else if (m.mode == ProgressMode::ProgressThread && key == "lat") {
+      m.thread_latency = value;
+    } else {
+      throw MpiError(Err::Arg, "unknown progress option '" + key + "' for " +
+                                   std::string(m.name()));
+    }
+  }
+  return m;
+}
+
+std::string ProgressModel::choices() {
+  return "blocking-only|opportunistic|progress-thread";
+}
+
+double ProgressModel::nbc_complete_time(double t_wait_entry, double max_post,
+                                        double algo_cost) const noexcept {
+  switch (mode) {
+    case ProgressMode::BlockingOnly:
+      // No background progress: the algorithm only starts once the waiter
+      // blocks at the fence, after every member has posted.
+      return std::max(t_wait_entry, max_post) + algo_cost;
+    case ProgressMode::Opportunistic:
+      // The algorithm runs behind other MPI entries, finishing `algo_cost`
+      // after the last post; a late waiter pays nothing extra.
+      return std::max(max_post + algo_cost, t_wait_entry);
+    case ProgressMode::ProgressThread:
+      // As opportunistic, plus the thread's completion-publication lag.
+      return std::max(max_post + thread_latency + algo_cost, t_wait_entry);
+  }
+  return t_wait_entry;
+}
+
+double nbc_algo_cost(double latency, double bandwidth, int p,
+                     std::uint64_t bytes) noexcept {
+  double rounds = 0.0;
+  for (int k = 1; k < p; k <<= 1) rounds += 1.0;
+  return rounds * (latency + static_cast<double>(bytes) / bandwidth);
+}
+
+}  // namespace mpisect::mpisim

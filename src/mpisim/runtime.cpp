@@ -20,6 +20,14 @@ World::World(int nranks, WorldOptions options)
   final_times_.assign(static_cast<std::size_t>(nranks_), 0.0);
   // Keep the network model's placement and seed coherent with the world.
   options_.machine.net.seed = options_.seed;
+  // Opportunistic progress polls the network on every MPI entry; fold that
+  // per-entry cost into the per-message CPU overheads so every existing
+  // charge site (and the machine snapshot recorded in trace headers) pays
+  // it without change.
+  if (options_.progress.mode == ProgressMode::Opportunistic) {
+    options_.machine.net.send_overhead += options_.progress.entry_overhead;
+    options_.machine.net.recv_overhead += options_.progress.entry_overhead;
+  }
   executor_ = make_executor(options_.exec, options_.workers);
   // Exact deadlock signal: every live rank parked, no wake pending. Give
   // the checker first look at the wait graph, then tear the world down.
@@ -180,6 +188,9 @@ Comm Ctx::world_comm() noexcept {
 
 void Ctx::compute(double seconds) {
   fault_checkpoint();
+  // A progress thread owns a core (or hardware thread): every compute
+  // charge pays its tax, deterministically.
+  seconds *= world_.progress().compute_factor();
   const double sigma = machine().compute_noise_sigma;
   if (sigma > 0.0) {
     const double g = world_.rng().gaussian(
@@ -198,6 +209,7 @@ void Ctx::compute_flops(double flops) {
 }
 
 void Ctx::compute_exact(double seconds) noexcept {
+  seconds *= world_.progress().compute_factor();
   if (auto* fe = world_.fault_engine()) {
     seconds *= fe->compute_factor(rank_, clock_.now());
   }

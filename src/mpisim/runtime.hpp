@@ -30,6 +30,7 @@
 #include "mpisim/faults/plan.hpp"
 #include "mpisim/hooks.hpp"
 #include "mpisim/machine.hpp"
+#include "mpisim/progress.hpp"
 #include "mpisim/scheduler.hpp"
 #include "support/rng.hpp"
 
@@ -70,6 +71,9 @@ struct WorldOptions {
   /// plan constructs no engine, so fault-free runs are bit-identical to a
   /// build without the fault layer.
   faults::FaultPlan faults;
+  /// Asynchronous-progress model (see progress.hpp). The blocking-only
+  /// default keeps every artifact bit-identical to runs that predate it.
+  ProgressModel progress;
 };
 
 /// Attachment point for layers that need per-rank lifecycle callbacks.
@@ -96,6 +100,9 @@ class World {
   }
   [[nodiscard]] const WorldOptions& options() const noexcept {
     return options_;
+  }
+  [[nodiscard]] const ProgressModel& progress() const noexcept {
+    return options_.progress;
   }
   [[nodiscard]] HookTable& hooks() noexcept { return hooks_; }
   /// Message-level trace taps (see hooks.hpp). Unlike the PMPI-style

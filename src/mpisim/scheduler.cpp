@@ -81,6 +81,12 @@ void Executor::wake_all() noexcept {
   for (WaitPoint* wp : waitpoints_) do_wake(*wp);
 }
 
+void Executor::yield() noexcept {
+  // Thread-per-rank backend (and off-fiber callers): every rank has its own
+  // OS thread, so an OS yield is all the fairness there is to give.
+  std::this_thread::yield();
+}
+
 void Executor::do_wake(WaitPoint& wp) {
   // Bump the epoch under the owner mutex: a waiter holds that mutex from
   // reading the epoch until its cv wait releases it, so the bump either
@@ -398,6 +404,26 @@ class FiberExecutor final : public Executor {
   [[nodiscard]] std::size_t ready_depth() const noexcept override {
     const std::lock_guard lock(mu_);
     return ready_.size();
+  }
+
+  void yield() noexcept override {
+    FiberTask* t = current_fiber();
+    if (t == nullptr || t->exec != this) {
+      std::this_thread::yield();
+      return;
+    }
+    // Go to the back of the ready queue so every runnable rank gets CPU
+    // time before we spin again. Same handshake as the park path: clear
+    // `resumable` before queueing, the worker re-sets it once swapcontext
+    // has fully saved this context. The task sits in ready_ (not parked),
+    // so quiescence correctly stays off while a yielding rank exists.
+    t->resumable.store(false, std::memory_order_relaxed);
+    {
+      const std::lock_guard g(mu_);
+      ready_.push_back(t);
+    }
+    work_cv_.notify_one();
+    fiber_switch_out(*t, /*final_exit=*/false);
   }
 
  protected:

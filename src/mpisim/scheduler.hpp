@@ -83,6 +83,13 @@ class Executor {
   /// blocked ranks re-check the flag and unwind with Err::Aborted.
   void wake_all() noexcept;
 
+  /// Reschedule the calling rank without blocking it: on the cooperative
+  /// backend the current fiber goes to the back of the ready queue so other
+  /// runnable ranks get CPU time; on the thread backend this is an OS
+  /// yield. Completion-test loops (Request::test) call this so a spinning
+  /// rank can never starve the peer that would complete its request.
+  virtual void yield() noexcept;
+
   /// Install the callback fired (at most once per run) when every live rank
   /// is parked with no wake pending — an exact deadlock signal. Set before
   /// run(); the World chains the checker's handler and its own abort here.

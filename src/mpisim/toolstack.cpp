@@ -108,6 +108,18 @@ void ToolStack::install() {
     if (base_taps_.on_probe) base_taps_.on_probe(ctx, tap);
     for (const auto& e : entries_) e.tool->on_probe(ctx, tap);
   };
+  t.on_request_test = [this](Ctx& ctx, const TapRequestTest& tap) {
+    if (base_taps_.on_request_test) base_taps_.on_request_test(ctx, tap);
+    for (const auto& e : entries_) e.tool->on_request_test(ctx, tap);
+  };
+  t.on_nbc_post = [this](Ctx& ctx, const TapNbcPost& tap) {
+    if (base_taps_.on_nbc_post) base_taps_.on_nbc_post(ctx, tap);
+    for (const auto& e : entries_) e.tool->on_nbc_post(ctx, tap);
+  };
+  t.on_nbc_complete = [this](Ctx& ctx, const TapNbcComplete& tap) {
+    if (base_taps_.on_nbc_complete) base_taps_.on_nbc_complete(ctx, tap);
+    for (const auto& e : entries_) e.tool->on_nbc_complete(ctx, tap);
+  };
   t.on_comm_sync = [this](Ctx& ctx, const TapCommSync& tap) {
     if (base_taps_.on_comm_sync) base_taps_.on_comm_sync(ctx, tap);
     for (const auto& e : entries_) e.tool->on_comm_sync(ctx, tap);

@@ -68,6 +68,9 @@ class Tool {
   virtual void on_recv_post(Ctx&, const TapRecvPost&) {}
   virtual void on_recv_wait(Ctx&, const TapRecvWait&) {}
   virtual void on_probe(Ctx&, const TapProbe&) {}
+  virtual void on_request_test(Ctx&, const TapRequestTest&) {}
+  virtual void on_nbc_post(Ctx&, const TapNbcPost&) {}
+  virtual void on_nbc_complete(Ctx&, const TapNbcComplete&) {}
   virtual void on_comm_sync(Ctx&, const TapCommSync&) {}
   virtual void on_coll_entry(Ctx&, std::uint64_t /*op*/, double /*t_before*/) {}
   virtual void on_omp_region(Ctx&, const TapOmpRegion&) {}

@@ -81,6 +81,12 @@ mpisim::MachineModel base_model(const trace::TraceFile& tf,
                           ")");
 }
 
+mpisim::ProgressModel resolve_progress(const trace::TraceFile& tf,
+                                       const std::string& spec) {
+  if (spec.empty() || spec == "recorded") return tf.header.progress;
+  return mpisim::ProgressModel::parse(spec);
+}
+
 trace::ReplayOptions replay_options(const trace::TraceFile& tf,
                                     double compute_scale,
                                     const std::string& faults,
@@ -134,6 +140,12 @@ ResolvedModel resolve_model(const trace::TraceFile& tf,
     net.eager_threshold = static_cast<std::size_t>(p.eager);
   }
   r.compute_scale = parse_compute_scale(tf, r.machine, p.compute_scale);
+  // A recorded-header machine already carries the recorded model's
+  // opportunistic entry-poll fold; presets are pristine.
+  r.progress = resolve_progress(tf, p.progress);
+  r.machine = trace::fold_progress(r.machine, tf.header.progress, r.progress,
+                                   /*machine_is_recorded=*/p.model ==
+                                       "recorded");
   return r;
 }
 
@@ -163,9 +175,10 @@ std::string run_info(const trace::TraceFile& tf) {
 
 std::string run_replay(const trace::TraceFile& tf, const ReplayQuery& q) {
   const ResolvedModel w = resolve_model(tf, q.model);
-  const trace::ReplayOptions ropts =
+  trace::ReplayOptions ropts =
       replay_options(tf, w.compute_scale, q.faults, q.fault_seed,
                      q.format == "chrome");
+  ropts.progress = w.progress;
   const trace::ReplayResult res = trace::replay(tf, w.machine, ropts);
   std::optional<double> t_seq;
   if (q.tseq > 0) t_seq = q.tseq;
@@ -183,8 +196,9 @@ std::string run_replay(const trace::TraceFile& tf, const ReplayQuery& q) {
 
 std::string run_timeline(const trace::TraceFile& tf, const TimelineQuery& q) {
   const ResolvedModel w = resolve_model(tf, q.model);
-  const trace::ReplayOptions ropts = replay_options(
+  trace::ReplayOptions ropts = replay_options(
       tf, w.compute_scale, q.faults, q.fault_seed, /*timeline=*/true);
+  ropts.progress = w.progress;
   const trace::ReplayResult res = trace::replay(tf, w.machine, ropts);
 
   double dt = q.dt;
@@ -222,21 +236,29 @@ std::string run_sweep(const trace::TraceFile& tf, const SweepQuery& q) {
           m.net.inter_node.latency *= ls;
           m.net.intra_node.bandwidth *= bs;
           m.net.inter_node.bandwidth *= bs;
-          for (const double dr : q.drop_rates) {
-            if (dr < 0.0 || dr >= 1.0) {
-              throw trace::TraceError(
-                  "bad drop-rates entry (need 0 <= p < 1)");
+          for (const std::string& pitem : q.progress) {
+            const mpisim::ProgressModel pm = resolve_progress(tf, pitem);
+            const mpisim::MachineModel mp = trace::fold_progress(
+                m, tf.header.progress, pm,
+                /*machine_is_recorded=*/mname == "recorded");
+            for (const double dr : q.drop_rates) {
+              if (dr < 0.0 || dr >= 1.0) {
+                throw trace::TraceError(
+                    "bad drop-rates entry (need 0 <= p < 1)");
+              }
+              trace::ReplayOptions ropts;
+              ropts.compute_scale = cs;
+              ropts.progress = pm;
+              if (dr > 0.0) {
+                char spec[48];
+                std::snprintf(spec, sizeof spec, "drop:p=%.9g", dr);
+                ropts.faults = mpisim::faults::FaultPlan::parse(spec);
+                ropts.fault_seed = q.fault_seed;
+              }
+              const trace::ReplayResult res = trace::replay(tf, mp, ropts);
+              out += trace::sweep_csv_rows(res, mname, ls, bs, cs, dr,
+                                           pm.spec(), t_seq);
             }
-            trace::ReplayOptions ropts;
-            ropts.compute_scale = cs;
-            if (dr > 0.0) {
-              char spec[48];
-              std::snprintf(spec, sizeof spec, "drop:p=%.9g", dr);
-              ropts.faults = mpisim::faults::FaultPlan::parse(spec);
-              ropts.fault_seed = q.fault_seed;
-            }
-            const trace::ReplayResult res = trace::replay(tf, m, ropts);
-            out += trace::sweep_csv_rows(res, mname, ls, bs, cs, dr, t_seq);
           }
         }
       }
@@ -263,7 +285,8 @@ std::string canonical(const ModelParams& p) {
          ";bs=" + canon_double(p.bandwidth_scale) +
          ";js=" + canon_double(p.jitter_scale) +
          ";nj=" + (p.no_jitter ? "1" : "0") +
-         ";eager=" + std::to_string(p.eager) + ";cs=" + p.compute_scale;
+         ";eager=" + std::to_string(p.eager) + ";cs=" + p.compute_scale +
+         ";prog=" + p.progress;
 }
 
 std::string canonical(const ReplayQuery& q) {
@@ -285,6 +308,7 @@ std::string canonical(const SweepQuery& q) {
          ";bs=" + join_csv(q.bandwidth_scales) +
          ";cs=" + join_csv(q.compute_scales) +
          ";drops=" + join_csv(q.drop_rates) +
+         ";progress=" + join_csv(q.progress) +
          ";fseed=" + std::to_string(q.fault_seed) +
          ";tseq=" + canon_double(q.tseq) + "}";
 }

@@ -35,11 +35,15 @@ struct ModelParams {
   bool no_jitter = false;
   std::uint64_t eager = 0;  ///< eager/rendezvous threshold override
   std::string compute_scale = "1";  ///< positive float or "auto"
+  /// Progress-model spec for the what-if frame: "recorded" (the trace
+  /// header's own model) or a mpisim::ProgressModel::parse() spec.
+  std::string progress = "recorded";
 };
 
 struct ResolvedModel {
-  mpisim::MachineModel machine;
+  mpisim::MachineModel machine;  ///< overheads already folded for progress
   double compute_scale = 1.0;
+  mpisim::ProgressModel progress;  ///< resolved what-if progress model
 };
 
 /// Resolve the model name against the trace header and apply overrides.
@@ -68,6 +72,9 @@ struct SweepQuery {
   std::vector<double> bandwidth_scales{1.0};
   std::vector<std::string> compute_scales{"1"};
   std::vector<double> drop_rates{0.0};
+  /// Progress-model axis: each entry is "recorded" or a ProgressModel spec;
+  /// the sweep CSV gains a `progress` column with the canonical spelling.
+  std::vector<std::string> progress{"recorded"};
   std::uint64_t fault_seed = 0;
   double tseq = 0.0;
 };

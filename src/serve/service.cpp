@@ -136,7 +136,8 @@ void check_keys(const support::JsonValue* params,
 const std::vector<const char*> kModelKeys = {
     "model",         "latency",         "bandwidth",
     "latency_scale", "bandwidth_scale", "jitter_scale",
-    "no_jitter",     "eager",           "compute_scale"};
+    "no_jitter",     "eager",           "compute_scale",
+    "progress"};
 
 ModelParams model_params(const support::JsonValue* params) {
   ModelParams p;
@@ -149,6 +150,7 @@ ModelParams model_params(const support::JsonValue* params) {
   p.no_jitter = bool_field(params, "no_jitter", p.no_jitter);
   p.eager = static_cast<std::uint64_t>(num_field(params, "eager", 0.0));
   p.compute_scale = str_field(params, "compute_scale", p.compute_scale);
+  p.progress = str_field(params, "progress", p.progress);
   return p;
 }
 
@@ -266,7 +268,8 @@ std::string Service::handle_line(const std::string& line) {
     } else if (op == "sweep") {
       check_keys(params,
                  {"models", "latency_scales", "bandwidth_scales",
-                  "compute_scales", "drop_rates", "fault_seed", "tseq"});
+                  "compute_scales", "drop_rates", "progress", "fault_seed",
+                  "tseq"});
     } else if (op == "analyze") {
       check_keys(params, {"format"});
     } else {
@@ -323,6 +326,7 @@ std::string Service::handle_line(const std::string& line) {
       q.compute_scales =
           str_list_field(params, "compute_scales", q.compute_scales);
       q.drop_rates = num_list_field(params, "drop_rates", q.drop_rates);
+      q.progress = str_list_field(params, "progress", q.progress);
       q.fault_seed =
           static_cast<std::uint64_t>(num_field(params, "fault_seed", 0.0));
       q.tseq = num_field(params, "tseq", 0.0);

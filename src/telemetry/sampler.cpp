@@ -53,6 +53,15 @@ TelemetrySampler::TelemetrySampler(mpisim::World& world,
         registry_.add_counter("mpi.probes", R, "probes that matched", "calls");
     std_.coll_entries = registry_.add_counter(
         "mpi.coll_entries", R, "collective entry overheads charged", "calls");
+    std_.nbc_posted = registry_.add_counter(
+        "progress.nbc_posted", R, "nonblocking collectives posted", "calls");
+    std_.nbc_completed = registry_.add_counter(
+        "progress.nbc_completed", R, "nonblocking collective fences completed",
+        "calls");
+    std_.test_calls = registry_.add_counter(
+        "progress.test_calls", Scope::Process,
+        "MPI_Test polls (scheduling-dependent, hence process scope)",
+        "calls");
     std_.mpi_calls = registry_.add_counter(
         "mpi.calls", R, "intercepted MPI entry points", "calls");
     std_.section_enters = registry_.add_counter(
@@ -180,6 +189,27 @@ void TelemetrySampler::on_coll_entry(mpisim::Ctx& ctx, std::uint64_t /*op*/,
   RankState& rs = state(ctx);
   advance(rs, ctx.rank(), ctx.now());
   registry_.inc(std_.coll_entries, ctx.rank());
+}
+
+void TelemetrySampler::on_request_test(mpisim::Ctx& ctx,
+                                       const mpisim::TapRequestTest& /*tap*/) {
+  // No advance(): poll counts are scheduling-dependent, so this counter is
+  // process-scoped and must stay out of the per-rank window series.
+  registry_.inc(std_.test_calls, ctx.rank());
+}
+
+void TelemetrySampler::on_nbc_post(mpisim::Ctx& ctx,
+                                   const mpisim::TapNbcPost& /*tap*/) {
+  RankState& rs = state(ctx);
+  advance(rs, ctx.rank(), ctx.now());
+  registry_.inc(std_.nbc_posted, ctx.rank());
+}
+
+void TelemetrySampler::on_nbc_complete(mpisim::Ctx& ctx,
+                                       const mpisim::TapNbcComplete& /*tap*/) {
+  RankState& rs = state(ctx);
+  advance(rs, ctx.rank(), ctx.now());
+  registry_.inc(std_.nbc_completed, ctx.rank());
 }
 
 void TelemetrySampler::on_omp_region(mpisim::Ctx& ctx,

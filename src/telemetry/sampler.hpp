@@ -52,6 +52,12 @@ struct StandardInstruments {
   InstrumentId bytes_received = 0;
   InstrumentId probes = 0;
   InstrumentId coll_entries = 0;
+  InstrumentId nbc_posted = 0;     ///< nonblocking collectives posted
+  InstrumentId nbc_completed = 0;  ///< nonblocking collective fences done
+  /// MPI_Test polls. Process scope: poll counts depend on scheduling
+  /// (yield interleaving), so a per-rank series would break cross-backend
+  /// byte determinism of the exported CSV.
+  InstrumentId test_calls = 0;
   InstrumentId mpi_calls = 0;
   InstrumentId section_enters = 0;
   InstrumentId omp_regions = 0;
@@ -154,6 +160,11 @@ class TelemetrySampler : public mpisim::Extension,
   void on_probe(mpisim::Ctx& ctx, const mpisim::TapProbe& tap) override;
   void on_coll_entry(mpisim::Ctx& ctx, std::uint64_t op,
                      double t_before) override;
+  void on_request_test(mpisim::Ctx& ctx,
+                       const mpisim::TapRequestTest& tap) override;
+  void on_nbc_post(mpisim::Ctx& ctx, const mpisim::TapNbcPost& tap) override;
+  void on_nbc_complete(mpisim::Ctx& ctx,
+                       const mpisim::TapNbcComplete& tap) override;
   void on_omp_region(mpisim::Ctx& ctx, const mpisim::TapOmpRegion& r) override;
   void on_fault(mpisim::Ctx& ctx, const mpisim::TapFault& f) override;
 

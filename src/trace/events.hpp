@@ -31,10 +31,12 @@ enum class EventKind : std::uint8_t {
   CommSync,       ///< split/dup metadata rendezvous
   Pcontrol,       ///< MPI_Pcontrol phase marker
   Finalize,       ///< rank reached MPI_Finalize (always timestamped)
+  NbcPost,        ///< nonblocking collective posted (v4)
+  NbcComplete,    ///< nonblocking collective wait fence completed (v4)
 };
 
 inline constexpr int kEventKindCount =
-    static_cast<int>(EventKind::Finalize) + 1;
+    static_cast<int>(EventKind::NbcComplete) + 1;
 
 [[nodiscard]] constexpr const char* event_kind_name(EventKind k) noexcept {
   switch (k) {
@@ -50,6 +52,8 @@ inline constexpr int kEventKindCount =
     case EventKind::CommSync: return "comm-sync";
     case EventKind::Pcontrol: return "pcontrol";
     case EventKind::Finalize: return "finalize";
+    case EventKind::NbcPost: return "nbc-post";
+    case EventKind::NbcComplete: return "nbc-complete";
   }
   return "?";
 }
@@ -68,6 +72,7 @@ struct Event {
   /// (backpatched at completion; kUnmatched if the receive never
   /// completed). Probe: matched source world rank. CollBegin: root comm
   /// rank or -1. CommSync: member count. Pcontrol: level.
+  /// NbcPost: member count (the fence quorum replay stalls on).
   int peer = 0;
   /// RecvPost/Probe: the *posted* source world rank before matching —
   /// mpisim::kAnySource (-1) for a wildcard receive, kNotRecorded for
@@ -81,12 +86,15 @@ struct Event {
   /// SendPost/RecvPost/Probe: per-(comm,src,dst) wire sequence number.
   /// RecvWait: backref — how many receive posts ago this rank posted the
   /// matching receive. CommSync: modelled metadata exchange rounds.
+  /// NbcPost/NbcComplete: the per-(comm,rank) nonblocking-collective
+  /// generation pairing a post with its fence.
   std::uint64_t seq = 0;
-  /// SendPost/RecvWait/CollBegin: the CPU-overhead op id (jitter key;
-  /// delta-encoded on the wire, absolute here). SendWait: backref — how
-  /// many send posts ago this rank started the matching send.
+  /// SendPost/RecvWait/CollBegin/NbcPost: the CPU-overhead op id (jitter
+  /// key; delta-encoded on the wire, absolute here). SendWait: backref —
+  /// how many send posts ago this rank started the matching send.
   std::uint64_t op = 0;
-  /// SectionEnter/Exit/Pcontrol: interned label id. CollBegin: MpiCall.
+  /// SectionEnter/Exit/Pcontrol: interned label id.
+  /// CollBegin/NbcPost: MpiCall.
   std::uint32_t label = 0;
 
   /// Sentinel for RecvPost::peer when the receive never completed.

@@ -141,6 +141,19 @@ void encode_event(ByteWriter& w, const Event& ev, std::uint64_t& prev_op) {
       break;
     case EventKind::Finalize:
       break;
+    case EventKind::NbcPost:
+      w.varint(static_cast<std::uint64_t>(ev.comm));
+      w.varint(ev.label);  // MpiCall
+      w.varint(static_cast<std::uint64_t>(ev.peer));  // members (quorum)
+      w.varint(ev.bytes);
+      w.varint(ev.seq);  // nbc generation
+      w.varint(ev.op - prev_op);
+      prev_op = ev.op;
+      break;
+    case EventKind::NbcComplete:
+      w.varint(static_cast<std::uint64_t>(ev.comm));
+      w.varint(ev.seq);  // nbc generation
+      break;
   }
 }
 
@@ -218,6 +231,19 @@ Event decode_event(ByteReader& r, std::uint64_t& prev_op,
       break;
     case EventKind::Finalize:
       break;
+    case EventKind::NbcPost:
+      ev.comm = static_cast<int>(r.varint());
+      ev.label = static_cast<std::uint32_t>(r.varint());
+      ev.peer = static_cast<int>(r.varint());
+      ev.bytes = r.varint();
+      ev.seq = r.varint();
+      ev.op = prev_op + r.varint();
+      prev_op = ev.op;
+      break;
+    case EventKind::NbcComplete:
+      ev.comm = static_cast<int>(r.varint());
+      ev.seq = r.varint();
+      break;
   }
   return ev;
 }
@@ -233,6 +259,10 @@ std::vector<std::uint8_t> TraceFile::encode() const {
   w.f64(header.start_skew_sigma);
   w.varint(static_cast<std::uint64_t>(header.nranks));
   w.f64(header.telemetry_dt);
+  w.u8(static_cast<std::uint8_t>(header.progress.mode));
+  w.f64(header.progress.entry_overhead);
+  w.f64(header.progress.thread_latency);
+  w.f64(header.progress.core_tax);
   encode_machine(w, header.machine);
   w.varint(labels.size());
   for (const auto& l : labels) w.str(l);
@@ -290,6 +320,14 @@ TraceFile TraceFile::decode(std::span<const std::uint8_t> data) {
     throw TraceError("corrupt trace: implausible rank count");
   }
   if (version >= 2) tf.header.telemetry_dt = r.f64();
+  if (version >= 4) {
+    const std::uint8_t pm = r.u8();
+    if (pm > 2) throw TraceError("corrupt trace: bad progress mode");
+    tf.header.progress.mode = static_cast<mpisim::ProgressMode>(pm);
+    tf.header.progress.entry_overhead = r.f64();
+    tf.header.progress.thread_latency = r.f64();
+    tf.header.progress.core_tax = r.f64();
+  }
   tf.header.machine = decode_machine(r);
   const std::uint64_t nlabels = r.varint();
   tf.labels.reserve(static_cast<std::size_t>(nlabels));

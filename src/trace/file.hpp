@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "mpisim/machine.hpp"
+#include "mpisim/progress.hpp"
 #include "trace/events.hpp"
 #include "trace/wire.hpp"
 
@@ -31,7 +32,10 @@ inline constexpr std::uint32_t kTraceMagic = 0x5453504D;  // "MPST" LE
 /// v3 appends the posted envelope (source world rank, tag) to RecvPost and
 /// Probe events so offline analysis can recompute wildcard match sets;
 /// decode still accepts v1/v2 (post_src = Event::kNotRecorded, tag = 0).
-inline constexpr std::uint32_t kTraceVersion = 3;
+/// v4 adds the progress model the run executed under to the header and the
+/// NbcPost/NbcComplete event kinds; decode still accepts v1-v3 (progress =
+/// blocking-only, the only behaviour older simulators had).
+inline constexpr std::uint32_t kTraceVersion = 4;
 
 struct TraceHeader {
   std::string app;  ///< free-form provenance (app + parameters)
@@ -44,6 +48,12 @@ struct TraceHeader {
   /// (seconds); 0 = no interval recorded. A replay uses it to re-derive the
   /// sampler's timeline under a different machine model (v2 header field).
   double telemetry_dt = 0.0;
+  /// Progress model the recorded run executed under (v4 header field;
+  /// blocking-only for older traces). Note the machine block below already
+  /// carries the opportunistic entry-overhead fold — replay under the
+  /// recorded model needs no extra arithmetic, only the rendezvous extra
+  /// and compute-factor terms this struct derives.
+  mpisim::ProgressModel progress;
   mpisim::MachineModel machine;
 };
 

@@ -230,6 +230,28 @@ void TraceRecorder::on_probe(mpisim::Ctx& ctx, const mpisim::TapProbe& t) {
   b.last_t = ctx.now();
 }
 
+void TraceRecorder::on_nbc_post(mpisim::Ctx& ctx,
+                                const mpisim::TapNbcPost& t) {
+  RankBuf& b = buf(ctx);
+  Event& ev = push(b, EventKind::NbcPost, t.t_before);
+  ev.comm = t.comm_context;
+  ev.label = static_cast<std::uint32_t>(t.call);
+  ev.peer = t.members;
+  ev.bytes = t.bytes;
+  ev.seq = t.gen;
+  ev.op = t.op;
+  b.last_t = ctx.now();
+}
+
+void TraceRecorder::on_nbc_complete(mpisim::Ctx& ctx,
+                                    const mpisim::TapNbcComplete& t) {
+  RankBuf& b = buf(ctx);
+  Event& ev = push(b, EventKind::NbcComplete, t.t_before);
+  ev.comm = t.comm_context;
+  ev.seq = t.gen;
+  b.last_t = ctx.now();
+}
+
 void TraceRecorder::on_comm_sync(mpisim::Ctx& ctx,
                                  const mpisim::TapCommSync& t) {
   RankBuf& b = buf(ctx);
@@ -262,6 +284,10 @@ TraceFile TraceRecorder::finish() const {
   tf.header.start_skew_sigma = world_->options().start_skew_sigma;
   tf.header.nranks = world_->size();
   tf.header.telemetry_dt = options_.telemetry_dt;
+  tf.header.progress = world_->progress();
+  // Note: world machine() already carries the opportunistic entry-overhead
+  // fold applied at World construction, so a recorded-model replay needs
+  // no progress arithmetic on the overhead draws.
   tf.header.machine = world_->machine();
 
   // Remap label ids to lexicographic order: interning order depends on

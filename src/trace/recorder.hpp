@@ -77,6 +77,12 @@ class TraceRecorder : public mpisim::Extension, public mpisim::hooks::Tool {
   void on_recv_post(mpisim::Ctx& ctx, const mpisim::TapRecvPost& t) override;
   void on_recv_wait(mpisim::Ctx& ctx, const mpisim::TapRecvWait& t) override;
   void on_probe(mpisim::Ctx& ctx, const mpisim::TapProbe& t) override;
+  // on_request_test is deliberately NOT overridden: a test() poll count is
+  // scheduling-dependent (how often the app polled before completion), and
+  // recording it would break the byte-identical-traces guarantee.
+  void on_nbc_post(mpisim::Ctx& ctx, const mpisim::TapNbcPost& t) override;
+  void on_nbc_complete(mpisim::Ctx& ctx,
+                       const mpisim::TapNbcComplete& t) override;
   void on_comm_sync(mpisim::Ctx& ctx, const mpisim::TapCommSync& t) override;
   void on_coll_entry(mpisim::Ctx& ctx, std::uint64_t op,
                      double t_before) override;

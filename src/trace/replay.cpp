@@ -51,6 +51,16 @@ struct SyncState {
   double max_rec = 0.0, max_cur = 0.0;
 };
 
+/// One nonblocking-collective round, keyed by (comm, generation): posts
+/// accumulate the max post time per frame, fences stall on the quorum.
+struct NbcRound {
+  int members = 0;
+  int arrived = 0;
+  int departed = 0;
+  std::uint64_t bytes = 0;
+  double max_rec = 0.0, max_cur = 0.0;
+};
+
 struct RankRt {
   std::size_t cursor = 0;
   double t_rec = 0.0, t_cur = 0.0;
@@ -74,9 +84,18 @@ struct Engine {
   ReplayOptions opt;
   ReplayResult res;
 
+  /// Progress models of the two frames, and the derived per-frame terms:
+  /// rendezvous delivery surcharge and the compute-gap rescale (recorded
+  /// gaps already include the recorded model's core tax, so the what-if
+  /// frame multiplies by the factor ratio).
+  mpisim::ProgressModel rec_prog, cur_prog;
+  double rex_rec = 0.0, rex_cur = 0.0;
+  double prog_scale = 1.0;
+
   std::vector<RankRt> ranks;
   std::unordered_map<MsgKey, MsgState, MsgKeyHash> msgs;
   std::map<std::pair<int, std::uint64_t>, SyncState> syncs;
+  std::map<std::pair<int, std::uint64_t>, NbcRound> nbc_rounds;
   std::map<std::pair<int, std::uint32_t>,
            std::vector<std::vector<sections::RankSpan>>>
       spans;
@@ -85,6 +104,11 @@ struct Engine {
   Engine(const TraceFile& t, const mpisim::MachineModel& cur,
          const ReplayOptions& o)
       : tf(t), rec_net(t.header.machine.net), cur_net(cur.net), opt(o) {
+    rec_prog = t.header.progress;
+    cur_prog = opt.progress.value_or(rec_prog);
+    rex_rec = rec_prog.rendezvous_extra();
+    rex_cur = cur_prog.rendezvous_extra();
+    prog_scale = cur_prog.compute_factor() / rec_prog.compute_factor();
     if (!opt.faults.empty()) {
       if (!opt.faults.kills.empty()) {
         throw TraceError(
@@ -121,7 +145,7 @@ struct Engine {
       fail(r, ev,
            "recorded clock behind replayed clock (trace/model mismatch)");
     }
-    double scale = opt.compute_scale;
+    double scale = opt.compute_scale * prog_scale;
     if (fault_eng) scale *= fault_eng->compute_factor(r, st.t_cur);
     if (scale == 1.0 && st.t_cur == st.t_rec) {
       st.t_cur = ev.t_before;
@@ -202,12 +226,12 @@ struct Engine {
         }
         charge_gap(r, st, ev);
         if (ms.rend_rec) {
-          st.t_rec = std::max(
-              st.t_rec, std::max(ms.start_rec, ms.post_rec) + ms.wire_rec);
+          st.t_rec = std::max(st.t_rec, std::max(ms.start_rec, ms.post_rec) +
+                                            ms.wire_rec + rex_rec);
         }
         if (ms.rend_cur) {
-          st.t_cur = std::max(
-              st.t_cur, std::max(ms.start_cur, ms.post_cur) + ms.wire_cur);
+          st.t_cur = std::max(st.t_cur, std::max(ms.start_cur, ms.post_cur) +
+                                            ms.wire_cur + rex_cur);
         }
         consume(key, ms);
         break;
@@ -242,14 +266,16 @@ struct Engine {
         }
         charge_gap(r, st, ev);
         const double del_rec =
-            ms.rend_rec ? std::max(ms.start_rec, ms.post_rec) + ms.wire_rec
-                        : std::max(ms.post_rec, ms.avail_rec);
+            ms.rend_rec
+                ? std::max(ms.start_rec, ms.post_rec) + ms.wire_rec + rex_rec
+                : std::max(ms.post_rec, ms.avail_rec);
         st.t_rec = std::max(st.t_rec, del_rec);
         st.t_rec += std::max(
             rec_net.cpu_overhead(r, rec_net.recv_overhead, ev.op, 1), 0.0);
         const double del_cur =
-            ms.rend_cur ? std::max(ms.start_cur, ms.post_cur) + ms.wire_cur
-                        : std::max(ms.post_cur, ms.avail_cur);
+            ms.rend_cur
+                ? std::max(ms.start_cur, ms.post_cur) + ms.wire_cur + rex_cur
+                : std::max(ms.post_cur, ms.avail_cur);
         st.t_cur = std::max(st.t_cur, del_cur);
         st.t_cur += std::max(
             cur_net.cpu_overhead(r, cur_net.recv_overhead, ev.op, 1), 0.0);
@@ -272,12 +298,14 @@ struct Engine {
         // Mirror of Channel::probe: the completion time of a hypothetical
         // receive posted at the prober's current time (rendezvous pays its
         // wire cost, eager is availability-bound).
-        st.t_rec = ms.rend_rec
-                       ? std::max(ms.start_rec, st.t_rec) + ms.wire_rec
-                       : std::max(st.t_rec, ms.avail_rec);
-        st.t_cur = ms.rend_cur
-                       ? std::max(ms.start_cur, st.t_cur) + ms.wire_cur
-                       : std::max(st.t_cur, ms.avail_cur);
+        st.t_rec =
+            ms.rend_rec
+                ? std::max(ms.start_rec, st.t_rec) + ms.wire_rec + rex_rec
+                : std::max(st.t_rec, ms.avail_rec);
+        st.t_cur =
+            ms.rend_cur
+                ? std::max(ms.start_cur, st.t_cur) + ms.wire_cur + rex_cur
+                : std::max(st.t_cur, ms.avail_cur);
         break;
       }
       case EventKind::CollBegin: {
@@ -364,6 +392,48 @@ struct Engine {
         }
         res.final_times[static_cast<std::size_t>(r)] = st.t_cur;
         st.done = true;
+        break;
+      }
+      case EventKind::NbcPost: {
+        charge_gap(r, st, ev);
+        // Entry overhead on the collective-entry jitter stream (salt 2),
+        // mirroring Comm::nbc_post.
+        st.t_rec += std::max(
+            rec_net.cpu_overhead(r, rec_net.send_overhead, ev.op, 2), 0.0);
+        st.t_cur += std::max(
+            cur_net.cpu_overhead(r, cur_net.send_overhead, ev.op, 2), 0.0);
+        NbcRound& round = nbc_rounds[{ev.comm, ev.seq}];
+        round.members = ev.peer;
+        round.bytes = std::max(round.bytes, ev.bytes);
+        if (round.arrived == 0) {
+          round.max_rec = st.t_rec;
+          round.max_cur = st.t_cur;
+        } else {
+          round.max_rec = std::max(round.max_rec, st.t_rec);
+          round.max_cur = std::max(round.max_cur, st.t_cur);
+        }
+        ++round.arrived;
+        ++res.collectives;
+        break;
+      }
+      case EventKind::NbcComplete: {
+        const auto it = nbc_rounds.find({ev.comm, ev.seq});
+        if (it == nbc_rounds.end() || it->second.arrived < it->second.members) {
+          return Step::Blocked;  // fence stalls until the post quorum
+        }
+        charge_gap(r, st, ev);
+        NbcRound& round = it->second;
+        st.t_rec = rec_prog.nbc_complete_time(
+            st.t_rec, round.max_rec,
+            mpisim::nbc_algo_cost(rec_net.inter_node.latency,
+                                  rec_net.inter_node.bandwidth, round.members,
+                                  round.bytes));
+        st.t_cur = cur_prog.nbc_complete_time(
+            st.t_cur, round.max_cur,
+            mpisim::nbc_algo_cost(cur_net.inter_node.latency,
+                                  cur_net.inter_node.bandwidth, round.members,
+                                  round.bytes));
+        if (++round.departed == round.members) nbc_rounds.erase(it);
         break;
       }
     }
@@ -474,6 +544,21 @@ struct Engine {
 };
 
 }  // namespace
+
+mpisim::MachineModel fold_progress(mpisim::MachineModel m,
+                                   const mpisim::ProgressModel& rec,
+                                   const mpisim::ProgressModel& cur,
+                                   bool machine_is_recorded) {
+  if (machine_is_recorded && rec.mode == mpisim::ProgressMode::Opportunistic) {
+    m.net.send_overhead -= rec.entry_overhead;
+    m.net.recv_overhead -= rec.entry_overhead;
+  }
+  if (cur.mode == mpisim::ProgressMode::Opportunistic) {
+    m.net.send_overhead += cur.entry_overhead;
+    m.net.recv_overhead += cur.entry_overhead;
+  }
+  return m;
+}
 
 ReplayResult replay(const TraceFile& tf, const mpisim::MachineModel& machine,
                     const ReplayOptions& options) {

@@ -19,12 +19,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/sections/metrics.hpp"
 #include "mpisim/faults/plan.hpp"
 #include "mpisim/machine.hpp"
+#include "mpisim/progress.hpp"
 #include "trace/file.hpp"
 
 namespace mpisect::trace {
@@ -46,7 +48,21 @@ struct ReplayOptions {
   /// Seed for the plan's fault draws; 0 = the trace header's recorded
   /// seed, so a replay under the original run's plan re-draws identically.
   std::uint64_t fault_seed = 0;
+  /// Progress model for the what-if frame. Unset = the trace header's own
+  /// model (no change; pre-v4 traces recorded blocking-only). The caller
+  /// must pass a `machine` whose overheads are already folded for this
+  /// model — see fold_progress().
+  std::optional<mpisim::ProgressModel> progress = std::nullopt;
 };
+
+/// Adjust a what-if machine's per-message CPU overheads for a change of
+/// progress model: remove the recorded run's opportunistic entry-poll fold
+/// (a recorded header machine already carries it) and apply the what-if
+/// model's. `machine_is_recorded` says whether `m` came from a trace
+/// header (folded for `rec`) or is a pristine preset (unfolded).
+[[nodiscard]] mpisim::MachineModel fold_progress(
+    mpisim::MachineModel m, const mpisim::ProgressModel& rec,
+    const mpisim::ProgressModel& cur, bool machine_is_recorded);
 
 /// Per-(comm, label) section statistics of the replayed timeline.
 struct ReplaySectionStat {

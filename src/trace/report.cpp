@@ -126,19 +126,20 @@ std::string render_chrome(const ReplayResult& res) {
 std::string sweep_csv_header() {
   return support::provenance_csv_comment() +
          "machine,latency_scale,bandwidth_scale,compute_scale,drop_rate,"
-         "makespan,section,comm,instances,mean_per_process,total_inclusive,"
-         "total_span,total_imbalance,bound\n";
+         "progress,makespan,section,comm,instances,mean_per_process,"
+         "total_inclusive,total_span,total_imbalance,bound\n";
 }
 
 std::string sweep_csv_rows(const ReplayResult& res, const std::string& machine,
                            double latency_scale, double bandwidth_scale,
                            double compute_scale, double drop_rate,
+                           const std::string& progress,
                            std::optional<double> t_seq) {
   std::string out;
   const std::string prefix =
-      machine + "," + fmt("%.9g,%.9g,%.9g,%.9g,%.9g,", latency_scale,
-                          bandwidth_scale, compute_scale, drop_rate,
-                          res.makespan);
+      machine + "," + fmt("%.9g,%.9g,%.9g,%.9g,", latency_scale,
+                          bandwidth_scale, compute_scale, drop_rate) +
+      progress + fmt(",%.9g,", res.makespan);
   for (const auto& s : res.sections) {
     out += prefix + s.label + "," + std::to_string(s.comm) + "," +
            std::to_string(s.instances) + ",";

@@ -32,13 +32,17 @@ namespace mpisect::trace {
 /// Header line for sweep CSV output (matches sweep_csv_row).
 [[nodiscard]] std::string sweep_csv_header();
 
-/// One long-format CSV row per section for a sweep grid point.
+/// One long-format CSV row per section for a sweep grid point. `progress`
+/// is the progress-model spec the point replayed under (new column; the
+/// canonical spelling is mpisim::ProgressModel::spec()).
 [[nodiscard]] std::string sweep_csv_rows(const ReplayResult& res,
                                          const std::string& machine,
                                          double latency_scale,
                                          double bandwidth_scale,
                                          double compute_scale,
                                          double drop_rate = 0.0,
+                                         const std::string& progress =
+                                             "blocking-only",
                                          std::optional<double> t_seq = {});
 
 }  // namespace mpisect::trace

@@ -150,6 +150,18 @@ Event random_event(support::SequentialRng& rng) {
       ev.peer = static_cast<int>(rng.next() % 11) - 5;
       ev.label = static_cast<std::uint32_t>(rng.next() % 5000);
       break;
+    case EventKind::NbcPost:
+      ev.comm = static_cast<int>(rng.next() % 64);
+      ev.label = static_cast<std::uint32_t>(rng.next() % 17);
+      ev.peer = 1 + static_cast<int>(rng.next() % 512);
+      ev.bytes = rng.next() % (std::uint64_t{1} << 24);
+      ev.seq = rng.next() % 4096;
+      ev.op = rng.next();
+      break;
+    case EventKind::NbcComplete:
+      ev.comm = static_cast<int>(rng.next() % 64);
+      ev.seq = rng.next() % 4096;
+      break;
     case EventKind::Finalize:
       ev.has_time = true;
       ev.t_before = rng.uniform(0.0, 1e6);

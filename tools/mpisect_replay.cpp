@@ -119,6 +119,9 @@ void add_whatif_options(support::ArgParser& args) {
   args.add_string("compute-scale", "1",
                   "multiply recorded compute gaps; 'auto' = recorded flops "
                   "/ replay flops");
+  args.add_string("progress", "recorded",
+                  "progress model for the what-if frame: recorded | " +
+                      mpisim::ProgressModel::choices());
 }
 
 serve::ModelParams model_params(const support::ArgParser& args) {
@@ -132,6 +135,7 @@ serve::ModelParams model_params(const support::ArgParser& args) {
   p.no_jitter = args.get_flag("no-jitter");
   p.eager = static_cast<std::uint64_t>(args.get_int("eager"));
   p.compute_scale = args.get_string("compute-scale");
+  p.progress = args.get_string("progress");
   return p;
 }
 
@@ -146,6 +150,9 @@ int cmd_record(int argc, const char* const* argv) {
   args.add_int("steps", 100, "time-steps");
   args.add_int("size", 0, "problem size (0 = default)");
   args.add_int("seed", 0x5EED, "world seed");
+  args.add_string("progress", "blocking-only",
+                  "progress model for the live run: " +
+                      mpisim::ProgressModel::choices());
   args.add_string("out", "trace.mpst", "output trace file");
   args.add_flag("compress", "write a compressed .mpstz container instead "
                             "of the flat .mpst encoding");
@@ -164,6 +171,7 @@ int cmd_record(int argc, const char* const* argv) {
   }
   opts.machine = *preset;
   opts.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  opts.progress = mpisim::ProgressModel::parse(args.get_string("progress"));
   mpisim::World world(ranks, opts);
   sections::SectionRuntime::install(world);
 
@@ -314,6 +322,9 @@ int cmd_sweep(int argc, const char* const* argv) {
   args.add_string("drop-rates", "0",
                   "comma list of message drop probabilities (re-costed with "
                   "retransmits onto the what-if frame)");
+  args.add_string("progress", "recorded",
+                  "comma list of progress models: recorded | " +
+                      mpisim::ProgressModel::choices());
   args.add_int("fault-seed", 0,
                "seed for the fault draws (0 = the trace header's seed)");
   args.add_double("tseq", 0.0, "sequential reference time for Eq. 6 bounds");
@@ -327,6 +338,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   q.bandwidth_scales = parse_grid(args.get_string("bandwidth-scales"));
   q.compute_scales = split_csv(args.get_string("compute-scales"));
   q.drop_rates = parse_grid(args.get_string("drop-rates"));
+  q.progress = split_csv(args.get_string("progress"));
   q.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
   q.tseq = args.get_double("tseq");
   return emit(serve::run_sweep(tf, q), args.get_string("out")) ? 0 : 1;
