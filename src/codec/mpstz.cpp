@@ -10,6 +10,8 @@
 
 #include "codec/huffman.hpp"
 #include "codec/rle.hpp"
+#include "obs/counters.hpp"
+#include "obs/spans.hpp"
 #include "support/crc32.hpp"
 #include "support/digest.hpp"
 #include "trace/event_wire.hpp"
@@ -483,6 +485,8 @@ std::vector<std::uint8_t> decode_block(std::span<const std::uint8_t> blob,
 
 std::vector<std::uint8_t> compress(const trace::TraceFile& tf,
                                    const CompressOptions& options) {
+  const obs::Span obs_span("codec.compress");
+  const std::uint64_t t_start = obs::now_ns();
   const std::uint64_t chunk_events = std::max<std::uint64_t>(
       1, options.chunk_events);
 
@@ -565,6 +569,16 @@ std::vector<std::uint8_t> compress(const trace::TraceFile& tf,
   w.varint(payload.size());
   std::vector<std::uint8_t> out = w.take();
   out.insert(out.end(), payload.begin(), payload.end());
+
+  // Throughput accounting: raw stream bytes in, container bytes out.
+  std::uint64_t raw_in = meta.size();
+  for (const ChunkInfo& c : index) raw_in += c.raw_size;
+  auto& oc = obs::counters();
+  oc.codec_compress_bytes_in.fetch_add(raw_in, std::memory_order_relaxed);
+  oc.codec_compress_bytes_out.fetch_add(out.size(),
+                                        std::memory_order_relaxed);
+  oc.codec_compress_ns.fetch_add(obs::now_ns() - t_start,
+                                 std::memory_order_relaxed);
   return out;
 }
 
@@ -756,9 +770,27 @@ std::vector<trace::Event> MpstzReader::window(int rank, double t0, double t1) {
   return out;
 }
 
+namespace {
+
+/// Decode the full container, feeding the obs decompression throughput
+/// counters (event bytes reconstructed per wall-clock nanosecond).
+trace::TraceFile timed_all(MpstzReader&& reader) {
+  const obs::Span obs_span("codec.decompress");
+  const std::uint64_t t_start = obs::now_ns();
+  trace::TraceFile tf = reader.all();
+  auto& oc = obs::counters();
+  oc.codec_decompress_bytes_out.fetch_add(reader.bytes_decoded(),
+                                          std::memory_order_relaxed);
+  oc.codec_decompress_ns.fetch_add(obs::now_ns() - t_start,
+                                   std::memory_order_relaxed);
+  return tf;
+}
+
+}  // namespace
+
 trace::TraceFile decompress(std::span<const std::uint8_t> data) {
-  return MpstzReader(std::vector<std::uint8_t>(data.begin(), data.end()))
-      .all();
+  return timed_all(
+      MpstzReader(std::vector<std::uint8_t>(data.begin(), data.end())));
 }
 
 trace::TraceFile load_trace(const std::string& path) {
@@ -767,7 +799,7 @@ trace::TraceFile load_trace(const std::string& path) {
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
   if (is_mpstz(bytes)) {
-    return MpstzReader(std::move(bytes)).all();
+    return timed_all(MpstzReader(std::move(bytes)));
   }
   return trace::TraceFile::decode(bytes);
 }

@@ -7,6 +7,16 @@
 
 namespace mpisect::mpisim {
 
+Channel::~Channel() {
+  // Credit back whatever never matched so the world's MemAccount drains to
+  // zero when all channels die (a leak here would poison the next world's
+  // high-water mark reading).
+  if (mem_ != nullptr) {
+    for (const auto& m : unexpected_) mem_->sub(queued_bytes(*m));
+    if (!posted_.empty()) mem_->sub(posted_.size() * sizeof(PostedRecv));
+  }
+}
+
 bool Channel::compatible(const PostedRecv& r, const Message& m) noexcept {
   const bool src_ok = r.src == kAnySource || r.src == m.src;
   const bool tag_ok = r.tag == kAnyTag || r.tag == m.tag;
@@ -58,11 +68,13 @@ std::size_t Channel::deposit(const MessagePtr& msg) {
     if (compatible(**it, *msg)) {
       complete_match(msg, *it);
       posted_.erase(it);
+      if (mem_ != nullptr) mem_->sub(sizeof(PostedRecv));
       wp_.notify_all();
       return 0;
     }
   }
   unexpected_.push_back(msg);
+  if (mem_ != nullptr) mem_->add(queued_bytes(*msg));
   // Wake probers waiting for a matching envelope.
   wp_.notify_all();
   return unexpected_.size();
@@ -72,6 +84,7 @@ std::size_t Channel::post(const PostedRecvPtr& recv) {
   const std::lock_guard lock(mu_);
   for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
     if (compatible(*recv, **it)) {
+      if (mem_ != nullptr) mem_->sub(queued_bytes(**it));
       complete_match(*it, recv);
       unexpected_.erase(it);
       wp_.notify_all();
@@ -79,6 +92,7 @@ std::size_t Channel::post(const PostedRecvPtr& recv) {
     }
   }
   posted_.push_back(recv);
+  if (mem_ != nullptr) mem_->add(sizeof(PostedRecv));
   return posted_.size();
 }
 

@@ -23,6 +23,7 @@
 
 #include "mpisim/message.hpp"
 #include "mpisim/scheduler.hpp"
+#include "obs/memory.hpp"
 
 namespace mpisect::mpisim {
 
@@ -32,10 +33,19 @@ class Channel {
   /// progress model's completion-publication latency (a progress thread
   /// hands the delivery to the application `thread_latency` after the wire
   /// finishes; zero for synchronous progress).
+  ///
+  /// `mem` is the owning rank's memory-accounting slot (nullptr = no
+  /// accounting, e.g. channels constructed directly by unit tests): every
+  /// byte queued in this channel is charged there and credited back on
+  /// match, giving an exact per-rank high-water mark. Accounting observes,
+  /// never decides — matching and delivery times are unaffected.
   Channel(Executor& exec, const std::atomic<bool>* abort_flag,
-          double rendezvous_extra = 0.0) noexcept
-      : abort_(abort_flag), rendezvous_extra_(rendezvous_extra),
+          double rendezvous_extra = 0.0,
+          obs::MemAccount::RankMem* mem = nullptr) noexcept
+      : abort_(abort_flag), rendezvous_extra_(rendezvous_extra), mem_(mem),
         wp_(exec, mu_) {}
+
+  ~Channel();
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
@@ -98,11 +108,17 @@ class Channel {
   void complete_match(const MessagePtr& msg, const PostedRecvPtr& recv) const;
   void check_abort() const;
 
+  /// Accounted footprint of a queued unexpected message.
+  static std::size_t queued_bytes(const Message& m) noexcept {
+    return sizeof(Message) + m.payload.size();
+  }
+
   std::mutex mu_;
   std::deque<MessagePtr> unexpected_;
   std::deque<PostedRecvPtr> posted_;
   const std::atomic<bool>* abort_;
   double rendezvous_extra_;
+  obs::MemAccount::RankMem* mem_;
   WaitPoint wp_;
 };
 

@@ -46,9 +46,13 @@ CommImpl::CommImpl(World& world, Group group, int context_id)
   const auto n = static_cast<std::size_t>(group_.size());
   channels_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
+    // Channel i belongs to comm rank i; queued bytes are charged to that
+    // rank's world-level memory account.
     channels_.push_back(std::make_unique<Channel>(
         world.executor(), world.abort_flag(),
-        world.progress().rendezvous_extra()));
+        world.progress().rendezvous_extra(),
+        &world.mem_account().rank(
+            group_.world_rank(static_cast<int>(i)))));
   }
   rank_states_.resize(n);
   for (auto& rs : rank_states_) rs.send_seq.assign(n, 0);

@@ -9,6 +9,8 @@
 #include "mpisim/error.hpp"
 #include "mpisim/faults/engine.hpp"
 #include "mpisim/toolstack.hpp"
+#include "obs/counters.hpp"
+#include "obs/spans.hpp"
 #include "support/log.hpp"
 
 namespace mpisect::mpisim {
@@ -165,7 +167,30 @@ void World::run(const RankMain& rank_main) {
     }
   };
 
-  executor_->run(nranks_, rank_body);
+  {
+    const obs::Span span("world.run");
+    executor_->run(nranks_, rank_body);
+  }
+
+  // Fold this run's wall-clock scheduling totals and memory high-water
+  // marks into the process-wide obs counters (scraped by the serve
+  // daemon's metrics op and mpisect-top --self). Observation only — the
+  // virtual-time results above are already final.
+  {
+    auto& oc = obs::counters();
+    const ExecStats& st = executor_->stats();
+    const auto ld = [](const std::atomic<std::uint64_t>& a) {
+      return a.load(std::memory_order_relaxed);
+    };
+    oc.sched_parks.fetch_add(ld(st.parks), std::memory_order_relaxed);
+    oc.sched_wakes.fetch_add(ld(st.wakes), std::memory_order_relaxed);
+    oc.sched_switches.fetch_add(ld(st.switches), std::memory_order_relaxed);
+    oc.sched_busy_ns.fetch_add(ld(st.busy_ns), std::memory_order_relaxed);
+    oc.sched_idle_ns.fetch_add(ld(st.idle_ns), std::memory_order_relaxed);
+    obs::update_max(oc.mem_channel_bytes_hwm, mem_account_.total_hwm());
+    obs::update_max(oc.mem_stack_bytes_hwm, ld(st.stack_bytes));
+    obs::update_max(oc.mem_ranks, static_cast<std::uint64_t>(nranks_));
+  }
 
   if (first_error) {
     std::rethrow_exception(first_error);

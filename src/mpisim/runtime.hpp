@@ -32,6 +32,7 @@
 #include "mpisim/machine.hpp"
 #include "mpisim/progress.hpp"
 #include "mpisim/scheduler.hpp"
+#include "obs/memory.hpp"
 #include "support/rng.hpp"
 
 namespace mpisect::mpisim {
@@ -135,6 +136,16 @@ class World {
     return fault_engine_.get();
   }
 
+  /// Per-rank memory accounting for channel queues (see obs/memory.hpp).
+  /// Exact high-water mark of bytes the matching engine held per rank;
+  /// purely observational, no effect on virtual time.
+  [[nodiscard]] obs::MemAccount& mem_account() noexcept {
+    return mem_account_;
+  }
+  [[nodiscard]] const obs::MemAccount& mem_account() const noexcept {
+    return mem_account_;
+  }
+
   /// The world's tool stack (created on first use). Tools — profiler,
   /// checker, recorder, sampler, fault injector — register through it
   /// instead of hand-chaining HookTable/TraceTap slots; see toolstack.hpp.
@@ -173,6 +184,9 @@ class World {
   friend class Ctx;
   int nranks_;
   WorldOptions options_;
+  // Declared before world_comm_: channels credit their leftovers back to
+  // the account on destruction, so it must outlive the communicator.
+  obs::MemAccount mem_account_{nranks_};
   HookTable hooks_;
   TraceTap trace_tap_;
   support::CounterRng rng_;

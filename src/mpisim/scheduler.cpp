@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "mpisim/error.hpp"
+#include "obs/spans.hpp"
 #include "support/log.hpp"
 
 // Sanitizer fiber annotations: without these, swapcontext looks like a wild
@@ -126,6 +127,7 @@ class ThreadExecutor final : public Executor {
       fired_ = false;
     }
     stats_.reset();
+    const obs::Span run_span("sched.run");
     MPISECT_LOG_DEBUG("scheduler: threads backend, %d ranks", n);
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(n));
@@ -254,6 +256,9 @@ struct FiberTask {
   /// swapcontext has returned (context fully saved); a resuming worker
   /// spins until it is set.
   std::atomic<bool> resumable{true};
+  /// Steady-clock stamp of the wake that made this task ready; consumed by
+  /// the resuming worker for the switch-latency stat. 0 = not timing.
+  std::atomic<std::uint64_t> wake_ns{0};
 #if defined(MPISECT_TSAN_FIBERS)
   void* tsan_fiber = nullptr;
   void* ret_tsan = nullptr;
@@ -348,6 +353,12 @@ class FiberExecutor final : public Executor {
       shutdown_ = false;
     }
     stats_.reset();
+    // Latch the wall-clock instrumentation decision once per run: the
+    // hot paths below read a plain bool instead of the atomic, and the
+    // decision cannot flip mid-run. Timing never touches virtual time —
+    // it only reads the steady clock around scheduling transitions.
+    timed_ = obs::timing_enabled();
+    const obs::Span run_span("sched.run");
     MPISECT_LOG_DEBUG("scheduler: cooperative backend, %d ranks on %d workers",
                       n, std::min(workers_, std::max(1, n)));
     tasks_.clear();
@@ -496,6 +507,7 @@ class FiberExecutor final : public Executor {
     }
     t.stack_bottom = static_cast<char*>(t.map_base) + page;
     t.stack_size = t.map_bytes - page;
+    stats_.stack_bytes.fetch_add(t.map_bytes, std::memory_order_relaxed);
   }
 
   void release_stack(FiberTask& t) {
@@ -510,8 +522,11 @@ class FiberExecutor final : public Executor {
     {
       const std::lock_guard lock(mu_);
       if (!wp.parked_.empty()) {
+        const std::uint64_t stamp = timed_ ? obs::now_ns() : 0;
         for (void* p : wp.parked_) {
-          ready_.push_back(static_cast<FiberTask*>(p));
+          auto* t = static_cast<FiberTask*>(p);
+          if (stamp != 0) t->wake_ns.store(stamp, std::memory_order_relaxed);
+          ready_.push_back(t);
           --parked_count_;
         }
         stats_.wakes.fetch_add(wp.parked_.size(), std::memory_order_relaxed);
@@ -519,6 +534,8 @@ class FiberExecutor final : public Executor {
         if (depth > stats_.max_ready.load(std::memory_order_relaxed)) {
           stats_.max_ready.store(depth, std::memory_order_relaxed);
         }
+        stats_.ready_depth_sum.fetch_add(depth, std::memory_order_relaxed);
+        stats_.ready_depth_samples.fetch_add(1, std::memory_order_relaxed);
         wp.parked_.clear();
         woke = true;
       }
@@ -545,7 +562,12 @@ class FiberExecutor final : public Executor {
 #endif
     std::unique_lock lock(mu_);
     for (;;) {
+      const std::uint64_t t_idle0 = timed_ ? obs::now_ns() : 0;
       work_cv_.wait(lock, [this] { return shutdown_ || !ready_.empty(); });
+      if (timed_) {
+        stats_.idle_ns.fetch_add(obs::now_ns() - t_idle0,
+                                 std::memory_order_relaxed);
+      }
       if (ready_.empty()) return;  // shutdown
       FiberTask* t = ready_.front();
       ready_.pop_front();
@@ -558,6 +580,21 @@ class FiberExecutor final : public Executor {
       // one swapcontext, so spinning beats blocking.
       while (!t->resumable.load(std::memory_order_acquire)) {
         std::this_thread::yield();
+      }
+
+      std::uint64_t t_run0 = 0;
+      if (timed_) {
+        t_run0 = obs::now_ns();
+        // Wake-to-resume latency: how long a woken fiber sat in the ready
+        // queue before a worker picked it up.
+        const std::uint64_t w = t->wake_ns.exchange(0,
+                                                    std::memory_order_relaxed);
+        if (w != 0 && t_run0 > w) {
+          stats_.switch_latency_ns.fetch_add(t_run0 - w,
+                                             std::memory_order_relaxed);
+          stats_.switch_latency_samples.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        }
       }
 
       t->ret_uc = &worker_uc;
@@ -577,6 +614,10 @@ class FiberExecutor final : public Executor {
       __sanitizer_finish_switch_fiber(asan_save, nullptr, nullptr);
 #endif
       set_current_fiber(nullptr);
+      if (timed_) {
+        stats_.busy_ns.fetch_add(obs::now_ns() - t_run0,
+                                 std::memory_order_relaxed);
+      }
 
       if (t->finished) {
         bool fire = false;
@@ -610,6 +651,9 @@ class FiberExecutor final : public Executor {
 
   int workers_;
   std::size_t stack_bytes_;
+  /// Whether this run reads wall clocks (latched from obs::timing_enabled
+  /// before the worker pool starts; workers see it via thread creation).
+  bool timed_ = false;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

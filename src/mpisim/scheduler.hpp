@@ -56,12 +56,33 @@ struct ExecStats {
   std::atomic<std::uint64_t> wakes{0};      ///< tasks moved back to ready
   std::atomic<std::uint64_t> switches{0};   ///< fiber resumes (coop backend)
   std::atomic<std::uint64_t> max_ready{0};  ///< peak ready-queue depth
+  /// Ready-queue depth sampled at every wake batch (sum / samples = mean).
+  std::atomic<std::uint64_t> ready_depth_sum{0};
+  std::atomic<std::uint64_t> ready_depth_samples{0};
+  /// Wake-to-resume latency of parked fibers. Only accumulated while
+  /// obs::timing_enabled() (self-trace on, or mpisect-top --self) — the
+  /// clock reads cost more than the rest of the wake path.
+  std::atomic<std::uint64_t> switch_latency_ns{0};
+  std::atomic<std::uint64_t> switch_latency_samples{0};
+  /// Per-worker wall time split: running fibers vs waiting for work.
+  /// Gated on obs::timing_enabled() like switch latency.
+  std::atomic<std::uint64_t> busy_ns{0};
+  std::atomic<std::uint64_t> idle_ns{0};
+  /// Bytes mmap'ed for fiber stacks this run (guard pages included).
+  std::atomic<std::uint64_t> stack_bytes{0};
 
   void reset() noexcept {
     parks.store(0, std::memory_order_relaxed);
     wakes.store(0, std::memory_order_relaxed);
     switches.store(0, std::memory_order_relaxed);
     max_ready.store(0, std::memory_order_relaxed);
+    ready_depth_sum.store(0, std::memory_order_relaxed);
+    ready_depth_samples.store(0, std::memory_order_relaxed);
+    switch_latency_ns.store(0, std::memory_order_relaxed);
+    switch_latency_samples.store(0, std::memory_order_relaxed);
+    busy_ns.store(0, std::memory_order_relaxed);
+    idle_ns.store(0, std::memory_order_relaxed);
+    stack_bytes.store(0, std::memory_order_relaxed);
   }
 };
 

@@ -1,0 +1,75 @@
+// Always-on process-wide self-observability counters.
+//
+// Relaxed atomics bumped from the codec, the trace writer, and (after each
+// World::run) the scheduler; read by the Prometheus surface (`{"op":
+// "metrics"}` on the serve daemon, `--export prom`, mpisect-top --self).
+// These measure the *simulator* in wall-clock terms and are therefore
+// non-deterministic run to run; they must never feed back into virtual
+// time or into deterministic artifacts (.mpst bytes, telemetry CSV).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mpisect::obs {
+
+/// Monotonic CAS-max on a relaxed atomic (high-water marks).
+inline void update_max(std::atomic<std::uint64_t>& slot,
+                       std::uint64_t v) noexcept {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+struct Counters {
+  // Codec throughput (bytes through compress/decompress + wall time spent).
+  std::atomic<std::uint64_t> codec_compress_bytes_in{0};
+  std::atomic<std::uint64_t> codec_compress_bytes_out{0};
+  std::atomic<std::uint64_t> codec_compress_ns{0};
+  std::atomic<std::uint64_t> codec_decompress_bytes_out{0};
+  std::atomic<std::uint64_t> codec_decompress_ns{0};
+
+  // Trace writer: bytes buffered at encode time (high-water), bytes
+  // written, file flushes.
+  std::atomic<std::uint64_t> trace_encoded_bytes{0};
+  std::atomic<std::uint64_t> trace_buffered_bytes_hwm{0};
+  std::atomic<std::uint64_t> trace_flushes{0};
+
+  // Scheduler totals folded in at the end of each World::run (the live
+  // per-run values stay in Executor::stats()).
+  std::atomic<std::uint64_t> sched_parks{0};
+  std::atomic<std::uint64_t> sched_wakes{0};
+  std::atomic<std::uint64_t> sched_switches{0};
+  std::atomic<std::uint64_t> sched_busy_ns{0};
+  std::atomic<std::uint64_t> sched_idle_ns{0};
+
+  // Simulated-world memory (channel queues + fiber stacks), high-water.
+  std::atomic<std::uint64_t> mem_channel_bytes_hwm{0};
+  std::atomic<std::uint64_t> mem_stack_bytes_hwm{0};
+  std::atomic<std::uint64_t> mem_ranks{0};  ///< nranks of the widest world
+
+  void reset() noexcept {
+    codec_compress_bytes_in.store(0, std::memory_order_relaxed);
+    codec_compress_bytes_out.store(0, std::memory_order_relaxed);
+    codec_compress_ns.store(0, std::memory_order_relaxed);
+    codec_decompress_bytes_out.store(0, std::memory_order_relaxed);
+    codec_decompress_ns.store(0, std::memory_order_relaxed);
+    trace_encoded_bytes.store(0, std::memory_order_relaxed);
+    trace_buffered_bytes_hwm.store(0, std::memory_order_relaxed);
+    trace_flushes.store(0, std::memory_order_relaxed);
+    sched_parks.store(0, std::memory_order_relaxed);
+    sched_wakes.store(0, std::memory_order_relaxed);
+    sched_switches.store(0, std::memory_order_relaxed);
+    sched_busy_ns.store(0, std::memory_order_relaxed);
+    sched_idle_ns.store(0, std::memory_order_relaxed);
+    mem_channel_bytes_hwm.store(0, std::memory_order_relaxed);
+    mem_stack_bytes_hwm.store(0, std::memory_order_relaxed);
+    mem_ranks.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// The process-wide counter block.
+[[nodiscard]] Counters& counters() noexcept;
+
+}  // namespace mpisect::obs

@@ -1,0 +1,91 @@
+// Exact per-rank memory accounting for the simulated world.
+//
+// Each World owns one MemAccount with a slot per rank. Channels charge the
+// destination rank's slot for every queued byte (unexpected messages:
+// struct + payload; posted receives: struct) and credit it back when the
+// entry is matched or destroyed, so `hwm` is the exact high-water mark of
+// bytes the matching engine ever held for that rank. Two relaxed atomic
+// ops per queue transition — always on, no configuration.
+//
+// The accounting observes memory, it never influences matching or virtual
+// time; runs are bit-identical with or without anyone reading it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "obs/counters.hpp"
+
+namespace mpisect::obs {
+
+class MemAccount {
+ public:
+  struct RankMem {
+    std::atomic<std::uint64_t> current{0};
+    std::atomic<std::uint64_t> hwm{0};
+
+    void add(std::uint64_t bytes) noexcept {
+      const std::uint64_t now =
+          current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+      update_max(hwm, now);
+    }
+    void sub(std::uint64_t bytes) noexcept {
+      current.fetch_sub(bytes, std::memory_order_relaxed);
+    }
+  };
+
+  explicit MemAccount(int nranks)
+      : nranks_(nranks > 0 ? nranks : 1),
+        ranks_(std::make_unique<RankMem[]>(
+            static_cast<std::size_t>(nranks_))) {}
+
+  [[nodiscard]] int nranks() const noexcept { return nranks_; }
+
+  [[nodiscard]] RankMem& rank(int r) noexcept {
+    return ranks_[static_cast<std::size_t>(r >= 0 && r < nranks_ ? r : 0)];
+  }
+
+  /// Sum of live queued bytes across ranks (racy snapshot).
+  [[nodiscard]] std::uint64_t total_current() const noexcept {
+    std::uint64_t sum = 0;
+    for (int r = 0; r < nranks_; ++r) {
+      sum += ranks_[static_cast<std::size_t>(r)].current.load(
+          std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  /// Sum over ranks of each rank's own high-water mark (upper bound on the
+  /// simultaneous total; exact per rank).
+  [[nodiscard]] std::uint64_t total_hwm() const noexcept {
+    std::uint64_t sum = 0;
+    for (int r = 0; r < nranks_; ++r) {
+      sum += ranks_[static_cast<std::size_t>(r)].hwm.load(
+          std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  /// Largest single-rank high-water mark.
+  [[nodiscard]] std::uint64_t peak_rank_hwm() const noexcept {
+    std::uint64_t peak = 0;
+    for (int r = 0; r < nranks_; ++r) {
+      const std::uint64_t h = ranks_[static_cast<std::size_t>(r)].hwm.load(
+          std::memory_order_relaxed);
+      if (h > peak) peak = h;
+    }
+    return peak;
+  }
+
+  /// Mean per-rank high-water mark — the "bytes/rank" scaling curve value.
+  [[nodiscard]] double bytes_per_rank() const noexcept {
+    return static_cast<double>(total_hwm()) / static_cast<double>(nranks_);
+  }
+
+ private:
+  int nranks_;
+  std::unique_ptr<RankMem[]> ranks_;
+};
+
+}  // namespace mpisect::obs

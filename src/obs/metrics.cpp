@@ -1,0 +1,91 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/counters.hpp"
+#include "obs/spans.hpp"
+
+namespace mpisect::obs {
+
+Counters& counters() noexcept {
+  static Counters c;
+  return c;
+}
+
+namespace {
+
+void emit(std::string& out, const char* name, const char* type,
+          std::uint64_t v) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "# TYPE %s %s\n%s %" PRIu64 "\n", name,
+                type, name, v);
+  out += buf;
+}
+
+void emit_gauge(std::string& out, const char* name, double v) {
+  char buf[160];
+  if (v != v) v = 0.0;  // drop NaN
+  std::snprintf(buf, sizeof buf, "# TYPE %s gauge\n%s %.6g\n", name, name, v);
+  out += buf;
+}
+
+double rate_gbps(std::uint64_t bytes, std::uint64_t ns) noexcept {
+  if (ns == 0) return 0.0;
+  return static_cast<double>(bytes) / static_cast<double>(ns);  // B/ns == GB/s
+}
+
+}  // namespace
+
+std::string prometheus_text() {
+  const Counters& c = counters();
+  std::string out;
+  out.reserve(2048);
+  const auto ld = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+
+  emit(out, "obs_spans_recorded", "counter", spans_recorded());
+  emit(out, "obs_spans_dropped", "counter", spans_dropped());
+  emit(out, "obs_self_trace_enabled", "gauge", self_trace_enabled() ? 1 : 0);
+
+  emit(out, "obs_codec_compress_bytes_in", "counter",
+       ld(c.codec_compress_bytes_in));
+  emit(out, "obs_codec_compress_bytes_out", "counter",
+       ld(c.codec_compress_bytes_out));
+  emit(out, "obs_codec_compress_ns", "counter", ld(c.codec_compress_ns));
+  emit(out, "obs_codec_decompress_bytes_out", "counter",
+       ld(c.codec_decompress_bytes_out));
+  emit(out, "obs_codec_decompress_ns", "counter", ld(c.codec_decompress_ns));
+  emit_gauge(out, "obs_codec_compress_gbps",
+             rate_gbps(ld(c.codec_compress_bytes_in),
+                       ld(c.codec_compress_ns)));
+  emit_gauge(out, "obs_codec_decompress_gbps",
+             rate_gbps(ld(c.codec_decompress_bytes_out),
+                       ld(c.codec_decompress_ns)));
+
+  emit(out, "obs_trace_encoded_bytes", "counter", ld(c.trace_encoded_bytes));
+  emit(out, "obs_trace_buffered_bytes_hwm", "gauge",
+       ld(c.trace_buffered_bytes_hwm));
+  emit(out, "obs_trace_flushes", "counter", ld(c.trace_flushes));
+
+  emit(out, "obs_sched_parks", "counter", ld(c.sched_parks));
+  emit(out, "obs_sched_wakes", "counter", ld(c.sched_wakes));
+  emit(out, "obs_sched_switches", "counter", ld(c.sched_switches));
+  emit(out, "obs_sched_busy_ns", "counter", ld(c.sched_busy_ns));
+  emit(out, "obs_sched_idle_ns", "counter", ld(c.sched_idle_ns));
+
+  emit(out, "obs_mem_channel_bytes_hwm", "gauge",
+       ld(c.mem_channel_bytes_hwm));
+  emit(out, "obs_mem_stack_bytes_hwm", "gauge", ld(c.mem_stack_bytes_hwm));
+  emit(out, "obs_mem_ranks", "gauge", ld(c.mem_ranks));
+  const std::uint64_t ranks = ld(c.mem_ranks);
+  emit_gauge(out, "obs_mem_bytes_per_rank",
+             ranks == 0 ? 0.0
+                        : static_cast<double>(ld(c.mem_channel_bytes_hwm) +
+                                              ld(c.mem_stack_bytes_hwm)) /
+                              static_cast<double>(ranks));
+  return out;
+}
+
+}  // namespace mpisect::obs

@@ -1,0 +1,17 @@
+// Prometheus text rendering of the obs.* self-observability counters.
+//
+// The serve daemon's {"op":"metrics"} response concatenates the telemetry
+// registry's serve.* dump with this text so one scrape sees the request
+// metrics, the span tracer's health, codec throughput, and the simulator's
+// scheduler/memory gauges.
+#pragma once
+
+#include <string>
+
+namespace mpisect::obs {
+
+/// Render every obs_* counter (and derived GB/s gauges) as Prometheus
+/// exposition text.
+[[nodiscard]] std::string prometheus_text();
+
+}  // namespace mpisect::obs

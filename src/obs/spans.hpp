@@ -1,0 +1,113 @@
+// Wall-clock self-observability: RAII spans over per-thread lock-free rings.
+//
+// Everything else in this repository measures the *simulated* program in
+// virtual time; this subsystem watches the *simulator* in wall-clock time.
+// The two must never mix: a span records steady-clock nanoseconds and is
+// forbidden (by construction — it touches no virtual clock and no scheduler
+// state) from perturbing virtual time. Runs with self-tracing enabled are
+// bit-identical to runs without it.
+//
+// Design:
+//   * Disabled is the common case and costs one relaxed atomic load per
+//     span construction; no ring is touched, no clock is read.
+//   * Each recording thread owns a ring of fixed capacity. The producer is
+//     single-threaded (the owning thread); the exporter snapshots rings
+//     seqlock-style: read head, copy slots, re-read head, discard any
+//     prefix that may have been overwritten meanwhile. Slots are relaxed
+//     atomics so concurrent snapshot reads are TSan-clean.
+//   * Overflow drops the *oldest* spans (the ring keeps the newest
+//     `capacity` entries) and the drop count is exposed — never UB.
+//   * Export formats: chrome://tracing JSON ("*.json") or a flat CSV
+//     (anything else). Activation: enable_self_trace(path) from a CLI
+//     `--self-trace` flag, or the MPISECT_SELF_TRACE environment variable
+//     (applied on library load); an atexit hook flushes the file.
+//
+// Span names must be string literals (or otherwise immortal): rings store
+// the pointer, not a copy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpisect::obs {
+
+/// One completed span, as copied out of a ring by snapshot().
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t t0_ns = 0;   ///< steady-clock start, process-relative
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;     ///< small per-process thread ordinal
+};
+
+/// Steady-clock nanoseconds since the first call in this process.
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+/// True once self-tracing has been enabled (flag or environment). One
+/// relaxed atomic load — the disabled fast path of every span.
+[[nodiscard]] bool self_trace_enabled() noexcept;
+
+/// Turn on span recording. `path` is where the atexit flush writes the
+/// trace ("" records to rings without scheduling a file flush — used by
+/// tests and by callers that export through write_self_trace themselves).
+void enable_self_trace(const std::string& path = "");
+
+/// True when wall-clock *timing* instrumentation should run (scheduler
+/// busy/idle, switch latency). On whenever self-tracing is on; can also be
+/// requested alone (mpisect-top --self) without any span file.
+[[nodiscard]] bool timing_enabled() noexcept;
+void set_timing(bool on) noexcept;
+
+/// Append a completed span to the calling thread's ring (no-op while
+/// disabled). Span() is the intended producer; exposed for tests.
+void record_span(const char* name, std::uint64_t t0_ns,
+                 std::uint64_t dur_ns) noexcept;
+
+/// RAII span: measures construction → destruction when tracing is enabled,
+/// does one relaxed load and nothing else when disabled.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept
+      : name_(name), t0_(self_trace_enabled() ? now_ns() + 1 : 0) {}
+  ~Span() {
+    if (t0_ != 0) record_span(name_, t0_ - 1, now_ns() + 1 - t0_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t t0_;  ///< now_ns()+1 at entry; 0 = disabled, skip recording
+};
+
+/// Copy every ring's surviving spans, oldest first within each thread.
+[[nodiscard]] std::vector<SpanRecord> snapshot_spans();
+
+/// Total spans ever recorded / dropped to overflow, across all threads.
+[[nodiscard]] std::uint64_t spans_recorded() noexcept;
+[[nodiscard]] std::uint64_t spans_dropped() noexcept;
+
+/// Write the current snapshot to `path`: chrome://tracing JSON when the
+/// path ends in ".json", flat CSV otherwise. Returns false (and logs) on
+/// I/O failure.
+bool write_self_trace(const std::string& path);
+
+/// Render helpers (exposed for tests; write_self_trace uses them).
+[[nodiscard]] std::string render_chrome_json(
+    const std::vector<SpanRecord>& spans);
+[[nodiscard]] std::string render_csv(const std::vector<SpanRecord>& spans);
+
+/// Ring capacity for rings created *after* the call (default 8192 spans,
+/// MPISECT_SELF_TRACE_RING overrides). Testing hook.
+void set_ring_capacity(std::size_t spans) noexcept;
+
+/// Drop all recorded spans and per-thread rings (single-threaded callers
+/// only — unit tests between cases).
+void reset_spans_for_test();
+
+/// Force the enabled flag (differential on/off tests; production code has
+/// no reason to turn tracing back off).
+void set_enabled_for_test(bool on) noexcept;
+
+}  // namespace mpisect::obs

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/spans.hpp"
 #include "support/json.hpp"
 
 namespace mpisect::serve {
@@ -143,6 +144,9 @@ void Server::worker_loop(Shard& shard) {
 }
 
 std::string Server::dispatch(const std::string& line) {
+  // Whole-request wall time including the shard queue wait (handle_line's
+  // own span covers just the service work — the difference is queueing).
+  const obs::Span dispatch_span("serve.dispatch");
   const int shard_idx =
       shard_for(trace_path_of(line), static_cast<int>(shards_.size()));
   Shard& shard = *shards_[static_cast<std::size_t>(shard_idx)];

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "codec/mpstz.hpp"
+#include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "support/digest.hpp"
 #include "support/json.hpp"
 #include "support/strings.hpp"
@@ -236,6 +238,7 @@ std::shared_ptr<const LoadedTrace> Service::trace(const std::string& path) {
 }
 
 std::string Service::handle_line(const std::string& line) {
+  const obs::Span request_span("serve.request");
   std::string id = "0";
   try {
     const support::JsonValue req = support::json_parse(line);
@@ -251,6 +254,12 @@ std::string Service::handle_line(const std::string& line) {
     if (op == "stats") {
       return "{\"id\":" + id + ",\"ok\":true,\"result\":\"" +
              support::json_escape(stats_text()) + "\"}";
+    }
+    if (op == "metrics") {
+      // Scrape surface for a long-lived daemon: serve.* request metrics
+      // plus the obs.* self-observability counters in one Prometheus page.
+      return "{\"id\":" + id + ",\"ok\":true,\"result\":\"" +
+             support::json_escape(metrics_text()) + "\"}";
     }
 
     const std::string path = str_field(&req, "trace", "");
@@ -274,11 +283,15 @@ std::string Service::handle_line(const std::string& line) {
       check_keys(params, {"format"});
     } else {
       throw trace::TraceError(
-          "unknown op '" + op + "' (info|replay|sweep|timeline|analyze|stats)");
+          "unknown op '" + op +
+          "' (info|replay|sweep|timeline|analyze|stats|metrics)");
     }
 
     const auto t_start = std::chrono::steady_clock::now();
-    const std::shared_ptr<const LoadedTrace> lt = trace(path);
+    const std::shared_ptr<const LoadedTrace> lt = [&] {
+      const obs::Span load_span("serve.load");
+      return trace(path);
+    }();
 
     std::string result;
     bool cached = false;
@@ -292,7 +305,10 @@ std::string Service::handle_line(const std::string& line) {
         return;
       }
       reg_.inc(id_misses_, 0);
-      result = compute();
+      {
+        const obs::Span compute_span("serve.compute");
+        result = compute();
+      }
       cache_.put(key, result);
     };
 
@@ -355,6 +371,10 @@ std::string Service::handle_line(const std::string& line) {
 
 std::string Service::stats_text() const {
   return telemetry::prometheus_text(reg_);
+}
+
+std::string Service::metrics_text() const {
+  return stats_text() + obs::prometheus_text();
 }
 
 }  // namespace mpisect::serve

@@ -61,6 +61,11 @@ class Service {
   /// Prometheus text dump of the serve.* instruments.
   [[nodiscard]] std::string stats_text() const;
 
+  /// stats_text() plus the process-wide obs.* self-observability counters
+  /// (span tracer health, codec throughput, scheduler/memory gauges) — the
+  /// {"op":"metrics"} scrape surface.
+  [[nodiscard]] std::string metrics_text() const;
+
  private:
   LruCache cache_;
   std::mutex traces_mu_;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "support/log.hpp"
 #include "support/provenance.hpp"
 #include "support/strings.hpp"
 
@@ -75,8 +76,11 @@ bool ArgParser::parse(int argc, const char* const* argv) {
         set_value(positionals_[next_positional++], arg);
         continue;
       }
-      std::fprintf(stderr, "%s: unexpected argument '%s'\n%s",
-                   program_.c_str(), arg.c_str(), usage().c_str());
+      // Diagnostics go through the shared log sink (one format, honors
+      // MPISECT_LOG); the multi-line usage text stays raw on stderr.
+      MPISECT_LOG_ERROR("%s: unexpected argument '%s'", program_.c_str(),
+                        arg.c_str());
+      std::fputs(usage().c_str(), stderr);
       return false;
     }
     arg = arg.substr(2);
@@ -88,14 +92,15 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       has_value = true;
     }
     if (const auto al = aliases_.find(arg); al != aliases_.end()) {
-      std::fprintf(stderr, "%s\n",
-                   deprecation_message(program_, arg, al->second).c_str());
+      MPISECT_LOG_WARN("%s",
+                       deprecation_message(program_, arg, al->second).c_str());
       arg = al->second;
     }
     auto it = options_.find(arg);
     if (it == options_.end()) {
-      std::fprintf(stderr, "%s: unknown option '--%s'\n%s", program_.c_str(),
-                   arg.c_str(), usage().c_str());
+      MPISECT_LOG_ERROR("%s: unknown option '--%s'", program_.c_str(),
+                        arg.c_str());
+      std::fputs(usage().c_str(), stderr);
       return false;
     }
     if (it->second.kind == Kind::Flag) {
@@ -105,8 +110,8 @@ bool ArgParser::parse(int argc, const char* const* argv) {
     }
     if (!has_value) {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s: option '--%s' requires a value\n",
-                     program_.c_str(), arg.c_str());
+        MPISECT_LOG_ERROR("%s: option '--%s' requires a value",
+                          program_.c_str(), arg.c_str());
         return false;
       }
       value = argv[++i];
@@ -114,9 +119,9 @@ bool ArgParser::parse(int argc, const char* const* argv) {
     set_value(arg, value);
   }
   if (next_positional < positionals_.size()) {
-    std::fprintf(stderr, "%s: missing required argument <%s>\n%s",
-                 program_.c_str(), positionals_[next_positional].c_str(),
-                 usage().c_str());
+    MPISECT_LOG_ERROR("%s: missing required argument <%s>", program_.c_str(),
+                      positionals_[next_positional].c_str());
+    std::fputs(usage().c_str(), stderr);
     return false;
   }
   return true;
@@ -194,6 +199,9 @@ void add_unified_flags(ArgParser& args, const std::string& model_default,
   args.add_alias("format", "export");
   args.add_flag("json", "shorthand for --export json");
   args.add_int("seed", seed_default, "world seed");
+  args.add_string("self-trace", "",
+                  "wall-clock self-trace of the simulator itself "
+                  "(.json = chrome://tracing, else CSV)");
 }
 
 std::string unified_export(const ArgParser& args) {

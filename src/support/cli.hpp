@@ -83,7 +83,9 @@ class ArgParser {
 
 /// Register the flag vocabulary every mpisect-* tool shares: `--model`
 /// (+ deprecated `--machine`), `--export` (+ deprecated `--format`),
-/// `--json` and `--seed`. `--version` is built into parse().
+/// `--json`, `--seed` and `--self-trace` (tools pass its value to
+/// obs::enable_self_trace; MPISECT_SELF_TRACE is the env equivalent).
+/// `--version` is built into parse().
 void add_unified_flags(ArgParser& args, const std::string& model_default,
                        const std::string& export_default,
                        long long seed_default);

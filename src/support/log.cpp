@@ -69,6 +69,11 @@ void set_log_capture(std::string* sink) noexcept {
 }
 
 void logf(LogLevel level, const char* fmt, ...) {
+  // Apply MPISECT_LOG before the first filter decision: logf can be the
+  // first entry into the sink (e.g. a CLI parse warning), and the env
+  // contract is "governs every subsystem", not "governs after someone
+  // happened to read the level".
+  ensure_env_applied();
   if (level < g_level.load(std::memory_order_relaxed)) return;
   char buf[1024];
   va_list ap;

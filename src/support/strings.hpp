@@ -12,6 +12,8 @@ namespace mpisect::support {
 [[nodiscard]] std::string to_lower(std::string_view s);
 [[nodiscard]] bool starts_with(std::string_view s,
                                std::string_view prefix) noexcept;
+[[nodiscard]] bool ends_with(std::string_view s,
+                             std::string_view suffix) noexcept;
 
 /// printf-like float formatting with fixed precision.
 [[nodiscard]] std::string fmt_double(double v, int precision = 2);

@@ -235,6 +235,33 @@ std::string prometheus_text(const Registry& reg,
     out += "# TYPE mpisect_sched_max_ready gauge\n";
     out += fmt("mpisect_sched_max_ready %" PRIu64 "\n",
                sched->max_ready.load(std::memory_order_relaxed));
+    const std::uint64_t depth_samples =
+        sched->ready_depth_samples.load(std::memory_order_relaxed);
+    out += "# TYPE mpisect_sched_ready_depth_mean gauge\n";
+    out += fmt("mpisect_sched_ready_depth_mean %.3f\n",
+               depth_samples == 0
+                   ? 0.0
+                   : static_cast<double>(sched->ready_depth_sum.load(
+                         std::memory_order_relaxed)) /
+                         static_cast<double>(depth_samples));
+    const std::uint64_t lat_samples =
+        sched->switch_latency_samples.load(std::memory_order_relaxed);
+    out += "# TYPE mpisect_sched_switch_latency_mean_ns gauge\n";
+    out += fmt("mpisect_sched_switch_latency_mean_ns %.1f\n",
+               lat_samples == 0
+                   ? 0.0
+                   : static_cast<double>(sched->switch_latency_ns.load(
+                         std::memory_order_relaxed)) /
+                         static_cast<double>(lat_samples));
+    out += "# TYPE mpisect_sched_busy_ns counter\n";
+    out += fmt("mpisect_sched_busy_ns %" PRIu64 "\n",
+               sched->busy_ns.load(std::memory_order_relaxed));
+    out += "# TYPE mpisect_sched_idle_ns counter\n";
+    out += fmt("mpisect_sched_idle_ns %" PRIu64 "\n",
+               sched->idle_ns.load(std::memory_order_relaxed));
+    out += "# TYPE mpisect_sched_stack_bytes gauge\n";
+    out += fmt("mpisect_sched_stack_bytes %" PRIu64 "\n",
+               sched->stack_bytes.load(std::memory_order_relaxed));
   }
   return out;
 }

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <iterator>
 
+#include "obs/counters.hpp"
+#include "obs/spans.hpp"
 #include "trace/event_wire.hpp"
 
 namespace mpisect::trace {
@@ -249,6 +251,7 @@ Event decode_event(ByteReader& r, std::uint64_t& prev_op,
 }
 
 std::vector<std::uint8_t> TraceFile::encode() const {
+  const obs::Span obs_span("trace.encode");
   ByteWriter w;
   w.u32le(kTraceMagic);
   w.u32le(kTraceVersion);
@@ -282,7 +285,13 @@ std::vector<std::uint8_t> TraceFile::encode() const {
       w.f64(t.inclusive);
     }
   }
-  return w.take();
+  std::vector<std::uint8_t> bytes = w.take();
+  // Writer accounting: the whole encode buffers in RAM before any flush
+  // (ROADMAP wants streaming writes; this high-water mark is the evidence).
+  auto& oc = obs::counters();
+  oc.trace_encoded_bytes.fetch_add(bytes.size(), std::memory_order_relaxed);
+  obs::update_max(oc.trace_buffered_bytes_hwm, bytes.size());
+  return bytes;
 }
 
 TraceFile TraceFile::decode(std::span<const std::uint8_t> data) {
@@ -363,7 +372,9 @@ TraceFile TraceFile::decode(std::span<const std::uint8_t> data) {
 }
 
 void TraceFile::save(const std::string& path) const {
+  const obs::Span obs_span("trace.save");
   const auto bytes = encode();
+  obs::counters().trace_flushes.fetch_add(1, std::memory_order_relaxed);
   std::ofstream out(path, std::ios::binary);
   if (!out) throw TraceError("cannot open " + path + " for writing");
   out.write(reinterpret_cast<const char*>(bytes.data()),

@@ -37,6 +37,7 @@
 #include "core/sections/api.hpp"
 #include "core/sections/runtime.hpp"
 #include "mpisim/message.hpp"
+#include "obs/spans.hpp"
 #include "serve/queries.hpp"
 #include "support/cli.hpp"
 #include "telemetry/export.hpp"
@@ -229,6 +230,9 @@ int run(int argc, char** argv) {
   args.add_string("telemetry", "",
                   "write analysis counters as Prometheus text to this file");
   if (!args.parse(argc, argv)) return 1;
+  if (const auto& st = args.get_string("self-trace"); !st.empty()) {
+    obs::enable_self_trace(st);
+  }
 
   const std::string format = support::unified_export(args);
   if (format != "text" && format != "csv" && format != "json") {

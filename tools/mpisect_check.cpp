@@ -30,6 +30,7 @@
 #include "core/sections/api.hpp"
 #include "core/sections/runtime.hpp"
 #include "mpisim/faults/injector.hpp"
+#include "obs/spans.hpp"
 #include "support/cli.hpp"
 
 namespace {
@@ -123,6 +124,9 @@ int run(int argc, char** argv) {
                   "('' = none)");
   args.add_string("out", "", "output file ('' = stdout)");
   if (!args.parse(argc, argv)) return 1;
+  if (const auto& st = args.get_string("self-trace"); !st.empty()) {
+    obs::enable_self_trace(st);
+  }
 
   const std::string scenario = args.get_string("scenario");
   const std::string format = support::unified_export(args);

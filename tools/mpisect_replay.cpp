@@ -34,6 +34,7 @@
 #include "apps/lulesh/lulesh.hpp"
 #include "codec/mpstz.hpp"
 #include "core/sections/runtime.hpp"
+#include "obs/spans.hpp"
 #include "serve/queries.hpp"
 #include "support/cli.hpp"
 #include "support/digest.hpp"
@@ -139,6 +140,21 @@ serve::ModelParams model_params(const support::ArgParser& args) {
   return p;
 }
 
+/// Shared tail of every subcommand's arg setup: register the unified
+/// --self-trace flag, parse, and arm the span tracer when requested
+/// (MPISECT_SELF_TRACE is the env equivalent).
+bool parse_with_self_trace(support::ArgParser& args, int argc,
+                           const char* const* argv) {
+  args.add_string("self-trace", "",
+                  "wall-clock self-trace of the simulator itself "
+                  "(.json = chrome://tracing, else CSV)");
+  if (!args.parse(argc, argv)) return false;
+  if (const auto& p = args.get_string("self-trace"); !p.empty()) {
+    obs::enable_self_trace(p);
+  }
+  return true;
+}
+
 int cmd_record(int argc, const char* const* argv) {
   support::ArgParser args("mpisect-replay record",
                           "Run an instrumented app and capture a .mpst trace");
@@ -159,7 +175,7 @@ int cmd_record(int argc, const char* const* argv) {
   args.add_double("telemetry-dt", 0.0,
                   "telemetry sampling interval to stamp into the trace "
                   "header (0 = none); consumed by the timeline subcommand");
-  if (!args.parse(argc, argv)) return 1;
+  if (!parse_with_self_trace(args, argc, argv)) return 1;
 
   const std::string app_name = args.get_string("app");
   const int ranks = static_cast<int>(args.get_int("ranks"));
@@ -240,7 +256,7 @@ int cmd_replay(int argc, const char* const* argv) {
                 "same-model integrity check against the recorded footer");
   args.add_double("tseq", 0.0,
                   "sequential reference time: emit Eq. 6 partial bounds");
-  if (!args.parse(argc, argv)) return 1;
+  if (!parse_with_self_trace(args, argc, argv)) return 1;
 
   const trace::TraceFile tf = codec::load_trace(args.get_string("trace"));
   if (args.get_flag("verify")) {
@@ -275,7 +291,7 @@ int cmd_timeline(int argc, const char* const* argv) {
   args.add_alias("format", "export");
   args.add_flag("json", "shorthand for --export json");
   args.add_string("out", "", "output file ('' = stdout)");
-  if (!args.parse(argc, argv)) return 1;
+  if (!parse_with_self_trace(args, argc, argv)) return 1;
 
   const trace::TraceFile tf = codec::load_trace(args.get_string("trace"));
   serve::TimelineQuery q;
@@ -294,7 +310,7 @@ int cmd_info(int argc, const char* const* argv) {
   args.add_flag("digest",
                 "print only the stable content digest (identical for .mpst "
                 "and .mpstz encodings of the same trace)");
-  if (!args.parse(argc, argv)) return 1;
+  if (!parse_with_self_trace(args, argc, argv)) return 1;
 
   const trace::TraceFile tf = codec::load_trace(args.get_string("trace"));
   if (args.get_flag("digest")) {
@@ -329,7 +345,7 @@ int cmd_sweep(int argc, const char* const* argv) {
                "seed for the fault draws (0 = the trace header's seed)");
   args.add_double("tseq", 0.0, "sequential reference time for Eq. 6 bounds");
   args.add_string("out", "", "output CSV ('' = stdout)");
-  if (!args.parse(argc, argv)) return 1;
+  if (!parse_with_self_trace(args, argc, argv)) return 1;
 
   const trace::TraceFile tf = codec::load_trace(args.get_string("trace"));
   serve::SweepQuery q;
@@ -350,7 +366,7 @@ int cmd_compress(int argc, const char* const* argv) {
   args.add_string("in", "trace.mpst", "input trace (.mpst | .mpstz)");
   args.add_string("out", "trace.mpstz", "output .mpstz container");
   args.add_int("chunk-events", 16384, "events per chunk (seek granularity)");
-  if (!args.parse(argc, argv)) return 1;
+  if (!parse_with_self_trace(args, argc, argv)) return 1;
 
   const trace::TraceFile tf = codec::load_trace(args.get_string("in"));
   codec::CompressOptions opts;
@@ -374,7 +390,7 @@ int cmd_decompress(int argc, const char* const* argv) {
                           "Expand a .mpstz container back to flat .mpst");
   args.add_string("in", "trace.mpstz", "input .mpstz container");
   args.add_string("out", "trace.mpst", "output .mpst trace");
-  if (!args.parse(argc, argv)) return 1;
+  if (!parse_with_self_trace(args, argc, argv)) return 1;
 
   const trace::TraceFile tf = codec::load_trace(args.get_string("in"));
   tf.save(args.get_string("out"));

@@ -23,6 +23,7 @@
 #include "profiler/report.hpp"
 #include "profiler/section_profiler.hpp"
 #include "profiler/tree.hpp"
+#include "obs/spans.hpp"
 #include "support/cli.hpp"
 #include "support/strings.hpp"
 
@@ -72,6 +73,9 @@ int main(int argc, char** argv) {
   args.add_string("out", "", "output file ('' = stdout)");
   args.add_flag("validate", "enable section validation mode");
   if (!args.parse(argc, argv)) return 1;
+  if (const auto& st = args.get_string("self-trace"); !st.empty()) {
+    obs::enable_self_trace(st);
+  }
 
   const std::string app_name = args.get_string("app");
   const std::string format = support::unified_export(args);

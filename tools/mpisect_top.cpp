@@ -34,6 +34,8 @@
 #include "core/sections/runtime.hpp"
 #include "core/speedup/partial_bound.hpp"
 #include "mpisim/faults/injector.hpp"
+#include "obs/memory.hpp"
+#include "obs/spans.hpp"
 #include "support/cli.hpp"
 #include "support/strings.hpp"
 #include "telemetry/export.hpp"
@@ -159,6 +161,64 @@ std::string counters_footer(const telemetry::Registry& reg,
   return out + "\n";
 }
 
+/// The --self pane: how the *simulator* is doing, next to how the
+/// simulated app is doing. Scheduler wall-time split and park/wake rates
+/// come from ExecStats (busy/idle need obs::set_timing — armed in main
+/// when --self is passed); bytes/rank from the channel/stack accountant;
+/// progress.* from the sampler registry (PR 8 counters, otherwise only
+/// visible via --export prom).
+std::string self_pane(const mpisim::ExecStats& st, const obs::MemAccount& mem,
+                      const telemetry::Registry& reg) {
+  const auto u64 = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  std::string out = "\nsimulator:\n";
+  const double busy_s = static_cast<double>(u64(st.busy_ns)) * 1e-9;
+  const double idle_s = static_cast<double>(u64(st.idle_ns)) * 1e-9;
+  const double wall = busy_s + idle_s;
+  out += "  workers busy=" + support::fmt_seconds(busy_s) +
+         " idle=" + support::fmt_seconds(idle_s);
+  if (wall > 0.0) {
+    out += " (" + support::fmt_double(busy_s / wall * 100.0, 1) + "% busy)";
+  }
+  out += "\n  parks=" + std::to_string(u64(st.parks)) +
+         " wakes=" + std::to_string(u64(st.wakes)) +
+         " switches=" + std::to_string(u64(st.switches));
+  if (const auto n = u64(st.switch_latency_samples); n > 0) {
+    out += " wake-to-resume=" +
+           support::fmt_double(
+               static_cast<double>(u64(st.switch_latency_ns)) /
+                   static_cast<double>(n) * 1e-3,
+               1) +
+           "us";
+  }
+  if (const auto n = u64(st.ready_depth_samples); n > 0) {
+    out += " ready-depth=" +
+           support::fmt_double(static_cast<double>(u64(st.ready_depth_sum)) /
+                                   static_cast<double>(n),
+                               1);
+  }
+  out += "\n  mem channels=" +
+         support::fmt_bytes(static_cast<double>(mem.total_hwm())) + " hwm (" +
+         support::fmt_bytes(mem.bytes_per_rank()) + "/rank, peak rank " +
+         support::fmt_bytes(static_cast<double>(mem.peak_rank_hwm())) +
+         ")  stacks=" +
+         support::fmt_bytes(static_cast<double>(u64(st.stack_bytes))) + "\n";
+  std::string prog;
+  for (const char* name :
+       {"progress.nbc_posted", "progress.nbc_completed",
+        "progress.test_calls"}) {
+    if (const auto id = reg.find(name)) {
+      if (!prog.empty()) prog += " ";
+      const char* short_name = name + sizeof("progress.") - 1;
+      prog += std::string(short_name) + "=" +
+              support::fmt_double(reg.total(*id), 0);
+    }
+  }
+  if (!prog.empty()) out += "  progress " + prog + "\n";
+  return out;
+}
+
 bool emit(const std::string& text, const std::string& out_path,
           const char* what) {
   if (out_path.empty()) {
@@ -210,12 +270,22 @@ int main(int argc, char** argv) {
   args.add_int("top", 10, "sections shown");
   args.add_int("refresh-ms", 250, "live refresh period");
   args.add_flag("no-live", "skip live rendering (CI/batch)");
+  args.add_flag("self",
+                "show a simulator self-observability pane (worker busy/idle, "
+                "park/wake, bytes/rank, progress counters)");
   args.add_string("post", "", "render a saved timeline CSV instead of running");
   args.add_string("faults", "",
                   "fault plan spec, e.g. 'drop:p=0.05; stall:rank=0,at=0.01,"
                   "for=0.1' ('' = none)");
   args.add_string("out", "", "output file for --export ('' = stdout)");
   if (!args.parse(argc, argv)) return 1;
+  if (const auto& st = args.get_string("self-trace"); !st.empty()) {
+    obs::enable_self_trace(st);
+  }
+  const bool self_pane_on = args.get_flag("self");
+  // busy/idle and wake-to-resume latency cost clock reads the scheduler
+  // only pays when asked; virtual time is unaffected either way.
+  if (self_pane_on) obs::set_timing(true);
 
   RenderOptions ro;
   ro.top = static_cast<int>(args.get_int("top"));
@@ -305,6 +375,10 @@ int main(int argc, char** argv) {
       live_ro.status = "[running]";
       std::string frame = render(tl, live_ro);
       frame += counters_footer(sampler->registry(), sampler->instruments());
+      if (self_pane_on) {
+        frame += self_pane(world.executor().stats(), world.mem_account(),
+                           sampler->registry());
+      }
       std::fputs(frame.c_str(), stdout);
       std::fflush(stdout);
     }
@@ -342,6 +416,10 @@ int main(int argc, char** argv) {
     ro.status = "[done]";
     std::string out = render(tl, ro);
     out += counters_footer(sampler->registry(), sampler->instruments());
+    if (self_pane_on) {
+      out += self_pane(world.executor().stats(), world.mem_account(),
+                       sampler->registry());
+    }
     if (injector) {
       out += "faults: " + injector->summary() + "\n";
     }
