@@ -14,6 +14,7 @@
 #include "common.hpp"
 #include "core/speedup/adaptive.hpp"
 #include "mpisim/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "profiler/section_profiler.hpp"
 #include "support/cli.hpp"
 #include "support/strings.hpp"
@@ -28,7 +29,9 @@ RunPoint run_restrained(int base_threads, int nodal_threads,
                         int element_threads, int s, int steps) {
   mpisim::WorldOptions opts;
   opts.machine = mpisim::MachineModel::knl();
-  mpisim::World world(1, opts);
+  const auto world_ptr =
+      mpisim::Session(1, opts).world_builder().build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   profiler::SectionProfiler prof(world);
   apps::lulesh::LuleshConfig cfg;

@@ -14,6 +14,7 @@
 #include "core/sections/api.hpp"
 #include "common.hpp"
 #include "core/sections/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "profiler/section_profiler.hpp"
 #include "support/cli.hpp"
 #include "support/strings.hpp"
@@ -34,7 +35,9 @@ Point run_with(mpisim::CollAlgo algo, int p, int rounds) {
   opts.machine = mpisim::MachineModel::nehalem_cluster();
   opts.scatter_algo = algo;
   opts.gather_algo = algo;
-  mpisim::World world(p, opts);
+  const auto world_ptr =
+      mpisim::Session(p, opts).world_builder().build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   profiler::SectionProfiler prof(world);
   // Equal chunks matching the paper image split: 5616*3744*3*8 bytes / p.

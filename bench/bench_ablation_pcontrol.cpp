@@ -12,6 +12,7 @@
 #include "apps/convolution/convolution.hpp"
 #include "common.hpp"
 #include "core/sections/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "profiler/pcontrol.hpp"
 #include "profiler/section_profiler.hpp"
 #include "support/cli.hpp"
@@ -38,7 +39,9 @@ int main(int argc, char** argv) {
 
   mpisim::WorldOptions opts;
   opts.machine = mpisim::MachineModel::nehalem_cluster();
-  mpisim::World world(p, opts);
+  const auto world_ptr =
+      mpisim::Session(p, opts).world_builder().build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   profiler::SectionProfiler prof(world, {.keep_instances = true});
   profiler::PcontrolPhases phases(world);

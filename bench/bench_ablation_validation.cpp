@@ -12,6 +12,7 @@
 #include "apps/lulesh/lulesh.hpp"
 #include "common.hpp"
 #include "core/sections/api.hpp"
+#include "mpisim/session.hpp"
 #include "support/cli.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -42,7 +43,9 @@ int main(int argc, char** argv) {
     mpisim::WorldOptions opts;
     opts.machine = mpisim::MachineModel::ideal(p, 1);
     opts.validate_sections = validate;
-    mpisim::World world(p, opts);
+    const auto world_ptr =
+        mpisim::Session(p, opts).world_builder().build();
+    mpisim::World& world = *world_ptr;
     auto rt = sections::SectionRuntime::install(world);
     apps::lulesh::LuleshConfig cfg;
     cfg.s = 6;
@@ -66,7 +69,9 @@ int main(int argc, char** argv) {
     mpisim::WorldOptions opts;
     opts.machine = mpisim::MachineModel::ideal(4, 1);
     opts.validate_sections = true;
-    mpisim::World world(4, opts);
+    const auto world_ptr2 =
+        mpisim::Session(4, opts).world_builder().build();
+    mpisim::World& world = *world_ptr2;
     auto rt = sections::SectionRuntime::install(world);
     world.run([](mpisim::Ctx& ctx) {
       mpisim::Comm comm = ctx.world_comm();

@@ -17,6 +17,7 @@
 #include "codec/mpstz.hpp"
 #include "common.hpp"
 #include "core/sections/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "support/cli.hpp"
 #include "trace/recorder.hpp"
 
@@ -34,7 +35,9 @@ trace::TraceFile record_convolution(int ranks, int steps) {
   mpisim::WorldOptions opts;
   opts.machine = mpisim::MachineModel::nehalem_cluster();
   opts.seed = 0x5EED;
-  mpisim::World world(ranks, opts);
+  const auto world_ptr =
+      mpisim::Session(ranks, opts).world_builder().build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   auto rec = trace::TraceRecorder::install(world, {.app = "bench-codec-conv"});
   apps::conv::ConvolutionConfig cfg;
@@ -49,7 +52,9 @@ trace::TraceFile record_lulesh(int ranks, int steps) {
   mpisim::WorldOptions opts;
   opts.machine = mpisim::MachineModel::knl();
   opts.seed = 0x5EED;
-  mpisim::World world(ranks, opts);
+  const auto world_ptr2 =
+      mpisim::Session(ranks, opts).world_builder().build();
+  mpisim::World& world = *world_ptr2;
   sections::SectionRuntime::install(world);
   auto rec =
       trace::TraceRecorder::install(world, {.app = "bench-codec-lulesh"});

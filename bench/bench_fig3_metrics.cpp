@@ -6,6 +6,7 @@
 
 #include "common.hpp"
 #include "core/sections/api.hpp"
+#include "mpisim/session.hpp"
 #include "profiler/section_profiler.hpp"
 #include "support/cli.hpp"
 #include "support/strings.hpp"
@@ -35,7 +36,9 @@ int main(int argc, char** argv) {
   mpisim::WorldOptions opts;
   opts.machine = mpisim::MachineModel::ideal();
   opts.machine.compute_noise_sigma = 0.0;
-  mpisim::World world(p, opts);
+  const auto world_ptr =
+      mpisim::Session(p, opts).world_builder().build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   profiler::SectionProfiler prof(world, {.keep_instances = true});
 

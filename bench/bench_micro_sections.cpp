@@ -10,6 +10,7 @@
 #include "core/sections/api.hpp"
 #include "core/sections/metrics.hpp"
 #include "mpisim/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "profiler/section_profiler.hpp"
 
 namespace {
@@ -32,7 +33,9 @@ WorldOptions ideal_options() {
 template <typename Body>
 void run_on_world(benchmark::State& state, int nranks, bool with_tool,
                   Body&& body) {
-  World world(nranks, ideal_options());
+  const auto world_ptr =
+      mpisim::Session(nranks, ideal_options()).world_builder().build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   std::unique_ptr<profiler::SectionProfiler> prof;
   if (with_tool) {
@@ -89,7 +92,9 @@ void BM_EagerSendRecvSelfWorld(benchmark::State& state) {
   // Two-rank world: rank 0 ping-pongs with rank 1; we time rank 0's loop
   // (each iteration is one round trip of `bytes`).
   const auto bytes = static_cast<std::size_t>(state.range(0));
-  World world(2, ideal_options());
+  const auto world_ptr2 =
+      mpisim::Session(2, ideal_options()).world_builder().build();
+  mpisim::World& world = *world_ptr2;
   std::vector<std::byte> buf(std::max<std::size_t>(bytes, 1));
   world.run([&](Ctx& ctx) {
     Comm comm = ctx.world_comm();
@@ -121,7 +126,9 @@ void BM_Barrier8Ranks(benchmark::State& state) {
   // Fixed iteration budget so the non-timed ranks can mirror rank 0's
   // barrier count exactly.
   constexpr int kIters = 1 << 12;
-  World world(8, ideal_options());
+  const auto world_ptr3 =
+      mpisim::Session(8, ideal_options()).world_builder().build();
+  mpisim::World& world = *world_ptr3;
   world.run([&](Ctx& ctx) {
     Comm comm = ctx.world_comm();
     if (ctx.rank() == 0) {

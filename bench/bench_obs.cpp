@@ -9,9 +9,19 @@
 //     Emits BENCH_obs.json.
 //   * scale: how many simulated ranks the scheduler hosts per wall-clock
 //     second, and the exact channel bytes/rank high-water mark, as p grows
-//     64 -> 4096 (strong scaling: fixed 4096-row grid split ever thinner).
+//     64 -> 4096 and beyond (strong scaling: the grid is 256 x max(4096,p)
+//     rows so the row decomposition stays valid up to 65,536 ranks).
 //     Emits BENCH_scale.json; CI floors the p=256 ranks/s against a
 //     committed baseline.
+//   * init: Session/WorldBuilder construction time vs the deprecated eager
+//     World(nranks, options) constructor, 1k -> 65k ranks. Lazy
+//     construction is O(1) per unstarted rank; the curve proves it.
+//   * matching: hashed vs legacy engine on the adversarial funnel (rank 0
+//     posts p-1 descending-source receives, every other rank sends one
+//     message), where the legacy scan is O(p^2). Virtual times must be
+//     bit-identical between engines; at p >= 16384 the hashed engine must
+//     be >= 2x faster (enforced unless --no-enforce).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <ctime>
@@ -22,6 +32,7 @@
 #include "apps/convolution/convolution.hpp"
 #include "common.hpp"
 #include "core/sections/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "obs/counters.hpp"
 #include "obs/memory.hpp"
 #include "obs/spans.hpp"
@@ -55,7 +66,9 @@ Measurement run_once(int nranks, const Workload& w, std::uint64_t seed,
   mpisim::WorldOptions opts;
   opts.machine = mpisim::MachineModel::nehalem_cluster();
   opts.seed = seed;
-  mpisim::World world(nranks, opts);
+  const auto world_ptr =
+      mpisim::Session(nranks, opts).world_builder().build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   apps::conv::ConvolutionConfig cfg;
   cfg.width = w.width;
@@ -104,6 +117,78 @@ double overhead_pct(const Measurement& off, const Measurement& on) {
   return off.cpu_s > 0.0 ? (on.cpu_s - off.cpu_s) / off.cpu_s * 100.0 : 0.0;
 }
 
+double now_wall_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Adversarial matching funnel: rank 0 posts p-1 explicit-source receives
+/// in DESCENDING source order, then every other rank sends one eager
+/// message. Deposits arrive in ascending source order (cooperative
+/// scheduling), so the legacy engine scans past every not-yet-matched
+/// posted receive on each deposit — Theta(p^2) compares — while the hashed
+/// engine finds the (src,tag) lane head in O(1).
+void funnel_body(mpisim::Ctx& ctx) {
+  mpisim::Comm world = ctx.world_comm();
+  const int p = world.size();
+  static const char payload[8] = {};
+  if (world.rank() == 0) {
+    std::vector<char> bufs(static_cast<std::size_t>(p - 1) * 8);
+    std::vector<mpisim::Comm::Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(p - 1));
+    for (int src = p - 1; src >= 1; --src) {
+      reqs.push_back(
+          world.irecv(&bufs[static_cast<std::size_t>(src - 1) * 8], 8, src,
+                      /*tag=*/7));
+    }
+    mpisim::waitall(reqs);
+  } else {
+    world.send(payload, sizeof payload, 0, /*tag=*/7);
+  }
+}
+
+struct FunnelResult {
+  double wall_s = 0.0;
+  std::vector<double> final_times;
+};
+
+FunnelResult funnel_once(int p, const std::string& match) {
+  const auto world_ptr = mpisim::Session(p)
+                             .world_builder()
+                             .machine(mpisim::MachineModel::nehalem_cluster())
+                             .seed(0xC0FFEE)
+                             .match_spec(match)
+                             .build();
+  mpisim::World& world = *world_ptr;
+  FunnelResult r;
+  const double t0 = now_wall_s();
+  world.run(funnel_body);
+  r.wall_s = now_wall_s() - t0;
+  r.final_times = world.final_times();
+  return r;
+}
+
+/// Construction-only timings (no run): the Sessions-style lazy path vs the
+/// deprecated eager constructor, same options.
+double init_lazy_s(int p) {
+  const double t0 = now_wall_s();
+  const auto world_ptr =
+      mpisim::Session(p)
+          .world_builder()
+          .machine(mpisim::MachineModel::nehalem_cluster())
+          .build();
+  return now_wall_s() - t0;
+}
+
+double init_eager_s(int p) {
+  mpisim::WorldOptions opts;
+  opts.machine = mpisim::MachineModel::nehalem_cluster();
+  const double t0 = now_wall_s();
+  mpisim::World world(p, opts);
+  return now_wall_s() - t0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -119,8 +204,14 @@ int main(int argc, char** argv) {
   args.add_int("full-size", 768, "full-fidelity image edge (square)");
   args.add_int("reps", 3, "repetitions (best CPU time is reported)");
   args.add_string("scale-ranks", "64,256,1024,4096",
-                  "comma list of rank counts for the scaling curve");
+                  "comma list of rank counts for the scaling curve "
+                  "(up to 65536)");
   args.add_int("scale-steps", 10, "time-steps per scaling point");
+  args.add_string("init-ranks", "1024,4096,16384,65536",
+                  "comma list of rank counts for the Session-init curve");
+  args.add_int("funnel-ranks", 16384,
+               "rank count for the hashed-vs-legacy matching funnel "
+               "(0 = skip)");
   args.add_flag("quick", "reduced run for smoke testing");
   args.add_flag("no-enforce",
                 "report the overhead bar without failing on it "
@@ -142,6 +233,12 @@ int main(int argc, char** argv) {
     const int p = std::atoi(tok.c_str());
     if (p > 0) scale_ranks.push_back(p);
   }
+  std::vector<int> init_ranks;
+  for (const auto& tok : support::split(args.get_string("init-ranks"), ',')) {
+    const int p = std::atoi(tok.c_str());
+    if (p > 0) init_ranks.push_back(p);
+  }
+  int funnel_ranks = static_cast<int>(args.get_int("funnel-ranks"));
   if (args.get_flag("quick")) {
     modeled.steps = 20;
     full.steps = 4;
@@ -149,6 +246,8 @@ int main(int argc, char** argv) {
     reps = 1;
     scale_steps = 2;
     scale_ranks = {64, 256};
+    init_ranks = {1024, 4096};
+    funnel_ranks = std::min(funnel_ranks, 1024);
   }
   const std::uint64_t seed = 0xC0FFEE;
 
@@ -209,13 +308,13 @@ int main(int argc, char** argv) {
   // One fixed 4096-row grid split across ever more ranks (strong scaling;
   // RowDecomposition requires nranks <= height). Tracing stays on: the
   // curve is the cost of the observed simulator, the thing CI floors.
-  std::printf("\nscaling (256x4096 grid, %d steps, tracing on):\n",
+  std::printf("\nscaling (256 x max(4096,p) grid, %d steps, tracing on):\n",
               scale_steps);
   std::printf("  %6s %12s %14s %12s\n", "p", "wall ms", "ranks/s",
               "bytes/rank");
   BenchJson scale_json("nehalem-cluster", seed);
   for (const int p : scale_ranks) {
-    const Workload w{256, 4096, scale_steps, false};
+    const Workload w{256, std::max(4096, p), scale_steps, false};
     const Measurement m = run_once(p, w, seed, /*traced=*/true);
     const double ranks_per_s =
         m.wall_s > 0.0 ? static_cast<double>(p) / m.wall_s : 0.0;
@@ -228,8 +327,68 @@ int main(int argc, char** argv) {
                     {"virtual_makespan_s", m.virtual_s},
                     {"spans", static_cast<double>(m.spans)}});
   }
+
+  // ---- Session init: lazy WorldBuilder vs deprecated eager ctor ----------
+  std::printf("\nworld construction (no run — ctor cost only):\n");
+  std::printf("  %6s %14s %14s %8s\n", "p", "lazy ms", "eager ms", "ratio");
+  for (const int p : init_ranks) {
+    const double lazy_s = init_lazy_s(p);
+    const double eager_s = init_eager_s(p);
+    const double ratio = lazy_s > 0.0 ? eager_s / lazy_s : 0.0;
+    std::printf("  %6d %14.3f %14.3f %7.1fx\n", p, lazy_s * 1e3,
+                eager_s * 1e3, ratio);
+    scale_json.add("obs/init/p:" + std::to_string(p), lazy_s,
+                   {{"ranks", static_cast<double>(p)},
+                    {"init_lazy_s", lazy_s},
+                    {"init_eager_s", eager_s},
+                    {"eager_over_lazy", ratio}});
+  }
+
+  // ---- matching engines: hashed vs legacy on the O(p^2) funnel -----------
+  bool match_ok = true;
+  if (funnel_ranks > 1) {
+    const FunnelResult hashed = funnel_once(funnel_ranks, "hashed");
+    const FunnelResult legacy = funnel_once(funnel_ranks, "legacy");
+    if (hashed.final_times != legacy.final_times) {
+      std::fprintf(stderr,
+                   "FAIL: hashed and legacy matching disagree on virtual "
+                   "time at p=%d\n",
+                   funnel_ranks);
+      return 1;
+    }
+    const double speedup =
+        hashed.wall_s > 0.0 ? legacy.wall_s / hashed.wall_s : 0.0;
+    const double hashed_rps =
+        hashed.wall_s > 0.0 ? funnel_ranks / hashed.wall_s : 0.0;
+    const double legacy_rps =
+        legacy.wall_s > 0.0 ? funnel_ranks / legacy.wall_s : 0.0;
+    std::printf("\nmatching funnel (p=%d, %d descending-source receives):\n",
+                funnel_ranks, funnel_ranks - 1);
+    std::printf("  hashed: %9.3f ms (%12.0f ranks/s)\n", hashed.wall_s * 1e3,
+                hashed_rps);
+    std::printf("  legacy: %9.3f ms (%12.0f ranks/s)\n", legacy.wall_s * 1e3,
+                legacy_rps);
+    match_ok = funnel_ranks < 16384 || speedup >= 2.0;
+    std::printf("  hashed speedup: %.1fx%s  %s\n", speedup,
+                funnel_ranks >= 16384 ? " (target >= 2x)" : "",
+                match_ok ? "PASS" : "BELOW TARGET");
+    std::printf("  virtual times bit-identical across engines\n");
+    scale_json.add("obs/funnel/p:" + std::to_string(funnel_ranks),
+                   hashed.wall_s,
+                   {{"ranks", static_cast<double>(funnel_ranks)},
+                    {"legacy_time_s", legacy.wall_s},
+                    {"hashed_ranks_per_s", hashed_rps},
+                    {"legacy_ranks_per_s", legacy_rps},
+                    {"hashed_speedup", speedup}});
+  }
   if (!scale_json.write(args.get_string("scale_out"))) return 1;
 
+  if (!match_ok && !args.get_flag("no-enforce")) {
+    std::fprintf(stderr,
+                 "FAIL: hashed matching below the 2x funnel bar at p=%d\n",
+                 funnel_ranks);
+    return 1;
+  }
   if (!bar_ok && !args.get_flag("no-enforce")) {
     std::fprintf(stderr,
                  "FAIL: self-trace overhead %.2f%% exceeds the 2%% bar\n",

@@ -26,6 +26,7 @@
 #include "mpisim/comm.hpp"
 #include "mpisim/progress.hpp"
 #include "mpisim/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "support/cli.hpp"
 
 namespace {
@@ -47,7 +48,9 @@ mpisim::WorldOptions options_for(const std::string& spec,
 std::vector<double> convolution_finals(const mpisim::WorldOptions& opts,
                                        int nranks, int steps,
                                        double* wall_s) {
-  mpisim::World world(nranks, opts);
+  const auto world_ptr =
+      mpisim::Session(nranks, opts).world_builder().build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   apps::conv::ConvolutionConfig cfg;
   cfg.steps = steps;
@@ -63,7 +66,9 @@ std::vector<double> convolution_finals(const mpisim::WorldOptions& opts,
 
 /// Virtual makespan of: iallreduce(1 double), compute(W), wait.
 double overlap_makespan(const std::string& spec, int nranks, double w) {
-  mpisim::World world(nranks, options_for(spec, 0xC0FFEE));
+  const auto world_ptr2 =
+      mpisim::Session(nranks, options_for(spec, 0xC0FFEE)).world_builder().build();
+  mpisim::World& world = *world_ptr2;
   world.run([w](mpisim::Ctx& ctx) {
     mpisim::Comm comm = ctx.world_comm();
     double v = comm.rank() + 1.0;

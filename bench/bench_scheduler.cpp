@@ -11,6 +11,7 @@
 #include "apps/convolution/convolution.hpp"
 #include "core/sections/runtime.hpp"
 #include "mpisim/runtime.hpp"
+#include "mpisim/session.hpp"
 
 namespace {
 
@@ -25,7 +26,9 @@ mpisim::WorldOptions options(mpisim::ExecBackend exec, int workers) {
 }
 
 void run_world(int ranks, const mpisim::WorldOptions& opts, int steps) {
-  mpisim::World world(ranks, opts);
+  const auto world_ptr =
+      mpisim::Session(ranks, opts).world_builder().build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   apps::conv::ConvolutionConfig cfg;
   cfg.width = 256;

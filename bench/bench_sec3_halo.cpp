@@ -16,6 +16,7 @@
 #include "common.hpp"
 #include "core/sections/runtime.hpp"
 #include "core/speedup/halo_model.hpp"
+#include "mpisim/session.hpp"
 #include "profiler/section_profiler.hpp"
 #include "support/cli.hpp"
 #include "support/strings.hpp"
@@ -34,7 +35,9 @@ struct Measured {
 Measured run_conv(int dims, int p, int steps) {
   mpisim::WorldOptions opts;
   opts.machine = mpisim::MachineModel::nehalem_cluster();
-  mpisim::World world(p, opts);
+  const auto world_ptr =
+      mpisim::Session(p, opts).world_builder().build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   profiler::SectionProfiler prof(world);
   apps::conv::ConvolutionConfig cfg;

@@ -15,6 +15,7 @@
 #include "codec/mpstz.hpp"
 #include "common.hpp"
 #include "core/sections/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "serve/service.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
@@ -34,7 +35,9 @@ trace::TraceFile record_convolution(int ranks, int steps) {
   mpisim::WorldOptions opts;
   opts.machine = mpisim::MachineModel::nehalem_cluster();
   opts.seed = 0x5EED;
-  mpisim::World world(ranks, opts);
+  const auto world_ptr =
+      mpisim::Session(ranks, opts).world_builder().build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   auto rec = trace::TraceRecorder::install(world, {.app = "bench-serve"});
   apps::conv::ConvolutionConfig cfg;

@@ -22,6 +22,7 @@
 #include "apps/convolution/convolution.hpp"
 #include "common.hpp"
 #include "core/sections/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "support/cli.hpp"
 #include "support/strings.hpp"
 #include "telemetry/sampler.hpp"
@@ -51,7 +52,9 @@ Measurement run_once(int nranks, const Workload& w, std::uint64_t seed,
   mpisim::WorldOptions opts;
   opts.machine = mpisim::MachineModel::nehalem_cluster();
   opts.seed = seed;
-  mpisim::World world(nranks, opts);
+  const auto world_ptr =
+      mpisim::Session(nranks, opts).world_builder().build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   std::shared_ptr<telemetry::TelemetrySampler> sampler;
   if (with_sampler) {

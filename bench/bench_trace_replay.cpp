@@ -10,6 +10,7 @@
 #include "apps/convolution/convolution.hpp"
 #include "core/sections/runtime.hpp"
 #include "mpisim/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "trace/recorder.hpp"
 #include "trace/replay.hpp"
 
@@ -32,7 +33,9 @@ void run_convolution(mpisim::World& world, int steps) {
 }
 
 trace::TraceFile record_convolution(int ranks, int steps) {
-  mpisim::World world(ranks, nehalem_options());
+  const auto world_ptr =
+      mpisim::Session(ranks, nehalem_options()).world_builder().build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   auto rec = trace::TraceRecorder::install(world, {.app = "convolution"});
   run_convolution(world, steps);
@@ -51,7 +54,9 @@ void add_ranks_per_second(benchmark::State& state, int ranks) {
 void BM_RunWithoutRecorder(benchmark::State& state) {
   const int steps = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    mpisim::World world(8, nehalem_options());
+    const auto world_ptr2 =
+        mpisim::Session(8, nehalem_options()).world_builder().build();
+    mpisim::World& world = *world_ptr2;
     sections::SectionRuntime::install(world);
     run_convolution(world, steps);
     benchmark::DoNotOptimize(world.elapsed());
@@ -66,7 +71,9 @@ void BM_RunWithRecorder(benchmark::State& state) {
   const int steps = static_cast<int>(state.range(0));
   std::uint64_t events = 0;
   for (auto _ : state) {
-    mpisim::World world(8, nehalem_options());
+    const auto world_ptr3 =
+        mpisim::Session(8, nehalem_options()).world_builder().build();
+    mpisim::World& world = *world_ptr3;
     sections::SectionRuntime::install(world);
     auto rec = trace::TraceRecorder::install(world, {.app = "convolution"});
     run_convolution(world, steps);

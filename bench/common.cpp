@@ -6,6 +6,7 @@
 #include "apps/convolution/convolution.hpp"
 #include "apps/lulesh/lulesh.hpp"
 #include "core/sections/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "profiler/section_profiler.hpp"
 #include "support/provenance.hpp"
 #include "support/stats.hpp"
@@ -22,12 +23,18 @@ void accumulate_run(int nranks, const mpisim::MachineModel& machine,
                     std::map<std::string, support::RunningStats>& total,
                     std::map<std::string, support::RunningStats>& mpi_time,
                     support::RunningStats& walltime,
-                    const mpisim::faults::FaultPlan& faults = {}) {
-  mpisim::WorldOptions opts;
-  opts.machine = machine;
-  opts.seed = seed;
-  opts.faults = faults;
-  mpisim::World world(nranks, opts);
+                    const mpisim::faults::FaultPlan& faults = {},
+                    const std::string& exec = "cooperative",
+                    const std::string& match = "hashed") {
+  const auto world_ptr = mpisim::Session(nranks)
+                             .world_builder()
+                             .machine(machine)
+                             .seed(seed)
+                             .faults(faults)
+                             .exec_spec(exec)
+                             .match_spec(match)
+                             .build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   profiler::SectionProfiler prof(world);
   auto app = make_app();
@@ -74,7 +81,7 @@ RunPoint run_convolution_point(int nranks, const ConvolutionSweepOptions& o) {
           cfg.full_fidelity = false;
           return std::make_unique<apps::conv::ConvolutionApp>(cfg);
         },
-        pp, tot, mpi, wall, o.faults);
+        pp, tot, mpi, wall, o.faults, o.exec, o.match);
   }
   return finalize(pp, tot, mpi, wall);
 }
@@ -100,7 +107,7 @@ RunPoint run_lulesh_point(int nranks, const LuleshRunOptions& o) {
           cfg.full_fidelity = false;
           return std::make_unique<apps::lulesh::LuleshApp>(cfg);
         },
-        pp, tot, mpi, wall);
+        pp, tot, mpi, wall, {}, o.exec, o.match);
   }
   return finalize(pp, tot, mpi, wall);
 }

@@ -40,6 +40,10 @@ struct ConvolutionSweepOptions {
   mpisim::MachineModel machine = mpisim::MachineModel::nehalem_cluster();
   /// Deterministic fault plan applied to every repetition (empty = none).
   mpisim::faults::FaultPlan faults;
+  /// Execution backend spec, e.g. "cooperative:workers=4,stack=128".
+  std::string exec = "cooperative";
+  /// Matching engine spec, e.g. "hashed:buckets=64" or "legacy".
+  std::string match = "hashed";
 };
 
 /// Run the Modeled-fidelity convolution benchmark at one rank count,
@@ -54,6 +58,9 @@ struct LuleshRunOptions {
   std::uint64_t seed = 0x10113;
   minomp::Schedule schedule = minomp::Schedule::Static;
   mpisim::MachineModel machine = mpisim::MachineModel::knl();
+  /// Execution backend / matching engine specs (see WorldBuilder).
+  std::string exec = "cooperative";
+  std::string match = "hashed";
 };
 
 /// Run the Modeled-fidelity mini-Lulesh at one (ranks, threads) point.

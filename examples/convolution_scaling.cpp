@@ -12,7 +12,7 @@
 #include "apps/convolution/convolution.hpp"
 #include "core/speedup/partial_bound.hpp"
 #include "core/speedup/report.hpp"
-#include "mpisim/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "profiler/section_profiler.hpp"
 #include "support/cli.hpp"
 #include "support/strings.hpp"
@@ -27,9 +27,12 @@ struct Point {
 };
 
 Point run_at(int p, const apps::conv::ConvolutionConfig& base) {
-  mpisim::WorldOptions options;
-  options.machine = mpisim::MachineModel::nehalem_cluster();
-  mpisim::World world(p, options);
+  const auto world_ptr =
+      mpisim::Session(p)
+          .world_builder()
+          .machine(mpisim::MachineModel::nehalem_cluster())
+          .build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   profiler::SectionProfiler prof(world);
   apps::conv::ConvolutionConfig cfg = base;

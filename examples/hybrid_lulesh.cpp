@@ -12,7 +12,7 @@
 #include "apps/lulesh/lulesh.hpp"
 #include "core/speedup/inflexion.hpp"
 #include "core/speedup/laws.hpp"
-#include "mpisim/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "profiler/section_profiler.hpp"
 #include "support/cli.hpp"
 #include "support/strings.hpp"
@@ -37,9 +37,11 @@ int main(int argc, char** argv) {
   apps::lulesh::LuleshResult physics;
 
   for (const int threads : {1, 2, 4, 8, 16, 32, 64}) {
-    mpisim::WorldOptions options;
-    options.machine = mpisim::MachineModel::knl();
-    mpisim::World world(ranks, options);
+    const auto world_ptr = mpisim::Session(ranks)
+                               .world_builder()
+                               .machine(mpisim::MachineModel::knl())
+                               .build();
+    mpisim::World& world = *world_ptr;
     sections::SectionRuntime::install(world);
     profiler::SectionProfiler prof(world);
     apps::lulesh::LuleshConfig cfg;

@@ -10,6 +10,7 @@
 
 #include "core/compat/mpi_compat.hpp"
 #include "core/sections/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "profiler/section_profiler.hpp"
 #include "profiler/tree.hpp"
 
@@ -61,9 +62,12 @@ void app_main(mpisim::Ctx& ctx) {
 }  // namespace
 
 int main() {
-  mpisim::WorldOptions options;
-  options.machine = mpisim::MachineModel::nehalem_cluster();
-  mpisim::World world(8, options);
+  const auto world_ptr =
+      mpisim::Session(8)
+          .world_builder()
+          .machine(mpisim::MachineModel::nehalem_cluster())
+          .build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   profiler::SectionProfiler prof(world, {.keep_instances = true});
 

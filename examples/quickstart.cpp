@@ -4,7 +4,8 @@
 //   build/examples/quickstart
 //
 // What it shows:
-//   1. create a World on a machine model (here: the paper's Nehalem cluster)
+//   1. build a World through a Session on a machine model (the paper's
+//      Nehalem cluster) — per-rank state is constructed lazily
 //   2. install the SectionRuntime (the MPI runtime side of the proposal)
 //   3. attach the SectionProfiler purely through the PMPI-style hooks
 //   4. bracket program phases with MPIX_Section_enter/exit
@@ -12,7 +13,7 @@
 #include <cstdio>
 
 #include "core/sections/api.hpp"
-#include "mpisim/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "profiler/report.hpp"
 #include "profiler/section_profiler.hpp"
 
@@ -22,9 +23,15 @@ using mpisim::Ctx;
 
 int main() {
   // 16 ranks on the paper's cluster model (8-core nodes -> 2 nodes).
-  mpisim::WorldOptions options;
-  options.machine = mpisim::MachineModel::nehalem_cluster();
-  mpisim::World world(16, options);
+  // Sessions-style construction: query the process set, then build the
+  // world lazily — per-rank channels materialize on first use.
+  mpisim::Session session(16);
+  std::printf("pset %s: %d ranks\n", "mpi://WORLD",
+              session.pset_size("mpi://WORLD"));
+  const auto world_ptr = session.world_builder()
+                             .machine(mpisim::MachineModel::nehalem_cluster())
+                             .build();
+  mpisim::World& world = *world_ptr;
 
   // Runtime support for MPI_Sections + a profiling tool. The application
   // code below never mentions the profiler: it observes through hooks,

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "core/sections/api.hpp"
-#include "mpisim/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "support/strings.hpp"
 
 using namespace mpisect;
@@ -66,9 +66,11 @@ class SlowInstanceDetector {
 }  // namespace
 
 int main() {
-  mpisim::WorldOptions options;
-  options.machine = mpisim::MachineModel::ideal(8, 2);
-  mpisim::World world(4, options);
+  const auto world_ptr = mpisim::Session(4)
+                             .world_builder()
+                             .machine(mpisim::MachineModel::ideal(8, 2))
+                             .build();
+  mpisim::World& world = *world_ptr;
   auto section_rt = sections::SectionRuntime::install(world);
   SlowInstanceDetector detector(world, /*threshold_s=*/0.5);
 

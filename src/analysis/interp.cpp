@@ -437,9 +437,7 @@ struct Engine {
         }
         NbcState& nb = it->second;
         charge_gap(r, st, ev);
-        const double algo = mpisim::nbc_algo_cost(
-            net.inter_node.latency, net.inter_node.bandwidth, nb.members,
-            nb.bytes);
+        const double algo = net.nbc_cost(nb.members, nb.bytes);
         const double done =
             tf.header.progress.nbc_complete_time(st.t, nb.max_t, algo);
         if (done > st.t && nb.max_rank != r) {

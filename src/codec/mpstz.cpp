@@ -483,22 +483,28 @@ std::vector<std::uint8_t> decode_block(std::span<const std::uint8_t> blob,
 
 }  // namespace
 
-std::vector<std::uint8_t> compress(const trace::TraceFile& tf,
-                                   const CompressOptions& options) {
+std::vector<std::uint8_t> compress_stream(
+    const trace::TraceFile& skeleton,
+    const std::function<const trace::RankStream&(int)>& rank_provider,
+    const CompressOptions& options) {
   const obs::Span obs_span("codec.compress");
   const std::uint64_t t_start = obs::now_ns();
   const std::uint64_t chunk_events = std::max<std::uint64_t>(
       1, options.chunk_events);
 
-  // Metadata blob: the trace with event lists stripped, in ordinary
-  // .mpst encoding.
-  trace::TraceFile skeleton = tf;
-  for (auto& rs : skeleton.ranks) rs.events.clear();
+  // Metadata blob: the skeleton (event lists empty) in ordinary .mpst
+  // encoding. Event streams arrive one rank at a time from the provider,
+  // so the caller never has to hold every rank's events in memory — the
+  // compressed payload (typically ~10x smaller) is all that accumulates.
   const std::vector<std::uint8_t> meta = skeleton.encode();
 
+  std::vector<std::uint64_t> event_counts;
+  event_counts.reserve(skeleton.ranks.size());
   std::vector<ChunkInfo> index;
   std::vector<std::uint8_t> payload;
-  for (const trace::RankStream& rs : tf.ranks) {
+  for (int ri = 0; ri < static_cast<int>(skeleton.ranks.size()); ++ri) {
+    const trace::RankStream& rs = rank_provider(ri);
+    event_counts.push_back(rs.events.size());
     double clock = rs.t0;
     std::uint64_t first = 0;
     while (first < rs.events.size()) {
@@ -553,7 +559,7 @@ std::vector<std::uint8_t> compress(const trace::TraceFile& tf,
   w.varint(meta.size());
   for (const std::uint8_t b : meta) w.u8(b);
   w.u32le(support::crc32(meta));
-  for (const trace::RankStream& rs : tf.ranks) w.varint(rs.events.size());
+  for (const std::uint64_t n : event_counts) w.varint(n);
   w.varint(index.size());
   for (const ChunkInfo& c : index) {
     w.varint(static_cast<std::uint64_t>(c.rank));
@@ -580,6 +586,29 @@ std::vector<std::uint8_t> compress(const trace::TraceFile& tf,
   oc.codec_compress_ns.fetch_add(obs::now_ns() - t_start,
                                  std::memory_order_relaxed);
   return out;
+}
+
+std::vector<std::uint8_t> compress(const trace::TraceFile& tf,
+                                   const CompressOptions& options) {
+  // Skeleton: per-rank metadata without the event lists (no event copies).
+  trace::TraceFile skeleton;
+  skeleton.header = tf.header;
+  skeleton.labels = tf.labels;
+  skeleton.ranks.reserve(tf.ranks.size());
+  for (const auto& rs : tf.ranks) {
+    trace::RankStream s;
+    s.rank = rs.rank;
+    s.t0 = rs.t0;
+    s.t_final = rs.t_final;
+    s.totals = rs.totals;
+    skeleton.ranks.push_back(std::move(s));
+  }
+  return compress_stream(
+      skeleton,
+      [&tf](int r) -> const trace::RankStream& {
+        return tf.ranks[static_cast<std::size_t>(r)];
+      },
+      options);
 }
 
 bool is_mpstz(std::span<const std::uint8_t> data) noexcept {

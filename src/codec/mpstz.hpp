@@ -42,6 +42,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -74,6 +75,18 @@ struct ChunkInfo {
 /// Encode `tf` as a .mpstz byte vector.
 [[nodiscard]] std::vector<std::uint8_t> compress(
     const trace::TraceFile& tf, const CompressOptions& options = {});
+
+/// Streaming variant: `skeleton` carries the header, label table and every
+/// rank's metadata (t0/t_final/totals) with event lists EMPTY;
+/// `rank_provider(r)` returns rank r's full stream (called once per rank,
+/// in order, and the reference only needs to stay valid for that call).
+/// The caller therefore never has to materialize all event streams at
+/// once — e.g. TraceRecorder::skeleton() + finish_rank(). Produces bytes
+/// identical to compress() of the assembled TraceFile.
+[[nodiscard]] std::vector<std::uint8_t> compress_stream(
+    const trace::TraceFile& skeleton,
+    const std::function<const trace::RankStream&(int)>& rank_provider,
+    const CompressOptions& options = {});
 
 /// Full inverse of compress(); `decompress(compress(tf))` re-encodes to
 /// the identical .mpst byte stream.

@@ -6,6 +6,22 @@
 // (source, tag) is compatible, and messages from one source never overtake
 // each other because a sender deposits in program order.
 //
+// Two interchangeable engines implement those rules:
+//
+//   * Hashed (default): O(1) amortized matching. Posted receives live in
+//     exactly one of four lanes keyed by their wildcard class — (src,tag),
+//     (src,ANY), (ANY,tag), (ANY,ANY) — each lane a FIFO; every receive
+//     carries a global post ordinal, and a deposit takes the minimum-ordinal
+//     head across the four candidate lanes, which is precisely "first
+//     compatible receive in post order". Unexpected messages are one node
+//     linked into four index lists (by pair, by source, by tag, arrival
+//     order), so a posting receive of any wildcard class finds its
+//     earliest-arrival candidate at a list head and a match unlinks in O(1)
+//     with no tombstones.
+//   * Legacy: the original linear scans over two deques, kept as the
+//     differential-testing reference. Virtual times are bit-identical
+//     between the engines by construction; tests enforce it.
+//
 // Matching is where virtual time crosses rank boundaries:
 //   eager:       t_deliver = max(t_post, t_avail)
 //   rendezvous:  t_deliver = max(t_send_start, t_post) + wire_cost
@@ -18,14 +34,44 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 
 #include "mpisim/message.hpp"
 #include "mpisim/scheduler.hpp"
 #include "obs/memory.hpp"
 
 namespace mpisect::mpisim {
+
+/// Which matching engine a Channel uses.
+enum class MatchMode {
+  Hashed,  ///< per-(src,tag) hash lanes + wildcard lists (default)
+  Legacy,  ///< linear deque scans (differential reference)
+};
+
+/// Matching-engine selection plus its tuning knobs, in the shared
+/// `preset[:key=value,...]` spec vocabulary (the `--match` flag):
+///
+///   hashed                 O(1) engine, tables sized on demand
+///   hashed:buckets=64      pre-reserve 64 hash buckets per table
+///   legacy                 linear-scan reference engine
+struct MatchModel {
+  MatchMode mode = MatchMode::Hashed;
+  std::size_t buckets = 0;  ///< initial hash-table reservation per channel
+
+  bool operator==(const MatchModel&) const = default;
+
+  [[nodiscard]] const char* name() const noexcept;
+  /// Canonical spec string; MatchModel::parse(spec()) == *this.
+  [[nodiscard]] std::string spec() const;
+  /// Parse a spec string. Throws MpiError(Err::Arg) on unknown presets,
+  /// unknown options, or options on the legacy engine.
+  static MatchModel parse(const std::string& spec);
+  static std::string choices();
+};
 
 class Channel {
  public:
@@ -39,11 +85,18 @@ class Channel {
   /// byte queued in this channel is charged there and credited back on
   /// match, giving an exact per-rank high-water mark. Accounting observes,
   /// never decides — matching and delivery times are unaffected.
+  ///
+  /// `match` picks the engine; both produce identical matches and times.
   Channel(Executor& exec, const std::atomic<bool>* abort_flag,
           double rendezvous_extra = 0.0,
-          obs::MemAccount::RankMem* mem = nullptr) noexcept
+          obs::MemAccount::RankMem* mem = nullptr,
+          MatchModel match = {}) noexcept
       : abort_(abort_flag), rendezvous_extra_(rendezvous_extra), mem_(mem),
-        wp_(exec, mu_) {}
+        match_(match), wp_(exec, mu_) {
+    if (match_.mode == MatchMode::Hashed && match_.buckets > 0) {
+      reserve_tables(match_.buckets);
+    }
+  }
 
   ~Channel();
 
@@ -102,11 +155,56 @@ class Channel {
   [[nodiscard]] std::size_t pending_recvs();
 
  private:
+  // --- hashed-engine stores -----------------------------------------------
+  // One node per unexpected message, linked into four index lists at once.
+  // Index 0: (src,tag) pair bucket; 1: per-source; 2: per-tag; 3: arrival
+  // order (all messages). Every list preserves arrival order, so each
+  // list's head is the earliest compatible message for that wildcard class.
+  struct MsgNode {
+    MessagePtr msg;
+    MsgNode* prev[4] = {nullptr, nullptr, nullptr, nullptr};
+    MsgNode* next[4] = {nullptr, nullptr, nullptr, nullptr};
+  };
+  struct MsgList {
+    MsgNode* head = nullptr;
+    MsgNode* tail = nullptr;
+  };
+  /// A posted receive lives in exactly one lane (its wildcard class); `ord`
+  /// is the channel-global post ordinal that totally orders receives across
+  /// lanes.
+  struct RecvNode {
+    PostedRecvPtr recv;
+    std::uint64_t ord = 0;
+    RecvNode* next = nullptr;
+  };
+  struct RecvList {
+    RecvNode* head = nullptr;
+    RecvNode* tail = nullptr;
+  };
+
   static bool compatible(const PostedRecv& r, const Message& m) noexcept;
   /// Pair up msg and recv: compute times, copy payload, flag completion.
   /// Caller holds the mutex.
   void complete_match(const MessagePtr& msg, const PostedRecvPtr& recv) const;
   void check_abort() const;
+  void reserve_tables(std::size_t buckets);
+
+  static std::uint64_t pair_key(int src, int tag) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  // Hashed-engine helpers (caller holds the mutex).
+  std::size_t deposit_hashed(const MessagePtr& msg);
+  std::size_t post_hashed(const PostedRecvPtr& recv);
+  const Message* probe_head(int src, int tag) const;
+  void link_msg(const MessagePtr& msg);
+  void unlink_msg(MsgNode* n);
+  MsgNode* alloc_msg_node();
+  void free_msg_node(MsgNode* n);
+  RecvNode* alloc_recv_node();
+  void free_recv_node(RecvNode* n);
 
   /// Accounted footprint of a queued unexpected message.
   static std::size_t queued_bytes(const Message& m) noexcept {
@@ -114,11 +212,28 @@ class Channel {
   }
 
   std::mutex mu_;
+  // Legacy engine state (only populated in MatchMode::Legacy).
   std::deque<MessagePtr> unexpected_;
   std::deque<PostedRecvPtr> posted_;
+  // Hashed engine state.
+  std::unordered_map<std::uint64_t, MsgList> um_by_pair_;
+  std::unordered_map<int, MsgList> um_by_src_;
+  std::unordered_map<int, MsgList> um_by_tag_;
+  MsgList um_all_;
+  std::unordered_map<std::uint64_t, RecvList> pr_by_pair_;
+  std::unordered_map<int, RecvList> pr_by_src_;  ///< (src, ANY)
+  std::unordered_map<int, RecvList> pr_by_tag_;  ///< (ANY, tag)
+  RecvList pr_any_;                              ///< (ANY, ANY)
+  MsgNode* msg_free_ = nullptr;   ///< node freelist (allocation reuse)
+  RecvNode* recv_free_ = nullptr;
+  std::size_t um_count_ = 0;  ///< unmatched queued messages (both engines)
+  std::size_t pr_count_ = 0;  ///< unmatched posted receives (both engines)
+  std::uint64_t pr_ord_ = 0;  ///< next post ordinal
+
   const std::atomic<bool>* abort_;
   double rendezvous_extra_;
   obs::MemAccount::RankMem* mem_;
+  MatchModel match_;
   WaitPoint wp_;
 };
 

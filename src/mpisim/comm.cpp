@@ -44,24 +44,41 @@ CommImpl::CommImpl(World& world, Group group, int context_id)
       u64_sync_(group_.size(), world.executor(), world.abort_flag()),
       nbc_sync_(group_.size(), world.executor(), world.abort_flag()) {
   const auto n = static_cast<std::size_t>(group_.size());
-  channels_.reserve(n);
+  // Channel slots start empty: channel(i) materializes rank i's matching
+  // engine on first touch, so constructing a 65k-rank communicator costs
+  // O(p) pointers, not O(p) mutex+waitpoint+queue structures.
+  channels_ = std::make_unique<std::atomic<Channel*>[]>(n);
   for (std::size_t i = 0; i < n; ++i) {
-    // Channel i belongs to comm rank i; queued bytes are charged to that
-    // rank's world-level memory account.
-    channels_.push_back(std::make_unique<Channel>(
-        world.executor(), world.abort_flag(),
-        world.progress().rendezvous_extra(),
-        &world.mem_account().rank(
-            group_.world_rank(static_cast<int>(i)))));
+    channels_[i].store(nullptr, std::memory_order_relaxed);
   }
   rank_states_.resize(n);
-  for (auto& rs : rank_states_) rs.send_seq.assign(n, 0);
+}
+
+CommImpl::~CommImpl() {
+  const auto n = static_cast<std::size_t>(group_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    delete channels_[i].load(std::memory_order_relaxed);
+  }
 }
 
 Channel& CommImpl::channel(int comm_rank) {
   require(comm_rank >= 0 && comm_rank < size(), Err::Rank,
           "channel rank out of range");
-  return *channels_[static_cast<std::size_t>(comm_rank)];
+  std::atomic<Channel*>& slot = channels_[static_cast<std::size_t>(comm_rank)];
+  Channel* ch = slot.load(std::memory_order_acquire);
+  if (ch != nullptr) return *ch;
+  const std::lock_guard lock(chan_mu_);
+  ch = slot.load(std::memory_order_relaxed);
+  if (ch == nullptr) {
+    // The channel belongs to comm rank `comm_rank`; queued bytes are
+    // charged to that rank's world-level memory account.
+    ch = new Channel(world_.executor(), world_.abort_flag(),
+                     world_.progress().rendezvous_extra(),
+                     &world_.mem_account().rank(group_.world_rank(comm_rank)),
+                     world_.options().match);
+    slot.store(ch, std::memory_order_release);
+  }
+  return *ch;
 }
 
 CommImpl::RankState& CommImpl::rank_state(int comm_rank) {
@@ -86,7 +103,7 @@ MessagePtr raw_start_send(Ctx& ctx, CommImpl& impl, int my_rank,
   auto& rs = impl.rank_state(my_rank);
   const int gsrc = impl.group().world_rank(my_rank);
   const int gdst = impl.group().world_rank(dst);
-  const std::uint64_t seq = rs.send_seq[static_cast<std::size_t>(dst)]++;
+  const std::uint64_t seq = rs.send_seq[dst]++;
 
   const std::uint64_t op = ctx.next_op_id();
   const double t_before = ctx.now();
@@ -550,9 +567,8 @@ Status Comm::Request::wait() {
       std::memcpy(s_->nbc->recvbuf, acc.data(), acc.size());
     }
     const ProgressModel& pm = ctx.world().progress();
-    const auto& link = ctx.machine().net.inter_node;
-    const double algo = nbc_algo_cost(link.latency, link.bandwidth,
-                                      s_->comm_size, s_->nbc->bytes);
+    const double algo =
+        ctx.machine().net.nbc_cost(s_->comm_size, s_->nbc->bytes);
     const double t_done = pm.nbc_complete_time(t_wait_entry, max_post, algo);
     ctx.clock().sync_to(t_done);
     s_->status = Status{kAnySource, -1, s_->nbc->bytes, ctx.now()};

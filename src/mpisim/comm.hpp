@@ -14,8 +14,10 @@
 // hooked on the public entry points never see the internal traffic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -256,19 +258,51 @@ void waitall(std::span<Comm::Request> requests);
 class CommImpl {
  public:
   CommImpl(World& world, Group group, int context_id);
+  ~CommImpl();
 
   [[nodiscard]] int size() const noexcept { return group_.size(); }
   [[nodiscard]] int context_id() const noexcept { return context_id_; }
   [[nodiscard]] const Group& group() const noexcept { return group_; }
   [[nodiscard]] World& world() noexcept { return world_; }
+  /// The matching channel of comm_rank, created on first touch (lazily:
+  /// a 65k-rank communicator materializes channels only for ranks that
+  /// actually see traffic). Thread-safe — senders touch destination
+  /// channels from other ranks' threads.
   [[nodiscard]] Channel& channel(int comm_rank);
+
+  /// Sparse per-destination send-sequence counters. A rank talks to O(log p)
+  /// partners (halo neighbours, binomial-tree edges), so the dense
+  /// p-entry vector per rank — p² counters per communicator — was the first
+  /// structure to die at 65k ranks. A linear probe over the touched
+  /// destinations beats a hash map at the observed degree.
+  class SendSeq {
+   public:
+    [[nodiscard]] std::uint64_t& operator[](int dst) {
+      for (auto& e : entries_) {
+        if (e.dst == dst) return e.count;
+      }
+      entries_.push_back({dst, 0});
+      return entries_.back().count;
+    }
+    /// Destinations this rank has ever sent to (diagnostics).
+    [[nodiscard]] std::size_t destinations() const noexcept {
+      return entries_.size();
+    }
+
+   private:
+    struct Entry {
+      int dst = 0;
+      std::uint64_t count = 0;
+    };
+    std::vector<Entry> entries_;
+  };
 
   /// Per-rank mutable state; each slot is touched only by its owner thread.
   struct RankState {
-    std::vector<std::uint64_t> send_seq;  ///< per-destination counters
-    std::uint64_t coll_seq = 0;           ///< collective ordinal
-    std::uint64_t sync_gen = 0;           ///< CollSync generation
-    std::uint64_t nbc_gen = 0;            ///< nonblocking-collective ordinal
+    SendSeq send_seq;           ///< per-destination counters (sparse)
+    std::uint64_t coll_seq = 0; ///< collective ordinal
+    std::uint64_t sync_gen = 0; ///< CollSync generation
+    std::uint64_t nbc_gen = 0;  ///< nonblocking-collective ordinal
   };
   [[nodiscard]] RankState& rank_state(int comm_rank);
 
@@ -288,7 +322,10 @@ class CommImpl {
   World& world_;
   Group group_;
   int context_id_;
-  std::vector<std::unique_ptr<Channel>> channels_;
+  /// Lazily-created channels, one slot per member. Acquire-load on the hot
+  /// path; creation double-checks under chan_mu_.
+  std::unique_ptr<std::atomic<Channel*>[]> channels_;
+  std::mutex chan_mu_;
   std::vector<RankState> rank_states_;
   CollSync<SplitItem> split_sync_;
   CollSync<CommMap> publish_sync_;

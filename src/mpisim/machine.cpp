@@ -164,13 +164,16 @@ std::string MachineModel::describe() const {
       "  compute: %.3g flops/core, noise sigma %.3g\n"
       "  net: intra %.3g s + B/%.3g B/s, inter %.3g s + B/%.3g B/s\n"
       "  net: overhead send %.3g s recv %.3g s, eager <= %zu B\n"
+      "  net: nbc tree %s\n"
       "  jitter: %s rel %.3g add %.3g spike p=%.3g mean %.3g\n"
       "  omp: fork %.3g + %.3g/thr, barrier %.3g*log2, imbalance %.3g",
       name.c_str(), nodes, cores_per_node, hw_threads_per_core,
       flops_per_core, compute_noise_sigma, net.intra_node.latency,
       net.intra_node.bandwidth, net.inter_node.latency,
       net.inter_node.bandwidth, net.send_overhead, net.recv_overhead,
-      net.eager_threshold, jitter_kind_name(net.jitter.kind),
+      net.eager_threshold,
+      net.hierarchical_nbc ? "hierarchical (intra-node + fabric)" : "flat",
+      jitter_kind_name(net.jitter.kind),
       net.jitter.rel_sigma, net.jitter.add_sigma, net.jitter.spike_prob,
       net.jitter.spike_mean, omp.fork_join_base, omp.fork_join_per_thread,
       omp.barrier_log_cost, omp.static_imbalance);

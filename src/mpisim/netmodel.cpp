@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mpisim/progress.hpp"
+
 namespace mpisect::mpisim {
 namespace {
 
@@ -60,6 +62,21 @@ double NetworkModel::cpu_overhead(int rank, double base, std::uint64_t seq,
   const auto stream = support::stream_id(static_cast<std::uint64_t>(rank) + 1,
                                          kSaltCpu, kind_salt);
   return base * jitter_factor(stream, seq);
+}
+
+double NetworkModel::nbc_cost(int p, std::uint64_t bytes) const noexcept {
+  if (!hierarchical_nbc) {
+    return nbc_algo_cost(inter_node.latency, inter_node.bandwidth, p, bytes);
+  }
+  const int cpn = cores_per_node > 0 ? cores_per_node : 1;
+  const int local = std::min(p, cpn);
+  const int nodes = (p + cpn - 1) / cpn;
+  // nodes == 1 makes the inter-node term zero rounds, so a single-node
+  // communicator pays a pure shared-memory tree.
+  return nbc_algo_cost(intra_node.latency, intra_node.bandwidth, local,
+                       bytes) +
+         nbc_algo_cost(inter_node.latency, inter_node.bandwidth, nodes,
+                       bytes);
 }
 
 }  // namespace mpisect::mpisim

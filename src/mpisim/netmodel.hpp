@@ -54,6 +54,14 @@ class NetworkModel {
   double recv_overhead = 3e-7;  ///< CPU seconds charged on the receiver
   std::size_t eager_threshold = 16 * 1024;  ///< rendezvous above this
   int cores_per_node = 1;       ///< block rank placement: node = rank / cpn
+  /// Topology-aware nonblocking-collective cost: when set, nbc_cost()
+  /// models a two-level tree (combine within each node over the intra-node
+  /// link, then disseminate across nodes over the fabric) instead of a
+  /// flat ceil(log2 p) fabric tree. Off by default so every artifact —
+  /// trace headers included — stays bit-identical to earlier versions; at
+  /// 65,536 ranks the flat formula overcharges badly because log2 p rounds
+  /// of fabric latency ignore that most pairs share a node.
+  bool hierarchical_nbc = false;
   JitterModel jitter;
 
   /// Deterministic RNG seed for all draws from this model.
@@ -76,6 +84,17 @@ class NetworkModel {
   /// disambiguates the draw stream (0 = send, 1 = recv).
   [[nodiscard]] double cpu_overhead(int rank, double base, std::uint64_t seq,
                                     std::uint64_t kind_salt) const noexcept;
+
+  /// Modeled background-algorithm cost of a nonblocking collective over p
+  /// ranks. Flat (default): ceil(log2 p) rounds of one inter-node link
+  /// cost — exactly the historical nbc_algo_cost charge. Hierarchical
+  /// (hierarchical_nbc): ceil(log2 min(p, cores_per_node)) intra-node
+  /// rounds to combine within each node plus ceil(log2 ceil(p/cpn))
+  /// inter-node rounds to disseminate across nodes; collapses to a pure
+  /// intra-node tree when all ranks share one node. The single shared
+  /// formula for the live simulator, the replayer and the interpolator —
+  /// they must never drift.
+  [[nodiscard]] double nbc_cost(int p, std::uint64_t bytes) const noexcept;
 
  private:
   [[nodiscard]] double jitter_factor(std::uint64_t stream,

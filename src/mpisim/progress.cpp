@@ -1,37 +1,16 @@
 #include "mpisim/progress.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
 
 #include "mpisim/error.hpp"
+#include "support/spec.hpp"
 
 namespace mpisect::mpisim {
 
 namespace {
 
-/// "tax=0.1" -> ("tax", 0.1). Throws on a malformed pair.
-std::pair<std::string, double> parse_option(const std::string& spec,
-                                            const std::string& item) {
-  const std::size_t eq = item.find('=');
-  require(eq != std::string::npos && eq > 0 && eq + 1 < item.size(), Err::Arg,
-          ("progress option is not key=value: " + spec).c_str());
-  char* end = nullptr;
-  const std::string value = item.substr(eq + 1);
-  const double v = std::strtod(value.c_str(), &end);
-  require(end != nullptr && *end == '\0' && v >= 0.0, Err::Arg,
-          ("progress option value is not a non-negative number: " + spec)
-              .c_str());
-  return {item.substr(0, eq), v};
-}
-
-/// %g keeps the canonical spec short (5e-08, 0.05) and round-trippable
-/// through strtod for every value a user can express on the flag.
-std::string fmt_g(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%g", v);
-  return buf;
-}
+using support::spec_value;
 
 }  // namespace
 
@@ -53,40 +32,44 @@ std::string ProgressModel::spec() const {
     case ProgressMode::BlockingOnly:
       break;
     case ProgressMode::Opportunistic:
-      s += ":entry=" + fmt_g(entry_overhead);
+      s += ":entry=" + spec_value(entry_overhead);
       break;
     case ProgressMode::ProgressThread:
-      s += ":tax=" + fmt_g(core_tax) + ",lat=" + fmt_g(thread_latency);
+      s += ":tax=" + spec_value(core_tax) + ",lat=" + spec_value(thread_latency);
       break;
   }
   return s;
 }
 
 ProgressModel ProgressModel::parse(const std::string& spec) {
-  const std::size_t colon = spec.find(':');
-  const std::string preset = spec.substr(0, colon);
+  support::SpecParts parts;
+  try {
+    parts = support::parse_spec(spec);
+  } catch (const std::invalid_argument& e) {
+    throw MpiError(Err::Arg, std::string("progress ") + e.what());
+  }
 
   ProgressModel m;
-  if (preset == "blocking-only") {
+  if (parts.preset == "blocking-only") {
     m.mode = ProgressMode::BlockingOnly;
-  } else if (preset == "opportunistic") {
+  } else if (parts.preset == "opportunistic") {
     m.mode = ProgressMode::Opportunistic;
-  } else if (preset == "progress-thread") {
+  } else if (parts.preset == "progress-thread") {
     m.mode = ProgressMode::ProgressThread;
   } else {
-    throw MpiError(Err::Arg, "unknown progress preset '" + preset +
+    throw MpiError(Err::Arg, "unknown progress preset '" + parts.preset +
                                  "' (expected " + choices() + ")");
   }
-  if (colon == std::string::npos) return m;
-  require(m.mode != ProgressMode::BlockingOnly, Err::Arg,
-          "blocking-only takes no options");
+  require(parts.options.empty() || m.mode != ProgressMode::BlockingOnly,
+          Err::Arg, "blocking-only takes no options");
 
-  std::string rest = spec.substr(colon + 1);
-  while (!rest.empty()) {
-    const std::size_t comma = rest.find(',');
-    const std::string item = rest.substr(0, comma);
-    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
-    const auto [key, value] = parse_option(spec, item);
+  for (const auto& [key, raw] : parts.options) {
+    double value = 0.0;
+    try {
+      value = support::spec_number(raw);
+    } catch (const std::invalid_argument& e) {
+      throw MpiError(Err::Arg, std::string("progress ") + e.what());
+    }
     if (m.mode == ProgressMode::Opportunistic && key == "entry") {
       m.entry_overhead = value;
     } else if (m.mode == ProgressMode::ProgressThread && key == "tax") {

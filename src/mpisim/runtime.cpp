@@ -15,7 +15,37 @@
 
 namespace mpisect::mpisim {
 
+namespace {
+/// Warn-once latch for the deprecated eager World constructor. Plain
+/// atomic (not std::once_flag) so tests can reset it and assert the
+/// single-shot behaviour.
+std::atomic<bool> g_eager_ctor_warned{false};
+}  // namespace
+
+void World::reset_eager_ctor_warning_for_test() noexcept {
+  g_eager_ctor_warned.store(false, std::memory_order_relaxed);
+}
+
 World::World(int nranks, WorldOptions options)
+    : World(nranks, std::move(options), Lazy{}) {
+  if (!g_eager_ctor_warned.exchange(true, std::memory_order_relaxed)) {
+    MPISECT_LOG_WARN(
+        "World(nranks, options) is deprecated; use "
+        "mpisim::Session/WorldBuilder (session.hpp) which construct "
+        "per-rank state lazily");
+  }
+  // Preserve the eager API's observable behaviour: the world communicator
+  // (channel slots, per-rank sequence state) exists from construction.
+  // Context id 0 is taken literally rather than drawn from the counter:
+  // run() replaces this comm before anything can record its id, and
+  // consuming a counter slot here would shift every context id embedded
+  // in traces/hooks by one relative to a lazily built world.
+  std::vector<int> all(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) all[static_cast<std::size_t>(r)] = r;
+  world_comm_ = std::make_shared<CommImpl>(*this, Group(std::move(all)), 0);
+}
+
+World::World(int nranks, WorldOptions options, Lazy)
     : nranks_(nranks), options_(std::move(options)), rng_(options_.seed) {
   require(nranks_ > 0, Err::Arg, "world size must be positive");
   clocks_.resize(static_cast<std::size_t>(nranks_));
@@ -30,7 +60,9 @@ World::World(int nranks, WorldOptions options)
     options_.machine.net.send_overhead += options_.progress.entry_overhead;
     options_.machine.net.recv_overhead += options_.progress.entry_overhead;
   }
-  executor_ = make_executor(options_.exec, options_.workers);
+  executor_ =
+      make_executor(options_.exec, options_.workers, options_.stack_kb);
+  executor_->set_mem_account(&stack_account_);
   // Exact deadlock signal: every live rank parked, no wake pending. Give
   // the checker first look at the wait graph, then tear the world down.
   executor_->set_quiescence_handler([this] {
@@ -41,11 +73,9 @@ World::World(int nranks, WorldOptions options)
     fault_engine_ = std::make_unique<faults::FaultEngine>(
         options_.faults, options_.seed, nranks_);
   }
-  std::vector<int> all(static_cast<std::size_t>(nranks_));
-  for (int r = 0; r < nranks_; ++r) all[static_cast<std::size_t>(r)] = r;
-  world_comm_ =
-      std::make_shared<CommImpl>(*this, Group(std::move(all)),
-                                 next_context_id());
+  // No world communicator yet: run() builds one per run, and CommImpl
+  // itself defers per-peer channels to first touch, so an unstarted lazy
+  // world holds no per-rank communication state at all.
 }
 
 World::~World() = default;
@@ -188,7 +218,9 @@ void World::run(const RankMain& rank_main) {
     oc.sched_busy_ns.fetch_add(ld(st.busy_ns), std::memory_order_relaxed);
     oc.sched_idle_ns.fetch_add(ld(st.idle_ns), std::memory_order_relaxed);
     obs::update_max(oc.mem_channel_bytes_hwm, mem_account_.total_hwm());
-    obs::update_max(oc.mem_stack_bytes_hwm, ld(st.stack_bytes));
+    // Live peak, not cumulative mmap churn: stacks are pooled and reused
+    // across ranks, so the high-water mark is what the run actually held.
+    obs::update_max(oc.mem_stack_bytes_hwm, ld(st.stack_bytes_hwm));
     obs::update_max(oc.mem_ranks, static_cast<std::uint64_t>(nranks_));
   }
 

@@ -68,6 +68,13 @@ struct WorldOptions {
   /// Worker threads for the cooperative backend: 0 = MPISECT_WORKERS env
   /// var, else hardware_concurrency (see resolve_workers()).
   int workers = 0;
+  /// Fiber stack size in KiB for the cooperative backend: 0 =
+  /// MPISECT_STACK_KB env var, else 1 MiB; values are clamped up to 64.
+  std::size_t stack_kb = 0;
+  /// Message-matching engine (see channel.hpp). Hashed is the O(1) default;
+  /// Legacy keeps the linear-scan reference for differential testing. Both
+  /// produce bit-identical virtual times.
+  MatchModel match;
   /// Deterministic fault-injection plan (see faults/plan.hpp). An empty
   /// plan constructs no engine, so fault-free runs are bit-identical to a
   /// build without the fault layer.
@@ -89,8 +96,18 @@ class Extension {
 
 class World {
  public:
+  /// Eager construction — DEPRECATED. Builds the full world communicator
+  /// (one channel slot array plus per-rank state for every member) at
+  /// construction time, exactly as the original API did. Prefer
+  /// `Session`/`WorldBuilder` (session.hpp), which defer all per-rank
+  /// state to the first run() and construct channels on first touch; at
+  /// 65,536 ranks the difference is the bulk of startup time. This shim
+  /// logs a one-time deprecation warning and will be removed.
   World(int nranks, WorldOptions options);
   ~World();
+
+  /// Reset the eager-constructor deprecation warn-once latch (tests only).
+  static void reset_eager_ctor_warning_for_test() noexcept;
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -180,13 +197,27 @@ class World {
   /// Fresh context id for a new communicator.
   int next_context_id() noexcept { return next_context_++; }
 
+  /// Per-rank accounting of fiber-stack bytes (cooperative backend).
+  /// Separate from mem_account() so channel-queue baselines keep their
+  /// meaning; purely observational.
+  [[nodiscard]] const obs::MemAccount& stack_account() const noexcept {
+    return stack_account_;
+  }
+
  private:
   friend class Ctx;
+  friend class WorldBuilder;
+  /// Lazy construction (WorldBuilder::build()): no world communicator, no
+  /// per-rank channel state until run() — O(1) memory per unstarted rank.
+  struct Lazy {};
+  World(int nranks, WorldOptions options, Lazy);
+
   int nranks_;
   WorldOptions options_;
   // Declared before world_comm_: channels credit their leftovers back to
   // the account on destruction, so it must outlive the communicator.
   obs::MemAccount mem_account_{nranks_};
+  obs::MemAccount stack_account_{nranks_};
   HookTable hooks_;
   TraceTap trace_tap_;
   support::CounterRng rng_;

@@ -7,12 +7,15 @@
 #include <algorithm>
 #include <cstdlib>
 #include <deque>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "mpisim/error.hpp"
+#include "obs/memory.hpp"
 #include "obs/spans.hpp"
 #include "support/log.hpp"
+#include "support/spec.hpp"
 
 // Sanitizer fiber annotations: without these, swapcontext looks like a wild
 // stack change to ASan and a missing happens-before to TSan.
@@ -47,14 +50,19 @@ Executor::~Executor() = default;
 
 void Executor::add_waitpoint(WaitPoint* wp) {
   const std::lock_guard lock(reg_mu_);
+  wp->reg_index_ = waitpoints_.size();
   waitpoints_.push_back(wp);
 }
 
 void Executor::remove_waitpoint(WaitPoint* wp) {
+  // O(1) swap-remove via the index stashed on the waitpoint — a 65k-rank
+  // world tears down one waitpoint per channel, and a linear registry scan
+  // per removal would make teardown quadratic.
   const std::lock_guard lock(reg_mu_);
-  const auto it = std::find(waitpoints_.begin(), waitpoints_.end(), wp);
-  if (it != waitpoints_.end()) {
-    *it = waitpoints_.back();
+  const std::size_t i = wp->reg_index_;
+  if (i < waitpoints_.size() && waitpoints_[i] == wp) {
+    waitpoints_[i] = waitpoints_.back();
+    waitpoints_[i]->reg_index_ = i;
     waitpoints_.pop_back();
   }
 }
@@ -237,14 +245,17 @@ class FiberExecutor;
 /// handoff slots the worker and the fiber use to talk across swapcontext.
 struct FiberTask {
   ucontext_t uc{};
-  void* map_base = nullptr;      ///< mmap base (low guard page included)
-  std::size_t map_bytes = 0;
-  void* stack_bottom = nullptr;  ///< usable stack low address
+  void* stack_bottom = nullptr;  ///< usable stack low address (slab chunk)
   std::size_t stack_size = 0;
   int rank = -1;
   FiberExecutor* exec = nullptr;
   const std::function<void(int)>* body = nullptr;
   bool finished = false;
+  /// Stack + context are materialized by the first worker that resumes the
+  /// task (lazy: unstarted ranks hold no stack, finished ranks give theirs
+  /// back to the pool, so live stack demand tracks concurrently-active
+  /// ranks, not nranks).
+  bool started = false;
   /// Where to switch back to; re-set by whichever worker resumes us, so a
   /// task migrating between workers always returns to the right one.
   ucontext_t* ret_uc = nullptr;
@@ -273,12 +284,15 @@ struct FiberTask {
 namespace {
 
 constexpr std::size_t kDefaultStackKb = 1024;
+constexpr std::size_t kMinStackKb = 64;
 
-std::size_t fiber_stack_bytes() noexcept {
+std::size_t fiber_stack_bytes(std::size_t stack_kb) noexcept {
   std::size_t kb = kDefaultStackKb;
-  if (const char* env = std::getenv("MPISECT_STACK_KB")) {
+  if (stack_kb > 0) {
+    kb = std::max(kMinStackKb, stack_kb);
+  } else if (const char* env = std::getenv("MPISECT_STACK_KB")) {
     const long v = std::strtol(env, nullptr, 10);
-    if (v >= 64) kb = static_cast<std::size_t>(v);
+    if (v >= static_cast<long>(kMinStackKb)) kb = static_cast<std::size_t>(v);
   }
   return kb * 1024;
 }
@@ -335,11 +349,13 @@ void fiber_trampoline() {
 
 class FiberExecutor final : public Executor {
  public:
-  explicit FiberExecutor(int workers)
-      : workers_(std::max(1, workers)), stack_bytes_(fiber_stack_bytes()) {}
+  explicit FiberExecutor(int workers, std::size_t stack_kb = 0)
+      : workers_(std::max(1, workers)),
+        stack_bytes_(fiber_stack_bytes(stack_kb)) {}
 
   ~FiberExecutor() override {
-    for (const Stack& s : stack_pool_) munmap(s.base, s.bytes);
+    const std::lock_guard lock(pool_mu_);
+    for (const Slab& s : slabs_) munmap(s.base, s.bytes);
   }
 
   void run(int n, const std::function<void(int)>& body) override {
@@ -368,15 +384,9 @@ class FiberExecutor final : public Executor {
       t->rank = r;
       t->exec = this;
       t->body = &body;
-      allocate_stack(*t);
-      (void)getcontext(&t->uc);
-      t->uc.uc_stack.ss_sp = t->stack_bottom;
-      t->uc.uc_stack.ss_size = t->stack_size;
-      t->uc.uc_link = nullptr;
-      makecontext(&t->uc, fiber_trampoline, 0);
-#if defined(MPISECT_TSAN_FIBERS)
-      t->tsan_fiber = __tsan_create_fiber(0);
-#endif
+      // Stack + makecontext happen lazily on first resume (see
+      // start_task): an unstarted rank costs one FiberTask, not a stack
+      // mapping, which is what lets 65k-rank worlds start up in O(active).
       tasks_.push_back(std::move(t));
     }
     {
@@ -397,13 +407,9 @@ class FiberExecutor final : public Executor {
     }
     work_cv_.notify_all();
     for (auto& w : pool) w.join();
-
-    for (const auto& t : tasks_) {
-#if defined(MPISECT_TSAN_FIBERS)
-      __tsan_destroy_fiber(t->tsan_fiber);
-#endif
-      release_stack(*t);
-    }
+    // Every task has finished (done_cv_ gated on it), and finished tasks
+    // released their stacks + sanitizer fibers on the worker that retired
+    // them — nothing left to tear down but the task records.
     tasks_.clear();
   }
 
@@ -482,38 +488,92 @@ class FiberExecutor final : public Executor {
 
  private:
   struct Stack {
+    void* bottom;
+    std::size_t bytes;
+  };
+  struct Slab {
     void* base;
     std::size_t bytes;
   };
+  /// Stacks per mmap slab. A guard-paged mapping costs two kernel VMAs
+  /// (PROT_NONE page + stack), and vm.max_map_count defaults to 65530 — so
+  /// one mapping per fiber caps the simulator near 32k concurrent ranks.
+  /// Carving 16 stacks out of each slab keeps the VMA count ~16x below
+  /// that wall (65536 ranks ~= 8192 VMAs). The slab's low guard page still
+  /// faults runaway recursion; within a slab an overflow must first cross
+  /// an entire neighbouring stack, which the default 1 MiB size makes a
+  /// diagnosed-in-practice non-event.
+  static constexpr std::size_t kStacksPerSlab = 16;
 
   void allocate_stack(FiberTask& t) {
-    const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
-    if (!stack_pool_.empty()) {
-      const Stack s = stack_pool_.back();
-      stack_pool_.pop_back();
-      t.map_base = s.base;
-      t.map_bytes = s.bytes;
-    } else {
-      const std::size_t bytes =
-          page + ((stack_bytes_ + page - 1) / page) * page;
+    bool reused = false;
+    {
+      const std::lock_guard lock(pool_mu_);
+      if (!stack_pool_.empty()) {
+        const Stack s = stack_pool_.back();
+        stack_pool_.pop_back();
+        t.stack_bottom = s.bottom;
+        t.stack_size = s.bytes;
+        reused = true;
+      }
+    }
+    if (!reused) {
+      const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+      const std::size_t stack_bytes =
+          ((stack_bytes_ + page - 1) / page) * page;
+      const std::size_t bytes = page + kStacksPerSlab * stack_bytes;
       void* base = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
                         MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
       require(base != MAP_FAILED, Err::Internal, "fiber stack mmap failed");
-      // Guard page at the low end: stacks grow down, so an overflow faults
-      // instead of silently corrupting the neighbouring mapping.
+      // Guard page at the low end: stacks grow down, so an overflow off
+      // the slab faults instead of silently corrupting a neighbouring
+      // mapping.
       mprotect(base, page, PROT_NONE);
-      t.map_base = base;
-      t.map_bytes = bytes;
+      char* cursor = static_cast<char*>(base) + page;
+      {
+        const std::lock_guard lock(pool_mu_);
+        slabs_.push_back({base, bytes});
+        // Hand the caller the lowest chunk; pool the rest.
+        for (std::size_t i = 1; i < kStacksPerSlab; ++i) {
+          stack_pool_.push_back({cursor + i * stack_bytes, stack_bytes});
+        }
+      }
+      t.stack_bottom = cursor;
+      t.stack_size = stack_bytes;
     }
-    t.stack_bottom = static_cast<char*>(t.map_base) + page;
-    t.stack_size = t.map_bytes - page;
-    stats_.stack_bytes.fetch_add(t.map_bytes, std::memory_order_relaxed);
+    stats_.stack_bytes.fetch_add(t.stack_size, std::memory_order_relaxed);
+    const std::uint64_t live =
+        live_stack_bytes_.fetch_add(t.stack_size,
+                                    std::memory_order_relaxed) +
+        t.stack_size;
+    obs::update_max(stats_.stack_bytes_hwm, live);
+    if (mem_ != nullptr) mem_->rank(t.rank).add(t.stack_size);
   }
 
   void release_stack(FiberTask& t) {
-    // Stacks are reused across run() calls; the pool dies with the executor.
-    stack_pool_.push_back({t.map_base, t.map_bytes});
-    t.map_base = nullptr;
+    // Stacks are reused across ranks within a run and across run() calls;
+    // the slabs die with the executor.
+    live_stack_bytes_.fetch_sub(t.stack_size, std::memory_order_relaxed);
+    if (mem_ != nullptr) mem_->rank(t.rank).sub(t.stack_size);
+    const std::lock_guard lock(pool_mu_);
+    stack_pool_.push_back({t.stack_bottom, t.stack_size});
+    t.stack_bottom = nullptr;
+  }
+
+  /// First resume of a task: give it a stack and a context. Runs on the
+  /// resuming worker, outside the scheduler lock (mmap under mu_ would
+  /// serialize every worker behind a syscall).
+  void start_task(FiberTask& t) {
+    allocate_stack(t);
+    (void)getcontext(&t.uc);
+    t.uc.uc_stack.ss_sp = t.stack_bottom;
+    t.uc.uc_stack.ss_size = t.stack_size;
+    t.uc.uc_link = nullptr;
+    makecontext(&t.uc, fiber_trampoline, 0);
+#if defined(MPISECT_TSAN_FIBERS)
+    t.tsan_fiber = __tsan_create_fiber(0);
+#endif
+    t.started = true;
   }
 
   /// Move every task parked on wp to the ready queue.
@@ -581,6 +641,7 @@ class FiberExecutor final : public Executor {
       while (!t->resumable.load(std::memory_order_acquire)) {
         std::this_thread::yield();
       }
+      if (!t->started) start_task(*t);
 
       std::uint64_t t_run0 = 0;
       if (timed_) {
@@ -620,6 +681,13 @@ class FiberExecutor final : public Executor {
       }
 
       if (t->finished) {
+        // Retire the fiber's resources right here: its context will never
+        // be resumed, so the stack can serve the next unstarted rank.
+#if defined(MPISECT_TSAN_FIBERS)
+        __tsan_destroy_fiber(t->tsan_fiber);
+        t->tsan_fiber = nullptr;
+#endif
+        release_stack(*t);
         bool fire = false;
         bool all_done = false;
         {
@@ -659,7 +727,10 @@ class FiberExecutor final : public Executor {
   std::condition_variable done_cv_;
   std::deque<FiberTask*> ready_;
   std::vector<std::unique_ptr<FiberTask>> tasks_;
+  std::mutex pool_mu_;
   std::vector<Stack> stack_pool_;
+  std::vector<Slab> slabs_;
+  std::atomic<std::uint64_t> live_stack_bytes_{0};
   int total_ = 0;
   int finished_ = 0;
   int running_ = 0;
@@ -682,11 +753,83 @@ int resolve_workers(int workers) noexcept {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-std::unique_ptr<Executor> make_executor(ExecBackend backend, int workers) {
+std::unique_ptr<Executor> make_executor(ExecBackend backend, int workers,
+                                        std::size_t stack_kb) {
   if (backend == ExecBackend::Threads) {
     return std::make_unique<ThreadExecutor>();
   }
-  return std::make_unique<FiberExecutor>(resolve_workers(workers));
+  return std::make_unique<FiberExecutor>(resolve_workers(workers), stack_kb);
+}
+
+std::unique_ptr<Executor> make_executor(const ExecModel& model) {
+  return make_executor(model.backend, model.workers, model.stack_kb);
+}
+
+// ---------------------------------------------------------------------------
+// ExecModel: the --exec spec
+// ---------------------------------------------------------------------------
+
+const char* ExecModel::name() const noexcept {
+  return backend == ExecBackend::Threads ? "threads" : "cooperative";
+}
+
+std::string ExecModel::spec() const {
+  std::string s = name();
+  if (backend == ExecBackend::Threads) return s;
+  char sep = ':';
+  if (workers > 0) {
+    s += sep;
+    s += "workers=" + std::to_string(workers);
+    sep = ',';
+  }
+  if (stack_kb > 0) {
+    s += sep;
+    s += "stack=" + std::to_string(stack_kb);
+  }
+  return s;
+}
+
+ExecModel ExecModel::parse(const std::string& spec) {
+  support::SpecParts parts;
+  try {
+    parts = support::parse_spec(spec);
+  } catch (const std::invalid_argument& e) {
+    throw MpiError(Err::Arg, std::string("exec ") + e.what());
+  }
+
+  ExecModel m;
+  if (parts.preset == "cooperative") {
+    m.backend = ExecBackend::Cooperative;
+  } else if (parts.preset == "threads") {
+    m.backend = ExecBackend::Threads;
+  } else {
+    throw MpiError(Err::Arg, "unknown exec preset '" + parts.preset +
+                                 "' (expected " + choices() + ")");
+  }
+  require(parts.options.empty() || m.backend == ExecBackend::Cooperative,
+          Err::Arg, "threads takes no options");
+
+  for (const auto& [key, raw] : parts.options) {
+    int value = 0;
+    try {
+      value = support::spec_int(raw);
+    } catch (const std::invalid_argument& e) {
+      throw MpiError(Err::Arg, std::string("exec ") + e.what());
+    }
+    if (key == "workers") {
+      m.workers = value;
+    } else if (key == "stack") {
+      m.stack_kb = static_cast<std::size_t>(value);
+    } else {
+      throw MpiError(Err::Arg,
+                     "unknown exec option '" + key + "' for cooperative");
+    }
+  }
+  return m;
+}
+
+std::string ExecModel::choices() {
+  return "cooperative[:workers=N,stack=KB]|threads";
 }
 
 }  // namespace mpisect::mpisim

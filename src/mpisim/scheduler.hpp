@@ -34,7 +34,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
+
+namespace mpisect::obs {
+class MemAccount;
+}  // namespace mpisect::obs
 
 namespace mpisect::mpisim {
 
@@ -42,6 +47,30 @@ namespace mpisect::mpisim {
 enum class ExecBackend {
   Cooperative,  ///< fiber scheduler on a fixed worker pool (default)
   Threads,      ///< one OS thread per rank (differential reference)
+};
+
+/// Backend selection plus its tuning knobs, with the same
+/// `preset[:key=value,...]` spec vocabulary as ProgressModel — what the
+/// `--exec` flag parses and what describe() strings print.
+///
+///   cooperative                    default worker pool, default stacks
+///   cooperative:workers=4          fixed worker count
+///   cooperative:workers=4,stack=256  256 KiB fiber stacks
+///   threads                        one OS thread per rank
+struct ExecModel {
+  ExecBackend backend = ExecBackend::Cooperative;
+  int workers = 0;          ///< 0 = MPISECT_WORKERS env, else hw concurrency
+  std::size_t stack_kb = 0; ///< 0 = MPISECT_STACK_KB env, else 1 MiB; min 64
+
+  bool operator==(const ExecModel&) const = default;
+
+  [[nodiscard]] const char* name() const noexcept;
+  /// Canonical spec string; ExecModel::parse(spec()) == *this.
+  [[nodiscard]] std::string spec() const;
+  /// Parse a spec string. Throws MpiError(Err::Arg) on unknown presets,
+  /// unknown options, or options on the threads backend.
+  static ExecModel parse(const std::string& spec);
+  static std::string choices();
 };
 
 class WaitPoint;
@@ -70,6 +99,10 @@ struct ExecStats {
   std::atomic<std::uint64_t> idle_ns{0};
   /// Bytes mmap'ed for fiber stacks this run (guard pages included).
   std::atomic<std::uint64_t> stack_bytes{0};
+  /// Peak bytes of fiber stacks held concurrently (stacks are allocated on
+  /// first resume and returned to the pool when the fiber finishes, so this
+  /// tracks live demand, not cumulative churn).
+  std::atomic<std::uint64_t> stack_bytes_hwm{0};
 
   void reset() noexcept {
     parks.store(0, std::memory_order_relaxed);
@@ -83,6 +116,7 @@ struct ExecStats {
     busy_ns.store(0, std::memory_order_relaxed);
     idle_ns.store(0, std::memory_order_relaxed);
     stack_bytes.store(0, std::memory_order_relaxed);
+    stack_bytes_hwm.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -123,6 +157,13 @@ class Executor {
   /// Wall-clock scheduling counters (see ExecStats). Reset at each run().
   [[nodiscard]] const ExecStats& stats() const noexcept { return stats_; }
 
+  /// Optional per-rank stack accounting sink. The cooperative backend
+  /// charges rank r's slot when r's fiber stack is assigned and credits it
+  /// when the fiber finishes; the account's hwm is therefore each rank's
+  /// exact stack high-water mark. Accounting only — never affects
+  /// scheduling or virtual time.
+  void set_mem_account(obs::MemAccount* acct) noexcept { mem_ = acct; }
+
   /// Ranks currently runnable but not running (cooperative backend's ready
   /// queue; always 0 for the thread backend). Racy snapshot, telemetry only.
   [[nodiscard]] virtual std::size_t ready_depth() const noexcept { return 0; }
@@ -146,6 +187,7 @@ class Executor {
   void fire_quiescence();
 
   ExecStats stats_;
+  obs::MemAccount* mem_ = nullptr;
 
  private:
   std::mutex reg_mu_;
@@ -197,6 +239,10 @@ class WaitPoint {
   /// scheduler mutex, populated before the parking fiber's owner mutex is
   /// released so a notifier can never miss a half-parked task).
   std::vector<void*> parked_;
+  /// Slot in the executor's registry (maintained by add/remove_waitpoint so
+  /// deregistration is O(1) — worlds create one WaitPoint per channel, and
+  /// a 65k-rank teardown cannot afford a linear registry scan each).
+  std::size_t reg_index_ = 0;
 };
 
 /// Number of worker threads `workers` resolves to: the value itself if > 0,
@@ -204,9 +250,14 @@ class WaitPoint {
 [[nodiscard]] int resolve_workers(int workers) noexcept;
 
 /// Create an executor. workers is resolved via resolve_workers() and only
-/// meaningful for the cooperative backend. Fiber stack size defaults to
-/// 1 MiB, override with MPISECT_STACK_KB.
+/// meaningful for the cooperative backend. stack_kb sets the fiber stack
+/// size (clamped up to 64 KiB); 0 falls back to MPISECT_STACK_KB, else
+/// 1 MiB.
 [[nodiscard]] std::unique_ptr<Executor> make_executor(ExecBackend backend,
-                                                      int workers = 0);
+                                                      int workers = 0,
+                                                      std::size_t stack_kb = 0);
+
+/// make_executor from a parsed spec (backend + workers + stack in one).
+[[nodiscard]] std::unique_ptr<Executor> make_executor(const ExecModel& model);
 
 }  // namespace mpisect::mpisim

@@ -209,4 +209,12 @@ std::string unified_export(const ArgParser& args) {
   return args.get_string("export");
 }
 
+void add_world_flags(ArgParser& args) {
+  args.add_string("exec", "cooperative",
+                  "rank execution backend: "
+                  "cooperative[:workers=N,stack=KB] | threads");
+  args.add_string("match", "hashed",
+                  "message-matching engine: hashed[:buckets=N] | legacy");
+}
+
 }  // namespace mpisect::support

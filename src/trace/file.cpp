@@ -34,6 +34,7 @@ void encode_machine(ByteWriter& w, const mpisim::MachineModel& m) {
   w.f64(n.jitter.spike_prob);
   w.f64(n.jitter.spike_mean);
   w.varint(n.seed);
+  w.u8(n.hierarchical_nbc ? 1 : 0);  // v5
   const auto& o = m.omp;
   w.f64(o.fork_join_base);
   w.f64(o.fork_join_per_thread);
@@ -43,7 +44,7 @@ void encode_machine(ByteWriter& w, const mpisim::MachineModel& m) {
   w.f64(o.oversubscription_penalty);
 }
 
-mpisim::MachineModel decode_machine(ByteReader& r) {
+mpisim::MachineModel decode_machine(ByteReader& r, std::uint32_t version) {
   mpisim::MachineModel m;
   m.name = r.str();
   m.cores_per_node = static_cast<int>(r.varint());
@@ -69,6 +70,9 @@ mpisim::MachineModel decode_machine(ByteReader& r) {
   n.jitter.spike_prob = r.f64();
   n.jitter.spike_mean = r.f64();
   n.seed = r.varint();
+  // v5: hierarchical NBC flag; absent in older traces, which were charged
+  // with the flat formula the unset default reproduces.
+  if (version >= 5) n.hierarchical_nbc = r.u8() != 0;
   auto& o = m.omp;
   o.fork_join_base = r.f64();
   o.fork_join_per_thread = r.f64();
@@ -250,9 +254,15 @@ Event decode_event(ByteReader& r, std::uint64_t& prev_op,
   return ev;
 }
 
-std::vector<std::uint8_t> TraceFile::encode() const {
-  const obs::Span obs_span("trace.encode");
-  ByteWriter w;
+namespace {
+
+/// Everything that precedes the rank streams: magic, version, header,
+/// machine block, label table, rank count. Shared verbatim by the
+/// whole-buffer encode() and the streaming writer so the two byte streams
+/// cannot diverge.
+void encode_preamble(ByteWriter& w, const TraceHeader& header,
+                     const std::vector<std::string>& labels,
+                     std::uint64_t nranks) {
   w.u32le(kTraceMagic);
   w.u32le(kTraceVersion);
   w.str(header.app);
@@ -269,29 +279,93 @@ std::vector<std::uint8_t> TraceFile::encode() const {
   encode_machine(w, header.machine);
   w.varint(labels.size());
   for (const auto& l : labels) w.str(l);
-  w.varint(ranks.size());
-  for (const auto& rs : ranks) {
-    w.varint(static_cast<std::uint64_t>(rs.rank));
-    w.f64(rs.t0);
-    w.f64(rs.t_final);
-    w.varint(rs.events.size());
-    std::uint64_t prev_op = 0;
-    for (const auto& ev : rs.events) encode_event(w, ev, prev_op);
-    w.varint(rs.totals.size());
-    for (const auto& t : rs.totals) {
-      w.varint(static_cast<std::uint64_t>(t.comm));
-      w.varint(t.label);
-      w.varint(t.count);
-      w.f64(t.inclusive);
-    }
+  w.varint(nranks);
+}
+
+/// One rank's stream, self-delimiting (the encoding never looks across
+/// rank boundaries — prev_op delta state resets per rank — which is what
+/// makes rank-at-a-time streaming byte-identical to the one-shot encode).
+void encode_rank_stream(ByteWriter& w, const RankStream& rs) {
+  w.varint(static_cast<std::uint64_t>(rs.rank));
+  w.f64(rs.t0);
+  w.f64(rs.t_final);
+  w.varint(rs.events.size());
+  std::uint64_t prev_op = 0;
+  for (const auto& ev : rs.events) encode_event(w, ev, prev_op);
+  w.varint(rs.totals.size());
+  for (const auto& t : rs.totals) {
+    w.varint(static_cast<std::uint64_t>(t.comm));
+    w.varint(t.label);
+    w.varint(t.count);
+    w.f64(t.inclusive);
   }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> TraceFile::encode() const {
+  const obs::Span obs_span("trace.encode");
+  ByteWriter w;
+  encode_preamble(w, header, labels, ranks.size());
+  for (const auto& rs : ranks) encode_rank_stream(w, rs);
   std::vector<std::uint8_t> bytes = w.take();
-  // Writer accounting: the whole encode buffers in RAM before any flush
-  // (ROADMAP wants streaming writes; this high-water mark is the evidence).
+  // Writer accounting: the whole encode buffers in RAM before any flush.
+  // Streaming paths (TraceStreamWriter) buffer one rank at a time instead;
+  // the gap between the two high-water marks is the streaming win.
   auto& oc = obs::counters();
   oc.trace_encoded_bytes.fetch_add(bytes.size(), std::memory_order_relaxed);
   obs::update_max(oc.trace_buffered_bytes_hwm, bytes.size());
   return bytes;
+}
+
+TraceStreamWriter::TraceStreamWriter(const std::string& path,
+                                     const TraceHeader& header,
+                                     const std::vector<std::string>& labels,
+                                     int nranks)
+    : path_(path), expected_ranks_(nranks) {
+  out_.open(path, std::ios::binary);
+  if (!out_) throw TraceError("cannot open " + path + " for writing");
+  ByteWriter w;
+  encode_preamble(w, header, labels, static_cast<std::uint64_t>(nranks));
+  write_chunk(w.take());
+}
+
+TraceStreamWriter::~TraceStreamWriter() = default;
+
+void TraceStreamWriter::write_rank(const RankStream& rs) {
+  if (closed_) throw TraceError("trace stream writer already closed");
+  if (written_ >= expected_ranks_) {
+    throw TraceError("trace stream writer: more ranks than declared");
+  }
+  ByteWriter w;
+  encode_rank_stream(w, rs);
+  write_chunk(w.take());
+  ++written_;
+}
+
+void TraceStreamWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (written_ != expected_ranks_) {
+    throw TraceError("trace stream writer: wrote " +
+                     std::to_string(written_) + " of " +
+                     std::to_string(expected_ranks_) + " declared ranks");
+  }
+  out_.flush();
+  if (!out_) throw TraceError("short write to " + path_);
+  obs::counters().trace_flushes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceStreamWriter::write_chunk(const std::vector<std::uint8_t>& bytes) {
+  // Per-chunk accounting: the buffered high-water mark is one chunk (the
+  // preamble or one rank stream), not the whole file — the point of
+  // streaming at 65k ranks.
+  auto& oc = obs::counters();
+  oc.trace_encoded_bytes.fetch_add(bytes.size(), std::memory_order_relaxed);
+  obs::update_max(oc.trace_buffered_bytes_hwm, bytes.size());
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  if (!out_) throw TraceError("short write to " + path_);
 }
 
 TraceFile TraceFile::decode(std::span<const std::uint8_t> data) {
@@ -337,7 +411,7 @@ TraceFile TraceFile::decode(std::span<const std::uint8_t> data) {
     tf.header.progress.thread_latency = r.f64();
     tf.header.progress.core_tax = r.f64();
   }
-  tf.header.machine = decode_machine(r);
+  tf.header.machine = decode_machine(r, version);
   const std::uint64_t nlabels = r.varint();
   tf.labels.reserve(static_cast<std::size_t>(nlabels));
   for (std::uint64_t i = 0; i < nlabels; ++i) tf.labels.push_back(r.str());
@@ -373,13 +447,11 @@ TraceFile TraceFile::decode(std::span<const std::uint8_t> data) {
 
 void TraceFile::save(const std::string& path) const {
   const obs::Span obs_span("trace.save");
-  const auto bytes = encode();
-  obs::counters().trace_flushes.fetch_add(1, std::memory_order_relaxed);
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw TraceError("cannot open " + path + " for writing");
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw TraceError("short write to " + path);
+  // Stream rank by rank: at no point does the whole file buffer in RAM.
+  // Byte-identical to writing encode() wholesale (same helpers, in order).
+  TraceStreamWriter w(path, header, labels, static_cast<int>(ranks.size()));
+  for (const auto& rs : ranks) w.write_rank(rs);
+  w.close();
 }
 
 TraceFile TraceFile::load(const std::string& path) {

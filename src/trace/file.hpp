@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <span>
 #include <string>
 #include <vector>
@@ -35,7 +36,11 @@ inline constexpr std::uint32_t kTraceMagic = 0x5453504D;  // "MPST" LE
 /// v4 adds the progress model the run executed under to the header and the
 /// NbcPost/NbcComplete event kinds; decode still accepts v1-v3 (progress =
 /// blocking-only, the only behaviour older simulators had).
-inline constexpr std::uint32_t kTraceVersion = 4;
+/// v5 appends the network model's hierarchical_nbc flag to the machine
+/// block so replay/interp recompute nonblocking-collective costs with the
+/// same topology the run charged; decode still accepts v1-v4 (flag off,
+/// the flat formula those runs used).
+inline constexpr std::uint32_t kTraceVersion = 5;
 
 struct TraceHeader {
   std::string app;  ///< free-form provenance (app + parameters)
@@ -87,6 +92,39 @@ struct TraceFile {
   [[nodiscard]] static TraceFile load(const std::string& path);
 
   [[nodiscard]] std::uint64_t total_events() const noexcept;
+};
+
+/// Streams a .mpst file to disk rank by rank: the preamble is written at
+/// construction, each write_rank() encodes and flushes one rank stream,
+/// and close() verifies the declared rank count. The byte stream is
+/// identical to TraceFile::encode() of the same data — the encoding is
+/// self-delimiting per rank — but the buffered high-water mark is one
+/// rank stream instead of the whole file, which is what makes recording
+/// 65k-rank traces feasible. Throws TraceError on I/O failure, writing
+/// more ranks than declared, or closing short.
+class TraceStreamWriter {
+ public:
+  TraceStreamWriter(const std::string& path, const TraceHeader& header,
+                    const std::vector<std::string>& labels, int nranks);
+  ~TraceStreamWriter();
+  TraceStreamWriter(const TraceStreamWriter&) = delete;
+  TraceStreamWriter& operator=(const TraceStreamWriter&) = delete;
+
+  /// Encode and write the next rank stream (ranks are positional; feed
+  /// them in the order the reader should see them).
+  void write_rank(const RankStream& rs);
+  /// Flush and verify. Idempotent; destruction without close() performs
+  /// no verification (a partial file is left behind for post-mortems).
+  void close();
+
+ private:
+  void write_chunk(const std::vector<std::uint8_t>& bytes);
+
+  std::ofstream out_;
+  std::string path_;
+  int expected_ranks_;
+  int written_ = 0;
+  bool closed_ = false;
 };
 
 }  // namespace mpisect::trace

@@ -273,7 +273,48 @@ void TraceRecorder::on_coll_entry(mpisim::Ctx& ctx, std::uint64_t op,
   b.last_t = ctx.now();
 }
 
-TraceFile TraceRecorder::finish() const {
+void TraceRecorder::label_remap(std::vector<std::string>& sorted,
+                                std::vector<std::uint32_t>& remap) const {
+  // Remap label ids to lexicographic order: interning order depends on
+  // which rank thread saw a label first, and byte-identical files for
+  // same-seed runs are a determinism guarantee of the format.
+  sorted = label_names_;
+  std::sort(sorted.begin(), sorted.end());
+  remap.resize(label_names_.size());
+  for (std::size_t old = 0; old < label_names_.size(); ++old) {
+    const auto it =
+        std::lower_bound(sorted.begin(), sorted.end(), label_names_[old]);
+    remap[old] = static_cast<std::uint32_t>(it - sorted.begin());
+  }
+}
+
+RankStream TraceRecorder::build_rank(
+    int r, const std::vector<std::uint32_t>& remap) const {
+  const RankBuf& b = bufs_[static_cast<std::size_t>(r)];
+  RankStream rs;
+  rs.rank = r;
+  rs.t0 = b.t0;
+  rs.t_final = b.t_final;
+  rs.events = b.events;
+  for (Event& ev : rs.events) {
+    if (ev.kind == EventKind::SectionEnter ||
+        ev.kind == EventKind::SectionExit ||
+        ev.kind == EventKind::Pcontrol) {
+      ev.label = remap[ev.label];
+    }
+  }
+  for (const auto& [key, val] : b.totals) {
+    rs.totals.push_back(SectionTotal{key.first, remap[key.second],
+                                     val.first, val.second});
+  }
+  std::sort(rs.totals.begin(), rs.totals.end(),
+            [](const SectionTotal& a, const SectionTotal& x) {
+              return a.comm != x.comm ? a.comm < x.comm : a.label < x.label;
+            });
+  return rs;
+}
+
+TraceFile TraceRecorder::skeleton() const {
   TraceFile tf;
   tf.header.app = options_.app;
   tf.header.seed = world_->options().seed;
@@ -290,44 +331,52 @@ TraceFile TraceRecorder::finish() const {
   // no progress arithmetic on the overhead draws.
   tf.header.machine = world_->machine();
 
-  // Remap label ids to lexicographic order: interning order depends on
-  // which rank thread saw a label first, and byte-identical files for
-  // same-seed runs are a determinism guarantee of the format.
-  std::vector<std::string> sorted = label_names_;
-  std::sort(sorted.begin(), sorted.end());
-  std::vector<std::uint32_t> remap(label_names_.size());
-  for (std::size_t old = 0; old < label_names_.size(); ++old) {
-    const auto it =
-        std::lower_bound(sorted.begin(), sorted.end(), label_names_[old]);
-    remap[old] = static_cast<std::uint32_t>(it - sorted.begin());
-  }
-  tf.labels = std::move(sorted);
-
+  std::vector<std::uint32_t> remap;
+  label_remap(tf.labels, remap);
+  tf.ranks.reserve(static_cast<std::size_t>(world_->size()));
   for (int r = 0; r < world_->size(); ++r) {
-    const RankBuf& b = bufs_[static_cast<std::size_t>(r)];
-    RankStream rs;
-    rs.rank = r;
-    rs.t0 = b.t0;
-    rs.t_final = b.t_final;
-    rs.events = b.events;
-    for (Event& ev : rs.events) {
-      if (ev.kind == EventKind::SectionEnter ||
-          ev.kind == EventKind::SectionExit ||
-          ev.kind == EventKind::Pcontrol) {
-        ev.label = remap[ev.label];
-      }
-    }
-    for (const auto& [key, val] : b.totals) {
-      rs.totals.push_back(SectionTotal{key.first, remap[key.second],
-                                       val.first, val.second});
-    }
-    std::sort(rs.totals.begin(), rs.totals.end(),
-              [](const SectionTotal& a, const SectionTotal& x) {
-                return a.comm != x.comm ? a.comm < x.comm : a.label < x.label;
-              });
+    RankStream rs = build_rank(r, remap);
+    rs.events.clear();
+    rs.events.shrink_to_fit();
     tf.ranks.push_back(std::move(rs));
   }
   return tf;
+}
+
+RankStream TraceRecorder::finish_rank(int r) const {
+  std::vector<std::string> sorted;
+  std::vector<std::uint32_t> remap;
+  label_remap(sorted, remap);
+  return build_rank(r, remap);
+}
+
+TraceFile TraceRecorder::finish() const {
+  TraceFile tf = skeleton();
+  std::vector<std::string> sorted;
+  std::vector<std::uint32_t> remap;
+  label_remap(sorted, remap);
+  for (int r = 0; r < world_->size(); ++r) {
+    tf.ranks[static_cast<std::size_t>(r)] = build_rank(r, remap);
+  }
+  return tf;
+}
+
+std::uint64_t TraceRecorder::total_events() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : bufs_) n += b.events.size();
+  return n;
+}
+
+void TraceRecorder::save(const std::string& path) const {
+  std::vector<std::string> sorted;
+  std::vector<std::uint32_t> remap;
+  label_remap(sorted, remap);
+  const TraceFile sk = skeleton();  // header + labels; ranks unused here
+  TraceStreamWriter w(path, sk.header, sk.labels, world_->size());
+  for (int r = 0; r < world_->size(); ++r) {
+    w.write_rank(build_rank(r, remap));
+  }
+  w.close();
 }
 
 }  // namespace mpisect::trace

@@ -64,6 +64,21 @@ class TraceRecorder : public mpisim::Extension, public mpisim::hooks::Tool {
   /// byte-identical files regardless of thread interleaving.
   [[nodiscard]] TraceFile finish() const;
 
+  /// Header, sorted label table and per-rank metadata (t0/t_final/section
+  /// totals) of the last run with every event list EMPTY — the cheap part
+  /// of finish(), and the skeleton codec::compress_stream wants.
+  [[nodiscard]] TraceFile skeleton() const;
+  /// One rank's full stream with labels remapped — finish() restricted to
+  /// rank r. Peak memory for a whole-trace save through this is one
+  /// rank's copy instead of all of them.
+  [[nodiscard]] RankStream finish_rank(int r) const;
+  /// Stream the last run straight to a .mpst file, one rank at a time
+  /// (byte-identical to finish().save(path), without ever materializing
+  /// the whole TraceFile).
+  void save(const std::string& path) const;
+  /// Events recorded in the last run, across all ranks (no assembly).
+  [[nodiscard]] std::uint64_t total_events() const noexcept;
+
   // Tool interface (invoked by the world's ToolStack).
   void on_call_begin(mpisim::Ctx& ctx, const mpisim::CallInfo& info) override;
   void on_call_end(mpisim::Ctx& ctx, const mpisim::CallInfo& info) override;
@@ -126,6 +141,11 @@ class TraceRecorder : public mpisim::Extension, public mpisim::hooks::Tool {
   void on_end(mpisim::Ctx& ctx, const mpisim::CallInfo& info);
   void on_section(mpisim::Ctx& ctx, mpisim::Comm& comm, const char* label,
                   bool enter);
+  /// Lexicographically sorted label table + old-id -> new-id remap.
+  void label_remap(std::vector<std::string>& sorted,
+                   std::vector<std::uint32_t>& remap) const;
+  [[nodiscard]] RankStream build_rank(
+      int r, const std::vector<std::uint32_t>& remap) const;
 
   mpisim::World* world_;
   RecorderOptions options_;

@@ -425,14 +425,10 @@ struct Engine {
         NbcRound& round = it->second;
         st.t_rec = rec_prog.nbc_complete_time(
             st.t_rec, round.max_rec,
-            mpisim::nbc_algo_cost(rec_net.inter_node.latency,
-                                  rec_net.inter_node.bandwidth, round.members,
-                                  round.bytes));
+            rec_net.nbc_cost(round.members, round.bytes));
         st.t_cur = cur_prog.nbc_complete_time(
             st.t_cur, round.max_cur,
-            mpisim::nbc_algo_cost(cur_net.inter_node.latency,
-                                  cur_net.inter_node.bandwidth, round.members,
-                                  round.bytes));
+            cur_net.nbc_cost(round.members, round.bytes));
         if (++round.departed == round.members) nbc_rounds.erase(it);
         break;
       }

@@ -7,10 +7,12 @@
 #include <atomic>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "mpisim/channel.hpp"
 #include "mpisim/error.hpp"
 #include "mpisim/scheduler.hpp"
+#include "support/rng.hpp"
 
 namespace {
 
@@ -230,6 +232,129 @@ TEST(Channel, AbortWakesRendezvousSender) {
   });
   EXPECT_THROW((void)f.ch.wait_delivered(msg), MpiError);
   killer.join();
+}
+
+// ---------------------------------------------------------------------------
+// Matching engines: hashed vs legacy differential coverage
+// ---------------------------------------------------------------------------
+
+struct EngineFixture {
+  std::atomic<bool> abort{false};
+  std::unique_ptr<Executor> exec = make_executor(ExecBackend::Threads);
+  Channel hashed{*exec, &abort, 0.0, nullptr,
+                 MatchModel{MatchMode::Hashed}};
+  Channel legacy{*exec, &abort, 0.0, nullptr,
+                 MatchModel{MatchMode::Legacy}};
+};
+
+TEST(ChannelEngines, SpecVocabularyRoundTrips) {
+  EXPECT_EQ(MatchModel{}.spec(), "hashed");
+  EXPECT_EQ(MatchModel::parse("hashed:buckets=64").buckets, 64u);
+  EXPECT_EQ(MatchModel::parse("hashed:buckets=64").spec(),
+            "hashed:buckets=64");
+  EXPECT_EQ(MatchModel::parse("legacy").mode, MatchMode::Legacy);
+  EXPECT_THROW(MatchModel::parse("btree"), MpiError);
+  EXPECT_THROW(MatchModel::parse("legacy:buckets=2"), MpiError);
+}
+
+// A deposit must take the minimum post ordinal ACROSS wildcard lanes, not
+// just the head of its exact-(src,tag) lane — post order is global.
+TEST(ChannelEngines, WildcardLanesRespectGlobalPostOrder) {
+  EngineFixture f;
+  for (Channel* ch : {&f.hashed, &f.legacy}) {
+    auto any_any = make_recv(kAnySource, kAnyTag, 1.0);   // ordinal 0
+    auto exact = make_recv(2, 5, 1.0);                    // ordinal 1
+    auto any_tag = make_recv(kAnySource, 5, 1.0);         // ordinal 2
+    ch->post(any_any);
+    ch->post(exact);
+    ch->post(any_tag);
+    ch->deposit(make_msg(2, 5, 0.0, 0.1));  // compatible with all three
+    EXPECT_TRUE(ch->test_recv(any_any));    // earliest ordinal wins
+    EXPECT_FALSE(ch->test_recv(exact));
+    EXPECT_FALSE(ch->test_recv(any_tag));
+    ch->deposit(make_msg(2, 5, 0.0, 0.1));
+    EXPECT_TRUE(ch->test_recv(exact));      // then post order again
+    EXPECT_FALSE(ch->test_recv(any_tag));
+    ch->deposit(make_msg(2, 5, 0.0, 0.1));
+    EXPECT_TRUE(ch->test_recv(any_tag));
+  }
+}
+
+// A (src, ANY) receive must find the earliest-ARRIVAL message from that
+// source even when other sources' messages interleave the queue.
+TEST(ChannelEngines, SourceWildcardFindsEarliestArrivalFromSource) {
+  EngineFixture f;
+  for (Channel* ch : {&f.hashed, &f.legacy}) {
+    ch->deposit(make_msg(1, 10, 1.0, 0.1));
+    ch->deposit(make_msg(2, 20, 1.0, 0.1));
+    ch->deposit(make_msg(1, 30, 1.0, 0.1));
+    auto pr = make_recv(1, kAnyTag, 2.0);
+    ch->post(pr);
+    EXPECT_EQ(ch->wait_recv(pr).tag, 10);  // first arrival from source 1
+    auto pr2 = make_recv(1, kAnyTag, 2.0);
+    ch->post(pr2);
+    EXPECT_EQ(ch->wait_recv(pr2).tag, 30);
+    EXPECT_EQ(ch->pending_messages(), 1u);  // source 2 untouched
+  }
+}
+
+TEST(ChannelEngines, ProbeSeesEarliestCompatibleInBothEngines) {
+  EngineFixture f;
+  for (Channel* ch : {&f.hashed, &f.legacy}) {
+    ch->deposit(make_msg(4, 1, 1.0, 0.1));
+    ch->deposit(make_msg(3, 1, 0.5, 0.1));
+    const Status by_tag = ch->probe(kAnySource, 1, 2.0);
+    EXPECT_EQ(by_tag.source, 4);  // arrival order, not timestamps
+    const Status by_src = ch->probe(3, kAnyTag, 2.0);
+    EXPECT_EQ(by_src.source, 3);
+    EXPECT_EQ(ch->pending_messages(), 2u);
+  }
+}
+
+// Randomized differential: any interleaving of deposits and posts across
+// sources, tags, and wildcard classes must produce identical match results
+// (source, tag, completion time, leftover queues) in both engines.
+TEST(ChannelEngines, RandomizedHistoriesAgree) {
+  const mpisect::support::CounterRng rng(0xD1FF);
+  std::uint64_t ctr = 0;
+  for (int round = 0; round < 50; ++round) {
+    EngineFixture f;
+    std::vector<PostedRecvPtr> hashed_recvs;
+    std::vector<PostedRecvPtr> legacy_recvs;
+    for (int op = 0; op < 40; ++op) {
+      const bool is_post = rng.below(0, ctr++, 2) == 1;
+      const int src = static_cast<int>(rng.below(1, ctr++, 4));
+      const int tag = static_cast<int>(rng.below(2, ctr++, 3));
+      const double t = 0.25 * static_cast<double>(op);
+      if (is_post) {
+        const bool any_src = rng.below(3, ctr, 3) == 0;
+        const bool any_tag = rng.below(4, ctr++, 3) == 0;
+        hashed_recvs.push_back(make_recv(any_src ? kAnySource : src,
+                                         any_tag ? kAnyTag : tag, t));
+        legacy_recvs.push_back(make_recv(any_src ? kAnySource : src,
+                                         any_tag ? kAnyTag : tag, t));
+        f.hashed.post(hashed_recvs.back());
+        f.legacy.post(legacy_recvs.back());
+      } else {
+        f.hashed.deposit(make_msg(src, tag, t, 0.125));
+        f.legacy.deposit(make_msg(src, tag, t, 0.125));
+      }
+    }
+    EXPECT_EQ(f.hashed.pending_messages(), f.legacy.pending_messages());
+    EXPECT_EQ(f.hashed.pending_recvs(), f.legacy.pending_recvs());
+    for (std::size_t i = 0; i < hashed_recvs.size(); ++i) {
+      const bool done = f.hashed.test_recv(hashed_recvs[i]);
+      ASSERT_EQ(done, f.legacy.test_recv(legacy_recvs[i]))
+          << "round " << round << " recv " << i;
+      if (!done) continue;
+      const Status a = f.hashed.wait_recv(hashed_recvs[i]);
+      const Status b = f.legacy.wait_recv(legacy_recvs[i]);
+      EXPECT_EQ(a.source, b.source) << "round " << round << " recv " << i;
+      EXPECT_EQ(a.tag, b.tag) << "round " << round << " recv " << i;
+      EXPECT_EQ(a.t_complete, b.t_complete)
+          << "round " << round << " recv " << i;
+    }
+  }
 }
 
 }  // namespace

@@ -37,6 +37,7 @@
 #include "core/sections/api.hpp"
 #include "core/sections/runtime.hpp"
 #include "mpisim/message.hpp"
+#include "mpisim/session.hpp"
 #include "obs/spans.hpp"
 #include "serve/queries.hpp"
 #include "support/cli.hpp"
@@ -174,14 +175,12 @@ trace::TraceFile record_trace(const support::ArgParser& args) {
   }
   opts.machine = *preset;
   opts.seed = static_cast<std::uint64_t>(args.get_int("seed"));
-  const std::string backend = args.get_string("backend");
-  if (backend == "threads") {
-    opts.exec = mpisim::ExecBackend::Threads;
-  } else if (backend != "cooperative") {
-    throw std::invalid_argument("unknown backend '" + backend +
-                                "' (cooperative|threads)");
-  }
-  mpisim::World world(ranks, opts);
+  const auto world_ptr = mpisim::Session(ranks, opts)
+                             .world_builder()
+                             .exec_spec(args.get_string("exec"))
+                             .match_spec(args.get_string("match"))
+                             .build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   const std::string provenance =
       (body ? "scenario-" + scenario : app_name) + " --ranks " +
@@ -223,8 +222,8 @@ int run(int argc, char** argv) {
                              /*seed_default=*/0x5EED);
   args.add_int("ranks", 8, "MPI processes (scenarios use 3)");
   args.add_int("steps", 10, "time-steps (app recording)");
-  args.add_string("backend", "cooperative",
-                  "cooperative | threads (recording determinism checks)");
+  support::add_world_flags(args);
+  args.add_alias("backend", "exec");
   args.add_string("out", "", "report file ('' = stdout)");
   args.add_string("save-trace", "", "also save the recorded trace here");
   args.add_string("telemetry", "",

@@ -30,6 +30,7 @@
 #include "core/sections/api.hpp"
 #include "core/sections/runtime.hpp"
 #include "mpisim/faults/injector.hpp"
+#include "mpisim/session.hpp"
 #include "obs/spans.hpp"
 #include "support/cli.hpp"
 
@@ -116,6 +117,7 @@ int run(int argc, char** argv) {
                              /*export_default=*/"text",
                              /*seed_default=*/0x5EED);
   args.add_int("ranks", 8, "MPI processes (clean runs; scenarios use 2)");
+  support::add_world_flags(args);
   args.add_int("threads", 1, "MiniOMP threads per rank (lulesh)");
   args.add_int("steps", 10, "time-steps (clean runs)");
   args.add_int("timeout-ms", 500, "deadlock quiescence window");
@@ -170,7 +172,12 @@ int run(int argc, char** argv) {
       return 1;
     }
   }
-  mpisim::World world(ranks, opts);
+  const auto world_ptr = mpisim::Session(ranks, opts)
+                             .world_builder()
+                             .exec_spec(args.get_string("exec"))
+                             .match_spec(args.get_string("match"))
+                             .build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
 
   checker::CheckerOptions copts;

@@ -34,6 +34,7 @@
 #include "apps/lulesh/lulesh.hpp"
 #include "codec/mpstz.hpp"
 #include "core/sections/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "obs/spans.hpp"
 #include "serve/queries.hpp"
 #include "support/cli.hpp"
@@ -169,6 +170,7 @@ int cmd_record(int argc, const char* const* argv) {
   args.add_string("progress", "blocking-only",
                   "progress model for the live run: " +
                       mpisim::ProgressModel::choices());
+  support::add_world_flags(args);
   args.add_string("out", "trace.mpst", "output trace file");
   args.add_flag("compress", "write a compressed .mpstz container instead "
                             "of the flat .mpst encoding");
@@ -188,7 +190,12 @@ int cmd_record(int argc, const char* const* argv) {
   opts.machine = *preset;
   opts.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   opts.progress = mpisim::ProgressModel::parse(args.get_string("progress"));
-  mpisim::World world(ranks, opts);
+  const auto world_ptr = mpisim::Session(ranks, opts)
+                             .world_builder()
+                             .exec_spec(args.get_string("exec"))
+                             .match_spec(args.get_string("match"))
+                             .build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
 
   std::string provenance = app_name + " --ranks " + std::to_string(ranks) +
@@ -223,22 +230,25 @@ int cmd_record(int argc, const char* const* argv) {
     return 1;
   }
 
-  const trace::TraceFile tf = rec->finish();
+  // Both output paths stream rank by rank off the recorder; the full
+  // TraceFile is never materialized (the difference between "fits in RAM"
+  // and "doesn't" at extreme rank counts).
   if (args.get_flag("compress")) {
-    const std::size_t flat = tf.encode().size();
-    const std::vector<std::uint8_t> packed = codec::compress(tf);
+    trace::RankStream scratch;
+    const std::vector<std::uint8_t> packed = codec::compress_stream(
+        rec->skeleton(),
+        [&](int r) -> const trace::RankStream& {
+          scratch = rec->finish_rank(r);
+          return scratch;
+        });
     save_bytes(packed, args.get_string("out"));
-    std::printf(
-        "recorded %llu events on %d ranks -> %s (%zu -> %zu bytes, %.2fx)\n",
-        static_cast<unsigned long long>(tf.total_events()), ranks,
-        args.get_string("out").c_str(), flat, packed.size(),
-        packed.empty() ? 0.0
-                       : static_cast<double>(flat) /
-                             static_cast<double>(packed.size()));
+    std::printf("recorded %llu events on %d ranks -> %s (%zu bytes)\n",
+                static_cast<unsigned long long>(rec->total_events()), ranks,
+                args.get_string("out").c_str(), packed.size());
   } else {
-    tf.save(args.get_string("out"));
+    rec->save(args.get_string("out"));
     std::printf("recorded %llu events on %d ranks -> %s\n",
-                static_cast<unsigned long long>(tf.total_events()), ranks,
+                static_cast<unsigned long long>(rec->total_events()), ranks,
                 args.get_string("out").c_str());
   }
   return 0;

@@ -18,6 +18,7 @@
 #include "apps/convolution/convolution.hpp"
 #include "apps/lulesh/lulesh.hpp"
 #include "core/sections/runtime.hpp"
+#include "mpisim/session.hpp"
 #include "profiler/balance.hpp"
 #include "profiler/diff.hpp"
 #include "profiler/report.hpp"
@@ -57,7 +58,7 @@ bool emit(const std::string& text, const std::string& out_path) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   support::ArgParser args("mpisect-report",
                           "Run an instrumented app and emit section reports");
   args.add_string("app", "convolution", "convolution | lulesh");
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
                              /*export_default=*/"text",
                              /*seed_default=*/0x5EED);
   args.add_int("ranks", 8, "MPI processes (lulesh: perfect cube)");
+  support::add_world_flags(args);
   args.add_int("threads", 1, "MiniOMP threads per rank (lulesh)");
   args.add_int("steps", 100, "time-steps");
   args.add_int("size", 0,
@@ -93,7 +95,12 @@ int main(int argc, char** argv) {
   opts.machine = *preset;
   opts.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   opts.validate_sections = args.get_flag("validate");
-  mpisim::World world(ranks, opts);
+  const auto world_ptr = mpisim::Session(ranks, opts)
+                             .world_builder()
+                             .exec_spec(args.get_string("exec"))
+                             .match_spec(args.get_string("match"))
+                             .build();
+  mpisim::World& world = *world_ptr;
   sections::SectionRuntime::install(world);
   profiler::SectionProfiler prof(world, {.keep_instances = keep_instances});
 
@@ -146,4 +153,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   return emit(text, args.get_string("out")) ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  // Usage errors (bad --exec/--match specs and friends) must surface as a
+  // one-line diagnostic with exit 1, never an uncaught-exception abort.
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "mpisect-report: %s\n", err.what());
+    return 1;
+  }
 }

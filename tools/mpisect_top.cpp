@@ -34,6 +34,7 @@
 #include "core/sections/runtime.hpp"
 #include "core/speedup/partial_bound.hpp"
 #include "mpisim/faults/injector.hpp"
+#include "mpisim/session.hpp"
 #include "obs/memory.hpp"
 #include "obs/spans.hpp"
 #include "support/cli.hpp"
@@ -263,6 +264,7 @@ int main(int argc, char** argv) {
   args.add_int("steps", 30, "time-steps");
   args.add_int("size", 0, "problem size (0 = default)");
   args.add_int("workers", 0, "cooperative workers (0 = MPISECT_WORKERS)");
+  support::add_world_flags(args);
   args.add_double("dt", 0.05, "sampling interval, virtual seconds");
   args.add_int("depth", 0,
                "attribution depth: 0 = leaf sections, k = roll busy time up "
@@ -307,12 +309,21 @@ int main(int argc, char** argv) {
     mpisim::WorldOptions opts;
     opts.machine = *preset;
     opts.seed = static_cast<std::uint64_t>(args.get_int("seed"));
-    opts.workers = static_cast<int>(args.get_int("workers"));
     if (!args.get_string("faults").empty()) {
       opts.faults =
           mpisim::faults::FaultPlan::parse(args.get_string("faults"));
     }
-    mpisim::World world(ranks, opts);
+    // --workers (legacy knob) overrides the workers= key of --exec.
+    mpisim::ExecModel em = mpisim::ExecModel::parse(args.get_string("exec"));
+    if (args.get_int("workers") > 0) {
+      em.workers = static_cast<int>(args.get_int("workers"));
+    }
+    const auto world_ptr = mpisim::Session(ranks, opts)
+                               .world_builder()
+                               .exec(em)
+                               .match_spec(args.get_string("match"))
+                               .build();
+    mpisim::World& world = *world_ptr;
     sections::SectionRuntime::install(world);
     telemetry::SamplerOptions sopts;
     sopts.dt = args.get_double("dt");
